@@ -1,0 +1,102 @@
+//===- BenchUtil.h - Shared helpers for the benchmark harness --------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table formatting and isolated-run helpers shared by the per-table
+/// benchmark binaries.  Each analyzer configuration runs in a forked child
+/// (support/Resource.h), so wall-clock time and peak RSS are measured per
+/// configuration the way the paper reports them per analyzer run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_BENCH_BENCHUTIL_H
+#define SPA_BENCH_BENCHUTIL_H
+
+#include "core/Analyzer.h"
+#include "ir/Builder.h"
+#include "support/Resource.h"
+#include "workload/Suite.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace spa {
+namespace bench {
+
+/// Per-run wall-clock limit in seconds (the paper's 24-hour budget,
+/// scaled); override with SPA_TIME_LIMIT.
+inline double timeLimitFromEnv(double Default = 20.0) {
+  const char *Env = std::getenv("SPA_TIME_LIMIT");
+  if (!Env)
+    return Default;
+  double V = std::atof(Env);
+  return V > 0 ? V : Default;
+}
+
+/// Builds a suite entry's program (generate, print, parse, lower).
+inline std::unique_ptr<Program> buildEntry(const SuiteEntry &E) {
+  std::string Source = generateSource(E.Config);
+  BuildResult R = buildProgramFromSource(Source);
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", E.Name.c_str(),
+                 R.Error.c_str());
+    std::exit(1);
+  }
+  return std::move(R.Prog);
+}
+
+/// Lines of the generated surface program (the LOC column).
+inline size_t sourceLines(const SuiteEntry &E) {
+  std::string Source = generateSource(E.Config);
+  size_t Lines = 0;
+  for (char C : Source)
+    Lines += C == '\n';
+  return Lines;
+}
+
+/// Formats seconds like the paper's tables (integral seconds; "inf" for
+/// timeouts).
+inline std::string fmtSeconds(double S, bool TimedOut) {
+  if (TimedOut)
+    return "inf";
+  char Buf[32];
+  if (S < 10)
+    std::snprintf(Buf, sizeof(Buf), "%.2f", S);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.0f", S);
+  return Buf;
+}
+
+inline std::string fmtMiB(uint64_t KiB) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.0f", static_cast<double>(KiB) / 1024);
+  return Buf;
+}
+
+/// "N/A" helper for rows whose baseline timed out.
+inline std::string fmtRatio(double Num, double Den, bool Valid,
+                            const char *Suffix = "x") {
+  if (!Valid || Den <= 0)
+    return "N/A";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.0f%s", Num / Den, Suffix);
+  return Buf;
+}
+
+inline std::string fmtPercentSaved(double From, double To, bool Valid) {
+  if (!Valid || From <= 0)
+    return "N/A";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.0f%%", 100.0 * (From - To) / From);
+  return Buf;
+}
+
+} // namespace bench
+} // namespace spa
+
+#endif // SPA_BENCH_BENCHUTIL_H

@@ -1,0 +1,79 @@
+//===- ablation_sparsity.cpp - Performance tracks sparsity, not size --------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 6.3's observation: "the analysis performance is more dependent
+/// on the sparsity than the program size" — ghostscript (3.4x larger than
+/// emacs) analyzes 2.6x faster because its average |D̂|/|Û| are 30x
+/// smaller.  This bench fixes the program size and sweeps the coupling
+/// knobs that control sparsity (callgraph SCC size — which makes access
+/// sets transitive over whole components — and pointer density), then
+/// reports avg |D̂(c)|, |Û(c)| against sparse-analysis time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace spa;
+using namespace spa::bench;
+
+int main() {
+  std::printf("Ablation (Section 6.3): performance tracks sparsity, not "
+              "size\n\n");
+  std::printf("%-26s %7s %7s | %7s %7s | %7s %7s %8s\n", "Configuration",
+              "points", "locs", "avgD", "avgU", "dep", "fix", "visits");
+
+  GenConfig Base;
+  Base.NumFunctions = 60;
+  Base.StmtsPerFunction = 16;
+  Base.NumGlobals = 15;
+  Base.Seed = 0xdead;
+
+  struct Sweep {
+    const char *Name;
+    unsigned Scc;
+    unsigned PointerPercent;
+  };
+  const Sweep Sweeps[] = {
+      {"scc=0  ptr=10 (sparse)", 0, 10},
+      {"scc=8  ptr=18", 8, 18},
+      {"scc=16 ptr=18", 16, 18},
+      {"scc=32 ptr=25", 32, 25},
+      {"scc=48 ptr=35 (dense)", 48, 35},
+  };
+
+  for (const Sweep &S : Sweeps) {
+    GenConfig C = Base;
+    C.SccGroupSize = S.Scc;
+    C.PointerPercent = S.PointerPercent;
+    std::string Source = generateSource(C);
+    BuildResult B = buildProgramFromSource(Source);
+    if (!B.ok()) {
+      std::fprintf(stderr, "build error: %s\n", B.Error.c_str());
+      return 1;
+    }
+    const Program &Prog = *B.Prog;
+
+    AnalyzerOptions Opts;
+    Opts.Engine = EngineKind::Sparse;
+    AnalysisRun Run = analyzeProgram(Prog, Opts);
+
+    std::printf("%-26s %7zu %7zu | %7.1f %7.1f | %6.2fs %6.2fs %8llu\n",
+                S.Name, Prog.numPoints(), Prog.numLocs(),
+                Run.DU.avgDefSize(), Run.DU.avgUseSize(),
+                Run.depSeconds(), Run.fixSeconds(),
+                static_cast<unsigned long long>(Run.Sparse->Visits));
+    std::fflush(stdout);
+  }
+
+  std::printf("\nExpected shape (paper): at a fixed program size, "
+              "analysis cost climbs with the average def/use set sizes "
+              "(the emacs-vs-ghostscript inversion); size alone does not "
+              "predict cost.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+//===- table3_octagon.cpp - Reproduces Table 3 ------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 3: octagon-analysis performance of Octagon_vanilla /
+/// Octagon_base / Octagon_sparse on the nine smaller benchmarks, with the
+/// same columns as Table 2 plus the packing statistics the paper's
+/// Section 6.3 discusses (average group size 5-7).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "oct/OctAnalysis.h"
+
+#include <cstdio>
+
+using namespace spa;
+using namespace spa::bench;
+
+namespace {
+
+struct RunOutcome {
+  bool Ok = false;
+  bool TimedOut = false;
+  double Seconds = 0;
+  double DepSeconds = 0;
+  double FixSeconds = 0;
+  uint64_t PeakRssKiB = 0;
+  double AvgDef = 0, AvgUse = 0, AvgPack = 0;
+};
+
+RunOutcome runEngine(const SuiteEntry &E, EngineKind Engine,
+                     double TimeLimit) {
+  ChildRunResult R = runInChild(
+      [&]() -> std::vector<double> {
+        std::unique_ptr<Program> Prog = buildEntry(E);
+        OctOptions Opts;
+        Opts.Engine = Engine;
+        Opts.TimeLimitSec = TimeLimit * 0.95;
+        OctRun Run = runOctAnalysis(*Prog, Opts);
+        return {Run.timedOut() ? 1.0 : 0.0, Run.depSeconds(),
+                Run.fixSeconds(), Run.DU.avgSemanticDefSize(),
+                Run.DU.avgSemanticUseSize(), Run.Packs.avgGroupSize()};
+      },
+      TimeLimit);
+
+  RunOutcome Out;
+  Out.Seconds = R.Seconds;
+  Out.PeakRssKiB = R.PeakRssKiB;
+  if (!R.Ok || R.TimedOut || R.Payload[0] != 0.0) {
+    Out.TimedOut = true;
+    return Out;
+  }
+  Out.Ok = true;
+  Out.DepSeconds = R.Payload[1];
+  Out.FixSeconds = R.Payload[2];
+  Out.AvgDef = R.Payload[3];
+  Out.AvgUse = R.Payload[4];
+  Out.AvgPack = R.Payload[5];
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  double Scale = suiteScaleFromEnv();
+  double TimeLimit = timeLimitFromEnv();
+  std::printf("Table 3: octagon analysis performance (scale=%.2f, "
+              "time limit=%.0fs per run)\n",
+              Scale, TimeLimit);
+  std::printf("Times in seconds, memory in MiB; inf = exceeded limit\n\n");
+
+  std::printf("%-20s | %8s %6s | %8s %6s %6s %6s | %6s %6s %8s %6s %6s "
+              "%6s | %6s %6s %5s\n",
+              "Program", "Vanilla", "Mem", "Base", "Mem", "Spd.1",
+              "Mem.1", "Dep", "Fix", "Total", "Mem", "Spd.2", "Mem.2",
+              "D(c)", "U(c)", "pack");
+
+  for (const SuiteEntry &E : octagonSuite(Scale)) {
+    RunOutcome Vanilla = runEngine(E, EngineKind::Vanilla, TimeLimit);
+    RunOutcome Base = runEngine(E, EngineKind::Base, TimeLimit);
+    RunOutcome Sparse = runEngine(E, EngineKind::Sparse, TimeLimit);
+
+    std::string VT = fmtSeconds(Vanilla.Seconds, Vanilla.TimedOut);
+    std::string VM = Vanilla.TimedOut ? "N/A" : fmtMiB(Vanilla.PeakRssKiB);
+    std::string BT = fmtSeconds(Base.Seconds, Base.TimedOut);
+    std::string BM = Base.TimedOut ? "N/A" : fmtMiB(Base.PeakRssKiB);
+    std::string Spd1 = fmtRatio(Vanilla.Seconds, Base.Seconds,
+                                Vanilla.Ok && Base.Ok);
+    std::string Mem1 = fmtPercentSaved(
+        static_cast<double>(Vanilla.PeakRssKiB),
+        static_cast<double>(Base.PeakRssKiB), Vanilla.Ok && Base.Ok);
+
+    std::string Dep = Sparse.Ok ? fmtSeconds(Sparse.DepSeconds, false)
+                                : "inf";
+    std::string Fix = Sparse.Ok ? fmtSeconds(Sparse.FixSeconds, false)
+                                : "inf";
+    std::string ST = fmtSeconds(Sparse.Seconds, Sparse.TimedOut);
+    std::string SM = Sparse.TimedOut ? "N/A" : fmtMiB(Sparse.PeakRssKiB);
+    std::string Spd2 =
+        fmtRatio(Base.Seconds, Sparse.Seconds, Base.Ok && Sparse.Ok);
+    std::string Mem2 = fmtPercentSaved(
+        static_cast<double>(Base.PeakRssKiB),
+        static_cast<double>(Sparse.PeakRssKiB), Base.Ok && Sparse.Ok);
+
+    char DC[16] = "N/A", UC[16] = "N/A", PK[16] = "N/A";
+    if (Sparse.Ok) {
+      std::snprintf(DC, sizeof(DC), "%.1f", Sparse.AvgDef);
+      std::snprintf(UC, sizeof(UC), "%.1f", Sparse.AvgUse);
+      std::snprintf(PK, sizeof(PK), "%.1f", Sparse.AvgPack);
+    }
+
+    std::printf("%-20s | %8s %6s | %8s %6s %6s %6s | %6s %6s %8s %6s %6s "
+                "%6s | %6s %6s %5s\n",
+                E.Name.c_str(), VT.c_str(), VM.c_str(), BT.c_str(),
+                BM.c_str(), Spd1.c_str(), Mem1.c_str(), Dep.c_str(),
+                Fix.c_str(), ST.c_str(), SM.c_str(), Spd2.c_str(),
+                Mem2.c_str(), DC, UC, PK);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nExpected shape (paper): the octagon analysis is an order "
+              "of magnitude costlier than intervals; Vanilla drops out "
+              "after the smallest programs, Base reaches mid-size ones, "
+              "Sparse finishes all nine (13-56x over Base).\n");
+  return 0;
+}

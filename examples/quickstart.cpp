@@ -1,0 +1,108 @@
+//===- quickstart.cpp - First steps with the SPA library ---------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: parse a small C-like program, run the sparse interval
+/// analysis (pre-analysis -> D̂/Û -> data dependencies -> sparse
+/// fixpoint), and print the invariants the analysis derives, alongside
+/// the sparsity statistics that make the approach work.
+///
+/// Build and run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "ir/Builder.h"
+
+#include <cstdio>
+
+using namespace spa;
+
+static const char *Source = R"(
+  global calls = 0;
+
+  fun clamp(v, lo, hi) {
+    calls = calls + 1;
+    if (v < lo) { return lo; }
+    if (v > hi) { return hi; }
+    return v;
+  }
+
+  fun main() {
+    x = input();
+    y = clamp(x, 0, 100);
+    sum = 0;
+    i = 0;
+    while (i < 10) {
+      sum = sum + y;
+      i = i + 1;
+    }
+    return sum;
+  }
+)";
+
+int main() {
+  // 1. Frontend: source -> AST -> IR (control points + skeleton CFG).
+  BuildResult Built = buildProgramFromSource(Source);
+  if (!Built.ok()) {
+    std::fprintf(stderr, "build error: %s\n", Built.Error.c_str());
+    return 1;
+  }
+  const Program &Prog = *Built.Prog;
+  std::printf("program: %zu control points, %zu abstract locations, "
+              "%zu functions\n\n",
+              Prog.numPoints(), Prog.numLocs(), Prog.numFuncs());
+
+  // 2. The sparse analyzer. EngineKind::{Vanilla,Base,Sparse} select the
+  // three analyzers of the paper's evaluation; Sparse is the default.
+  AnalyzerOptions Opts;
+  Opts.Engine = EngineKind::Sparse;
+  Opts.Dep.Bypass = false; // Keep exit buffers observable for printing.
+  AnalysisRun Run = analyzeProgram(Prog, Opts);
+
+  // 3. Phase breakdown (the paper's Dep/Fix split) and sparsity.
+  std::printf("pre-analysis:      %5.1f ms (flow-insensitive, resolves "
+              "the callgraph)\n",
+              Run.PreSeconds * 1e3);
+  std::printf("def/use + deps:    %5.1f ms (%llu dependency edges, "
+              "%zu phi nodes)\n",
+              (Run.DefUseSeconds + Run.Graph->BuildSeconds) * 1e3,
+              static_cast<unsigned long long>(Run.Graph->Edges->edgeCount()),
+              Run.Graph->Phis.size());
+  std::printf("sparse fixpoint:   %5.1f ms (%llu node visits)\n",
+              Run.Sparse->Seconds * 1e3,
+              static_cast<unsigned long long>(Run.Sparse->Visits));
+  std::printf("avg |D(c)| = %.2f, avg |U(c)| = %.2f (out of %zu "
+              "locations)\n\n",
+              Run.DU.avgSemanticDefSize(), Run.DU.avgSemanticUseSize(),
+              Prog.numLocs());
+
+  // 4. Query invariants: the value of every location main defines, at
+  // main's exit.
+  FuncId Main = Prog.findFunction("main");
+  PointId Exit = Prog.function(Main).Exit;
+  std::printf("invariants at main's exit:\n");
+  const AbsState &AtExit = Run.Sparse->In[Exit.value()];
+  for (const auto &[L, V] : AtExit)
+    std::printf("  %-12s = %s\n", Prog.loc(L).Name.c_str(),
+                V.str().c_str());
+
+  // 5. Per-point query: the loop counter right after the loop.
+  for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
+    const Command &Cmd = Prog.point(PointId(P)).Cmd;
+    if (Cmd.Kind == CmdKind::Assume && Prog.point(PointId(P)).Func == Main &&
+        Cmd.Cnd->Op == RelOp::Ge) {
+      std::printf("\nafter the loop guard fails (%s):\n",
+                  Prog.pointToString(PointId(P)).c_str());
+      for (LocId L : Run.DU.Defs[P])
+        std::printf("  %-12s = %s\n", Prog.loc(L).Name.c_str(),
+                    Run.Sparse->outValue(PointId(P), L).str().c_str());
+    }
+  }
+  return 0;
+}

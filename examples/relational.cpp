@@ -1,0 +1,104 @@
+//===- relational.cpp - Octagon vs interval precision ------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Why Section 4 bothers with relational domains: the packed octagon
+/// analysis proves facts that relate variables (y - x = 1, i <= n),
+/// which the non-relational interval analysis structurally cannot.  The
+/// example runs both analyzers on the same program and contrasts the
+/// derived bounds, then shows the sparse octagon analyzer agreeing with
+/// the dense one.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "ir/Builder.h"
+#include "oct/OctAnalysis.h"
+
+#include <cstdio>
+
+using namespace spa;
+
+static const char *Source = R"(
+  fun main() {
+    x = input();
+    y = x + 1;        // octagon: y - x = 1, whatever x is
+    d = y - x;        // => d = 1; intervals: top - top = top
+
+    n = input();
+    if (n < 0) { n = 0; }
+    i = 0;
+    gap = 0;
+    while (i < n) {   // octagon: i - n <= -1 inside the loop
+      gap = n - i;    // => gap >= 1; intervals: gap unbounded below
+      i = i + 1;
+    }
+    return d + gap;
+  }
+)";
+
+int main() {
+  BuildResult Built = buildProgramFromSource(Source);
+  if (!Built.ok()) {
+    std::fprintf(stderr, "build error: %s\n", Built.Error.c_str());
+    return 1;
+  }
+  const Program &Prog = *Built.Prog;
+  FuncId Main = Prog.findFunction("main");
+  PointId Exit = Prog.function(Main).Exit;
+
+  auto LocOf = [&](const char *Name) {
+    for (uint32_t L = 0; L < Prog.numLocs(); ++L)
+      if (Prog.loc(LocId(L)).Name == Name)
+        return LocId(L);
+    return LocId();
+  };
+  LocId D = LocOf("main::d"), Gap = LocOf("main::gap");
+
+  // Interval analysis.
+  AnalyzerOptions IOpts;
+  IOpts.Engine = EngineKind::Vanilla;
+  AnalysisRun Itv = analyzeProgram(Prog, IOpts);
+  const AbsState &ItvExit = Itv.Dense->Post[Exit.value()];
+
+  // Octagon analysis (dense and sparse).
+  OctOptions OOpts;
+  OOpts.Engine = EngineKind::Vanilla;
+  OctRun OctDense = runOctAnalysis(Prog, OOpts);
+  OOpts.Engine = EngineKind::Sparse;
+  OctRun OctSparse = runOctAnalysis(Prog, OOpts);
+
+  std::printf("variable   interval analysis     octagon analysis\n");
+  std::printf("--------   -----------------     ----------------\n");
+  std::printf("d          %-20s  %s\n", ItvExit.get(D).Itv.str().c_str(),
+              OctDense.denseIntervalAt(Exit, D).str().c_str());
+  std::printf("gap        %-20s  %s\n",
+              ItvExit.get(Gap).Itv.str().c_str(),
+              OctDense.denseIntervalAt(Exit, Gap).str().c_str());
+
+  // The loop body's gap assignment: relational lower bound.
+  for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
+    const Command &Cmd = Prog.point(PointId(P)).Cmd;
+    if (Cmd.Kind == CmdKind::Assign && Cmd.Target == Gap &&
+        Cmd.E->Kind == IExprKind::Binary) {
+      std::printf("\ninside the loop, at {%s}:\n",
+                  Prog.pointToString(PointId(P)).c_str());
+      std::printf("  octagon proves gap = n - i in %s (i < n holds "
+                  "there)\n",
+                  OctDense.denseIntervalAt(PointId(P), Gap).str().c_str());
+      // The sparse octagon analyzer derives the same fact.
+      PackId S = OctSparse.Packs.singleton(Gap);
+      const Oct *V = OctSparse.Sparse->Out[P].lookup(S);
+      std::printf("  sparse octagon agrees: gap in %s\n",
+                  V ? V->project(0).str().c_str() : "(not defined here)");
+    }
+  }
+
+  std::printf("\npacking: %u groups, average group size %.1f (paper "
+              "reports 5-7)\n",
+              OctDense.Packs.numGroups(), OctDense.Packs.avgGroupSize());
+  return 0;
+}

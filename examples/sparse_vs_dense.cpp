@@ -1,0 +1,84 @@
+//===- sparse_vs_dense.cpp - The headline claim, end to end ------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper in one example: generate a mid-sized program, run the dense
+/// baseline and the sparse analyzer, show that the sparse one computes
+/// *identical* values at every definition (Lemma 2) while visiting far
+/// fewer (point, location) pairs — precision preserved, cost collapsed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "ir/Builder.h"
+#include "workload/Generator.h"
+
+#include <cstdio>
+
+using namespace spa;
+
+int main() {
+  // A loop-free, single-call-site program keeps both least fixpoints
+  // exact, so the equality is literal, not approximate.
+  GenConfig Config;
+  Config.Seed = 2026;
+  Config.NumFunctions = 24;
+  Config.StmtsPerFunction = 18;
+  Config.SingleCallSite = true;
+  Config.AllowLoops = false;
+  std::string Source = generateSource(Config);
+  BuildResult Built = buildProgramFromSource(Source);
+  if (!Built.ok()) {
+    std::fprintf(stderr, "build error: %s\n", Built.Error.c_str());
+    return 1;
+  }
+  const Program &Prog = *Built.Prog;
+  std::printf("generated program: %zu control points, %zu abstract "
+              "locations\n\n",
+              Prog.numPoints(), Prog.numLocs());
+
+  AnalyzerOptions DOpts;
+  DOpts.Engine = EngineKind::Vanilla;
+  AnalysisRun Dense = analyzeProgram(Prog, DOpts);
+
+  AnalyzerOptions SOpts;
+  SOpts.Engine = EngineKind::Sparse;
+  AnalysisRun Sparse = analyzeProgram(Prog, SOpts);
+
+  // Compare every semantic definition (Lemma 2).
+  uint64_t Compared = 0, Equal = 0;
+  for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
+    for (LocId L : Sparse.DU.Defs[P]) {
+      ++Compared;
+      Equal += Sparse.Sparse->Out[P].get(L) == Dense.Dense->Post[P].get(L);
+    }
+  }
+  std::printf("precision: %llu/%llu defined values identical to the "
+              "dense analysis\n",
+              static_cast<unsigned long long>(Equal),
+              static_cast<unsigned long long>(Compared));
+
+  // Cost: what each engine materialized and how long it took.
+  std::printf("\n                 %12s %12s\n", "dense", "sparse");
+  std::printf("state entries    %12llu %12llu\n",
+              static_cast<unsigned long long>(Dense.Dense->StateEntries),
+              static_cast<unsigned long long>(Sparse.Sparse->StateEntries));
+  std::printf("engine visits    %12llu %12llu\n",
+              static_cast<unsigned long long>(Dense.Dense->Visits),
+              static_cast<unsigned long long>(Sparse.Sparse->Visits));
+  std::printf("fixpoint time    %11.1fms %11.1fms\n",
+              Dense.Dense->Seconds * 1e3, Sparse.Sparse->Seconds * 1e3);
+  std::printf("dep generation   %12s %11.1fms\n", "-",
+              (Sparse.PreSeconds + Sparse.DefUseSeconds +
+               Sparse.Graph->BuildSeconds) *
+                  1e3);
+  std::printf("\nThe sparse engine propagates values only along the %llu "
+              "data-dependency edges instead of re-joining whole states "
+              "along control flow — the entire point of the paper.\n",
+              static_cast<unsigned long long>(
+                  Sparse.Graph->Edges->edgeCount()));
+  return Equal == Compared ? 0 : 1;
+}

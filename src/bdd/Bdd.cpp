@@ -1,0 +1,184 @@
+//===- Bdd.cpp - Reduced ordered binary decision diagrams ----------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Bdd.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace spa;
+
+BddManager::BddManager(uint32_t NumVars) : NumVars(NumVars) {
+  assert(NumVars > 0 && NumVars < 256 && "variable count out of range");
+  // Terminals carry a sentinel variable index past every real variable.
+  Nodes.push_back(Node{NumVars, 0, 0}); // false
+  Nodes.push_back(Node{NumVars, 1, 1}); // true
+}
+
+BddRef BddManager::mkNode(uint32_t Var, BddRef Low, BddRef High) {
+  if (Low == High)
+    return Low; // Redundant test elimination.
+  assert(Low < (1u << 28) && High < (1u << 28) && "node table overflow");
+  uint64_t Key = (static_cast<uint64_t>(Var) << 56) |
+                 (static_cast<uint64_t>(Low) << 28) | High;
+  auto [It, Inserted] = Unique.try_emplace(Key, 0);
+  if (!Inserted)
+    return It->second;
+  BddRef R = static_cast<BddRef>(Nodes.size());
+  Nodes.push_back(Node{Var, Low, High});
+  It->second = R;
+  return R;
+}
+
+BddRef BddManager::var(uint32_t Var) {
+  assert(Var < NumVars && "variable out of range");
+  return mkNode(Var, falseBdd(), trueBdd());
+}
+
+BddRef BddManager::nvar(uint32_t Var) {
+  assert(Var < NumVars && "variable out of range");
+  return mkNode(Var, trueBdd(), falseBdd());
+}
+
+BddRef BddManager::ite(BddRef F, BddRef G, BddRef H) {
+  // Terminal cases.
+  if (F == trueBdd())
+    return G;
+  if (F == falseBdd())
+    return H;
+  if (G == H)
+    return G;
+  if (G == trueBdd() && H == falseBdd())
+    return F;
+
+  IteKey Key{F, G, H};
+  auto It = IteCache.find(Key);
+  if (It != IteCache.end())
+    return It->second;
+
+  uint32_t V = varOf(F);
+  if (varOf(G) < V)
+    V = varOf(G);
+  if (varOf(H) < V)
+    V = varOf(H);
+
+  auto Cofactor = [&](BddRef X, bool High) {
+    if (varOf(X) != V)
+      return X;
+    return High ? Nodes[X].High : Nodes[X].Low;
+  };
+
+  BddRef Low = ite(Cofactor(F, false), Cofactor(G, false), Cofactor(H, false));
+  BddRef High = ite(Cofactor(F, true), Cofactor(G, true), Cofactor(H, true));
+  BddRef R = mkNode(V, Low, High);
+  IteCache.emplace(Key, R);
+  return R;
+}
+
+BddRef BddManager::restrict(BddRef F, uint32_t Var, bool Value) {
+  // ite(v, F|v=1, F|v=0) specialization via a local walk with memoization.
+  std::unordered_map<BddRef, BddRef> Memo;
+  std::function<BddRef(BddRef)> Go = [&](BddRef X) -> BddRef {
+    if (varOf(X) > Var)
+      return X; // Terminal or ordered past Var: independent of it.
+    if (varOf(X) == Var)
+      return Value ? Nodes[X].High : Nodes[X].Low;
+    auto It = Memo.find(X);
+    if (It != Memo.end())
+      return It->second;
+    BddRef R = mkNode(Nodes[X].Var, Go(Nodes[X].Low), Go(Nodes[X].High));
+    Memo.emplace(X, R);
+    return R;
+  };
+  return Go(F);
+}
+
+bool BddManager::eval(BddRef F, const std::vector<bool> &Assignment) const {
+  assert(Assignment.size() >= NumVars && "assignment too short");
+  while (F > 1) {
+    const Node &N = Nodes[F];
+    F = Assignment[N.Var] ? N.High : N.Low;
+  }
+  return F == trueBdd();
+}
+
+double BddManager::satCount(BddRef F) {
+  // count(X) = models of X over the variables strictly below var(X).
+  std::function<double(BddRef)> Go = [&](BddRef X) -> double {
+    if (X == falseBdd())
+      return 0;
+    if (X == trueBdd())
+      return 1;
+    auto It = CountCache.find(X);
+    if (It != CountCache.end())
+      return It->second;
+    const Node &N = Nodes[X];
+    double L = Go(N.Low) * std::pow(2.0, varOf(N.Low) - N.Var - 1);
+    double H = Go(N.High) * std::pow(2.0, varOf(N.High) - N.Var - 1);
+    double R = L + H;
+    CountCache.emplace(X, R);
+    return R;
+  };
+  return Go(F) * std::pow(2.0, varOf(F));
+}
+
+void BddManager::forEachModel(BddRef F, uint32_t FirstVar, uint32_t LastVar,
+                              const std::function<void(uint64_t)> &Fn) {
+  assert(LastVar - FirstVar <= 64 && "model word too wide");
+  std::function<void(BddRef, uint32_t, uint64_t)> Go =
+      [&](BddRef X, uint32_t Cur, uint64_t Word) {
+        if (X == falseBdd())
+          return;
+        if (Cur == LastVar) {
+          assert(X == trueBdd() && "function depends on out-of-range vars");
+          Fn(Word);
+          return;
+        }
+        uint64_t Bit = 1ULL << (Cur - FirstVar);
+        if (varOf(X) > Cur) {
+          // Don't-care at Cur: expand both branches.
+          Go(X, Cur + 1, Word);
+          Go(X, Cur + 1, Word | Bit);
+          return;
+        }
+        assert(varOf(X) == Cur && "function depends on var before range");
+        Go(Nodes[X].Low, Cur + 1, Word);
+        Go(Nodes[X].High, Cur + 1, Word | Bit);
+      };
+  Go(F, FirstVar, 0);
+}
+
+size_t BddManager::reachableCount(BddRef F) const {
+  std::vector<bool> Seen(Nodes.size(), false);
+  std::vector<BddRef> Work{F};
+  size_t Count = 0;
+  while (!Work.empty()) {
+    BddRef X = Work.back();
+    Work.pop_back();
+    if (Seen[X])
+      continue;
+    Seen[X] = true;
+    ++Count;
+    if (X > 1) {
+      Work.push_back(Nodes[X].Low);
+      Work.push_back(Nodes[X].High);
+    }
+  }
+  return Count;
+}
+
+uint64_t BddManager::memoryBytes() const {
+  // Representation plus the operation caches.
+  return representationBytes() + IteCache.size() * 44;
+}
+
+uint64_t BddManager::representationBytes() const {
+  // Node table plus the unique (hash-consing) table, estimated with
+  // typical libstdc++ overheads (bucket array + chain nodes).
+  uint64_t Bytes = Nodes.capacity() * sizeof(Node);
+  Bytes += Unique.size() * 40; // key + value + chain node.
+  return Bytes + sizeof(*this);
+}

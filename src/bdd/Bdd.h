@@ -1,0 +1,132 @@
+//===- Bdd.h - Reduced ordered binary decision diagrams ------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact ROBDD package (Bryant 1986) in the style of BuDDy, which the
+/// paper uses to store the data-dependency relation: hash-consed nodes,
+/// an ITE operation with a computed table, restriction, existential
+/// quantification, satisfying-assignment enumeration, and model counting.
+/// Variable order is the fixed index order (the paper reports that "no
+/// particular dynamic variable ordering was necessary").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_BDD_BDD_H
+#define SPA_BDD_BDD_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace spa {
+
+/// A BDD function handle: an index into its manager's node table.
+using BddRef = uint32_t;
+
+/// Manager owning the node table and operation caches.  Functions from
+/// different managers must not be mixed.
+class BddManager {
+public:
+  /// Creates a manager for \p NumVars boolean variables (indices 0 ..
+  /// NumVars-1, tested in increasing order from the root).
+  explicit BddManager(uint32_t NumVars);
+
+  BddRef falseBdd() const { return 0; }
+  BddRef trueBdd() const { return 1; }
+
+  /// The function of the single positive literal \p Var.
+  BddRef var(uint32_t Var);
+  /// The function of the single negative literal.
+  BddRef nvar(uint32_t Var);
+
+  /// If-then-else: the universal connective all others derive from.
+  BddRef ite(BddRef F, BddRef G, BddRef H);
+
+  BddRef andOp(BddRef F, BddRef G) { return ite(F, G, falseBdd()); }
+  BddRef orOp(BddRef F, BddRef G) { return ite(F, trueBdd(), G); }
+  BddRef notOp(BddRef F) { return ite(F, falseBdd(), trueBdd()); }
+  BddRef xorOp(BddRef F, BddRef G) { return ite(F, notOp(G), G); }
+
+  /// Cofactor of \p F with variable \p Var fixed to \p Value.
+  BddRef restrict(BddRef F, uint32_t Var, bool Value);
+
+  /// ∃Var. F
+  BddRef exists(BddRef F, uint32_t Var) {
+    return orOp(restrict(F, Var, false), restrict(F, Var, true));
+  }
+
+  /// Evaluates \p F under a full assignment.
+  bool eval(BddRef F, const std::vector<bool> &Assignment) const;
+
+  /// Number of satisfying assignments over all NumVars variables.
+  double satCount(BddRef F);
+
+  /// Enumerates all satisfying assignments of \p F, expanding don't-care
+  /// variables in [\p FirstVar, \p LastVar).  \p F must not depend on
+  /// variables outside that range.  The callback receives the assignment
+  /// as a bit word (variable FirstVar+i at bit i, so at most 64 bits).
+  void forEachModel(BddRef F, uint32_t FirstVar, uint32_t LastVar,
+                    const std::function<void(uint64_t)> &Fn);
+
+  /// Number of nodes ever created (reduced, shared; includes nodes no
+  /// longer reachable from any root — the package does not collect
+  /// garbage).
+  size_t nodeCount() const { return Nodes.size(); }
+
+  /// Number of nodes reachable from \p F: the size of the function's
+  /// live representation (what a collecting package would retain).
+  size_t reachableCount(BddRef F) const;
+  /// Bytes held by the node table and caches.
+  uint64_t memoryBytes() const;
+  /// Bytes of the function representation itself (node table + unique
+  /// table), excluding the transient operation caches.
+  uint64_t representationBytes() const;
+  /// Drops the operation caches (safe at any time; they are rebuilt on
+  /// demand).
+  void clearCaches() {
+    IteCache.clear();
+    CountCache.clear();
+  }
+
+  uint32_t numVars() const { return NumVars; }
+
+private:
+  struct Node {
+    uint32_t Var;
+    BddRef Low, High;
+  };
+
+  BddRef mkNode(uint32_t Var, BddRef Low, BddRef High);
+  uint32_t varOf(BddRef F) const { return Nodes[F].Var; }
+
+  struct IteKey {
+    BddRef F, G, H;
+    friend bool operator==(const IteKey &A, const IteKey &B) {
+      return A.F == B.F && A.G == B.G && A.H == B.H;
+    }
+  };
+  struct IteKeyHash {
+    size_t operator()(const IteKey &K) const {
+      uint64_t X = (static_cast<uint64_t>(K.F) << 32) ^
+                   (static_cast<uint64_t>(K.G) << 16) ^ K.H;
+      X ^= X >> 33;
+      X *= 0xff51afd7ed558ccdULL;
+      X ^= X >> 33;
+      return static_cast<size_t>(X);
+    }
+  };
+
+  uint32_t NumVars;
+  std::vector<Node> Nodes; ///< [0] = false, [1] = true.
+  std::unordered_map<uint64_t, BddRef> Unique;
+  std::unordered_map<IteKey, BddRef, IteKeyHash> IteCache;
+  std::unordered_map<BddRef, double> CountCache;
+};
+
+} // namespace spa
+
+#endif // SPA_BDD_BDD_H

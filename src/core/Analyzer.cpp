@@ -1,0 +1,71 @@
+//===- Analyzer.cpp - End-to-end analyzer facade --------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+
+#include "support/Resource.h"
+
+using namespace spa;
+
+double AnalysisRun::depSeconds() const {
+  double S = PreSeconds + DefUseSeconds;
+  if (Graph)
+    S += Graph->BuildSeconds;
+  return S;
+}
+
+double AnalysisRun::fixSeconds() const {
+  if (Dense)
+    return Dense->Seconds;
+  if (Sparse)
+    return Sparse->Seconds;
+  return 0;
+}
+
+bool AnalysisRun::timedOut() const {
+  if (Dense && Dense->TimedOut)
+    return true;
+  if (Sparse && Sparse->TimedOut)
+    return true;
+  return false;
+}
+
+AnalysisRun spa::analyzeProgram(const Program &Prog,
+                                const AnalyzerOptions &Opts) {
+  Timer PreClock;
+  AnalysisRun Run{runPreAnalysis(Prog, Opts.Sem, /*WidenAfterSweeps=*/3,
+                                 Opts.Pre),
+                  DefUseInfo{}, {}, {}, {}, 0, 0};
+  Run.PreSeconds = PreClock.seconds();
+
+  Timer DuClock;
+  Run.DU = computeDefUse(Prog, Run.Pre);
+  Run.DefUseSeconds = DuClock.seconds();
+
+  switch (Opts.Engine) {
+  case EngineKind::Vanilla:
+  case EngineKind::Base: {
+    DenseOptions DOpts;
+    DOpts.Sem = Opts.Sem;
+    DOpts.Localize = Opts.Engine == EngineKind::Base;
+    DOpts.TimeLimitSec = Opts.TimeLimitSec;
+    DOpts.NarrowingPasses = Opts.NarrowingPasses;
+    DOpts.WideningDelay = Opts.WideningDelay;
+    Run.Dense = runDenseAnalysis(Prog, Run.Pre.CG, &Run.DU, DOpts);
+    break;
+  }
+  case EngineKind::Sparse: {
+    Run.Graph = buildDepGraph(Prog, Run.Pre.CG, Run.DU, Opts.Dep);
+    SparseOptions SOpts;
+    SOpts.Sem = Opts.Sem;
+    SOpts.TimeLimitSec = Opts.TimeLimitSec;
+    SOpts.WideningDelay = Opts.WideningDelay;
+    Run.Sparse = runSparseAnalysis(Prog, Run.Pre.CG, *Run.Graph, SOpts);
+    break;
+  }
+  }
+  return Run;
+}

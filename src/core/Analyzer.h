@@ -1,0 +1,71 @@
+//===- Analyzer.h - End-to-end analyzer facade ----------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call drivers for the three interval analyzers of Table 2:
+///
+///   Vanilla — dense engine, no localization (Interval_vanilla);
+///   Base    — dense engine + access-based localization (Interval_base);
+///   Sparse  — pre-analysis -> D̂/Û -> data dependencies -> sparse engine
+///             (Interval_sparse).
+///
+/// All three share the flow-insensitive pre-analysis, which resolves the
+/// callgraph (function pointers) before the main fixpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CORE_ANALYZER_H
+#define SPA_CORE_ANALYZER_H
+
+#include "core/DenseAnalysis.h"
+#include "core/DepBuilder.h"
+#include "core/PreAnalysis.h"
+#include "core/SparseAnalysis.h"
+
+#include <optional>
+
+namespace spa {
+
+enum class EngineKind { Vanilla, Base, Sparse };
+
+struct AnalyzerOptions {
+  EngineKind Engine = EngineKind::Sparse;
+  SemanticsOptions Sem;
+  DepOptions Dep; ///< Sparse engine only.
+  /// Pre-analysis flavor (Section 3.2's framework instances: the paper's
+  /// own precise pre-analysis, the semi-sparse instance, or the staged
+  /// pointer-only instance).
+  PreAnalysisKind Pre = PreAnalysisKind::Precise;
+  double TimeLimitSec = 0;
+  unsigned WideningDelay = 4;
+  unsigned NarrowingPasses = 0; ///< Dense engines only.
+};
+
+/// Everything one analyzer run produces, with per-phase timing (the
+/// Dep/Fix split of Tables 2 and 3).
+struct AnalysisRun {
+  PreAnalysisResult Pre;
+  DefUseInfo DU;
+  std::optional<DenseResult> Dense;   ///< Vanilla/Base engines.
+  std::optional<SparseGraph> Graph;   ///< Sparse engine.
+  std::optional<SparseResult> Sparse; ///< Sparse engine.
+
+  double PreSeconds = 0;
+  double DefUseSeconds = 0;
+  /// Dependency-generation time (pre-analysis + def/use + graph build),
+  /// the paper's Dep column.
+  double depSeconds() const;
+  /// Main fixpoint time, the paper's Fix column.
+  double fixSeconds() const;
+  double totalSeconds() const { return depSeconds() + fixSeconds(); }
+  bool timedOut() const;
+};
+
+AnalysisRun analyzeProgram(const Program &Prog, const AnalyzerOptions &Opts);
+
+} // namespace spa
+
+#endif // SPA_CORE_ANALYZER_H

@@ -1,0 +1,58 @@
+//===- Checker.h - Buffer-overrun checker ----------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzer client SPARROW exists for: static detection of buffer
+/// overruns.  Every dereference (load or store) is checked against the
+/// pointer's (offset, size) array tuple; an access is proven safe when
+/// 0 ≤ offset and offset < size hold for the whole abstract value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CORE_CHECKER_H
+#define SPA_CORE_CHECKER_H
+
+#include "core/Analyzer.h"
+
+#include <string>
+#include <vector>
+
+namespace spa {
+
+/// One checked dereference.
+struct AccessCheck {
+  PointId P;       ///< The dereferencing point.
+  LocId Ptr;       ///< The pointer variable.
+  Interval Offset; ///< Abstract offset at the access.
+  Interval Size;   ///< Abstract block size at the access.
+  bool IsStore = false;
+  /// Verdicts: Safe (proved in bounds), Alarm (may be out of bounds),
+  /// DefiniteOverrun (every concretization is out of bounds).
+  enum class Verdict { Safe, Alarm, DefiniteOverrun } Result;
+
+  std::string str(const Program &Prog) const;
+};
+
+struct CheckerSummary {
+  std::vector<AccessCheck> Checks;
+  unsigned numSafe() const;
+  unsigned numAlarms() const; ///< Alarm + DefiniteOverrun.
+};
+
+/// Checks every dereference in \p Prog against the states of \p Run
+/// (which must be a Sparse run built with bypass disabled, so the
+/// pointer operands are present in the nodes' input buffers; the facade
+/// below handles that).
+CheckerSummary checkBufferOverruns(const Program &Prog,
+                                   const AnalysisRun &Run);
+
+/// Convenience: run the sparse analysis configured for checking and
+/// report.
+CheckerSummary analyzeAndCheck(const Program &Prog);
+
+} // namespace spa
+
+#endif // SPA_CORE_CHECKER_H

@@ -1,0 +1,192 @@
+//===- DefUse.cpp - Approximated definition and use sets -----------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DefUse.h"
+
+#include <algorithm>
+
+using namespace spa;
+
+static void sortUnique(std::vector<LocId> &V) {
+  std::sort(V.begin(), V.end());
+  V.erase(std::unique(V.begin(), V.end()), V.end());
+}
+
+static void appendAll(std::vector<LocId> &Out, const std::vector<LocId> &In) {
+  Out.insert(Out.end(), In.begin(), In.end());
+}
+
+/// Union of sorted vectors into \p Acc (sorted, deduplicated).  The
+/// summary folding unions a few large pre-sorted access sets per call
+/// point; merging beats concatenate-and-sort by a log factor there.
+static void mergeSorted(std::vector<LocId> &Acc,
+                        const std::vector<LocId> &In) {
+  if (In.empty())
+    return;
+  if (Acc.empty()) {
+    Acc = In;
+    return;
+  }
+  std::vector<LocId> Out;
+  Out.reserve(Acc.size() + In.size());
+  std::set_union(Acc.begin(), Acc.end(), In.begin(), In.end(),
+                 std::back_inserter(Out));
+  Acc = std::move(Out);
+}
+
+double DefUseInfo::avgDefSize() const {
+  if (NodeDefs.empty())
+    return 0;
+  size_t Total = 0;
+  for (const auto &D : NodeDefs)
+    Total += D.size();
+  return static_cast<double>(Total) / static_cast<double>(NodeDefs.size());
+}
+
+double DefUseInfo::avgUseSize() const {
+  if (NodeUses.empty())
+    return 0;
+  size_t Total = 0;
+  for (const auto &U : NodeUses)
+    Total += U.size();
+  return static_cast<double>(Total) / static_cast<double>(NodeUses.size());
+}
+
+double DefUseInfo::avgSemanticDefSize() const {
+  if (Defs.empty())
+    return 0;
+  size_t Total = 0;
+  for (const auto &D : Defs)
+    Total += D.size();
+  return static_cast<double>(Total) / static_cast<double>(Defs.size());
+}
+
+double DefUseInfo::avgSemanticUseSize() const {
+  if (Uses.empty())
+    return 0;
+  size_t Total = 0;
+  for (const auto &U : Uses)
+    Total += U.size();
+  return static_cast<double>(Total) / static_cast<double>(Uses.size());
+}
+
+bool DefUseInfo::isSemanticDef(PointId P, LocId L) const {
+  const auto &D = Defs[P.value()];
+  return std::binary_search(D.begin(), D.end(), L);
+}
+
+bool DefUseInfo::isSemanticUse(PointId P, LocId L) const {
+  const auto &U = Uses[P.value()];
+  return std::binary_search(U.begin(), U.end(), L);
+}
+
+DefUseInfo spa::computeDefUse(const Program &Prog,
+                              const PreAnalysisResult &Pre) {
+  DefUseInfo Info;
+  size_t N = Prog.numPoints();
+  Info.Defs.resize(N);
+  Info.Uses.resize(N);
+
+  // Step 1: semantic per-point sets against T̂pre (Section 3.2).
+  for (uint32_t P = 0; P < N; ++P) {
+    collectDefs(Prog, &Pre.CG, PointId(P), Pre.state(), Info.Defs[P]);
+    collectUses(Prog, &Pre.CG, PointId(P), Pre.state(), Info.Uses[P]);
+    sortUnique(Info.Defs[P]);
+    sortUnique(Info.Uses[P]);
+  }
+
+  foldInterproceduralSummaries(Prog, Pre.CG, Info);
+  return Info;
+}
+
+void spa::foldInterproceduralSummaries(const Program &Prog,
+                                       const CallGraphInfo &CG,
+                                       DefUseInfo &Info) {
+  size_t N = Prog.numPoints();
+  // Step 2: per-function transitive access sets.  Callgraph SCCs are
+  // processed in reverse topological order (Tarjan emission order), so
+  // each SCC unions its members' local sets with the already-final sets
+  // of out-of-SCC callees in a single pass; members of one SCC share the
+  // same result.
+  size_t NF = Prog.numFuncs();
+  Info.AccessDefs.resize(NF);
+  Info.AccessUses.resize(NF);
+  for (const std::vector<FuncId> &Members : CG.sccMembersInOrder()) {
+    std::vector<LocId> Defs, Uses;
+    uint32_t Scc = Members.empty() ? 0 : CG.sccOf(Members.front());
+    for (FuncId F : Members) {
+      for (PointId P : Prog.function(F).Points) {
+        appendAll(Defs, Info.Defs[P.value()]);
+        appendAll(Uses, Info.Uses[P.value()]);
+        if (Prog.point(P).Cmd.Kind != CmdKind::Call)
+          continue;
+        for (FuncId G : CG.callees(P)) {
+          if (CG.sccOf(G) == Scc)
+            continue; // Same component: covered by the shared result.
+          appendAll(Defs, Info.AccessDefs[G.value()]);
+          appendAll(Uses, Info.AccessUses[G.value()]);
+        }
+      }
+    }
+    sortUnique(Defs);
+    sortUnique(Uses);
+    for (FuncId F : Members) {
+      Info.AccessDefs[F.value()] = Defs;
+      Info.AccessUses[F.value()] = Uses;
+    }
+  }
+
+  // Step 3: node-level sets with interprocedural summaries (Section 5).
+  // The per-point sets are already sorted; summaries merge in sorted.
+  Info.NodeDefs = Info.Defs;
+  Info.NodeUses = Info.Uses;
+  for (uint32_t P = 0; P < N; ++P) {
+    const Command &Cmd = Prog.point(PointId(P)).Cmd;
+    switch (Cmd.Kind) {
+    case CmdKind::Entry: {
+      // Entry redistributes everything its function (transitively) uses
+      // *or may define*: a may-defined location needs its caller-side
+      // value on the paths that do not define it, so it must flow in.
+      uint32_t F = Prog.point(PointId(P)).Func.value();
+      mergeSorted(Info.NodeDefs[P], Info.AccessUses[F]);
+      mergeSorted(Info.NodeDefs[P], Info.AccessDefs[F]);
+      Info.NodeUses[P] = Info.NodeDefs[P];
+      break;
+    }
+    case CmdKind::Exit: {
+      // Exit collects everything its function (transitively) defines.
+      uint32_t F = Prog.point(PointId(P)).Func.value();
+      mergeSorted(Info.NodeDefs[P], Info.AccessDefs[F]);
+      mergeSorted(Info.NodeUses[P], Info.AccessDefs[F]);
+      break;
+    }
+    case CmdKind::Call: {
+      // A call defines and uses whatever its callees access (Section 5):
+      // caller-side values route through the call point into the callee
+      // entries, including values of locations the callee only *may*
+      // define.
+      for (FuncId G : CG.callees(PointId(P))) {
+        mergeSorted(Info.NodeDefs[P], Info.AccessUses[G.value()]);
+        mergeSorted(Info.NodeDefs[P], Info.AccessDefs[G.value()]);
+        mergeSorted(Info.NodeUses[P], Info.AccessUses[G.value()]);
+        mergeSorted(Info.NodeUses[P], Info.AccessDefs[G.value()]);
+      }
+      break;
+    }
+    case CmdKind::Return: {
+      // A return point defines whatever the callees define: callee-side
+      // values route through it back into the caller.
+      for (FuncId G : CG.callees(Cmd.Pair)) {
+        mergeSorted(Info.NodeDefs[P], Info.AccessDefs[G.value()]);
+        mergeSorted(Info.NodeUses[P], Info.AccessDefs[G.value()]);
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}

@@ -1,0 +1,79 @@
+//===- DefUse.h - Approximated definition and use sets -------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The safe approximations D̂(c) and Û(c) (Definition 5) derived from the
+/// pre-analysis invariant, plus the interprocedural summaries of Section 5:
+/// per-function accessed-definition / accessed-use sets (transitive over
+/// the callgraph) and the node-level def/use sets the per-procedure
+/// dependency builder works with, where
+///
+///   * a call point defines/uses everything its callees access (values
+///     route caller -> callee entry through the call point),
+///   * a return point defines everything its callees define (values route
+///     callee exit -> caller through the return point),
+///   * a function entry defines, and its exit uses, the function's
+///     accessed locations.
+///
+/// The same sets drive the access-based localization of the Base engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CORE_DEFUSE_H
+#define SPA_CORE_DEFUSE_H
+
+#include "core/PreAnalysis.h"
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace spa {
+
+/// Sorted, deduplicated def/use information for one program.
+struct DefUseInfo {
+  /// Semantic D̂(c)/Û(c) per point, without interprocedural summaries
+  /// (Section 3.2's recipe applied to T̂pre).
+  std::vector<std::vector<LocId>> Defs, Uses;
+
+  /// Per-function transitive accessed sets:
+  /// AccessDefs(f) = ∪ local defs of f ∪ AccessDefs(callees),
+  /// AccessUses(f) likewise.
+  std::vector<std::vector<LocId>> AccessDefs, AccessUses;
+
+  /// Node-level sets with the interprocedural summaries folded in; this
+  /// is what the dependency builder and the sparse engine see.
+  std::vector<std::vector<LocId>> NodeDefs, NodeUses;
+
+  /// Average |D̂(c)| and |Û(c)| over all points measured on the
+  /// node-level sets (with interprocedural summaries folded in).
+  double avgDefSize() const;
+  double avgUseSize() const;
+
+  /// Average |D̂(c)| and |Û(c)| over the *semantic* per-point sets
+  /// (Section 3.2's definition, what Tables 2 and 3 report).
+  double avgSemanticDefSize() const;
+  double avgSemanticUseSize() const;
+
+  /// True if \p L is a *semantic* def at \p P (present in Defs, not only
+  /// a summary/passthrough def).  Bypass contraction keys on this.
+  bool isSemanticDef(PointId P, LocId L) const;
+  bool isSemanticUse(PointId P, LocId L) const;
+};
+
+/// Computes all def/use structures from the pre-analysis result.
+DefUseInfo computeDefUse(const Program &Prog, const PreAnalysisResult &Pre);
+
+/// Completes \p Info from its per-point Defs/Uses: computes the
+/// per-function transitive access sets and the node-level sets with the
+/// Section 5 call/entry/exit summaries.  Shared by the non-relational
+/// analysis (location space) and the relational analysis (pack space —
+/// the "location" ids are then pack ids).
+void foldInterproceduralSummaries(const Program &Prog,
+                                  const CallGraphInfo &CG, DefUseInfo &Info);
+
+} // namespace spa
+
+#endif // SPA_CORE_DEFUSE_H

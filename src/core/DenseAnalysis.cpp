@@ -1,0 +1,164 @@
+//===- DenseAnalysis.cpp - Dense fixpoint engines ------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DenseAnalysis.h"
+
+#include "support/Resource.h"
+#include "support/WorkList.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spa;
+
+namespace {
+
+/// Shared machinery of the Vanilla and Base engines.
+class DenseEngine {
+public:
+  DenseEngine(const Program &Prog, const CallGraphInfo &CG,
+              const DefUseInfo *DU, const DenseOptions &Opts)
+      : Prog(Prog), CG(CG), DU(DU), Opts(Opts) {
+    assert((!Opts.Localize || DU) &&
+           "localization needs per-function access sets");
+    if (Opts.Localize)
+      buildAccessSets();
+  }
+
+  DenseResult run() {
+    DenseResult R;
+    size_t N = Prog.numPoints();
+    R.Post.resize(N);
+
+    std::vector<uint32_t> Rpo = computeSuperRpo(Prog, CG);
+    std::vector<bool> Widen =
+        computeWideningPoints(Prog, CG, /*IncludeCallToReturn=*/Opts.Localize);
+    std::vector<uint32_t> ChangeCount(N, 0);
+    WorkList WL(std::move(Rpo));
+    // The paper's fixpoint applies F̂ at every control point, so seed the
+    // whole program, not just the start point.
+    for (uint32_t P = 0; P < N; ++P)
+      WL.push(P);
+
+    Timer Clock;
+    while (!WL.empty()) {
+      if (Opts.TimeLimitSec > 0 && (R.Visits & 1023) == 0 &&
+          Clock.seconds() > Opts.TimeLimitSec) {
+        R.TimedOut = true;
+        break;
+      }
+      PointId C(WL.pop());
+      ++R.Visits;
+
+      AbsState Out = computeInput(R.Post, C);
+      applyCommand(Prog, &CG, C, Out, Opts.Sem);
+
+      bool DoWiden = Widen[C.value()] &&
+                     ChangeCount[C.value()] >= Opts.WideningDelay;
+      bool Changed = DoWiden ? R.Post[C.value()].widenWith(Out)
+                             : R.Post[C.value()].joinWith(Out);
+      if (!Changed)
+        continue;
+      ++ChangeCount[C.value()];
+      CG.forEachSuperSucc(Prog, C, [&](PointId S) { WL.push(S.value()); });
+      // Under localization the return site also consumes the call point's
+      // state (the bypassed part), an extra dependency edge.
+      if (Opts.Localize && Prog.point(C).Cmd.Kind == CmdKind::Call)
+        WL.push(Prog.point(C).Cmd.Pair.value());
+    }
+
+    for (unsigned Pass = 0; Pass < Opts.NarrowingPasses && !R.TimedOut;
+         ++Pass) {
+      bool Changed = false;
+      for (uint32_t P = 0; P < N; ++P) {
+        AbsState Out = computeInput(R.Post, PointId(P));
+        applyCommand(Prog, &CG, PointId(P), Out, Opts.Sem);
+        Changed |= R.Post[P].narrowWith(Out);
+      }
+      if (!Changed)
+        break;
+    }
+
+    for (const AbsState &S : R.Post)
+      R.StateEntries += S.size();
+    R.Seconds = Clock.seconds();
+    return R;
+  }
+
+private:
+  /// Union of AccessDefs and AccessUses per function, sorted.
+  void buildAccessSets() {
+    Access.resize(Prog.numFuncs());
+    for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
+      Access[F] = DU->AccessDefs[F];
+      Access[F].insert(Access[F].end(), DU->AccessUses[F].begin(),
+                       DU->AccessUses[F].end());
+      std::sort(Access[F].begin(), Access[F].end());
+      Access[F].erase(std::unique(Access[F].begin(), Access[F].end()),
+                      Access[F].end());
+    }
+  }
+
+  bool inAccess(FuncId F, LocId L) const {
+    const auto &A = Access[F.value()];
+    return std::binary_search(A.begin(), A.end(), L);
+  }
+
+  AbsState computeInput(const std::vector<AbsState> &Post, PointId C) const {
+    const Command &Cmd = Prog.point(C).Cmd;
+    AbsState In;
+    if (Opts.Localize && Cmd.Kind == CmdKind::Entry) {
+      // Callers pass only the accessed part of their state.
+      FuncId F = Prog.point(C).Func;
+      for (PointId Site : CG.callSitesOf(F))
+        In.joinWith(Post[Site.value()].filtered(
+            [&](LocId L) { return inAccess(F, L); }));
+      return In;
+    }
+    if (Opts.Localize && Cmd.Kind == CmdKind::Return) {
+      const std::vector<FuncId> &Cs = CG.callees(Cmd.Pair);
+      if (!Cs.empty()) {
+        // Accessed part from the callee exits; the rest bypasses the call.
+        for (FuncId G : Cs)
+          In.joinWith(Post[Prog.function(G).Exit.value()].filtered(
+              [&](LocId L) { return inAccess(G, L); }));
+        In.joinWith(Post[Cmd.Pair.value()].filtered([&](LocId L) {
+          for (FuncId G : Cs)
+            if (inAccess(G, L))
+              return false;
+          return true;
+        }));
+        return In;
+      }
+    }
+    CG.forEachSuperPred(Prog, C,
+                        [&](PointId P) { In.joinWith(Post[P.value()]); });
+    return In;
+  }
+
+  const Program &Prog;
+  const CallGraphInfo &CG;
+  const DefUseInfo *DU;
+  const DenseOptions &Opts;
+  std::vector<std::vector<LocId>> Access;
+};
+
+} // namespace
+
+AbsState DenseResult::inputOf(const Program &Prog, const CallGraphInfo &CG,
+                              PointId P) const {
+  AbsState In;
+  CG.forEachSuperPred(Prog, P,
+                      [&](PointId Q) { In.joinWith(Post[Q.value()]); });
+  return In;
+}
+
+DenseResult spa::runDenseAnalysis(const Program &Prog,
+                                  const CallGraphInfo &CG,
+                                  const DefUseInfo *DU,
+                                  const DenseOptions &Opts) {
+  return DenseEngine(Prog, CG, DU, Opts).run();
+}

@@ -1,0 +1,580 @@
+//===- DepBuilder.cpp - Data-dependency generation -----------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DepBuilder.h"
+
+#include "core/BddDepStorage.h"
+#include "ir/Dominators.h"
+#include "support/Resource.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace spa;
+
+namespace {
+
+struct RawEdge {
+  uint32_t Src;
+  LocId L;
+  uint32_t Dst;
+  friend bool operator<(const RawEdge &A, const RawEdge &B) {
+    if (A.Src != B.Src)
+      return A.Src < B.Src;
+    if (A.L != B.L)
+      return A.L < B.L;
+    return A.Dst < B.Dst;
+  }
+  friend bool operator==(const RawEdge &A, const RawEdge &B) {
+    return A.Src == B.Src && A.L == B.L && A.Dst == B.Dst;
+  }
+};
+
+class Builder {
+public:
+  Builder(const Program &Prog, const CallGraphInfo &CG, const DefUseInfo &DU,
+          const DepOptions &Opts)
+      : Prog(Prog), CG(CG), DU(DU), Opts(Opts) {}
+
+  SparseGraph run() {
+    Timer Clock;
+    // Pack-space construction (NumLocsOverride) reinterprets "location"
+    // ids; the kill analysis of the def-use-chain mode and the
+    // supergraph reaching-defs mode still read per-location program
+    // metadata, so they only support the location space.
+    assert((Opts.NumLocsOverride == 0 ||
+            Opts.Kind == DepBuilderKind::Ssa ||
+            Opts.Kind == DepBuilderKind::ReachingDefs) &&
+           "pack-space graphs support the Ssa/ReachingDefs builders only");
+    Graph.NumPoints = static_cast<uint32_t>(Prog.numPoints());
+    Graph.NodeDefs = DU.NodeDefs;
+    Graph.NodeUses = DU.NodeUses;
+
+    switch (Opts.Kind) {
+    case DepBuilderKind::Ssa:
+      for (uint32_t F = 0; F < Prog.numFuncs(); ++F)
+        buildSsaForFunction(FuncId(F));
+      addInterProcEdges();
+      break;
+    case DepBuilderKind::ReachingDefs:
+    case DepBuilderKind::DefUseChains:
+      for (uint32_t F = 0; F < Prog.numFuncs(); ++F)
+        buildRdForFunction(FuncId(F),
+                           Opts.Kind == DepBuilderKind::DefUseChains);
+      addInterProcEdges();
+      break;
+    case DepBuilderKind::WholeProgram:
+      buildWholeProgram();
+      break;
+    }
+
+    std::sort(EdgeList.begin(), EdgeList.end());
+    EdgeList.erase(std::unique(EdgeList.begin(), EdgeList.end()),
+                   EdgeList.end());
+    Graph.EdgesBeforeBypass = EdgeList.size();
+
+    if (Opts.Bypass && Opts.Kind != DepBuilderKind::WholeProgram)
+      runBypass();
+
+    uint32_t NumNodes = static_cast<uint32_t>(Graph.numNodes());
+    uint32_t NumLocs = Opts.NumLocsOverride
+                           ? Opts.NumLocsOverride
+                           : static_cast<uint32_t>(Prog.numLocs());
+    if (Opts.UseBdd)
+      Graph.Edges = std::make_unique<BddDepStorage>(NumNodes, NumLocs);
+    else
+      Graph.Edges = std::make_unique<SetDepStorage>(NumNodes);
+    for (const RawEdge &E : EdgeList)
+      Graph.Edges->add(E.Src, E.L, E.Dst);
+
+    Graph.BuildSeconds = Clock.seconds();
+    return std::move(Graph);
+  }
+
+private:
+  void addEdge(uint32_t Src, LocId L, uint32_t Dst) {
+    EdgeList.push_back(RawEdge{Src, L, Dst});
+  }
+
+  /// Use set of \p P for *local* (intra-procedural) linking.  At a Return
+  /// point, every location the callees may define is fed exclusively by
+  /// the callee-exit inter-edge — linking it to caller-side definitions
+  /// would join stale pre-call values over the callee's results.
+  std::vector<LocId> localUses(uint32_t P) const {
+    const Command &Cmd = Prog.point(PointId(P)).Cmd;
+    if (Cmd.Kind != CmdKind::Return)
+      return Graph.NodeUses[P];
+    std::vector<LocId> Result;
+    for (LocId L : DU.Uses[P]) {
+      bool DefinedByCallee = false;
+      for (FuncId G : CG.callees(Cmd.Pair)) {
+        const auto &AD = DU.AccessDefs[G.value()];
+        if (std::binary_search(AD.begin(), AD.end(), L)) {
+          DefinedByCallee = true;
+          break;
+        }
+      }
+      if (!DefinedByCallee)
+        Result.push_back(L);
+    }
+    return Result;
+  }
+
+  //===------------------------------------------------------------------===//
+  // SSA-based construction
+  //===------------------------------------------------------------------===//
+
+  /// Flat per-location renaming stacks, shared across functions (they
+  /// are empty again after each function's undo-log unwinds).  Hashing
+  /// here would dominate construction time on summary-heavy programs.
+  std::vector<std::vector<uint32_t>> CurDefStacks;
+  std::vector<std::vector<uint32_t>> DefPointsByLoc;
+  std::vector<uint32_t> TouchedLocs;
+
+  void ensureLocCapacity(size_t NumIds) {
+    if (CurDefStacks.size() < NumIds) {
+      CurDefStacks.resize(NumIds);
+      DefPointsByLoc.resize(NumIds);
+    }
+  }
+
+  void buildSsaForFunction(FuncId F) {
+    const FunctionInfo &Info = Prog.function(F);
+    Dominators Dom(Prog, F);
+    uint32_t Base = Info.Points.front().value();
+    size_t N = Info.Points.size();
+
+    // Definition points per location (local offsets), in flat arrays.
+    TouchedLocs.clear();
+    for (PointId P : Info.Points) {
+      for (LocId L : Graph.NodeDefs[P.value()]) {
+        ensureLocCapacity(L.value() + 1);
+        if (DefPointsByLoc[L.value()].empty())
+          TouchedLocs.push_back(L.value());
+        DefPointsByLoc[L.value()].push_back(P.value() - Base);
+      }
+    }
+
+    // Phi placement at iterated dominance frontiers.
+    // PhiAt[local point] = list of (loc, phi node id).
+    std::vector<std::vector<std::pair<LocId, uint32_t>>> PhiAt(N);
+    for (uint32_t LRaw : TouchedLocs) {
+      LocId L(LRaw);
+      std::vector<uint32_t> &Defs = DefPointsByLoc[LRaw];
+      // A location whose only definition is the entry needs no phis: the
+      // entry dominates every use.  The interprocedural entry summaries
+      // put most locations of call-heavy functions in this class, so
+      // this prune is what keeps SSA construction near-linear.  (A single
+      // non-entry definition still needs phis: it may reach uses it does
+      // not dominate, through joins.)
+      if (Defs.size() == 1 && PointId(Base + Defs[0]) == Info.Entry)
+        continue;
+      std::vector<uint32_t> Work = Defs;
+      std::vector<bool> HasPhi(N, false);
+      while (!Work.empty()) {
+        uint32_t D = Work.back();
+        Work.pop_back();
+        for (PointId J : Dom.frontier(PointId(Base + D))) {
+          uint32_t JL = J.value() - Base;
+          if (HasPhi[JL])
+            continue;
+          HasPhi[JL] = true;
+          uint32_t Node = static_cast<uint32_t>(Graph.numNodes());
+          Graph.Phis.push_back(PhiNode{J, L});
+          Graph.NodeDefs.push_back({L});
+          Graph.NodeUses.push_back({L});
+          PhiAt[JL].push_back({L, Node});
+          Work.push_back(JL); // A phi is itself a definition.
+        }
+      }
+    }
+
+    // Renaming: explicit-stack preorder walk of the dominator tree with
+    // flat per-location current-definition stacks and an undo log.
+    // Phi placement may have referenced new locations; cover them too.
+    ensureLocCapacity(CurDefStacks.size());
+    auto Push = [&](LocId L, uint32_t Node) {
+      ensureLocCapacity(L.value() + 1);
+      CurDefStacks[L.value()].push_back(Node);
+    };
+    auto Top = [&](LocId L) -> uint32_t {
+      if (L.value() >= CurDefStacks.size() ||
+          CurDefStacks[L.value()].empty())
+        return UINT32_MAX;
+      return CurDefStacks[L.value()].back();
+    };
+
+    struct Frame {
+      PointId P;
+      size_t NextChild = 0;
+      uint32_t Pushes = 0;
+    };
+    std::vector<Frame> Stack;
+    std::vector<LocId> UndoLog;
+
+    auto EnterNode = [&](PointId P) {
+      Frame Fr;
+      Fr.P = P;
+      uint32_t PL = P.value() - Base;
+      // Phi definitions precede the point's own command.
+      for (auto &[L, PhiNd] : PhiAt[PL]) {
+        Push(L, PhiNd);
+        UndoLog.push_back(L);
+        ++Fr.Pushes;
+      }
+      // Uses read the incoming values.
+      for (LocId L : localUses(P.value())) {
+        uint32_t Def = Top(L);
+        if (Def != UINT32_MAX)
+          addEdge(Def, L, P.value());
+      }
+      // Then the point's definitions become current.
+      for (LocId L : Graph.NodeDefs[P.value()]) {
+        Push(L, P.value());
+        UndoLog.push_back(L);
+        ++Fr.Pushes;
+      }
+      // Feed phi operands of CFG successors.
+      for (PointId S : Prog.succs(P)) {
+        for (auto &[L, PhiNd] : PhiAt[S.value() - Base]) {
+          uint32_t Def = Top(L);
+          if (Def != UINT32_MAX)
+            addEdge(Def, L, PhiNd);
+        }
+      }
+      Stack.push_back(Fr);
+    };
+
+    EnterNode(Info.Entry);
+    while (!Stack.empty()) {
+      Frame &Fr = Stack.back();
+      const auto &Kids = Dom.children(Fr.P);
+      if (Fr.NextChild < Kids.size()) {
+        EnterNode(Kids[Fr.NextChild++]);
+        continue;
+      }
+      for (uint32_t I = 0; I < Fr.Pushes; ++I) {
+        CurDefStacks[UndoLog.back().value()].pop_back();
+        UndoLog.pop_back();
+      }
+      Stack.pop_back();
+    }
+
+    // Reset the shared def-point arrays for the next function.
+    for (uint32_t LRaw : TouchedLocs)
+      DefPointsByLoc[LRaw].clear();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Reaching-definitions construction (per procedure)
+  //===------------------------------------------------------------------===//
+
+  /// True if the command at \p P kills *every* prior value of \p L along
+  /// all executions (the Dalways of Section 2.8).
+  bool alwaysKills(PointId P, LocId L) const {
+    const Command &Cmd = Prog.point(P).Cmd;
+    switch (Cmd.Kind) {
+    case CmdKind::Assign:
+    case CmdKind::RetStmt:
+      return Cmd.Target == L;
+    case CmdKind::Return:
+      return Cmd.Target.isValid() && Cmd.Target == L;
+    case CmdKind::Store: {
+      const auto &D = DU.Defs[P.value()];
+      return D.size() == 1 && D[0] == L && !Prog.loc(L).isSummary();
+    }
+    default:
+      return false;
+    }
+  }
+
+  void buildRdForFunction(FuncId F, bool DefUseChainMode) {
+    const FunctionInfo &Info = Prog.function(F);
+    uint32_t Base = Info.Points.front().value();
+    size_t N = Info.Points.size();
+
+    // Gather per-location def and use point lists.
+    std::unordered_map<uint32_t, std::vector<uint32_t>> DefsOf, UsesOf;
+    for (PointId P : Info.Points) {
+      for (LocId L : Graph.NodeDefs[P.value()])
+        DefsOf[L.value()].push_back(P.value() - Base);
+      for (LocId L : localUses(P.value()))
+        UsesOf[L.value()].push_back(P.value() - Base);
+    }
+
+    // Local RPO for iteration order.
+    Dominators Dom(Prog, F);
+
+    for (auto &[LRaw, Defs] : DefsOf) {
+      LocId L(LRaw);
+      auto UseIt = UsesOf.find(LRaw);
+      if (UseIt == UsesOf.end())
+        continue;
+
+      size_t ND = Defs.size();
+      size_t Words = (ND + 63) / 64;
+      std::vector<uint64_t> In(N * Words, 0), Out(N * Words, 0);
+      std::vector<int32_t> DefIndexAt(N, -1);
+      for (size_t I = 0; I < ND; ++I)
+        DefIndexAt[Defs[I]] = static_cast<int32_t>(I);
+
+      bool Changed = true;
+      while (Changed) {
+        Changed = false;
+        for (PointId P : Dom.rpo()) {
+          uint32_t PL = P.value() - Base;
+          uint64_t *InP = &In[PL * Words];
+          for (PointId Pred : Prog.preds(P)) {
+            const uint64_t *OutPred = &Out[(Pred.value() - Base) * Words];
+            for (size_t W = 0; W < Words; ++W)
+              InP[W] |= OutPred[W];
+          }
+          // Transfer: kill then gen.
+          uint64_t *OutP = &Out[PL * Words];
+          bool Kills = DefIndexAt[PL] >= 0 &&
+                       (!DefUseChainMode || alwaysKills(P, L));
+          for (size_t W = 0; W < Words; ++W) {
+            uint64_t NewOut = Kills ? 0 : InP[W];
+            if (DefIndexAt[PL] >= 0 &&
+                static_cast<size_t>(DefIndexAt[PL]) / 64 == W)
+              NewOut |= 1ULL << (DefIndexAt[PL] % 64);
+            if (NewOut != OutP[W]) {
+              OutP[W] = NewOut;
+              Changed = true;
+            }
+          }
+        }
+      }
+
+      // A use at point u links to every definition reaching u's input.
+      for (uint32_t U : UseIt->second) {
+        const uint64_t *InU = &In[U * Words];
+        for (size_t I = 0; I < ND; ++I)
+          if (InU[I / 64] & (1ULL << (I % 64)))
+            addEdge(Base + Defs[I], L, Base + U);
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Whole-supergraph construction (ablation)
+  //===------------------------------------------------------------------===//
+
+  /// Reaching definitions over the entire supergraph using the semantic
+  /// D̂/Û only (no call/entry summaries): Section 5's "natural extension"
+  /// whose spurious interprocedural dependencies do not scale.
+  void buildWholeProgram() {
+    size_t N = Prog.numPoints();
+    Graph.NodeDefs = DU.Defs;
+    Graph.NodeUses = DU.Uses;
+
+    std::unordered_map<uint32_t, std::vector<uint32_t>> DefsOf, UsesOf;
+    for (uint32_t P = 0; P < N; ++P) {
+      for (LocId L : DU.Defs[P])
+        DefsOf[L.value()].push_back(P);
+      for (LocId L : DU.Uses[P])
+        UsesOf[L.value()].push_back(P);
+    }
+
+    std::vector<uint32_t> Rpo = computeSuperRpo(Prog, CG);
+    std::vector<uint32_t> Order(N);
+    for (uint32_t P = 0; P < N; ++P)
+      Order[Rpo[P]] = P;
+
+    for (auto &[LRaw, Defs] : DefsOf) {
+      LocId L(LRaw);
+      auto UseIt = UsesOf.find(LRaw);
+      if (UseIt == UsesOf.end())
+        continue;
+
+      size_t ND = Defs.size();
+      size_t Words = (ND + 63) / 64;
+      std::vector<uint64_t> In(N * Words, 0), Out(N * Words, 0);
+      std::vector<int32_t> DefIndexAt(N, -1);
+      for (size_t I = 0; I < ND; ++I)
+        DefIndexAt[Defs[I]] = static_cast<int32_t>(I);
+
+      bool Changed = true;
+      while (Changed) {
+        Changed = false;
+        for (uint32_t P : Order) {
+          uint64_t *InP = &In[P * Words];
+          CG.forEachSuperPred(Prog, PointId(P), [&](PointId Pred) {
+            const uint64_t *OutPred = &Out[Pred.value() * Words];
+            for (size_t W = 0; W < Words; ++W)
+              InP[W] |= OutPred[W];
+          });
+          uint64_t *OutP = &Out[P * Words];
+          bool Kills = DefIndexAt[P] >= 0;
+          for (size_t W = 0; W < Words; ++W) {
+            uint64_t NewOut = Kills ? 0 : InP[W];
+            if (DefIndexAt[P] >= 0 &&
+                static_cast<size_t>(DefIndexAt[P]) / 64 == W)
+              NewOut |= 1ULL << (DefIndexAt[P] % 64);
+            if (NewOut != OutP[W]) {
+              OutP[W] = NewOut;
+              Changed = true;
+            }
+          }
+        }
+      }
+
+      for (uint32_t U : UseIt->second) {
+        const uint64_t *InU = &In[U * Words];
+        for (size_t I = 0; I < ND; ++I)
+          if (InU[I / 64] & (1ULL << (I % 64)))
+            addEdge(Defs[I], L, U);
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Interprocedural linking (per-procedure modes)
+  //===------------------------------------------------------------------===//
+
+  void addInterProcEdges() {
+    for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
+      const Command &Cmd = Prog.point(PointId(P)).Cmd;
+      if (Cmd.Kind != CmdKind::Call)
+        continue;
+      for (FuncId G : CG.callees(PointId(P))) {
+        const FunctionInfo &Callee = Prog.function(G);
+        // Values the callee uses or may define flow call site -> entry
+        // (may-defined locations need their pre-call value on the paths
+        // that do not define them).
+        for (LocId L : DU.AccessUses[G.value()])
+          addEdge(P, L, Callee.Entry.value());
+        for (LocId L : DU.AccessDefs[G.value()])
+          addEdge(P, L, Callee.Entry.value());
+        // Values defined by the callee flow exit -> return site.
+        for (LocId L : DU.AccessDefs[G.value()])
+          addEdge(Callee.Exit.value(), L, Cmd.Pair.value());
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Bypass optimization
+  //===------------------------------------------------------------------===//
+
+  /// True when node \p N neither semantically defines nor uses \p L, i.e.
+  /// its transfer is the identity on L (phi joins, entry/exit/call
+  /// plumbing): the contraction precondition of Section 5.
+  bool isPseudoOccurrence(uint32_t N, LocId L) const {
+    if (Graph.isPhi(N))
+      return true;
+    return !DU.isSemanticDef(PointId(N), L) &&
+           !DU.isSemanticUse(PointId(N), L);
+  }
+
+  void runBypass() {
+    // Index edges by (node, loc) packed into one 64-bit key.
+    auto Key = [](uint32_t N, LocId L) {
+      return (static_cast<uint64_t>(N) << 32) | L.value();
+    };
+    struct NodeLocEdges {
+      std::vector<uint32_t> In, Out;
+    };
+    std::unordered_map<uint64_t, NodeLocEdges> Index;
+    for (const RawEdge &E : EdgeList) {
+      Index[Key(E.Dst, E.L)].In.push_back(E.Src);
+      Index[Key(E.Src, E.L)].Out.push_back(E.Dst);
+    }
+    auto SortUnique = [](std::vector<uint32_t> &V) {
+      std::sort(V.begin(), V.end());
+      V.erase(std::unique(V.begin(), V.end()), V.end());
+    };
+    for (auto &[K, E] : Index) {
+      SortUnique(E.In);
+      SortUnique(E.Out);
+    }
+    auto EraseFrom = [](std::vector<uint32_t> &V, uint32_t X) {
+      auto It = std::lower_bound(V.begin(), V.end(), X);
+      if (It != V.end() && *It == X)
+        V.erase(It);
+    };
+    auto InsertInto = [](std::vector<uint32_t> &V, uint32_t X) {
+      auto It = std::lower_bound(V.begin(), V.end(), X);
+      if (It == V.end() || *It != X)
+        V.insert(It, X);
+    };
+
+    uint64_t Before = EdgeList.size();
+    std::vector<std::pair<uint32_t, LocId>> Work;
+    for (auto &[K, E] : Index)
+      Work.push_back({static_cast<uint32_t>(K >> 32),
+                      LocId(static_cast<uint32_t>(K & 0xffffffffu))});
+
+    while (!Work.empty()) {
+      auto [N, L] = Work.back();
+      Work.pop_back();
+      if (!isPseudoOccurrence(N, L))
+        continue;
+      auto It = Index.find(Key(N, L));
+      if (It == Index.end())
+        continue;
+      NodeLocEdges &E = It->second;
+      size_t InN = E.In.size(), OutN = E.Out.size();
+      if (InN == 0 && OutN == 0)
+        continue;
+      // Contract only when rewiring does not grow the edge count.  A
+      // dangling side (no producers or no consumers) always contracts.
+      bool Shrinks = InN == 0 || OutN == 0 || InN * OutN <= InN + OutN;
+      if (!Shrinks)
+        continue;
+      std::vector<uint32_t> Ins = E.In, Outs = E.Out;
+      // Detach N for L.
+      for (uint32_t S : Ins) {
+        EraseFrom(Index[Key(S, L)].Out, N);
+        Work.push_back({S, L});
+      }
+      for (uint32_t D : Outs) {
+        EraseFrom(Index[Key(D, L)].In, N);
+        Work.push_back({D, L});
+      }
+      E.In.clear();
+      E.Out.clear();
+      // Rewire around it.
+      for (uint32_t S : Ins) {
+        for (uint32_t D : Outs) {
+          if (S == N || D == N)
+            continue;
+          InsertInto(Index[Key(S, L)].Out, D);
+          InsertInto(Index[Key(D, L)].In, S);
+        }
+      }
+    }
+
+    EdgeList.clear();
+    for (auto &[K, E] : Index) {
+      uint32_t Src = static_cast<uint32_t>(K >> 32);
+      LocId L(static_cast<uint32_t>(K & 0xffffffffu));
+      for (uint32_t Dst : E.Out)
+        EdgeList.push_back(RawEdge{Src, L, Dst});
+    }
+    std::sort(EdgeList.begin(), EdgeList.end());
+    EdgeList.erase(std::unique(EdgeList.begin(), EdgeList.end()),
+                   EdgeList.end());
+    Graph.BypassRemoved =
+        Before > EdgeList.size() ? Before - EdgeList.size() : 0;
+  }
+
+  const Program &Prog;
+  const CallGraphInfo &CG;
+  const DefUseInfo &DU;
+  const DepOptions &Opts;
+  SparseGraph Graph;
+  std::vector<RawEdge> EdgeList;
+};
+
+} // namespace
+
+SparseGraph spa::buildDepGraph(const Program &Prog, const CallGraphInfo &CG,
+                               const DefUseInfo &DU, const DepOptions &Opts) {
+  return Builder(Prog, CG, DU, Opts).run();
+}

@@ -1,0 +1,63 @@
+//===- DepBuilder.h - Data-dependency generation -------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the data-dependency graph (Section 5, "Generation of Data
+/// Dependencies"):
+///
+///  * Ssa — per-procedure SSA construction (iterated dominance frontiers
+///    + renaming) with D̂/Û as multi-location def/use sets; the default
+///    and the paper's choice ("we use SSA generation because it is fast
+///    and reduces the size of def-use chains");
+///  * ReachingDefs — per-procedure per-location reaching definitions;
+///    same dependencies as Ssa but phi-free (more edges), kept for
+///    cross-validation and bench/ablation_ssa;
+///  * DefUseChains — conventional def-use chains (kills only at
+///    always-kill points, Section 2.8): deliberately *loses precision*,
+///    reproduced to demonstrate Examples 4 and 5;
+///  * WholeProgram — reaching definitions over the whole supergraph with
+///    no per-procedure call summaries: the "natural extension" Section 5
+///    reports as unscalably spurious (bench/ablation_interproc).
+///
+/// All builders can post-process with the bypass optimization: contract
+/// a ⇝l b ⇝l c to a ⇝l c when b neither semantically defines nor uses l
+/// (entries, exits, call plumbing, single-input phis).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CORE_DEPBUILDER_H
+#define SPA_CORE_DEPBUILDER_H
+
+#include "core/DefUse.h"
+#include "core/DepGraph.h"
+#include "ir/CallGraphInfo.h"
+#include "ir/Program.h"
+
+namespace spa {
+
+enum class DepBuilderKind { Ssa, ReachingDefs, DefUseChains, WholeProgram };
+
+struct DepOptions {
+  DepBuilderKind Kind = DepBuilderKind::Ssa;
+  /// Apply the bypass contraction until convergence (with an edge-growth
+  /// guard: a (node, location) pair is only contracted when rewiring does
+  /// not increase the edge count).
+  bool Bypass = true;
+  /// Store the final relation in a BDD instead of adjacency vectors.
+  bool UseBdd = false;
+  /// Size of the "location" id space when it is not Program::numLocs()
+  /// (the relational analysis passes its pack count; 0 = use numLocs).
+  uint32_t NumLocsOverride = 0;
+};
+
+/// Builds the dependency graph for \p Prog under the resolved callgraph
+/// and def/use approximations.
+SparseGraph buildDepGraph(const Program &Prog, const CallGraphInfo &CG,
+                          const DefUseInfo &DU, const DepOptions &Opts);
+
+} // namespace spa
+
+#endif // SPA_CORE_DEPBUILDER_H

@@ -1,0 +1,35 @@
+//===- DepGraph.cpp - Data-dependency graph storage ----------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DepGraph.h"
+
+#include <algorithm>
+
+using namespace spa;
+
+bool SetDepStorage::add(uint32_t Src, LocId L, uint32_t Dst) {
+  auto &V = Out[Src];
+  Edge E{L, Dst};
+  auto It = std::lower_bound(V.begin(), V.end(), E);
+  if (It != V.end() && *It == E)
+    return false;
+  V.insert(It, E);
+  ++Edges;
+  return true;
+}
+
+void SetDepStorage::forEachOut(
+    uint32_t Src, const std::function<void(LocId, uint32_t)> &F) const {
+  for (const Edge &E : Out[Src])
+    F(E.L, E.Dst);
+}
+
+uint64_t SetDepStorage::memoryBytes() const {
+  uint64_t Bytes = sizeof(*this) + Out.capacity() * sizeof(Out[0]);
+  for (const auto &V : Out)
+    Bytes += V.capacity() * sizeof(Edge);
+  return Bytes;
+}

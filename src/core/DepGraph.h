@@ -1,0 +1,121 @@
+//===- DepGraph.h - Data-dependency graph --------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data-dependency relation ⇝ ⊆ C × L̂ × C (Definition 4) as a graph,
+/// plus the storage abstraction behind it.  Section 5 of the paper stores
+/// this relation in BDDs because set-based storage exhausts memory on
+/// large programs; DepStorage has both backends so the trade-off can be
+/// measured (bench/ablation_bdd).
+///
+/// Graph nodes are program points plus SSA phi pseudo-nodes: a phi node
+/// (j, l) joins the values of l arriving at join point j and passes the
+/// result through, which is what keeps the number of dependency edges
+/// near-linear (Section 5: "SSA ... reduces the size of def-use chains").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CORE_DEPGRAPH_H
+#define SPA_CORE_DEPGRAPH_H
+
+#include "ir/Program.h"
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace spa {
+
+/// Storage behind the ternary dependency relation.  Node ids are dense
+/// indices (program points first, then phi nodes).
+class DepStorage {
+public:
+  virtual ~DepStorage() = default;
+
+  /// Inserts edge (Src, L, Dst); returns true if it was new.
+  virtual bool add(uint32_t Src, LocId L, uint32_t Dst) = 0;
+
+  /// Invokes \p F for every out-edge of \p Src.
+  virtual void
+  forEachOut(uint32_t Src,
+             const std::function<void(LocId, uint32_t)> &F) const = 0;
+
+  virtual uint64_t edgeCount() const = 0;
+
+  /// Estimated resident bytes of the representation (what Table 2's
+  /// memory comparison for dependency storage is about).
+  virtual uint64_t memoryBytes() const = 0;
+};
+
+/// Plain adjacency-vector storage: fast iteration, memory proportional to
+/// the edge count.
+class SetDepStorage : public DepStorage {
+public:
+  explicit SetDepStorage(uint32_t NumNodes) : Out(NumNodes) {}
+
+  bool add(uint32_t Src, LocId L, uint32_t Dst) override;
+  void forEachOut(
+      uint32_t Src,
+      const std::function<void(LocId, uint32_t)> &F) const override;
+  uint64_t edgeCount() const override { return Edges; }
+  uint64_t memoryBytes() const override;
+
+private:
+  struct Edge {
+    LocId L;
+    uint32_t Dst;
+    friend bool operator<(const Edge &A, const Edge &B) {
+      if (A.L != B.L)
+        return A.L < B.L;
+      return A.Dst < B.Dst;
+    }
+    friend bool operator==(const Edge &A, const Edge &B) {
+      return A.L == B.L && A.Dst == B.Dst;
+    }
+  };
+  std::vector<std::vector<Edge>> Out; // Sorted per node.
+  uint64_t Edges = 0;
+};
+
+/// An SSA phi pseudo-node: joins location \p L at join point \p At.
+struct PhiNode {
+  PointId At;
+  LocId L;
+};
+
+/// The sparse analysis graph: nodes, their def/use sets, and the labeled
+/// dependency edges.
+struct SparseGraph {
+  uint32_t NumPoints = 0;
+  std::vector<PhiNode> Phis; ///< Node id = NumPoints + phi index.
+  std::unique_ptr<DepStorage> Edges;
+
+  /// Per-node defs (the partial state a node's output holds) and uses
+  /// (the partial state its input buffer assembles).  For program points
+  /// these are the DefUseInfo node sets; a phi node defs/uses exactly its
+  /// location.
+  std::vector<std::vector<LocId>> NodeDefs, NodeUses;
+
+  // Construction statistics (the Dep column of Tables 2 and 3).
+  double BuildSeconds = 0;
+  uint64_t EdgesBeforeBypass = 0;
+  uint64_t BypassRemoved = 0;
+
+  size_t numNodes() const { return NumPoints + Phis.size(); }
+  bool isPhi(uint32_t Node) const { return Node >= NumPoints; }
+  const PhiNode &phi(uint32_t Node) const { return Phis[Node - NumPoints]; }
+
+  /// The program point a node evaluates at (phi nodes: their join point).
+  PointId anchor(uint32_t Node) const {
+    return isPhi(Node) ? phi(Node).At : PointId(Node);
+  }
+};
+
+} // namespace spa
+
+#endif // SPA_CORE_DEPGRAPH_H

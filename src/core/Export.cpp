@@ -1,0 +1,116 @@
+//===- Export.cpp - Graphviz and text exports --------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Export.h"
+
+#include <sstream>
+
+using namespace spa;
+
+namespace {
+
+/// Escapes a label for dot.
+std::string escape(const std::string &S) {
+  std::string R;
+  R.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      R.push_back('\\');
+    R.push_back(C);
+  }
+  return R;
+}
+
+} // namespace
+
+std::string spa::exportSupergraphDot(const Program &Prog,
+                                     const CallGraphInfo &CG) {
+  std::ostringstream OS;
+  OS << "digraph supergraph {\n  node [shape=box, fontsize=9];\n";
+  for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
+    const FunctionInfo &Info = Prog.function(FuncId(F));
+    OS << "  subgraph cluster_" << F << " {\n    label=\""
+       << escape(Info.Name) << "\";\n";
+    for (PointId P : Info.Points)
+      OS << "    n" << P.value() << " [label=\""
+         << escape(Prog.pointToString(P)) << "\"];\n";
+    OS << "  }\n";
+  }
+  for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
+    const Command &Cmd = Prog.point(PointId(P)).Cmd;
+    if (Cmd.Kind == CmdKind::Call && !CG.callees(PointId(P)).empty()) {
+      for (FuncId G : CG.callees(PointId(P))) {
+        OS << "  n" << P << " -> n"
+           << Prog.function(G).Entry.value()
+           << " [style=dashed, color=blue];\n";
+        OS << "  n" << Prog.function(G).Exit.value() << " -> n"
+           << Cmd.Pair.value() << " [style=dashed, color=blue];\n";
+      }
+      continue;
+    }
+    for (PointId S : Prog.succs(PointId(P)))
+      OS << "  n" << P << " -> n" << S.value() << ";\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string spa::exportDepGraphDot(const Program &Prog,
+                                   const SparseGraph &Graph,
+                                   size_t MaxEdges) {
+  std::ostringstream OS;
+  OS << "digraph deps {\n  node [shape=box, fontsize=9];\n";
+  for (uint32_t P = 0; P < Graph.NumPoints; ++P) {
+    if (Graph.NodeDefs[P].empty() && Graph.NodeUses[P].empty())
+      continue;
+    OS << "  n" << P << " [label=\""
+       << escape(Prog.pointToString(PointId(P))) << "\"];\n";
+  }
+  for (size_t I = 0; I < Graph.Phis.size(); ++I) {
+    const PhiNode &Phi = Graph.Phis[I];
+    OS << "  n" << Graph.NumPoints + I << " [shape=circle, label=\"phi "
+       << escape(Prog.loc(Phi.L).Name) << "@" << Phi.At.value()
+       << "\"];\n";
+  }
+  size_t Emitted = 0;
+  for (uint32_t N = 0; N < Graph.numNodes() && Emitted <= MaxEdges; ++N) {
+    Graph.Edges->forEachOut(N, [&](LocId L, uint32_t Dst) {
+      if (Emitted > MaxEdges)
+        return;
+      ++Emitted;
+      OS << "  n" << N << " -> n" << Dst << " [label=\""
+         << escape(Prog.loc(L).Name) << "\", fontsize=8];\n";
+    });
+  }
+  if (Emitted > MaxEdges)
+    OS << "  truncated [shape=plaintext, label=\"... truncated at "
+       << MaxEdges << " edges ...\"];\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string spa::exportAnnotatedListing(const Program &Prog,
+                                        const AnalysisRun &Run) {
+  std::ostringstream OS;
+  for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
+    const FunctionInfo &Info = Prog.function(FuncId(F));
+    OS << "function " << Info.Name << ":\n";
+    for (PointId P : Info.Points) {
+      OS << "  " << Prog.pointToString(P) << "\n";
+      const std::vector<LocId> &Defs = Run.DU.Defs[P.value()];
+      for (LocId L : Defs) {
+        const Value *V = nullptr;
+        if (Run.Sparse)
+          V = &Run.Sparse->Out[P.value()].get(L);
+        else if (Run.Dense)
+          V = &Run.Dense->Post[P.value()].get(L);
+        if (V)
+          OS << "      " << Prog.loc(L).Name << " = " << V->str() << "\n";
+      }
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,42 @@
+//===- Export.h - Graphviz and text exports ---------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inspection helpers for humans and tooling: Graphviz dot renderings of
+/// the supergraph and of the data-dependency graph, and a plain-text
+/// program listing with per-point analysis results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CORE_EXPORT_H
+#define SPA_CORE_EXPORT_H
+
+#include "core/Analyzer.h"
+
+#include <string>
+
+namespace spa {
+
+/// Dot rendering of the interprocedural supergraph: one cluster per
+/// function, skeleton edges solid, call/return linkage dashed.
+std::string exportSupergraphDot(const Program &Prog,
+                                const CallGraphInfo &CG);
+
+/// Dot rendering of the data-dependency graph, edges labeled with the
+/// location they carry.  Phi nodes render as small circles.  Graphs
+/// beyond \p MaxEdges edges are truncated with a note (dot does not
+/// scale past a few thousand edges anyway).
+std::string exportDepGraphDot(const Program &Prog, const SparseGraph &Graph,
+                              size_t MaxEdges = 4000);
+
+/// Text listing of the program with, for every point, the values of the
+/// locations it defines (from a sparse run).
+std::string exportAnnotatedListing(const Program &Prog,
+                                   const AnalysisRun &Run);
+
+} // namespace spa
+
+#endif // SPA_CORE_EXPORT_H

@@ -1,0 +1,147 @@
+//===- PreAnalysis.cpp - Flow-insensitive pre-analysis -------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PreAnalysis.h"
+
+using namespace spa;
+
+namespace {
+
+/// State adapter implementing the flow-insensitive join semantics
+/// ŝ ← ŝ ⊔ f̂_c(ŝ): every write becomes a join into the global state
+/// (widening once the sweep count passes the threshold).  The Staged
+/// instance drops the numeric components on every write (a pointer-only
+/// auxiliary analysis).
+class GlobalState {
+public:
+  GlobalState(AbsState &S, bool Widen, bool PointerOnly)
+      : S(S), Widen(Widen), PointerOnly(PointerOnly) {}
+
+  const Value &get(LocId L) const { return S.get(L); }
+
+  void set(LocId L, Value V) { weakSet(L, V); }
+
+  bool weakSet(LocId L, const Value &V) {
+    if (V.isBot())
+      return false;
+    const Value &Old = S.get(L);
+    Value In = V;
+    if (PointerOnly && !In.Itv.isBot())
+      In.Itv = Interval::top();
+    Value New = Widen ? Old.widen(Old.join(In)) : Old.join(In);
+    if (New == Old)
+      return false;
+    S.set(L, std::move(New));
+    Changed = true;
+    return true;
+  }
+
+  bool Changed = false;
+
+private:
+  AbsState &S;
+  bool Widen;
+  bool PointerOnly;
+};
+
+/// Semi-sparse coarsening [Hardekopf & Lin, POPL 2009]: values of
+/// non-top-level variables (address-taken locations and heap cells) lose
+/// their points-to precision — they may point to any address-taken
+/// location and any address-taken function.  Top-level variables keep
+/// the precise invariant, so sparsity is exploited only for them.
+void coarsenNonTopLevel(const Program &Prog, AbsState &Global) {
+  PtsSet Universe;
+  FuncSet FnUniverse;
+  std::vector<bool> NonTopLevel(Prog.numLocs(), false);
+  for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
+    const Command &Cmd = Prog.point(PointId(P)).Cmd;
+    std::vector<const IExpr *> Work;
+    if (Cmd.E)
+      Work.push_back(Cmd.E.get());
+    if (Cmd.Cnd) {
+      Work.push_back(Cmd.Cnd->Lhs.get());
+      Work.push_back(Cmd.Cnd->Rhs.get());
+    }
+    for (const auto &A : Cmd.Args)
+      Work.push_back(A.get());
+    while (!Work.empty()) {
+      const IExpr *E = Work.back();
+      Work.pop_back();
+      if (E->Kind == IExprKind::AddrOf) {
+        Universe.insert(E->Loc);
+        NonTopLevel[E->Loc.value()] = true;
+      }
+      if (E->Kind == IExprKind::FuncAddr)
+        FnUniverse.insert(E->Func);
+      if (E->Kind == IExprKind::Binary) {
+        Work.push_back(E->Lhs.get());
+        Work.push_back(E->Rhs.get());
+      }
+    }
+    if (Cmd.Kind == CmdKind::Alloc) {
+      Universe.insert(Cmd.AllocSite);
+      NonTopLevel[Cmd.AllocSite.value()] = true;
+    }
+  }
+  for (uint32_t L = 0; L < Prog.numLocs(); ++L) {
+    if (!NonTopLevel[L])
+      continue;
+    Value V = Global.get(LocId(L));
+    if (V.isBot())
+      continue;
+    V.Itv = Interval::top();
+    V.Pts = V.Pts.join(Universe);
+    V.Funcs = V.Funcs.join(FnUniverse);
+    V.Offset = Interval::top();
+    V.Size = Interval::top();
+    Global.set(LocId(L), std::move(V));
+  }
+}
+
+} // namespace
+
+PreAnalysisResult spa::runPreAnalysis(const Program &Prog,
+                                      const SemanticsOptions &Opts,
+                                      unsigned WidenAfterSweeps,
+                                      PreAnalysisKind Kind) {
+  AbsState Global;
+  // The pre-analysis only joins, so strong updates never apply; force the
+  // weak-update semantics regardless of the main analysis options.
+  SemanticsOptions PreOpts = Opts;
+  PreOpts.StrongUpdates = false;
+
+  uint64_t Sweeps = 0;
+  for (;;) {
+    ++Sweeps;
+    GlobalState View(Global, Sweeps > WidenAfterSweeps,
+                     Kind == PreAnalysisKind::Staged);
+    for (uint32_t P = 0; P < Prog.numPoints(); ++P)
+      applyCommand(Prog, /*CG=*/nullptr, PointId(P), View, PreOpts);
+    if (!View.Changed)
+      break;
+  }
+
+  if (Kind == PreAnalysisKind::SemiSparse)
+    coarsenNonTopLevel(Prog, Global);
+
+  // Resolve the callgraph from the invariant (Section 5).
+  std::vector<std::vector<FuncId>> Callees(Prog.numPoints());
+  for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
+    const Command &Cmd = Prog.point(PointId(P)).Cmd;
+    if (Cmd.Kind != CmdKind::Call || Cmd.External)
+      continue;
+    if (Cmd.DirectCallee.isValid()) {
+      Callees[P].push_back(Cmd.DirectCallee);
+      continue;
+    }
+    for (FuncId F : Global.get(Cmd.Target).Funcs)
+      Callees[P].push_back(F);
+  }
+
+  PreAnalysisResult R{std::move(Global),
+                      CallGraphInfo(Prog, std::move(Callees)), Sweeps};
+  return R;
+}

@@ -1,0 +1,71 @@
+//===- PreAnalysis.h - Flow-insensitive pre-analysis ---------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pre-analysis of Section 3.2: a further abstraction of the main
+/// analysis that ignores control flow and computes one global invariant
+/// (α_pre collapses all control points).  It is sound with respect to the
+/// main analysis, so the D̂/Û sets derived from its result satisfy the
+/// safe-approximation conditions of Definition 5.  Following Section 5, it
+/// also resolves function pointers to fix the callgraph ("the pointer
+/// abstraction of our pre-analysis is basically inclusion-based pointer
+/// analysis ... combined with numeric analysis").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CORE_PREANALYSIS_H
+#define SPA_CORE_PREANALYSIS_H
+
+#include "core/Semantics.h"
+#include "domains/AbsState.h"
+#include "ir/CallGraphInfo.h"
+#include "ir/Program.h"
+
+namespace spa {
+
+/// Pre-analysis flavors.  Section 3.2 shows that prior scalable sparse
+/// pointer analyses are restricted instances of this framework, differing
+/// only in how coarse the pre-analysis is:
+enum class PreAnalysisKind {
+  /// The paper's own choice: flow-insensitive inclusion-based points-to
+  /// combined with numeric analysis.
+  Precise,
+  /// Semi-sparse analysis [Hardekopf & Lin, POPL 2009]: only top-level
+  /// (never address-taken) variables are tracked precisely; the
+  /// points-to sets of address-taken variables are coarsened to "every
+  /// address-taken location", so sparsity is only exploited for
+  /// top-level variables.
+  SemiSparse,
+  /// Staged flow-sensitive pointer analysis [Hardekopf & Lin, CGO
+  /// 2011]: an auxiliary *pointer-only* pre-analysis; numeric values are
+  /// not tracked (their components go to ⊤ wherever read).
+  Staged,
+};
+
+/// Pre-analysis outcome: the single global invariant T̂pre and the
+/// callgraph resolved from it.
+struct PreAnalysisResult {
+  AbsState Global;
+  CallGraphInfo CG;
+  uint64_t Sweeps = 0;
+
+  /// View of T̂pre usable as the state argument of the semantics
+  /// templates (T̂pre(c) is the same state at every point).
+  const AbsState &state() const { return Global; }
+};
+
+/// Runs the flow-insensitive pre-analysis to its fixpoint.  Termination:
+/// the pointer components live in finite powersets and the interval
+/// components are widened after \p WidenAfterSweeps whole-program sweeps.
+PreAnalysisResult runPreAnalysis(const Program &Prog,
+                                 const SemanticsOptions &Opts,
+                                 unsigned WidenAfterSweeps = 3,
+                                 PreAnalysisKind Kind =
+                                     PreAnalysisKind::Precise);
+
+} // namespace spa
+
+#endif // SPA_CORE_PREANALYSIS_H

@@ -1,0 +1,34 @@
+//===- Semantics.cpp - Abstract semantics of commands --------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Semantics.h"
+
+using namespace spa;
+
+Value spa::refineByRel(const Value &V, RelOp Op, const Interval &RhsItv) {
+  Value R = V;
+  switch (Op) {
+  case RelOp::Lt:
+    R.Itv = V.Itv.filterLt(RhsItv);
+    break;
+  case RelOp::Le:
+    R.Itv = V.Itv.filterLe(RhsItv);
+    break;
+  case RelOp::Gt:
+    R.Itv = V.Itv.filterGt(RhsItv);
+    break;
+  case RelOp::Ge:
+    R.Itv = V.Itv.filterGe(RhsItv);
+    break;
+  case RelOp::Eq:
+    R.Itv = V.Itv.filterEq(RhsItv);
+    break;
+  case RelOp::Ne:
+    R.Itv = V.Itv.filterNe(RhsItv);
+    break;
+  }
+  return R;
+}

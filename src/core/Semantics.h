@@ -1,0 +1,391 @@
+//===- Semantics.h - Abstract semantics of commands ----------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract semantic function f̂_c of Section 3.1 and the semantic
+/// definition/use extraction of Section 3.2, shared by every engine:
+///
+///  * the dense engines apply commands to full abstract states;
+///  * the flow-insensitive pre-analysis applies them to one global state
+///    through a join-only adapter;
+///  * the sparse engine applies them to partial states assembled from
+///    data-dependency edges.
+///
+/// All three instantiate the same templates with a state-like type that
+/// provides `const Value &get(LocId)`, `void set(LocId, Value)` (strong)
+/// and `bool weakSet(LocId, const Value &)` (join).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CORE_SEMANTICS_H
+#define SPA_CORE_SEMANTICS_H
+
+#include "domains/AbsState.h"
+#include "ir/CallGraphInfo.h"
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace spa {
+
+/// Knobs of the abstract semantics.
+struct SemanticsOptions {
+  /// Apply strong updates on stores through a singleton non-summary
+  /// points-to set.  The paper treats strong updates as orthogonal to the
+  /// sparse design (Section 3.1, footnote 2); both settings are exercised
+  /// by tests.
+  bool StrongUpdates = true;
+};
+
+/// Evaluates expression \p E under \p S (the paper's Ê).
+template <typename StateT>
+Value evalExpr(const Program &Prog, const IExpr &E, const StateT &S) {
+  switch (E.Kind) {
+  case IExprKind::Num:
+    return Value::constant(E.Num);
+  case IExprKind::Input:
+    return Value::topInt();
+  case IExprKind::Var:
+    return S.get(E.Loc);
+  case IExprKind::AddrOf:
+    return Value::pointerTo(E.Loc, Interval::constant(1));
+  case IExprKind::FuncAddr:
+    return Value::functionRef(E.Func);
+  case IExprKind::Deref: {
+    Value R;
+    for (LocId L : S.get(E.Loc).Pts)
+      R = R.join(S.get(L));
+    return R;
+  }
+  case IExprKind::Binary: {
+    Value A = evalExpr(Prog, *E.Lhs, S);
+    Value B = evalExpr(Prog, *E.Rhs, S);
+    Value R;
+    switch (E.Op) {
+    case BinOp::Add:
+      R.Itv = A.Itv.add(B.Itv);
+      // ptr + int and int + ptr shift the offset.
+      if (!A.Pts.empty() && !B.Itv.isBot()) {
+        R.Pts = R.Pts.join(A.Pts);
+        R.Offset = R.Offset.join(A.Offset.add(B.Itv));
+        R.Size = R.Size.join(A.Size);
+      }
+      if (!B.Pts.empty() && !A.Itv.isBot()) {
+        R.Pts = R.Pts.join(B.Pts);
+        R.Offset = R.Offset.join(B.Offset.add(A.Itv));
+        R.Size = R.Size.join(B.Size);
+      }
+      return R;
+    case BinOp::Sub:
+      R.Itv = A.Itv.sub(B.Itv);
+      if (!A.Pts.empty() && !B.Itv.isBot()) {
+        R.Pts = A.Pts;
+        R.Offset = A.Offset.sub(B.Itv);
+        R.Size = A.Size;
+      }
+      return R;
+    case BinOp::Mul:
+      R.Itv = A.Itv.mul(B.Itv);
+      return R;
+    case BinOp::Div:
+      R.Itv = A.Itv.div(B.Itv);
+      return R;
+    case BinOp::Mod:
+      R.Itv = A.Itv.rem(B.Itv);
+      return R;
+    }
+    return R;
+  }
+  }
+  return Value::bot();
+}
+
+/// Refines \p V's interval by `V.Itv Op RhsItv` (the assume filter of
+/// Section 3.1).  Non-numeric components pass through unrefined.
+Value refineByRel(const Value &V, RelOp Op, const Interval &RhsItv);
+
+/// Applies the abstract semantic function of the command at \p P to \p S
+/// in place.
+///
+/// Callee resolution: when \p CG is non-null, call points use its fixed
+/// callee sets (the main analyses run against the pre-analysis-resolved
+/// callgraph); when null, callees are resolved from the state's own
+/// function-pointer values (how the pre-analysis discovers the callgraph).
+template <typename StateT>
+void applyCommand(const Program &Prog, const CallGraphInfo *CG, PointId P,
+                  StateT &S, const SemanticsOptions &Opts) {
+  const Command &Cmd = Prog.point(P).Cmd;
+  switch (Cmd.Kind) {
+  case CmdKind::Skip:
+  case CmdKind::Entry:
+  case CmdKind::Exit:
+    return;
+  case CmdKind::Assign:
+  case CmdKind::RetStmt:
+    S.set(Cmd.Target, evalExpr(Prog, *Cmd.E, S));
+    return;
+  case CmdKind::Alloc: {
+    Interval Size = evalExpr(Prog, *Cmd.E, S).Itv;
+    S.set(Cmd.Target, Value::pointerTo(Cmd.AllocSite, Size));
+    // Cells start zeroed; the site is a summary, so join.
+    S.weakSet(Cmd.AllocSite, Value::constant(0));
+    return;
+  }
+  case CmdKind::Store: {
+    Value V = evalExpr(Prog, *Cmd.E, S);
+    const PtsSet Targets = S.get(Cmd.Target).Pts;
+    bool Strong = Opts.StrongUpdates && Targets.size() == 1 &&
+                  !Prog.loc(*Targets.begin()).isSummary();
+    for (LocId L : Targets) {
+      if (Strong)
+        S.set(L, V);
+      else
+        S.weakSet(L, V);
+    }
+    return;
+  }
+  case CmdKind::Assume: {
+    const ICond &C = *Cmd.Cnd;
+    Value LV = evalExpr(Prog, *C.Lhs, S);
+    Value RV = evalExpr(Prog, *C.Rhs, S);
+    if (C.Lhs->Kind == IExprKind::Var)
+      S.set(C.Lhs->Loc, refineByRel(LV, C.Op, RV.Itv));
+    if (C.Rhs->Kind == IExprKind::Var)
+      S.set(C.Rhs->Loc, refineByRel(RV, swapRelOp(C.Op), LV.Itv));
+    return;
+  }
+  case CmdKind::Call: {
+    if (Cmd.External)
+      return; // No side effects (Section 6: unknown procedures).
+    std::vector<FuncId> Callees;
+    if (CG) {
+      Callees = CG->callees(P);
+    } else if (Cmd.DirectCallee.isValid()) {
+      Callees.push_back(Cmd.DirectCallee);
+    } else {
+      for (FuncId F : S.get(Cmd.Target).Funcs)
+        Callees.push_back(F);
+    }
+    if (Callees.empty())
+      return;
+    std::vector<Value> ArgVals(Cmd.Args.size());
+    for (size_t I = 0; I < Cmd.Args.size(); ++I)
+      ArgVals[I] = evalExpr(Prog, *Cmd.Args[I], S);
+    // With a unique callee the binding is a strong update; with several
+    // possible callees only one of them executes, so the parameters of
+    // the others keep their old values — a weak update per callee.
+    bool Strong = Callees.size() == 1;
+    for (FuncId G : Callees) {
+      const FunctionInfo &F = Prog.function(G);
+      size_t N = std::min(F.Params.size(), Cmd.Args.size());
+      for (size_t I = 0; I < N; ++I) {
+        if (Strong)
+          S.set(F.Params[I], ArgVals[I]);
+        else
+          S.weakSet(F.Params[I], ArgVals[I]);
+      }
+    }
+    return;
+  }
+  case CmdKind::Return: {
+    if (!Cmd.Target.isValid())
+      return;
+    const Command &CallCmd = Prog.point(Cmd.Pair).Cmd;
+    if (CallCmd.External) {
+      S.set(Cmd.Target, Value::topInt());
+      return;
+    }
+    std::vector<FuncId> Callees;
+    if (CG) {
+      Callees = CG->callees(Cmd.Pair);
+    } else if (CallCmd.DirectCallee.isValid()) {
+      Callees.push_back(CallCmd.DirectCallee);
+    } else {
+      for (FuncId F : S.get(CallCmd.Target).Funcs)
+        Callees.push_back(F);
+    }
+    if (Callees.empty()) {
+      // Unresolvable indirect call behaves like an external one.
+      S.set(Cmd.Target, Value::topInt());
+      return;
+    }
+    Value R;
+    for (FuncId G : Callees)
+      R = R.join(S.get(Prog.function(G).RetSlot));
+    S.set(Cmd.Target, R);
+    return;
+  }
+  }
+}
+
+/// Semantic definition set D(c) under \p S (Definition 1 evaluated against
+/// a given state; with S = T̂pre this is the safe approximation D̂ of
+/// Section 3.2).  Results are appended to \p Out unsorted.
+template <typename StateT>
+void collectDefs(const Program &Prog, const CallGraphInfo *CG, PointId P,
+                 const StateT &S, std::vector<LocId> &Out) {
+  const Command &Cmd = Prog.point(P).Cmd;
+  switch (Cmd.Kind) {
+  case CmdKind::Skip:
+  case CmdKind::Entry:
+  case CmdKind::Exit:
+    return;
+  case CmdKind::Assign:
+  case CmdKind::RetStmt:
+    Out.push_back(Cmd.Target);
+    return;
+  case CmdKind::Alloc:
+    Out.push_back(Cmd.Target);
+    Out.push_back(Cmd.AllocSite);
+    return;
+  case CmdKind::Store:
+    for (LocId L : S.get(Cmd.Target).Pts)
+      Out.push_back(L);
+    return;
+  case CmdKind::Assume:
+    if (Cmd.Cnd->Lhs->Kind == IExprKind::Var)
+      Out.push_back(Cmd.Cnd->Lhs->Loc);
+    if (Cmd.Cnd->Rhs->Kind == IExprKind::Var)
+      Out.push_back(Cmd.Cnd->Rhs->Loc);
+    return;
+  case CmdKind::Call: {
+    if (Cmd.External)
+      return;
+    auto BindParams = [&](FuncId G) {
+      const FunctionInfo &F = Prog.function(G);
+      size_t N = std::min(F.Params.size(), Cmd.Args.size());
+      for (size_t I = 0; I < N; ++I)
+        Out.push_back(F.Params[I]);
+    };
+    if (CG) {
+      for (FuncId G : CG->callees(P))
+        BindParams(G);
+    } else if (Cmd.DirectCallee.isValid()) {
+      BindParams(Cmd.DirectCallee);
+    } else {
+      for (FuncId G : S.get(Cmd.Target).Funcs)
+        BindParams(G);
+    }
+    return;
+  }
+  case CmdKind::Return:
+    if (Cmd.Target.isValid())
+      Out.push_back(Cmd.Target);
+    return;
+  }
+}
+
+/// Semantic use set of evaluating \p E under \p S (the auxiliary U of
+/// Section 3.2): variable reads plus, for derefs, the pointed-to
+/// locations.
+template <typename StateT>
+void collectExprUses(const IExpr &E, const StateT &S,
+                     std::vector<LocId> &Out) {
+  switch (E.Kind) {
+  case IExprKind::Num:
+  case IExprKind::Input:
+  case IExprKind::AddrOf:
+  case IExprKind::FuncAddr:
+    return;
+  case IExprKind::Var:
+    Out.push_back(E.Loc);
+    return;
+  case IExprKind::Deref:
+    Out.push_back(E.Loc);
+    for (LocId L : S.get(E.Loc).Pts)
+      Out.push_back(L);
+    return;
+  case IExprKind::Binary:
+    collectExprUses(*E.Lhs, S, Out);
+    collectExprUses(*E.Rhs, S, Out);
+    return;
+  }
+}
+
+/// Semantic use set U(c) under \p S (Definition 2 evaluated against a
+/// given state; with S = T̂pre this is the safe approximation Û).  Weak
+/// updates read the stored-through locations, so stores include their
+/// points-to sets (the paper's key example of implicit uses).
+template <typename StateT>
+void collectUses(const Program &Prog, const CallGraphInfo *CG, PointId P,
+                 const StateT &S, std::vector<LocId> &Out) {
+  const Command &Cmd = Prog.point(P).Cmd;
+  switch (Cmd.Kind) {
+  case CmdKind::Skip:
+  case CmdKind::Entry:
+  case CmdKind::Exit:
+    return;
+  case CmdKind::Assign:
+  case CmdKind::RetStmt:
+  case CmdKind::Alloc:
+    collectExprUses(*Cmd.E, S, Out);
+    if (Cmd.Kind == CmdKind::Alloc)
+      Out.push_back(Cmd.AllocSite); // Weak zero-init joins the old value.
+    return;
+  case CmdKind::Store:
+    Out.push_back(Cmd.Target);
+    collectExprUses(*Cmd.E, S, Out);
+    // Spurious definitions must be uses (Definition 5 condition 2), and
+    // weak updates genuinely read the old values.
+    for (LocId L : S.get(Cmd.Target).Pts)
+      Out.push_back(L);
+    return;
+  case CmdKind::Assume:
+    collectExprUses(*Cmd.Cnd->Lhs, S, Out);
+    collectExprUses(*Cmd.Cnd->Rhs, S, Out);
+    return;
+  case CmdKind::Call: {
+    if (Cmd.External)
+      return;
+    if (Cmd.isIndirectCall())
+      Out.push_back(Cmd.Target);
+    for (const auto &A : Cmd.Args)
+      collectExprUses(*A, S, Out);
+    // Weak parameter binding (several possible callees) reads the old
+    // parameter values, so they are uses (Definition 5 condition 2).
+    std::vector<FuncId> Callees;
+    if (CG) {
+      Callees = CG->callees(P);
+    } else if (Cmd.DirectCallee.isValid()) {
+      Callees.push_back(Cmd.DirectCallee);
+    } else {
+      for (FuncId G : S.get(Cmd.Target).Funcs)
+        Callees.push_back(G);
+    }
+    if (Callees.size() > 1) {
+      for (FuncId G : Callees) {
+        const FunctionInfo &F = Prog.function(G);
+        size_t N = std::min(F.Params.size(), Cmd.Args.size());
+        for (size_t I = 0; I < N; ++I)
+          Out.push_back(F.Params[I]);
+      }
+    }
+    return;
+  }
+  case CmdKind::Return: {
+    if (!Cmd.Target.isValid())
+      return;
+    const Command &CallCmd = Prog.point(Cmd.Pair).Cmd;
+    if (CallCmd.External)
+      return;
+    auto UseRet = [&](FuncId G) { Out.push_back(Prog.function(G).RetSlot); };
+    if (CG) {
+      for (FuncId G : CG->callees(Cmd.Pair))
+        UseRet(G);
+    } else if (CallCmd.DirectCallee.isValid()) {
+      UseRet(CallCmd.DirectCallee);
+    } else {
+      for (FuncId G : S.get(CallCmd.Target).Funcs)
+        UseRet(G);
+    }
+    return;
+  }
+  }
+}
+
+} // namespace spa
+
+#endif // SPA_CORE_SEMANTICS_H

@@ -1,0 +1,174 @@
+//===- SparseAnalysis.cpp - Sparse fixpoint engine -----------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SparseAnalysis.h"
+
+#include "support/Resource.h"
+#include "support/WorkList.h"
+
+#include <algorithm>
+
+using namespace spa;
+
+namespace {
+
+/// Read-only state view over a node's input buffer, usable with the
+/// semantics templates.
+class InputView {
+public:
+  explicit InputView(const AbsState &S) : S(S) {}
+  const Value &get(LocId L) const { return S.get(L); }
+
+private:
+  const AbsState &S;
+};
+
+/// Mutable working state for a node's transfer: reads fall back to the
+/// input buffer; writes land in an overlay.  The node's new output is the
+/// overlay merged over the input, restricted to its def set.
+class WorkingState {
+public:
+  explicit WorkingState(const AbsState &In) : In(In) {}
+
+  const Value &get(LocId L) const {
+    const Value *V = Overlay.lookup(L);
+    return V ? *V : In.get(L);
+  }
+
+  void set(LocId L, Value V) { Overlay.set(L, std::move(V)); }
+
+  bool weakSet(LocId L, const Value &V) {
+    if (V.isBot())
+      return false;
+    Value Merged = get(L);
+    if (!Merged.joinWith(V))
+      return false;
+    Overlay.set(L, std::move(Merged));
+    return true;
+  }
+
+  /// Extracts the output partial state over \p Defs: overlay values where
+  /// written, input passthrough otherwise (the identity on spurious
+  /// definitions).
+  AbsState extract(const std::vector<LocId> &Defs) const {
+    AbsState Out;
+    for (LocId L : Defs) {
+      const Value &V = get(L);
+      if (!V.isBot())
+        Out.set(L, V);
+    }
+    return Out;
+  }
+
+private:
+  const AbsState &In;
+  FlatMap<LocId, Value> Overlay;
+};
+
+} // namespace
+
+SparseResult spa::runSparseAnalysis(const Program &Prog,
+                                    const CallGraphInfo &CG,
+                                    const SparseGraph &Graph,
+                                    const SparseOptions &Opts) {
+  SparseResult R;
+  size_t N = Graph.numNodes();
+  R.In.resize(N);
+  R.Out.resize(N);
+
+  // Node priorities: the anchor point's supergraph RPO index (phi nodes
+  // schedule with their join point).
+  // Phi nodes logically execute just before their join point, so they get
+  // a slightly smaller priority; otherwise the phi -> join-point edge
+  // would look retreating and trigger spurious widening.
+  std::vector<uint32_t> PointRpo = computeSuperRpo(Prog, CG);
+  std::vector<uint32_t> Prio(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    uint32_t R2 = 2 * PointRpo[Graph.anchor(I).value()] + 1;
+    Prio[I] = Graph.isPhi(I) ? R2 - 1 : R2;
+  }
+
+  // Widening nodes: loop heads / recursive entries and their phis.
+  std::vector<bool> WidenPoint = computeWideningPoints(Prog, CG);
+  std::vector<bool> WidenNode(N);
+  for (uint32_t I = 0; I < N; ++I)
+    WidenNode[I] = WidenPoint[Graph.anchor(I).value()];
+
+  WorkList WL(Prio);
+  // Every node runs at least once: constants and ⊥-input effects must
+  // materialize even with no incoming dependencies (the fixpoint applies
+  // F̂_s at every point).
+  for (uint32_t I = 0; I < N; ++I)
+    WL.push(I);
+
+  // Changing-arrival counts per (node, location) for delayed widening.
+  std::vector<FlatMap<LocId, uint32_t>> ArrivalCount(N);
+
+  Timer Clock;
+  while (!WL.empty()) {
+    if (Opts.TimeLimitSec > 0 && (R.Visits & 1023) == 0 &&
+        Clock.seconds() > Opts.TimeLimitSec) {
+      R.TimedOut = true;
+      break;
+    }
+    uint32_t Node = WL.pop();
+    ++R.Visits;
+
+    // Transfer.
+    AbsState NewOut;
+    if (Graph.isPhi(Node)) {
+      // A phi is the identity on its location: output = joined input.
+      const PhiNode &Phi = Graph.phi(Node);
+      const Value &V = R.In[Node].get(Phi.L);
+      if (!V.isBot())
+        NewOut.set(Phi.L, V);
+    } else {
+      WorkingState WS(R.In[Node]);
+      applyCommand(Prog, &CG, PointId(Node), WS, Opts.Sem);
+      NewOut = WS.extract(Graph.NodeDefs[Node]);
+    }
+
+    // Publish changed locations along dependency edges.
+    AbsState &Out = R.Out[Node];
+    std::vector<LocId> ChangedLocs;
+    for (const auto &[L, V] : NewOut)
+      if (Out.weakSet(L, V))
+        ChangedLocs.push_back(L);
+    if (ChangedLocs.empty())
+      continue;
+
+    Graph.Edges->forEachOut(Node, [&](LocId L, uint32_t Dst) {
+      if (!std::binary_search(ChangedLocs.begin(), ChangedLocs.end(), L))
+        return;
+      const Value &V = Out.get(L);
+      // Widening must cut every dependency cycle: it applies (after the
+      // configured delay) at loop-head/recursion nodes and on retreating
+      // edges (source scheduled at or after the target).
+      bool CutsCycle = WidenNode[Dst] || Prio[Node] >= Prio[Dst];
+      AbsState &InDst = R.In[Dst];
+      const Value &Old = InDst.get(L);
+      bool DoWiden = false;
+      if (CutsCycle) {
+        uint32_t &Count = ArrivalCount[Dst].getOrCreate(L);
+        DoWiden = Count >= Opts.WideningDelay;
+      }
+      Value New = DoWiden ? Old.widen(Old.join(V)) : Old.join(V);
+      if (New == Old)
+        return;
+      if (CutsCycle)
+        ++ArrivalCount[Dst].getOrCreate(L);
+      InDst.set(L, std::move(New));
+      WL.push(Dst);
+    });
+  }
+
+  for (const AbsState &S : R.In)
+    R.StateEntries += S.size();
+  for (const AbsState &S : R.Out)
+    R.StateEntries += S.size();
+  R.Seconds = Clock.seconds();
+  return R;
+}

@@ -1,0 +1,68 @@
+//===- SparseAnalysis.h - Sparse fixpoint engine -------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sparse abstract semantic function F̂_s of Section 2.7: values
+/// propagate along data-dependency edges instead of control flow.  Each
+/// graph node keeps
+///
+///  * an input buffer over its use set Û(c), fed by incoming dependency
+///    edges (the ⊔ over c_d ⇝ c of X̂(c_d)|l), and
+///  * an output partial state over its definition set D̂(c).
+///
+/// A node's transfer re-runs f̂_c on the input buffer; spurious
+/// definitions (D̂ − D) pass their input value through unchanged, which is
+/// exactly why Definition 5 requires D̂ − D ⊆ Û.  Widening applies where a
+/// dependency edge closes a cycle (loop-head phis and retreating edges),
+/// mirroring the dense engine's widening points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_CORE_SPARSEANALYSIS_H
+#define SPA_CORE_SPARSEANALYSIS_H
+
+#include "core/DepGraph.h"
+#include "core/Semantics.h"
+#include "domains/AbsState.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spa {
+
+struct SparseOptions {
+  SemanticsOptions Sem;
+  double TimeLimitSec = 0;
+  /// Changing arrivals on a cycle-closing dependency edge before widening
+  /// applies (mirrors DenseOptions::WideningDelay).
+  unsigned WideningDelay = 4;
+};
+
+struct SparseResult {
+  /// Input buffer per graph node (partial state over Û).
+  std::vector<AbsState> In;
+  /// Output partial state per graph node (over D̂).
+  std::vector<AbsState> Out;
+  bool TimedOut = false;
+  uint64_t Visits = 0;
+  uint64_t StateEntries = 0; ///< Total entries across In and Out.
+  double Seconds = 0;
+
+  /// Output value of location \p L at point \p P (bottom if P does not
+  /// define L).  Lemma 2 equates this with the dense result on D̂(c).
+  const Value &outValue(PointId P, LocId L) const {
+    return Out[P.value()].get(L);
+  }
+};
+
+/// Runs the sparse analysis over \p Graph.
+SparseResult runSparseAnalysis(const Program &Prog, const CallGraphInfo &CG,
+                               const SparseGraph &Graph,
+                               const SparseOptions &Opts);
+
+} // namespace spa
+
+#endif // SPA_CORE_SPARSEANALYSIS_H

@@ -1,0 +1,27 @@
+//===- AbsState.cpp - Abstract state -------------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/AbsState.h"
+
+#include <sstream>
+
+using namespace spa;
+
+const Value AbsState::Bottom = Value();
+
+std::string AbsState::str() const {
+  std::ostringstream OS;
+  OS << "{";
+  bool First = true;
+  for (const auto &[L, V] : Entries) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << "l" << L.value() << " -> " << V.str();
+  }
+  OS << "}";
+  return OS.str();
+}

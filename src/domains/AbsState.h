@@ -1,0 +1,126 @@
+//===- AbsState.h - Abstract state: L̂ -> V̂ ----------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract state Ŝ = L̂ → V̂ (Section 2.3).  Missing entries denote
+/// bottom values, so the empty state is the bottom state; this is what
+/// makes the *sparse* representation possible: a point's state holds only
+/// the locations the analysis actually wrote.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_DOMAINS_ABSSTATE_H
+#define SPA_DOMAINS_ABSSTATE_H
+
+#include "domains/Value.h"
+#include "support/FlatMap.h"
+
+#include <string>
+
+namespace spa {
+
+/// Finite map from abstract locations to abstract values.
+class AbsState {
+public:
+  using Map = FlatMap<LocId, Value>;
+
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+  void clear() { Entries.clear(); }
+
+  auto begin() const { return Entries.begin(); }
+  auto end() const { return Entries.end(); }
+
+  /// Value bound to \p L (bottom if unbound).
+  const Value &get(LocId L) const {
+    const Value *V = Entries.lookup(L);
+    return V ? *V : Bottom;
+  }
+
+  bool contains(LocId L) const { return Entries.contains(L); }
+
+  /// Strong update: bind \p L to \p V, discarding the old value.  Binding
+  /// bottom removes the entry so states stay canonical.
+  void set(LocId L, Value V) {
+    if (V.isBot())
+      Entries.erase(L);
+    else
+      Entries.set(L, std::move(V));
+  }
+
+  /// Weak update (the paper's ⊔-update): join \p V into \p L's binding.
+  /// Returns true if the binding grew.
+  bool weakSet(LocId L, const Value &V) {
+    if (V.isBot())
+      return false;
+    Value &Slot = Entries.getOrCreate(L);
+    return Slot.joinWith(V);
+  }
+
+  bool operator==(const AbsState &O) const { return Entries == O.Entries; }
+  bool operator!=(const AbsState &O) const { return !(*this == O); }
+
+  bool leq(const AbsState &O) const {
+    for (const auto &[L, V] : Entries)
+      if (!V.leq(O.get(L)))
+        return false;
+    return true;
+  }
+
+  /// In-place join with \p O; returns true if this state grew.
+  bool joinWith(const AbsState &O) {
+    return Entries.mergeWith(
+        O.Entries, [](Value &A, const Value &B) { return A.joinWith(B); });
+  }
+
+  /// In-place widening with \p O (this ∇ (this ⊔ O) per entry); returns
+  /// true if this state changed.
+  bool widenWith(const AbsState &O) {
+    return Entries.mergeWith(O.Entries, [](Value &A, const Value &B) {
+      Value W = A.widen(A.join(B));
+      if (W == A)
+        return false;
+      A = std::move(W);
+      return true;
+    });
+  }
+
+  /// In-place narrowing with \p O (pointwise Value::narrow; entries whose
+  /// refined value is bottom are dropped).  Returns true if changed.
+  bool narrowWith(const AbsState &O) {
+    bool Changed = false;
+    Map New;
+    for (const auto &[L, V] : Entries) {
+      Value N = V.narrow(O.get(L));
+      if (N != V)
+        Changed = true;
+      if (!N.isBot())
+        New.set(L, std::move(N));
+    }
+    if (Changed)
+      Entries = std::move(New);
+    return Changed;
+  }
+
+  /// Keeps only the entries whose location satisfies \p Keep.
+  template <typename Pred> AbsState filtered(Pred Keep) const {
+    AbsState R;
+    for (const auto &[L, V] : Entries)
+      if (Keep(L))
+        R.Entries.set(L, V);
+    return R;
+  }
+
+  std::string str() const;
+
+private:
+  Map Entries;
+  static const Value Bottom;
+};
+
+} // namespace spa
+
+#endif // SPA_DOMAINS_ABSSTATE_H

@@ -1,0 +1,103 @@
+//===- IdSet.h - Sorted id sets (points-to / function sets) -------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Finite powerset domains over typed ids: points-to sets (2^L̂, the
+/// paper's P̂) and callee sets for function pointers.  Backed by sorted
+/// vectors: sets are small in practice and linear merges keep joins cheap
+/// and iteration deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_DOMAINS_IDSET_H
+#define SPA_DOMAINS_IDSET_H
+
+#include "support/Ids.h"
+
+#include <algorithm>
+#include <initializer_list>
+#include <vector>
+
+namespace spa {
+
+/// Sorted set of typed ids with lattice operations (⊆ order, ∪ join).
+template <typename IdT> class IdSet {
+public:
+  IdSet() = default;
+  IdSet(std::initializer_list<IdT> Init) : Items(Init) {
+    std::sort(Items.begin(), Items.end());
+    Items.erase(std::unique(Items.begin(), Items.end()), Items.end());
+  }
+
+  static IdSet singleton(IdT Id) {
+    IdSet S;
+    S.Items.push_back(Id);
+    return S;
+  }
+
+  bool empty() const { return Items.empty(); }
+  size_t size() const { return Items.size(); }
+  auto begin() const { return Items.begin(); }
+  auto end() const { return Items.end(); }
+
+  bool contains(IdT Id) const {
+    return std::binary_search(Items.begin(), Items.end(), Id);
+  }
+
+  /// Inserts \p Id; returns true if it was new.
+  bool insert(IdT Id) {
+    auto It = std::lower_bound(Items.begin(), Items.end(), Id);
+    if (It != Items.end() && *It == Id)
+      return false;
+    Items.insert(It, Id);
+    return true;
+  }
+
+  bool operator==(const IdSet &O) const { return Items == O.Items; }
+  bool operator!=(const IdSet &O) const { return !(*this == O); }
+
+  /// Subset test (the lattice order).
+  bool leq(const IdSet &O) const {
+    return std::includes(O.Items.begin(), O.Items.end(), Items.begin(),
+                         Items.end());
+  }
+
+  /// Set union (the lattice join).
+  IdSet join(const IdSet &O) const {
+    IdSet R;
+    R.Items.reserve(Items.size() + O.Items.size());
+    std::set_union(Items.begin(), Items.end(), O.Items.begin(), O.Items.end(),
+                   std::back_inserter(R.Items));
+    return R;
+  }
+
+  IdSet meet(const IdSet &O) const {
+    IdSet R;
+    std::set_intersection(Items.begin(), Items.end(), O.Items.begin(),
+                          O.Items.end(), std::back_inserter(R.Items));
+    return R;
+  }
+
+  /// In-place union; returns true if this set grew.
+  bool unionWith(const IdSet &O) {
+    if (O.leq(*this))
+      return false;
+    *this = join(O);
+    return true;
+  }
+
+private:
+  std::vector<IdT> Items;
+};
+
+/// Points-to set over abstract locations (the paper's P̂ = 2^L̂).
+using PtsSet = IdSet<LocId>;
+/// Callee set for function-pointer values.
+using FuncSet = IdSet<FuncId>;
+
+} // namespace spa
+
+#endif // SPA_DOMAINS_IDSET_H

@@ -1,0 +1,149 @@
+//===- Interval.cpp - Interval abstract domain --------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Interval.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace spa;
+
+int64_t spa::bound::add(int64_t A, int64_t B) {
+  if (A == NegInf || B == NegInf) {
+    assert(A != PosInf && B != PosInf && "adding opposite infinities");
+    return NegInf;
+  }
+  if (A == PosInf || B == PosInf)
+    return PosInf;
+  __int128 R = static_cast<__int128>(A) + B;
+  if (R <= NegInf)
+    return NegInf + 1; // Keep finite results out of the sentinel values.
+  if (R >= PosInf)
+    return PosInf - 1;
+  return static_cast<int64_t>(R);
+}
+
+int64_t spa::bound::mul(int64_t A, int64_t B) {
+  bool AInf = A == NegInf || A == PosInf;
+  bool BInf = B == NegInf || B == PosInf;
+  if (AInf || BInf) {
+    if (A == 0 || B == 0)
+      return 0;
+    bool Negative = (A < 0) != (B < 0);
+    return Negative ? NegInf : PosInf;
+  }
+  __int128 R = static_cast<__int128>(A) * B;
+  if (R <= NegInf)
+    return NegInf + 1;
+  if (R >= PosInf)
+    return PosInf - 1;
+  return static_cast<int64_t>(R);
+}
+
+namespace {
+
+/// Saturating truncated division of bounds (divisor nonzero, finite).
+int64_t divBound(int64_t A, int64_t B) {
+  if (A == bound::NegInf || A == bound::PosInf) {
+    bool Negative = (A < 0) != (B < 0);
+    return Negative ? bound::NegInf : bound::PosInf;
+  }
+  // INT64_MIN / -1 would overflow; saturate.
+  if (A == INT64_MIN + 1 && B == -1)
+    return bound::PosInf - 1;
+  return A / B;
+}
+
+} // namespace
+
+Interval Interval::div(const Interval &O) const {
+  if (isBot() || O.isBot())
+    return bot();
+  // Split the divisor around zero: only the nonzero slices divide.
+  Interval Result = bot();
+  auto DivideBy = [&](const Interval &Divisor) {
+    if (Divisor.isBot())
+      return;
+    // With a sign-constant divisor, x/y is monotone in x for fixed y and
+    // attains extremes at divisor endpoints, so the four corner
+    // candidates bound the result.
+    int64_t C[4] = {
+        divBound(Lo, Divisor.Lo), divBound(Lo, Divisor.Hi),
+        divBound(Hi, Divisor.Lo), divBound(Hi, Divisor.Hi)};
+    Result = Result.join(Interval(*std::min_element(C, C + 4),
+                                  *std::max_element(C, C + 4)));
+  };
+  DivideBy(O.meet(Interval(bound::NegInf, -1)));
+  DivideBy(O.meet(Interval(1, bound::PosInf)));
+  return Result;
+}
+
+Interval Interval::rem(const Interval &O) const {
+  if (isBot() || O.isBot())
+    return bot();
+  // |result| < max(|c|, |d|) over the nonzero divisor slices; the result
+  // carries the dividend's sign (C truncation semantics).
+  int64_t MaxAbs = 0;
+  auto Consider = [&](int64_t B) {
+    if (B == bound::NegInf || B == bound::PosInf) {
+      MaxAbs = bound::PosInf;
+      return;
+    }
+    int64_t Abs = B < 0 ? -B : B;
+    MaxAbs = std::max(MaxAbs, Abs);
+  };
+  Consider(O.lo());
+  Consider(O.hi());
+  if (MaxAbs == 0)
+    return bot(); // Divisor is exactly zero: always traps.
+  int64_t M = MaxAbs == bound::PosInf ? bound::PosInf
+                                      : MaxAbs - 1;
+  Interval Full(M == bound::PosInf ? bound::NegInf : -M, M);
+  // Sign refinement from the dividend.
+  if (Lo >= 0)
+    Full = Full.meet(Interval(0, bound::PosInf));
+  if (Hi <= 0)
+    Full = Full.meet(Interval(bound::NegInf, 0));
+  // The magnitude never exceeds the dividend's.
+  if (Lo != bound::NegInf && Hi != bound::PosInf) {
+    int64_t DivAbs = std::max(Lo < 0 ? -Lo : Lo, Hi < 0 ? -Hi : Hi);
+    Full = Full.meet(Interval(-DivAbs, DivAbs));
+  }
+  return Full;
+}
+
+Interval Interval::filterNe(const Interval &O) const {
+  if (isBot() || O.isBot())
+    return bot();
+  if (!O.isConstant())
+    return *this;
+  int64_t N = O.lo();
+  if (Lo == Hi && Lo == N)
+    return bot();
+  if (Lo == N)
+    return Interval(bound::add(Lo, 1), Hi);
+  if (Hi == N)
+    return Interval(Lo, bound::add(Hi, -1));
+  return *this;
+}
+
+std::string Interval::str() const {
+  if (isBot())
+    return "_|_";
+  std::ostringstream OS;
+  OS << "[";
+  if (Lo == bound::NegInf)
+    OS << "-inf";
+  else
+    OS << Lo;
+  OS << ", ";
+  if (Hi == bound::PosInf)
+    OS << "+inf";
+  else
+    OS << Hi;
+  OS << "]";
+  return OS.str();
+}

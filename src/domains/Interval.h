@@ -1,0 +1,187 @@
+//===- Interval.h - Interval abstract domain ----------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interval domain Ẑ = {[l, u] | l ≤ u, l, u ∈ Z ∪ {±∞}} ∪ {⊥} of
+/// Cousot & Cousot, used by the paper's non-relational analysis (Section 3)
+/// and as the projection target of the octagon analysis (Section 4).
+/// Bounds are int64 with the extreme values reserved as ±∞; arithmetic
+/// saturates toward the infinities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_DOMAINS_INTERVAL_H
+#define SPA_DOMAINS_INTERVAL_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace spa {
+
+/// Saturating interval bound arithmetic.  Bound::NegInf/PosInf are the
+/// reserved extreme int64 values.
+namespace bound {
+constexpr int64_t NegInf = INT64_MIN;
+constexpr int64_t PosInf = INT64_MAX;
+
+/// Saturating addition of two bounds.  NegInf + PosInf is a programming
+/// error (callers never combine opposite infinities).
+int64_t add(int64_t A, int64_t B);
+/// Saturating multiplication.
+int64_t mul(int64_t A, int64_t B);
+} // namespace bound
+
+/// An interval value; Lo > Hi encodes bottom (canonically [+∞, −∞]).
+class Interval {
+public:
+  /// Bottom (empty) interval.
+  constexpr Interval() : Lo(bound::PosInf), Hi(bound::NegInf) {}
+  constexpr Interval(int64_t Lo, int64_t Hi) : Lo(Lo), Hi(Hi) {}
+
+  static constexpr Interval bot() { return Interval(); }
+  static constexpr Interval top() {
+    return Interval(bound::NegInf, bound::PosInf);
+  }
+  static constexpr Interval constant(int64_t N) { return Interval(N, N); }
+
+  bool isBot() const { return Lo > Hi; }
+  int64_t lo() const { return Lo; }
+  int64_t hi() const { return Hi; }
+
+  /// True if this interval is a single finite constant.
+  bool isConstant() const { return !isBot() && Lo == Hi; }
+  /// True if \p N is contained.
+  bool contains(int64_t N) const { return !isBot() && Lo <= N && N <= Hi; }
+
+  bool operator==(const Interval &O) const {
+    if (isBot() && O.isBot())
+      return true;
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+  bool operator!=(const Interval &O) const { return !(*this == O); }
+
+  /// Lattice order.
+  bool leq(const Interval &O) const {
+    if (isBot())
+      return true;
+    if (O.isBot())
+      return false;
+    return O.Lo <= Lo && Hi <= O.Hi;
+  }
+
+  Interval join(const Interval &O) const {
+    if (isBot())
+      return O;
+    if (O.isBot())
+      return *this;
+    return Interval(std::min(Lo, O.Lo), std::max(Hi, O.Hi));
+  }
+
+  Interval meet(const Interval &O) const {
+    if (isBot() || O.isBot())
+      return bot();
+    int64_t L = std::max(Lo, O.Lo), H = std::min(Hi, O.Hi);
+    if (L > H)
+      return bot();
+    return Interval(L, H);
+  }
+
+  /// Standard widening: unstable bounds jump to ±∞.
+  Interval widen(const Interval &O) const {
+    if (isBot())
+      return O;
+    if (O.isBot())
+      return *this;
+    int64_t L = O.Lo < Lo ? bound::NegInf : Lo;
+    int64_t H = O.Hi > Hi ? bound::PosInf : Hi;
+    return Interval(L, H);
+  }
+
+  /// Standard narrowing: refines only infinite bounds.
+  Interval narrow(const Interval &O) const {
+    if (isBot() || O.isBot())
+      return O;
+    int64_t L = Lo == bound::NegInf ? O.Lo : Lo;
+    int64_t H = Hi == bound::PosInf ? O.Hi : Hi;
+    if (L > H)
+      return bot();
+    return Interval(L, H);
+  }
+
+  Interval add(const Interval &O) const {
+    if (isBot() || O.isBot())
+      return bot();
+    return Interval(bound::add(Lo, O.Lo), bound::add(Hi, O.Hi));
+  }
+
+  Interval sub(const Interval &O) const {
+    if (isBot() || O.isBot())
+      return bot();
+    return Interval(bound::add(Lo, negate(O.Hi)),
+                    bound::add(Hi, negate(O.Lo)));
+  }
+
+  Interval mul(const Interval &O) const {
+    if (isBot() || O.isBot())
+      return bot();
+    int64_t C[4] = {bound::mul(Lo, O.Lo), bound::mul(Lo, O.Hi),
+                    bound::mul(Hi, O.Lo), bound::mul(Hi, O.Hi)};
+    return Interval(*std::min_element(C, C + 4), *std::max_element(C, C + 4));
+  }
+
+  /// Truncated integer division (C semantics).  Division by zero has no
+  /// result (the concrete execution traps), so the zero slice of \p O is
+  /// excluded; a divisor of exactly [0, 0] yields bottom.
+  Interval div(const Interval &O) const;
+
+  /// Truncated integer remainder (C semantics: the result has the
+  /// dividend's sign and |result| < |divisor|).
+  Interval rem(const Interval &O) const;
+
+  /// Largest sub-interval whose elements can satisfy `x < [O.Lo, O.Hi]`,
+  /// i.e. meet with (−∞, O.Hi − 1].
+  Interval filterLt(const Interval &O) const {
+    if (isBot() || O.isBot())
+      return bot();
+    return meet(Interval(bound::NegInf, bound::add(O.Hi, -1)));
+  }
+  Interval filterLe(const Interval &O) const {
+    if (isBot() || O.isBot())
+      return bot();
+    return meet(Interval(bound::NegInf, O.Hi));
+  }
+  Interval filterGt(const Interval &O) const {
+    if (isBot() || O.isBot())
+      return bot();
+    return meet(Interval(bound::add(O.Lo, 1), bound::PosInf));
+  }
+  Interval filterGe(const Interval &O) const {
+    if (isBot() || O.isBot())
+      return bot();
+    return meet(Interval(O.Lo, bound::PosInf));
+  }
+  Interval filterEq(const Interval &O) const { return meet(O); }
+  /// `x != [n, n]` removes a boundary constant; otherwise no refinement.
+  Interval filterNe(const Interval &O) const;
+
+  std::string str() const;
+
+private:
+  static int64_t negate(int64_t B) {
+    if (B == bound::NegInf)
+      return bound::PosInf;
+    if (B == bound::PosInf)
+      return bound::NegInf;
+    return -B;
+  }
+
+  int64_t Lo, Hi;
+};
+
+} // namespace spa
+
+#endif // SPA_DOMAINS_INTERVAL_H

@@ -1,0 +1,41 @@
+//===- Value.cpp - Product abstract value ---------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Value.h"
+
+#include <sstream>
+
+using namespace spa;
+
+std::string Value::str() const {
+  if (isBot())
+    return "_|_";
+  std::ostringstream OS;
+  OS << Itv.str();
+  if (!Pts.empty()) {
+    OS << " ptr{";
+    bool First = true;
+    for (LocId L : Pts) {
+      if (!First)
+        OS << ",";
+      First = false;
+      OS << "l" << L.value();
+    }
+    OS << "}@" << Offset.str() << "/" << Size.str();
+  }
+  if (!Funcs.empty()) {
+    OS << " fn{";
+    bool First = true;
+    for (FuncId F : Funcs) {
+      if (!First)
+        OS << ",";
+      First = false;
+      OS << "f" << F.value();
+    }
+    OS << "}";
+  }
+  return OS.str();
+}

@@ -1,0 +1,122 @@
+//===- Value.h - Product abstract value ----------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract value V̂ = Ẑ × P̂ of Section 3, extended the way the
+/// paper's evaluation analyzer (SPARROW) extends it: pointers carry an
+/// array tuple (offset, size) so buffer accesses can be bounds-checked,
+/// and function pointers carry callee sets for callgraph resolution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_DOMAINS_VALUE_H
+#define SPA_DOMAINS_VALUE_H
+
+#include "domains/IdSet.h"
+#include "domains/Interval.h"
+
+#include <string>
+
+namespace spa {
+
+/// Product abstract value: an interval for the numeric component, a
+/// points-to set with an (offset, size) array tuple for the pointer
+/// component, and a callee set for the function-pointer component.
+/// Bottom is the value with every component bottom/empty.
+struct Value {
+  Interval Itv;    ///< Numeric component.
+  PtsSet Pts;      ///< Pointer targets (variables and allocation sites).
+  Interval Offset; ///< Pointer offset from the block base (cells).
+  Interval Size;   ///< Size of the pointed-to block (cells).
+  FuncSet Funcs;   ///< Possible function-pointer targets.
+
+  static Value bot() { return Value(); }
+  static Value topInt() {
+    Value V;
+    V.Itv = Interval::top();
+    return V;
+  }
+  static Value constant(int64_t N) {
+    Value V;
+    V.Itv = Interval::constant(N);
+    return V;
+  }
+  /// Pointer to one block of \p Size cells at offset 0.
+  static Value pointerTo(LocId L, Interval Size) {
+    Value V;
+    V.Pts = PtsSet::singleton(L);
+    V.Offset = Interval::constant(0);
+    V.Size = Size;
+    return V;
+  }
+  static Value functionRef(FuncId F) {
+    Value V;
+    V.Funcs = FuncSet::singleton(F);
+    return V;
+  }
+
+  bool isBot() const {
+    return Itv.isBot() && Pts.empty() && Funcs.empty() && Offset.isBot() &&
+           Size.isBot();
+  }
+
+  bool operator==(const Value &O) const {
+    return Itv == O.Itv && Pts == O.Pts && Offset == O.Offset &&
+           Size == O.Size && Funcs == O.Funcs;
+  }
+  bool operator!=(const Value &O) const { return !(*this == O); }
+
+  bool leq(const Value &O) const {
+    return Itv.leq(O.Itv) && Pts.leq(O.Pts) && Offset.leq(O.Offset) &&
+           Size.leq(O.Size) && Funcs.leq(O.Funcs);
+  }
+
+  Value join(const Value &O) const {
+    Value R;
+    R.Itv = Itv.join(O.Itv);
+    R.Pts = Pts.join(O.Pts);
+    R.Offset = Offset.join(O.Offset);
+    R.Size = Size.join(O.Size);
+    R.Funcs = Funcs.join(O.Funcs);
+    return R;
+  }
+
+  /// Widening: intervals widen, finite set components join.
+  Value widen(const Value &O) const {
+    Value R;
+    R.Itv = Itv.widen(O.Itv);
+    R.Pts = Pts.join(O.Pts);
+    R.Offset = Offset.widen(O.Offset);
+    R.Size = Size.widen(O.Size);
+    R.Funcs = Funcs.join(O.Funcs);
+    return R;
+  }
+
+  /// Narrowing: intervals narrow, set components keep the old value.
+  Value narrow(const Value &O) const {
+    Value R;
+    R.Itv = Itv.narrow(O.Itv);
+    R.Pts = Pts;
+    R.Offset = Offset.narrow(O.Offset);
+    R.Size = Size.narrow(O.Size);
+    R.Funcs = Funcs;
+    return R;
+  }
+
+  /// In-place join; returns true if this value grew.
+  bool joinWith(const Value &O) {
+    if (O.leq(*this))
+      return false;
+    *this = join(O);
+    return true;
+  }
+
+  std::string str() const;
+};
+
+} // namespace spa
+
+#endif // SPA_DOMAINS_VALUE_H

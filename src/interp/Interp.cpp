@@ -1,0 +1,371 @@
+//===- Interp.cpp - Concrete interpreter ----------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include <cassert>
+
+using namespace spa;
+
+Interp::Interp(const Program &Prog, const CallGraphInfo &CG,
+               InterpOptions Opts)
+    : Prog(Prog), CG(CG), Opts(Opts), Inputs(Opts.InputSeed),
+      Vars(Prog.numLocs()) {}
+
+int64_t Interp::blockSize(const CValue &P) const {
+  assert(P.K == CValue::Kind::Ptr && "not a pointer");
+  if (P.Heap)
+    return static_cast<int64_t>(Heap[P.Block].Cells.size());
+  return 1;
+}
+
+Interp::EvalResult Interp::eval(const IExpr &E) {
+  EvalResult R;
+  switch (E.Kind) {
+  case IExprKind::Num:
+    R.Ok = true;
+    R.V = CValue::intVal(E.Num);
+    return R;
+  case IExprKind::Input:
+    R.Ok = true;
+    R.V = CValue::intVal(Inputs.range(Opts.InputMin, Opts.InputMax));
+    return R;
+  case IExprKind::Var: {
+    const CValue &V = Vars[E.Loc.value()];
+    if (V.K == CValue::Kind::Uninit)
+      return R; // Uninitialized read traps.
+    R.Ok = true;
+    R.V = V;
+    return R;
+  }
+  case IExprKind::AddrOf: {
+    R.Ok = true;
+    R.V.K = CValue::Kind::Ptr;
+    R.V.Heap = false;
+    R.V.VarBase = E.Loc;
+    R.V.Off = 0;
+    return R;
+  }
+  case IExprKind::FuncAddr: {
+    R.Ok = true;
+    R.V.K = CValue::Kind::Fun;
+    R.V.F = E.Func;
+    return R;
+  }
+  case IExprKind::Deref: {
+    const CValue &P = Vars[E.Loc.value()];
+    if (P.K != CValue::Kind::Ptr)
+      return R;
+    bool Oob = false;
+    if (!readCell(P, R.V, Oob)) {
+      R.Ok = false;
+      if (Oob)
+        OobHit = true;
+      return R;
+    }
+    R.Ok = true;
+    return R;
+  }
+  case IExprKind::Binary: {
+    EvalResult L = eval(*E.Lhs);
+    if (!L.Ok)
+      return R;
+    EvalResult Rv = eval(*E.Rhs);
+    if (!Rv.Ok)
+      return R;
+    const CValue &A = L.V, &B = Rv.V;
+    // Pointer arithmetic: ptr ± int adjusts the offset.
+    if (A.K == CValue::Kind::Ptr && B.K == CValue::Kind::Int &&
+        (E.Op == BinOp::Add || E.Op == BinOp::Sub)) {
+      R.Ok = true;
+      R.V = A;
+      R.V.Off += E.Op == BinOp::Add ? B.I : -B.I;
+      return R;
+    }
+    if (A.K == CValue::Kind::Int && B.K == CValue::Kind::Ptr &&
+        E.Op == BinOp::Add) {
+      R.Ok = true;
+      R.V = B;
+      R.V.Off += A.I;
+      return R;
+    }
+    if (A.K != CValue::Kind::Int || B.K != CValue::Kind::Int)
+      return R; // Type error traps.
+    __int128 Wide = 0;
+    switch (E.Op) {
+    case BinOp::Add:
+      Wide = static_cast<__int128>(A.I) + B.I;
+      break;
+    case BinOp::Sub:
+      Wide = static_cast<__int128>(A.I) - B.I;
+      break;
+    case BinOp::Mul:
+      Wide = static_cast<__int128>(A.I) * B.I;
+      break;
+    case BinOp::Div:
+    case BinOp::Mod:
+      if (B.I == 0)
+        return R; // Division by zero traps.
+      Wide = E.Op == BinOp::Div ? static_cast<__int128>(A.I) / B.I
+                                : static_cast<__int128>(A.I) % B.I;
+      break;
+    }
+    // int64 overflow traps: the abstract domain saturates instead of
+    // wrapping, so wrapped results would not be covered.
+    if (Wide < INT64_MIN + 2 || Wide > INT64_MAX - 2)
+      return R;
+    R.Ok = true;
+    R.V = CValue::intVal(static_cast<int64_t>(Wide));
+    return R;
+  }
+  }
+  return R;
+}
+
+bool Interp::evalCond(const ICond &C, bool &Out) {
+  EvalResult L = eval(*C.Lhs);
+  if (!L.Ok)
+    return false;
+  EvalResult R = eval(*C.Rhs);
+  if (!R.Ok)
+    return false;
+  if (L.V.K != CValue::Kind::Int || R.V.K != CValue::Kind::Int)
+    return false;
+  int64_t A = L.V.I, B = R.V.I;
+  switch (C.Op) {
+  case RelOp::Lt:
+    Out = A < B;
+    return true;
+  case RelOp::Le:
+    Out = A <= B;
+    return true;
+  case RelOp::Gt:
+    Out = A > B;
+    return true;
+  case RelOp::Ge:
+    Out = A >= B;
+    return true;
+  case RelOp::Eq:
+    Out = A == B;
+    return true;
+  case RelOp::Ne:
+    Out = A != B;
+    return true;
+  }
+  return false;
+}
+
+bool Interp::readCell(const CValue &Ptr, CValue &Out, bool &Oob) {
+  if (Ptr.Heap) {
+    const HeapBlock &B = Heap[Ptr.Block];
+    if (Ptr.Off < 0 || Ptr.Off >= static_cast<int64_t>(B.Cells.size())) {
+      Oob = true;
+      return false;
+    }
+    Out = B.Cells[Ptr.Off];
+    return Out.K != CValue::Kind::Uninit;
+  }
+  if (Ptr.Off != 0) {
+    Oob = true;
+    return false;
+  }
+  Out = Vars[Ptr.VarBase.value()];
+  return Out.K != CValue::Kind::Uninit;
+}
+
+bool Interp::writeCell(const CValue &Ptr, const CValue &V, bool &Oob) {
+  if (Ptr.Heap) {
+    HeapBlock &B = Heap[Ptr.Block];
+    if (Ptr.Off < 0 || Ptr.Off >= static_cast<int64_t>(B.Cells.size())) {
+      Oob = true;
+      return false;
+    }
+    B.Cells[Ptr.Off] = V;
+    return true;
+  }
+  if (Ptr.Off != 0) {
+    Oob = true;
+    return false;
+  }
+  Vars[Ptr.VarBase.value()] = V;
+  return true;
+}
+
+InterpResult Interp::run(const Observer &Obs) {
+  InterpResult Result;
+  PointId Pc = Prog.startPoint();
+  // Callee whose Exit most recently executed; consumed by the next Return
+  // point for return-value binding (invalid for external calls).
+  FuncId ReturnedFrom;
+  bool ReturnedFromValid = false;
+
+  auto Stop = [&](StopReason Reason) {
+    Result.Reason = Reason;
+    if (Reason == StopReason::Overrun)
+      Result.OverrunPoints.push_back(Pc);
+    return Result;
+  };
+
+  for (;;) {
+    if (Result.Steps++ >= Opts.MaxSteps)
+      return Stop(StopReason::Fuel);
+
+    const Point &Pt = Prog.point(Pc);
+    const Command &Cmd = Pt.Cmd;
+    PointId Next; // Overrides successor selection when set.
+    OobHit = false;
+
+    switch (Cmd.Kind) {
+    case CmdKind::Skip:
+    case CmdKind::Entry:
+      break;
+    case CmdKind::Assign: {
+      EvalResult V = eval(*Cmd.E);
+      if (!V.Ok)
+        return Stop(OobHit ? StopReason::Overrun : StopReason::Trap);
+      Vars[Cmd.Target.value()] = V.V;
+      break;
+    }
+    case CmdKind::RetStmt: {
+      EvalResult V = eval(*Cmd.E);
+      if (!V.Ok)
+        return Stop(OobHit ? StopReason::Overrun : StopReason::Trap);
+      Vars[Cmd.Target.value()] = V.V;
+      break;
+    }
+    case CmdKind::Store: {
+      const CValue &P = Vars[Cmd.Target.value()];
+      if (P.K != CValue::Kind::Ptr)
+        return Stop(StopReason::Trap);
+      EvalResult V = eval(*Cmd.E);
+      if (!V.Ok)
+        return Stop(OobHit ? StopReason::Overrun : StopReason::Trap);
+      bool Oob = false;
+      if (!writeCell(P, V.V, Oob))
+        return Stop(Oob ? StopReason::Overrun : StopReason::Trap);
+      break;
+    }
+    case CmdKind::Alloc: {
+      EvalResult N = eval(*Cmd.E);
+      if (!N.Ok)
+        return Stop(OobHit ? StopReason::Overrun : StopReason::Trap);
+      if (N.V.K != CValue::Kind::Int || N.V.I < 0 || N.V.I > (1 << 20))
+        return Stop(StopReason::Trap);
+      HeapBlock B;
+      B.Site = Cmd.AllocSite;
+      B.Cells.assign(static_cast<size_t>(N.V.I), CValue::intVal(0));
+      uint32_t Idx = static_cast<uint32_t>(Heap.size());
+      Heap.push_back(std::move(B));
+      CValue P;
+      P.K = CValue::Kind::Ptr;
+      P.Heap = true;
+      P.Block = Idx;
+      P.Off = 0;
+      Vars[Cmd.Target.value()] = P;
+      break;
+    }
+    case CmdKind::Assume: {
+      bool Holds = false;
+      if (!evalCond(*Cmd.Cnd, Holds))
+        return Stop(StopReason::Trap);
+      if (!Holds)
+        return Stop(StopReason::Blocked);
+      break;
+    }
+    case CmdKind::Call: {
+      // Resolve the concrete callee.
+      FuncId Callee = Cmd.DirectCallee;
+      if (Cmd.isIndirectCall()) {
+        const CValue &FP = Vars[Cmd.Target.value()];
+        if (FP.K != CValue::Kind::Fun)
+          return Stop(StopReason::Trap);
+        Callee = FP.F;
+      }
+      if (!Callee.isValid()) {
+        // External call: no side effects; the Return point binds input().
+        Next = Cmd.Pair;
+        ReturnedFromValid = false;
+        break;
+      }
+      const FunctionInfo &G = Prog.function(Callee);
+      size_t NBind = std::min(G.Params.size(), Cmd.Args.size());
+      std::vector<CValue> ArgVals(NBind);
+      for (size_t I = 0; I < NBind; ++I) {
+        EvalResult A = eval(*Cmd.Args[I]);
+        if (!A.Ok)
+          return Stop(OobHit ? StopReason::Overrun : StopReason::Trap);
+        ArgVals[I] = A.V;
+      }
+      for (size_t I = 0; I < NBind; ++I)
+        Vars[G.Params[I].value()] = ArgVals[I];
+      CallStack.push_back(Cmd.Pair);
+      Next = G.Entry;
+      break;
+    }
+    case CmdKind::Exit: {
+      if (CallStack.empty()) {
+        if (Obs)
+          Obs(Pc, *this);
+        return Stop(StopReason::Finished);
+      }
+      ReturnedFrom = Pt.Func;
+      ReturnedFromValid = true;
+      Next = CallStack.back();
+      CallStack.pop_back();
+      break;
+    }
+    case CmdKind::Return: {
+      if (Cmd.Target.isValid()) {
+        if (ReturnedFromValid) {
+          const CValue &Ret =
+              Vars[Prog.function(ReturnedFrom).RetSlot.value()];
+          if (Ret.K == CValue::Kind::Uninit)
+            return Stop(StopReason::Trap); // Callee never returned a value.
+          Vars[Cmd.Target.value()] = Ret;
+        } else {
+          // External call result: an arbitrary input.
+          Vars[Cmd.Target.value()] =
+              CValue::intVal(Inputs.range(Opts.InputMin, Opts.InputMax));
+        }
+      }
+      break;
+    }
+    }
+
+    if (Obs)
+      Obs(Pc, *this);
+
+    if (Next.isValid()) {
+      Pc = Next;
+      continue;
+    }
+
+    const auto &Succs = Prog.succs(Pc);
+    if (Succs.empty())
+      return Stop(StopReason::Finished); // Only _start's exit has no succ.
+    if (Succs.size() == 1) {
+      Pc = Succs[0];
+      continue;
+    }
+    // Branch: successors are an assume pair; follow the satisfied one.
+    PointId Chosen;
+    for (PointId S : Succs) {
+      const Command &SC = Prog.point(S).Cmd;
+      if (SC.Kind != CmdKind::Assume)
+        return Stop(StopReason::Trap);
+      bool Holds = false;
+      if (!evalCond(*SC.Cnd, Holds))
+        return Stop(StopReason::Trap);
+      if (Holds) {
+        Chosen = S;
+        break;
+      }
+    }
+    if (!Chosen.isValid())
+      return Stop(StopReason::Blocked);
+    Pc = Chosen;
+  }
+}

@@ -1,0 +1,134 @@
+//===- Interp.h - Concrete interpreter -----------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic concrete interpreter for the IR.  Its role is to sample
+/// the collecting semantics: soundness tests execute a program and check
+/// that every observed concrete state is contained in the abstractions the
+/// analyzers compute.
+///
+/// The modeled concrete semantics matches what the abstract domains
+/// abstract:
+///  * locals are statically allocated (one cell per abstract location, so
+///    recursive invocations share frames, mirroring the context-insensitive
+///    abstraction);
+///  * `alloc(n)` creates a zero-initialized block of n cells tagged with
+///    its allocation site;
+///  * reading an uninitialized cell, arithmetic on pointers other than
+///    offset adjustment, out-of-bounds dereferences, and int64 overflow
+///    all *trap* (halt execution cleanly) — trapped paths have no
+///    continuation to be covered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_INTERP_INTERP_H
+#define SPA_INTERP_INTERP_H
+
+#include "ir/CallGraphInfo.h"
+#include "ir/Program.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace spa {
+
+/// A concrete runtime value.
+struct CValue {
+  enum class Kind { Uninit, Int, Ptr, Fun };
+  Kind K = Kind::Uninit;
+  int64_t I = 0;      ///< Int payload.
+  bool Heap = false;  ///< Ptr: heap block vs. variable cell.
+  uint32_t Block = 0; ///< Ptr: heap block index when Heap.
+  LocId VarBase;      ///< Ptr: variable location when !Heap.
+  int64_t Off = 0;    ///< Ptr: offset in cells.
+  FuncId F;           ///< Fun payload.
+
+  static CValue intVal(int64_t V) {
+    CValue C;
+    C.K = Kind::Int;
+    C.I = V;
+    return C;
+  }
+};
+
+/// One concrete heap block (from one `alloc` execution).
+struct HeapBlock {
+  LocId Site; ///< The allocation-site abstract location.
+  std::vector<CValue> Cells;
+};
+
+/// Why execution stopped.
+enum class StopReason {
+  Finished, ///< main returned.
+  Fuel,     ///< Step budget exhausted (e.g. infinite loop).
+  Trap,     ///< Runtime error (uninitialized read, type error, overflow).
+  Blocked,  ///< A standalone `assume` condition evaluated to false.
+  Overrun,  ///< Out-of-bounds dereference (kept separate: it is the
+            ///< defect class the buffer-overrun checker reports).
+};
+
+struct InterpOptions {
+  uint64_t MaxSteps = 200000;
+  uint64_t InputSeed = 1; ///< Seed for the `input()` value stream.
+  int64_t InputMin = -100, InputMax = 100;
+};
+
+struct InterpResult {
+  StopReason Reason = StopReason::Finished;
+  uint64_t Steps = 0;
+  /// Points at which an out-of-bounds dereference occurred (first only).
+  std::vector<PointId> OverrunPoints;
+};
+
+/// The interpreter.  Construct, then run(); query memory from the
+/// per-point observer callback.
+class Interp {
+public:
+  /// Observer invoked after each executed point with the post-state
+  /// available through the interpreter's query interface.
+  using Observer = std::function<void(PointId, const Interp &)>;
+
+  Interp(const Program &Prog, const CallGraphInfo &CG,
+         InterpOptions Opts = InterpOptions());
+
+  /// Runs from _start's entry.  \p Obs may be null.
+  InterpResult run(const Observer &Obs);
+
+  /// Current value of a variable-like location (Global/Local/Param/
+  /// RetSlot).
+  const CValue &varValue(LocId L) const { return Vars[L.value()]; }
+  /// All heap blocks allocated so far.
+  const std::vector<HeapBlock> &heapBlocks() const { return Heap; }
+  /// Number of cells of the block \p P points into (1 for variables).
+  int64_t blockSize(const CValue &P) const;
+
+private:
+  struct EvalResult {
+    bool Ok = false;
+    CValue V;
+  };
+
+  EvalResult eval(const IExpr &E);
+  bool evalCond(const ICond &C, bool &Out);
+  bool readCell(const CValue &Ptr, CValue &Out, bool &Oob);
+  bool writeCell(const CValue &Ptr, const CValue &V, bool &Oob);
+
+  const Program &Prog;
+  const CallGraphInfo &CG;
+  InterpOptions Opts;
+  Rng Inputs;
+
+  std::vector<CValue> Vars; ///< One cell per non-heap abstract location.
+  std::vector<HeapBlock> Heap;
+  std::vector<PointId> CallStack; ///< Return points of active calls.
+  bool OobHit = false; ///< Set when an eval failure was an overrun.
+};
+
+} // namespace spa
+
+#endif // SPA_INTERP_INTERP_H

@@ -1,0 +1,518 @@
+//===- Builder.cpp - AST-to-IR lowering ----------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "lang/Parser.h"
+
+#include <cassert>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace spa;
+
+namespace {
+
+class Builder {
+public:
+  explicit Builder(const ProgramAST &Ast) : Ast(Ast) {}
+
+  BuildResult run() {
+    Prog = std::make_unique<Program>();
+    declareGlobals();
+    declareFunctions();
+    if (Failed)
+      return finish();
+
+    FuncId Main = Prog->findFunction("main");
+    if (!Main.isValid()) {
+      fail(0, "program has no 'main' function");
+      return finish();
+    }
+    Prog->Main = Main;
+    if (!Prog->function(Main).Params.empty()) {
+      fail(0, "'main' must take no parameters");
+      return finish();
+    }
+
+    for (size_t I = 0; I < Ast.Functions.size(); ++I)
+      buildFunctionBody(FuncId(static_cast<uint32_t>(I)));
+    if (Failed)
+      return finish();
+
+    synthesizeStart();
+    return finish();
+  }
+
+private:
+  BuildResult finish() {
+    BuildResult R;
+    if (Failed) {
+      R.Error = ErrorMessage;
+      return R;
+    }
+    R.Prog = std::move(Prog);
+    return R;
+  }
+
+  void fail(unsigned Line, const std::string &Message) {
+    if (Failed)
+      return;
+    Failed = true;
+    ErrorMessage = "line " + std::to_string(Line) + ": " + Message;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Declarations
+  //===------------------------------------------------------------------===//
+
+  LocId newLoc(LocKind Kind, std::string Name, FuncId Owner, PointId Site) {
+    LocId Id(static_cast<uint32_t>(Prog->Locs.size()));
+    LocInfo Info;
+    Info.Kind = Kind;
+    Info.Name = std::move(Name);
+    Info.Owner = Owner;
+    Info.Site = Site;
+    Prog->Locs.push_back(std::move(Info));
+    return Id;
+  }
+
+  void declareGlobals() {
+    for (const GlobalDecl &G : Ast.Globals) {
+      if (GlobalByName.count(G.Name)) {
+        fail(G.Line, "global '" + G.Name + "' redeclared");
+        return;
+      }
+      GlobalByName[G.Name] = newLoc(LocKind::Global, G.Name, FuncId(),
+                                    PointId());
+    }
+  }
+
+  void declareFunctions() {
+    for (const FunctionDecl &F : Ast.Functions) {
+      if (Prog->FuncByName.count(F.Name)) {
+        fail(F.Line, "function '" + F.Name + "' redefined");
+        return;
+      }
+      FuncId Id(static_cast<uint32_t>(Prog->Funcs.size()));
+      Prog->FuncByName[F.Name] = Id;
+      FunctionInfo Info;
+      Info.Name = F.Name;
+      std::unordered_set<std::string> Seen;
+      for (const std::string &P : F.Params) {
+        if (!Seen.insert(P).second) {
+          fail(F.Line, "parameter '" + P + "' repeated in '" + F.Name + "'");
+          return;
+        }
+        Info.Params.push_back(
+            newLoc(LocKind::Param, F.Name + "::" + P, Id, PointId()));
+      }
+      Info.RetSlot = newLoc(LocKind::RetSlot, F.Name + "::$ret", Id,
+                            PointId());
+      Prog->Funcs.push_back(std::move(Info));
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Per-function lowering
+  //===------------------------------------------------------------------===//
+
+  /// Name resolution context for the function being built.
+  struct Scope {
+    FuncId Func;
+    std::unordered_map<std::string, LocId> Vars; // Params and locals.
+  };
+
+  /// Collects every name that syntactically occurs as a variable in \p F's
+  /// body and is neither a global, nor a parameter, nor a function name;
+  /// those become locals.
+  void collectLocals(const FunctionDecl &F, Scope &S) {
+    std::set<std::string> Names;
+    for (const auto &St : F.Body)
+      collectStmtNames(*St, Names);
+    FunctionInfo &Info = Prog->Funcs[S.Func.value()];
+    for (const std::string &Name : Names) {
+      if (S.Vars.count(Name) || GlobalByName.count(Name) ||
+          Prog->FuncByName.count(Name))
+        continue;
+      LocId L = newLoc(LocKind::Local, Info.Name + "::" + Name, S.Func,
+                       PointId());
+      Info.Locals.push_back(L);
+      S.Vars[Name] = L;
+    }
+  }
+
+  void collectExprNames(const Expr &E, std::set<std::string> &Names) {
+    switch (E.Kind) {
+    case ExprKind::Num:
+    case ExprKind::Input:
+      return;
+    case ExprKind::Var:
+    case ExprKind::AddrOf:
+    case ExprKind::Deref:
+      Names.insert(E.Name);
+      return;
+    case ExprKind::Binary:
+      collectExprNames(*E.Lhs, Names);
+      collectExprNames(*E.Rhs, Names);
+      return;
+    }
+  }
+
+  void collectStmtNames(const Stmt &S, std::set<std::string> &Names) {
+    if (!S.Target.empty())
+      Names.insert(S.Target);
+    if (S.E)
+      collectExprNames(*S.E, Names);
+    if (S.Cnd) {
+      collectExprNames(*S.Cnd->Lhs, Names);
+      collectExprNames(*S.Cnd->Rhs, Names);
+    }
+    if (S.Kind == StmtKind::Call && S.Indirect)
+      Names.insert(S.Callee);
+    for (const auto &A : S.Args)
+      collectExprNames(*A, Names);
+    for (const auto &Sub : S.Then)
+      collectStmtNames(*Sub, Names);
+    for (const auto &Sub : S.Else)
+      collectStmtNames(*Sub, Names);
+  }
+
+  /// Resolves variable \p Name in \p S; reports an error if unresolvable.
+  LocId resolveVar(const Scope &S, const std::string &Name, unsigned Line) {
+    auto It = S.Vars.find(Name);
+    if (It != S.Vars.end())
+      return It->second;
+    auto G = GlobalByName.find(Name);
+    if (G != GlobalByName.end())
+      return G->second;
+    fail(Line, "cannot resolve variable '" + Name + "'");
+    return LocId();
+  }
+
+  std::unique_ptr<IExpr> resolveExpr(const Scope &S, const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::Num:
+      return IExpr::makeNum(E.Num);
+    case ExprKind::Input:
+      return IExpr::makeInput();
+    case ExprKind::Var: {
+      // A bare function name evaluates to the function's address.
+      if (!S.Vars.count(E.Name) && !GlobalByName.count(E.Name)) {
+        FuncId F = Prog->findFunction(E.Name);
+        if (F.isValid())
+          return IExpr::makeFuncAddr(F);
+      }
+      return IExpr::makeVar(resolveVar(S, E.Name, E.Line));
+    }
+    case ExprKind::AddrOf: {
+      if (!S.Vars.count(E.Name) && !GlobalByName.count(E.Name)) {
+        FuncId F = Prog->findFunction(E.Name);
+        if (F.isValid())
+          return IExpr::makeFuncAddr(F);
+      }
+      return IExpr::makeAddrOf(resolveVar(S, E.Name, E.Line));
+    }
+    case ExprKind::Deref:
+      return IExpr::makeDeref(resolveVar(S, E.Name, E.Line));
+    case ExprKind::Binary:
+      return IExpr::makeBinary(E.Op, resolveExpr(S, *E.Lhs),
+                               resolveExpr(S, *E.Rhs));
+    }
+    assert(false && "unknown expression kind");
+    return IExpr::makeNum(0);
+  }
+
+  std::unique_ptr<ICond> resolveCond(const Scope &S, const Cond &C,
+                                     bool Negate) {
+    auto IC = std::make_unique<ICond>();
+    IC->Op = Negate ? negateRelOp(C.Op) : C.Op;
+    IC->Lhs = resolveExpr(S, *C.Lhs);
+    IC->Rhs = resolveExpr(S, *C.Rhs);
+    return IC;
+  }
+
+  PointId newPoint(FuncId F, Command Cmd, unsigned Line) {
+    PointId Id(static_cast<uint32_t>(Prog->Points.size()));
+    Point P;
+    P.Cmd = std::move(Cmd);
+    P.Func = F;
+    P.Line = Line;
+    Prog->Points.push_back(std::move(P));
+    Prog->Succs.emplace_back();
+    Prog->Preds.emplace_back();
+    Prog->Funcs[F.value()].Points.push_back(Id);
+    return Id;
+  }
+
+  void addEdge(PointId From, PointId To) {
+    Prog->Succs[From.value()].push_back(To);
+    Prog->Preds[To.value()].push_back(From);
+  }
+
+  /// Creates a point whose predecessors are the current frontier, then
+  /// replaces the frontier with it.
+  PointId emit(Scope &S, Command Cmd, unsigned Line,
+               std::vector<PointId> &Frontier) {
+    PointId P = newPoint(S.Func, std::move(Cmd), Line);
+    for (PointId F : Frontier)
+      addEdge(F, P);
+    Frontier.assign(1, P);
+    return P;
+  }
+
+  void buildFunctionBody(FuncId Id) {
+    const FunctionDecl &F = Ast.Functions[Id.value()];
+    Scope S;
+    S.Func = Id;
+    FunctionInfo &Info = Prog->Funcs[Id.value()];
+    for (size_t I = 0; I < F.Params.size(); ++I)
+      S.Vars[F.Params[I]] = Info.Params[I];
+    collectLocals(F, S);
+
+    Command EntryCmd;
+    EntryCmd.Kind = CmdKind::Entry;
+    Info.Entry = newPoint(Id, std::move(EntryCmd), F.Line);
+
+    std::vector<PointId> Frontier{Info.Entry};
+    buildBody(S, F.Body, Frontier);
+    if (Failed)
+      return;
+
+    Command ExitCmd;
+    ExitCmd.Kind = CmdKind::Exit;
+    Info.Exit = newPoint(Id, std::move(ExitCmd), F.Line);
+    for (PointId P : PendingExits[Id.value()])
+      addEdge(P, Info.Exit);
+    for (PointId P : Frontier)
+      addEdge(P, Info.Exit);
+  }
+
+  /// Lowers a statement list.  \p Frontier holds the dangling points that
+  /// flow into the next statement; it becomes empty when control cannot
+  /// continue (all paths returned), at which point the remaining
+  /// statements are dropped as unreachable.
+  void buildBody(Scope &S, const std::vector<std::unique_ptr<Stmt>> &Body,
+                 std::vector<PointId> &Frontier) {
+    for (const auto &St : Body) {
+      if (Failed || Frontier.empty())
+        return;
+      buildStmt(S, *St, Frontier);
+    }
+  }
+
+  void buildStmt(Scope &S, const Stmt &St, std::vector<PointId> &Frontier) {
+    switch (St.Kind) {
+    case StmtKind::Skip: {
+      Command C;
+      C.Kind = CmdKind::Skip;
+      emit(S, std::move(C), St.Line, Frontier);
+      return;
+    }
+    case StmtKind::Assign: {
+      Command C;
+      C.Kind = CmdKind::Assign;
+      C.Target = resolveVar(S, St.Target, St.Line);
+      C.E = resolveExpr(S, *St.E);
+      emit(S, std::move(C), St.Line, Frontier);
+      return;
+    }
+    case StmtKind::Store: {
+      Command C;
+      C.Kind = CmdKind::Store;
+      C.Target = resolveVar(S, St.Target, St.Line);
+      C.E = resolveExpr(S, *St.E);
+      emit(S, std::move(C), St.Line, Frontier);
+      return;
+    }
+    case StmtKind::Alloc: {
+      Command C;
+      C.Kind = CmdKind::Alloc;
+      C.Target = resolveVar(S, St.Target, St.Line);
+      C.E = resolveExpr(S, *St.E);
+      PointId P = emit(S, std::move(C), St.Line, Frontier);
+      Prog->Points[P.value()].Cmd.AllocSite =
+          newLoc(LocKind::AllocSite, "alloc@" + std::to_string(P.value()),
+                 S.Func, P);
+      return;
+    }
+    case StmtKind::Assume: {
+      Command C;
+      C.Kind = CmdKind::Assume;
+      C.Cnd = resolveCond(S, *St.Cnd, /*Negate=*/false);
+      emit(S, std::move(C), St.Line, Frontier);
+      return;
+    }
+    case StmtKind::Return: {
+      if (St.E) {
+        Command C;
+        C.Kind = CmdKind::RetStmt;
+        C.Target = Prog->Funcs[S.Func.value()].RetSlot;
+        C.E = resolveExpr(S, *St.E);
+        emit(S, std::move(C), St.Line, Frontier);
+      } else {
+        Command C;
+        C.Kind = CmdKind::Skip;
+        emit(S, std::move(C), St.Line, Frontier);
+      }
+      // Control flows to the function exit (created after the body).
+      auto &Pending = PendingExits[S.Func.value()];
+      Pending.insert(Pending.end(), Frontier.begin(), Frontier.end());
+      Frontier.clear();
+      return;
+    }
+    case StmtKind::If: {
+      Command TrueCmd;
+      TrueCmd.Kind = CmdKind::Assume;
+      TrueCmd.Cnd = resolveCond(S, *St.Cnd, /*Negate=*/false);
+      Command FalseCmd;
+      FalseCmd.Kind = CmdKind::Assume;
+      FalseCmd.Cnd = resolveCond(S, *St.Cnd, /*Negate=*/true);
+
+      PointId TruePt = newPoint(S.Func, std::move(TrueCmd), St.Line);
+      PointId FalsePt = newPoint(S.Func, std::move(FalseCmd), St.Line);
+      for (PointId F : Frontier) {
+        addEdge(F, TruePt);
+        addEdge(F, FalsePt);
+      }
+      std::vector<PointId> ThenFrontier{TruePt};
+      std::vector<PointId> ElseFrontier{FalsePt};
+      buildBody(S, St.Then, ThenFrontier);
+      buildBody(S, St.Else, ElseFrontier);
+      Frontier = std::move(ThenFrontier);
+      Frontier.insert(Frontier.end(), ElseFrontier.begin(),
+                      ElseFrontier.end());
+      return;
+    }
+    case StmtKind::While: {
+      Command HeadCmd;
+      HeadCmd.Kind = CmdKind::Skip;
+      PointId Head = emit(S, std::move(HeadCmd), St.Line, Frontier);
+
+      Command TrueCmd;
+      TrueCmd.Kind = CmdKind::Assume;
+      TrueCmd.Cnd = resolveCond(S, *St.Cnd, /*Negate=*/false);
+      Command FalseCmd;
+      FalseCmd.Kind = CmdKind::Assume;
+      FalseCmd.Cnd = resolveCond(S, *St.Cnd, /*Negate=*/true);
+      PointId TruePt = newPoint(S.Func, std::move(TrueCmd), St.Line);
+      PointId FalsePt = newPoint(S.Func, std::move(FalseCmd), St.Line);
+      addEdge(Head, TruePt);
+      addEdge(Head, FalsePt);
+
+      std::vector<PointId> BodyFrontier{TruePt};
+      buildBody(S, St.Then, BodyFrontier);
+      for (PointId P : BodyFrontier)
+        addEdge(P, Head); // Back edge; Head is the widening point.
+      Frontier.assign(1, FalsePt);
+      return;
+    }
+    case StmtKind::Call: {
+      buildCall(S, St, Frontier);
+      return;
+    }
+    }
+  }
+
+  void buildCall(Scope &S, const Stmt &St, std::vector<PointId> &Frontier) {
+    Command CallCmd;
+    CallCmd.Kind = CmdKind::Call;
+    for (const auto &A : St.Args)
+      CallCmd.Args.push_back(resolveExpr(S, *A));
+
+    if (St.Indirect) {
+      CallCmd.Target = resolveVar(S, St.Callee, St.Line);
+    } else {
+      FuncId Callee = Prog->findFunction(St.Callee);
+      if (Callee.isValid()) {
+        CallCmd.DirectCallee = Callee;
+      } else if (S.Vars.count(St.Callee) || GlobalByName.count(St.Callee)) {
+        // `p(...)` where p is a variable: indirect call through p.
+        CallCmd.Target = resolveVar(S, St.Callee, St.Line);
+      } else {
+        CallCmd.External = true;
+      }
+    }
+
+    PointId CallPt = emit(S, std::move(CallCmd), St.Line, Frontier);
+
+    Command RetCmd;
+    RetCmd.Kind = CmdKind::Return;
+    if (!St.Target.empty())
+      RetCmd.Target = resolveVar(S, St.Target, St.Line);
+    RetCmd.Pair = CallPt;
+    PointId RetPt = emit(S, std::move(RetCmd), St.Line, Frontier);
+    Prog->Points[CallPt.value()].Cmd.Pair = RetPt;
+  }
+
+  //===------------------------------------------------------------------===//
+  // _start synthesis
+  //===------------------------------------------------------------------===//
+
+  /// Builds `_start`: zero-initialize every global (C semantics), apply the
+  /// declared initializers, then call main.
+  void synthesizeStart() {
+    FuncId Id(static_cast<uint32_t>(Prog->Funcs.size()));
+    Prog->FuncByName["_start"] = Id;
+    FunctionInfo Info;
+    Info.Name = "_start";
+    Info.RetSlot = newLoc(LocKind::RetSlot, "_start::$ret", Id, PointId());
+    Prog->Funcs.push_back(std::move(Info));
+    Prog->Start = Id;
+
+    Command EntryCmd;
+    EntryCmd.Kind = CmdKind::Entry;
+    Prog->Funcs[Id.value()].Entry = newPoint(Id, std::move(EntryCmd), 0);
+    std::vector<PointId> Frontier{Prog->Funcs[Id.value()].Entry};
+
+    Scope S;
+    S.Func = Id;
+    for (const GlobalDecl &G : Ast.Globals) {
+      Command C;
+      C.Kind = CmdKind::Assign;
+      C.Target = GlobalByName[G.Name];
+      C.E = IExpr::makeNum(G.Init.value_or(0));
+      emit(S, std::move(C), G.Line, Frontier);
+    }
+
+    Stmt CallMain;
+    CallMain.Kind = StmtKind::Call;
+    CallMain.Callee = "main";
+    buildCall(S, CallMain, Frontier);
+
+    Command ExitCmd;
+    ExitCmd.Kind = CmdKind::Exit;
+    PointId Exit = newPoint(Id, std::move(ExitCmd), 0);
+    for (PointId P : Frontier)
+      addEdge(P, Exit);
+    Prog->Funcs[Id.value()].Exit = Exit;
+  }
+
+  const ProgramAST &Ast;
+  std::unique_ptr<Program> Prog;
+  std::unordered_map<std::string, LocId> GlobalByName;
+  /// Per function: points whose successor is the (later-created) exit.
+  std::unordered_map<uint32_t, std::vector<PointId>> PendingExits;
+  bool Failed = false;
+  std::string ErrorMessage;
+};
+
+} // namespace
+
+BuildResult spa::buildProgram(const ProgramAST &Ast) {
+  return Builder(Ast).run();
+}
+
+BuildResult spa::buildProgramFromSource(std::string_view Source) {
+  ParseResult P = parseProgram(Source);
+  if (!P.Ok) {
+    BuildResult R;
+    R.Error = "parse error: " + P.Error;
+    return R;
+  }
+  return buildProgram(P.Program);
+}

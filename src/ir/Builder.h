@@ -1,0 +1,42 @@
+//===- Builder.h - AST-to-IR lowering ------------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_IR_BUILDER_H
+#define SPA_IR_BUILDER_H
+
+#include "ir/Program.h"
+#include "lang/AST.h"
+
+#include <memory>
+#include <string>
+
+namespace spa {
+
+/// Result of lowering an AST to IR.  On failure \c Error describes the
+/// first problem found (e.g. missing main, store to an unknown name).
+struct BuildResult {
+  std::unique_ptr<Program> Prog;
+  std::string Error;
+  bool ok() const { return Prog != nullptr; }
+};
+
+/// Lowers \p Ast to a Program.  Lowering:
+///  * structured `if`/`while` become Assume commands on branch edges, with
+///    a Skip loop head for each `while` (the widening point);
+///  * every call becomes a Call/Return point pair;
+///  * a synthetic `_start` function zero-initializes the globals, applies
+///    declared initializers, and calls `main`;
+///  * statements that cannot execute (after `return`) are dropped, so
+///    every emitted point is reachable from its function's entry.
+BuildResult buildProgram(const ProgramAST &Ast);
+
+/// Convenience: parse + build.  On parse or build failure, returns a null
+/// program with the diagnostic in Error.
+BuildResult buildProgramFromSource(std::string_view Source);
+
+} // namespace spa
+
+#endif // SPA_IR_BUILDER_H

@@ -1,0 +1,268 @@
+//===- CallGraphInfo.cpp - Resolved call graph --------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CallGraphInfo.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spa;
+
+namespace {
+
+/// Iterative Tarjan SCC over the function-level callgraph.
+class SccFinder {
+public:
+  SccFinder(size_t N, const std::vector<std::vector<uint32_t>> &Adj)
+      : Adj(Adj), Index(N, UINT32_MAX), LowLink(N, 0), OnStack(N, false) {
+    SccOf.assign(N, UINT32_MAX);
+  }
+
+  void run() {
+    for (uint32_t V = 0; V < Index.size(); ++V)
+      if (Index[V] == UINT32_MAX)
+        strongConnect(V);
+  }
+
+  std::vector<uint32_t> SccSizes;
+  std::vector<uint32_t> SccOf;
+  /// True for SCCs that are cycles (size > 1, or a self loop).
+  std::vector<bool> SccCyclic;
+
+private:
+  void strongConnect(uint32_t Root) {
+    struct Frame {
+      uint32_t V;
+      size_t NextEdge;
+    };
+    std::vector<Frame> CallStack;
+    CallStack.push_back({Root, 0});
+    visit(Root);
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      if (F.NextEdge < Adj[F.V].size()) {
+        uint32_t W = Adj[F.V][F.NextEdge++];
+        if (Index[W] == UINT32_MAX) {
+          visit(W);
+          CallStack.push_back({W, 0});
+        } else if (OnStack[W]) {
+          LowLink[F.V] = std::min(LowLink[F.V], Index[W]);
+        }
+        continue;
+      }
+      // All edges of F.V processed.
+      if (LowLink[F.V] == Index[F.V]) {
+        uint32_t SccId = static_cast<uint32_t>(SccSizes.size());
+        uint32_t Size = 0;
+        bool SelfLoop = false;
+        for (;;) {
+          uint32_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          SccOf[W] = SccId;
+          ++Size;
+          for (uint32_t X : Adj[W])
+            if (X == W)
+              SelfLoop = true;
+          if (W == F.V)
+            break;
+        }
+        SccSizes.push_back(Size);
+        SccCyclic.push_back(Size > 1 || SelfLoop);
+      }
+      uint32_t V = F.V;
+      CallStack.pop_back();
+      if (!CallStack.empty())
+        LowLink[CallStack.back().V] =
+            std::min(LowLink[CallStack.back().V], LowLink[V]);
+    }
+  }
+
+  void visit(uint32_t V) {
+    Index[V] = LowLink[V] = NextIndex++;
+    Stack.push_back(V);
+    OnStack[V] = true;
+  }
+
+  const std::vector<std::vector<uint32_t>> &Adj;
+  std::vector<uint32_t> Index, LowLink;
+  std::vector<bool> OnStack;
+  std::vector<uint32_t> Stack;
+  uint32_t NextIndex = 0;
+
+public:
+  using SccOfVector = std::vector<uint32_t>;
+};
+
+} // namespace
+
+CallGraphInfo::CallGraphInfo(const Program &Prog,
+                             std::vector<std::vector<FuncId>> CalleesPerPoint)
+    : Callees(std::move(CalleesPerPoint)), CallSites(Prog.numFuncs()),
+      Recursive(Prog.numFuncs(), false) {
+  assert(Callees.size() == Prog.numPoints() && "callee table size mismatch");
+
+  // Deduplicate callee lists and build the inverse call-site index.
+  for (uint32_t P = 0; P < Callees.size(); ++P) {
+    auto &Cs = Callees[P];
+    std::sort(Cs.begin(), Cs.end());
+    Cs.erase(std::unique(Cs.begin(), Cs.end()), Cs.end());
+    for (FuncId G : Cs)
+      CallSites[G.value()].push_back(PointId(P));
+  }
+
+  // Function-level adjacency for SCC computation.
+  std::vector<std::vector<uint32_t>> Adj(Prog.numFuncs());
+  for (uint32_t P = 0; P < Callees.size(); ++P) {
+    FuncId Caller = Prog.point(PointId(P)).Func;
+    for (FuncId G : Callees[P])
+      Adj[Caller.value()].push_back(G.value());
+  }
+
+  SccFinder Finder(Prog.numFuncs(), Adj);
+  Finder.run();
+  SccOfFunc.assign(Prog.numFuncs(), 0);
+  SccMembers.assign(Finder.SccSizes.size(), {});
+  for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
+    uint32_t Scc = Finder.SccOf[F];
+    MaxSccSize = std::max(MaxSccSize, Finder.SccSizes[Scc]);
+    Recursive[F] = Finder.SccCyclic[Scc];
+    SccOfFunc[F] = Scc;
+    // Tarjan emits an SCC only once everything it reaches is emitted, so
+    // ascending SCC ids are already reverse topological order.
+    SccMembers[Scc].push_back(FuncId(F));
+  }
+}
+
+CallGraphInfo spa::buildDirectCallGraph(const Program &Prog) {
+  std::vector<std::vector<FuncId>> Callees(Prog.numPoints());
+  for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
+    const Command &Cmd = Prog.point(PointId(P)).Cmd;
+    if (Cmd.Kind == CmdKind::Call && Cmd.DirectCallee.isValid())
+      Callees[P].push_back(Cmd.DirectCallee);
+  }
+  return CallGraphInfo(Prog, std::move(Callees));
+}
+
+std::vector<uint32_t> spa::computeSuperRpo(const Program &Prog,
+                                           const CallGraphInfo &CG) {
+  size_t N = Prog.numPoints();
+  std::vector<uint32_t> Order(N, UINT32_MAX);
+  std::vector<uint8_t> State(N, 0); // 0 = unseen, 1 = open, 2 = done.
+  std::vector<uint32_t> Postorder;
+  Postorder.reserve(N);
+
+  auto Dfs = [&](PointId Root) {
+    if (State[Root.value()])
+      return;
+    struct Frame {
+      uint32_t V;
+      std::vector<PointId> Succs;
+      size_t Next;
+    };
+    std::vector<Frame> Stack;
+    auto Open = [&](uint32_t V) {
+      State[V] = 1;
+      Frame F;
+      F.V = V;
+      F.Next = 0;
+      CG.forEachSuperSucc(Prog, PointId(V),
+                          [&](PointId S) { F.Succs.push_back(S); });
+      Stack.push_back(std::move(F));
+    };
+    Open(Root.value());
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      if (F.Next < F.Succs.size()) {
+        uint32_t W = F.Succs[F.Next++].value();
+        if (!State[W])
+          Open(W);
+        continue;
+      }
+      State[F.V] = 2;
+      Postorder.push_back(F.V);
+      Stack.pop_back();
+    }
+  };
+
+  Dfs(Prog.startPoint());
+  // Cover points unreachable in the supergraph (e.g. never-called
+  // functions) so every point still gets a deterministic priority.
+  for (uint32_t F = 0; F < Prog.numFuncs(); ++F)
+    Dfs(Prog.Funcs[F].Entry);
+  for (uint32_t P = 0; P < N; ++P)
+    Dfs(PointId(P));
+
+  uint32_t Rank = 0;
+  for (auto It = Postorder.rbegin(); It != Postorder.rend(); ++It)
+    Order[*It] = Rank++;
+  return Order;
+}
+
+std::vector<bool> spa::computeWideningPoints(const Program &Prog,
+                                             const CallGraphInfo &CG,
+                                             bool IncludeCallToReturn) {
+  size_t N = Prog.numPoints();
+  std::vector<bool> Widen(N, false);
+
+  // Back-edge targets of a DFS over the *supergraph*.  Every supergraph
+  // cycle contains a DFS back edge, so widening at the targets cuts all
+  // of them — including loops, recursion, and the unrealizable
+  // call-return "butterfly" cycles a context-insensitive supergraph has
+  // when one function is called from several sites.
+  std::vector<uint8_t> State(N, 0);
+  auto Dfs = [&](PointId Root) {
+    if (State[Root.value()])
+      return;
+    struct Frame {
+      uint32_t V;
+      std::vector<PointId> Succs;
+      size_t Next;
+    };
+    std::vector<Frame> Stack;
+    auto Open = [&](uint32_t V) {
+      State[V] = 1;
+      Frame F;
+      F.V = V;
+      F.Next = 0;
+      CG.forEachSuperSucc(Prog, PointId(V),
+                          [&](PointId S) { F.Succs.push_back(S); });
+      const Command &Cmd = Prog.point(PointId(V)).Cmd;
+      if (IncludeCallToReturn && Cmd.Kind == CmdKind::Call &&
+          Cmd.Pair.isValid())
+        F.Succs.push_back(Cmd.Pair);
+      Stack.push_back(std::move(F));
+    };
+    Open(Root.value());
+    while (!Stack.empty()) {
+      Frame &Fr = Stack.back();
+      if (Fr.Next < Fr.Succs.size()) {
+        uint32_t W = Fr.Succs[Fr.Next++].value();
+        if (State[W] == 1)
+          Widen[W] = true; // Back edge target.
+        else if (State[W] == 0)
+          Open(W);
+        continue;
+      }
+      State[Fr.V] = 2;
+      Stack.pop_back();
+    }
+  };
+
+  Dfs(Prog.startPoint());
+  for (uint32_t F = 0; F < Prog.numFuncs(); ++F)
+    Dfs(Prog.Funcs[F].Entry);
+  for (uint32_t P = 0; P < N; ++P)
+    Dfs(PointId(P));
+
+  // Recursive functions additionally widen at their entries regardless of
+  // where the DFS happened to place back edges.
+  for (uint32_t F = 0; F < Prog.numFuncs(); ++F)
+    if (CG.isRecursive(FuncId(F)))
+      Widen[Prog.Funcs[F].Entry.value()] = true;
+
+  return Widen;
+}

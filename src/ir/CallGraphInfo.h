@@ -1,0 +1,137 @@
+//===- CallGraphInfo.h - Resolved call graph ---------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolved callee sets per call point and the derived callgraph: call
+/// sites per function, strongly connected components (the paper's maxSCC
+/// column in Table 1, and the recursion cut points the fixpoint engines
+/// widen at), and the interprocedural successor/predecessor helpers that
+/// turn the intraprocedural skeleton into the supergraph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_IR_CALLGRAPHINFO_H
+#define SPA_IR_CALLGRAPHINFO_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace spa {
+
+/// Resolved call graph.  Indirect calls need the pre-analysis; direct
+/// calls can be resolved syntactically (buildDirectCallGraph) which tests
+/// without function pointers use.
+class CallGraphInfo {
+public:
+  /// Builds SCC and call-site indices from per-point callee sets.
+  CallGraphInfo(const Program &Prog,
+                std::vector<std::vector<FuncId>> CalleesPerPoint);
+
+  /// Possible callees of call point \p P (empty for external calls).
+  const std::vector<FuncId> &callees(PointId P) const {
+    return Callees[P.value()];
+  }
+  /// Call points that may invoke \p F.
+  const std::vector<PointId> &callSitesOf(FuncId F) const {
+    return CallSites[F.value()];
+  }
+  /// Size of the largest callgraph SCC (Table 1's maxSCC).
+  uint32_t maxSccSize() const { return MaxSccSize; }
+  /// True if \p F sits on a callgraph cycle (recursive, directly or
+  /// mutually); such entries are widening points.
+  bool isRecursive(FuncId F) const { return Recursive[F.value()]; }
+
+  /// SCC id of \p F in the callgraph condensation.
+  uint32_t sccOf(FuncId F) const { return SccOfFunc[F.value()]; }
+  /// SCC ids in reverse topological order (callees before callers), with
+  /// their member functions; summary fixpoints process them in order.
+  const std::vector<std::vector<FuncId>> &sccMembersInOrder() const {
+    return SccMembers;
+  }
+
+  /// Enumerates the supergraph successors of \p P: callee entries for call
+  /// points (falling back to the paired return point for external or
+  /// unresolved calls), return sites of all call sites for exits, and
+  /// skeleton successors otherwise.
+  template <typename Fn>
+  void forEachSuperSucc(const Program &Prog, PointId P, Fn &&F) const {
+    const Command &Cmd = Prog.point(P).Cmd;
+    if (Cmd.Kind == CmdKind::Call) {
+      const std::vector<FuncId> &Cs = callees(P);
+      if (Cs.empty()) {
+        F(Cmd.Pair); // External/unresolved: skip straight to the return.
+        return;
+      }
+      for (FuncId G : Cs)
+        F(Prog.function(G).Entry);
+      return;
+    }
+    if (Cmd.Kind == CmdKind::Exit) {
+      for (PointId Site : callSitesOf(Prog.point(P).Func))
+        F(Prog.point(Site).Cmd.Pair);
+      return;
+    }
+    for (PointId S : Prog.succs(P))
+      F(S);
+  }
+
+  /// Enumerates the supergraph predecessors of \p P (inverse of
+  /// forEachSuperSucc).
+  template <typename Fn>
+  void forEachSuperPred(const Program &Prog, PointId P, Fn &&F) const {
+    const Command &Cmd = Prog.point(P).Cmd;
+    if (Cmd.Kind == CmdKind::Entry) {
+      for (PointId Site : callSitesOf(Prog.point(P).Func))
+        F(Site);
+      return;
+    }
+    if (Cmd.Kind == CmdKind::Return) {
+      const std::vector<FuncId> &Cs = callees(Cmd.Pair);
+      if (Cs.empty()) {
+        F(Cmd.Pair);
+        return;
+      }
+      for (FuncId G : Cs)
+        F(Prog.function(G).Exit);
+      return;
+    }
+    for (PointId S : Prog.preds(P))
+      F(S);
+  }
+
+private:
+  std::vector<std::vector<FuncId>> Callees;
+  std::vector<std::vector<PointId>> CallSites;
+  std::vector<bool> Recursive;
+  std::vector<uint32_t> SccOfFunc;
+  std::vector<std::vector<FuncId>> SccMembers;
+  uint32_t MaxSccSize = 0;
+};
+
+/// Resolves direct calls only; indirect call points get empty callee sets.
+CallGraphInfo buildDirectCallGraph(const Program &Prog);
+
+/// Scheduling priorities: supergraph reverse postorder from the start
+/// point (unreached points are appended after all reached ones).
+std::vector<uint32_t> computeSuperRpo(const Program &Prog,
+                                      const CallGraphInfo &CG);
+
+/// Widening points: back-edge targets of a supergraph DFS (cutting every
+/// supergraph cycle) plus entries of recursive functions.
+///
+/// \p IncludeCallToReturn adds call-point -> return-point edges to the
+/// DFS.  The access-based localized engine propagates the bypassed part
+/// of the state along exactly that edge, so its value-flow cycles can
+/// take the bypass route around a callee; cycles must be cut on that
+/// route too or loops containing calls may never widen.
+std::vector<bool> computeWideningPoints(const Program &Prog,
+                                        const CallGraphInfo &CG,
+                                        bool IncludeCallToReturn = false);
+
+} // namespace spa
+
+#endif // SPA_IR_CALLGRAPHINFO_H

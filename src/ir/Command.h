@@ -1,0 +1,77 @@
+//===- Command.h - Control-point commands -------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Commands attached to control points.  Each control point carries exactly
+/// one command (the paper's cmd(c)).  Structured control flow is lowered to
+/// Assume commands on branch edges; calls are lowered to a Call point
+/// (argument/parameter binding, control transfer to callees) paired with a
+/// Return point (return-value binding after the callee exits).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_IR_COMMAND_H
+#define SPA_IR_COMMAND_H
+
+#include "ir/IExpr.h"
+#include "support/Ids.h"
+
+#include <memory>
+#include <vector>
+
+namespace spa {
+
+enum class CmdKind {
+  Skip,   ///< No-op (also join points and loop heads).
+  Assign, ///< Target := E.
+  Store,  ///< *Target := E (Target is the pointer variable's location).
+  Alloc,  ///< Target := alloc(E); mints summary location AllocSite.
+  Assume, ///< Filters states by Cnd.
+  Call,   ///< Binds callee parameters to Args; control enters callees.
+  Return, ///< Return site: Target := join of callee return slots.
+  Entry,  ///< Function entry.
+  Exit,   ///< Function exit (single, shared by all returns).
+  RetStmt ///< `return E`: assigns the function's return slot.
+};
+
+/// One command.  Field use depends on \c Kind; unused fields are invalid.
+struct Command {
+  CmdKind Kind = CmdKind::Skip;
+
+  /// Assign/Alloc: assigned location.  Store: the pointer variable.
+  /// Call: function-pointer variable for indirect calls (invalid if
+  /// direct).  Return: the variable receiving the return value (invalid
+  /// for value-less calls).  RetStmt: the function's return slot.
+  LocId Target;
+
+  /// Assign/Store RHS, Alloc size, RetStmt value.
+  std::unique_ptr<IExpr> E;
+
+  /// Assume condition.
+  std::unique_ptr<ICond> Cnd;
+
+  /// Alloc: the heap location minted here.
+  LocId AllocSite;
+
+  /// Call: statically resolved direct callee (invalid for indirect or
+  /// external calls).
+  FuncId DirectCallee;
+  /// Call: true when the callee is named but not defined in this program.
+  /// External calls return an unknown value and have no side effects.
+  bool External = false;
+  /// Call: actual arguments.
+  std::vector<std::unique_ptr<IExpr>> Args;
+  /// Call: the paired Return point.  Return: the paired Call point.
+  PointId Pair;
+
+  bool isCall() const { return Kind == CmdKind::Call; }
+  /// True for an indirect call through a function pointer.
+  bool isIndirectCall() const { return isCall() && Target.isValid(); }
+};
+
+} // namespace spa
+
+#endif // SPA_IR_COMMAND_H

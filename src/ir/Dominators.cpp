@@ -1,0 +1,127 @@
+//===- Dominators.cpp - Dominator tree and dominance frontiers ---------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spa;
+
+Dominators::Dominators(const Program &Prog, FuncId F) {
+  const FunctionInfo &Info = Prog.function(F);
+  size_t N = Info.Points.size();
+  assert(N > 0 && "function without points");
+  Base = Info.Points.front().value();
+  assert(Info.Points.back().value() == Base + N - 1 &&
+         "function points must be contiguous");
+
+  // Reverse postorder via iterative DFS from the entry.
+  RpoIndex.assign(N, UINT32_MAX);
+  std::vector<uint8_t> State(N, 0);
+  std::vector<uint32_t> Postorder;
+  Postorder.reserve(N);
+  {
+    struct Frame {
+      uint32_t V;
+      size_t Next;
+    };
+    std::vector<Frame> Stack;
+    uint32_t EntryIdx = Info.Entry.value() - Base;
+    State[EntryIdx] = 1;
+    Stack.push_back({EntryIdx, 0});
+    while (!Stack.empty()) {
+      Frame &Fr = Stack.back();
+      const auto &Ss = Prog.succs(PointId(Base + Fr.V));
+      if (Fr.Next < Ss.size()) {
+        uint32_t W = Ss[Fr.Next++].value() - Base;
+        assert(W < N && "skeleton edge leaves function");
+        if (!State[W]) {
+          State[W] = 1;
+          Stack.push_back({W, 0});
+        }
+        continue;
+      }
+      Postorder.push_back(Fr.V);
+      Stack.pop_back();
+    }
+  }
+  assert(Postorder.size() == N && "unreachable point inside function");
+
+  Rpo.reserve(N);
+  for (auto It = Postorder.rbegin(); It != Postorder.rend(); ++It) {
+    RpoIndex[*It] = static_cast<uint32_t>(Rpo.size());
+    Rpo.push_back(PointId(Base + *It));
+  }
+
+  // Cooper–Harvey–Kennedy iteration.  Idom indexed by local offset.
+  Idom.assign(N, PointId());
+  uint32_t EntryIdx = Info.Entry.value() - Base;
+  Idom[EntryIdx] = Info.Entry; // Self, as the algorithm's sentinel.
+
+  auto Intersect = [&](PointId A, PointId B) {
+    uint32_t IA = A.value() - Base, IB = B.value() - Base;
+    while (IA != IB) {
+      while (RpoIndex[IA] > RpoIndex[IB])
+        IA = Idom[IA].value() - Base;
+      while (RpoIndex[IB] > RpoIndex[IA])
+        IB = Idom[IB].value() - Base;
+    }
+    return PointId(Base + IA);
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (PointId P : Rpo) {
+      if (P == Info.Entry)
+        continue;
+      PointId NewIdom;
+      for (PointId Pred : Prog.preds(P)) {
+        if (!Idom[Pred.value() - Base].isValid())
+          continue; // Not yet processed.
+        NewIdom = NewIdom.isValid() ? Intersect(NewIdom, Pred) : Pred;
+      }
+      assert(NewIdom.isValid() && "reachable point with no processed pred");
+      if (Idom[P.value() - Base] != NewIdom) {
+        Idom[P.value() - Base] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  Idom[EntryIdx] = PointId(); // Entry has no immediate dominator.
+
+  // Dominator-tree children.
+  Children.assign(N, {});
+  for (uint32_t I = 0; I < N; ++I)
+    if (Idom[I].isValid())
+      Children[Idom[I].value() - Base].push_back(PointId(Base + I));
+
+  // Dominance frontiers (Cytron et al.): only join points (>= 2 preds)
+  // appear in frontiers.
+  Frontier.assign(N, {});
+  for (uint32_t I = 0; I < N; ++I) {
+    PointId P(Base + I);
+    const auto &Ps = Prog.preds(P);
+    if (Ps.size() < 2)
+      continue;
+    for (PointId Pred : Ps) {
+      uint32_t Runner = Pred.value() - Base;
+      uint32_t Stop = Idom[I].isValid() ? Idom[I].value() - Base : UINT32_MAX;
+      while (Runner != Stop) {
+        Frontier[Runner].push_back(P);
+        PointId Up = Idom[Runner];
+        if (!Up.isValid())
+          break;
+        Runner = Up.value() - Base;
+      }
+    }
+  }
+  for (auto &Fr : Frontier) {
+    std::sort(Fr.begin(), Fr.end());
+    Fr.erase(std::unique(Fr.begin(), Fr.end()), Fr.end());
+  }
+}

@@ -1,0 +1,64 @@
+//===- Dominators.h - Dominator tree and dominance frontiers -----------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function dominator trees and dominance frontiers over the
+/// intraprocedural skeleton, computed with the Cooper–Harvey–Kennedy
+/// iterative algorithm.  Section 5 of the paper generates data dependencies
+/// with "the standard SSA algorithm"; phi placement needs iterated
+/// dominance frontiers, which this provides.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_IR_DOMINATORS_H
+#define SPA_IR_DOMINATORS_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace spa {
+
+/// Dominator information for one function.  All queries use program-wide
+/// PointIds; only points of the analyzed function are valid inputs.
+class Dominators {
+public:
+  /// Computes dominators for \p F in \p Prog.  Every point of a function
+  /// is reachable from its entry (builder invariant), so the tree covers
+  /// all of the function's points.
+  Dominators(const Program &Prog, FuncId F);
+
+  /// Immediate dominator of \p P (invalid for the entry).
+  PointId idom(PointId P) const { return Idom[P.value() - Base]; }
+
+  /// Dominance frontier of \p P.
+  const std::vector<PointId> &frontier(PointId P) const {
+    return Frontier[P.value() - Base];
+  }
+
+  /// Children of \p P in the dominator tree, in deterministic order.
+  const std::vector<PointId> &children(PointId P) const {
+    return Children[P.value() - Base];
+  }
+
+  /// Reverse postorder index of \p P within the function (entry is 0).
+  uint32_t rpoIndex(PointId P) const { return RpoIndex[P.value() - Base]; }
+
+  /// The function's points in reverse postorder.
+  const std::vector<PointId> &rpo() const { return Rpo; }
+
+private:
+  uint32_t Base; ///< First PointId value of the function (ids contiguous).
+  std::vector<PointId> Idom;
+  std::vector<std::vector<PointId>> Frontier;
+  std::vector<std::vector<PointId>> Children;
+  std::vector<uint32_t> RpoIndex;
+  std::vector<PointId> Rpo;
+};
+
+} // namespace spa
+
+#endif // SPA_IR_DOMINATORS_H

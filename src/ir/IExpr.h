@@ -1,0 +1,111 @@
+//===- IExpr.h - Resolved IR expressions -------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name-resolved expression trees used by IR commands.  Unlike the surface
+/// AST, variable references carry abstract-location ids and function
+/// references carry function ids, so analyses never touch strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_IR_IEXPR_H
+#define SPA_IR_IEXPR_H
+
+#include "lang/AST.h"
+#include "support/Ids.h"
+
+#include <memory>
+#include <vector>
+
+namespace spa {
+
+enum class IExprKind { Num, Var, AddrOf, Deref, Binary, Input, FuncAddr };
+
+/// Resolved expression node.
+struct IExpr {
+  IExprKind Kind = IExprKind::Num;
+  int64_t Num = 0;       ///< IExprKind::Num.
+  LocId Loc;             ///< Var / AddrOf / Deref.
+  FuncId Func;           ///< FuncAddr.
+  BinOp Op = BinOp::Add; ///< Binary.
+  std::unique_ptr<IExpr> Lhs, Rhs;
+
+  static std::unique_ptr<IExpr> makeNum(int64_t N) {
+    auto E = std::make_unique<IExpr>();
+    E->Kind = IExprKind::Num;
+    E->Num = N;
+    return E;
+  }
+  static std::unique_ptr<IExpr> makeVar(LocId L) {
+    auto E = std::make_unique<IExpr>();
+    E->Kind = IExprKind::Var;
+    E->Loc = L;
+    return E;
+  }
+  static std::unique_ptr<IExpr> makeAddrOf(LocId L) {
+    auto E = std::make_unique<IExpr>();
+    E->Kind = IExprKind::AddrOf;
+    E->Loc = L;
+    return E;
+  }
+  static std::unique_ptr<IExpr> makeDeref(LocId L) {
+    auto E = std::make_unique<IExpr>();
+    E->Kind = IExprKind::Deref;
+    E->Loc = L;
+    return E;
+  }
+  static std::unique_ptr<IExpr> makeBinary(BinOp Op, std::unique_ptr<IExpr> L,
+                                           std::unique_ptr<IExpr> R) {
+    auto E = std::make_unique<IExpr>();
+    E->Kind = IExprKind::Binary;
+    E->Op = Op;
+    E->Lhs = std::move(L);
+    E->Rhs = std::move(R);
+    return E;
+  }
+  static std::unique_ptr<IExpr> makeInput() {
+    auto E = std::make_unique<IExpr>();
+    E->Kind = IExprKind::Input;
+    return E;
+  }
+  static std::unique_ptr<IExpr> makeFuncAddr(FuncId F) {
+    auto E = std::make_unique<IExpr>();
+    E->Kind = IExprKind::FuncAddr;
+    E->Func = F;
+    return E;
+  }
+};
+
+/// Resolved relational condition `Lhs Op Rhs`.
+struct ICond {
+  RelOp Op = RelOp::Ne;
+  std::unique_ptr<IExpr> Lhs, Rhs;
+};
+
+/// Invokes \p Fn for every variable-reference location in \p E.  Deref
+/// nodes report the pointer variable only; the pointed-to locations depend
+/// on the abstract state and are handled semantically (Section 3.2's Û).
+template <typename Fn> void forEachVarLoc(const IExpr &E, Fn &&F) {
+  switch (E.Kind) {
+  case IExprKind::Num:
+  case IExprKind::Input:
+  case IExprKind::FuncAddr:
+  case IExprKind::AddrOf:
+    return;
+  case IExprKind::Var:
+  case IExprKind::Deref:
+    F(E.Loc);
+    return;
+  case IExprKind::Binary:
+    forEachVarLoc(*E.Lhs, F);
+    forEachVarLoc(*E.Rhs, F);
+    return;
+  }
+}
+
+} // namespace spa
+
+#endif // SPA_IR_IEXPR_H

@@ -1,0 +1,46 @@
+//===- Loc.h - Abstract locations -------------------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract locations (the paper's finite set L̂): global variables,
+/// function-local variables and parameters, per-function return slots, and
+/// allocation sites.  Allocation sites are summary locations: they stand
+/// for arbitrarily many concrete cells, so they only admit weak updates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_IR_LOC_H
+#define SPA_IR_LOC_H
+
+#include "support/Ids.h"
+
+#include <string>
+
+namespace spa {
+
+enum class LocKind {
+  Global,    ///< Program-wide variable.
+  Local,     ///< Function-local variable.
+  Param,     ///< Function parameter (bound at call sites).
+  RetSlot,   ///< Per-function return-value slot.
+  AllocSite, ///< Heap memory minted by one `alloc` command (summary).
+};
+
+/// Metadata for one abstract location.
+struct LocInfo {
+  LocKind Kind = LocKind::Global;
+  std::string Name;        ///< Pretty name, e.g. "g", "f::x", "f::$ret".
+  FuncId Owner;            ///< Owning function (invalid for globals/sites).
+  PointId Site;            ///< Minting point for allocation sites.
+
+  /// Summary locations abstract multiple concrete cells and therefore only
+  /// admit weak updates.
+  bool isSummary() const { return Kind == LocKind::AllocSite; }
+};
+
+} // namespace spa
+
+#endif // SPA_IR_LOC_H

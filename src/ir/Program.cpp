@@ -1,0 +1,96 @@
+//===- Program.cpp - Program representation ----------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include <sstream>
+
+using namespace spa;
+
+std::string Program::exprToString(const IExpr &E) const {
+  std::ostringstream OS;
+  switch (E.Kind) {
+  case IExprKind::Num:
+    OS << E.Num;
+    break;
+  case IExprKind::Var:
+    OS << loc(E.Loc).Name;
+    break;
+  case IExprKind::AddrOf:
+    OS << "&" << loc(E.Loc).Name;
+    break;
+  case IExprKind::Deref:
+    OS << "*" << loc(E.Loc).Name;
+    break;
+  case IExprKind::Input:
+    OS << "input()";
+    break;
+  case IExprKind::FuncAddr:
+    OS << "&" << function(E.Func).Name;
+    break;
+  case IExprKind::Binary:
+    OS << "(" << exprToString(*E.Lhs) << " " << binOpSpelling(E.Op) << " "
+       << exprToString(*E.Rhs) << ")";
+    break;
+  }
+  return OS.str();
+}
+
+std::string Program::pointToString(PointId P) const {
+  const Point &Pt = point(P);
+  std::ostringstream OS;
+  OS << function(Pt.Func).Name << ":" << P.value() << " ";
+  const Command &C = Pt.Cmd;
+  switch (C.Kind) {
+  case CmdKind::Skip:
+    OS << "skip";
+    break;
+  case CmdKind::Assign:
+    OS << loc(C.Target).Name << " := " << exprToString(*C.E);
+    break;
+  case CmdKind::Store:
+    OS << "*" << loc(C.Target).Name << " := " << exprToString(*C.E);
+    break;
+  case CmdKind::Alloc:
+    OS << loc(C.Target).Name << " := alloc(" << exprToString(*C.E) << ")";
+    break;
+  case CmdKind::Assume:
+    OS << "assume(" << exprToString(*C.Cnd->Lhs) << " "
+       << relOpSpelling(C.Cnd->Op) << " " << exprToString(*C.Cnd->Rhs) << ")";
+    break;
+  case CmdKind::Call:
+    OS << "call ";
+    if (C.isIndirectCall())
+      OS << "(*" << loc(C.Target).Name << ")";
+    else if (C.DirectCallee.isValid())
+      OS << function(C.DirectCallee).Name;
+    else
+      OS << "<external>";
+    OS << "(";
+    for (size_t I = 0; I < C.Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << exprToString(*C.Args[I]);
+    }
+    OS << ")";
+    break;
+  case CmdKind::Return:
+    OS << "ret-bind";
+    if (C.Target.isValid())
+      OS << " " << loc(C.Target).Name;
+    break;
+  case CmdKind::Entry:
+    OS << "entry";
+    break;
+  case CmdKind::Exit:
+    OS << "exit";
+    break;
+  case CmdKind::RetStmt:
+    OS << loc(C.Target).Name << " := " << exprToString(*C.E);
+    break;
+  }
+  return OS.str();
+}

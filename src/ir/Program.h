@@ -1,0 +1,98 @@
+//===- Program.h - Program representation: points, CFG, functions -----------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzed program: the paper's (C, ↪) pair.  A Program holds the
+/// table of control points (each with one command), the intraprocedural
+/// control-flow skeleton, the function table, and the abstract-location
+/// table.  Interprocedural edges (call -> callee entry, callee exit ->
+/// return site) are derived from a CallGraphInfo, which in turn comes from
+/// the flow-insensitive pre-analysis (Section 5: "we use the
+/// flow-insensitive analysis to prior resolve function pointers").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_IR_PROGRAM_H
+#define SPA_IR_PROGRAM_H
+
+#include "ir/Command.h"
+#include "ir/Loc.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spa {
+
+/// One control point: a command plus its owning function.
+struct Point {
+  Command Cmd;
+  FuncId Func;
+  unsigned Line = 0;
+};
+
+/// Per-function metadata.
+struct FunctionInfo {
+  std::string Name;
+  std::vector<LocId> Params;
+  std::vector<LocId> Locals; ///< Non-parameter locals.
+  LocId RetSlot;
+  PointId Entry, Exit;
+  std::vector<PointId> Points; ///< All points, Entry first, Exit last.
+};
+
+/// The whole program.  Invariants established by the builder:
+///  * every point is intraprocedurally reachable from its function's entry;
+///  * each function has exactly one Entry and one Exit point;
+///  * Call points have exactly one static successor, their Return point
+///    (the skeleton edge that interprocedural traversals replace).
+class Program {
+public:
+  const Point &point(PointId P) const { return Points[P.value()]; }
+  Point &point(PointId P) { return Points[P.value()]; }
+  const FunctionInfo &function(FuncId F) const { return Funcs[F.value()]; }
+  const LocInfo &loc(LocId L) const { return Locs[L.value()]; }
+
+  size_t numPoints() const { return Points.size(); }
+  size_t numFuncs() const { return Funcs.size(); }
+  size_t numLocs() const { return Locs.size(); }
+
+  const std::vector<PointId> &succs(PointId P) const {
+    return Succs[P.value()];
+  }
+  const std::vector<PointId> &preds(PointId P) const {
+    return Preds[P.value()];
+  }
+
+  /// The synthesized start function (global initializers, then a call to
+  /// main).  Analysis begins at its entry.
+  FuncId startFunc() const { return Start; }
+  FuncId mainFunc() const { return Main; }
+  PointId startPoint() const { return Funcs[Start.value()].Entry; }
+
+  /// Looks up a function by name; returns an invalid id if absent.
+  FuncId findFunction(const std::string &Name) const {
+    auto It = FuncByName.find(Name);
+    return It == FuncByName.end() ? FuncId() : It->second;
+  }
+
+  /// Renders point \p P as "f:12 cmd" for diagnostics and tests.
+  std::string pointToString(PointId P) const;
+  /// Renders a resolved expression using location names.
+  std::string exprToString(const IExpr &E) const;
+
+  // The builder populates these directly.
+  std::vector<Point> Points;
+  std::vector<FunctionInfo> Funcs;
+  std::vector<LocInfo> Locs;
+  std::vector<std::vector<PointId>> Succs, Preds;
+  std::unordered_map<std::string, FuncId> FuncByName;
+  FuncId Start, Main;
+};
+
+} // namespace spa
+
+#endif // SPA_IR_PROGRAM_H

@@ -1,0 +1,224 @@
+//===- Lexer.cpp - Lexer for the C-like language ----------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace spa;
+
+const char *spa::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::KwFun:
+    return "'fun'";
+  case TokenKind::KwGlobal:
+    return "'global'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwAlloc:
+    return "'alloc'";
+  case TokenKind::KwInput:
+    return "'input'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::KwAssume:
+    return "'assume'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::Ne:
+    return "'!='";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "unknown";
+}
+
+static TokenKind keywordKind(const std::string &Text) {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"fun", TokenKind::KwFun},       {"global", TokenKind::KwGlobal},
+      {"if", TokenKind::KwIf},         {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},   {"return", TokenKind::KwReturn},
+      {"alloc", TokenKind::KwAlloc},   {"input", TokenKind::KwInput},
+      {"skip", TokenKind::KwSkip},     {"assume", TokenKind::KwAssume},
+  };
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? TokenKind::Identifier : It->second;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Source.size() && Source[Pos + 1] == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        ++Pos;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  Token Tok;
+  Tok.Line = Line;
+
+  char C = peek();
+  if (C == '\0') {
+    Tok.Kind = TokenKind::EndOfFile;
+    return Tok;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text.push_back(get());
+    Tok.Kind = keywordKind(Text);
+    if (Tok.Kind == TokenKind::Identifier)
+      Tok.Text = std::move(Text);
+    return Tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t Value = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Value = Value * 10 + (get() - '0');
+    Tok.Kind = TokenKind::Number;
+    Tok.Value = Value;
+    return Tok;
+  }
+
+  get();
+  switch (C) {
+  case '(':
+    Tok.Kind = TokenKind::LParen;
+    return Tok;
+  case ')':
+    Tok.Kind = TokenKind::RParen;
+    return Tok;
+  case '{':
+    Tok.Kind = TokenKind::LBrace;
+    return Tok;
+  case '}':
+    Tok.Kind = TokenKind::RBrace;
+    return Tok;
+  case ',':
+    Tok.Kind = TokenKind::Comma;
+    return Tok;
+  case ';':
+    Tok.Kind = TokenKind::Semi;
+    return Tok;
+  case '+':
+    Tok.Kind = TokenKind::Plus;
+    return Tok;
+  case '-':
+    Tok.Kind = TokenKind::Minus;
+    return Tok;
+  case '*':
+    Tok.Kind = TokenKind::Star;
+    return Tok;
+  case '/':
+    Tok.Kind = TokenKind::Slash;
+    return Tok;
+  case '%':
+    Tok.Kind = TokenKind::Percent;
+    return Tok;
+  case '&':
+    Tok.Kind = TokenKind::Amp;
+    return Tok;
+  case '=':
+    if (peek() == '=') {
+      get();
+      Tok.Kind = TokenKind::EqEq;
+    } else {
+      Tok.Kind = TokenKind::Assign;
+    }
+    return Tok;
+  case '<':
+    if (peek() == '=') {
+      get();
+      Tok.Kind = TokenKind::Le;
+    } else {
+      Tok.Kind = TokenKind::Lt;
+    }
+    return Tok;
+  case '>':
+    if (peek() == '=') {
+      get();
+      Tok.Kind = TokenKind::Ge;
+    } else {
+      Tok.Kind = TokenKind::Gt;
+    }
+    return Tok;
+  case '!':
+    if (peek() == '=') {
+      get();
+      Tok.Kind = TokenKind::Ne;
+      return Tok;
+    }
+    break;
+  default:
+    break;
+  }
+  Tok.Kind = TokenKind::Error;
+  Tok.Text = std::string(1, C);
+  return Tok;
+}

@@ -1,0 +1,38 @@
+//===- Lexer.h - Lexer for the C-like language ------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_LANG_LEXER_H
+#define SPA_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string_view>
+
+namespace spa {
+
+/// Single-pass lexer.  Comments run from "//" to end of line.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) {}
+
+  /// Lexes and returns the next token.  At end of input returns EndOfFile
+  /// forever; malformed input yields an Error token carrying the offending
+  /// text.
+  Token next();
+
+private:
+  void skipTrivia();
+  char peek() const { return Pos < Source.size() ? Source[Pos] : '\0'; }
+  char get() { return Pos < Source.size() ? Source[Pos++] : '\0'; }
+
+  std::string_view Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+} // namespace spa
+
+#endif // SPA_LANG_LEXER_H

@@ -1,0 +1,31 @@
+//===- Parser.h - Recursive-descent parser -----------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_LANG_PARSER_H
+#define SPA_LANG_PARSER_H
+
+#include "lang/AST.h"
+
+#include <string>
+#include <string_view>
+
+namespace spa {
+
+/// Outcome of parsing a translation unit.  On failure \c Ok is false and
+/// \c Error holds a one-line diagnostic with the source line number.
+struct ParseResult {
+  bool Ok = false;
+  ProgramAST Program;
+  std::string Error;
+};
+
+/// Parses \p Source into an AST.  Never throws; all failures are reported
+/// through the returned ParseResult.
+ParseResult parseProgram(std::string_view Source);
+
+} // namespace spa
+
+#endif // SPA_LANG_PARSER_H

@@ -1,0 +1,74 @@
+//===- Token.h - Lexical tokens for the C-like language --------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token record produced by the Lexer.  The language is
+/// the C-like core the paper analyzes: assignments, loads/stores through
+/// pointers, address-of, allocation sites, structured control flow, and
+/// (possibly indirect) procedure calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_LANG_TOKEN_H
+#define SPA_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace spa {
+
+enum class TokenKind {
+  EndOfFile,
+  Identifier,
+  Number,
+  // Keywords.
+  KwFun,
+  KwGlobal,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwAlloc,
+  KwInput,
+  KwSkip,
+  KwAssume,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Assign, // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  Ne,
+  Error,
+};
+
+/// A lexed token with its source line (for diagnostics).
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;  ///< Identifier spelling; empty otherwise.
+  int64_t Value = 0; ///< Numeric value for Number tokens.
+  unsigned Line = 0;
+};
+
+/// Returns a human-readable name for \p Kind (used in parse errors).
+const char *tokenKindName(TokenKind Kind);
+
+} // namespace spa
+
+#endif // SPA_LANG_TOKEN_H

@@ -1,0 +1,832 @@
+//===- OctAnalysis.cpp - Packed relational (octagon) analyzers -------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "oct/OctAnalysis.h"
+
+#include "support/Resource.h"
+#include "support/WorkList.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spa;
+
+namespace {
+
+LocId packAsLoc(PackId P) { return LocId(P.value()); }
+PackId locAsPack(LocId L) { return PackId(L.value()); }
+
+//===----------------------------------------------------------------------===//
+// Pack-space def/use sets
+//===----------------------------------------------------------------------===//
+
+class OctDefUseBuilder {
+public:
+  OctDefUseBuilder(const Program &Prog, const PreAnalysisResult &Pre,
+                   const Packing &Packs)
+      : Prog(Prog), Pre(Pre), Packs(Packs) {}
+
+  DefUseInfo run() {
+    DefUseInfo Info;
+    size_t N = Prog.numPoints();
+    Info.Defs.resize(N);
+    Info.Uses.resize(N);
+    for (uint32_t P = 0; P < N; ++P)
+      collect(PointId(P), Info.Defs[P], Info.Uses[P]);
+    for (uint32_t P = 0; P < N; ++P) {
+      sortUnique(Info.Defs[P]);
+      sortUnique(Info.Uses[P]);
+    }
+    foldInterproceduralSummaries(Prog, Pre.CG, Info);
+    return Info;
+  }
+
+private:
+  static void sortUnique(std::vector<LocId> &V) {
+    std::sort(V.begin(), V.end());
+    V.erase(std::unique(V.begin(), V.end()), V.end());
+  }
+
+  void addPacksOf(LocId L, std::vector<LocId> &Out) const {
+    for (PackId P : Packs.packsOf(L))
+      Out.push_back(packAsLoc(P));
+  }
+
+  void addSingleton(LocId L, std::vector<LocId> &Out) const {
+    Out.push_back(packAsLoc(Packs.singleton(L)));
+  }
+
+  /// Packs the interval evaluation of \p E reads: singleton packs of
+  /// variables and of dereference targets, plus shared packs of variable
+  /// pairs (the pairwise-projection reads of the transfer).
+  void addExprUses(const IExpr &E, std::vector<LocId> &Out) const {
+    switch (E.Kind) {
+    case IExprKind::Var:
+      addSingleton(E.Loc, Out);
+      return;
+    case IExprKind::Deref:
+      for (LocId T : Pre.state().get(E.Loc).Pts)
+        addSingleton(T, Out);
+      return;
+    case IExprKind::Binary:
+      if ((E.Op == BinOp::Add || E.Op == BinOp::Sub) &&
+          E.Lhs->Kind == IExprKind::Var &&
+          E.Rhs->Kind == IExprKind::Var) {
+        for (PackId P : Packs.packsOf(E.Lhs->Loc))
+          if (Packs.indexIn(P, E.Rhs->Loc) >= 0)
+            Out.push_back(packAsLoc(P));
+      }
+      addExprUses(*E.Lhs, Out);
+      addExprUses(*E.Rhs, Out);
+      return;
+    default:
+      return;
+    }
+  }
+
+  void collect(PointId P, std::vector<LocId> &Defs,
+               std::vector<LocId> &Uses) {
+    const Command &Cmd = Prog.point(P).Cmd;
+    switch (Cmd.Kind) {
+    case CmdKind::Skip:
+    case CmdKind::Entry:
+    case CmdKind::Exit:
+      return;
+    case CmdKind::Assign:
+    case CmdKind::RetStmt:
+      addPacksOf(Cmd.Target, Defs);
+      addPacksOf(Cmd.Target, Uses); // Relational update reads the pack.
+      addExprUses(*Cmd.E, Uses);
+      return;
+    case CmdKind::Alloc:
+      addPacksOf(Cmd.Target, Defs);
+      addPacksOf(Cmd.Target, Uses);
+      addSingleton(Cmd.AllocSite, Defs);
+      addSingleton(Cmd.AllocSite, Uses); // Weak zero-init join.
+      addExprUses(*Cmd.E, Uses);
+      return;
+    case CmdKind::Store:
+      for (LocId T : Pre.state().get(Cmd.Target).Pts) {
+        addPacksOf(T, Defs);
+        addPacksOf(T, Uses); // Weak updates read the old pack value.
+      }
+      addExprUses(*Cmd.E, Uses);
+      return;
+    case CmdKind::Assume: {
+      auto Side = [&](const IExpr &E) {
+        if (E.Kind == IExprKind::Var) {
+          addPacksOf(E.Loc, Defs);
+          addPacksOf(E.Loc, Uses);
+        }
+      };
+      Side(*Cmd.Cnd->Lhs);
+      Side(*Cmd.Cnd->Rhs);
+      addExprUses(*Cmd.Cnd->Lhs, Uses);
+      addExprUses(*Cmd.Cnd->Rhs, Uses);
+      return;
+    }
+    case CmdKind::Call: {
+      if (Cmd.External)
+        return;
+      for (FuncId G : Pre.CG.callees(P)) {
+        const FunctionInfo &F = Prog.function(G);
+        size_t NArgs = std::min(F.Params.size(), Cmd.Args.size());
+        for (size_t I = 0; I < NArgs; ++I) {
+          addPacksOf(F.Params[I], Defs);
+          addPacksOf(F.Params[I], Uses); // Binding reads (weak/relational).
+          addExprUses(*Cmd.Args[I], Uses);
+        }
+      }
+      return;
+    }
+    case CmdKind::Return: {
+      if (!Cmd.Target.isValid())
+        return;
+      addPacksOf(Cmd.Target, Defs);
+      addPacksOf(Cmd.Target, Uses);
+      const Command &CallCmd = Prog.point(Cmd.Pair).Cmd;
+      if (CallCmd.External)
+        return;
+      for (FuncId G : Pre.CG.callees(Cmd.Pair))
+        addSingleton(Prog.function(G).RetSlot, Uses);
+      return;
+    }
+    }
+  }
+
+  const Program &Prog;
+  const PreAnalysisResult &Pre;
+  const Packing &Packs;
+};
+
+//===----------------------------------------------------------------------===//
+// Transfer function
+//===----------------------------------------------------------------------===//
+
+/// Shared octagon transfer, templated over a state-like type providing
+/// `const Oct &get(PackId)` (⊤ of the right arity when unbound) and
+/// `void set(PackId, Oct)`.
+template <typename StateT> class OctTransfer {
+public:
+  OctTransfer(const Program &Prog, const PreAnalysisResult &Pre,
+              const Packing &Packs, StateT &S)
+      : Prog(Prog), Pre(Pre), Packs(Packs), S(S) {}
+
+  void apply(PointId P) {
+    const Command &Cmd = Prog.point(P).Cmd;
+    switch (Cmd.Kind) {
+    case CmdKind::Skip:
+    case CmdKind::Entry:
+    case CmdKind::Exit:
+      return;
+    case CmdKind::Assign:
+    case CmdKind::RetStmt:
+      assignExpr(Cmd.Target, *Cmd.E, /*Weak=*/false);
+      return;
+    case CmdKind::Alloc: {
+      // The pointer's numeric projection is unconstrained; the summary
+      // cells start at zero (weak join).
+      assignIntervalToLoc(Cmd.Target, Interval::top(), /*Weak=*/false);
+      assignIntervalToLoc(Cmd.AllocSite, Interval::constant(0),
+                          /*Weak=*/true);
+      return;
+    }
+    case CmdKind::Store: {
+      Interval V = evalInterval(*Cmd.E);
+      for (LocId T : Pre.state().get(Cmd.Target).Pts)
+        assignIntervalToLoc(T, V, /*Weak=*/true);
+      return;
+    }
+    case CmdKind::Assume:
+      applyAssume(*Cmd.Cnd);
+      return;
+    case CmdKind::Call: {
+      if (Cmd.External)
+        return;
+      const auto &Callees = Pre.CG.callees(P);
+      bool Weak = Callees.size() > 1;
+      for (FuncId G : Callees) {
+        const FunctionInfo &F = Prog.function(G);
+        size_t NArgs = std::min(F.Params.size(), Cmd.Args.size());
+        for (size_t I = 0; I < NArgs; ++I)
+          assignExpr(F.Params[I], *Cmd.Args[I], Weak);
+      }
+      return;
+    }
+    case CmdKind::Return: {
+      if (!Cmd.Target.isValid())
+        return;
+      const Command &CallCmd = Prog.point(Cmd.Pair).Cmd;
+      const auto &Callees =
+          CallCmd.External ? std::vector<FuncId>{} : Pre.CG.callees(Cmd.Pair);
+      if (Callees.empty()) {
+        assignIntervalToLoc(Cmd.Target, Interval::top(), /*Weak=*/false);
+        return;
+      }
+      if (Callees.size() == 1) {
+        // Exact relational copy when the return slot shares a pack.
+        IExpr RetVar;
+        RetVar.Kind = IExprKind::Var;
+        RetVar.Loc = Prog.function(Callees[0]).RetSlot;
+        assignVarLike(Cmd.Target, RetVar.Loc, 0, /*Weak=*/false);
+        return;
+      }
+      Interval V;
+      for (FuncId G : Callees)
+        V = V.join(projectLoc(Prog.function(G).RetSlot));
+      assignIntervalToLoc(Cmd.Target, V, /*Weak=*/false);
+      return;
+    }
+    }
+  }
+
+private:
+  /// Interval of \p L from its singleton pack (the projection p_x).
+  Interval projectLoc(LocId L) const {
+    PackId P = Packs.singleton(L);
+    return S.get(P).project(0);
+  }
+
+  Interval evalInterval(const IExpr &E) const {
+    switch (E.Kind) {
+    case IExprKind::Num:
+      return Interval::constant(E.Num);
+    case IExprKind::Input:
+    case IExprKind::AddrOf:   // Non-numeric values project to ⊤.
+    case IExprKind::FuncAddr:
+      return Interval::top();
+    case IExprKind::Var:
+      return projectLoc(E.Loc);
+    case IExprKind::Deref: {
+      Interval R;
+      for (LocId T : Pre.state().get(E.Loc).Pts)
+        R = R.join(projectLoc(T));
+      return R;
+    }
+    case IExprKind::Binary: {
+      Interval A = evalInterval(*E.Lhs), B = evalInterval(*E.Rhs);
+      switch (E.Op) {
+      case BinOp::Add:
+        return A.add(B);
+      case BinOp::Sub:
+        return A.sub(B);
+      case BinOp::Mul:
+        return A.mul(B);
+      case BinOp::Div:
+        return A.div(B);
+      case BinOp::Mod:
+        return A.rem(B);
+      }
+      return Interval::top();
+    }
+    }
+    return Interval::top();
+  }
+
+  void setPack(PackId P, Oct New, bool Weak) {
+    if (Weak)
+      New = S.get(P).join(New);
+    S.set(P, std::move(New));
+  }
+
+  /// x := y + c, relational where the pack allows it.
+  void assignVarLike(LocId X, LocId Y, int64_t C, bool Weak) {
+    for (PackId P : Packs.packsOf(X)) {
+      int IX = Packs.indexIn(P, X);
+      int IY = Packs.indexIn(P, Y);
+      const Oct &Old = S.get(P);
+      Oct New = IY >= 0 ? Old.assignVarPlusConst(IX, IY, C)
+                        : Old.assignInterval(
+                              IX, projectLoc(Y).add(Interval::constant(C)));
+      setPack(P, std::move(New), Weak);
+    }
+  }
+
+  void assignIntervalToLoc(LocId X, const Interval &V, bool Weak) {
+    for (PackId P : Packs.packsOf(X)) {
+      int IX = Packs.indexIn(P, X);
+      setPack(P, S.get(P).assignInterval(IX, V), Weak);
+    }
+  }
+
+  /// Interval of (a ± b) using a pack that relates both variables, when
+  /// one exists (a strictly better bound than combining the singleton
+  /// projections).
+  Interval projectPairwise(LocId A, LocId B, bool Sum) const {
+    Interval Best = Interval::top();
+    for (PackId P : Packs.packsOf(A)) {
+      int IA = Packs.indexIn(P, A);
+      int IB = Packs.indexIn(P, B);
+      if (IB < 0)
+        continue;
+      const Oct &O = S.get(P);
+      Interval V = Sum ? O.projectSum(IA, IB) : O.projectDiff(IA, IB);
+      Best = Best.meet(V);
+    }
+    return Best;
+  }
+
+  /// x := e with the Section 4.1 command transformation: out-of-pack
+  /// variables are replaced by their projected intervals.
+  void assignExpr(LocId X, const IExpr &E, bool Weak) {
+    // Exact forms: y, y + n, y - n, n + y.
+    if (E.Kind == IExprKind::Var) {
+      assignVarLike(X, E.Loc, 0, Weak);
+      return;
+    }
+    if (E.Kind == IExprKind::Binary &&
+        (E.Op == BinOp::Add || E.Op == BinOp::Sub)) {
+      const IExpr &L = *E.Lhs, &R = *E.Rhs;
+      if (L.Kind == IExprKind::Var && R.Kind == IExprKind::Num) {
+        assignVarLike(X, L.Loc, E.Op == BinOp::Add ? R.Num : -R.Num, Weak);
+        return;
+      }
+      if (E.Op == BinOp::Add && L.Kind == IExprKind::Num &&
+          R.Kind == IExprKind::Var) {
+        assignVarLike(X, R.Loc, L.Num, Weak);
+        return;
+      }
+      // y ± z with both variables in one pack: project the pairwise
+      // bound (e.g. d := y - x is exact when the pack knows y - x).
+      if (L.Kind == IExprKind::Var && R.Kind == IExprKind::Var) {
+        Interval V =
+            projectPairwise(L.Loc, R.Loc, /*Sum=*/E.Op == BinOp::Add)
+                .meet(evalInterval(E));
+        assignIntervalToLoc(X, V, Weak);
+        return;
+      }
+    }
+    assignIntervalToLoc(X, evalInterval(E), Weak);
+  }
+
+  /// Octagonal constraint for `x Op y` on pack \p P (indices IX, IY).
+  static Oct applyRelVarVar(const Oct &O, int IX, int IY, RelOp Op) {
+    switch (Op) {
+    case RelOp::Lt:
+      return O.addDiffConstraint(IX, IY, -1);
+    case RelOp::Le:
+      return O.addDiffConstraint(IX, IY, 0);
+    case RelOp::Gt:
+      return O.addDiffConstraint(IY, IX, -1);
+    case RelOp::Ge:
+      return O.addDiffConstraint(IY, IX, 0);
+    case RelOp::Eq:
+      return O.addDiffConstraint(IX, IY, 0).addDiffConstraint(IY, IX, 0);
+    case RelOp::Ne:
+      return O;
+    }
+    return O;
+  }
+
+  /// Interval constraint for `x Op [lo, hi]` on variable IX of \p O.
+  static Oct applyRelVarItv(const Oct &O, int IX, RelOp Op,
+                            const Interval &R) {
+    if (R.isBot())
+      return O;
+    switch (Op) {
+    case RelOp::Lt:
+      return R.hi() == bound::PosInf ? O
+                                     : O.addUpperBound(IX, R.hi() - 1);
+    case RelOp::Le:
+      return R.hi() == bound::PosInf ? O : O.addUpperBound(IX, R.hi());
+    case RelOp::Gt:
+      return R.lo() == bound::NegInf ? O
+                                     : O.addLowerBound(IX, R.lo() + 1);
+    case RelOp::Ge:
+      return R.lo() == bound::NegInf ? O : O.addLowerBound(IX, R.lo());
+    case RelOp::Eq: {
+      Oct Res = O;
+      if (R.hi() != bound::PosInf)
+        Res = Res.addUpperBound(IX, R.hi());
+      if (R.lo() != bound::NegInf)
+        Res = Res.addLowerBound(IX, R.lo());
+      return Res;
+    }
+    case RelOp::Ne:
+      return O;
+    }
+    return O;
+  }
+
+  void applyAssume(const ICond &C) {
+    auto RefineSide = [&](const IExpr &Side, const IExpr &Other, RelOp Op) {
+      if (Side.Kind != IExprKind::Var)
+        return;
+      LocId X = Side.Loc;
+      Interval OtherItv = evalInterval(Other);
+      for (PackId P : Packs.packsOf(X)) {
+        int IX = Packs.indexIn(P, X);
+        const Oct &Old = S.get(P);
+        Oct New = Old;
+        if (Other.Kind == IExprKind::Var) {
+          int IY = Packs.indexIn(P, Other.Loc);
+          if (IY >= 0)
+            New = applyRelVarVar(Old, IX, IY, Op);
+          else
+            New = applyRelVarItv(Old, IX, Op, OtherItv);
+        } else {
+          New = applyRelVarItv(Old, IX, Op, OtherItv);
+        }
+        S.set(P, std::move(New));
+      }
+    };
+    RefineSide(*C.Lhs, *C.Rhs, C.Op);
+    RefineSide(*C.Rhs, *C.Lhs, swapRelOp(C.Op));
+  }
+
+  const Program &Prog;
+  const PreAnalysisResult &Pre;
+  const Packing &Packs;
+  StateT &S;
+};
+
+//===----------------------------------------------------------------------===//
+// State plumbing shared by the engines
+//===----------------------------------------------------------------------===//
+
+/// Cache of ⊤ octagons per pack arity (arities are small).
+class TopCache {
+public:
+  const Oct &top(uint32_t Arity) {
+    if (Arity >= Tops.size())
+      Tops.resize(Arity + 1);
+    if (!Tops[Arity])
+      Tops[Arity] = std::make_unique<Oct>(Oct::top(Arity));
+    return *Tops[Arity];
+  }
+
+private:
+  std::vector<std::unique_ptr<Oct>> Tops;
+};
+
+/// Dense view: reads fall back to ⊤ (non-strict transfers); writes go to
+/// the underlying state.
+class DenseOctView {
+public:
+  DenseOctView(OctState &S, const Packing &Packs, TopCache &Tops)
+      : S(S), Packs(Packs), Tops(Tops) {}
+
+  const Oct &get(PackId P) const {
+    const Oct *V = S.lookup(P);
+    if (V)
+      return *V;
+    return Tops.top(static_cast<uint32_t>(Packs.vars(P).size()));
+  }
+
+  void set(PackId P, Oct V) { S.set(P, std::move(V)); }
+
+private:
+  OctState &S;
+  const Packing &Packs;
+  TopCache &Tops;
+};
+
+/// Sparse view: reads fall back to the node's input buffer, then ⊤;
+/// writes land in an overlay.
+class SparseOctView {
+public:
+  SparseOctView(const OctState &In, const Packing &Packs, TopCache &Tops)
+      : In(In), Packs(Packs), Tops(Tops) {}
+
+  const Oct &get(PackId P) const {
+    if (const Oct *V = Overlay.lookup(P))
+      return *V;
+    if (const Oct *V = In.lookup(P))
+      return *V;
+    return Tops.top(static_cast<uint32_t>(Packs.vars(P).size()));
+  }
+
+  void set(PackId P, Oct V) { Overlay.set(P, std::move(V)); }
+
+  /// Output over \p Defs: overlay where written, input passthrough
+  /// otherwise.
+  OctState extract(const std::vector<LocId> &Defs) const {
+    OctState Out;
+    for (LocId DL : Defs) {
+      PackId P = locAsPack(DL);
+      if (const Oct *V = Overlay.lookup(P))
+        Out.set(P, *V);
+      else if (const Oct *V = In.lookup(P))
+        Out.set(P, *V);
+    }
+    return Out;
+  }
+
+private:
+  const OctState &In;
+  const Packing &Packs;
+  TopCache &Tops;
+  OctState Overlay;
+};
+
+/// Pointwise join; returns true if \p A grew.
+bool octJoinInto(OctState &A, const OctState &B) {
+  return A.mergeWith(B, [](Oct &X, const Oct &Y) {
+    Oct J = X.join(Y);
+    if (J == X)
+      return false;
+    X = std::move(J);
+    return true;
+  });
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pack-space def/use entry point
+//===----------------------------------------------------------------------===//
+
+DefUseInfo spa::computeOctDefUse(const Program &Prog,
+                                 const PreAnalysisResult &Pre,
+                                 const Packing &Packs) {
+  return OctDefUseBuilder(Prog, Pre, Packs).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Engines
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
+                           const Packing &Packs, const DefUseInfo &DU,
+                           bool Localize, const OctOptions &Opts) {
+  OctDenseResult R;
+  size_t N = Prog.numPoints();
+  R.Post.resize(N);
+  TopCache Tops;
+
+  const CallGraphInfo &CG = Pre.CG;
+  std::vector<uint32_t> Rpo = computeSuperRpo(Prog, CG);
+  std::vector<bool> Widen =
+      computeWideningPoints(Prog, CG, /*IncludeCallToReturn=*/Localize);
+  std::vector<uint32_t> ChangeCount(N, 0);
+  WorkList WL(std::move(Rpo));
+  for (uint32_t P = 0; P < N; ++P)
+    WL.push(P);
+
+  // Access sets per function, in pack space.
+  std::vector<std::vector<LocId>> Access(Prog.numFuncs());
+  if (Localize) {
+    for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
+      Access[F] = DU.AccessDefs[F];
+      Access[F].insert(Access[F].end(), DU.AccessUses[F].begin(),
+                       DU.AccessUses[F].end());
+      std::sort(Access[F].begin(), Access[F].end());
+      Access[F].erase(std::unique(Access[F].begin(), Access[F].end()),
+                      Access[F].end());
+    }
+  }
+  auto InAccess = [&](FuncId F, PackId P) {
+    const auto &A = Access[F.value()];
+    return std::binary_search(A.begin(), A.end(), packAsLoc(P));
+  };
+
+  auto ComputeInput = [&](PointId C) {
+    const Command &Cmd = Prog.point(C).Cmd;
+    OctState In;
+    if (Localize && Cmd.Kind == CmdKind::Entry) {
+      FuncId F = Prog.point(C).Func;
+      for (PointId Site : CG.callSitesOf(F))
+        octJoinInto(In, R.Post[Site.value()].filtered([&](PackId P) {
+          return InAccess(F, P);
+        }));
+      return In;
+    }
+    if (Localize && Cmd.Kind == CmdKind::Return) {
+      const std::vector<FuncId> &Cs = CG.callees(Cmd.Pair);
+      if (!Cs.empty()) {
+        for (FuncId G : Cs)
+          octJoinInto(In,
+                      R.Post[Prog.function(G).Exit.value()].filtered(
+                          [&](PackId P) { return InAccess(G, P); }));
+        octJoinInto(In, R.Post[Cmd.Pair.value()].filtered([&](PackId P) {
+          for (FuncId G : Cs)
+            if (InAccess(G, P))
+              return false;
+          return true;
+        }));
+        return In;
+      }
+    }
+    CG.forEachSuperPred(Prog, C,
+                        [&](PointId P) { octJoinInto(In, R.Post[P.value()]); });
+    return In;
+  };
+
+  Timer Clock;
+  unsigned HardLimit = Opts.WideningDelay * Opts.HardLimitFactor;
+  while (!WL.empty()) {
+    if (Opts.TimeLimitSec > 0 && (R.Visits & 255) == 0 &&
+        Clock.seconds() > Opts.TimeLimitSec) {
+      R.TimedOut = true;
+      break;
+    }
+    PointId C(WL.pop());
+    ++R.Visits;
+
+    OctState Out = ComputeInput(C);
+    DenseOctView View(Out, Packs, Tops);
+    OctTransfer<DenseOctView>(Prog, Pre, Packs, View).apply(C);
+
+    bool DoWiden =
+        Widen[C.value()] && ChangeCount[C.value()] >= Opts.WideningDelay;
+    bool Hard = ChangeCount[C.value()] >= HardLimit;
+    bool Changed = R.Post[C.value()].mergeWith(
+        Out, [&](Oct &A, const Oct &B) {
+          Oct New = Hard ? Oct::top(A.numVars())
+                         : (DoWiden ? A.widen(A.join(B)) : A.join(B));
+          if (New == A)
+            return false;
+          A = std::move(New);
+          return true;
+        });
+    if (!Changed)
+      continue;
+    ++ChangeCount[C.value()];
+    CG.forEachSuperSucc(Prog, C, [&](PointId S) { WL.push(S.value()); });
+    if (Localize && Prog.point(C).Cmd.Kind == CmdKind::Call)
+      WL.push(Prog.point(C).Cmd.Pair.value());
+  }
+
+  for (const OctState &S : R.Post)
+    R.StateEntries += S.size();
+  R.Seconds = Clock.seconds();
+  return R;
+}
+
+OctSparseResult runOctSparse(const Program &Prog,
+                             const PreAnalysisResult &Pre,
+                             const Packing &Packs, const SparseGraph &Graph,
+                             const OctOptions &Opts) {
+  OctSparseResult R;
+  size_t N = Graph.numNodes();
+  R.In.resize(N);
+  R.Out.resize(N);
+  TopCache Tops;
+  const CallGraphInfo &CG = Pre.CG;
+
+  std::vector<uint32_t> PointRpo = computeSuperRpo(Prog, CG);
+  std::vector<uint32_t> Prio(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    uint32_t R2 = 2 * PointRpo[Graph.anchor(I).value()] + 1;
+    Prio[I] = Graph.isPhi(I) ? R2 - 1 : R2;
+  }
+  std::vector<bool> WidenPoint = computeWideningPoints(Prog, CG);
+  std::vector<bool> WidenNode(N);
+  for (uint32_t I = 0; I < N; ++I)
+    WidenNode[I] = WidenPoint[Graph.anchor(I).value()];
+
+  WorkList WL(Prio);
+  for (uint32_t I = 0; I < N; ++I)
+    WL.push(I);
+  std::vector<FlatMap<PackId, uint32_t>> ArrivalCount(N);
+
+  Timer Clock;
+  unsigned HardLimit = Opts.WideningDelay * Opts.HardLimitFactor;
+  while (!WL.empty()) {
+    if (Opts.TimeLimitSec > 0 && (R.Visits & 255) == 0 &&
+        Clock.seconds() > Opts.TimeLimitSec) {
+      R.TimedOut = true;
+      break;
+    }
+    uint32_t Node = WL.pop();
+    ++R.Visits;
+
+    OctState NewOut;
+    if (Graph.isPhi(Node)) {
+      const PhiNode &Phi = Graph.phi(Node);
+      PackId P = locAsPack(Phi.L);
+      if (const Oct *V = R.In[Node].lookup(P))
+        NewOut.set(P, *V);
+    } else {
+      SparseOctView View(R.In[Node], Packs, Tops);
+      OctTransfer<SparseOctView>(Prog, Pre, Packs, View)
+          .apply(PointId(Node));
+      NewOut = View.extract(Graph.NodeDefs[Node]);
+    }
+
+    OctState &Out = R.Out[Node];
+    std::vector<LocId> ChangedLocs;
+    for (const auto &[P, V] : NewOut) {
+      Oct *Slot = Out.lookup(P);
+      if (!Slot) {
+        Out.set(P, V);
+        ChangedLocs.push_back(packAsLoc(P));
+        continue;
+      }
+      Oct J = Slot->join(V);
+      if (J != *Slot) {
+        *Slot = std::move(J);
+        ChangedLocs.push_back(packAsLoc(P));
+      }
+    }
+    if (ChangedLocs.empty())
+      continue;
+
+    Graph.Edges->forEachOut(Node, [&](LocId L, uint32_t Dst) {
+      if (!std::binary_search(ChangedLocs.begin(), ChangedLocs.end(), L))
+        return;
+      PackId P = locAsPack(L);
+      const Oct &V = *R.Out[Node].lookup(P);
+      bool CutsCycle = WidenNode[Dst] || Prio[Node] >= Prio[Dst];
+      OctState &InDst = R.In[Dst];
+      Oct *Old = InDst.lookup(P);
+      uint32_t Count = 0;
+      if (CutsCycle) {
+        uint32_t &Slot = ArrivalCount[Dst].getOrCreate(P);
+        Count = Slot;
+      }
+      Oct New = Old ? Old->join(V) : V;
+      if (CutsCycle && Old) {
+        if (Count >= HardLimit)
+          New = Oct::top(New.numVars());
+        else if (Count >= Opts.WideningDelay)
+          New = Old->widen(New);
+      }
+      if (Old && New == *Old)
+        return;
+      if (CutsCycle)
+        ++ArrivalCount[Dst].getOrCreate(P);
+      InDst.set(P, std::move(New));
+      WL.push(Dst);
+    });
+  }
+
+  for (const OctState &S : R.In)
+    R.StateEntries += S.size();
+  for (const OctState &S : R.Out)
+    R.StateEntries += S.size();
+  R.Seconds = Clock.seconds();
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// OctRun
+//===----------------------------------------------------------------------===//
+
+double OctRun::depSeconds() const {
+  double S = PreSeconds + DefUseSeconds;
+  if (Graph)
+    S += Graph->BuildSeconds;
+  return S;
+}
+
+double OctRun::fixSeconds() const {
+  if (Dense)
+    return Dense->Seconds;
+  if (Sparse)
+    return Sparse->Seconds;
+  return 0;
+}
+
+bool OctRun::timedOut() const {
+  if (Dense && Dense->TimedOut)
+    return true;
+  if (Sparse && Sparse->TimedOut)
+    return true;
+  return false;
+}
+
+Interval OctRun::denseIntervalAt(PointId P, LocId L) const {
+  assert(Dense && "dense result required");
+  PackId S = Packs.singleton(L);
+  const Oct *V = Dense->Post[P.value()].lookup(S);
+  return V ? V->project(0) : Interval::bot();
+}
+
+OctRun spa::runOctAnalysis(const Program &Prog, const OctOptions &Opts) {
+  Timer PreClock;
+  SemanticsOptions Sem;
+  OctRun Run{runPreAnalysis(Prog, Sem), Packing{}, DefUseInfo{},
+             {},                        {},        {},
+             0,                         0};
+  Run.PreSeconds = PreClock.seconds();
+
+  Timer DuClock;
+  Run.Packs = computePacking(Prog, Run.Pre, Opts.MaxPackSize);
+  Run.DU = computeOctDefUse(Prog, Run.Pre, Run.Packs);
+  Run.DefUseSeconds = DuClock.seconds();
+
+  switch (Opts.Engine) {
+  case EngineKind::Vanilla:
+  case EngineKind::Base:
+    Run.Dense = runOctDense(Prog, Run.Pre, Run.Packs, Run.DU,
+                            Opts.Engine == EngineKind::Base, Opts);
+    break;
+  case EngineKind::Sparse: {
+    DepOptions Dep = Opts.Dep;
+    Dep.NumLocsOverride = Run.Packs.numPacks();
+    Run.Graph = buildDepGraph(Prog, Run.Pre.CG, Run.DU, Dep);
+    Run.Sparse =
+        runOctSparse(Prog, Run.Pre, Run.Packs, *Run.Graph, Opts);
+    break;
+  }
+  }
+  return Run;
+}

@@ -1,0 +1,96 @@
+//===- OctAnalysis.h - Packed relational (octagon) analyzers ---------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The packed relational analysis of Section 4 instantiated with octagons
+/// (Table 3's Octagon_vanilla / Octagon_base / Octagon_sparse).  Abstract
+/// locations are variable packs (Ŝ = Packs → Oct); definition and use
+/// sets are pack sets; the sparse machinery (pre-analysis, SSA dependency
+/// construction, bypass, BDD storage) is reused verbatim over pack ids.
+///
+/// Pointer and function-pointer reasoning is delegated to the
+/// flow-insensitive pre-analysis (which Table 2's analyzers also use for
+/// the callgraph): loads and stores go through the pre-analysis points-to
+/// sets and degrade to interval updates on the touched singleton packs,
+/// matching the paper's setup where non-numerical values are "handled in
+/// the same way as the interval analysis".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_OCT_OCTANALYSIS_H
+#define SPA_OCT_OCTANALYSIS_H
+
+#include "core/Analyzer.h"
+#include "oct/Octagon.h"
+#include "oct/Packing.h"
+#include "support/FlatMap.h"
+
+#include <optional>
+
+namespace spa {
+
+/// Abstract state of the relational analysis: packs to octagons.
+/// Missing entries are bottom for joins; transfers treat them as ⊤ (the
+/// same non-strictness the interval engine has for constant effects).
+using OctState = FlatMap<PackId, Oct>;
+
+struct OctOptions {
+  EngineKind Engine = EngineKind::Sparse;
+  DepOptions Dep;
+  double TimeLimitSec = 0;
+  unsigned WideningDelay = 4;
+  /// Hard iteration cut: after this many changing arrivals an entry jumps
+  /// straight to ⊤ (octagon widening through closure needs a backstop).
+  unsigned HardLimitFactor = 8;
+  unsigned MaxPackSize = 10;
+};
+
+struct OctDenseResult {
+  std::vector<OctState> Post;
+  bool TimedOut = false;
+  uint64_t Visits = 0;
+  uint64_t StateEntries = 0;
+  double Seconds = 0;
+};
+
+struct OctSparseResult {
+  std::vector<OctState> In, Out;
+  bool TimedOut = false;
+  uint64_t Visits = 0;
+  uint64_t StateEntries = 0;
+  double Seconds = 0;
+};
+
+/// Everything one octagon-analyzer run produces.
+struct OctRun {
+  PreAnalysisResult Pre;
+  Packing Packs;
+  DefUseInfo DU; ///< Pack-space def/use ("locations" are pack ids).
+  std::optional<OctDenseResult> Dense;
+  std::optional<SparseGraph> Graph;
+  std::optional<OctSparseResult> Sparse;
+
+  double PreSeconds = 0;
+  double DefUseSeconds = 0;
+  double depSeconds() const;
+  double fixSeconds() const;
+  double totalSeconds() const { return depSeconds() + fixSeconds(); }
+  bool timedOut() const;
+
+  /// Interval of location \p L at point \p P as the analysis sees it
+  /// (projection from L's singleton pack; dense engines only).
+  Interval denseIntervalAt(PointId P, LocId L) const;
+};
+
+OctRun runOctAnalysis(const Program &Prog, const OctOptions &Opts);
+
+/// Pack-space def/use sets (exposed for tests).
+DefUseInfo computeOctDefUse(const Program &Prog, const PreAnalysisResult &Pre,
+                            const Packing &Packs);
+
+} // namespace spa
+
+#endif // SPA_OCT_OCTANALYSIS_H

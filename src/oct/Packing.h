@@ -1,0 +1,70 @@
+//===- Packing.h - Variable packs for the relational analysis --------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Variable packing for the packed relational analysis (Section 4).  The
+/// strategy mirrors the paper's (and Miné's) syntactic heuristic: locations
+/// that appear together in one statement (assignment, condition) are
+/// grouped, actual arguments are grouped with formal parameters and return
+/// slots with call targets, and packs exceeding the size threshold stop
+/// growing ("large packs whose sizes exceed a threshold (10) were split").
+/// Every location additionally gets a singleton pack — the assumption
+/// Section 4.2 makes so interval projection is always available.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_OCT_PACKING_H
+#define SPA_OCT_PACKING_H
+
+#include "core/PreAnalysis.h"
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace spa {
+
+/// The pack table: abstract locations of the relational analysis.
+class Packing {
+public:
+  uint32_t numPacks() const { return static_cast<uint32_t>(Packs.size()); }
+
+  /// Members of \p P, sorted.
+  const std::vector<LocId> &vars(PackId P) const {
+    return Packs[P.value()];
+  }
+
+  /// The singleton pack of \p L.
+  PackId singleton(LocId L) const { return Singleton[L.value()]; }
+
+  /// All packs containing \p L (the paper's pack(x)); includes the
+  /// singleton.
+  const std::vector<PackId> &packsOf(LocId L) const {
+    return Of[L.value()];
+  }
+
+  /// Index of \p L inside pack \p P, or -1 when absent.
+  int indexIn(PackId P, LocId L) const;
+
+  /// Average size of the non-singleton packs (the paper reports 5–7).
+  double avgGroupSize() const;
+  /// Number of non-singleton packs.
+  uint32_t numGroups() const { return NumGroups; }
+
+  // Populated by computePacking.
+  std::vector<std::vector<LocId>> Packs;
+  std::vector<PackId> Singleton;
+  std::vector<std::vector<PackId>> Of;
+  uint32_t NumGroups = 0;
+};
+
+/// Computes the syntactic packing for \p Prog (callgraph from the
+/// pre-analysis links actuals to formals of resolved callees).
+Packing computePacking(const Program &Prog, const PreAnalysisResult &Pre,
+                       unsigned MaxPackSize = 10);
+
+} // namespace spa
+
+#endif // SPA_OCT_PACKING_H

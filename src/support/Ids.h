@@ -1,0 +1,79 @@
+//===- Ids.h - Strongly typed index wrappers ------------------------------===//
+//
+// Part of the SPA project: a reproduction of "Design and Implementation of
+// Sparse Global Analyses for C-like Languages" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly typed integer id wrappers used across the analyzer: control
+/// points, abstract locations, functions, variables, and variable packs.
+/// Each id is a dense index into a per-program table, so vectors indexed by
+/// ids replace hash maps on hot paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_IDS_H
+#define SPA_SUPPORT_IDS_H
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace spa {
+
+/// CRTP base for typed ids.  \p Tag distinguishes unrelated id spaces at
+/// compile time so a PointId cannot be passed where a LocId is expected.
+template <typename Tag> class Id {
+public:
+  using ValueType = uint32_t;
+  static constexpr ValueType InvalidValue =
+      std::numeric_limits<ValueType>::max();
+
+  constexpr Id() : Value(InvalidValue) {}
+  constexpr explicit Id(ValueType V) : Value(V) {}
+
+  /// Returns the raw index.  Only valid ids may be used as indices.
+  constexpr ValueType value() const { return Value; }
+  constexpr bool isValid() const { return Value != InvalidValue; }
+
+  friend constexpr bool operator==(Id A, Id B) { return A.Value == B.Value; }
+  friend constexpr bool operator!=(Id A, Id B) { return A.Value != B.Value; }
+  friend constexpr bool operator<(Id A, Id B) { return A.Value < B.Value; }
+  friend constexpr bool operator<=(Id A, Id B) { return A.Value <= B.Value; }
+  friend constexpr bool operator>(Id A, Id B) { return A.Value > B.Value; }
+  friend constexpr bool operator>=(Id A, Id B) { return A.Value >= B.Value; }
+
+private:
+  ValueType Value;
+};
+
+struct PointTag {};
+struct LocTag {};
+struct FuncTag {};
+struct VarTag {};
+struct PackTag {};
+struct BlockTag {};
+
+/// A control point in the program's supergraph (one command each).
+using PointId = Id<PointTag>;
+/// An abstract location (variable, allocation site, or return slot).
+using LocId = Id<LocTag>;
+/// A procedure.
+using FuncId = Id<FuncTag>;
+/// A source-level variable (global or function-local).
+using VarId = Id<VarTag>;
+/// A variable pack for the packed relational (octagon) analysis.
+using PackId = Id<PackTag>;
+
+} // namespace spa
+
+namespace std {
+template <typename Tag> struct hash<spa::Id<Tag>> {
+  size_t operator()(spa::Id<Tag> V) const {
+    return std::hash<uint32_t>()(V.value());
+  }
+};
+} // namespace std
+
+#endif // SPA_SUPPORT_IDS_H

@@ -1,0 +1,114 @@
+//===- Resource.cpp - Wall-clock timing and memory measurement -------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Resource.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace spa;
+
+uint64_t spa::currentPeakRssKiB() {
+  FILE *F = std::fopen("/proc/self/status", "r");
+  if (!F)
+    return 0;
+  char Line[256];
+  uint64_t KiB = 0;
+  while (std::fgets(Line, sizeof(Line), F)) {
+    if (std::strncmp(Line, "VmHWM:", 6) == 0) {
+      KiB = std::strtoull(Line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(F);
+  return KiB;
+}
+
+ChildRunResult spa::runInChild(const std::function<std::vector<double>()> &Job,
+                               double TimeLimitSec) {
+  ChildRunResult Result;
+
+  int Pipe[2];
+  if (pipe(Pipe) != 0)
+    return Result;
+
+  Timer Clock;
+  pid_t Child = fork();
+  if (Child < 0) {
+    close(Pipe[0]);
+    close(Pipe[1]);
+    return Result;
+  }
+
+  if (Child == 0) {
+    // Child: run the job, ship the payload doubles through the pipe.
+    close(Pipe[0]);
+    std::vector<double> Payload = Job();
+    uint32_t Count = static_cast<uint32_t>(Payload.size());
+    if (Count > 8)
+      Count = 8;
+    ssize_t Ignored = write(Pipe[1], &Count, sizeof(Count));
+    (void)Ignored;
+    for (uint32_t I = 0; I < Count; ++I) {
+      Ignored = write(Pipe[1], &Payload[I], sizeof(double));
+      (void)Ignored;
+    }
+    close(Pipe[1]);
+    _exit(0);
+  }
+
+  // Parent: poll for exit up to the limit, then kill.
+  close(Pipe[1]);
+  bool Exited = false;
+  int Status = 0;
+  struct rusage Usage;
+  std::memset(&Usage, 0, sizeof(Usage));
+  for (;;) {
+    pid_t W = wait4(Child, &Status, WNOHANG, &Usage);
+    if (W == Child) {
+      Exited = true;
+      break;
+    }
+    if (W < 0)
+      break;
+    if (TimeLimitSec > 0 && Clock.seconds() > TimeLimitSec) {
+      kill(Child, SIGKILL);
+      wait4(Child, &Status, 0, &Usage);
+      Result.TimedOut = true;
+      break;
+    }
+    usleep(2000);
+  }
+
+  Result.Seconds = Clock.seconds();
+  Result.PeakRssKiB = static_cast<uint64_t>(Usage.ru_maxrss);
+
+  if (Exited && WIFEXITED(Status) && WEXITSTATUS(Status) == 0) {
+    uint32_t Count = 0;
+    if (read(Pipe[0], &Count, sizeof(Count)) == sizeof(Count) && Count <= 8) {
+      Result.Ok = true;
+      for (uint32_t I = 0; I < Count; ++I) {
+        double D = 0;
+        if (read(Pipe[0], &D, sizeof(D)) != sizeof(D)) {
+          Result.Ok = false;
+          break;
+        }
+        Result.Payload[I] = D;
+        Result.PayloadCount = static_cast<int>(I) + 1;
+      }
+    }
+  }
+  close(Pipe[0]);
+  return Result;
+}

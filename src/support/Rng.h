@@ -1,0 +1,59 @@
+//===- Rng.h - Deterministic random number generator -----------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small splitmix64-based RNG.  All randomized tests and the synthetic
+/// workload generator take explicit seeds so every run is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_RNG_H
+#define SPA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace spa {
+
+/// splitmix64: tiny, fast, and statistically fine for workload generation.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniform in [0, Bound).  \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Returns a value uniform in [Lo, Hi] (inclusive).
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+  /// Derives an independent child generator (for nested structures).
+  Rng fork() { return Rng(next()); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_RNG_H

@@ -1,0 +1,72 @@
+//===- WorkList.h - Deduplicating priority worklist ------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worklist used by every fixpoint engine in the analyzer.  Items carry
+/// a precomputed priority (weak-topological / reverse-postorder index) so
+/// the engine visits points in a stable, near-topological order, and a
+/// membership bitmap deduplicates re-insertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_WORKLIST_H
+#define SPA_SUPPORT_WORKLIST_H
+
+#include <cassert>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace spa {
+
+/// Priority worklist over dense item indices [0, Size).  Lower priority
+/// values pop first.  Duplicate pushes of an in-queue item are ignored.
+class WorkList {
+public:
+  /// \p Priorities maps item index to its scheduling priority.
+  explicit WorkList(std::vector<uint32_t> Priorities)
+      : Priority(std::move(Priorities)), InQueue(Priority.size(), false) {}
+
+  bool empty() const { return Heap.empty(); }
+  size_t size() const { return Heap.size(); }
+
+  /// Enqueues \p Item unless it is already pending.
+  void push(uint32_t Item) {
+    assert(Item < InQueue.size() && "worklist item out of range");
+    if (InQueue[Item])
+      return;
+    InQueue[Item] = true;
+    Heap.push(Entry{Priority[Item], Item});
+  }
+
+  /// Pops the pending item with the smallest priority.
+  uint32_t pop() {
+    assert(!Heap.empty() && "pop from empty worklist");
+    uint32_t Item = Heap.top().Item;
+    Heap.pop();
+    InQueue[Item] = false;
+    return Item;
+  }
+
+private:
+  struct Entry {
+    uint32_t Prio;
+    uint32_t Item;
+    friend bool operator>(const Entry &A, const Entry &B) {
+      if (A.Prio != B.Prio)
+        return A.Prio > B.Prio;
+      return A.Item > B.Item;
+    }
+  };
+
+  std::vector<uint32_t> Priority;
+  std::vector<bool> InQueue;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> Heap;
+};
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_WORKLIST_H

@@ -1,0 +1,442 @@
+//===- Generator.cpp - Synthetic C-like program generator -----------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generator.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace spa;
+
+namespace {
+
+class Generator {
+public:
+  explicit Generator(const GenConfig &C) : C(C), Rand(C.Seed) {}
+
+  ProgramAST run() {
+    // Globals: g0..  plus function-pointer globals when enabled.
+    for (unsigned I = 0; I < C.NumGlobals; ++I) {
+      GlobalDecl G;
+      G.Name = "g" + std::to_string(I);
+      G.Init = Rand.range(-4, 8);
+      Ast.Globals.push_back(std::move(G));
+    }
+    if (C.UseFunctionPointers && C.NumFunctions > 0) {
+      GlobalDecl G;
+      G.Name = "fp0";
+      Ast.Globals.push_back(std::move(G));
+    }
+
+    // Signatures first, so calls know arity.
+    ParamCounts.resize(C.NumFunctions);
+    for (unsigned I = 0; I < C.NumFunctions; ++I)
+      ParamCounts[I] =
+          C.MaxParams == 0 ? 0 : static_cast<unsigned>(Rand.below(C.MaxParams + 1));
+    Called.assign(C.NumFunctions, false);
+
+    for (unsigned I = 0; I < C.NumFunctions; ++I)
+      Ast.Functions.push_back(makeFunction(I));
+    Ast.Functions.push_back(makeMain());
+    return std::move(Ast);
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Naming
+  //===------------------------------------------------------------------===//
+
+  static std::string funcName(unsigned I) { return "f" + std::to_string(I); }
+
+  /// Variable pools for the function currently being generated.
+  struct Pools {
+    std::vector<std::string> Numeric;  ///< Initialized numeric variables.
+    std::vector<std::string> Pointers; ///< Initialized pointer variables.
+    std::vector<std::string> Globals;  ///< This function's global subset.
+    unsigned FuncIndex = 0;            ///< C.NumFunctions for main.
+    unsigned NextTemp = 0;
+  };
+
+  /// Real programs exhibit locality: each function references a small
+  /// subset of the globals, which is what keeps the def/use sets sparse
+  /// (the key observation of Section 6.3).
+  void pickGlobalSubset(Pools &P) {
+    if (C.NumGlobals == 0)
+      return;
+    unsigned Want = 1 + static_cast<unsigned>(Rand.below(4));
+    for (unsigned I = 0; I < Want; ++I)
+      P.Globals.push_back("g" + std::to_string(Rand.below(C.NumGlobals)));
+    // The SCC guard counter must stay referencable.
+    if (C.SccGroupSize > 1 && P.FuncIndex < C.SccGroupSize)
+      P.Globals.push_back("g0");
+  }
+
+  std::string pickGlobal(Pools &P) {
+    return P.Globals[Rand.below(P.Globals.size())];
+  }
+
+  std::string freshName(Pools &P, const char *Prefix) {
+    return std::string(Prefix) + std::to_string(P.FuncIndex) + "_" +
+           std::to_string(P.NextTemp++);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
+  std::unique_ptr<Expr> numAtom(Pools &P) {
+    // Weighted atom choice: locals/params, globals, constants, derefs,
+    // unknown inputs.
+    uint64_t K = Rand.below(100);
+    if (K < 45 && !P.Numeric.empty())
+      return Expr::makeVar(
+          P.Numeric[Rand.below(P.Numeric.size())], 0);
+    if (K < 55 && !P.Globals.empty())
+      return Expr::makeVar(pickGlobal(P), 0);
+    if (K < 65 && !P.Pointers.empty())
+      return Expr::makeDeref(
+          P.Pointers[Rand.below(P.Pointers.size())], 0);
+    if (K < 75)
+      return Expr::makeInput(0);
+    return Expr::makeNum(Rand.range(-8, 8), 0);
+  }
+
+  std::unique_ptr<Expr> numExpr(Pools &P) {
+    auto E = numAtom(P);
+    unsigned Terms = static_cast<unsigned>(Rand.below(3));
+    for (unsigned I = 0; I < Terms; ++I) {
+      uint64_t K = Rand.below(100);
+      if (K < 10) {
+        E = Expr::makeBinary(BinOp::Mul, std::move(E), numAtom(P), 0);
+      } else if (K < 22) {
+        // Division/modulo by a nonzero constant: interesting for the
+        // domains, never traps concretely.
+        int64_t D = Rand.range(1, 6) * (Rand.chance(30) ? -1 : 1);
+        E = Expr::makeBinary(Rand.chance(50) ? BinOp::Div : BinOp::Mod,
+                             std::move(E), Expr::makeNum(D, 0), 0);
+      } else {
+        E = Expr::makeBinary(K < 61 ? BinOp::Add : BinOp::Sub, std::move(E),
+                             numAtom(P), 0);
+      }
+    }
+    return E;
+  }
+
+  std::unique_ptr<Cond> numCond(Pools &P) {
+    auto Cd = std::make_unique<Cond>();
+    static const RelOp Ops[] = {RelOp::Lt, RelOp::Le, RelOp::Gt,
+                                RelOp::Ge, RelOp::Eq, RelOp::Ne};
+    Cd->Op = Ops[Rand.below(6)];
+    Cd->Lhs = P.Numeric.empty()
+                  ? numAtom(P)
+                  : Expr::makeVar(P.Numeric[Rand.below(P.Numeric.size())], 0);
+    Cd->Rhs = Rand.chance(60) ? Expr::makeNum(Rand.range(-8, 12), 0)
+                              : numAtom(P);
+    return Cd;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  std::unique_ptr<Stmt> assignStmt(Pools &P) {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Assign;
+    bool ToGlobal =
+        !P.Globals.empty() && (P.Numeric.empty() || Rand.chance(18));
+    assert((ToGlobal || !P.Numeric.empty()) && "no assignable variable");
+    S->Target = ToGlobal ? pickGlobal(P)
+                         : P.Numeric[Rand.below(P.Numeric.size())];
+    S->E = numExpr(P);
+    return S;
+  }
+
+  std::unique_ptr<Stmt> pointerStmt(Pools &P) {
+    auto S = std::make_unique<Stmt>();
+    uint64_t K = Rand.below(100);
+    const std::string &Ptr = P.Pointers[Rand.below(P.Pointers.size())];
+    if (K < C.AllocPercent) {
+      S->Kind = StmtKind::Alloc;
+      S->Target = Ptr;
+      S->E = Expr::makeNum(Rand.range(1, 8), 0);
+      return S;
+    }
+    if (K < 25) { // Retarget: p = &x or p = q.
+      S->Kind = StmtKind::Assign;
+      S->Target = Ptr;
+      if (Rand.chance(60)) {
+        bool Global = !P.Globals.empty() && Rand.chance(40);
+        std::string X = Global ? pickGlobal(P)
+                               : P.Numeric[Rand.below(P.Numeric.size())];
+        S->E = Expr::makeAddrOf(X, 0);
+      } else {
+        S->E = Expr::makeVar(P.Pointers[Rand.below(P.Pointers.size())], 0);
+      }
+      return S;
+    }
+    if (K < 60) { // Store through pointer.
+      S->Kind = StmtKind::Store;
+      S->Target = Ptr;
+      S->E = numExpr(P);
+      return S;
+    }
+    // Load through pointer.
+    S->Kind = StmtKind::Assign;
+    S->Target = P.Numeric[Rand.below(P.Numeric.size())];
+    S->E = Expr::makeDeref(Ptr, 0);
+    return S;
+  }
+
+  /// Picks a callee for a call in function \p CallerIndex, honoring the
+  /// forward/recursive and single-call-site policies.  Returns
+  /// C.NumFunctions when no callee is available.
+  unsigned pickCallee(unsigned CallerIndex) {
+    std::vector<unsigned> Candidates;
+    for (unsigned J = 0; J < C.NumFunctions; ++J) {
+      bool Forward = CallerIndex >= C.NumFunctions || J < CallerIndex;
+      if (!C.AllowRecursion && !Forward)
+        continue;
+      if (C.SingleCallSite && Called[J])
+        continue;
+      Candidates.push_back(J);
+    }
+    if (Candidates.empty())
+      return C.NumFunctions;
+    unsigned J = Candidates[Rand.below(Candidates.size())];
+    Called[J] = true;
+    return J;
+  }
+
+  std::unique_ptr<Stmt> callStmt(Pools &P, unsigned Callee,
+                                 bool Indirect = false) {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Call;
+    if (!P.Numeric.empty() && Rand.chance(80))
+      S->Target = P.Numeric[Rand.below(P.Numeric.size())];
+    if (Indirect) {
+      S->Indirect = true;
+      S->Callee = "fp0";
+      // Arity of the pointed-to function is unknown; pass MaxParams args
+      // (extra arguments are dropped at binding).
+      for (unsigned I = 0; I < C.MaxParams; ++I)
+        S->Args.push_back(numExpr(P));
+      return S;
+    }
+    S->Callee = funcName(Callee);
+    for (unsigned I = 0; I < ParamCounts[Callee]; ++I)
+      S->Args.push_back(numExpr(P));
+    return S;
+  }
+
+  void genBody(Pools &P, std::vector<std::unique_ptr<Stmt>> &Out,
+               unsigned Slots, unsigned Depth) {
+    for (unsigned I = 0; I < Slots; ++I) {
+      uint64_t K = Rand.below(100);
+      if (Depth < C.MaxDepth && K < C.BranchPercent) {
+        auto S = std::make_unique<Stmt>();
+        S->Kind = StmtKind::If;
+        S->Cnd = numCond(P);
+        genBody(P, S->Then, 1 + Rand.below(3), Depth + 1);
+        if (Rand.chance(60))
+          genBody(P, S->Else, 1 + Rand.below(3), Depth + 1);
+        Out.push_back(std::move(S));
+        continue;
+      }
+      K -= C.BranchPercent;
+      if (C.AllowLoops && Depth < C.MaxDepth && K < C.LoopPercent) {
+        // Bounded counter loop: terminates concretely, widens abstractly.
+        std::string Counter = freshName(P, "i");
+        auto Init = std::make_unique<Stmt>();
+        Init->Kind = StmtKind::Assign;
+        Init->Target = Counter;
+        Init->E = Expr::makeNum(0, 0);
+        Out.push_back(std::move(Init));
+
+        auto Loop = std::make_unique<Stmt>();
+        Loop->Kind = StmtKind::While;
+        Loop->Cnd = std::make_unique<Cond>();
+        Loop->Cnd->Op = RelOp::Lt;
+        Loop->Cnd->Lhs = Expr::makeVar(Counter, 0);
+        Loop->Cnd->Rhs = Expr::makeNum(Rand.range(2, 6), 0);
+
+        P.Numeric.push_back(Counter);
+        genBody(P, Loop->Then, 1 + Rand.below(3), Depth + 1);
+        P.Numeric.pop_back();
+
+        auto Step = std::make_unique<Stmt>();
+        Step->Kind = StmtKind::Assign;
+        Step->Target = Counter;
+        Step->E = Expr::makeBinary(BinOp::Add, Expr::makeVar(Counter, 0),
+                                   Expr::makeNum(1, 0), 0);
+        Loop->Then.push_back(std::move(Step));
+        Out.push_back(std::move(Loop));
+        continue;
+      }
+      K -= C.LoopPercent;
+      if (K < C.CallPercent && C.NumFunctions > 0) {
+        if (C.UseFunctionPointers && Rand.chance(25) &&
+            P.FuncIndex == C.NumFunctions) {
+          Out.push_back(callStmt(P, 0, /*Indirect=*/true));
+          continue;
+        }
+        unsigned Callee = pickCallee(P.FuncIndex);
+        if (Callee < C.NumFunctions) {
+          Out.push_back(callStmt(P, Callee));
+          continue;
+        }
+        // Fall through to a plain assignment when no callee is legal.
+      } else {
+        K -= C.CallPercent;
+        if (K < C.PointerPercent && !P.Pointers.empty()) {
+          Out.push_back(pointerStmt(P));
+          continue;
+        }
+      }
+      Out.push_back(assignStmt(P));
+    }
+  }
+
+  /// Initializers establishing the def-before-use discipline.
+  void genInits(Pools &P, const FunctionDecl &F,
+                std::vector<std::unique_ptr<Stmt>> &Out) {
+    pickGlobalSubset(P);
+    for (unsigned I = 0; I < C.NumericLocals; ++I) {
+      std::string Name = "n" + std::to_string(I);
+      auto S = std::make_unique<Stmt>();
+      S->Kind = StmtKind::Assign;
+      S->Target = Name;
+      if (!F.Params.empty() && Rand.chance(40))
+        S->E = Expr::makeVar(F.Params[Rand.below(F.Params.size())], 0);
+      else if (Rand.chance(25))
+        S->E = Expr::makeInput(0);
+      else
+        S->E = Expr::makeNum(Rand.range(-8, 8), 0);
+      Out.push_back(std::move(S));
+      P.Numeric.push_back(Name);
+    }
+    for (const std::string &Param : F.Params)
+      P.Numeric.push_back(Param);
+    for (unsigned I = 0; I < C.PointerLocals; ++I) {
+      std::string Name = "p" + std::to_string(I);
+      auto S = std::make_unique<Stmt>();
+      if (Rand.chance(25)) {
+        S->Kind = StmtKind::Alloc;
+        S->Target = Name;
+        S->E = Expr::makeNum(Rand.range(1, 8), 0);
+      } else {
+        S->Kind = StmtKind::Assign;
+        S->Target = Name;
+        bool Global = !P.Globals.empty() && Rand.chance(40);
+        std::string X = Global ? pickGlobal(P)
+                               : P.Numeric[Rand.below(P.Numeric.size())];
+        S->E = Expr::makeAddrOf(X, 0);
+      }
+      Out.push_back(std::move(S));
+      P.Pointers.push_back(Name);
+    }
+  }
+
+  FunctionDecl makeFunction(unsigned Index) {
+    FunctionDecl F;
+    F.Name = funcName(Index);
+    for (unsigned I = 0; I < ParamCounts[Index]; ++I)
+      F.Params.push_back("a" + std::to_string(I));
+
+    Pools P;
+    P.FuncIndex = Index;
+    genInits(P, F, F.Body);
+
+    // Forced SCC edge: fi calls f((i+1) % SccGroupSize).
+    if (Index < C.SccGroupSize && C.SccGroupSize > 1) {
+      unsigned Next = (Index + 1) % C.SccGroupSize;
+      // Guard the recursive call so concrete executions terminate.
+      auto Guard = std::make_unique<Stmt>();
+      Guard->Kind = StmtKind::If;
+      Guard->Cnd = std::make_unique<Cond>();
+      Guard->Cnd->Op = RelOp::Gt;
+      Guard->Cnd->Lhs = Expr::makeVar("g0", 0);
+      Guard->Cnd->Rhs = Expr::makeNum(0, 0);
+      auto Dec = std::make_unique<Stmt>();
+      Dec->Kind = StmtKind::Assign;
+      Dec->Target = "g0";
+      Dec->E = Expr::makeBinary(BinOp::Sub, Expr::makeVar("g0", 0),
+                                Expr::makeNum(1, 0), 0);
+      Guard->Then.push_back(std::move(Dec));
+      Guard->Then.push_back(callStmt(P, Next));
+      Called[Next] = true;
+      F.Body.push_back(std::move(Guard));
+    }
+
+    genBody(P, F.Body, C.StmtsPerFunction, 0);
+
+    auto Ret = std::make_unique<Stmt>();
+    Ret->Kind = StmtKind::Return;
+    Ret->E = numExpr(P);
+    F.Body.push_back(std::move(Ret));
+    return F;
+  }
+
+  FunctionDecl makeMain() {
+    FunctionDecl F;
+    F.Name = "main";
+    Pools P;
+    P.FuncIndex = C.NumFunctions;
+    genInits(P, F, F.Body);
+
+    if (C.UseFunctionPointers && C.NumFunctions > 0) {
+      auto S = std::make_unique<Stmt>();
+      S->Kind = StmtKind::Assign;
+      S->Target = "fp0";
+      S->E = Expr::makeVar(funcName(Rand.below(C.NumFunctions)), 0);
+      F.Body.push_back(std::move(S));
+      if (C.NumFunctions > 1 && Rand.chance(70)) {
+        auto Re = std::make_unique<Stmt>();
+        Re->Kind = StmtKind::If;
+        Re->Cnd = numCond(P);
+        auto Set = std::make_unique<Stmt>();
+        Set->Kind = StmtKind::Assign;
+        Set->Target = "fp0";
+        Set->E = Expr::makeVar(funcName(Rand.below(C.NumFunctions)), 0);
+        Re->Then.push_back(std::move(Set));
+        F.Body.push_back(std::move(Re));
+      }
+    }
+
+    genBody(P, F.Body, C.StmtsPerFunction, 0);
+
+    // The paper calls procedures unreachable from main explicitly; do the
+    // same so every function participates in the analysis.
+    for (unsigned J = 0; J < C.NumFunctions; ++J) {
+      if (Called[J])
+        continue;
+      Called[J] = true;
+      F.Body.push_back(callStmt(P, J));
+    }
+
+    auto Ret = std::make_unique<Stmt>();
+    Ret->Kind = StmtKind::Return;
+    Ret->E = numExpr(P);
+    F.Body.push_back(std::move(Ret));
+    return F;
+  }
+
+  const GenConfig &C;
+  Rng Rand;
+  ProgramAST Ast;
+  std::vector<unsigned> ParamCounts;
+  std::vector<bool> Called;
+};
+
+} // namespace
+
+ProgramAST spa::generateProgram(const GenConfig &Config) {
+  return Generator(Config).run();
+}
+
+std::string spa::generateSource(const GenConfig &Config) {
+  return printProgram(generateProgram(Config));
+}

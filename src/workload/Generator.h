@@ -1,0 +1,74 @@
+//===- Generator.h - Synthetic C-like program generator -------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random program generator.  It substitutes for the paper's
+/// 16 open-source benchmarks (gzip ... ghostscript-9.00): the cost drivers
+/// the evaluation studies — statement count, abstract-location count,
+/// def/use sparsity, callgraph SCC size, pointer density — are all
+/// explicit knobs here, so the benchmark harness can reproduce the
+/// *shape* of Tables 1–3 at laptop scale.
+///
+/// Generated programs respect the disciplines the concrete interpreter
+/// expects (locals initialized before use, numeric/pointer variables kept
+/// apart, counter-bounded loops), so the same programs drive the
+/// interpreter-based soundness tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_WORKLOAD_GENERATOR_H
+#define SPA_WORKLOAD_GENERATOR_H
+
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <string>
+
+namespace spa {
+
+/// Generator knobs.  Percentages are out of 100.
+struct GenConfig {
+  uint64_t Seed = 1;
+
+  unsigned NumFunctions = 6;     ///< Excluding main.
+  unsigned StmtsPerFunction = 18;///< Target top-level statements per body.
+  unsigned NumGlobals = 4;
+  unsigned MaxParams = 3;
+  unsigned NumericLocals = 5;
+  unsigned PointerLocals = 2;
+
+  unsigned BranchPercent = 25;  ///< Chance a slot becomes an `if`.
+  unsigned LoopPercent = 12;    ///< Chance a slot becomes a bounded loop.
+  unsigned CallPercent = 18;    ///< Chance a slot becomes a call.
+  unsigned PointerPercent = 18; ///< Chance a slot is a pointer operation.
+  unsigned AllocPercent = 6;    ///< Chance a pointer op allocates.
+  unsigned MaxDepth = 3;        ///< Nesting bound for if/while.
+
+  bool AllowLoops = true;
+  /// Let calls target earlier functions too, creating callgraph cycles
+  /// (mutual recursion).  Off = strictly forward (acyclic) calls.
+  bool AllowRecursion = false;
+  /// Limit every function to at most one call site program-wide: the
+  /// supergraph stays acyclic when loops/recursion are off, making dense
+  /// and sparse least fixpoints exactly comparable (no widening).
+  bool SingleCallSite = false;
+  /// Route some calls through function-pointer variables.
+  bool UseFunctionPointers = false;
+  /// The first SccGroupSize functions call the next one cyclically,
+  /// forcing a callgraph SCC of that size (the maxSCC knob of Table 1).
+  unsigned SccGroupSize = 0;
+};
+
+/// Generates a whole program (globals + NumFunctions helpers + main).
+ProgramAST generateProgram(const GenConfig &Config);
+
+/// Convenience: generate and render to surface syntax (exercises the
+/// lexer/parser round trip the benchmarks measure under "frontend").
+std::string generateSource(const GenConfig &Config);
+
+} // namespace spa
+
+#endif // SPA_WORKLOAD_GENERATOR_H

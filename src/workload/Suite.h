@@ -1,0 +1,52 @@
+//===- Suite.h - The 16-program benchmark suite ---------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the paper's 16 open-source benchmarks
+/// (Table 1: gzip-1.2.4a ... ghostscript-9.00).  Each entry scales the
+/// generator so the suite preserves the paper's *relative* structure:
+/// size ratios across programs, statements-per-function, and the
+/// callgraph maxSCC profile (the nethack/vim/emacs analogues get large
+/// recursive components, which Section 6.1 identifies as the dominant
+/// cost driver).  Absolute sizes are scaled down so the whole suite runs
+/// on one machine in minutes; set the scale factor to trade time for
+/// fidelity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_WORKLOAD_SUITE_H
+#define SPA_WORKLOAD_SUITE_H
+
+#include "workload/Generator.h"
+
+#include <string>
+#include <vector>
+
+namespace spa {
+
+/// One synthetic benchmark mirroring a Table 1 row.
+struct SuiteEntry {
+  std::string Name;      ///< The mirrored program, e.g. "gzip-1.2.4a".
+  unsigned PaperKloc;    ///< The original's LOC (for the report).
+  unsigned PaperMaxScc;  ///< The original's maxSCC (for the report).
+  GenConfig Config;
+};
+
+/// The 16-program interval-analysis suite at \p Scale (1.0 = the default
+/// laptop-scale calibration; >1 grows programs linearly).
+std::vector<SuiteEntry> paperSuite(double Scale = 1.0);
+
+/// The 9 smaller programs Table 3 uses for the octagon analysis.
+std::vector<SuiteEntry> octagonSuite(double Scale = 1.0);
+
+/// Reads a scale factor from the SPA_SCALE environment variable
+/// (default \p Default: the calibration that keeps the full benchmark
+/// suite within a few minutes on one core).
+double suiteScaleFromEnv(double Default = 0.25);
+
+} // namespace spa
+
+#endif // SPA_WORKLOAD_SUITE_H

@@ -1,0 +1,75 @@
+//===- TestUtil.h - Shared helpers for SPA tests --------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_TESTS_TESTUTIL_H
+#define SPA_TESTS_TESTUTIL_H
+
+#include "core/Analyzer.h"
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace spa {
+namespace test {
+
+/// Parses and lowers \p Source, failing the test on any diagnostic.
+inline std::unique_ptr<Program> build(const std::string &Source) {
+  BuildResult R = buildProgramFromSource(Source);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  if (!R.ok()) {
+    // Keep the test runnable (and failing) rather than dereferencing null.
+    R = buildProgramFromSource("fun main() { return 0; }");
+  }
+  return std::move(R.Prog);
+}
+
+/// Finds an abstract location by its pretty name (e.g. "main::x", "g",
+/// "f::$ret", or "alloc@<n>").
+inline LocId locByName(const Program &Prog, const std::string &Name) {
+  for (uint32_t L = 0; L < Prog.numLocs(); ++L)
+    if (Prog.loc(LocId(L)).Name == Name)
+      return LocId(L);
+  ADD_FAILURE() << "no location named " << Name;
+  return LocId();
+}
+
+/// Runs one engine with defaults (plus any tweaks applied by \p Tweak).
+inline AnalysisRun analyze(const Program &Prog, EngineKind Engine,
+                           void (*Tweak)(AnalyzerOptions &) = nullptr) {
+  AnalyzerOptions Opts;
+  Opts.Engine = Engine;
+  if (Tweak)
+    Tweak(Opts);
+  return analyzeProgram(Prog, Opts);
+}
+
+/// Dense post-state value of \p L at the exit of function \p Func.
+inline Value denseAtExit(const Program &Prog, const AnalysisRun &Run,
+                         const std::string &Func, const std::string &Loc) {
+  FuncId F = Prog.findFunction(Func);
+  EXPECT_TRUE(F.isValid()) << "no function " << Func;
+  return Run.Dense->Post[Prog.function(F).Exit.value()].get(
+      locByName(Prog, Loc));
+}
+
+/// Sparse input-buffer value of \p L at the exit of function \p Func
+/// (exit uses everything the function defines, so defined locations are
+/// observable there).
+inline Value sparseAtExit(const Program &Prog, const AnalysisRun &Run,
+                          const std::string &Func, const std::string &Loc) {
+  FuncId F = Prog.findFunction(Func);
+  EXPECT_TRUE(F.isValid()) << "no function " << Func;
+  return Run.Sparse->In[Prog.function(F).Exit.value()].get(
+      locByName(Prog, Loc));
+}
+
+} // namespace test
+} // namespace spa
+
+#endif // SPA_TESTS_TESTUTIL_H

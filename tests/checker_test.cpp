@@ -1,0 +1,155 @@
+//===- checker_test.cpp - Buffer-overrun checker tests ----------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/Checker.h"
+#include "interp/Interp.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace spa;
+using namespace spa::test;
+
+TEST(Checker, ProvesInBoundsAccessSafe) {
+  auto Prog = build(R"(
+    fun main() {
+      a = alloc(10);
+      i = 0;
+      while (i < 10) {
+        q = a + i;
+        *q = i;
+        i = i + 1;
+      }
+      return 0;
+    }
+  )");
+  CheckerSummary S = analyzeAndCheck(*Prog);
+  ASSERT_FALSE(S.Checks.empty());
+  // The loop-guarded store q = a + i with i in [0, 9] is provably safe.
+  for (const AccessCheck &C : S.Checks) {
+    if (C.IsStore) {
+      EXPECT_EQ(C.Result, AccessCheck::Verdict::Safe) << C.str(*Prog);
+    }
+  }
+}
+
+TEST(Checker, FlagsOffByOne) {
+  auto Prog = build(R"(
+    fun main() {
+      a = alloc(10);
+      i = 0;
+      while (i <= 10) {
+        q = a + i;
+        *q = i;
+        i = i + 1;
+      }
+      return 0;
+    }
+  )");
+  CheckerSummary S = analyzeAndCheck(*Prog);
+  EXPECT_GT(S.numAlarms(), 0u);
+}
+
+TEST(Checker, FlagsDefiniteOverrun) {
+  auto Prog = build(R"(
+    fun main() {
+      a = alloc(4);
+      q = a + 7;
+      v = *q;
+      return v;
+    }
+  )");
+  CheckerSummary S = analyzeAndCheck(*Prog);
+  bool FoundDefinite = false;
+  for (const AccessCheck &C : S.Checks)
+    FoundDefinite |= C.Result == AccessCheck::Verdict::DefiniteOverrun;
+  EXPECT_TRUE(FoundDefinite);
+}
+
+TEST(Checker, SafeOnAddressOfVariables) {
+  auto Prog = build(R"(
+    fun main() {
+      x = 3;
+      p = &x;
+      y = *p;
+      return y;
+    }
+  )");
+  CheckerSummary S = analyzeAndCheck(*Prog);
+  for (const AccessCheck &C : S.Checks)
+    EXPECT_EQ(C.Result, AccessCheck::Verdict::Safe) << C.str(*Prog);
+}
+
+TEST(Checker, InterproceduralSizeFlows) {
+  auto Prog = build(R"(
+    fun fill(buf, n) {
+      i = 0;
+      while (i < n) {
+        q = buf + i;
+        *q = 0;
+        i = i + 1;
+      }
+      return 0;
+    }
+    fun main() {
+      a = alloc(8);
+      fill(a, 8);
+      b = alloc(4);
+      fill(b, 6);
+      return 0;
+    }
+  )");
+  // fill is called with a matching and a mismatching size: the store is
+  // a legitimate (may) alarm because the second call can overrun.
+  CheckerSummary S = analyzeAndCheck(*Prog);
+  EXPECT_GT(S.numAlarms(), 0u);
+}
+
+/// No false negatives: any overrun the interpreter actually hits must be
+/// an alarm (or definite overrun) at that point.
+class CheckerSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CheckerSoundness, ConcreteOverrunsAreFlagged) {
+  GenConfig Config;
+  Config.Seed = GetParam() * 9176 + 3;
+  Config.NumFunctions = 4;
+  Config.StmtsPerFunction = 12;
+  Config.PointerPercent = 35;
+  Config.AllocPercent = 30;
+  auto Source = generateSource(Config);
+  BuildResult B = buildProgramFromSource(Source);
+  ASSERT_TRUE(B.ok()) << B.Error;
+  const Program &Prog = *B.Prog;
+
+  AnalyzerOptions Opts;
+  Opts.Engine = EngineKind::Sparse;
+  Opts.Dep.Bypass = false;
+  AnalysisRun Run = analyzeProgram(Prog, Opts);
+  CheckerSummary S = checkBufferOverruns(Prog, Run);
+
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    InterpOptions IOpts;
+    IOpts.InputSeed = Seed;
+    IOpts.MaxSteps = 10000;
+    Interp I(Prog, Run.Pre.CG, IOpts);
+    InterpResult R = I.run(nullptr);
+    if (R.Reason != StopReason::Overrun)
+      continue;
+    ASSERT_EQ(R.OverrunPoints.size(), 1u);
+    bool Flagged = false;
+    for (const AccessCheck &C : S.Checks)
+      if (C.P == R.OverrunPoints[0] &&
+          C.Result != AccessCheck::Verdict::Safe)
+        Flagged = true;
+    EXPECT_TRUE(Flagged) << "missed overrun at "
+                         << Prog.pointToString(R.OverrunPoints[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerSoundness,
+                         ::testing::Range<uint64_t>(1, 16));

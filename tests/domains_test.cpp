@@ -1,0 +1,205 @@
+//===- domains_test.cpp - Value / state / container domain tests ----------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/AbsState.h"
+#include "domains/IdSet.h"
+#include "domains/Value.h"
+#include "support/FlatMap.h"
+#include "support/Rng.h"
+#include "support/WorkList.h"
+
+#include <gtest/gtest.h>
+
+using namespace spa;
+
+//===----------------------------------------------------------------------===//
+// FlatMap
+//===----------------------------------------------------------------------===//
+
+TEST(FlatMap, BasicOperations) {
+  FlatMap<int, int> M;
+  EXPECT_TRUE(M.empty());
+  M.set(3, 30);
+  M.set(1, 10);
+  M.set(2, 20);
+  EXPECT_EQ(M.size(), 3u);
+  EXPECT_EQ(*M.lookup(2), 20);
+  EXPECT_EQ(M.lookup(4), nullptr);
+  M.set(2, 25);
+  EXPECT_EQ(*M.lookup(2), 25);
+  EXPECT_TRUE(M.erase(2));
+  EXPECT_FALSE(M.erase(2));
+  // Iteration is sorted.
+  std::vector<int> Keys;
+  for (auto &[K, V] : M)
+    Keys.push_back(K);
+  EXPECT_EQ(Keys, (std::vector<int>{1, 3}));
+}
+
+TEST(FlatMap, MergeWith) {
+  FlatMap<int, int> A, B;
+  A.set(1, 1);
+  A.set(3, 3);
+  B.set(2, 2);
+  B.set(3, 30);
+  bool Changed = A.mergeWith(B, [](int &X, const int &Y) {
+    if (Y <= X)
+      return false;
+    X = Y;
+    return true;
+  });
+  EXPECT_TRUE(Changed);
+  EXPECT_EQ(*A.lookup(1), 1);
+  EXPECT_EQ(*A.lookup(2), 2);
+  EXPECT_EQ(*A.lookup(3), 30);
+  // Merging a subsumed map is a no-op.
+  EXPECT_FALSE(A.mergeWith(B, [](int &X, const int &Y) {
+    if (Y <= X)
+      return false;
+    X = Y;
+    return true;
+  }));
+}
+
+//===----------------------------------------------------------------------===//
+// IdSet
+//===----------------------------------------------------------------------===//
+
+TEST(IdSet, LatticeOperations) {
+  PtsSet A{LocId(1), LocId(3)};
+  PtsSet B{LocId(2), LocId(3)};
+  PtsSet J = A.join(B);
+  EXPECT_EQ(J.size(), 3u);
+  EXPECT_TRUE(A.leq(J));
+  EXPECT_TRUE(B.leq(J));
+  EXPECT_EQ(A.meet(B), PtsSet{LocId(3)});
+  EXPECT_TRUE(PtsSet().leq(A));
+  EXPECT_FALSE(A.leq(B));
+  PtsSet C = A;
+  EXPECT_FALSE(C.unionWith(A));
+  EXPECT_TRUE(C.unionWith(B));
+  EXPECT_EQ(C, J);
+  EXPECT_TRUE(C.contains(LocId(2)));
+  EXPECT_FALSE(C.contains(LocId(4)));
+}
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+TEST(Value, ProductLattice) {
+  Value A = Value::constant(3);
+  Value B = Value::pointerTo(LocId(7), Interval::constant(4));
+  Value J = A.join(B);
+  EXPECT_TRUE(A.leq(J));
+  EXPECT_TRUE(B.leq(J));
+  EXPECT_EQ(J.Itv, Interval::constant(3));
+  EXPECT_TRUE(J.Pts.contains(LocId(7)));
+  EXPECT_EQ(J.Size, Interval::constant(4));
+  EXPECT_TRUE(Value::bot().isBot());
+  EXPECT_TRUE(Value::bot().leq(A));
+  // joinWith reports growth precisely.
+  Value C = A;
+  EXPECT_FALSE(C.joinWith(A));
+  EXPECT_TRUE(C.joinWith(B));
+  EXPECT_EQ(C, J);
+}
+
+TEST(Value, WidenCoversJoin) {
+  Value A = Value::constant(3);
+  Value B = Value::constant(10);
+  Value W = A.widen(A.join(B));
+  EXPECT_TRUE(A.join(B).leq(W));
+  EXPECT_EQ(W.Itv.hi(), bound::PosInf);
+  EXPECT_EQ(W.Itv.lo(), 3);
+}
+
+//===----------------------------------------------------------------------===//
+// AbsState
+//===----------------------------------------------------------------------===//
+
+TEST(AbsState, BottomIsAbsent) {
+  AbsState S;
+  EXPECT_TRUE(S.get(LocId(1)).isBot());
+  S.set(LocId(1), Value::constant(5));
+  EXPECT_EQ(S.get(LocId(1)).Itv, Interval::constant(5));
+  S.set(LocId(1), Value::bot()); // Binding bottom removes the entry.
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(AbsState, JoinAndOrder) {
+  AbsState A, B;
+  A.set(LocId(1), Value::constant(1));
+  A.set(LocId(2), Value::constant(2));
+  B.set(LocId(2), Value::constant(5));
+  B.set(LocId(3), Value::constant(3));
+
+  AbsState J = A;
+  EXPECT_TRUE(J.joinWith(B));
+  EXPECT_TRUE(A.leq(J));
+  EXPECT_TRUE(B.leq(J));
+  EXPECT_EQ(J.get(LocId(2)).Itv, Interval(2, 5));
+  EXPECT_EQ(J.size(), 3u);
+  EXPECT_FALSE(J.joinWith(B)); // Idempotent.
+
+  EXPECT_TRUE(AbsState().leq(A));
+  EXPECT_FALSE(A.leq(B));
+}
+
+TEST(AbsState, WeakSetAndWiden) {
+  AbsState S;
+  EXPECT_TRUE(S.weakSet(LocId(1), Value::constant(1)));
+  EXPECT_TRUE(S.weakSet(LocId(1), Value::constant(4)));
+  EXPECT_EQ(S.get(LocId(1)).Itv, Interval(1, 4));
+  EXPECT_FALSE(S.weakSet(LocId(1), Value::constant(2)));
+
+  AbsState W;
+  W.set(LocId(1), Value::constant(0));
+  AbsState Grow;
+  Grow.set(LocId(1), Value::constant(3));
+  EXPECT_TRUE(W.widenWith(Grow));
+  EXPECT_EQ(W.get(LocId(1)).Itv.hi(), bound::PosInf);
+  EXPECT_EQ(W.get(LocId(1)).Itv.lo(), 0);
+}
+
+TEST(AbsState, NarrowWith) {
+  AbsState A;
+  Value Top = Value::topInt();
+  A.set(LocId(1), Top);
+  AbsState Tighter;
+  Tighter.set(LocId(1), Value::constant(5));
+  EXPECT_TRUE(A.narrowWith(Tighter));
+  EXPECT_EQ(A.get(LocId(1)).Itv, Interval::constant(5));
+}
+
+TEST(AbsState, Filtered) {
+  AbsState S;
+  S.set(LocId(1), Value::constant(1));
+  S.set(LocId(2), Value::constant(2));
+  AbsState F = S.filtered([](LocId L) { return L == LocId(2); });
+  EXPECT_EQ(F.size(), 1u);
+  EXPECT_TRUE(F.get(LocId(1)).isBot());
+  EXPECT_EQ(F.get(LocId(2)).Itv, Interval::constant(2));
+}
+
+//===----------------------------------------------------------------------===//
+// WorkList
+//===----------------------------------------------------------------------===//
+
+TEST(WorkList, PriorityOrderAndDedup) {
+  WorkList WL({5, 1, 3, 0, 4});
+  WL.push(0);
+  WL.push(1);
+  WL.push(0); // Duplicate push ignored.
+  WL.push(3);
+  EXPECT_EQ(WL.size(), 3u);
+  EXPECT_EQ(WL.pop(), 3u); // Priority 0.
+  EXPECT_EQ(WL.pop(), 1u); // Priority 1.
+  WL.push(1);              // Re-push after pop is allowed.
+  EXPECT_EQ(WL.pop(), 1u);
+  EXPECT_EQ(WL.pop(), 0u);
+  EXPECT_TRUE(WL.empty());
+}

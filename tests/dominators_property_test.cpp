@@ -1,0 +1,128 @@
+//===- dominators_property_test.cpp - Dominator tree property tests ---------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized validation of the Cooper–Harvey–Kennedy dominator
+/// construction against the definition: on generated programs, (a) every
+/// point becomes unreachable from the entry once its immediate dominator
+/// is removed, (b) immediate dominators are themselves dominators of
+/// their children's other dominators (tree consistency via RPO order),
+/// and (c) dominance frontier members have a predecessor dominated by
+/// the frontier owner but are not strictly dominated themselves.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Builder.h"
+#include "ir/Dominators.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+/// Points of \p F reachable from its entry when \p Removed is skipped.
+std::set<uint32_t> reachableWithout(const Program &Prog,
+                                    const FunctionInfo &Info,
+                                    PointId Removed) {
+  std::set<uint32_t> Seen;
+  if (Removed == Info.Entry)
+    return Seen;
+  std::vector<PointId> Work{Info.Entry};
+  Seen.insert(Info.Entry.value());
+  while (!Work.empty()) {
+    PointId P = Work.back();
+    Work.pop_back();
+    for (PointId S : Prog.succs(P)) {
+      if (S == Removed || !Seen.insert(S.value()).second)
+        continue;
+      Work.push_back(S);
+    }
+  }
+  return Seen;
+}
+
+/// Is \p A a (reflexive) dominator of \p B? Brute force: B unreachable
+/// without A, or A == B.
+bool dominates(const Program &Prog, const FunctionInfo &Info, PointId A,
+               PointId B) {
+  if (A == B)
+    return true;
+  return !reachableWithout(Prog, Info, A).count(B.value());
+}
+
+} // namespace
+
+class DominatorProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DominatorProperties, MatchBruteForceDefinition) {
+  GenConfig Config;
+  Config.Seed = GetParam() * 40427;
+  Config.NumFunctions = 2;
+  Config.StmtsPerFunction = 10;
+  Config.MaxDepth = 4;
+  BuildResult B = buildProgramFromSource(generateSource(Config));
+  ASSERT_TRUE(B.ok()) << B.Error;
+  const Program &Prog = *B.Prog;
+
+  for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
+    const FunctionInfo &Info = Prog.function(FuncId(F));
+    Dominators Dom(Prog, FuncId(F));
+
+    for (PointId P : Info.Points) {
+      if (P == Info.Entry) {
+        EXPECT_FALSE(Dom.idom(P).isValid());
+        continue;
+      }
+      PointId Idom = Dom.idom(P);
+      ASSERT_TRUE(Idom.isValid()) << Prog.pointToString(P);
+
+      // (a) The immediate dominator really dominates.
+      EXPECT_TRUE(dominates(Prog, Info, Idom, P))
+          << Prog.pointToString(Idom) << " !dom " << Prog.pointToString(P);
+
+      // (b) Immediacy: no other strict dominator of P lies strictly
+      // below Idom (every strict dominator dominates Idom too).
+      for (PointId Q : Info.Points) {
+        if (Q == P || Q == Idom)
+          continue;
+        if (dominates(Prog, Info, Q, P)) {
+          EXPECT_TRUE(dominates(Prog, Info, Q, Idom))
+              << "dominator " << Prog.pointToString(Q)
+              << " of " << Prog.pointToString(P)
+              << " does not dominate idom " << Prog.pointToString(Idom);
+        }
+      }
+    }
+
+    // (c) Dominance frontier definition: J is in DF(P) iff P dominates a
+    // predecessor of J but does not strictly dominate J.
+    for (PointId P : Info.Points) {
+      std::set<uint32_t> Frontier;
+      for (PointId J : Dom.frontier(P))
+        Frontier.insert(J.value());
+      for (PointId J : Info.Points) {
+        bool DominatesAPred = false;
+        for (PointId Pred : Prog.preds(J))
+          DominatesAPred |= dominates(Prog, Info, P, Pred);
+        bool StrictlyDominatesJ = P != J && dominates(Prog, Info, P, J);
+        bool Expected = DominatesAPred && !StrictlyDominatesJ;
+        EXPECT_EQ(Frontier.count(J.value()) != 0, Expected)
+            << "DF(" << Prog.pointToString(P) << ") vs "
+            << Prog.pointToString(J);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominatorProperties,
+                         ::testing::Range<uint64_t>(1, 9));

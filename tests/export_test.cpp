@@ -1,0 +1,85 @@
+//===- export_test.cpp - Graphviz/text export tests ---------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/Export.h"
+
+#include <gtest/gtest.h>
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+std::unique_ptr<Program> sample() {
+  return build(R"(
+    global g = 1;
+    fun helper(a) {
+      g = g + a;
+      return g;
+    }
+    fun main() {
+      x = input();
+      if (x < 3) { y = helper(x); } else { y = 0; }
+      return y;
+    }
+  )");
+}
+
+} // namespace
+
+TEST(Export, SupergraphDotIsWellFormed) {
+  auto Prog = sample();
+  AnalysisRun Run = analyze(*Prog, EngineKind::Sparse);
+  std::string Dot = exportSupergraphDot(*Prog, Run.Pre.CG);
+  EXPECT_NE(Dot.find("digraph supergraph"), std::string::npos);
+  // One cluster per function (incl. _start).
+  for (const char *Name : {"main", "helper", "_start"})
+    EXPECT_NE(Dot.find(std::string("label=\"") + Name), std::string::npos);
+  // Call linkage is rendered dashed.
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+  // Every point has a node line.
+  for (uint32_t P = 0; P < Prog->numPoints(); ++P)
+    EXPECT_NE(Dot.find("n" + std::to_string(P) + " "), std::string::npos);
+  EXPECT_EQ(Dot.back(), '\n');
+}
+
+TEST(Export, DepGraphDotContainsLabeledEdges) {
+  auto Prog = sample();
+  AnalysisRun Run = analyze(*Prog, EngineKind::Sparse);
+  std::string Dot = exportDepGraphDot(*Prog, *Run.Graph);
+  EXPECT_NE(Dot.find("digraph deps"), std::string::npos);
+  // Edges carry location labels; the global flows somewhere.
+  EXPECT_NE(Dot.find("label=\"g\""), std::string::npos);
+  EXPECT_EQ(Dot.find("truncated"), std::string::npos);
+}
+
+TEST(Export, DepGraphDotTruncatesHugeGraphs) {
+  auto Prog = sample();
+  AnalysisRun Run = analyze(*Prog, EngineKind::Sparse);
+  std::string Dot = exportDepGraphDot(*Prog, *Run.Graph, /*MaxEdges=*/2);
+  EXPECT_NE(Dot.find("truncated"), std::string::npos);
+}
+
+TEST(Export, AnnotatedListingShowsValues) {
+  auto Prog = sample();
+  AnalysisRun Run = analyze(*Prog, EngineKind::Sparse,
+                            [](AnalyzerOptions &O) { O.Dep.Bypass = false; });
+  std::string Listing = exportAnnotatedListing(*Prog, Run);
+  EXPECT_NE(Listing.find("function main:"), std::string::npos);
+  EXPECT_NE(Listing.find("function helper:"), std::string::npos);
+  // The constant initializer of g shows up at _start.
+  EXPECT_NE(Listing.find("g = [1, 1]"), std::string::npos);
+}
+
+TEST(Export, ListingWorksForDenseRunsToo) {
+  auto Prog = sample();
+  AnalysisRun Run = analyze(*Prog, EngineKind::Vanilla);
+  std::string Listing = exportAnnotatedListing(*Prog, Run);
+  EXPECT_NE(Listing.find("function main:"), std::string::npos);
+  EXPECT_NE(Listing.find("main::y ="), std::string::npos);
+}

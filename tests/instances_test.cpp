@@ -1,0 +1,165 @@
+//===- instances_test.cpp - Framework instances (Section 3.2) ---------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.2 claims prior scalable sparse pointer analyses are
+/// restricted instances of the framework, obtained by coarsening the
+/// pre-analysis: the semi-sparse analysis of Hardekopf & Lin (top-level
+/// variables only) and the staged flow-sensitive analysis (pointer-only
+/// auxiliary analysis).  These tests check the instances are (a) genuine
+/// coarsenings, (b) still safe approximations — the derived sparse
+/// analyses still equal their dense counterparts (Lemma 2 holds for any
+/// safe D̂/Û), and (c) pay the expected sparsity price.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/Analyzer.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+const char *PointerHeavySource = R"(
+  global g = 1;
+  fun main() {
+    x = 5;
+    p = &x;        // x becomes address-taken (non-top-level)
+    *p = 7;
+    y = *p;        // top-level y loads through p
+    q = &g;
+    *q = y + 1;
+    z = g;
+    return z;
+  }
+)";
+
+} // namespace
+
+TEST(Instances, SemiSparseCoarsensOnlyNonTopLevel) {
+  auto Prog = build(PointerHeavySource);
+  SemanticsOptions Sem;
+  PreAnalysisResult Precise = runPreAnalysis(*Prog, Sem);
+  PreAnalysisResult Semi =
+      runPreAnalysis(*Prog, Sem, 3, PreAnalysisKind::SemiSparse);
+
+  // Coarsening: pointwise Precise <= SemiSparse.
+  for (uint32_t L = 0; L < Prog->numLocs(); ++L)
+    EXPECT_TRUE(Precise.state().get(LocId(L)).leq(Semi.state().get(LocId(L))))
+        << Prog->loc(LocId(L)).Name;
+
+  // Address-taken x points nowhere precisely but is itself coarsened; a
+  // top-level pointer like p keeps its precise points-to set.
+  LocId P = locByName(*Prog, "main::p");
+  EXPECT_EQ(Semi.state().get(P).Pts, Precise.state().get(P).Pts);
+  LocId X = locByName(*Prog, "main::x");
+  // x's value (written through *p) is coarse: its interval is top.
+  EXPECT_EQ(Semi.state().get(X).Itv, Interval::top());
+}
+
+TEST(Instances, StagedDropsNumericComponents) {
+  auto Prog = build(PointerHeavySource);
+  SemanticsOptions Sem;
+  PreAnalysisResult Precise = runPreAnalysis(*Prog, Sem);
+  PreAnalysisResult Staged =
+      runPreAnalysis(*Prog, Sem, 3, PreAnalysisKind::Staged);
+
+  for (uint32_t L = 0; L < Prog->numLocs(); ++L) {
+    const Value &PV = Precise.state().get(LocId(L));
+    const Value &SV = Staged.state().get(LocId(L));
+    // Same points-to information (pointer flow is numeric-independent in
+    // this language) ...
+    EXPECT_EQ(PV.Pts, SV.Pts) << Prog->loc(LocId(L)).Name;
+    EXPECT_EQ(PV.Funcs, SV.Funcs) << Prog->loc(LocId(L)).Name;
+    // ... but no numeric tracking.
+    if (!PV.Itv.isBot()) {
+      EXPECT_EQ(SV.Itv, Interval::top()) << Prog->loc(LocId(L)).Name;
+    }
+  }
+}
+
+namespace {
+
+/// Lemma 2 with a given pre-analysis instance: sparse equals dense at
+/// every node definition (both engines run from the same instance, so the
+/// callgraphs and D̂/Û coincide).
+void expectInstanceEquality(const Program &Prog, PreAnalysisKind Kind) {
+  AnalyzerOptions VOpts;
+  VOpts.Engine = EngineKind::Vanilla;
+  VOpts.Pre = Kind;
+  AnalysisRun Dense = analyzeProgram(Prog, VOpts);
+
+  AnalyzerOptions SOpts;
+  SOpts.Engine = EngineKind::Sparse;
+  SOpts.Pre = Kind;
+  SOpts.Dep.Bypass = false;
+  AnalysisRun Sparse = analyzeProgram(Prog, SOpts);
+
+  for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
+    for (LocId L : Sparse.Graph->NodeDefs[P]) {
+      EXPECT_EQ(Sparse.Sparse->Out[P].get(L), Dense.Dense->Post[P].get(L))
+          << "instance " << static_cast<int>(Kind) << " differs at "
+          << Prog.pointToString(PointId(P)) << " for "
+          << Prog.loc(L).Name;
+    }
+  }
+}
+
+} // namespace
+
+class InstanceEquality : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InstanceEquality, SparseEqualsDenseUnderEveryInstance) {
+  GenConfig Config;
+  Config.Seed = GetParam() * 523 + 11;
+  Config.NumFunctions = 4;
+  Config.StmtsPerFunction = 12;
+  Config.SingleCallSite = true;
+  Config.AllowLoops = false;
+  Config.PointerPercent = 30;
+  std::string Source = generateSource(Config);
+  BuildResult B = buildProgramFromSource(Source);
+  ASSERT_TRUE(B.ok()) << B.Error;
+  expectInstanceEquality(*B.Prog, PreAnalysisKind::Precise);
+  expectInstanceEquality(*B.Prog, PreAnalysisKind::SemiSparse);
+  expectInstanceEquality(*B.Prog, PreAnalysisKind::Staged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InstanceEquality,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(Instances, SemiSparsePaysInDensity) {
+  // The instance trade-off the paper describes: coarser pre-analysis,
+  // denser def/use sets (less sparsity to exploit).
+  GenConfig Config;
+  Config.Seed = 99;
+  Config.NumFunctions = 6;
+  Config.StmtsPerFunction = 16;
+  Config.PointerPercent = 30;
+  std::string Source = generateSource(Config);
+  BuildResult B = buildProgramFromSource(Source);
+  ASSERT_TRUE(B.ok()) << B.Error;
+
+  AnalyzerOptions Precise;
+  Precise.Pre = PreAnalysisKind::Precise;
+  AnalysisRun PreciseRun = analyzeProgram(*B.Prog, Precise);
+
+  AnalyzerOptions Semi;
+  Semi.Pre = PreAnalysisKind::SemiSparse;
+  AnalysisRun SemiRun = analyzeProgram(*B.Prog, Semi);
+
+  EXPECT_LE(PreciseRun.DU.avgSemanticDefSize(),
+            SemiRun.DU.avgSemanticDefSize());
+  EXPECT_LE(PreciseRun.DU.avgSemanticUseSize(),
+            SemiRun.DU.avgSemanticUseSize());
+  EXPECT_LE(PreciseRun.Graph->Edges->edgeCount(),
+            SemiRun.Graph->Edges->edgeCount());
+}

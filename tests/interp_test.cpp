@@ -1,0 +1,223 @@
+//===- interp_test.cpp - Concrete interpreter tests -------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "interp/Interp.h"
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+/// Runs the program and returns the final value of \p Loc, asserting the
+/// expected stop reason.
+CValue runAndGet(const Program &Prog, const std::string &Loc,
+                 StopReason Expected = StopReason::Finished,
+                 uint64_t InputSeed = 1) {
+  CallGraphInfo CG = buildDirectCallGraph(Prog);
+  InterpOptions Opts;
+  Opts.InputSeed = InputSeed;
+  Interp I(Prog, CG, Opts);
+  InterpResult R = I.run(nullptr);
+  EXPECT_EQ(R.Reason, Expected);
+  return I.varValue(locByName(Prog, Loc));
+}
+
+} // namespace
+
+TEST(Interp, Arithmetic) {
+  auto Prog = build(R"(
+    fun main() {
+      x = 6;
+      y = x * 7 - 2;
+      return y;
+    }
+  )");
+  CValue Y = runAndGet(*Prog, "main::y");
+  EXPECT_EQ(Y.K, CValue::Kind::Int);
+  EXPECT_EQ(Y.I, 40);
+}
+
+TEST(Interp, LoopsAndBranches) {
+  auto Prog = build(R"(
+    fun main() {
+      s = 0;
+      i = 0;
+      while (i < 10) {
+        if (i < 5) { s = s + i; } else { s = s + 1; }
+        i = i + 1;
+      }
+      return s;
+    }
+  )");
+  EXPECT_EQ(runAndGet(*Prog, "main::s").I, 15); // 0+1+2+3+4 + 5*1.
+}
+
+TEST(Interp, PointersAndHeap) {
+  auto Prog = build(R"(
+    fun main() {
+      x = 1;
+      p = &x;
+      *p = 5;
+      a = alloc(3);
+      q = a + 2;
+      *q = 9;
+      y = *q;
+      z = *a;
+      return y;
+    }
+  )");
+  EXPECT_EQ(runAndGet(*Prog, "main::x").I, 5);
+  EXPECT_EQ(runAndGet(*Prog, "main::y").I, 9);
+  EXPECT_EQ(runAndGet(*Prog, "main::z").I, 0); // Zero-initialized cell.
+}
+
+TEST(Interp, OverrunIsDetected) {
+  auto Prog = build(R"(
+    fun main() {
+      a = alloc(3);
+      q = a + 3;
+      *q = 1;
+      return 0;
+    }
+  )");
+  CallGraphInfo CG = buildDirectCallGraph(*Prog);
+  Interp I(*Prog, CG, InterpOptions());
+  InterpResult R = I.run(nullptr);
+  EXPECT_EQ(R.Reason, StopReason::Overrun);
+  ASSERT_EQ(R.OverrunPoints.size(), 1u);
+  EXPECT_EQ(Prog->point(R.OverrunPoints[0]).Cmd.Kind, CmdKind::Store);
+}
+
+TEST(Interp, UninitializedReadTraps) {
+  auto Prog = build("fun main() { y = x + 1; return y; }");
+  CallGraphInfo CG = buildDirectCallGraph(*Prog);
+  Interp I(*Prog, CG, InterpOptions());
+  EXPECT_EQ(I.run(nullptr).Reason, StopReason::Trap);
+}
+
+TEST(Interp, InfiniteLoopRunsOutOfFuel) {
+  auto Prog = build(R"(
+    fun main() {
+      x = 1;
+      while (x > 0) { x = x + 1; }
+      return x;
+    }
+  )");
+  CallGraphInfo CG = buildDirectCallGraph(*Prog);
+  InterpOptions Opts;
+  Opts.MaxSteps = 1000;
+  Interp I(*Prog, CG, Opts);
+  EXPECT_EQ(I.run(nullptr).Reason, StopReason::Fuel);
+}
+
+TEST(Interp, CallsAndRecursion) {
+  auto Prog = build(R"(
+    fun sum(n) {
+      if (n <= 0) { return 0; }
+      r = sum(n - 1);
+      return r + n;
+    }
+    fun main() {
+      x = sum(4);
+      return x;
+    }
+  )");
+  // Locals are statically allocated (one cell per abstract location), so
+  // the recursion still computes correctly here: each frame finishes
+  // using its values before the caller resumes reading `r + n`... note
+  // `n` is clobbered by the recursive call, so the result reflects the
+  // conflated-locals semantics, not C's: sum(4) under static allocation
+  // computes r+n with n already rebound by the deepest call.
+  CValue X = runAndGet(*Prog, "main::x");
+  EXPECT_EQ(X.K, CValue::Kind::Int);
+  // n is 0 at every return under static allocation: 0+0+0+0 = 0... the
+  // deepest call returns 0 with n = 0; unwinding adds the *current* n,
+  // which stays 0 after each return (n is only rebound at calls).
+  EXPECT_EQ(X.I, 0);
+}
+
+TEST(Interp, FunctionPointers) {
+  auto Prog = build(R"(
+    fun inc(v) { return v + 1; }
+    fun main() {
+      fp = inc;
+      r = (*fp)(41);
+      return r;
+    }
+  )");
+  // Indirect calls need the callgraph only for the analysis; the
+  // interpreter resolves them from the runtime value.
+  EXPECT_EQ(runAndGet(*Prog, "main::r").I, 42);
+}
+
+TEST(Interp, AssumeBlocksExecution) {
+  auto Prog = build(R"(
+    fun main() {
+      x = 3;
+      assume(x > 5);
+      y = 1;
+      return y;
+    }
+  )");
+  CallGraphInfo CG = buildDirectCallGraph(*Prog);
+  Interp I(*Prog, CG, InterpOptions());
+  EXPECT_EQ(I.run(nullptr).Reason, StopReason::Blocked);
+}
+
+TEST(Interp, InputStreamIsDeterministicPerSeed) {
+  auto Prog = build(R"(
+    fun main() {
+      x = input();
+      y = input();
+      return x + y;
+    }
+  )");
+  CValue A1 = runAndGet(*Prog, "main::x", StopReason::Finished, 7);
+  CValue A2 = runAndGet(*Prog, "main::x", StopReason::Finished, 7);
+  EXPECT_EQ(A1.I, A2.I);
+}
+
+TEST(Interp, ObserverSeesEveryExecutedPoint) {
+  auto Prog = build(R"(
+    fun main() {
+      x = 1;
+      x = x + 1;
+      return x;
+    }
+  )");
+  CallGraphInfo CG = buildDirectCallGraph(*Prog);
+  Interp I(*Prog, CG, InterpOptions());
+  uint64_t Count = 0;
+  InterpResult R = I.run([&](PointId, const Interp &) { ++Count; });
+  EXPECT_EQ(R.Reason, StopReason::Finished);
+  EXPECT_EQ(Count, R.Steps);
+}
+
+TEST(Interp, DivisionModuloAndZeroTrap) {
+  auto Prog = build(R"(
+    fun main() {
+      a = 17 / 5;
+      b = -17 / 5;
+      c = 17 % 5;
+      d = -17 % 5;
+      return a;
+    }
+  )");
+  EXPECT_EQ(runAndGet(*Prog, "main::a").I, 3);
+  EXPECT_EQ(runAndGet(*Prog, "main::b").I, -3); // C truncation.
+  EXPECT_EQ(runAndGet(*Prog, "main::c").I, 2);
+  EXPECT_EQ(runAndGet(*Prog, "main::d").I, -2);
+
+  auto Bad = build("fun main() { z = 0; x = 1 / z; return x; }");
+  CallGraphInfo CG = buildDirectCallGraph(*Bad);
+  Interp I(*Bad, CG, InterpOptions());
+  EXPECT_EQ(I.run(nullptr).Reason, StopReason::Trap);
+}

@@ -1,0 +1,201 @@
+//===- interval_test.cpp - Interval domain unit and property tests --------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Interval.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace spa;
+
+namespace {
+
+/// Random interval sampler: mixes bottom, constants, half-lines, top, and
+/// finite ranges.
+Interval randomInterval(Rng &R) {
+  switch (R.below(6)) {
+  case 0:
+    return Interval::bot();
+  case 1:
+    return Interval::top();
+  case 2:
+    return Interval::constant(R.range(-50, 50));
+  case 3:
+    return Interval(bound::NegInf, R.range(-50, 50));
+  case 4:
+    return Interval(R.range(-50, 50), bound::PosInf);
+  default: {
+    int64_t A = R.range(-50, 50), B = R.range(-50, 50);
+    return Interval(std::min(A, B), std::max(A, B));
+  }
+  }
+}
+
+} // namespace
+
+TEST(Interval, Basics) {
+  EXPECT_TRUE(Interval::bot().isBot());
+  EXPECT_FALSE(Interval::top().isBot());
+  EXPECT_TRUE(Interval::constant(3).isConstant());
+  EXPECT_TRUE(Interval::top().contains(123456789));
+  EXPECT_FALSE(Interval(0, 5).contains(6));
+  EXPECT_EQ(Interval(3, 2), Interval::bot());
+}
+
+TEST(Interval, ArithmeticExamples) {
+  EXPECT_EQ(Interval(1, 2).add(Interval(10, 20)), Interval(11, 22));
+  EXPECT_EQ(Interval(1, 2).sub(Interval(10, 20)), Interval(-19, -8));
+  EXPECT_EQ(Interval(-2, 3).mul(Interval(4, 5)), Interval(-10, 15));
+  EXPECT_EQ(Interval(-2, 3).mul(Interval(-4, 5)), Interval(-12, 15));
+  EXPECT_TRUE(Interval(1, 2).add(Interval::bot()).isBot());
+  // Saturation at the infinities.
+  Interval HalfLine(0, bound::PosInf);
+  EXPECT_EQ(HalfLine.add(Interval::constant(5)).hi(), bound::PosInf);
+  EXPECT_EQ(HalfLine.mul(Interval::constant(-1)).lo(), bound::NegInf);
+}
+
+TEST(Interval, Filters) {
+  Interval X(0, 10);
+  EXPECT_EQ(X.filterLt(Interval::constant(5)), Interval(0, 4));
+  EXPECT_EQ(X.filterLe(Interval::constant(5)), Interval(0, 5));
+  EXPECT_EQ(X.filterGt(Interval::constant(5)), Interval(6, 10));
+  EXPECT_EQ(X.filterGe(Interval::constant(5)), Interval(5, 10));
+  EXPECT_EQ(X.filterEq(Interval::constant(5)), Interval::constant(5));
+  EXPECT_EQ(X.filterNe(Interval::constant(0)), Interval(1, 10));
+  EXPECT_EQ(X.filterNe(Interval::constant(10)), Interval(0, 9));
+  EXPECT_EQ(X.filterNe(Interval::constant(5)), X); // Interior: no refine.
+  EXPECT_TRUE(Interval::constant(5)
+                  .filterNe(Interval::constant(5))
+                  .isBot());
+  EXPECT_TRUE(X.filterLt(Interval::constant(-100)).isBot());
+}
+
+class IntervalLattice : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalLattice, Laws) {
+  Rng R(GetParam());
+  for (int I = 0; I < 200; ++I) {
+    Interval A = randomInterval(R), B = randomInterval(R),
+             C = randomInterval(R);
+    // Partial order.
+    EXPECT_TRUE(A.leq(A));
+    EXPECT_TRUE(Interval::bot().leq(A));
+    EXPECT_TRUE(A.leq(Interval::top()));
+    // Join is the least upper bound.
+    Interval J = A.join(B);
+    EXPECT_TRUE(A.leq(J));
+    EXPECT_TRUE(B.leq(J));
+    EXPECT_EQ(J, B.join(A));
+    EXPECT_EQ(A.join(A), A);
+    EXPECT_EQ(A.join(B).join(C), A.join(B.join(C)));
+    // Meet is the greatest lower bound.
+    Interval M = A.meet(B);
+    EXPECT_TRUE(M.leq(A));
+    EXPECT_TRUE(M.leq(B));
+    EXPECT_EQ(M, B.meet(A));
+    // Widening covers the join.
+    Interval W = A.widen(B);
+    EXPECT_TRUE(A.join(B).leq(W));
+    // Narrowing stays between its arguments when B <= A.
+    if (B.leq(A)) {
+      Interval N = A.narrow(B);
+      EXPECT_TRUE(B.leq(N));
+      EXPECT_TRUE(N.leq(A));
+    }
+  }
+}
+
+TEST_P(IntervalLattice, WideningStabilizesChains) {
+  Rng R(GetParam() * 977);
+  // Any increasing chain widened pointwise stabilizes in a few steps.
+  Interval X = randomInterval(R);
+  int Changes = 0;
+  for (int I = 0; I < 100; ++I) {
+    Interval Next = randomInterval(R).join(X);
+    Interval W = X.widen(Next);
+    if (W != X)
+      ++Changes;
+    X = W;
+  }
+  EXPECT_LE(Changes, 4); // bot -> value -> -inf bound -> +inf bound.
+}
+
+TEST_P(IntervalLattice, ArithmeticIsSound) {
+  Rng R(GetParam() * 31);
+  for (int I = 0; I < 200; ++I) {
+    int64_t A = R.range(-30, 30), B = R.range(-30, 30);
+    Interval IA(std::min(A, A + static_cast<int64_t>(R.below(5))), A + 5);
+    Interval IB(B, B + static_cast<int64_t>(R.below(7)));
+    // Concrete members must stay inside the abstract results.
+    for (int64_t X = IA.lo(); X <= IA.hi(); ++X) {
+      for (int64_t Y = IB.lo(); Y <= IB.hi(); ++Y) {
+        EXPECT_TRUE(IA.add(IB).contains(X + Y));
+        EXPECT_TRUE(IA.sub(IB).contains(X - Y));
+        EXPECT_TRUE(IA.mul(IB).contains(X * Y));
+        if (X < Y) {
+          EXPECT_TRUE(IA.filterLt(IB).contains(X));
+        }
+        if (X == Y) {
+          EXPECT_TRUE(IA.filterEq(IB).contains(X));
+        }
+        if (X != Y) {
+          EXPECT_TRUE(IA.filterNe(IB).contains(X));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalLattice,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(Interval, DivisionExamples) {
+  EXPECT_EQ(Interval(10, 20).div(Interval::constant(2)), Interval(5, 10));
+  EXPECT_EQ(Interval(-10, 20).div(Interval::constant(3)), Interval(-3, 6));
+  EXPECT_EQ(Interval(10, 20).div(Interval::constant(-2)),
+            Interval(-10, -5));
+  // Divisor spanning zero excludes the zero slice.
+  EXPECT_EQ(Interval(6, 6).div(Interval(-2, 3)), Interval(-6, 6));
+  // Divisor exactly zero: every execution traps.
+  EXPECT_TRUE(Interval(1, 5).div(Interval::constant(0)).isBot());
+  EXPECT_TRUE(Interval::bot().div(Interval(1, 2)).isBot());
+}
+
+TEST(Interval, RemainderExamples) {
+  EXPECT_EQ(Interval(0, 100).rem(Interval::constant(7)), Interval(0, 6));
+  EXPECT_EQ(Interval(-100, -1).rem(Interval::constant(7)),
+            Interval(-6, 0));
+  EXPECT_EQ(Interval(-5, 5).rem(Interval::constant(10)), Interval(-5, 5));
+  EXPECT_TRUE(Interval(1, 5).rem(Interval::constant(0)).isBot());
+}
+
+class IntervalDivRem : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalDivRem, SoundOverConcreteSampling) {
+  Rng R(GetParam() * 7717);
+  for (int I = 0; I < 300; ++I) {
+    int64_t A = R.range(-40, 40);
+    Interval IA(A, A + static_cast<int64_t>(R.below(9)));
+    int64_t C = R.range(-6, 6);
+    Interval IC(C, C + static_cast<int64_t>(R.below(4)));
+    Interval D = IA.div(IC), M = IA.rem(IC);
+    for (int64_t X = IA.lo(); X <= IA.hi(); ++X) {
+      for (int64_t Y = IC.lo(); Y <= IC.hi(); ++Y) {
+        if (Y == 0)
+          continue; // Traps concretely; no containment obligation.
+        EXPECT_TRUE(D.contains(X / Y))
+            << X << "/" << Y << " in " << IA.str() << "/" << IC.str()
+            << " -> " << D.str();
+        EXPECT_TRUE(M.contains(X % Y))
+            << X << "%" << Y << " -> " << M.str();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalDivRem,
+                         ::testing::Range<uint64_t>(1, 9));

@@ -1,0 +1,373 @@
+//===- octagon_test.cpp - Octagon domain and analysis tests ----------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "interp/Interp.h"
+#include "oct/OctAnalysis.h"
+#include "oct/Octagon.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace spa;
+using namespace spa::test;
+
+//===----------------------------------------------------------------------===//
+// Domain
+//===----------------------------------------------------------------------===//
+
+TEST(Octagon, TopBottomBasics) {
+  Oct T = Oct::top(3);
+  EXPECT_FALSE(T.isBottom());
+  EXPECT_EQ(T.project(0), Interval::top());
+  Oct B = Oct::bottom(3);
+  EXPECT_TRUE(B.isBottom());
+  EXPECT_TRUE(B.leq(T));
+  EXPECT_FALSE(T.leq(B));
+  EXPECT_EQ(B.project(1), Interval::bot());
+}
+
+TEST(Octagon, BoundsAndProjection) {
+  Oct O = Oct::top(2).addUpperBound(0, 10).addLowerBound(0, 3);
+  EXPECT_EQ(O.project(0), Interval(3, 10));
+  EXPECT_EQ(O.project(1), Interval::top());
+  // Contradictory bounds give bottom.
+  EXPECT_TRUE(O.addUpperBound(0, 2).isBottom());
+}
+
+TEST(Octagon, ClosurePropagatesRelations) {
+  // x = y and y in [1, 5]  ==>  x in [1, 5].
+  Oct O = Oct::top(2)
+              .addDiffConstraint(0, 1, 0)
+              .addDiffConstraint(1, 0, 0)
+              .addUpperBound(1, 5)
+              .addLowerBound(1, 1);
+  EXPECT_EQ(O.project(0), Interval(1, 5));
+  // x <= y and y <= 7 ==> x <= 7.
+  Oct P = Oct::top(2).addDiffConstraint(0, 1, 0).addUpperBound(1, 7);
+  EXPECT_EQ(P.project(0).hi(), 7);
+}
+
+TEST(Octagon, SumConstraintsAndTightening) {
+  // x + y <= 5, x - y <= 1 ==> 2x <= 6 ==> x <= 3.
+  Oct O = Oct::top(2)
+              .addSumConstraint(0, true, 1, true, 5)
+              .addDiffConstraint(0, 1, 1);
+  EXPECT_EQ(O.project(0).hi(), 3);
+  // Integer tightening: 2x <= 7 ==> x <= 3.
+  Oct P = Oct::top(1).addSumConstraint(0, true, 0, true, 7);
+  EXPECT_EQ(P.project(0).hi(), 3);
+}
+
+TEST(Octagon, JoinMeetOrder) {
+  Oct A = Oct::top(2).addUpperBound(0, 5).addLowerBound(0, 0);
+  Oct B = Oct::top(2).addUpperBound(0, 9).addLowerBound(0, 4);
+  Oct J = A.join(B);
+  EXPECT_EQ(J.project(0), Interval(0, 9));
+  EXPECT_TRUE(A.leq(J));
+  EXPECT_TRUE(B.leq(J));
+  Oct M = A.meet(B);
+  EXPECT_EQ(M.project(0), Interval(4, 5));
+  EXPECT_TRUE(M.leq(A));
+  EXPECT_TRUE(M.leq(B));
+  EXPECT_TRUE(A.meet(B.addUpperBound(0, -1)).isBottom());
+}
+
+TEST(Octagon, JoinKeepsCommonRelations) {
+  // Both branches satisfy x <= y; the join must too (the classic win
+  // over intervals).
+  Oct A = Oct::top(2)
+              .addDiffConstraint(0, 1, 0)
+              .addUpperBound(0, 2)
+              .addLowerBound(0, 0);
+  Oct B = Oct::top(2)
+              .addDiffConstraint(0, 1, 0)
+              .addUpperBound(0, 50)
+              .addLowerBound(0, 40);
+  Oct J = A.join(B);
+  // x - y <= 0 survives the join.
+  EXPECT_TRUE(J.addDiffConstraint(1, 0, -1).isBottom() ||
+              !J.meet(Oct::top(2)
+                           .addDiffConstraint(1, 0, -1))
+                   .isBottom());
+  Oct Refined = J.meet(Oct::top(2).addLowerBound(0, 60));
+  EXPECT_TRUE(Refined.isBottom()); // x <= 50 in the join.
+}
+
+TEST(Octagon, AssignVarPlusConst) {
+  Oct O = Oct::top(2).addUpperBound(1, 10).addLowerBound(1, 10);
+  Oct A = O.assignVarPlusConst(0, 1, 5); // x := y + 5.
+  EXPECT_EQ(A.project(0), Interval::constant(15));
+  // The relation is exact: x - y = 5 persists after y changes via shift.
+  Oct B = A.assignVarPlusConst(1, 1, 1); // y := y + 1.
+  EXPECT_EQ(B.project(1), Interval::constant(11));
+  EXPECT_EQ(B.project(0), Interval::constant(15));
+}
+
+TEST(Octagon, SelfShiftKeepsRelations) {
+  // x = y, then x := x + 3: now x - y = 3.
+  Oct O = Oct::top(2)
+              .addDiffConstraint(0, 1, 0)
+              .addDiffConstraint(1, 0, 0)
+              .addLowerBound(1, 2)
+              .addUpperBound(1, 2);
+  Oct A = O.assignVarPlusConst(0, 0, 3);
+  EXPECT_EQ(A.project(0), Interval::constant(5));
+  EXPECT_EQ(A.project(1), Interval::constant(2));
+}
+
+TEST(Octagon, ForgetDropsOnlyOneVariable) {
+  Oct O = Oct::top(2).addUpperBound(0, 1).addUpperBound(1, 2);
+  Oct F = O.forget(0);
+  EXPECT_EQ(F.project(0), Interval::top());
+  EXPECT_EQ(F.project(1).hi(), 2);
+}
+
+TEST(Octagon, WidenCoversAndStabilizes) {
+  Oct A = Oct::top(1).addUpperBound(0, 1).addLowerBound(0, 0);
+  Oct B = Oct::top(1).addUpperBound(0, 5).addLowerBound(0, 0);
+  Oct W = A.widen(A.join(B));
+  EXPECT_TRUE(B.leq(W));
+  EXPECT_EQ(W.project(0).lo(), 0);
+  EXPECT_EQ(W.project(0).hi(), bound::PosInf);
+  // Widening again with something below is stable.
+  EXPECT_EQ(W.widen(W.join(B)), W);
+}
+
+//===----------------------------------------------------------------------===//
+// Packing
+//===----------------------------------------------------------------------===//
+
+TEST(Packing, GroupsRelatedVariablesAndKeepsSingletons) {
+  auto Prog = build(R"(
+    fun main() {
+      x = 1;
+      y = x + 2;
+      z = 7;
+      return y;
+    }
+  )");
+  SemanticsOptions Sem;
+  PreAnalysisResult Pre = runPreAnalysis(*Prog, Sem);
+  Packing P = computePacking(*Prog, Pre);
+  LocId X = locByName(*Prog, "main::x");
+  LocId Y = locByName(*Prog, "main::y");
+  // x and y share a group; every location has a singleton pack.
+  bool Shared = false;
+  for (PackId PX : P.packsOf(X))
+    if (P.indexIn(PX, Y) >= 0)
+      Shared = true;
+  EXPECT_TRUE(Shared);
+  for (uint32_t L = 0; L < Prog->numLocs(); ++L)
+    EXPECT_EQ(P.vars(P.singleton(LocId(L))).size(), 1u);
+}
+
+TEST(Packing, RespectsSizeCap) {
+  // A long chain of additions would union everything; the cap stops it.
+  std::string Source = "fun main() {\n  v0 = 1;\n";
+  for (int I = 1; I < 40; ++I)
+    Source += "  v" + std::to_string(I) + " = v" + std::to_string(I - 1) +
+              " + 1;\n";
+  Source += "  return v39;\n}\n";
+  auto Prog = build(Source);
+  SemanticsOptions Sem;
+  PreAnalysisResult Pre = runPreAnalysis(*Prog, Sem);
+  Packing P = computePacking(*Prog, Pre, /*MaxPackSize=*/10);
+  for (const auto &Pack : P.Packs)
+    EXPECT_LE(Pack.size(), 10u);
+  EXPECT_GT(P.numGroups(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis
+//===----------------------------------------------------------------------===//
+
+TEST(OctAnalysis, ProvesRelationalInvariantIntervalsCannot) {
+  // y = x + 1 everywhere; after joining wildly different ranges of x the
+  // relation y - x = 1 persists, so assume(y <= x) is infeasible.
+  auto Prog = build(R"(
+    fun main() {
+      x = input();
+      y = x + 1;
+      d = y - x;
+      return d;
+    }
+  )");
+  OctOptions Opts;
+  Opts.Engine = EngineKind::Vanilla;
+  OctRun Run = runOctAnalysis(*Prog, Opts);
+  FuncId Main = Prog->findFunction("main");
+  PointId Exit = Prog->function(Main).Exit;
+  // d = y - x must be exactly 1 relationally; intervals give top.
+  Interval D = Run.denseIntervalAt(Exit, locByName(*Prog, "main::d"));
+  EXPECT_EQ(D, Interval::constant(1));
+
+  AnalysisRun ItvRun = analyze(*Prog, EngineKind::Vanilla);
+  EXPECT_EQ(denseAtExit(*Prog, ItvRun, "main", "main::d").Itv,
+            Interval::top());
+}
+
+TEST(OctAnalysis, RelationalGuardSurvivesJoin) {
+  auto Prog = build(R"(
+    fun main() {
+      n = input();
+      if (n < 0) { n = 0; }
+      i = 0;
+      r = 0;
+      while (i < n) {
+        r = n - i;
+        i = i + 1;
+      }
+      return r;
+    }
+  )");
+  OctOptions Opts;
+  Opts.Engine = EngineKind::Vanilla;
+  OctRun Run = runOctAnalysis(*Prog, Opts);
+  // Inside the loop i < n, so r = n - i >= 1.
+  FuncId Main = Prog->findFunction("main");
+  for (PointId P : Prog->function(Main).Points) {
+    const Command &Cmd = Prog->point(P).Cmd;
+    if (Cmd.Kind != CmdKind::Assign ||
+        Prog->loc(Cmd.Target).Name != "main::r" ||
+        Cmd.E->Kind != IExprKind::Binary)
+      continue;
+    Interval R = Run.denseIntervalAt(P, Cmd.Target);
+    EXPECT_GE(R.lo(), 1) << R.str();
+  }
+}
+
+namespace {
+
+void expectOctSparseEqualsDense(const Program &Prog) {
+  OctOptions VOpts;
+  VOpts.Engine = EngineKind::Vanilla;
+  OctRun Vanilla = runOctAnalysis(Prog, VOpts);
+  ASSERT_FALSE(Vanilla.timedOut());
+
+  OctOptions SOpts;
+  SOpts.Engine = EngineKind::Sparse;
+  SOpts.Dep.Bypass = false;
+  OctRun Sparse = runOctAnalysis(Prog, SOpts);
+
+  for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
+    for (LocId PL : Sparse.Graph->NodeDefs[P]) {
+      PackId Pack(PL.value());
+      const Oct *SV = Sparse.Sparse->Out[P].lookup(Pack);
+      const Oct *DV = Vanilla.Dense->Post[P].lookup(Pack);
+      if (!SV && !DV)
+        continue;
+      ASSERT_TRUE(SV && DV)
+          << "presence mismatch at " << Prog.pointToString(PointId(P))
+          << " pack " << Pack.value() << (SV ? " (dense missing)"
+                                             : " (sparse missing)");
+      EXPECT_EQ(*SV, *DV)
+          << "mismatch at " << Prog.pointToString(PointId(P)) << " pack "
+          << Pack.value() << ": sparse " << SV->str() << " dense "
+          << DV->str();
+    }
+  }
+}
+
+} // namespace
+
+TEST(OctAnalysis, SparseEqualsDenseStraightLine) {
+  auto Prog = build(R"(
+    fun main() {
+      x = input();
+      y = x + 3;
+      if (y < 10) { z = y; } else { z = 9; }
+      w = z - x;
+      return w;
+    }
+  )");
+  expectOctSparseEqualsDense(*Prog);
+}
+
+TEST(OctAnalysis, SparseEqualsDenseInterprocedural) {
+  auto Prog = build(R"(
+    global g = 2;
+    fun shift(a) {
+      b = a + g;
+      return b;
+    }
+    fun main() {
+      x = input();
+      y = shift(x);
+      return y;
+    }
+  )");
+  expectOctSparseEqualsDense(*Prog);
+}
+
+class OctRandomEquality : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OctRandomEquality, SparseEqualsDenseOnAcyclicPrograms) {
+  GenConfig Config;
+  Config.Seed = GetParam() * 7 + 1;
+  Config.NumFunctions = 4;
+  Config.StmtsPerFunction = 10;
+  Config.SingleCallSite = true;
+  Config.AllowLoops = false;
+  Config.AllowRecursion = false;
+  Config.UseFunctionPointers = false;
+  std::string Source = generateSource(Config);
+  BuildResult B = buildProgramFromSource(Source);
+  ASSERT_TRUE(B.ok()) << B.Error;
+  expectOctSparseEqualsDense(*B.Prog);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OctRandomEquality,
+                         ::testing::Range<uint64_t>(1, 16));
+
+class OctSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OctSoundness, ProjectionsCoverConcreteExecutions) {
+  GenConfig Config;
+  Config.Seed = GetParam() * 13 + 5;
+  Config.NumFunctions = 4;
+  Config.StmtsPerFunction = 10;
+  Config.AllowLoops = true;
+  Config.AllowRecursion = (GetParam() % 2) == 0;
+  std::string Source = generateSource(Config);
+  BuildResult B = buildProgramFromSource(Source);
+  ASSERT_TRUE(B.ok()) << B.Error;
+  const Program &Prog = *B.Prog;
+
+  OctOptions Opts;
+  Opts.Engine = EngineKind::Vanilla;
+  OctRun Run = runOctAnalysis(Prog, Opts);
+  ASSERT_FALSE(Run.timedOut());
+
+  InterpOptions IOpts;
+  IOpts.MaxSteps = 15000;
+  Interp I(Prog, Run.Pre.CG, IOpts);
+  I.run([&](PointId P, const Interp &It) {
+    for (LocId PL : Run.DU.Defs[P.value()]) {
+      PackId Pack(PL.value());
+      // Check each scalar member of the defined pack.
+      for (LocId Member : Run.Packs.vars(Pack)) {
+        if (Prog.loc(Member).isSummary())
+          continue;
+        const CValue &CV = It.varValue(Member);
+        if (CV.K != CValue::Kind::Int)
+          continue;
+        const Oct *O = Run.Dense->Post[P.value()].lookup(Pack);
+        ASSERT_TRUE(O != nullptr);
+        Interval Itv = O->project(
+            static_cast<uint32_t>(Run.Packs.indexIn(Pack, Member)));
+        EXPECT_TRUE(Itv.contains(CV.I))
+            << "octagon misses " << Prog.loc(Member).Name << " = " << CV.I
+            << " at " << Prog.pointToString(P) << " (got " << Itv.str()
+            << ")";
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OctSoundness,
+                         ::testing::Range<uint64_t>(1, 13));

@@ -1,0 +1,260 @@
+//===- random_test.cpp - Randomized equality and soundness tests ----------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests over generated programs:
+///
+///  * On acyclic supergraphs (single-call-site, loop-free, recursion-free
+///    programs) no widening ever fires, the least fixpoint is exact, and
+///    the sparse analysis must equal the dense one at every D̂(c) entry
+///    (Lemma 2) for every dependency builder and storage backend.
+///  * On arbitrary programs (loops, recursion, function pointers) the
+///    concrete interpreter samples the collecting semantics and every
+///    observed concrete state must be contained in the dense, localized,
+///    and sparse abstractions; the dense result must also be stable
+///    (a post-fixpoint).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/Analyzer.h"
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+/// gamma-membership: is the concrete value \p CV covered by abstract \p AV?
+bool contained(const Interp &I, const CValue &CV, const Value &AV) {
+  switch (CV.K) {
+  case CValue::Kind::Uninit:
+    return true; // Reads of uninitialized cells trap; no constraint.
+  case CValue::Kind::Int:
+    return AV.Itv.contains(CV.I);
+  case CValue::Kind::Fun:
+    return AV.Funcs.contains(CV.F);
+  case CValue::Kind::Ptr: {
+    LocId Base = CV.Heap ? I.heapBlocks()[CV.Block].Site : CV.VarBase;
+    return AV.Pts.contains(Base) && AV.Offset.contains(CV.Off) &&
+           AV.Size.contains(I.blockSize(CV));
+  }
+  }
+  return false;
+}
+
+std::unique_ptr<Program> buildGenerated(const GenConfig &Config) {
+  std::string Source = generateSource(Config);
+  BuildResult R = buildProgramFromSource(Source);
+  EXPECT_TRUE(R.ok()) << R.Error << "\n" << Source;
+  return std::move(R.Prog);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Equality on acyclic supergraphs
+//===----------------------------------------------------------------------===//
+
+class AcyclicEquality : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AcyclicEquality, SparseAndLocalizedEqualVanilla) {
+  GenConfig Config;
+  Config.Seed = GetParam();
+  Config.NumFunctions = 5;
+  Config.StmtsPerFunction = 14;
+  Config.SingleCallSite = true;
+  Config.AllowLoops = false;
+  Config.AllowRecursion = false;
+  // No function pointers here: an indirect call is a second call site for
+  // its targets, which creates supergraph cycles (widening) and cross-
+  // caller joins — exactness then no longer holds for any engine pair.
+  Config.UseFunctionPointers = false;
+  auto Prog = buildGenerated(Config);
+
+  AnalyzerOptions VOpts;
+  VOpts.Engine = EngineKind::Vanilla;
+  AnalysisRun Vanilla = analyzeProgram(*Prog, VOpts);
+  ASSERT_FALSE(Vanilla.timedOut());
+
+  AnalyzerOptions BOpts;
+  BOpts.Engine = EngineKind::Base;
+  AnalysisRun Base = analyzeProgram(*Prog, BOpts);
+
+  struct SparseVariant {
+    DepBuilderKind Kind;
+    bool Bypass;
+    bool UseBdd;
+  };
+  const SparseVariant Variants[] = {
+      {DepBuilderKind::Ssa, false, false},
+      {DepBuilderKind::Ssa, true, false},
+      {DepBuilderKind::ReachingDefs, false, false},
+      {DepBuilderKind::Ssa, true, true},
+  };
+
+  for (const SparseVariant &V : Variants) {
+    AnalyzerOptions SOpts;
+    SOpts.Engine = EngineKind::Sparse;
+    SOpts.Dep.Kind = V.Kind;
+    SOpts.Dep.Bypass = V.Bypass;
+    SOpts.Dep.UseBdd = V.UseBdd;
+    AnalysisRun Sparse = analyzeProgram(*Prog, SOpts);
+
+    for (uint32_t P = 0; P < Prog->numPoints(); ++P) {
+      const std::vector<LocId> &Defs =
+          V.Bypass ? Sparse.DU.Defs[P] : Sparse.Graph->NodeDefs[P];
+      for (LocId L : Defs) {
+        const Value &SV = Sparse.Sparse->Out[P].get(L);
+        const Value &DV = Vanilla.Dense->Post[P].get(L);
+        ASSERT_EQ(SV, DV)
+            << "seed " << GetParam() << " variant(kind="
+            << static_cast<int>(V.Kind) << ",bypass=" << V.Bypass
+            << ",bdd=" << V.UseBdd << ") at "
+            << Prog->pointToString(PointId(P)) << " loc "
+            << Prog->loc(L).Name << ": sparse " << SV.str() << " dense "
+            << DV.str();
+      }
+    }
+  }
+
+  // Access-based localization preserves precision exactly here as well.
+  for (uint32_t P = 0; P < Prog->numPoints(); ++P) {
+    for (LocId L : Base.DU.Defs[P]) {
+      const Value &BV = Base.Dense->Post[P].get(L);
+      const Value &DV = Vanilla.Dense->Post[P].get(L);
+      ASSERT_EQ(BV, DV) << "seed " << GetParam() << " localized mismatch at "
+                        << Prog->pointToString(PointId(P)) << " loc "
+                        << Prog->loc(L).Name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcyclicEquality,
+                         ::testing::Range<uint64_t>(1, 41));
+
+//===----------------------------------------------------------------------===//
+// Soundness on arbitrary programs
+//===----------------------------------------------------------------------===//
+
+class GeneralSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneralSoundness, AbstractionsCoverConcreteExecutions) {
+  GenConfig Config;
+  Config.Seed = GetParam() * 7919;
+  Config.NumFunctions = 5;
+  Config.StmtsPerFunction = 12;
+  Config.AllowLoops = true;
+  Config.AllowRecursion = (GetParam() % 2) == 0;
+  Config.UseFunctionPointers = (GetParam() % 3) == 0;
+  Config.SccGroupSize = (GetParam() % 4) == 0 ? 3 : 0;
+  auto Prog = buildGenerated(Config);
+
+  AnalyzerOptions VOpts;
+  VOpts.Engine = EngineKind::Vanilla;
+  AnalysisRun Vanilla = analyzeProgram(*Prog, VOpts);
+  ASSERT_FALSE(Vanilla.timedOut());
+
+  AnalyzerOptions BOpts;
+  BOpts.Engine = EngineKind::Base;
+  AnalysisRun Base = analyzeProgram(*Prog, BOpts);
+
+  AnalyzerOptions SOpts;
+  SOpts.Engine = EngineKind::Sparse;
+  AnalysisRun Sparse = analyzeProgram(*Prog, SOpts);
+
+  // (a) Dense stability: one more application of F̂ cannot grow the
+  // result (the worklist really reached a post-fixpoint).
+  for (uint32_t P = 0; P < Prog->numPoints(); ++P) {
+    AbsState Out = Vanilla.Dense->inputOf(*Prog, Vanilla.Pre.CG, PointId(P));
+    applyCommand(*Prog, &Vanilla.Pre.CG, PointId(P), Out, VOpts.Sem);
+    EXPECT_TRUE(Out.leq(Vanilla.Dense->Post[P]))
+        << "unstable at " << Prog->pointToString(PointId(P));
+  }
+
+  // (b) Interpreter containment, over several input streams.
+  for (uint64_t InputSeed = 1; InputSeed <= 3; ++InputSeed) {
+    InterpOptions IOpts;
+    IOpts.InputSeed = InputSeed;
+    IOpts.MaxSteps = 20000;
+    Interp Run(*Prog, Vanilla.Pre.CG, IOpts);
+    uint64_t Tick = 0;
+    InterpResult IR = Run.run([&](PointId P, const Interp &I) {
+      ++Tick;
+      // Every location this point semantically defines must cover the
+      // concrete post-state, in all three analyzers.
+      for (LocId L : Vanilla.DU.Defs[P.value()]) {
+        if (Prog->loc(L).isSummary())
+          continue;
+        const CValue &CV = I.varValue(L);
+        EXPECT_TRUE(contained(I, CV, Vanilla.Dense->Post[P.value()].get(L)))
+            << "vanilla misses " << Prog->loc(L).Name << " at "
+            << Prog->pointToString(P);
+        EXPECT_TRUE(contained(I, CV, Base.Dense->Post[P.value()].get(L)))
+            << "base misses " << Prog->loc(L).Name << " at "
+            << Prog->pointToString(P);
+      }
+      for (LocId L : Sparse.DU.Defs[P.value()]) {
+        if (Prog->loc(L).isSummary())
+          continue;
+        EXPECT_TRUE(contained(I, I.varValue(L),
+                              Sparse.Sparse->Out[P.value()].get(L)))
+            << "sparse misses " << Prog->loc(L).Name << " at "
+            << Prog->pointToString(P);
+      }
+      // Periodically check the whole memory against the dense state,
+      // including heap cells against their allocation sites.
+      if ((Tick & 31) != 0)
+        return;
+      for (uint32_t L = 0; L < Prog->numLocs(); ++L) {
+        if (Prog->loc(LocId(L)).isSummary())
+          continue;
+        EXPECT_TRUE(contained(I, I.varValue(LocId(L)),
+                              Vanilla.Dense->Post[P.value()].get(LocId(L))))
+            << "vanilla misses " << Prog->loc(LocId(L)).Name
+            << " in full check at " << Prog->pointToString(P);
+      }
+      for (const HeapBlock &B : I.heapBlocks()) {
+        const Value &Site = Vanilla.Dense->Post[P.value()].get(B.Site);
+        for (const CValue &Cell : B.Cells)
+          EXPECT_TRUE(contained(I, Cell, Site))
+              << "vanilla misses heap cell of "
+              << Prog->loc(B.Site).Name;
+      }
+    });
+    // Any stop reason is acceptable; the checks above ran on the states
+    // the execution actually visited.
+    (void)IR;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralSoundness,
+                         ::testing::Range<uint64_t>(1, 26));
+
+//===----------------------------------------------------------------------===//
+// Frontend round trip
+//===----------------------------------------------------------------------===//
+
+class RoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTrip, PrintParsePrintIsStable) {
+  GenConfig Config;
+  Config.Seed = GetParam() * 31337;
+  Config.UseFunctionPointers = true;
+  std::string S1 = generateSource(Config);
+  ParseResult P1 = parseProgram(S1);
+  ASSERT_TRUE(P1.Ok) << P1.Error;
+  std::string S2 = printProgram(P1.Program);
+  EXPECT_EQ(S1, S2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip,
+                         ::testing::Range<uint64_t>(1, 21));

@@ -1,0 +1,143 @@
+//===- workload_test.cpp - Synthetic workload generator tests ---------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "ir/Builder.h"
+#include "workload/Generator.h"
+#include "workload/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace spa;
+using namespace spa::test;
+
+TEST(Generator, IsDeterministicPerSeed) {
+  GenConfig C;
+  C.Seed = 12345;
+  EXPECT_EQ(generateSource(C), generateSource(C));
+  C.Seed = 12346;
+  GenConfig C2 = C;
+  C2.Seed = 54321;
+  EXPECT_NE(generateSource(C), generateSource(C2));
+}
+
+TEST(Generator, EveryProgramBuilds) {
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    GenConfig C;
+    C.Seed = Seed;
+    C.UseFunctionPointers = Seed % 2;
+    C.SccGroupSize = Seed % 5;
+    C.AllowRecursion = Seed % 3 == 0;
+    BuildResult R = buildProgramFromSource(generateSource(C));
+    EXPECT_TRUE(R.ok()) << "seed " << Seed << ": " << R.Error;
+  }
+}
+
+TEST(Generator, RespectsFunctionAndGlobalCounts) {
+  GenConfig C;
+  C.Seed = 7;
+  C.NumFunctions = 9;
+  C.NumGlobals = 5;
+  ProgramAST Ast = generateProgram(C);
+  EXPECT_EQ(Ast.Functions.size(), 10u); // Helpers + main.
+  EXPECT_EQ(Ast.Functions.back().Name, "main");
+  EXPECT_GE(Ast.Globals.size(), 5u); // Plus fp0 when enabled.
+}
+
+TEST(Generator, SccGroupForcesCallgraphCycle) {
+  GenConfig C;
+  C.Seed = 3;
+  C.NumFunctions = 10;
+  C.SccGroupSize = 4;
+  BuildResult R = buildProgramFromSource(generateSource(C));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  SemanticsOptions Sem;
+  PreAnalysisResult Pre = runPreAnalysis(*R.Prog, Sem);
+  EXPECT_GE(Pre.CG.maxSccSize(), 4u);
+}
+
+TEST(Generator, ForwardCallsKeepCallgraphAcyclicWithoutScc) {
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    GenConfig C;
+    C.Seed = Seed;
+    C.SccGroupSize = 0;
+    C.AllowRecursion = false;
+    BuildResult R = buildProgramFromSource(generateSource(C));
+    ASSERT_TRUE(R.ok()) << R.Error;
+    SemanticsOptions Sem;
+    PreAnalysisResult Pre = runPreAnalysis(*R.Prog, Sem);
+    EXPECT_EQ(Pre.CG.maxSccSize(), 1u) << "seed " << Seed;
+  }
+}
+
+TEST(Generator, SingleCallSiteHoldsProgramWide) {
+  GenConfig C;
+  C.Seed = 11;
+  C.NumFunctions = 8;
+  C.SingleCallSite = true;
+  C.AllowLoops = false;
+  BuildResult R = buildProgramFromSource(generateSource(C));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  SemanticsOptions Sem;
+  PreAnalysisResult Pre = runPreAnalysis(*R.Prog, Sem);
+  for (uint32_t F = 0; F < R.Prog->numFuncs(); ++F) {
+    if (FuncId(F) == R.Prog->startFunc())
+      continue;
+    EXPECT_LE(Pre.CG.callSitesOf(FuncId(F)).size(), 1u)
+        << R.Prog->function(FuncId(F)).Name;
+  }
+}
+
+TEST(Generator, EveryHelperIsCalled) {
+  // The paper makes unreachable procedures explicitly called from main;
+  // the generator does the same.
+  GenConfig C;
+  C.Seed = 17;
+  C.NumFunctions = 12;
+  C.CallPercent = 2; // Few organic calls: force the append path.
+  BuildResult R = buildProgramFromSource(generateSource(C));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  SemanticsOptions Sem;
+  PreAnalysisResult Pre = runPreAnalysis(*R.Prog, Sem);
+  for (uint32_t F = 0; F < R.Prog->numFuncs(); ++F) {
+    const FunctionInfo &Info = R.Prog->function(FuncId(F));
+    if (Info.Name == "main" || Info.Name == "_start")
+      continue;
+    EXPECT_GE(Pre.CG.callSitesOf(FuncId(F)).size(), 1u) << Info.Name;
+  }
+}
+
+TEST(Suite, HasSixteenEntriesMirroringTable1) {
+  auto Entries = paperSuite(1.0);
+  ASSERT_EQ(Entries.size(), 16u);
+  EXPECT_EQ(Entries.front().Name, "gzip-1.2.4a");
+  EXPECT_EQ(Entries.back().Name, "ghostscript-9.00");
+  // Size ladder: the largest program has far more functions than the
+  // smallest; the SCC ladder peaks at the vim60 analogue.
+  EXPECT_GT(Entries.back().Config.NumFunctions,
+            20 * Entries.front().Config.NumFunctions);
+  unsigned MaxScc = 0;
+  std::string MaxName;
+  for (const SuiteEntry &E : Entries) {
+    if (E.Config.SccGroupSize > MaxScc) {
+      MaxScc = E.Config.SccGroupSize;
+      MaxName = E.Name;
+    }
+  }
+  EXPECT_EQ(MaxName, "vim60");
+}
+
+TEST(Suite, ScalesLinearly) {
+  auto Full = paperSuite(1.0);
+  auto Half = paperSuite(0.5);
+  for (size_t I = 0; I < Full.size(); ++I)
+    EXPECT_NEAR(static_cast<double>(Half[I].Config.NumFunctions),
+                Full[I].Config.NumFunctions * 0.5, 1.0)
+        << Full[I].Name;
+  // Octagon suite = the nine smallest.
+  EXPECT_EQ(octagonSuite(1.0).size(), 9u);
+}

@@ -1,0 +1,308 @@
+//===- spa-analyze.cpp - Command-line analyzer driver -------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzer as a command-line tool:
+///
+///   spa-analyze [options] <file.spa | ->
+///
+///   --engine=vanilla|base|sparse   analyzer generation (default sparse)
+///   --domain=interval|octagon      abstract domain (default interval)
+///   --pre=precise|semisparse|staged  pre-analysis instance
+///   --dep=ssa|rd|chains|whole      dependency builder (sparse engine)
+///   --no-bypass                    disable the bypass contraction
+///   --bdd                          store dependencies in a BDD
+///   --check                        run the buffer-overrun checker
+///   --list                         annotated listing (per-point values)
+///   --dump-cfg                     supergraph in Graphviz dot
+///   --dump-deps                    dependency graph in Graphviz dot
+///   --run[=seed]                   execute concretely (input() seed)
+///   --time-limit=SECONDS           analysis wall-clock budget
+///   --stats                        phase timing and sparsity statistics
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/Checker.h"
+#include "core/Export.h"
+#include "interp/Interp.h"
+#include "ir/Builder.h"
+#include "oct/OctAnalysis.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace spa;
+
+namespace {
+
+struct CliOptions {
+  std::string Path;
+  EngineKind Engine = EngineKind::Sparse;
+  bool Octagon = false;
+  PreAnalysisKind Pre = PreAnalysisKind::Precise;
+  DepOptions Dep;
+  bool Check = false;
+  bool List = false;
+  bool DumpCfg = false;
+  bool DumpDeps = false;
+  bool Run = false;
+  uint64_t RunSeed = 1;
+  bool Stats = false;
+  double TimeLimitSec = 0;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: spa-analyze [options] <file | ->\n"
+               "  --engine=vanilla|base|sparse --domain=interval|octagon\n"
+               "  --pre=precise|semisparse|staged "
+               "--dep=ssa|rd|chains|whole\n"
+               "  --no-bypass --bdd --check --list --dump-cfg "
+               "--dump-deps\n"
+               "  --run[=seed] --time-limit=N --stats\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return A.compare(0, N, Prefix) == 0 ? A.c_str() + N : nullptr;
+    };
+    if (const char *V = Value("--engine=")) {
+      if (!std::strcmp(V, "vanilla"))
+        Opts.Engine = EngineKind::Vanilla;
+      else if (!std::strcmp(V, "base"))
+        Opts.Engine = EngineKind::Base;
+      else if (!std::strcmp(V, "sparse"))
+        Opts.Engine = EngineKind::Sparse;
+      else
+        return false;
+    } else if (const char *V = Value("--domain=")) {
+      if (!std::strcmp(V, "interval"))
+        Opts.Octagon = false;
+      else if (!std::strcmp(V, "octagon"))
+        Opts.Octagon = true;
+      else
+        return false;
+    } else if (const char *V = Value("--pre=")) {
+      if (!std::strcmp(V, "precise"))
+        Opts.Pre = PreAnalysisKind::Precise;
+      else if (!std::strcmp(V, "semisparse"))
+        Opts.Pre = PreAnalysisKind::SemiSparse;
+      else if (!std::strcmp(V, "staged"))
+        Opts.Pre = PreAnalysisKind::Staged;
+      else
+        return false;
+    } else if (const char *V = Value("--dep=")) {
+      if (!std::strcmp(V, "ssa"))
+        Opts.Dep.Kind = DepBuilderKind::Ssa;
+      else if (!std::strcmp(V, "rd"))
+        Opts.Dep.Kind = DepBuilderKind::ReachingDefs;
+      else if (!std::strcmp(V, "chains"))
+        Opts.Dep.Kind = DepBuilderKind::DefUseChains;
+      else if (!std::strcmp(V, "whole"))
+        Opts.Dep.Kind = DepBuilderKind::WholeProgram;
+      else
+        return false;
+    } else if (A == "--no-bypass") {
+      Opts.Dep.Bypass = false;
+    } else if (A == "--bdd") {
+      Opts.Dep.UseBdd = true;
+    } else if (A == "--check") {
+      Opts.Check = true;
+    } else if (A == "--list") {
+      Opts.List = true;
+    } else if (A == "--dump-cfg") {
+      Opts.DumpCfg = true;
+    } else if (A == "--dump-deps") {
+      Opts.DumpDeps = true;
+    } else if (A == "--run") {
+      Opts.Run = true;
+    } else if (const char *V = Value("--run=")) {
+      Opts.Run = true;
+      Opts.RunSeed = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--time-limit=")) {
+      Opts.TimeLimitSec = std::atof(V);
+    } else if (A == "--stats") {
+      Opts.Stats = true;
+    } else if (A == "--help" || A == "-h") {
+      return false;
+    } else if (!A.empty() && A[0] == '-' && A != "-") {
+      std::fprintf(stderr, "unknown option: %s\n", A.c_str());
+      return false;
+    } else if (Opts.Path.empty()) {
+      Opts.Path = A;
+    } else {
+      return false;
+    }
+  }
+  return !Opts.Path.empty();
+}
+
+std::string readInput(const std::string &Path) {
+  if (Path == "-") {
+    std::ostringstream OS;
+    OS << std::cin.rdbuf();
+    return OS.str();
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+int runOctagonMode(const Program &Prog, const CliOptions &Cli) {
+  OctOptions Opts;
+  Opts.Engine = Cli.Engine;
+  Opts.Dep = Cli.Dep;
+  // Exit invariants are printed from the exit input buffers, which the
+  // bypass contraction would (correctly) thin out.
+  Opts.Dep.Bypass = false;
+  Opts.TimeLimitSec = Cli.TimeLimitSec;
+  OctRun Run = runOctAnalysis(Prog, Opts);
+  if (Run.timedOut()) {
+    std::printf("analysis exceeded the time limit\n");
+    return 2;
+  }
+  if (Cli.Stats)
+    std::printf("octagon: dep %.3fs, fix %.3fs, %u packs (%u groups, avg "
+                "size %.1f), avg |D(c)|=%.2f |U(c)|=%.2f\n",
+                Run.depSeconds(), Run.fixSeconds(), Run.Packs.numPacks(),
+                Run.Packs.numGroups(), Run.Packs.avgGroupSize(),
+                Run.DU.avgSemanticDefSize(), Run.DU.avgSemanticUseSize());
+
+  // Per-function exit intervals via singleton-pack projection.
+  for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
+    const FunctionInfo &Info = Prog.function(FuncId(F));
+    if (Info.Name == "_start")
+      continue;
+    std::printf("%s at exit:\n", Info.Name.c_str());
+    for (uint32_t L = 0; L < Prog.numLocs(); ++L) {
+      const LocInfo &Loc = Prog.loc(LocId(L));
+      if (Loc.Owner != FuncId(F) && Loc.Kind != LocKind::Global)
+        continue;
+      Interval Itv;
+      if (Run.Dense) {
+        Itv = Run.denseIntervalAt(Info.Exit, LocId(L));
+      } else {
+        PackId S = Run.Packs.singleton(LocId(L));
+        const Oct *O = Run.Sparse->In[Info.Exit.value()].lookup(S);
+        Itv = O ? O->project(0) : Interval::bot();
+      }
+      if (!Itv.isBot())
+        std::printf("  %-16s in %s\n", Loc.Name.c_str(),
+                    Itv.str().c_str());
+    }
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    usage();
+    return 1;
+  }
+
+  BuildResult Built = buildProgramFromSource(readInput(Cli.Path));
+  if (!Built.ok()) {
+    std::fprintf(stderr, "error: %s\n", Built.Error.c_str());
+    return 1;
+  }
+  const Program &Prog = *Built.Prog;
+
+  if (Cli.Octagon)
+    return runOctagonMode(Prog, Cli);
+
+  AnalyzerOptions Opts;
+  Opts.Engine = Cli.Engine;
+  Opts.Pre = Cli.Pre;
+  Opts.Dep = Cli.Dep;
+  if (Cli.Check || Cli.List)
+    Opts.Dep.Bypass = false; // Checker and listing read input buffers.
+  Opts.TimeLimitSec = Cli.TimeLimitSec;
+  AnalysisRun Run = analyzeProgram(Prog, Opts);
+  if (Run.timedOut()) {
+    std::printf("analysis exceeded the time limit\n");
+    return 2;
+  }
+
+  if (Cli.Stats) {
+    std::printf("points=%zu locs=%zu pre=%.3fs defuse=%.3fs",
+                Prog.numPoints(), Prog.numLocs(), Run.PreSeconds,
+                Run.DefUseSeconds);
+    if (Run.Graph)
+      std::printf(" depbuild=%.3fs edges=%llu phis=%zu",
+                  Run.Graph->BuildSeconds,
+                  static_cast<unsigned long long>(
+                      Run.Graph->Edges->edgeCount()),
+                  Run.Graph->Phis.size());
+    std::printf(" fix=%.3fs avgD=%.2f avgU=%.2f\n", Run.fixSeconds(),
+                Run.DU.avgSemanticDefSize(), Run.DU.avgSemanticUseSize());
+  }
+
+  if (Cli.DumpCfg)
+    std::fputs(exportSupergraphDot(Prog, Run.Pre.CG).c_str(), stdout);
+  if (Cli.DumpDeps && Run.Graph)
+    std::fputs(exportDepGraphDot(Prog, *Run.Graph).c_str(), stdout);
+  if (Cli.List)
+    std::fputs(exportAnnotatedListing(Prog, Run).c_str(), stdout);
+
+  if (Cli.Check) {
+    CheckerSummary Summary = checkBufferOverruns(Prog, Run);
+    std::printf("checked %zu dereferences: %u safe, %u alarms\n",
+                Summary.Checks.size(), Summary.numSafe(),
+                Summary.numAlarms());
+    for (const AccessCheck &C : Summary.Checks)
+      if (C.Result != AccessCheck::Verdict::Safe)
+        std::printf("  %s\n", C.str(Prog).c_str());
+  }
+
+  if (Cli.Run) {
+    InterpOptions IOpts;
+    IOpts.InputSeed = Cli.RunSeed;
+    Interp I(Prog, Run.Pre.CG, IOpts);
+    InterpResult R = I.run(nullptr);
+    const char *Reason[] = {"finished", "out of fuel", "trapped",
+                            "blocked by assume", "buffer overrun"};
+    std::printf("concrete run (seed %llu): %s after %llu steps\n",
+                static_cast<unsigned long long>(Cli.RunSeed),
+                Reason[static_cast<int>(R.Reason)],
+                static_cast<unsigned long long>(R.Steps));
+  }
+
+  if (!Cli.Stats && !Cli.Check && !Cli.List && !Cli.DumpCfg &&
+      !Cli.DumpDeps && !Cli.Run) {
+    // Default action: print main's exit invariants.
+    FuncId Main = Prog.mainFunc();
+    PointId Exit = Prog.function(Main).Exit;
+    std::printf("invariants at main's exit:\n");
+    const AbsState *St = nullptr;
+    AbsState DenseIn;
+    if (Run.Sparse) {
+      St = &Run.Sparse->In[Exit.value()];
+    } else {
+      DenseIn = Run.Dense->Post[Exit.value()];
+      St = &DenseIn;
+    }
+    for (const auto &[L, V] : *St)
+      std::printf("  %-16s = %s\n", Prog.loc(L).Name.c_str(),
+                  V.str().c_str());
+  }
+  return 0;
+}
