@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bdd.dir/ablation_bdd.cpp.o"
+  "CMakeFiles/ablation_bdd.dir/ablation_bdd.cpp.o.d"
+  "ablation_bdd"
+  "ablation_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interproc.dir/ablation_interproc.cpp.o"
+  "CMakeFiles/ablation_interproc.dir/ablation_interproc.cpp.o.d"
+  "ablation_interproc"
+  "ablation_interproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

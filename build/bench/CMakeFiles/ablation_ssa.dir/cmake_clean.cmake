@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ssa.dir/ablation_ssa.cpp.o"
+  "CMakeFiles/ablation_ssa.dir/ablation_ssa.cpp.o.d"
+  "ablation_ssa"
+  "ablation_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

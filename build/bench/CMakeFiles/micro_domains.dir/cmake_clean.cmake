@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_domains.dir/micro_domains.cpp.o"
+  "CMakeFiles/micro_domains.dir/micro_domains.cpp.o.d"
+  "micro_domains"
+  "micro_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

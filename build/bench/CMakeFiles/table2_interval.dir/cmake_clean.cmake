@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_interval.dir/table2_interval.cpp.o"
+  "CMakeFiles/table2_interval.dir/table2_interval.cpp.o.d"
+  "table2_interval"
+  "table2_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_octagon.cpp" "bench/CMakeFiles/table3_octagon.dir/table3_octagon.cpp.o" "gcc" "bench/CMakeFiles/table3_octagon.dir/table3_octagon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/oct/CMakeFiles/spa_oct.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/domains/CMakeFiles/spa_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/spa_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/spa_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_octagon.dir/table3_octagon.cpp.o"
+  "CMakeFiles/table3_octagon.dir/table3_octagon.cpp.o.d"
+  "table3_octagon"
+  "table3_octagon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_octagon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

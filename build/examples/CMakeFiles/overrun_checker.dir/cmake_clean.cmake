@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overrun_checker.dir/overrun_checker.cpp.o"
+  "CMakeFiles/overrun_checker.dir/overrun_checker.cpp.o.d"
+  "overrun_checker"
+  "overrun_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overrun_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational.dir/relational.cpp.o"
+  "CMakeFiles/relational.dir/relational.cpp.o.d"
+  "relational"
+  "relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

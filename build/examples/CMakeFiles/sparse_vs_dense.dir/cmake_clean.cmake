@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_vs_dense.dir/sparse_vs_dense.cpp.o"
+  "CMakeFiles/sparse_vs_dense.dir/sparse_vs_dense.cpp.o.d"
+  "sparse_vs_dense"
+  "sparse_vs_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_vs_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_bdd.dir/Bdd.cpp.o"
+  "CMakeFiles/spa_bdd.dir/Bdd.cpp.o.d"
+  "libspa_bdd.a"
+  "libspa_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

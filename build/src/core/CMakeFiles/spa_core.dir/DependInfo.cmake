@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Analyzer.cpp" "src/core/CMakeFiles/spa_core.dir/Analyzer.cpp.o" "gcc" "src/core/CMakeFiles/spa_core.dir/Analyzer.cpp.o.d"
+  "/root/repo/src/core/BddDepStorage.cpp" "src/core/CMakeFiles/spa_core.dir/BddDepStorage.cpp.o" "gcc" "src/core/CMakeFiles/spa_core.dir/BddDepStorage.cpp.o.d"
+  "/root/repo/src/core/Checker.cpp" "src/core/CMakeFiles/spa_core.dir/Checker.cpp.o" "gcc" "src/core/CMakeFiles/spa_core.dir/Checker.cpp.o.d"
+  "/root/repo/src/core/DefUse.cpp" "src/core/CMakeFiles/spa_core.dir/DefUse.cpp.o" "gcc" "src/core/CMakeFiles/spa_core.dir/DefUse.cpp.o.d"
+  "/root/repo/src/core/DenseAnalysis.cpp" "src/core/CMakeFiles/spa_core.dir/DenseAnalysis.cpp.o" "gcc" "src/core/CMakeFiles/spa_core.dir/DenseAnalysis.cpp.o.d"
+  "/root/repo/src/core/DepBuilder.cpp" "src/core/CMakeFiles/spa_core.dir/DepBuilder.cpp.o" "gcc" "src/core/CMakeFiles/spa_core.dir/DepBuilder.cpp.o.d"
+  "/root/repo/src/core/DepGraph.cpp" "src/core/CMakeFiles/spa_core.dir/DepGraph.cpp.o" "gcc" "src/core/CMakeFiles/spa_core.dir/DepGraph.cpp.o.d"
+  "/root/repo/src/core/Export.cpp" "src/core/CMakeFiles/spa_core.dir/Export.cpp.o" "gcc" "src/core/CMakeFiles/spa_core.dir/Export.cpp.o.d"
+  "/root/repo/src/core/PreAnalysis.cpp" "src/core/CMakeFiles/spa_core.dir/PreAnalysis.cpp.o" "gcc" "src/core/CMakeFiles/spa_core.dir/PreAnalysis.cpp.o.d"
+  "/root/repo/src/core/Semantics.cpp" "src/core/CMakeFiles/spa_core.dir/Semantics.cpp.o" "gcc" "src/core/CMakeFiles/spa_core.dir/Semantics.cpp.o.d"
+  "/root/repo/src/core/SparseAnalysis.cpp" "src/core/CMakeFiles/spa_core.dir/SparseAnalysis.cpp.o" "gcc" "src/core/CMakeFiles/spa_core.dir/SparseAnalysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/spa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/domains/CMakeFiles/spa_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/spa_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/spa_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_core.dir/Analyzer.cpp.o"
+  "CMakeFiles/spa_core.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/spa_core.dir/BddDepStorage.cpp.o"
+  "CMakeFiles/spa_core.dir/BddDepStorage.cpp.o.d"
+  "CMakeFiles/spa_core.dir/Checker.cpp.o"
+  "CMakeFiles/spa_core.dir/Checker.cpp.o.d"
+  "CMakeFiles/spa_core.dir/DefUse.cpp.o"
+  "CMakeFiles/spa_core.dir/DefUse.cpp.o.d"
+  "CMakeFiles/spa_core.dir/DenseAnalysis.cpp.o"
+  "CMakeFiles/spa_core.dir/DenseAnalysis.cpp.o.d"
+  "CMakeFiles/spa_core.dir/DepBuilder.cpp.o"
+  "CMakeFiles/spa_core.dir/DepBuilder.cpp.o.d"
+  "CMakeFiles/spa_core.dir/DepGraph.cpp.o"
+  "CMakeFiles/spa_core.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/spa_core.dir/Export.cpp.o"
+  "CMakeFiles/spa_core.dir/Export.cpp.o.d"
+  "CMakeFiles/spa_core.dir/PreAnalysis.cpp.o"
+  "CMakeFiles/spa_core.dir/PreAnalysis.cpp.o.d"
+  "CMakeFiles/spa_core.dir/Semantics.cpp.o"
+  "CMakeFiles/spa_core.dir/Semantics.cpp.o.d"
+  "CMakeFiles/spa_core.dir/SparseAnalysis.cpp.o"
+  "CMakeFiles/spa_core.dir/SparseAnalysis.cpp.o.d"
+  "libspa_core.a"
+  "libspa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/domains/AbsState.cpp" "src/domains/CMakeFiles/spa_domains.dir/AbsState.cpp.o" "gcc" "src/domains/CMakeFiles/spa_domains.dir/AbsState.cpp.o.d"
+  "/root/repo/src/domains/Interval.cpp" "src/domains/CMakeFiles/spa_domains.dir/Interval.cpp.o" "gcc" "src/domains/CMakeFiles/spa_domains.dir/Interval.cpp.o.d"
+  "/root/repo/src/domains/Value.cpp" "src/domains/CMakeFiles/spa_domains.dir/Value.cpp.o" "gcc" "src/domains/CMakeFiles/spa_domains.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_domains.dir/AbsState.cpp.o"
+  "CMakeFiles/spa_domains.dir/AbsState.cpp.o.d"
+  "CMakeFiles/spa_domains.dir/Interval.cpp.o"
+  "CMakeFiles/spa_domains.dir/Interval.cpp.o.d"
+  "CMakeFiles/spa_domains.dir/Value.cpp.o"
+  "CMakeFiles/spa_domains.dir/Value.cpp.o.d"
+  "libspa_domains.a"
+  "libspa_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_interp.dir/Interp.cpp.o"
+  "CMakeFiles/spa_interp.dir/Interp.cpp.o.d"
+  "libspa_interp.a"
+  "libspa_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

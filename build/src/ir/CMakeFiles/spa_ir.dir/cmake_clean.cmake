@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_ir.dir/Builder.cpp.o"
+  "CMakeFiles/spa_ir.dir/Builder.cpp.o.d"
+  "CMakeFiles/spa_ir.dir/CallGraphInfo.cpp.o"
+  "CMakeFiles/spa_ir.dir/CallGraphInfo.cpp.o.d"
+  "CMakeFiles/spa_ir.dir/Dominators.cpp.o"
+  "CMakeFiles/spa_ir.dir/Dominators.cpp.o.d"
+  "CMakeFiles/spa_ir.dir/Program.cpp.o"
+  "CMakeFiles/spa_ir.dir/Program.cpp.o.d"
+  "libspa_ir.a"
+  "libspa_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_lang.dir/AST.cpp.o"
+  "CMakeFiles/spa_lang.dir/AST.cpp.o.d"
+  "CMakeFiles/spa_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/spa_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/spa_lang.dir/Parser.cpp.o"
+  "CMakeFiles/spa_lang.dir/Parser.cpp.o.d"
+  "libspa_lang.a"
+  "libspa_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

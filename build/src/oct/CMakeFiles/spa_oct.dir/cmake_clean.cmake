@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_oct.dir/OctAnalysis.cpp.o"
+  "CMakeFiles/spa_oct.dir/OctAnalysis.cpp.o.d"
+  "CMakeFiles/spa_oct.dir/Octagon.cpp.o"
+  "CMakeFiles/spa_oct.dir/Octagon.cpp.o.d"
+  "CMakeFiles/spa_oct.dir/Packing.cpp.o"
+  "CMakeFiles/spa_oct.dir/Packing.cpp.o.d"
+  "libspa_oct.a"
+  "libspa_oct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_oct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_support.dir/Resource.cpp.o"
+  "CMakeFiles/spa_support.dir/Resource.cpp.o.d"
+  "libspa_support.a"
+  "libspa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

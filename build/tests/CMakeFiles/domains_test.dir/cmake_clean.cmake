@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domains_test.dir/domains_test.cpp.o"
+  "CMakeFiles/domains_test.dir/domains_test.cpp.o.d"
+  "domains_test"
+  "domains_test.pdb"
+  "domains_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domains_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dominators_property_test.dir/dominators_property_test.cpp.o"
+  "CMakeFiles/dominators_property_test.dir/dominators_property_test.cpp.o.d"
+  "dominators_property_test"
+  "dominators_property_test.pdb"
+  "dominators_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dominators_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

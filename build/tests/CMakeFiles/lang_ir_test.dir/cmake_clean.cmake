@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_ir_test.dir/lang_ir_test.cpp.o"
+  "CMakeFiles/lang_ir_test.dir/lang_ir_test.cpp.o.d"
+  "lang_ir_test"
+  "lang_ir_test.pdb"
+  "lang_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

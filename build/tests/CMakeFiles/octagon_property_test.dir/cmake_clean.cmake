@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octagon_property_test.dir/octagon_property_test.cpp.o"
+  "CMakeFiles/octagon_property_test.dir/octagon_property_test.cpp.o.d"
+  "octagon_property_test"
+  "octagon_property_test.pdb"
+  "octagon_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octagon_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa-analyze.dir/spa-analyze.cpp.o"
+  "CMakeFiles/spa-analyze.dir/spa-analyze.cpp.o.d"
+  "spa-analyze"
+  "spa-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
