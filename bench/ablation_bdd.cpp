@@ -47,6 +47,7 @@ int main() {
     // which is exactly the prefix/suffix sharing BDDs exploit.
     DepOptions SetOpts;
     SetOpts.Bypass = false;
+    obs::Registry::global().reset();
     Timer T1;
     SparseGraph SetGraph = buildDepGraph(*Prog, Pre.CG, DU, SetOpts);
     double SetBuild = T1.seconds();
@@ -54,16 +55,19 @@ int main() {
     Timer TF1;
     SparseResult SetFix = runSparseAnalysis(*Prog, Pre.CG, SetGraph, SOpts);
     double SetFixS = TF1.seconds();
+    appendBenchRecord(E.Name, "set-storage", true);
 
     DepOptions BddOpts;
     BddOpts.Bypass = false;
     BddOpts.UseBdd = true;
+    obs::Registry::global().reset();
     Timer T2;
     SparseGraph BddGraph = buildDepGraph(*Prog, Pre.CG, DU, BddOpts);
     double BddBuild = T2.seconds();
     Timer TF2;
     SparseResult BddFix = runSparseAnalysis(*Prog, Pre.CG, BddGraph, SOpts);
     double BddFixS = TF2.seconds();
+    appendBenchRecord(E.Name, "bdd-storage", true);
 
     uint64_t SetBytes = SetGraph.Edges->memoryBytes();
     uint64_t BddBytes = BddGraph.Edges->memoryBytes();

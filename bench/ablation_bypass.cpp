@@ -84,11 +84,14 @@ int main() {
       std::fprintf(stderr, "build error: %s\n", B.Error.c_str());
       return 1;
     }
-    Outcome With = measure(*B.Prog, true);
-    Outcome Without = measure(*B.Prog, false);
+    std::string Label = "chain depth " + std::to_string(Depth);
+    Outcome With =
+        recordRun(Label, "bypass", [&] { return measure(*B.Prog, true); });
+    Outcome Without =
+        recordRun(Label, "no-bypass", [&] { return measure(*B.Prog, false); });
     std::printf("%-24s | %9llu %9llu %7.2fs %9llu | %9llu %7.2fs %9llu "
                 "| %5.1fx\n",
-                ("chain depth " + std::to_string(Depth)).c_str(),
+                Label.c_str(),
                 static_cast<unsigned long long>(With.EdgesBefore),
                 static_cast<unsigned long long>(With.EdgesAfter),
                 With.DepSeconds,
@@ -107,8 +110,10 @@ int main() {
   for (int Idx : {2, 5, 8}) {
     const SuiteEntry &E = Suite[Idx];
     std::unique_ptr<Program> Prog = buildEntry(E);
-    Outcome With = measure(*Prog, true);
-    Outcome Without = measure(*Prog, false);
+    Outcome With =
+        recordRun(E.Name, "bypass", [&] { return measure(*Prog, true); });
+    Outcome Without =
+        recordRun(E.Name, "no-bypass", [&] { return measure(*Prog, false); });
     std::printf("%-24s | %9llu %9llu %7.2fs %9llu | %9llu %7.2fs %9llu "
                 "| %5.1fx\n",
                 E.Name.c_str(),

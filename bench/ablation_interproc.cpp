@@ -86,10 +86,15 @@ int main() {
       std::fprintf(stderr, "build error: %s\n", B.Error.c_str());
       return 1;
     }
-    Outcome PerProc = measure(*B.Prog, DepBuilderKind::Ssa);
-    Outcome Whole = measure(*B.Prog, DepBuilderKind::WholeProgram);
+    std::string Label = "callers N=" + std::to_string(N);
+    Outcome PerProc = recordRun(Label, "per-procedure", [&] {
+      return measure(*B.Prog, DepBuilderKind::Ssa);
+    });
+    Outcome Whole = recordRun(Label, "whole-program", [&] {
+      return measure(*B.Prog, DepBuilderKind::WholeProgram);
+    });
     std::printf("%-24s | %9llu %7.2fs %7.2fs | %9llu %7.2fs %7.2fs\n",
-                ("callers N=" + std::to_string(N)).c_str(),
+                Label.c_str(),
                 static_cast<unsigned long long>(PerProc.Edges),
                 PerProc.BuildSeconds, PerProc.FixSeconds,
                 static_cast<unsigned long long>(Whole.Edges),
@@ -102,8 +107,12 @@ int main() {
   for (int Idx : {0, 2, 4}) {
     const SuiteEntry &E = Suite[Idx];
     std::unique_ptr<Program> Prog = buildEntry(E);
-    Outcome PerProc = measure(*Prog, DepBuilderKind::Ssa);
-    Outcome Whole = measure(*Prog, DepBuilderKind::WholeProgram);
+    Outcome PerProc = recordRun(E.Name, "per-procedure", [&] {
+      return measure(*Prog, DepBuilderKind::Ssa);
+    });
+    Outcome Whole = recordRun(E.Name, "whole-program", [&] {
+      return measure(*Prog, DepBuilderKind::WholeProgram);
+    });
     std::printf("%-24s | %9llu %7.2fs %7.2fs | %9llu %7.2fs %7.2fs\n",
                 E.Name.c_str(),
                 static_cast<unsigned long long>(PerProc.Edges),

@@ -61,7 +61,8 @@ int main() {
 
     AnalyzerOptions Opts;
     Opts.Engine = EngineKind::Sparse;
-    AnalysisRun Run = analyzeProgram(Prog, Opts);
+    AnalysisRun Run = recordRun(S.Name, "sparse",
+                                [&] { return analyzeProgram(Prog, Opts); });
 
     std::printf("%-26s %7zu %7zu | %7.1f %7.1f | %6.2fs %6.2fs %8llu\n",
                 S.Name, Prog.numPoints(), Prog.numLocs(),

@@ -97,14 +97,14 @@ int main() {
     }
     std::string Name =
         "join K=" + std::to_string(K) + " M=" + std::to_string(M);
-    RunOne(Name.c_str(), *B.Prog);
+    recordRun(Name, "ssa-vs-rd", [&] { RunOne(Name.c_str(), *B.Prog); });
   }
 
   auto Suite = paperSuite(Scale);
   for (int Idx : {0, 1, 2, 3, 4, 5, 7}) {
     const SuiteEntry &E = Suite[Idx];
     std::unique_ptr<Program> Prog = buildEntry(E);
-    RunOne(E.Name.c_str(), *Prog);
+    recordRun(E.Name, "ssa-vs-rd", [&] { RunOne(E.Name.c_str(), *Prog); });
   }
 
   std::printf("\nExpected shape (paper): the reaching-definitions "

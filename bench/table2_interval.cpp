@@ -53,6 +53,7 @@ RunOutcome runEngine(const SuiteEntry &E, EngineKind Engine,
         // limit stays a bit below so graceful timeouts also report.
         Opts.TimeLimitSec = TimeLimit * 0.95;
         AnalysisRun Run = analyzeProgram(*Prog, Opts);
+        appendBenchRecord(E.Name, engineName(Engine), !Run.timedOut());
         return {Run.timedOut() ? 1.0 : 0.0, Run.depSeconds(),
                 Run.fixSeconds(), Run.DU.avgSemanticDefSize(),
                 Run.DU.avgSemanticUseSize()};
@@ -62,7 +63,7 @@ RunOutcome runEngine(const SuiteEntry &E, EngineKind Engine,
   RunOutcome Out;
   Out.Seconds = R.Seconds;
   Out.PeakRssKiB = R.PeakRssKiB;
-  if (!R.Ok || R.TimedOut || R.Payload[0] != 0.0) {
+  if (!R.Ok || R.TimedOut || R.Payload.size() < 5 || R.Payload[0] != 0.0) {
     Out.TimedOut = true;
     return Out;
   }

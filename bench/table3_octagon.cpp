@@ -42,6 +42,7 @@ RunOutcome runEngine(const SuiteEntry &E, EngineKind Engine,
         Opts.Engine = Engine;
         Opts.TimeLimitSec = TimeLimit * 0.95;
         OctRun Run = runOctAnalysis(*Prog, Opts);
+        appendBenchRecord(E.Name, engineName(Engine), !Run.timedOut());
         return {Run.timedOut() ? 1.0 : 0.0, Run.depSeconds(),
                 Run.fixSeconds(), Run.DU.avgSemanticDefSize(),
                 Run.DU.avgSemanticUseSize(), Run.Packs.avgGroupSize()};
@@ -51,7 +52,7 @@ RunOutcome runEngine(const SuiteEntry &E, EngineKind Engine,
   RunOutcome Out;
   Out.Seconds = R.Seconds;
   Out.PeakRssKiB = R.PeakRssKiB;
-  if (!R.Ok || R.TimedOut || R.Payload[0] != 0.0) {
+  if (!R.Ok || R.TimedOut || R.Payload.size() < 6 || R.Payload[0] != 0.0) {
     Out.TimedOut = true;
     return Out;
   }

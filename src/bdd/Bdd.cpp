@@ -6,6 +6,8 @@
 
 #include "bdd/Bdd.h"
 
+#include "obs/Metrics.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -56,8 +58,11 @@ BddRef BddManager::ite(BddRef F, BddRef G, BddRef H) {
 
   IteKey Key{F, G, H};
   auto It = IteCache.find(Key);
-  if (It != IteCache.end())
+  if (It != IteCache.end()) {
+    SPA_OBS_COUNT("bdd.ite.cache_hits", 1);
     return It->second;
+  }
+  SPA_OBS_COUNT("bdd.ite.cache_misses", 1);
 
   uint32_t V = varOf(F);
   if (varOf(G) < V)

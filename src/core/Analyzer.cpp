@@ -6,15 +6,18 @@
 
 #include "core/Analyzer.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Resource.h"
 
 using namespace spa;
 
+double AnalysisRun::depBuildSeconds() const {
+  return Graph ? Graph->BuildSeconds : 0;
+}
+
 double AnalysisRun::depSeconds() const {
-  double S = PreSeconds + DefUseSeconds;
-  if (Graph)
-    S += Graph->BuildSeconds;
-  return S;
+  return PreSeconds + DefUseSeconds + depBuildSeconds();
 }
 
 double AnalysisRun::fixSeconds() const {
@@ -35,15 +38,28 @@ bool AnalysisRun::timedOut() const {
 
 AnalysisRun spa::analyzeProgram(const Program &Prog,
                                 const AnalyzerOptions &Opts) {
+  SPA_OBS_TRACE("analyze");
+  SPA_OBS_GAUGE_SET("program.points", Prog.numPoints());
+  SPA_OBS_GAUGE_SET("program.locs", Prog.numLocs());
+  SPA_OBS_GAUGE_SET("program.funcs", Prog.numFuncs());
+
   Timer PreClock;
-  AnalysisRun Run{runPreAnalysis(Prog, Opts.Sem, /*WidenAfterSweeps=*/3,
-                                 Opts.Pre),
+  AnalysisRun Run{[&] {
+                    SPA_OBS_TRACE("pre-analysis");
+                    return runPreAnalysis(Prog, Opts.Sem,
+                                          /*WidenAfterSweeps=*/3, Opts.Pre);
+                  }(),
                   DefUseInfo{}, {}, {}, {}, 0, 0};
   Run.PreSeconds = PreClock.seconds();
+  SPA_OBS_GAUGE_SET("phase.pre.seconds", Run.PreSeconds);
 
   Timer DuClock;
-  Run.DU = computeDefUse(Prog, Run.Pre);
+  {
+    SPA_OBS_TRACE("def-use");
+    Run.DU = computeDefUse(Prog, Run.Pre);
+  }
   Run.DefUseSeconds = DuClock.seconds();
+  SPA_OBS_GAUGE_SET("phase.defuse.seconds", Run.DefUseSeconds);
 
   switch (Opts.Engine) {
   case EngineKind::Vanilla:
@@ -54,18 +70,28 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
     DOpts.TimeLimitSec = Opts.TimeLimitSec;
     DOpts.NarrowingPasses = Opts.NarrowingPasses;
     DOpts.WideningDelay = Opts.WideningDelay;
+    SPA_OBS_TRACE("fixpoint");
     Run.Dense = runDenseAnalysis(Prog, Run.Pre.CG, &Run.DU, DOpts);
     break;
   }
   case EngineKind::Sparse: {
-    Run.Graph = buildDepGraph(Prog, Run.Pre.CG, Run.DU, Opts.Dep);
+    {
+      SPA_OBS_TRACE("dep-build");
+      Run.Graph = buildDepGraph(Prog, Run.Pre.CG, Run.DU, Opts.Dep);
+    }
     SparseOptions SOpts;
     SOpts.Sem = Opts.Sem;
     SOpts.TimeLimitSec = Opts.TimeLimitSec;
     SOpts.WideningDelay = Opts.WideningDelay;
+    SPA_OBS_TRACE("fixpoint");
     Run.Sparse = runSparseAnalysis(Prog, Run.Pre.CG, *Run.Graph, SOpts);
     break;
   }
   }
+
+  SPA_OBS_GAUGE_SET("phase.depbuild.seconds", Run.depBuildSeconds());
+  SPA_OBS_GAUGE_SET("phase.fix.seconds", Run.fixSeconds());
+  SPA_OBS_GAUGE_SET("phase.total.seconds", Run.totalSeconds());
+  SPA_OBS_GAUGE_MAX("mem.peak_rss_kib", currentPeakRssKiB());
   return Run;
 }

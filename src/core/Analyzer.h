@@ -53,8 +53,21 @@ struct AnalysisRun {
   std::optional<SparseGraph> Graph;   ///< Sparse engine.
   std::optional<SparseResult> Sparse; ///< Sparse engine.
 
+  /// Per-phase wall-clock times.  Each phase is measured exactly once:
+  /// the pre-analysis (which Vanilla/Base also run, for callgraph
+  /// resolution) and def/use computation are timed here, graph build
+  /// time lives in Graph->BuildSeconds, and the engines time their own
+  /// fixpoint.  The invariant
+  ///
+  ///   totalSeconds() == PreSeconds + DefUseSeconds + depBuildSeconds()
+  ///                     + fixSeconds()
+  ///
+  /// holds for every engine (pinned by tests/obs_test.cpp), so no phase
+  /// is double-counted across the Dep/Fix split.
   double PreSeconds = 0;
   double DefUseSeconds = 0;
+  /// Dependency-graph construction time (sparse engine; 0 for dense).
+  double depBuildSeconds() const;
   /// Dependency-generation time (pre-analysis + def/use + graph build),
   /// the paper's Dep column.
   double depSeconds() const;

@@ -6,6 +6,8 @@
 
 #include "core/BddDepStorage.h"
 
+#include "obs/Metrics.h"
+
 #include <cassert>
 
 using namespace spa;
@@ -58,6 +60,7 @@ void BddDepStorage::forEachOut(
     CofactorCache.assign(1u << SrcBits, BddRef(UINT32_MAX));
   BddRef Sub = CofactorCache[Src];
   if (Sub == UINT32_MAX) {
+    SPA_OBS_COUNT("bdd.cofactor.misses", 1);
     Sub = Root;
     for (uint32_t I = 0; I < SrcBits; ++I) {
       uint32_t Var = SrcBits - 1 - I; // MSB of Src has the smallest index.
@@ -65,6 +68,8 @@ void BddDepStorage::forEachOut(
       Sub = Mgr.restrict(Sub, Var, Bit);
     }
     CofactorCache[Src] = Sub;
+  } else {
+    SPA_OBS_COUNT("bdd.cofactor.hits", 1);
   }
   Mgr.forEachModel(Sub, SrcBits, SrcBits + DstBits + LocBits,
                    [&](uint64_t Word) {

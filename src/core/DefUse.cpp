@@ -6,6 +6,8 @@
 
 #include "core/DefUse.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 
 using namespace spa;
@@ -99,6 +101,8 @@ DefUseInfo spa::computeDefUse(const Program &Prog,
   }
 
   foldInterproceduralSummaries(Prog, Pre.CG, Info);
+  SPA_OBS_GAUGE_SET("defuse.avg_def_size", Info.avgSemanticDefSize());
+  SPA_OBS_GAUGE_SET("defuse.avg_use_size", Info.avgSemanticUseSize());
   return Info;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/DenseAnalysis.h"
 
+#include "obs/Metrics.h"
 #include "support/Resource.h"
 #include "support/WorkList.h"
 
@@ -58,6 +59,10 @@ public:
 
       bool DoWiden = Widen[C.value()] &&
                      ChangeCount[C.value()] >= Opts.WideningDelay;
+      if (DoWiden)
+        SPA_OBS_COUNT("fixpoint.widenings", 1);
+      else
+        SPA_OBS_COUNT("fixpoint.joins", 1);
       bool Changed = DoWiden ? R.Post[C.value()].widenWith(Out)
                              : R.Post[C.value()].joinWith(Out);
       if (!Changed)
@@ -76,6 +81,7 @@ public:
       for (uint32_t P = 0; P < N; ++P) {
         AbsState Out = computeInput(R.Post, PointId(P));
         applyCommand(Prog, &CG, PointId(P), Out, Opts.Sem);
+        SPA_OBS_COUNT("fixpoint.narrowings", 1);
         Changed |= R.Post[P].narrowWith(Out);
       }
       if (!Changed)
@@ -85,6 +91,8 @@ public:
     for (const AbsState &S : R.Post)
       R.StateEntries += S.size();
     R.Seconds = Clock.seconds();
+    SPA_OBS_COUNT("fixpoint.visits", R.Visits);
+    SPA_OBS_GAUGE_SET("fixpoint.state_entries", R.StateEntries);
     return R;
   }
 

@@ -8,6 +8,8 @@
 
 #include "core/BddDepStorage.h"
 #include "ir/Dominators.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Resource.h"
 
 #include <algorithm>
@@ -57,15 +59,19 @@ public:
 
     switch (Opts.Kind) {
     case DepBuilderKind::Ssa:
-      for (uint32_t F = 0; F < Prog.numFuncs(); ++F)
+      for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
+        SPA_OBS_TRACE("ssa:" + Prog.function(FuncId(F)).Name);
         buildSsaForFunction(FuncId(F));
+      }
       addInterProcEdges();
       break;
     case DepBuilderKind::ReachingDefs:
     case DepBuilderKind::DefUseChains:
-      for (uint32_t F = 0; F < Prog.numFuncs(); ++F)
+      for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
+        SPA_OBS_TRACE("rd:" + Prog.function(FuncId(F)).Name);
         buildRdForFunction(FuncId(F),
                            Opts.Kind == DepBuilderKind::DefUseChains);
+      }
       addInterProcEdges();
       break;
     case DepBuilderKind::WholeProgram:
@@ -78,8 +84,10 @@ public:
                    EdgeList.end());
     Graph.EdgesBeforeBypass = EdgeList.size();
 
-    if (Opts.Bypass && Opts.Kind != DepBuilderKind::WholeProgram)
+    if (Opts.Bypass && Opts.Kind != DepBuilderKind::WholeProgram) {
+      SPA_OBS_TRACE("bypass");
       runBypass();
+    }
 
     uint32_t NumNodes = static_cast<uint32_t>(Graph.numNodes());
     uint32_t NumLocs = Opts.NumLocsOverride
@@ -89,8 +97,24 @@ public:
       Graph.Edges = std::make_unique<BddDepStorage>(NumNodes, NumLocs);
     else
       Graph.Edges = std::make_unique<SetDepStorage>(NumNodes);
-    for (const RawEdge &E : EdgeList)
-      Graph.Edges->add(E.Src, E.L, E.Dst);
+    {
+      SPA_OBS_TRACE("dep-storage");
+      for (const RawEdge &E : EdgeList)
+        Graph.Edges->add(E.Src, E.L, E.Dst);
+    }
+
+    SPA_OBS_GAUGE_SET("depgraph.nodes", Graph.numNodes());
+    SPA_OBS_GAUGE_SET("depgraph.phis", Graph.Phis.size());
+    SPA_OBS_GAUGE_SET("depgraph.edges", Graph.Edges->edgeCount());
+    SPA_OBS_GAUGE_SET("depgraph.edges_before_bypass",
+                      Graph.EdgesBeforeBypass);
+    SPA_OBS_GAUGE_SET("depgraph.bypass_removed", Graph.BypassRemoved);
+    SPA_OBS_GAUGE_SET("depgraph.storage_bytes",
+                      Graph.Edges->memoryBytes());
+    if (Opts.UseBdd)
+      SPA_OBS_GAUGE_SET(
+          "bdd.nodes",
+          static_cast<BddDepStorage *>(Graph.Edges.get())->bddNodeCount());
 
     Graph.BuildSeconds = Clock.seconds();
     return std::move(Graph);

@@ -6,6 +6,8 @@
 
 #include "core/PreAnalysis.h"
 
+#include "obs/Metrics.h"
+
 using namespace spa;
 
 namespace {
@@ -141,7 +143,10 @@ PreAnalysisResult spa::runPreAnalysis(const Program &Prog,
       Callees[P].push_back(F);
   }
 
+  SPA_OBS_GAUGE_SET("pre.sweeps", Sweeps);
   PreAnalysisResult R{std::move(Global),
                       CallGraphInfo(Prog, std::move(Callees)), Sweeps};
+  SPA_OBS_GAUGE_SET("pre.state_entries", R.Global.size());
+  SPA_OBS_GAUGE_SET("callgraph.max_scc", R.CG.maxSccSize());
   return R;
 }

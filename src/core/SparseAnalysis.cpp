@@ -6,6 +6,7 @@
 
 #include "core/SparseAnalysis.h"
 
+#include "obs/Metrics.h"
 #include "support/Resource.h"
 #include "support/WorkList.h"
 
@@ -155,11 +156,16 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
         uint32_t &Count = ArrivalCount[Dst].getOrCreate(L);
         DoWiden = Count >= Opts.WideningDelay;
       }
+      if (DoWiden)
+        SPA_OBS_COUNT("fixpoint.widenings", 1);
+      else
+        SPA_OBS_COUNT("fixpoint.joins", 1);
       Value New = DoWiden ? Old.widen(Old.join(V)) : Old.join(V);
       if (New == Old)
         return;
       if (CutsCycle)
         ++ArrivalCount[Dst].getOrCreate(L);
+      SPA_OBS_COUNT("fixpoint.deliveries", 1);
       InDst.set(L, std::move(New));
       WL.push(Dst);
     });
@@ -170,5 +176,7 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
   for (const AbsState &S : R.Out)
     R.StateEntries += S.size();
   R.Seconds = Clock.seconds();
+  SPA_OBS_COUNT("fixpoint.visits", R.Visits);
+  SPA_OBS_GAUGE_SET("fixpoint.state_entries", R.StateEntries);
   return R;
 }

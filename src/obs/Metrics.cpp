@@ -1,0 +1,87 @@
+//===- Metrics.cpp - Low-overhead metrics registry -------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace spa::obs;
+
+void Histogram::observe(double X) {
+  if (X < 0)
+    X = 0;
+  if (Count == 0) {
+    Min = Max = X;
+  } else {
+    if (X < Min)
+      Min = X;
+    if (X > Max)
+      Max = X;
+  }
+  ++Count;
+  Sum += X;
+  // Bucket 0 holds [0, 2); bucket i holds [2^i, 2^(i+1)).
+  size_t B = X < 2 ? 0 : static_cast<size_t>(std::log2(X));
+  if (B >= Buckets.size())
+    Buckets.resize(B + 1, 0);
+  ++Buckets[B];
+}
+
+void Histogram::reset() {
+  Count = 0;
+  Sum = Min = Max = 0;
+  Buckets.clear();
+}
+
+Registry &Registry::global() {
+  static Registry R;
+  return R;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  return Counters[Name];
+}
+
+Gauge &Registry::gauge(const std::string &Name) { return Gauges[Name]; }
+
+Histogram &Registry::histogram(const std::string &Name) {
+  return Histograms[Name];
+}
+
+void Registry::reset() {
+  for (auto &[_, C] : Counters)
+    C.reset();
+  for (auto &[_, G] : Gauges)
+    G.reset();
+  for (auto &[_, H] : Histograms)
+    H.reset();
+}
+
+std::vector<std::pair<std::string, double>> Registry::snapshot() const {
+  std::vector<std::pair<std::string, double>> Out;
+  Out.reserve(Counters.size() + Gauges.size() + 5 * Histograms.size());
+  for (const auto &[Name, C] : Counters)
+    Out.push_back({Name, static_cast<double>(C.value())});
+  for (const auto &[Name, G] : Gauges)
+    Out.push_back({Name, G.value()});
+  for (const auto &[Name, H] : Histograms) {
+    Out.push_back({Name + ".count", static_cast<double>(H.count())});
+    Out.push_back({Name + ".sum", H.sum()});
+    Out.push_back({Name + ".min", H.min()});
+    Out.push_back({Name + ".max", H.max()});
+    Out.push_back({Name + ".avg", H.avg()});
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+double Registry::value(const std::string &Name, double Default) const {
+  for (const auto &[K, V] : snapshot())
+    if (K == Name)
+      return V;
+  return Default;
+}

@@ -1,0 +1,169 @@
+//===- Metrics.h - Low-overhead metrics registry ---------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzer's metrics registry: named Counter / Gauge / Histogram
+/// instruments aggregated in one process-wide Registry, serialized by
+/// obs/MetricsSink.h.  Instrumentation sites use the SPA_OBS_* macros,
+/// which resolve the registry slot once per call site (function-local
+/// static) so the steady-state cost of a hot-loop counter is a single
+/// 64-bit increment.  Compiling with -DSPA_OBS_ENABLED=0 removes every
+/// macro body, so the disabled build pays nothing.
+///
+/// The taxonomy of metric names (phase.*, fixpoint.*, depgraph.*, bdd.*,
+/// oct.*, mem.*) is documented in docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_OBS_METRICS_H
+#define SPA_OBS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+/// Build-time switch: 1 (default) compiles the instrumentation in, 0
+/// turns every SPA_OBS_* macro into a no-op (the CMake option SPA_OBS
+/// drives this).
+#ifndef SPA_OBS_ENABLED
+#define SPA_OBS_ENABLED 1
+#endif
+
+namespace spa {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+  void add(uint64_t N = 1) { V += N; }
+  uint64_t value() const { return V; }
+  void reset() { V = 0; }
+
+private:
+  uint64_t V = 0;
+};
+
+/// Last-written scalar (phase seconds, structure sizes, peak RSS).
+class Gauge {
+public:
+  void set(double X) { V = X; }
+  /// Keeps the running maximum (peak-style gauges).
+  void max(double X) {
+    if (X > V)
+      V = X;
+  }
+  double value() const { return V; }
+  void reset() { V = 0; }
+
+private:
+  double V = 0;
+};
+
+/// Power-of-two bucketed distribution of non-negative samples, plus
+/// count/sum/min/max.  Bucket i counts samples in [2^(i-1), 2^i) (bucket
+/// 0 counts zeros and ones).
+class Histogram {
+public:
+  void observe(double X);
+  uint64_t count() const { return Count; }
+  double sum() const { return Sum; }
+  double min() const { return Count ? Min : 0; }
+  double max() const { return Count ? Max : 0; }
+  double avg() const { return Count ? Sum / Count : 0; }
+  const std::vector<uint64_t> &buckets() const { return Buckets; }
+  void reset();
+
+private:
+  uint64_t Count = 0;
+  double Sum = 0, Min = 0, Max = 0;
+  std::vector<uint64_t> Buckets;
+};
+
+/// Process-wide instrument registry.  Instruments register on first use
+/// and live until process exit; reset() zeroes values but never
+/// invalidates references, so call sites may cache the returned
+/// reference (the SPA_OBS_* macros do).
+///
+/// The analyzer is single-threaded; the registry is not locked.
+class Registry {
+public:
+  static Registry &global();
+
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Zeroes every instrument (tests and multi-run drivers); registered
+  /// names and references stay valid.
+  void reset();
+
+  /// Flat numeric view, sorted by name.  Histograms expand into
+  /// name.count / name.sum / name.min / name.max / name.avg leaves.
+  std::vector<std::pair<std::string, double>> snapshot() const;
+
+  /// Value of one snapshot leaf; \p Default when absent (a metric whose
+  /// instrumentation site never ran).
+  double value(const std::string &Name, double Default = 0) const;
+
+private:
+  Registry() = default;
+  std::map<std::string, Counter> Counters;
+  std::map<std::string, Gauge> Gauges;
+  std::map<std::string, Histogram> Histograms;
+};
+
+} // namespace obs
+} // namespace spa
+
+#define SPA_OBS_CONCAT_IMPL(A, B) A##B
+#define SPA_OBS_CONCAT(A, B) SPA_OBS_CONCAT_IMPL(A, B)
+
+#if SPA_OBS_ENABLED
+
+/// Bumps counter \p Name by \p N.  The registry lookup happens once per
+/// call site.
+#define SPA_OBS_COUNT(Name, N)                                                 \
+  do {                                                                         \
+    static ::spa::obs::Counter &SPA_OBS_CONCAT(ObsCnt_, __LINE__) =            \
+        ::spa::obs::Registry::global().counter(Name);                          \
+    SPA_OBS_CONCAT(ObsCnt_, __LINE__).add(N);                                  \
+  } while (0)
+
+/// Sets gauge \p Name to \p V (cold paths: phase boundaries, run ends).
+#define SPA_OBS_GAUGE_SET(Name, V)                                             \
+  ::spa::obs::Registry::global().gauge(Name).set(static_cast<double>(V))
+
+/// Raises gauge \p Name to \p V if larger (peak-style gauges).
+#define SPA_OBS_GAUGE_MAX(Name, V)                                             \
+  ::spa::obs::Registry::global().gauge(Name).max(static_cast<double>(V))
+
+/// Records one sample into histogram \p Name.
+#define SPA_OBS_HIST(Name, V)                                                  \
+  do {                                                                         \
+    static ::spa::obs::Histogram &SPA_OBS_CONCAT(ObsHist_, __LINE__) =         \
+        ::spa::obs::Registry::global().histogram(Name);                        \
+    SPA_OBS_CONCAT(ObsHist_, __LINE__).observe(static_cast<double>(V));        \
+  } while (0)
+
+#else
+
+#define SPA_OBS_COUNT(Name, N)                                                 \
+  do {                                                                         \
+  } while (0)
+#define SPA_OBS_GAUGE_SET(Name, V)                                             \
+  do {                                                                         \
+  } while (0)
+#define SPA_OBS_GAUGE_MAX(Name, V)                                             \
+  do {                                                                         \
+  } while (0)
+#define SPA_OBS_HIST(Name, V)                                                  \
+  do {                                                                         \
+  } while (0)
+
+#endif // SPA_OBS_ENABLED
+
+#endif // SPA_OBS_METRICS_H

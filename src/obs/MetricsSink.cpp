@@ -1,0 +1,55 @@
+//===- MetricsSink.cpp - Structured metrics export -------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/MetricsSink.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace spa::obs;
+
+std::string MetricsSink::formatValue(double V) {
+  char Buf[40];
+  if (std::isfinite(V) && V == std::floor(V) && std::fabs(V) < 1e15)
+    std::snprintf(Buf, sizeof(Buf), "%.0f", V);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}
+
+std::string MetricsSink::toJson(const Registry &R) {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Name, V] : R.snapshot()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  \"" + Name + "\": " + formatValue(V);
+  }
+  Out += "\n}\n";
+  return Out;
+}
+
+std::string MetricsSink::toKeyValueText(const Registry &R) {
+  std::string Out;
+  for (const auto &[Name, V] : R.snapshot())
+    Out += Name + "=" + formatValue(V) + "\n";
+  return Out;
+}
+
+bool MetricsSink::writeFile(const std::string &Path,
+                            const std::string &Content) {
+  if (Path == "-") {
+    std::fwrite(Content.data(), 1, Content.size(), stdout);
+    return true;
+  }
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t N = std::fwrite(Content.data(), 1, Content.size(), F);
+  bool Ok = N == Content.size();
+  return std::fclose(F) == 0 && Ok;
+}

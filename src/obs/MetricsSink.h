@@ -1,0 +1,45 @@
+//===- MetricsSink.h - Structured metrics export ---------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of the metrics registry: a flat JSON object for
+/// machine consumption (spa-analyze --metrics-out, the bench JSON
+/// records) and a stable `key=value` text form (spa-analyze --stats).
+/// Key order is lexicographic in both, so diffs between runs line up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_OBS_METRICSSINK_H
+#define SPA_OBS_METRICSSINK_H
+
+#include "obs/Metrics.h"
+
+#include <string>
+
+namespace spa {
+namespace obs {
+
+class MetricsSink {
+public:
+  /// Formats \p V the way both exports do: integral values without a
+  /// fraction, others with up to 9 significant digits.
+  static std::string formatValue(double V);
+
+  /// `{"name": value, ...}` over Registry::snapshot(), sorted by name.
+  static std::string toJson(const Registry &R);
+
+  /// One `name=value` line per snapshot leaf, sorted by name.
+  static std::string toKeyValueText(const Registry &R);
+
+  /// Writes \p Content to \p Path ("-" means stdout).  Returns false on
+  /// I/O failure.
+  static bool writeFile(const std::string &Path, const std::string &Content);
+};
+
+} // namespace obs
+} // namespace spa
+
+#endif // SPA_OBS_METRICSSINK_H

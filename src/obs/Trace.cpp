@@ -1,0 +1,77 @@
+//===- Trace.cpp - Hierarchical scoped tracer ------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <cstdio>
+
+using namespace spa::obs;
+
+Tracer &Tracer::global() {
+  static Tracer T;
+  return T;
+}
+
+void Tracer::begin(std::string Name) {
+  if (Enabled)
+    Events.push_back(TraceEvent{std::move(Name), 'B', nowMicros()});
+}
+
+void Tracer::end(std::string Name) {
+  if (Enabled)
+    Events.push_back(TraceEvent{std::move(Name), 'E', nowMicros()});
+}
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::string Tracer::toChromeJson() const {
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  for (const TraceEvent &E : Events) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n{\"name\":\"";
+    appendEscaped(Out, E.Name);
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  "\",\"cat\":\"spa\",\"ph\":\"%c\",\"ts\":%.3f,"
+                  "\"pid\":1,\"tid\":1}",
+                  E.Phase, E.TsMicros);
+    Out += Buf;
+  }
+  Out += "\n]}\n";
+  return Out;
+}

@@ -1,0 +1,104 @@
+//===- Trace.h - Hierarchical scoped tracer --------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII phase tracing.  A TraceScope records a begin event at
+/// construction and the matching end event at destruction, so nesting
+/// scopes (pre-analysis -> def/use -> dep-build -> fixpoint, with
+/// per-procedure spans inside the dependency builder) yields a balanced,
+/// hierarchical span tree.  The Tracer serializes it as Chrome
+/// trace-event JSON (the chrome://tracing / Perfetto format).
+///
+/// Recording is off by default: an inactive TraceScope costs one branch.
+/// Drivers that pass --trace-out enable the tracer before analysis runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_OBS_TRACE_H
+#define SPA_OBS_TRACE_H
+
+#include "obs/Metrics.h" // SPA_OBS_CONCAT
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace spa {
+namespace obs {
+
+/// One begin ('B') or end ('E') event, timestamped in microseconds since
+/// the tracer's epoch.
+struct TraceEvent {
+  std::string Name;
+  char Phase; ///< 'B' or 'E'.
+  double TsMicros;
+};
+
+/// Process-wide event collector (single-threaded, like the analyzer).
+class Tracer {
+public:
+  static Tracer &global();
+
+  void enable() { Enabled = true; }
+  void disable() { Enabled = false; }
+  bool enabled() const { return Enabled; }
+
+  void begin(std::string Name);
+  void end(std::string Name);
+
+  void clear() { Events.clear(); }
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+  /// Serializes the recorded events as Chrome trace-event JSON
+  /// ({"traceEvents": [...]}), loadable in chrome://tracing.
+  std::string toChromeJson() const;
+
+private:
+  Tracer() : Epoch(std::chrono::steady_clock::now()) {}
+  double nowMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - Epoch)
+        .count();
+  }
+
+  bool Enabled = false;
+  std::chrono::steady_clock::time_point Epoch;
+  std::vector<TraceEvent> Events;
+};
+
+/// RAII span: begin on construction, end on destruction.  An empty name
+/// or a disabled tracer makes the scope inert.
+class TraceScope {
+public:
+  explicit TraceScope(std::string Name) {
+    if (!Name.empty() && Tracer::global().enabled()) {
+      N = std::move(Name);
+      Tracer::global().begin(N);
+    }
+  }
+  ~TraceScope() {
+    if (!N.empty())
+      Tracer::global().end(std::move(N));
+  }
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+private:
+  std::string N;
+};
+
+} // namespace obs
+} // namespace spa
+
+/// Opens a span named by \p NameExpr for the rest of the enclosing
+/// scope.  \p NameExpr is evaluated only when the tracer is recording,
+/// so dynamic names (per-procedure spans) cost nothing otherwise.
+#define SPA_OBS_TRACE(NameExpr)                                                \
+  ::spa::obs::TraceScope SPA_OBS_CONCAT(ObsTrace_, __LINE__)(                  \
+      ::spa::obs::Tracer::global().enabled() ? std::string(NameExpr)           \
+                                             : std::string())
+
+#endif // SPA_OBS_TRACE_H

@@ -6,6 +6,8 @@
 
 #include "oct/OctAnalysis.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Resource.h"
 #include "support/WorkList.h"
 
@@ -635,6 +637,12 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
     bool DoWiden =
         Widen[C.value()] && ChangeCount[C.value()] >= Opts.WideningDelay;
     bool Hard = ChangeCount[C.value()] >= HardLimit;
+    if (Hard)
+      SPA_OBS_COUNT("oct.hard_tops", 1);
+    else if (DoWiden)
+      SPA_OBS_COUNT("fixpoint.widenings", 1);
+    else
+      SPA_OBS_COUNT("fixpoint.joins", 1);
     bool Changed = R.Post[C.value()].mergeWith(
         Out, [&](Oct &A, const Oct &B) {
           Oct New = Hard ? Oct::top(A.numVars())
@@ -655,6 +663,8 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
   for (const OctState &S : R.Post)
     R.StateEntries += S.size();
   R.Seconds = Clock.seconds();
+  SPA_OBS_COUNT("fixpoint.visits", R.Visits);
+  SPA_OBS_GAUGE_SET("fixpoint.state_entries", R.StateEntries);
   return R;
 }
 
@@ -742,10 +752,17 @@ OctSparseResult runOctSparse(const Program &Prog,
       }
       Oct New = Old ? Old->join(V) : V;
       if (CutsCycle && Old) {
-        if (Count >= HardLimit)
+        if (Count >= HardLimit) {
+          SPA_OBS_COUNT("oct.hard_tops", 1);
           New = Oct::top(New.numVars());
-        else if (Count >= Opts.WideningDelay)
+        } else if (Count >= Opts.WideningDelay) {
+          SPA_OBS_COUNT("fixpoint.widenings", 1);
           New = Old->widen(New);
+        } else {
+          SPA_OBS_COUNT("fixpoint.joins", 1);
+        }
+      } else {
+        SPA_OBS_COUNT("fixpoint.joins", 1);
       }
       if (Old && New == *Old)
         return;
@@ -761,6 +778,8 @@ OctSparseResult runOctSparse(const Program &Prog,
   for (const OctState &S : R.Out)
     R.StateEntries += S.size();
   R.Seconds = Clock.seconds();
+  SPA_OBS_COUNT("fixpoint.visits", R.Visits);
+  SPA_OBS_GAUGE_SET("fixpoint.state_entries", R.StateEntries);
   return R;
 }
 
@@ -801,32 +820,61 @@ Interval OctRun::denseIntervalAt(PointId P, LocId L) const {
 }
 
 OctRun spa::runOctAnalysis(const Program &Prog, const OctOptions &Opts) {
+  SPA_OBS_TRACE("oct-analyze");
+  SPA_OBS_GAUGE_SET("program.points", Prog.numPoints());
+  SPA_OBS_GAUGE_SET("program.locs", Prog.numLocs());
+  SPA_OBS_GAUGE_SET("program.funcs", Prog.numFuncs());
+
   Timer PreClock;
   SemanticsOptions Sem;
-  OctRun Run{runPreAnalysis(Prog, Sem), Packing{}, DefUseInfo{},
-             {},                        {},        {},
-             0,                         0};
+  OctRun Run{[&] {
+               SPA_OBS_TRACE("pre-analysis");
+               return runPreAnalysis(Prog, Sem);
+             }(),
+             Packing{}, DefUseInfo{}, {}, {}, {}, 0, 0};
   Run.PreSeconds = PreClock.seconds();
+  SPA_OBS_GAUGE_SET("phase.pre.seconds", Run.PreSeconds);
 
   Timer DuClock;
-  Run.Packs = computePacking(Prog, Run.Pre, Opts.MaxPackSize);
-  Run.DU = computeOctDefUse(Prog, Run.Pre, Run.Packs);
+  {
+    SPA_OBS_TRACE("packing+def-use");
+    Run.Packs = computePacking(Prog, Run.Pre, Opts.MaxPackSize);
+    Run.DU = computeOctDefUse(Prog, Run.Pre, Run.Packs);
+  }
   Run.DefUseSeconds = DuClock.seconds();
+  SPA_OBS_GAUGE_SET("phase.defuse.seconds", Run.DefUseSeconds);
+  SPA_OBS_GAUGE_SET("oct.packs", Run.Packs.numPacks());
+  SPA_OBS_GAUGE_SET("oct.groups", Run.Packs.numGroups());
+  SPA_OBS_GAUGE_SET("oct.avg_group_size", Run.Packs.avgGroupSize());
+  SPA_OBS_GAUGE_SET("defuse.avg_def_size", Run.DU.avgSemanticDefSize());
+  SPA_OBS_GAUGE_SET("defuse.avg_use_size", Run.DU.avgSemanticUseSize());
 
   switch (Opts.Engine) {
   case EngineKind::Vanilla:
-  case EngineKind::Base:
+  case EngineKind::Base: {
+    SPA_OBS_TRACE("fixpoint");
     Run.Dense = runOctDense(Prog, Run.Pre, Run.Packs, Run.DU,
                             Opts.Engine == EngineKind::Base, Opts);
     break;
+  }
   case EngineKind::Sparse: {
     DepOptions Dep = Opts.Dep;
     Dep.NumLocsOverride = Run.Packs.numPacks();
-    Run.Graph = buildDepGraph(Prog, Run.Pre.CG, Run.DU, Dep);
+    {
+      SPA_OBS_TRACE("dep-build");
+      Run.Graph = buildDepGraph(Prog, Run.Pre.CG, Run.DU, Dep);
+    }
+    SPA_OBS_TRACE("fixpoint");
     Run.Sparse =
         runOctSparse(Prog, Run.Pre, Run.Packs, *Run.Graph, Opts);
     break;
   }
   }
+
+  SPA_OBS_GAUGE_SET("phase.depbuild.seconds",
+                    Run.Graph ? Run.Graph->BuildSeconds : 0);
+  SPA_OBS_GAUGE_SET("phase.fix.seconds", Run.fixSeconds());
+  SPA_OBS_GAUGE_SET("phase.total.seconds", Run.depSeconds() + Run.fixSeconds());
+  SPA_OBS_GAUGE_MAX("mem.peak_rss_kib", currentPeakRssKiB());
   return Run;
 }

@@ -6,6 +6,8 @@
 
 #include "oct/Octagon.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <sstream>
@@ -41,6 +43,7 @@ void Oct::close() {
   uint32_t D = 2 * N;
   if (D == 0)
     return;
+  SPA_OBS_COUNT("oct.closures", 1);
 
   // Iterate (shortest paths; strengthening; integer tightening) to a
   // fixpoint.  Matrices are at most 20x20 (pack size cap), so the extra

@@ -19,6 +19,17 @@
 
 using namespace spa;
 
+namespace {
+
+/// Payload ceiling in doubles.  The parent drains the pipe only after
+/// the child exits, so the whole payload must fit in the kernel pipe
+/// buffer (64 KiB by default on Linux); 8000 doubles plus the length
+/// prefix stays under it.  Bulk data (e.g. bench JSON records) goes
+/// through files, not the pipe.
+constexpr size_t MaxPayloadDoubles = 8000;
+
+} // namespace
+
 uint64_t spa::currentPeakRssKiB() {
   FILE *F = std::fopen("/proc/self/status", "r");
   if (!F)
@@ -52,18 +63,26 @@ ChildRunResult spa::runInChild(const std::function<std::vector<double>()> &Job,
   }
 
   if (Child == 0) {
-    // Child: run the job, ship the payload doubles through the pipe.
+    // Child: run the job, ship the length-prefixed payload through the
+    // pipe.  Writes loop because payloads may exceed PIPE_BUF.
     close(Pipe[0]);
     std::vector<double> Payload = Job();
-    uint32_t Count = static_cast<uint32_t>(Payload.size());
-    if (Count > 8)
-      Count = 8;
-    ssize_t Ignored = write(Pipe[1], &Count, sizeof(Count));
-    (void)Ignored;
-    for (uint32_t I = 0; I < Count; ++I) {
-      Ignored = write(Pipe[1], &Payload[I], sizeof(double));
-      (void)Ignored;
-    }
+    uint32_t Count = static_cast<uint32_t>(
+        Payload.size() < MaxPayloadDoubles ? Payload.size()
+                                           : MaxPayloadDoubles);
+    auto WriteAll = [&](const void *Data, size_t Len) {
+      const char *P = static_cast<const char *>(Data);
+      while (Len > 0) {
+        ssize_t N = write(Pipe[1], P, Len);
+        if (N <= 0)
+          _exit(1);
+        P += N;
+        Len -= static_cast<size_t>(N);
+      }
+    };
+    WriteAll(&Count, sizeof(Count));
+    if (Count > 0)
+      WriteAll(Payload.data(), Count * sizeof(double));
     close(Pipe[1]);
     _exit(0);
   }
@@ -96,16 +115,21 @@ ChildRunResult spa::runInChild(const std::function<std::vector<double>()> &Job,
 
   if (Exited && WIFEXITED(Status) && WEXITSTATUS(Status) == 0) {
     uint32_t Count = 0;
-    if (read(Pipe[0], &Count, sizeof(Count)) == sizeof(Count) && Count <= 8) {
+    if (read(Pipe[0], &Count, sizeof(Count)) == sizeof(Count) &&
+        Count <= MaxPayloadDoubles) {
       Result.Ok = true;
-      for (uint32_t I = 0; I < Count; ++I) {
-        double D = 0;
-        if (read(Pipe[0], &D, sizeof(D)) != sizeof(D)) {
+      Result.Payload.resize(Count);
+      char *P = reinterpret_cast<char *>(Result.Payload.data());
+      size_t Left = Count * sizeof(double);
+      while (Left > 0) {
+        ssize_t N = read(Pipe[0], P, Left);
+        if (N <= 0) {
           Result.Ok = false;
+          Result.Payload.clear();
           break;
         }
-        Result.Payload[I] = D;
-        Result.PayloadCount = static_cast<int>(I) + 1;
+        P += N;
+        Left -= static_cast<size_t>(N);
       }
     }
   }

@@ -45,8 +45,10 @@ struct ChildRunResult {
   bool TimedOut = false;   ///< Child was killed at the limit.
   double Seconds = 0.0;    ///< Wall-clock time of the child.
   uint64_t PeakRssKiB = 0; ///< Child's ru_maxrss (KiB on Linux).
-  double Payload[8] = {};  ///< Up to 8 doubles reported back by the child.
-  int PayloadCount = 0;
+  /// Doubles reported back by the child, length-prefixed over the pipe
+  /// (no fixed cap, so rich per-run metric payloads survive the fork
+  /// boundary).
+  std::vector<double> Payload;
 };
 
 /// Runs \p Job in a forked child with a wall-clock limit of

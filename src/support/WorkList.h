@@ -15,6 +15,8 @@
 #ifndef SPA_SUPPORT_WORKLIST_H
 #define SPA_SUPPORT_WORKLIST_H
 
+#include "obs/Metrics.h"
+
 #include <cassert>
 #include <cstdint>
 #include <queue>
@@ -36,9 +38,12 @@ public:
   /// Enqueues \p Item unless it is already pending.
   void push(uint32_t Item) {
     assert(Item < InQueue.size() && "worklist item out of range");
-    if (InQueue[Item])
+    if (InQueue[Item]) {
+      SPA_OBS_COUNT("fixpoint.worklist.deduped", 1);
       return;
+    }
     InQueue[Item] = true;
+    SPA_OBS_COUNT("fixpoint.worklist.pushes", 1);
     Heap.push(Entry{Priority[Item], Item});
   }
 
@@ -48,6 +53,7 @@ public:
     uint32_t Item = Heap.top().Item;
     Heap.pop();
     InQueue[Item] = false;
+    SPA_OBS_COUNT("fixpoint.worklist.pops", 1);
     return Item;
   }
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Tier-2 bench smoke: end-to-end check that the observability outputs
+# carry the metric keys the docs promise.
+#
+#   bench_smoke.sh <spa-analyze> <spa-bench-report> <table2_interval> <examples-dir>
+#
+# Exit 77 = skip (instrumentation compiled out with SPA_OBS=OFF).
+set -u
+
+ANALYZE=$1
+REPORT=$2
+TABLE2=$3
+EXAMPLES=$4
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+if ! "$ANALYZE" --stats "$EXAMPLES/loop.spa" | grep -q '='; then
+  echo "metrics compiled out (SPA_OBS=OFF); skipping"
+  exit 77
+fi
+
+require_keys() {
+  local file=$1
+  shift
+  for key in "$@"; do
+    if ! grep -q "\"$key\"" "$file"; then
+      echo "FAIL: $file is missing metric $key"
+      exit 1
+    fi
+  done
+}
+
+for ex in loop pointers; do
+  "$ANALYZE" --domain=interval --metrics-out="$WORK/$ex-i.json" \
+    --trace-out="$WORK/$ex-i-trace.json" "$EXAMPLES/$ex.spa" \
+    > /dev/null || exit 1
+  require_keys "$WORK/$ex-i.json" \
+    phase.pre.seconds phase.defuse.seconds phase.depbuild.seconds \
+    phase.fix.seconds phase.total.seconds fixpoint.worklist.pops \
+    fixpoint.visits depgraph.edges depgraph.nodes program.points \
+    program.locs mem.peak_rss_kib
+  if ! grep -q '"traceEvents"' "$WORK/$ex-i-trace.json"; then
+    echo "FAIL: $ex trace output lacks traceEvents"
+    exit 1
+  fi
+
+  "$ANALYZE" --domain=octagon --metrics-out="$WORK/$ex-o.json" \
+    "$EXAMPLES/$ex.spa" > /dev/null || exit 1
+  require_keys "$WORK/$ex-o.json" \
+    phase.total.seconds oct.closures oct.packs fixpoint.worklist.pops \
+    mem.peak_rss_kib
+done
+
+# Table 2 must append one JSON record per (benchmark, engine) cell.
+SPA_SCALE=0.02 SPA_TIME_LIMIT=10 SPA_BENCH_JSON="$WORK/records.jsonl" \
+  "$TABLE2" > /dev/null || exit 1
+"$REPORT" --complete-cells \
+  --require=phase.total.seconds,fixpoint.worklist.pops,mem.peak_rss_kib \
+  "$WORK/records.jsonl" || exit 1
+
+echo "bench smoke OK"

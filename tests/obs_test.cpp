@@ -1,0 +1,333 @@
+//===- obs_test.cpp - Metrics registry, tracer, and export tests ----------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability subsystem: instrument aggregation, registry reset
+/// semantics, balanced trace spans, both serialization formats (checked
+/// by parsing them back), and the metrics a real analysis run leaves
+/// behind per engine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "obs/Metrics.h"
+#include "obs/MetricsSink.h"
+#include "obs/Trace.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+
+using namespace spa;
+using namespace spa::obs;
+
+namespace {
+
+const char *LoopProgram = R"(
+global g = 5;
+fun inc(x) {
+  return x + 1;
+}
+fun main() {
+  i = 0;
+  while (i < g) {
+    i = inc(i);
+  }
+  return i;
+}
+)";
+
+/// Parses a flat JSON object of string keys and numeric values — the
+/// exact shape MetricsSink::toJson emits.  Returns false on anything
+/// unexpected, so the test also pins the format.
+bool parseFlatJson(const std::string &S, std::map<std::string, double> &Out) {
+  size_t Pos = 0;
+  auto SkipWs = [&] {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  };
+  auto Eat = [&](char C) {
+    SkipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  };
+  auto String = [&](std::string &R) {
+    if (!Eat('"'))
+      return false;
+    R.clear();
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\' && Pos + 1 < S.size())
+        ++Pos;
+      R += S[Pos++];
+    }
+    return Eat('"');
+  };
+  auto Number = [&](double &R) {
+    SkipWs();
+    size_t Start = Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            std::strchr("+-.eE", S[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    R = std::atof(S.substr(Start, Pos - Start).c_str());
+    return true;
+  };
+
+  if (!Eat('{'))
+    return false;
+  if (Eat('}')) {
+    SkipWs();
+    return Pos >= S.size() || S[Pos] == '\n';
+  }
+  do {
+    std::string K;
+    double V;
+    if (!String(K) || !Eat(':') || !Number(V))
+      return false;
+    Out[K] = V;
+  } while (Eat(','));
+  return Eat('}');
+}
+
+/// Fresh-slate fixture: both runs and unit tests share the process-wide
+/// registry and tracer, so each test starts from zero.
+class ObsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Registry::global().reset();
+    Tracer::global().disable();
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(ObsTest, CounterAggregatesAcrossLookups) {
+  Counter &A = Registry::global().counter("test.counter");
+  A.add();
+  A.add(41);
+  // A second lookup by the same name must alias the same instrument.
+  EXPECT_EQ(Registry::global().counter("test.counter").value(), 42u);
+  EXPECT_EQ(Registry::global().value("test.counter"), 42.0);
+}
+
+TEST_F(ObsTest, GaugeSetAndMax) {
+  Gauge &G = Registry::global().gauge("test.gauge");
+  G.set(7);
+  EXPECT_EQ(G.value(), 7.0);
+  G.max(3); // Smaller: no change.
+  EXPECT_EQ(G.value(), 7.0);
+  G.max(11);
+  EXPECT_EQ(Registry::global().value("test.gauge"), 11.0);
+}
+
+TEST_F(ObsTest, HistogramStatsAndSnapshotLeaves) {
+  Histogram &H = Registry::global().histogram("test.hist");
+  H.observe(1);
+  H.observe(4);
+  H.observe(16);
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_EQ(H.sum(), 21.0);
+  EXPECT_EQ(H.min(), 1.0);
+  EXPECT_EQ(H.max(), 16.0);
+  EXPECT_EQ(H.avg(), 7.0);
+  // Snapshot expands the histogram into flat leaves.
+  EXPECT_EQ(Registry::global().value("test.hist.count"), 3.0);
+  EXPECT_EQ(Registry::global().value("test.hist.sum"), 21.0);
+  EXPECT_EQ(Registry::global().value("test.hist.avg"), 7.0);
+}
+
+TEST_F(ObsTest, ResetZeroesButKeepsReferences) {
+  Counter &C = Registry::global().counter("test.reset");
+  C.add(9);
+  Registry::global().reset();
+  EXPECT_EQ(C.value(), 0u); // Zeroed...
+  C.add(2);                 // ...but the cached reference still works,
+  EXPECT_EQ(Registry::global().value("test.reset"), 2.0);
+}
+
+TEST_F(ObsTest, MacrosFeedTheGlobalRegistry) {
+  for (int I = 0; I < 5; ++I)
+    SPA_OBS_COUNT("test.macro.counter", 2);
+  SPA_OBS_GAUGE_SET("test.macro.gauge", 13);
+#if SPA_OBS_ENABLED
+  EXPECT_EQ(Registry::global().value("test.macro.counter"), 10.0);
+  EXPECT_EQ(Registry::global().value("test.macro.gauge"), 13.0);
+#else
+  EXPECT_EQ(Registry::global().snapshot().size(), 0u);
+#endif
+}
+
+TEST_F(ObsTest, TraceScopesBalanceAndNest) {
+  Tracer::global().enable();
+  {
+    TraceScope Outer("outer");
+    {
+      TraceScope Inner("inner");
+    }
+    {
+      TraceScope Second("second");
+    }
+  }
+  const auto &Events = Tracer::global().events();
+  ASSERT_EQ(Events.size(), 6u);
+
+  // Every begin must close in LIFO order (what chrome://tracing requires
+  // of 'B'/'E' pairs on one thread).
+  std::vector<std::string> Stack;
+  for (const TraceEvent &E : Events) {
+    ASSERT_TRUE(E.Phase == 'B' || E.Phase == 'E');
+    if (E.Phase == 'B') {
+      Stack.push_back(E.Name);
+    } else {
+      ASSERT_FALSE(Stack.empty());
+      EXPECT_EQ(Stack.back(), E.Name);
+      Stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(Stack.empty());
+  // Timestamps are monotone.
+  for (size_t I = 1; I < Events.size(); ++I)
+    EXPECT_GE(Events[I].TsMicros, Events[I - 1].TsMicros);
+}
+
+TEST_F(ObsTest, DisabledTracerRecordsNothing) {
+  {
+    TraceScope S("ignored");
+    SPA_OBS_TRACE("also ignored");
+  }
+  EXPECT_TRUE(Tracer::global().events().empty());
+}
+
+TEST_F(ObsTest, ChromeJsonIsBalancedAndEscaped) {
+  Tracer::global().enable();
+  {
+    TraceScope S("name \"with\\ quotes");
+  }
+  std::string Json = Tracer::global().toChromeJson();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("name \\\"with\\\\ quotes"), std::string::npos);
+
+  size_t Begins = 0, Ends = 0;
+  for (size_t P = Json.find("\"ph\":\"B\""); P != std::string::npos;
+       P = Json.find("\"ph\":\"B\"", P + 1))
+    ++Begins;
+  for (size_t P = Json.find("\"ph\":\"E\""); P != std::string::npos;
+       P = Json.find("\"ph\":\"E\"", P + 1))
+    ++Ends;
+  EXPECT_EQ(Begins, 1u);
+  EXPECT_EQ(Ends, 1u);
+}
+
+TEST_F(ObsTest, MetricsJsonRoundTrips) {
+  Registry::global().counter("rt.counter").add(123);
+  Registry::global().gauge("rt.gauge").set(4.5);
+  Registry::global().histogram("rt.hist").observe(8);
+
+  std::map<std::string, double> Parsed;
+  ASSERT_TRUE(parseFlatJson(MetricsSink::toJson(Registry::global()), Parsed));
+
+  auto Snapshot = Registry::global().snapshot();
+  ASSERT_EQ(Parsed.size(), Snapshot.size());
+  for (const auto &[Name, Value] : Snapshot) {
+    ASSERT_TRUE(Parsed.count(Name)) << Name;
+    EXPECT_DOUBLE_EQ(Parsed[Name], Value) << Name;
+  }
+}
+
+TEST_F(ObsTest, KeyValueTextIsSortedAndStable) {
+  // Instruments registered by other tests stay in the registry (reset
+  // only zeroes values), so check line format and relative order rather
+  // than the exact text.
+  Registry::global().counter("b.counter").add(2);
+  Registry::global().gauge("a.gauge").set(1);
+  std::string Text = MetricsSink::toKeyValueText(Registry::global());
+  size_t A = Text.find("a.gauge=1\n");
+  size_t B = Text.find("b.counter=2\n");
+  ASSERT_NE(A, std::string::npos);
+  ASSERT_NE(B, std::string::npos);
+  EXPECT_LT(A, B);
+}
+
+TEST_F(ObsTest, FormatValueDistinguishesIntegralAndReal) {
+  EXPECT_EQ(MetricsSink::formatValue(42), "42");
+  EXPECT_EQ(MetricsSink::formatValue(0), "0");
+  EXPECT_EQ(MetricsSink::formatValue(2.5), "2.5");
+}
+
+#if SPA_OBS_ENABLED
+
+TEST_F(ObsTest, SparseRunPopulatesCoreMetrics) {
+  std::unique_ptr<Program> Prog = test::build(LoopProgram);
+  test::analyze(*Prog, EngineKind::Sparse);
+
+  Registry &R = Registry::global();
+  EXPECT_GT(R.value("fixpoint.worklist.pops"), 0.0);
+  EXPECT_GT(R.value("fixpoint.visits"), 0.0);
+  EXPECT_GT(R.value("depgraph.nodes"), 0.0);
+  EXPECT_GT(R.value("depgraph.edges"), 0.0);
+  EXPECT_GT(R.value("program.points"), 0.0);
+  EXPECT_GT(R.value("program.locs"), 0.0);
+  EXPECT_GT(R.value("mem.peak_rss_kib"), 0.0);
+  EXPECT_GE(R.value("phase.total.seconds"),
+            R.value("phase.fix.seconds"));
+}
+
+TEST_F(ObsTest, VanillaRunLeavesDepGraphMetricsZero) {
+  std::unique_ptr<Program> Prog = test::build(LoopProgram);
+  test::analyze(*Prog, EngineKind::Vanilla);
+
+  Registry &R = Registry::global();
+  // Dense engines never build the dependency graph.
+  EXPECT_EQ(R.value("depgraph.nodes"), 0.0);
+  EXPECT_EQ(R.value("depgraph.edges"), 0.0);
+  EXPECT_EQ(R.value("phase.depbuild.seconds"), 0.0);
+  // But the shared fixpoint machinery still reports.
+  EXPECT_GT(R.value("fixpoint.worklist.pops"), 0.0);
+  EXPECT_GT(R.value("fixpoint.visits"), 0.0);
+}
+
+TEST_F(ObsTest, AnalyzeSpansBalanceWhenTracing) {
+  Tracer::global().enable();
+  std::unique_ptr<Program> Prog = test::build(LoopProgram);
+  test::analyze(*Prog, EngineKind::Sparse);
+
+  const auto &Events = Tracer::global().events();
+  ASSERT_FALSE(Events.empty());
+  int Depth = 0;
+  bool SawFixpoint = false;
+  for (const TraceEvent &E : Events) {
+    Depth += E.Phase == 'B' ? 1 : -1;
+    ASSERT_GE(Depth, 0);
+    SawFixpoint |= E.Name == "fixpoint";
+  }
+  EXPECT_EQ(Depth, 0);
+  EXPECT_TRUE(SawFixpoint);
+}
+
+#endif // SPA_OBS_ENABLED
+
+// The AnalysisRun phase accounting must partition the total: each phase
+// counted exactly once (PreSeconds and DefUseSeconds must not also be
+// inside depSeconds' graph-build share).
+TEST_F(ObsTest, TotalSecondsIsExactPhaseSum) {
+  std::unique_ptr<Program> Prog = test::build(LoopProgram);
+  for (EngineKind Engine :
+       {EngineKind::Vanilla, EngineKind::Base, EngineKind::Sparse}) {
+    AnalysisRun Run = test::analyze(*Prog, Engine);
+    EXPECT_DOUBLE_EQ(Run.totalSeconds(),
+                     Run.PreSeconds + Run.DefUseSeconds +
+                         Run.depBuildSeconds() + Run.fixSeconds());
+    EXPECT_DOUBLE_EQ(Run.depSeconds(), Run.PreSeconds + Run.DefUseSeconds +
+                                           Run.depBuildSeconds());
+  }
+}
+
+} // namespace

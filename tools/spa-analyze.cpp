@@ -21,7 +21,12 @@
 ///   --dump-deps                    dependency graph in Graphviz dot
 ///   --run[=seed]                   execute concretely (input() seed)
 ///   --time-limit=SECONDS           analysis wall-clock budget
-///   --stats                        phase timing and sparsity statistics
+///   --stats                        metrics registry dump (key=value lines)
+///   --metrics-out=FILE             write the metrics registry as JSON
+///   --trace-out=FILE               write Chrome trace-event JSON spans
+///
+/// The metric taxonomy and both output formats are documented in
+/// docs/OBSERVABILITY.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +35,8 @@
 #include "core/Export.h"
 #include "interp/Interp.h"
 #include "ir/Builder.h"
+#include "obs/MetricsSink.h"
+#include "obs/Trace.h"
 #include "oct/OctAnalysis.h"
 
 #include <cstdio>
@@ -56,6 +63,8 @@ struct CliOptions {
   bool Run = false;
   uint64_t RunSeed = 1;
   bool Stats = false;
+  std::string MetricsOut;
+  std::string TraceOut;
   double TimeLimitSec = 0;
 };
 
@@ -67,7 +76,8 @@ void usage() {
                "--dep=ssa|rd|chains|whole\n"
                "  --no-bypass --bdd --check --list --dump-cfg "
                "--dump-deps\n"
-               "  --run[=seed] --time-limit=N --stats\n");
+               "  --run[=seed] --time-limit=N --stats\n"
+               "  --metrics-out=FILE --trace-out=FILE   (\"-\" = stdout)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -134,6 +144,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.TimeLimitSec = std::atof(V);
     } else if (A == "--stats") {
       Opts.Stats = true;
+    } else if (const char *V = Value("--metrics-out=")) {
+      Opts.MetricsOut = V;
+    } else if (const char *V = Value("--trace-out=")) {
+      Opts.TraceOut = V;
     } else if (A == "--help" || A == "-h") {
       return false;
     } else if (!A.empty() && A[0] == '-' && A != "-") {
@@ -164,6 +178,30 @@ std::string readInput(const std::string &Path) {
   return OS.str();
 }
 
+/// Emits --stats / --metrics-out / --trace-out from the global registry
+/// and tracer.  Shared by the interval and octagon paths.
+int emitObservability(const CliOptions &Cli) {
+  if (Cli.Stats)
+    std::fputs(
+        obs::MetricsSink::toKeyValueText(obs::Registry::global()).c_str(),
+        stdout);
+  int Rc = 0;
+  if (!Cli.MetricsOut.empty() &&
+      !obs::MetricsSink::writeFile(Cli.MetricsOut,
+                                   obs::MetricsSink::toJson(
+                                       obs::Registry::global()))) {
+    std::fprintf(stderr, "error: cannot write %s\n", Cli.MetricsOut.c_str());
+    Rc = 1;
+  }
+  if (!Cli.TraceOut.empty() &&
+      !obs::MetricsSink::writeFile(Cli.TraceOut,
+                                   obs::Tracer::global().toChromeJson())) {
+    std::fprintf(stderr, "error: cannot write %s\n", Cli.TraceOut.c_str());
+    Rc = 1;
+  }
+  return Rc;
+}
+
 int runOctagonMode(const Program &Prog, const CliOptions &Cli) {
   OctOptions Opts;
   Opts.Engine = Cli.Engine;
@@ -177,12 +215,8 @@ int runOctagonMode(const Program &Prog, const CliOptions &Cli) {
     std::printf("analysis exceeded the time limit\n");
     return 2;
   }
-  if (Cli.Stats)
-    std::printf("octagon: dep %.3fs, fix %.3fs, %u packs (%u groups, avg "
-                "size %.1f), avg |D(c)|=%.2f |U(c)|=%.2f\n",
-                Run.depSeconds(), Run.fixSeconds(), Run.Packs.numPacks(),
-                Run.Packs.numGroups(), Run.Packs.avgGroupSize(),
-                Run.DU.avgSemanticDefSize(), Run.DU.avgSemanticUseSize());
+  if (int Rc = emitObservability(Cli))
+    return Rc;
 
   // Per-function exit intervals via singleton-pack projection.
   for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
@@ -219,6 +253,9 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  if (!Cli.TraceOut.empty())
+    obs::Tracer::global().enable();
+
   BuildResult Built = buildProgramFromSource(readInput(Cli.Path));
   if (!Built.ok()) {
     std::fprintf(stderr, "error: %s\n", Built.Error.c_str());
@@ -242,19 +279,8 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  if (Cli.Stats) {
-    std::printf("points=%zu locs=%zu pre=%.3fs defuse=%.3fs",
-                Prog.numPoints(), Prog.numLocs(), Run.PreSeconds,
-                Run.DefUseSeconds);
-    if (Run.Graph)
-      std::printf(" depbuild=%.3fs edges=%llu phis=%zu",
-                  Run.Graph->BuildSeconds,
-                  static_cast<unsigned long long>(
-                      Run.Graph->Edges->edgeCount()),
-                  Run.Graph->Phis.size());
-    std::printf(" fix=%.3fs avgD=%.2f avgU=%.2f\n", Run.fixSeconds(),
-                Run.DU.avgSemanticDefSize(), Run.DU.avgSemanticUseSize());
-  }
+  if (int Rc = emitObservability(Cli))
+    return Rc;
 
   if (Cli.DumpCfg)
     std::fputs(exportSupergraphDot(Prog, Run.Pre.CG).c_str(), stdout);

@@ -1,0 +1,267 @@
+//===- spa-bench-report.cpp - Bench JSON record reporter -----------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Consumes the JSON-lines records the bench harnesses append to
+/// $SPA_BENCH_JSON (one object per analyzer run; see
+/// docs/OBSERVABILITY.md) and either summarizes them or validates them:
+///
+///   spa-bench-report <records.jsonl>
+///       table of bench/engine cells with headline metrics
+///   spa-bench-report --require=k1,k2,... <records.jsonl>
+///       exit 1 unless every record's metrics carry all listed keys
+///   spa-bench-report --complete-cells <records.jsonl>
+///       exit 1 unless every benchmark has a record for every engine
+///       seen anywhere in the file (a record per table cell)
+///
+/// Exit code 77 means "nothing to check" (the build has SPA_OBS=OFF and
+/// metrics are compiled out); ctest treats it as a skip.
+///
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// One parsed record line.
+struct Record {
+  std::string Bench;
+  std::string Engine;
+  bool Ok = false;
+  std::map<std::string, double> Metrics;
+};
+
+/// Minimal scanner for the flat JSON the bench harnesses emit.  Only
+/// handles what appendBenchRecord produces: one object with string,
+/// number, and one nested flat-object ("metrics") members.
+class Scanner {
+public:
+  explicit Scanner(const std::string &S) : S(S) {}
+
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char C) {
+    skipWs();
+    return Pos < S.size() && S[Pos] == C;
+  }
+
+  bool string(std::string &Out) {
+    if (!eat('"'))
+      return false;
+    Out.clear();
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\' && Pos + 1 < S.size())
+        ++Pos;
+      Out += S[Pos++];
+    }
+    return eat('"');
+  }
+
+  bool number(double &Out) {
+    skipWs();
+    size_t Start = Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            std::strchr("+-.eE", S[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out = std::atof(S.substr(Start, Pos - Start).c_str());
+    return true;
+  }
+
+  /// `{"k": num, ...}` with no nesting.
+  bool flatObject(std::map<std::string, double> &Out) {
+    if (!eat('{'))
+      return false;
+    if (eat('}'))
+      return true;
+    do {
+      std::string K;
+      double V;
+      if (!string(K) || !eat(':') || !number(V))
+        return false;
+      Out[K] = V;
+    } while (eat(','));
+    return eat('}');
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+bool parseRecord(const std::string &Line, Record &R) {
+  Scanner Sc(Line);
+  if (!Sc.eat('{'))
+    return false;
+  do {
+    std::string Key;
+    if (!Sc.string(Key) || !Sc.eat(':'))
+      return false;
+    if (Key == "bench") {
+      if (!Sc.string(R.Bench))
+        return false;
+    } else if (Key == "engine") {
+      if (!Sc.string(R.Engine))
+        return false;
+    } else if (Key == "ok") {
+      double V;
+      if (!Sc.number(V))
+        return false;
+      R.Ok = V != 0;
+    } else if (Key == "metrics") {
+      if (!Sc.flatObject(R.Metrics))
+        return false;
+    } else {
+      return false; // Unknown member: not one of our records.
+    }
+  } while (Sc.eat(','));
+  return Sc.eat('}');
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: spa-bench-report [--require=k1,k2,...] "
+               "[--complete-cells] <records.jsonl>\n");
+}
+
+double metricOr(const Record &R, const char *Key, double Default = 0) {
+  auto It = R.Metrics.find(Key);
+  return It == R.Metrics.end() ? Default : It->second;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Require;
+  bool CompleteCells = false;
+  std::string Path;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--require=", 0) == 0) {
+      std::stringstream SS(A.substr(std::strlen("--require=")));
+      std::string K;
+      while (std::getline(SS, K, ','))
+        if (!K.empty())
+          Require.push_back(K);
+    } else if (A == "--complete-cells") {
+      CompleteCells = true;
+    } else if (A == "--help" || A == "-h" ||
+               (!A.empty() && A[0] == '-' && A != "-")) {
+      usage();
+      return 1;
+    } else if (Path.empty()) {
+      Path = A;
+    } else {
+      usage();
+      return 1;
+    }
+  }
+  if (Path.empty()) {
+    usage();
+    return 1;
+  }
+
+#if !SPA_OBS_ENABLED
+  // Without instrumentation the harnesses write empty metrics; there is
+  // nothing meaningful to require or report.
+  std::fprintf(stderr, "spa-bench-report: built with SPA_OBS=OFF; "
+                       "skipping\n");
+  return 77;
+#endif
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    return 1;
+  }
+
+  std::vector<Record> Records;
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    Record R;
+    if (!parseRecord(Line, R)) {
+      std::fprintf(stderr, "error: %s:%zu: malformed record\n", Path.c_str(),
+                   LineNo);
+      return 1;
+    }
+    Records.push_back(std::move(R));
+  }
+  if (Records.empty()) {
+    std::fprintf(stderr, "error: %s: no records\n", Path.c_str());
+    return 1;
+  }
+
+  std::printf("%-24s %-14s %3s %9s %10s %10s %9s\n", "bench", "engine", "ok",
+              "total(s)", "pops", "dep-edges", "rss(KiB)");
+  for (const Record &R : Records)
+    std::printf("%-24s %-14s %3s %9.3f %10.0f %10.0f %9.0f\n",
+                R.Bench.c_str(), R.Engine.c_str(), R.Ok ? "yes" : "no",
+                metricOr(R, "phase.total.seconds"),
+                metricOr(R, "fixpoint.worklist.pops"),
+                metricOr(R, "depgraph.edges"),
+                metricOr(R, "mem.peak_rss_kib"));
+
+  int Rc = 0;
+  if (!Require.empty()) {
+    for (const Record &R : Records) {
+      for (const std::string &K : Require) {
+        if (!R.Metrics.count(K)) {
+          std::fprintf(stderr,
+                       "FAIL: record (%s, %s) is missing metric %s\n",
+                       R.Bench.c_str(), R.Engine.c_str(), K.c_str());
+          Rc = 1;
+        }
+      }
+    }
+  }
+
+  if (CompleteCells) {
+    std::set<std::string> Engines;
+    std::map<std::string, std::set<std::string>> ByBench;
+    for (const Record &R : Records) {
+      Engines.insert(R.Engine);
+      ByBench[R.Bench].insert(R.Engine);
+    }
+    for (const auto &[Bench, Have] : ByBench) {
+      for (const std::string &E : Engines) {
+        if (!Have.count(E)) {
+          std::fprintf(stderr, "FAIL: benchmark %s has no %s record\n",
+                       Bench.c_str(), E.c_str());
+          Rc = 1;
+        }
+      }
+    }
+    std::printf("\n%zu benchmarks x %zu engines: %s\n", ByBench.size(),
+                Engines.size(), Rc ? "INCOMPLETE" : "complete");
+  }
+  return Rc;
+}
