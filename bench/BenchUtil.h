@@ -48,54 +48,16 @@ inline const char *engineName(EngineKind E) {
 /// Path of the JSON-lines bench record file (SPA_BENCH_JSON); empty
 /// disables recording.
 inline std::string benchJsonPathFromEnv() {
-  const char *Env = std::getenv("SPA_BENCH_JSON");
-  return Env ? Env : "";
+  return obs::MetricsSink::benchJsonPathFromEnv();
 }
 
-/// Appends one JSON-lines record combining run labels with the metrics
-/// registry snapshot:
-///
-///   {"bench": NAME, "engine": NAME, "ok": 0|1, "metrics": {...}}
-///
-/// Meant to run inside the forked analysis child, right after the
-/// engine finishes: the snapshot is then the child's own registry
-/// (including its mem.peak_rss_kib), and the single O_APPEND write keeps
-/// lines whole even if several recorders share the file.
+/// Appends one JSON-lines bench record (obs::MetricsSink format).  Meant
+/// to run inside the forked analysis child, right after the engine
+/// finishes: the snapshot is then the child's own registry (including
+/// its mem.peak_rss_kib).
 inline void appendBenchRecord(const std::string &Bench,
                               const std::string &Engine, bool Ok) {
-  std::string Path = benchJsonPathFromEnv();
-  if (Path.empty())
-    return;
-  auto Quote = [](const std::string &S) {
-    std::string R = "\"";
-    for (char C : S) {
-      if (C == '"' || C == '\\')
-        R += '\\';
-      R += C;
-    }
-    return R += '"';
-  };
-  // toJson pretty-prints across lines; a JSONL record must stay on one.
-  std::string Metrics = obs::MetricsSink::toJson(obs::Registry::global());
-  std::string Flat;
-  for (char C : Metrics)
-    if (C != '\n')
-      Flat += C;
-  std::string Line = "{\"bench\": " + Quote(Bench) +
-                     ", \"engine\": " + Quote(Engine) +
-                     ", \"ok\": " + (Ok ? "1" : "0") +
-                     ", \"metrics\": " + Flat + "}\n";
-  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (Fd < 0)
-    return;
-  size_t Off = 0;
-  while (Off < Line.size()) {
-    ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
-    if (N <= 0)
-      break;
-    Off += static_cast<size_t>(N);
-  }
-  ::close(Fd);
+  obs::MetricsSink::appendBenchRecord(Bench, Engine, Ok);
 }
 
 /// Scopes one in-process measurement to its own bench record: resets

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Pipeline-parallelism baseline: runs the pipeline_scaling ablation with
+# SPA_BENCH_JSON and distills the per-phase wall/cpu seconds of the
+# sequential (--jobs=1) vs parallel (--jobs=N) configurations into one
+# summary JSON.
+#
+#   bench_baseline.sh <pipeline_scaling> [out.json]
+#
+# Environment: SPA_SCALE (suite scale, default 0.05 here — a baseline,
+# not the paper-scale run), SPA_JOBS (parallel lane count; default all
+# cores, floored at 2 so the parallel paths execute even on one core),
+# SPA_TIME_LIMIT.  Exit 77 = skip (metrics compiled out).
+set -u
+
+BENCH=$1
+OUT=${2:-BENCH_pipeline.json}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+export SPA_SCALE=${SPA_SCALE:-0.05}
+export SPA_BENCH_JSON="$WORK/records.jsonl"
+
+"$BENCH" > "$WORK/table.txt" || { cat "$WORK/table.txt"; exit 1; }
+cat "$WORK/table.txt"
+
+if ! grep -q '"phase.total.seconds"' "$SPA_BENCH_JSON"; then
+  echo "metrics compiled out (SPA_OBS=OFF); skipping"
+  exit 77
+fi
+
+python3 - "$SPA_BENCH_JSON" "$OUT" <<'EOF'
+import json, os, sys
+
+records = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+phases = ["phase.pre.seconds", "phase.defuse.seconds",
+          "phase.depbuild.seconds", "phase.fix.seconds",
+          "phase.total.seconds", "phase.total.cpu_seconds"]
+
+def config(jobs):
+    suffix = ":jobs" + jobs
+    progs = {}
+    batch = {}
+    for r in records:
+        name = r["bench"]
+        if not name.endswith(suffix) or not name.startswith("pipeline:"):
+            continue
+        prog = name[len("pipeline:"):-len(suffix)]
+        m = r["metrics"]
+        if prog == "batch":
+            batch = {k[len("batch."):]: m[k] for k in m
+                     if k.startswith("batch.")}
+        else:
+            progs[prog] = {p: m.get(p, 0) for p in phases}
+            progs[prog]["par.fix.partitions"] = m.get("par.fix.partitions", 1)
+    total = {p: round(sum(v[p] for v in progs.values()), 4)
+             for p in phases}
+    return {"programs": progs, "suite_totals": total, "batch": batch}
+
+jobs_vals = sorted({r["bench"].rsplit(":jobs", 1)[1]
+                    for r in records if ":jobs" in r["bench"]}, key=int)
+seq, par = jobs_vals[0], jobs_vals[-1]
+out = {
+    "bench": "pipeline_scaling",
+    "scale": float(os.environ.get("SPA_SCALE", "0.25")),
+    "hardware_concurrency": os.cpu_count(),
+    "sequential_jobs": int(seq),
+    "parallel_jobs": int(par),
+    "sequential": config(seq),
+    "parallel": config(par),
+}
+s, p = (out["sequential"]["suite_totals"]["phase.total.seconds"],
+        out["parallel"]["suite_totals"]["phase.total.seconds"])
+out["suite_speedup"] = round(s / p, 3) if p > 0 else None
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+print("wrote", sys.argv[2])
+EOF

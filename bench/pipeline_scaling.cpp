@@ -1,0 +1,112 @@
+//===- pipeline_scaling.cpp - Sequential vs parallel pipeline ablation -----------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock per phase for the sequential pipeline (--jobs=1) against
+/// the parallel one (SPA_JOBS or all cores): per-procedure def/use
+/// collection, dependency construction, and the partitioned sparse
+/// fixpoint, plus whole-batch throughput (programs/sec) over the suite.
+/// The parallel runs are bit-identical to the sequential ones by
+/// construction (docs/PARALLELISM.md; enforced by
+/// tests/parallel_determinism_test), so the only question this bench
+/// answers is time.  With SPA_BENCH_JSON set, each configuration appends
+/// one JSONL record whose metrics include the phase.*.seconds /
+/// phase.*.cpu_seconds split and the par.* gauges.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/ThreadPool.h"
+#include "workload/Batch.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace spa;
+using namespace spa::bench;
+
+int main() {
+  double Scale = suiteScaleFromEnv(0.25);
+  // At least 2 lanes so the parallel configuration exercises the
+  // partitioned/pooled code paths even on a single-core machine (where
+  // defaultJobs() is 1 and no wall-clock win is physically possible).
+  unsigned Par = std::max(2u, ThreadPool::defaultJobs());
+  double TimeLimit = timeLimitFromEnv();
+  std::printf("Pipeline scaling: sequential (--jobs=1) vs parallel "
+              "(--jobs=%u), scale=%.2f\n\n",
+              Par, Scale);
+  std::printf("%-20s | %7s %7s %7s %7s | %7s %7s %7s %7s | %6s\n",
+              "Program", "du-1", "dep-1", "fix-1", "tot-1", "du-N",
+              "dep-N", "fix-N", "tot-N", "same");
+
+  std::vector<SuiteEntry> Suite = paperSuite(Scale);
+  double Tot1 = 0, TotN = 0;
+  bool AllSame = true;
+  for (const SuiteEntry &E : Suite) {
+    std::unique_ptr<Program> Prog = buildEntry(E);
+
+    auto RunWith = [&](unsigned Jobs) {
+      AnalyzerOptions Opts;
+      Opts.TimeLimitSec = TimeLimit;
+      Opts.Jobs = Jobs;
+      return recordRun("pipeline:" + E.Name + ":jobs" +
+                           std::to_string(Jobs),
+                       engineName(Opts.Engine),
+                       [&] { return analyzeProgram(*Prog, Opts); });
+    };
+
+    AnalysisRun Seq = RunWith(1);
+    AnalysisRun Parl = RunWith(Par);
+    // Cheap equality proxies; the full R.In/R.Out/alarm comparison lives
+    // in tests/parallel_determinism_test.
+    bool Same = Seq.Sparse && Parl.Sparse &&
+                Seq.Sparse->Visits == Parl.Sparse->Visits &&
+                Seq.Sparse->StateEntries == Parl.Sparse->StateEntries &&
+                Seq.Graph->EdgesBeforeBypass ==
+                    Parl.Graph->EdgesBeforeBypass;
+    AllSame = AllSame && Same;
+    Tot1 += Seq.totalSeconds();
+    TotN += Parl.totalSeconds();
+    std::printf("%-20s | %7s %7s %7s %7s | %7s %7s %7s %7s | %6s\n",
+                E.Name.c_str(),
+                fmtSeconds(Seq.DefUseSeconds, false).c_str(),
+                fmtSeconds(Seq.depBuildSeconds(), false).c_str(),
+                fmtSeconds(Seq.fixSeconds(), Seq.timedOut()).c_str(),
+                fmtSeconds(Seq.totalSeconds(), Seq.timedOut()).c_str(),
+                fmtSeconds(Parl.DefUseSeconds, false).c_str(),
+                fmtSeconds(Parl.depBuildSeconds(), false).c_str(),
+                fmtSeconds(Parl.fixSeconds(), Parl.timedOut()).c_str(),
+                fmtSeconds(Parl.totalSeconds(), Parl.timedOut()).c_str(),
+                Same ? "yes" : "NO");
+  }
+  std::printf("\nsuite totals: sequential %.2fs, parallel %.2fs "
+              "(%.2fx)\n",
+              Tot1, TotN, TotN > 0 ? Tot1 / TotN : 0);
+
+  // Whole-batch throughput: the outer program-level fan-out, which
+  // parallelizes even when each program is one dependency component.
+  for (unsigned Jobs : {1u, Par}) {
+    BatchOptions BOpts;
+    BOpts.Analyzer.TimeLimitSec = TimeLimit;
+    BOpts.Analyzer.Jobs = Jobs;
+    BatchResult R = recordRun(
+        "pipeline:batch:jobs" + std::to_string(Jobs),
+        engineName(BOpts.Analyzer.Engine),
+        [&] { return runBatch(suiteBatch(Scale), BOpts); });
+    std::printf("batch --jobs=%-2u: %zu programs in %.2fs "
+                "(%.2f programs/sec, %zu failed)\n",
+                Jobs, R.Items.size(), R.Seconds, R.programsPerSec(),
+                R.numFailed());
+  }
+  if (!AllSame) {
+    std::printf("\nerror: parallel results diverged from sequential\n");
+    return 1;
+  }
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Resource.h"
+#include "support/ThreadPool.h"
 
 using namespace spa;
 
@@ -42,8 +43,11 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
   SPA_OBS_GAUGE_SET("program.points", Prog.numPoints());
   SPA_OBS_GAUGE_SET("program.locs", Prog.numLocs());
   SPA_OBS_GAUGE_SET("program.funcs", Prog.numFuncs());
+  unsigned Jobs = Opts.Jobs ? Opts.Jobs : ThreadPool::defaultJobs();
+  SPA_OBS_GAUGE_SET("par.jobs", Jobs);
 
   Timer PreClock;
+  CpuTimer TotalCpu;
   AnalysisRun Run{[&] {
                     SPA_OBS_TRACE("pre-analysis");
                     return runPreAnalysis(Prog, Opts.Sem,
@@ -54,12 +58,14 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
   SPA_OBS_GAUGE_SET("phase.pre.seconds", Run.PreSeconds);
 
   Timer DuClock;
+  CpuTimer DuCpu;
   {
     SPA_OBS_TRACE("def-use");
-    Run.DU = computeDefUse(Prog, Run.Pre);
+    Run.DU = computeDefUse(Prog, Run.Pre, Jobs);
   }
   Run.DefUseSeconds = DuClock.seconds();
   SPA_OBS_GAUGE_SET("phase.defuse.seconds", Run.DefUseSeconds);
+  SPA_OBS_GAUGE_SET("phase.defuse.cpu_seconds", DuCpu.seconds());
 
   switch (Opts.Engine) {
   case EngineKind::Vanilla:
@@ -77,14 +83,21 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
   case EngineKind::Sparse: {
     {
       SPA_OBS_TRACE("dep-build");
-      Run.Graph = buildDepGraph(Prog, Run.Pre.CG, Run.DU, Opts.Dep);
+      CpuTimer DepCpu;
+      DepOptions DepOpts = Opts.Dep;
+      DepOpts.Jobs = Jobs;
+      Run.Graph = buildDepGraph(Prog, Run.Pre.CG, Run.DU, DepOpts);
+      SPA_OBS_GAUGE_SET("phase.depbuild.cpu_seconds", DepCpu.seconds());
     }
     SparseOptions SOpts;
     SOpts.Sem = Opts.Sem;
     SOpts.TimeLimitSec = Opts.TimeLimitSec;
     SOpts.WideningDelay = Opts.WideningDelay;
+    SOpts.Jobs = Jobs;
     SPA_OBS_TRACE("fixpoint");
+    CpuTimer FixCpu;
     Run.Sparse = runSparseAnalysis(Prog, Run.Pre.CG, *Run.Graph, SOpts);
+    SPA_OBS_GAUGE_SET("phase.fix.cpu_seconds", FixCpu.seconds());
     break;
   }
   }
@@ -92,6 +105,9 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
   SPA_OBS_GAUGE_SET("phase.depbuild.seconds", Run.depBuildSeconds());
   SPA_OBS_GAUGE_SET("phase.fix.seconds", Run.fixSeconds());
   SPA_OBS_GAUGE_SET("phase.total.seconds", Run.totalSeconds());
+  // Wall vs. cpu per phase: cpu_seconds > seconds means the phase ran on
+  // multiple lanes; cpu_seconds ≈ seconds means it was sequential.
+  SPA_OBS_GAUGE_SET("phase.total.cpu_seconds", TotalCpu.seconds());
   SPA_OBS_GAUGE_MAX("mem.peak_rss_kib", currentPeakRssKiB());
   return Run;
 }

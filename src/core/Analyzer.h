@@ -42,6 +42,11 @@ struct AnalyzerOptions {
   double TimeLimitSec = 0;
   unsigned WideningDelay = 4;
   unsigned NarrowingPasses = 0; ///< Dense engines only.
+  /// Pool lanes for the parallel phases (def/use collection, per-function
+  /// dependency construction, partitioned sparse fixpoint).  Results are
+  /// bit-identical for every value; 1 = fully sequential.  0 resolves to
+  /// ThreadPool::defaultJobs() (SPA_JOBS or the hardware concurrency).
+  unsigned Jobs = 1;
 };
 
 /// Everything one analyzer run produces, with per-phase timing (the

@@ -7,6 +7,7 @@
 #include "core/DefUse.h"
 
 #include "obs/Metrics.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 
@@ -85,22 +86,26 @@ bool DefUseInfo::isSemanticUse(PointId P, LocId L) const {
   return std::binary_search(U.begin(), U.end(), L);
 }
 
-DefUseInfo spa::computeDefUse(const Program &Prog,
-                              const PreAnalysisResult &Pre) {
+DefUseInfo spa::computeDefUse(const Program &Prog, const PreAnalysisResult &Pre,
+                              unsigned Jobs) {
   DefUseInfo Info;
   size_t N = Prog.numPoints();
   Info.Defs.resize(N);
   Info.Uses.resize(N);
 
-  // Step 1: semantic per-point sets against T̂pre (Section 3.2).
-  for (uint32_t P = 0; P < N; ++P) {
-    collectDefs(Prog, &Pre.CG, PointId(P), Pre.state(), Info.Defs[P]);
-    collectUses(Prog, &Pre.CG, PointId(P), Pre.state(), Info.Uses[P]);
-    sortUnique(Info.Defs[P]);
-    sortUnique(Info.Uses[P]);
-  }
+  // Step 1: semantic per-point sets against T̂pre (Section 3.2).  Each
+  // point writes only its own slot against the read-only pre-analysis
+  // state, so the chunks are independent and the result Jobs-invariant.
+  ThreadPool::global().parallelForChunks(N, Jobs, [&](size_t Lo, size_t Hi) {
+    for (size_t P = Lo; P < Hi; ++P) {
+      collectDefs(Prog, &Pre.CG, PointId(P), Pre.state(), Info.Defs[P]);
+      collectUses(Prog, &Pre.CG, PointId(P), Pre.state(), Info.Uses[P]);
+      sortUnique(Info.Defs[P]);
+      sortUnique(Info.Uses[P]);
+    }
+  });
 
-  foldInterproceduralSummaries(Prog, Pre.CG, Info);
+  foldInterproceduralSummaries(Prog, Pre.CG, Info, Jobs);
   SPA_OBS_GAUGE_SET("defuse.avg_def_size", Info.avgSemanticDefSize());
   SPA_OBS_GAUGE_SET("defuse.avg_use_size", Info.avgSemanticUseSize());
   return Info;
@@ -108,7 +113,7 @@ DefUseInfo spa::computeDefUse(const Program &Prog,
 
 void spa::foldInterproceduralSummaries(const Program &Prog,
                                        const CallGraphInfo &CG,
-                                       DefUseInfo &Info) {
+                                       DefUseInfo &Info, unsigned Jobs) {
   size_t N = Prog.numPoints();
   // Step 2: per-function transitive access sets.  Callgraph SCCs are
   // processed in reverse topological order (Tarjan emission order), so
@@ -145,9 +150,12 @@ void spa::foldInterproceduralSummaries(const Program &Prog,
 
   // Step 3: node-level sets with interprocedural summaries (Section 5).
   // The per-point sets are already sorted; summaries merge in sorted.
+  // Per-point slots again, over the now-final read-only access sets, so
+  // this step parallelizes like Step 1.
   Info.NodeDefs = Info.Defs;
   Info.NodeUses = Info.Uses;
-  for (uint32_t P = 0; P < N; ++P) {
+  ThreadPool::global().parallelForChunks(N, Jobs, [&](size_t Lo, size_t Hi) {
+  for (size_t P = Lo; P < Hi; ++P) {
     const Command &Cmd = Prog.point(PointId(P)).Cmd;
     switch (Cmd.Kind) {
     case CmdKind::Entry: {
@@ -193,4 +201,5 @@ void spa::foldInterproceduralSummaries(const Program &Prog,
       break;
     }
   }
+  });
 }

@@ -63,8 +63,11 @@ struct DefUseInfo {
   bool isSemanticUse(PointId P, LocId L) const;
 };
 
-/// Computes all def/use structures from the pre-analysis result.
-DefUseInfo computeDefUse(const Program &Prog, const PreAnalysisResult &Pre);
+/// Computes all def/use structures from the pre-analysis result.  The
+/// per-point collection (Steps 1 and 3) writes disjoint slots and runs on
+/// \p Jobs pool lanes; the result is independent of Jobs.
+DefUseInfo computeDefUse(const Program &Prog, const PreAnalysisResult &Pre,
+                         unsigned Jobs = 1);
 
 /// Completes \p Info from its per-point Defs/Uses: computes the
 /// per-function transitive access sets and the node-level sets with the
@@ -72,7 +75,8 @@ DefUseInfo computeDefUse(const Program &Prog, const PreAnalysisResult &Pre);
 /// analysis (location space) and the relational analysis (pack space —
 /// the "location" ids are then pack ids).
 void foldInterproceduralSummaries(const Program &Prog,
-                                  const CallGraphInfo &CG, DefUseInfo &Info);
+                                  const CallGraphInfo &CG, DefUseInfo &Info,
+                                  unsigned Jobs = 1);
 
 } // namespace spa
 

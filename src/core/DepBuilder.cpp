@@ -11,6 +11,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Resource.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -37,6 +38,39 @@ struct RawEdge {
   }
 };
 
+/// Tags phi references inside a function's private edge list before the
+/// merge assigns global node ids: PhiLocalBase + (index into
+/// FuncOut::Phis).  Point ids stay < 2^31 (they index points), so the
+/// high bit is free.
+constexpr uint32_t PhiLocalBase = 0x80000000u;
+
+/// One function's construction output.  Per-procedure construction writes
+/// only here (plus lane-private scratch), which is what makes the
+/// function loop safe to fan out: results merge in function order
+/// afterwards, reproducing the sequential phi numbering and edge list
+/// exactly (DepOptions::Jobs documentation).
+struct FuncOut {
+  std::vector<PhiNode> Phis;
+  std::vector<RawEdge> Edges;
+};
+
+/// Flat per-location renaming stacks, reused across the functions one
+/// lane builds (they are empty again after each function's undo-log
+/// unwinds).  Hashing here would dominate construction time on
+/// summary-heavy programs.
+struct SsaScratch {
+  std::vector<std::vector<uint32_t>> CurDefStacks;
+  std::vector<std::vector<uint32_t>> DefPointsByLoc;
+  std::vector<uint32_t> TouchedLocs;
+
+  void ensureLocCapacity(size_t NumIds) {
+    if (CurDefStacks.size() < NumIds) {
+      CurDefStacks.resize(NumIds);
+      DefPointsByLoc.resize(NumIds);
+    }
+  }
+};
+
 class Builder {
 public:
   Builder(const Program &Prog, const CallGraphInfo &CG, const DefUseInfo &DU,
@@ -59,21 +93,41 @@ public:
 
     switch (Opts.Kind) {
     case DepBuilderKind::Ssa:
-      for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
-        SPA_OBS_TRACE("ssa:" + Prog.function(FuncId(F)).Name);
-        buildSsaForFunction(FuncId(F));
-      }
-      addInterProcEdges();
-      break;
     case DepBuilderKind::ReachingDefs:
-    case DepBuilderKind::DefUseChains:
-      for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
-        SPA_OBS_TRACE("rd:" + Prog.function(FuncId(F)).Name);
-        buildRdForFunction(FuncId(F),
-                           Opts.Kind == DepBuilderKind::DefUseChains);
+    case DepBuilderKind::DefUseChains: {
+      size_t NF = Prog.numFuncs();
+      bool Ssa = Opts.Kind == DepBuilderKind::Ssa;
+      bool Chains = Opts.Kind == DepBuilderKind::DefUseChains;
+      std::vector<FuncOut> Outs(NF);
+      if (Opts.Jobs > 1) {
+        // One span for the whole phase: the tracer's span stack is
+        // process-wide, so per-function spans stay off worker lanes.
+        SPA_OBS_TRACE(Ssa ? "ssa" : "rd");
+        ThreadPool::global().parallelForChunks(
+            NF, Opts.Jobs, [&](size_t Lo, size_t Hi) {
+              SsaScratch S;
+              for (size_t F = Lo; F < Hi; ++F) {
+                if (Ssa)
+                  buildSsaForFunction(FuncId(F), S, Outs[F]);
+                else
+                  buildRdForFunction(FuncId(F), Chains, Outs[F]);
+              }
+            });
+      } else {
+        SsaScratch S;
+        for (size_t F = 0; F < NF; ++F) {
+          SPA_OBS_TRACE((Ssa ? "ssa:" : "rd:") +
+                        Prog.function(FuncId(F)).Name);
+          if (Ssa)
+            buildSsaForFunction(FuncId(F), S, Outs[F]);
+          else
+            buildRdForFunction(FuncId(F), Chains, Outs[F]);
+        }
       }
+      mergeFunctionResults(Outs);
       addInterProcEdges();
       break;
+    }
     case DepBuilderKind::WholeProgram:
       buildWholeProgram();
       break;
@@ -153,43 +207,32 @@ private:
   // SSA-based construction
   //===------------------------------------------------------------------===//
 
-  /// Flat per-location renaming stacks, shared across functions (they
-  /// are empty again after each function's undo-log unwinds).  Hashing
-  /// here would dominate construction time on summary-heavy programs.
-  std::vector<std::vector<uint32_t>> CurDefStacks;
-  std::vector<std::vector<uint32_t>> DefPointsByLoc;
-  std::vector<uint32_t> TouchedLocs;
-
-  void ensureLocCapacity(size_t NumIds) {
-    if (CurDefStacks.size() < NumIds) {
-      CurDefStacks.resize(NumIds);
-      DefPointsByLoc.resize(NumIds);
-    }
-  }
-
-  void buildSsaForFunction(FuncId F) {
+  /// Builds one function's SSA dependencies into \p Out using the
+  /// lane-private scratch \p S.  Reads only point-level (never phi-level)
+  /// graph data, so concurrent calls on distinct functions are safe.
+  void buildSsaForFunction(FuncId F, SsaScratch &S, FuncOut &Out) const {
     const FunctionInfo &Info = Prog.function(F);
     Dominators Dom(Prog, F);
     uint32_t Base = Info.Points.front().value();
     size_t N = Info.Points.size();
 
     // Definition points per location (local offsets), in flat arrays.
-    TouchedLocs.clear();
+    S.TouchedLocs.clear();
     for (PointId P : Info.Points) {
       for (LocId L : Graph.NodeDefs[P.value()]) {
-        ensureLocCapacity(L.value() + 1);
-        if (DefPointsByLoc[L.value()].empty())
-          TouchedLocs.push_back(L.value());
-        DefPointsByLoc[L.value()].push_back(P.value() - Base);
+        S.ensureLocCapacity(L.value() + 1);
+        if (S.DefPointsByLoc[L.value()].empty())
+          S.TouchedLocs.push_back(L.value());
+        S.DefPointsByLoc[L.value()].push_back(P.value() - Base);
       }
     }
 
     // Phi placement at iterated dominance frontiers.
-    // PhiAt[local point] = list of (loc, phi node id).
+    // PhiAt[local point] = list of (loc, function-local phi ref).
     std::vector<std::vector<std::pair<LocId, uint32_t>>> PhiAt(N);
-    for (uint32_t LRaw : TouchedLocs) {
+    for (uint32_t LRaw : S.TouchedLocs) {
       LocId L(LRaw);
-      std::vector<uint32_t> &Defs = DefPointsByLoc[LRaw];
+      std::vector<uint32_t> &Defs = S.DefPointsByLoc[LRaw];
       // A location whose only definition is the entry needs no phis: the
       // entry dominates every use.  The interprocedural entry summaries
       // put most locations of call-heavy functions in this class, so
@@ -208,10 +251,9 @@ private:
           if (HasPhi[JL])
             continue;
           HasPhi[JL] = true;
-          uint32_t Node = static_cast<uint32_t>(Graph.numNodes());
-          Graph.Phis.push_back(PhiNode{J, L});
-          Graph.NodeDefs.push_back({L});
-          Graph.NodeUses.push_back({L});
+          uint32_t Node =
+              PhiLocalBase + static_cast<uint32_t>(Out.Phis.size());
+          Out.Phis.push_back(PhiNode{J, L});
           PhiAt[JL].push_back({L, Node});
           Work.push_back(JL); // A phi is itself a definition.
         }
@@ -220,17 +262,15 @@ private:
 
     // Renaming: explicit-stack preorder walk of the dominator tree with
     // flat per-location current-definition stacks and an undo log.
-    // Phi placement may have referenced new locations; cover them too.
-    ensureLocCapacity(CurDefStacks.size());
     auto Push = [&](LocId L, uint32_t Node) {
-      ensureLocCapacity(L.value() + 1);
-      CurDefStacks[L.value()].push_back(Node);
+      S.ensureLocCapacity(L.value() + 1);
+      S.CurDefStacks[L.value()].push_back(Node);
     };
     auto Top = [&](LocId L) -> uint32_t {
-      if (L.value() >= CurDefStacks.size() ||
-          CurDefStacks[L.value()].empty())
+      if (L.value() >= S.CurDefStacks.size() ||
+          S.CurDefStacks[L.value()].empty())
         return UINT32_MAX;
-      return CurDefStacks[L.value()].back();
+      return S.CurDefStacks[L.value()].back();
     };
 
     struct Frame {
@@ -255,7 +295,7 @@ private:
       for (LocId L : localUses(P.value())) {
         uint32_t Def = Top(L);
         if (Def != UINT32_MAX)
-          addEdge(Def, L, P.value());
+          Out.Edges.push_back(RawEdge{Def, L, P.value()});
       }
       // Then the point's definitions become current.
       for (LocId L : Graph.NodeDefs[P.value()]) {
@@ -264,11 +304,11 @@ private:
         ++Fr.Pushes;
       }
       // Feed phi operands of CFG successors.
-      for (PointId S : Prog.succs(P)) {
-        for (auto &[L, PhiNd] : PhiAt[S.value() - Base]) {
+      for (PointId Succ : Prog.succs(P)) {
+        for (auto &[L, PhiNd] : PhiAt[Succ.value() - Base]) {
           uint32_t Def = Top(L);
           if (Def != UINT32_MAX)
-            addEdge(Def, L, PhiNd);
+            Out.Edges.push_back(RawEdge{Def, L, PhiNd});
         }
       }
       Stack.push_back(Fr);
@@ -283,15 +323,15 @@ private:
         continue;
       }
       for (uint32_t I = 0; I < Fr.Pushes; ++I) {
-        CurDefStacks[UndoLog.back().value()].pop_back();
+        S.CurDefStacks[UndoLog.back().value()].pop_back();
         UndoLog.pop_back();
       }
       Stack.pop_back();
     }
 
-    // Reset the shared def-point arrays for the next function.
-    for (uint32_t LRaw : TouchedLocs)
-      DefPointsByLoc[LRaw].clear();
+    // Reset the lane's def-point arrays for its next function.
+    for (uint32_t LRaw : S.TouchedLocs)
+      S.DefPointsByLoc[LRaw].clear();
   }
 
   //===------------------------------------------------------------------===//
@@ -317,7 +357,11 @@ private:
     }
   }
 
-  void buildRdForFunction(FuncId F, bool DefUseChainMode) {
+  /// Builds one function's reaching-definition dependencies into \p Out.
+  /// All mutable state is local, so concurrent calls on distinct
+  /// functions are safe.
+  void buildRdForFunction(FuncId F, bool DefUseChainMode,
+                          FuncOut &Out) const {
     const FunctionInfo &Info = Prog.function(F);
     uint32_t Base = Info.Points.front().value();
     size_t N = Info.Points.size();
@@ -342,7 +386,7 @@ private:
 
       size_t ND = Defs.size();
       size_t Words = (ND + 63) / 64;
-      std::vector<uint64_t> In(N * Words, 0), Out(N * Words, 0);
+      std::vector<uint64_t> In(N * Words, 0), OutBits(N * Words, 0);
       std::vector<int32_t> DefIndexAt(N, -1);
       for (size_t I = 0; I < ND; ++I)
         DefIndexAt[Defs[I]] = static_cast<int32_t>(I);
@@ -354,12 +398,13 @@ private:
           uint32_t PL = P.value() - Base;
           uint64_t *InP = &In[PL * Words];
           for (PointId Pred : Prog.preds(P)) {
-            const uint64_t *OutPred = &Out[(Pred.value() - Base) * Words];
+            const uint64_t *OutPred =
+                &OutBits[(Pred.value() - Base) * Words];
             for (size_t W = 0; W < Words; ++W)
               InP[W] |= OutPred[W];
           }
           // Transfer: kill then gen.
-          uint64_t *OutP = &Out[PL * Words];
+          uint64_t *OutP = &OutBits[PL * Words];
           bool Kills = DefIndexAt[PL] >= 0 &&
                        (!DefUseChainMode || alwaysKills(P, L));
           for (size_t W = 0; W < Words; ++W) {
@@ -380,8 +425,39 @@ private:
         const uint64_t *InU = &In[U * Words];
         for (size_t I = 0; I < ND; ++I)
           if (InU[I / 64] & (1ULL << (I % 64)))
-            addEdge(Base + Defs[I], L, Base + U);
+            Out.Edges.push_back(RawEdge{Base + Defs[I], L, Base + U});
       }
+    }
+  }
+
+  /// Splices the per-function outputs into the graph in function order:
+  /// function F's local phi k becomes global node NumPoints + (phis of
+  /// functions before F) + k — exactly the id the sequential interleaved
+  /// construction would have assigned — and edge lists concatenate with
+  /// phi references remapped accordingly.
+  void mergeFunctionResults(const std::vector<FuncOut> &Outs) {
+    size_t TotalPhis = 0, TotalEdges = 0;
+    for (const FuncOut &O : Outs) {
+      TotalPhis += O.Phis.size();
+      TotalEdges += O.Edges.size();
+    }
+    Graph.Phis.reserve(TotalPhis);
+    Graph.NodeDefs.reserve(Graph.NumPoints + TotalPhis);
+    Graph.NodeUses.reserve(Graph.NumPoints + TotalPhis);
+    EdgeList.reserve(EdgeList.size() + TotalEdges);
+    for (const FuncOut &O : Outs) {
+      uint32_t Base =
+          Graph.NumPoints + static_cast<uint32_t>(Graph.Phis.size());
+      for (const PhiNode &Ph : O.Phis) {
+        Graph.Phis.push_back(Ph);
+        Graph.NodeDefs.push_back({Ph.L});
+        Graph.NodeUses.push_back({Ph.L});
+      }
+      auto Remap = [&](uint32_t N) {
+        return N >= PhiLocalBase ? Base + (N - PhiLocalBase) : N;
+      };
+      for (const RawEdge &E : O.Edges)
+        EdgeList.push_back(RawEdge{Remap(E.Src), E.L, Remap(E.Dst)});
     }
   }
 

@@ -51,6 +51,12 @@ struct DepOptions {
   /// Size of the "location" id space when it is not Program::numLocs()
   /// (the relational analysis passes its pack count; 0 = use numLocs).
   uint32_t NumLocsOverride = 0;
+  /// Pool lanes for the per-procedure construction phase.  Functions are
+  /// independent (intra-procedural SSA / reaching-defs over read-only
+  /// def/use sets); per-function edge lists and phi nodes merge in
+  /// function order afterwards, so the graph — including phi node
+  /// numbering — is identical for every Jobs value.
+  unsigned Jobs = 1;
 };
 
 /// Builds the dependency graph for \p Prog under the resolved callgraph

@@ -3,14 +3,33 @@
 // Part of the SPA project (PLDI 2012 sparse analysis reproduction).
 //
 //===----------------------------------------------------------------------===//
+//
+// Parallel execution model (docs/PARALLELISM.md): the dependency graph
+// decomposes into connected components of the cross-procedure edge
+// relation (functions tied by an interprocedural dependency — shared
+// location footprints routed through call/entry/exit summaries — land in
+// one component, as do whole callgraph SCCs).  No dependency edge crosses
+// components, so each component is a closed fixpoint subsystem: in the
+// sequential schedule, the pop subsequence restricted to a component is
+// exactly what a per-component worklist would pop, and the per-node
+// results — including widening decisions, which only consult per-(node,
+// location) arrival counts — are therefore *bit-identical* under any
+// assignment of components to shards.  Typical programs where main
+// (transitively) touches every function collapse to one component; the
+// engine then falls back to the sequential global worklist.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/SparseAnalysis.h"
 
 #include "obs/Metrics.h"
 #include "support/Resource.h"
+#include "support/ThreadPool.h"
 #include "support/WorkList.h"
 
 #include <algorithm>
+#include <atomic>
+#include <numeric>
 
 using namespace spa;
 
@@ -53,13 +72,22 @@ public:
 
   /// Extracts the output partial state over \p Defs: overlay values where
   /// written, input passthrough otherwise (the identity on spurious
-  /// definitions).
-  AbsState extract(const std::vector<LocId> &Defs) const {
+  /// definitions).  Consumes the overlay: written values are moved out,
+  /// not copied — this runs once per node visit, so the copy churn of
+  /// points-to vectors inside Value would otherwise dominate allocation.
+  AbsState extract(const std::vector<LocId> &Defs) {
     AbsState Out;
+    Out.reserve(Defs.size());
+    // Defs is sorted, so each set() appends at the end in O(1).
     for (LocId L : Defs) {
-      const Value &V = get(L);
-      if (!V.isBot())
-        Out.set(L, V);
+      if (Value *OV = Overlay.lookup(L)) {
+        if (!OV->isBot())
+          Out.set(L, std::move(*OV));
+      } else {
+        const Value &V = In.get(L);
+        if (!V.isBot())
+          Out.set(L, V);
+      }
     }
     return Out;
   }
@@ -68,6 +96,115 @@ private:
   const AbsState &In;
   FlatMap<LocId, Value> Overlay;
 };
+
+/// Union-find over function ids (path halving + union by root id, so the
+/// component representatives are deterministic).
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+
+  uint32_t find(uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  void unite(uint32_t A, uint32_t B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return;
+    // Smaller root wins: representative = smallest member id.
+    if (B < A)
+      std::swap(A, B);
+    Parent[B] = A;
+  }
+
+private:
+  std::vector<uint32_t> Parent;
+};
+
+/// Shards of graph nodes with no dependency edges between shards.  Each
+/// shard's node list is ascending.  Returns a single shard holding every
+/// node when \p Jobs <= 1 or the graph is one component.
+std::vector<std::vector<uint32_t>> partitionNodes(const Program &Prog,
+                                                  const SparseGraph &Graph,
+                                                  unsigned Jobs) {
+  size_t N = Graph.numNodes();
+  auto AllNodes = [&] {
+    std::vector<std::vector<uint32_t>> One(1);
+    One[0].resize(N);
+    std::iota(One[0].begin(), One[0].end(), 0);
+    return One;
+  };
+  if (Jobs <= 1 || Prog.numFuncs() <= 1)
+    return AllNodes();
+
+  // Components of the function graph induced by dependency edges.
+  auto FuncOf = [&](uint32_t Node) {
+    return Prog.point(Graph.anchor(Node)).Func.value();
+  };
+  UnionFind UF(Prog.numFuncs());
+  for (uint32_t Src = 0; Src < N; ++Src) {
+    uint32_t SF = FuncOf(Src);
+    Graph.Edges->forEachOut(Src, [&](LocId, uint32_t Dst) {
+      UF.unite(SF, FuncOf(Dst));
+    });
+  }
+
+  // Dense component ids, numbered by smallest member function.
+  std::vector<uint32_t> CompOfFunc(Prog.numFuncs());
+  std::vector<uint32_t> CompSize; // In nodes, filled below.
+  for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
+    uint32_t Root = UF.find(F);
+    if (Root == F) {
+      CompOfFunc[F] = static_cast<uint32_t>(CompSize.size());
+      CompSize.push_back(0);
+    }
+  }
+  size_t NumComps = CompSize.size();
+  SPA_OBS_GAUGE_SET("par.fix.partitions", NumComps);
+  if (NumComps <= 1)
+    return AllNodes();
+  for (uint32_t F = 0; F < Prog.numFuncs(); ++F)
+    CompOfFunc[F] = CompOfFunc[UF.find(F)];
+  std::vector<uint32_t> CompOfNode(N);
+  for (uint32_t Node = 0; Node < N; ++Node) {
+    CompOfNode[Node] = CompOfFunc[FuncOf(Node)];
+    ++CompSize[CompOfNode[Node]];
+  }
+
+  // Greedy balance: biggest components first onto the least-loaded
+  // shard.  Deterministic (ties by id / shard index), though any
+  // assignment yields identical analysis results.
+  size_t NumShards = std::min<size_t>(Jobs, NumComps);
+  std::vector<uint32_t> Order(NumComps);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(), [&](uint32_t A, uint32_t B) {
+    return CompSize[A] > CompSize[B];
+  });
+  std::vector<size_t> Load(NumShards, 0);
+  std::vector<uint32_t> ShardOfComp(NumComps);
+  for (uint32_t C : Order) {
+    size_t Best = 0;
+    for (size_t S = 1; S < NumShards; ++S)
+      if (Load[S] < Load[Best])
+        Best = S;
+    ShardOfComp[C] = static_cast<uint32_t>(Best);
+    Load[Best] += CompSize[C];
+  }
+
+  std::vector<std::vector<uint32_t>> Shards(NumShards);
+  for (size_t S = 0; S < NumShards; ++S)
+    Shards[S].reserve(Load[S]);
+  for (uint32_t Node = 0; Node < N; ++Node)
+    Shards[ShardOfComp[CompOfNode[Node]]].push_back(Node);
+  return Shards;
+}
 
 } // namespace
 
@@ -98,78 +235,104 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
   for (uint32_t I = 0; I < N; ++I)
     WidenNode[I] = WidenPoint[Graph.anchor(I).value()];
 
-  WorkList WL(Prio);
-  // Every node runs at least once: constants and ⊥-input effects must
-  // materialize even with no incoming dependencies (the fixpoint applies
-  // F̂_s at every point).
-  for (uint32_t I = 0; I < N; ++I)
-    WL.push(I);
-
   // Changing-arrival counts per (node, location) for delayed widening.
   std::vector<FlatMap<LocId, uint32_t>> ArrivalCount(N);
 
-  Timer Clock;
-  while (!WL.empty()) {
-    if (Opts.TimeLimitSec > 0 && (R.Visits & 1023) == 0 &&
-        Clock.seconds() > Opts.TimeLimitSec) {
-      R.TimedOut = true;
-      break;
-    }
-    uint32_t Node = WL.pop();
-    ++R.Visits;
+  // One worklist loop over a closed node set (no dependency edges leave
+  // it).  Shards touch disjoint slices of R.In/R.Out/ArrivalCount, so
+  // concurrent shard loops share those arrays without synchronization.
+  std::atomic<bool> TimedOut{false};
+  auto RunShard = [&](const std::vector<uint32_t> &Nodes,
+                      uint64_t &VisitsOut) {
+    WorkList WL(Prio);
+    // Every node runs at least once: constants and ⊥-input effects must
+    // materialize even with no incoming dependencies (the fixpoint
+    // applies F̂_s at every point).
+    for (uint32_t I : Nodes)
+      WL.push(I);
 
-    // Transfer.
-    AbsState NewOut;
-    if (Graph.isPhi(Node)) {
-      // A phi is the identity on its location: output = joined input.
-      const PhiNode &Phi = Graph.phi(Node);
-      const Value &V = R.In[Node].get(Phi.L);
-      if (!V.isBot())
-        NewOut.set(Phi.L, V);
-    } else {
-      WorkingState WS(R.In[Node]);
-      applyCommand(Prog, &CG, PointId(Node), WS, Opts.Sem);
-      NewOut = WS.extract(Graph.NodeDefs[Node]);
-    }
-
-    // Publish changed locations along dependency edges.
-    AbsState &Out = R.Out[Node];
-    std::vector<LocId> ChangedLocs;
-    for (const auto &[L, V] : NewOut)
-      if (Out.weakSet(L, V))
-        ChangedLocs.push_back(L);
-    if (ChangedLocs.empty())
-      continue;
-
-    Graph.Edges->forEachOut(Node, [&](LocId L, uint32_t Dst) {
-      if (!std::binary_search(ChangedLocs.begin(), ChangedLocs.end(), L))
-        return;
-      const Value &V = Out.get(L);
-      // Widening must cut every dependency cycle: it applies (after the
-      // configured delay) at loop-head/recursion nodes and on retreating
-      // edges (source scheduled at or after the target).
-      bool CutsCycle = WidenNode[Dst] || Prio[Node] >= Prio[Dst];
-      AbsState &InDst = R.In[Dst];
-      const Value &Old = InDst.get(L);
-      bool DoWiden = false;
-      if (CutsCycle) {
-        uint32_t &Count = ArrivalCount[Dst].getOrCreate(L);
-        DoWiden = Count >= Opts.WideningDelay;
+    uint64_t Visits = 0;
+    Timer Clock;
+    while (!WL.empty()) {
+      if (Opts.TimeLimitSec > 0 && (Visits & 1023) == 0 &&
+          Clock.seconds() > Opts.TimeLimitSec) {
+        TimedOut.store(true, std::memory_order_relaxed);
+        break;
       }
-      if (DoWiden)
-        SPA_OBS_COUNT("fixpoint.widenings", 1);
-      else
-        SPA_OBS_COUNT("fixpoint.joins", 1);
-      Value New = DoWiden ? Old.widen(Old.join(V)) : Old.join(V);
-      if (New == Old)
-        return;
-      if (CutsCycle)
-        ++ArrivalCount[Dst].getOrCreate(L);
-      SPA_OBS_COUNT("fixpoint.deliveries", 1);
-      InDst.set(L, std::move(New));
-      WL.push(Dst);
+      uint32_t Node = WL.pop();
+      ++Visits;
+
+      // Transfer.
+      AbsState NewOut;
+      if (Graph.isPhi(Node)) {
+        // A phi is the identity on its location: output = joined input.
+        const PhiNode &Phi = Graph.phi(Node);
+        const Value &V = R.In[Node].get(Phi.L);
+        if (!V.isBot())
+          NewOut.set(Phi.L, V);
+      } else {
+        WorkingState WS(R.In[Node]);
+        applyCommand(Prog, &CG, PointId(Node), WS, Opts.Sem);
+        NewOut = WS.extract(Graph.NodeDefs[Node]);
+      }
+
+      // Publish changed locations along dependency edges.
+      AbsState &Out = R.Out[Node];
+      std::vector<LocId> ChangedLocs;
+      for (const auto &[L, V] : NewOut)
+        if (Out.weakSet(L, V))
+          ChangedLocs.push_back(L);
+      if (ChangedLocs.empty())
+        continue;
+
+      Graph.Edges->forEachOut(Node, [&](LocId L, uint32_t Dst) {
+        if (!std::binary_search(ChangedLocs.begin(), ChangedLocs.end(), L))
+          return;
+        const Value &V = Out.get(L);
+        // Widening must cut every dependency cycle: it applies (after the
+        // configured delay) at loop-head/recursion nodes and on retreating
+        // edges (source scheduled at or after the target).
+        bool CutsCycle = WidenNode[Dst] || Prio[Node] >= Prio[Dst];
+        AbsState &InDst = R.In[Dst];
+        const Value &Old = InDst.get(L);
+        bool DoWiden = false;
+        if (CutsCycle) {
+          uint32_t &Count = ArrivalCount[Dst].getOrCreate(L);
+          DoWiden = Count >= Opts.WideningDelay;
+        }
+        if (DoWiden)
+          SPA_OBS_COUNT("fixpoint.widenings", 1);
+        else
+          SPA_OBS_COUNT("fixpoint.joins", 1);
+        Value New = DoWiden ? Old.widen(Old.join(V)) : Old.join(V);
+        if (New == Old)
+          return;
+        if (CutsCycle)
+          ++ArrivalCount[Dst].getOrCreate(L);
+        SPA_OBS_COUNT("fixpoint.deliveries", 1);
+        InDst.set(L, std::move(New));
+        WL.push(Dst);
+      });
+    }
+    VisitsOut = Visits;
+  };
+
+  std::vector<std::vector<uint32_t>> Shards =
+      partitionNodes(Prog, Graph, Opts.Jobs);
+  SPA_OBS_GAUGE_SET("par.fix.shards", Shards.size());
+
+  Timer Clock;
+  std::vector<uint64_t> ShardVisits(Shards.size(), 0);
+  if (Shards.size() == 1) {
+    RunShard(Shards[0], ShardVisits[0]);
+  } else {
+    ThreadPool::global().parallelFor(Shards.size(), Opts.Jobs, [&](size_t S) {
+      RunShard(Shards[S], ShardVisits[S]);
     });
   }
+  for (uint64_t V : ShardVisits)
+    R.Visits += V;
+  R.TimedOut = TimedOut.load(std::memory_order_relaxed);
 
   for (const AbsState &S : R.In)
     R.StateEntries += S.size();

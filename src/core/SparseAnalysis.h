@@ -39,6 +39,14 @@ struct SparseOptions {
   /// Changing arrivals on a cycle-closing dependency edge before widening
   /// applies (mirrors DenseOptions::WideningDelay).
   unsigned WideningDelay = 4;
+  /// Worker lanes for the partitioned fixpoint (docs/PARALLELISM.md).
+  /// The engine splits the graph into connected components of the
+  /// cross-procedure dependency relation; components are fully
+  /// independent subsystems, so running them on per-shard worklists is
+  /// bit-identical to the sequential schedule.  1 = the sequential
+  /// single-worklist engine; a single-component graph falls back to it
+  /// regardless of Jobs.
+  unsigned Jobs = 1;
 };
 
 struct SparseResult {

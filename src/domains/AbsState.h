@@ -30,6 +30,9 @@ public:
   bool empty() const { return Entries.empty(); }
   size_t size() const { return Entries.size(); }
   void clear() { Entries.clear(); }
+  /// Reserves storage for \p N bindings (hot-path builders that know the
+  /// output size, e.g. the sparse transfer's def-set extraction).
+  void reserve(size_t N) { Entries.reserve(N); }
 
   auto begin() const { return Entries.begin(); }
   auto end() const { return Entries.end(); }

@@ -43,16 +43,22 @@ Registry &Registry::global() {
 }
 
 Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
   return Counters[Name];
 }
 
-Gauge &Registry::gauge(const std::string &Name) { return Gauges[Name]; }
+Gauge &Registry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  return Gauges[Name];
+}
 
 Histogram &Registry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
   return Histograms[Name];
 }
 
 void Registry::reset() {
+  std::lock_guard<std::mutex> Lock(M);
   for (auto &[_, C] : Counters)
     C.reset();
   for (auto &[_, G] : Gauges)
@@ -62,6 +68,7 @@ void Registry::reset() {
 }
 
 std::vector<std::pair<std::string, double>> Registry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
   std::vector<std::pair<std::string, double>> Out;
   Out.reserve(Counters.size() + Gauges.size() + 5 * Histograms.size());
   for (const auto &[Name, C] : Counters)

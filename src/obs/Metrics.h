@@ -21,8 +21,10 @@
 #ifndef SPA_OBS_METRICS_H
 #define SPA_OBS_METRICS_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,36 +38,48 @@
 namespace spa {
 namespace obs {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count.  Thread-safe: parallel phases
+/// (support/ThreadPool.h) bump counters from worker threads; relaxed
+/// atomics keep the hot-path cost at one uncontended RMW and the total
+/// is scheduling-independent (addition commutes).
 class Counter {
 public:
-  void add(uint64_t N = 1) { V += N; }
-  uint64_t value() const { return V; }
-  void reset() { V = 0; }
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
 
 private:
-  uint64_t V = 0;
+  std::atomic<uint64_t> V{0};
 };
 
 /// Last-written scalar (phase seconds, structure sizes, peak RSS).
+/// Thread-safe stores; concurrent set() calls race benignly (last write
+/// wins), so parallel code should prefer max() or per-phase gauges
+/// written from the orchestrating thread.
 class Gauge {
 public:
-  void set(double X) { V = X; }
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
   /// Keeps the running maximum (peak-style gauges).
   void max(double X) {
-    if (X > V)
-      V = X;
+    double Cur = V.load(std::memory_order_relaxed);
+    while (X > Cur &&
+           !V.compare_exchange_weak(Cur, X, std::memory_order_relaxed)) {
+    }
   }
-  double value() const { return V; }
-  void reset() { V = 0; }
+  double value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
 
 private:
-  double V = 0;
+  std::atomic<double> V{0};
 };
 
 /// Power-of-two bucketed distribution of non-negative samples, plus
 /// count/sum/min/max.  Bucket i counts samples in [2^(i-1), 2^i) (bucket
 /// 0 counts zeros and ones).
+///
+/// NOT thread-safe: observe() from parallel regions is a data race.
+/// Histograms are reserved for single-threaded call sites (none of the
+/// parallel phases sample one); use a Counter from worker code.
 class Histogram {
 public:
   void observe(double X);
@@ -88,7 +102,11 @@ private:
 /// invalidates references, so call sites may cache the returned
 /// reference (the SPA_OBS_* macros do).
 ///
-/// The analyzer is single-threaded; the registry is not locked.
+/// Registration and snapshots lock a registry mutex (instruments may
+/// register lazily from pool workers); the steady state — bumping an
+/// already-registered instrument through a cached reference — takes no
+/// lock.  std::map nodes are stable, so handed-out references survive
+/// later registrations.
 class Registry {
 public:
   static Registry &global();
@@ -111,6 +129,7 @@ public:
 
 private:
   Registry() = default;
+  mutable std::mutex M;
   std::map<std::string, Counter> Counters;
   std::map<std::string, Gauge> Gauges;
   std::map<std::string, Histogram> Histograms;

@@ -8,6 +8,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fcntl.h>
+#include <unistd.h>
 
 using namespace spa::obs;
 
@@ -52,4 +55,46 @@ bool MetricsSink::writeFile(const std::string &Path,
   size_t N = std::fwrite(Content.data(), 1, Content.size(), F);
   bool Ok = N == Content.size();
   return std::fclose(F) == 0 && Ok;
+}
+
+std::string MetricsSink::benchJsonPathFromEnv() {
+  const char *Env = std::getenv("SPA_BENCH_JSON");
+  return Env ? Env : "";
+}
+
+void MetricsSink::appendBenchRecord(const std::string &Bench,
+                                    const std::string &Engine, bool Ok) {
+  std::string Path = benchJsonPathFromEnv();
+  if (Path.empty())
+    return;
+  auto Quote = [](const std::string &S) {
+    std::string R = "\"";
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        R += '\\';
+      R += C;
+    }
+    return R += '"';
+  };
+  // toJson pretty-prints across lines; a JSONL record must stay on one.
+  std::string Metrics = toJson(Registry::global());
+  std::string Flat;
+  for (char C : Metrics)
+    if (C != '\n')
+      Flat += C;
+  std::string Line = "{\"bench\": " + Quote(Bench) +
+                     ", \"engine\": " + Quote(Engine) +
+                     ", \"ok\": " + (Ok ? "1" : "0") +
+                     ", \"metrics\": " + Flat + "}\n";
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (Fd < 0)
+    return;
+  size_t Off = 0;
+  while (Off < Line.size()) {
+    ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+    if (N <= 0)
+      break;
+    Off += static_cast<size_t>(N);
+  }
+  ::close(Fd);
 }

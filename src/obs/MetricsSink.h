@@ -37,6 +37,21 @@ public:
   /// Writes \p Content to \p Path ("-" means stdout).  Returns false on
   /// I/O failure.
   static bool writeFile(const std::string &Path, const std::string &Content);
+
+  /// Path of the JSON-lines bench record file (SPA_BENCH_JSON); empty
+  /// disables recording.
+  static std::string benchJsonPathFromEnv();
+
+  /// Appends one JSON-lines record combining run labels with the global
+  /// registry snapshot:
+  ///
+  ///   {"bench": NAME, "engine": NAME, "ok": 0|1, "metrics": {...}}
+  ///
+  /// No-op unless SPA_BENCH_JSON names a file.  The single O_APPEND
+  /// write keeps lines whole even if several recorders (forked bench
+  /// children, batch lanes) share the file.
+  static void appendBenchRecord(const std::string &Bench,
+                                const std::string &Engine, bool Ok);
 };
 
 } // namespace obs

@@ -16,13 +16,17 @@ Tracer &Tracer::global() {
 }
 
 void Tracer::begin(std::string Name) {
-  if (Enabled)
-    Events.push_back(TraceEvent{std::move(Name), 'B', nowMicros()});
+  if (!Enabled)
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  Events.push_back(TraceEvent{std::move(Name), 'B', nowMicros()});
 }
 
 void Tracer::end(std::string Name) {
-  if (Enabled)
-    Events.push_back(TraceEvent{std::move(Name), 'E', nowMicros()});
+  if (!Enabled)
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  Events.push_back(TraceEvent{std::move(Name), 'E', nowMicros()});
 }
 
 namespace {

@@ -23,6 +23,7 @@
 #include "obs/Metrics.h" // SPA_OBS_CONCAT
 
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,7 +38,11 @@ struct TraceEvent {
   double TsMicros;
 };
 
-/// Process-wide event collector (single-threaded, like the analyzer).
+/// Process-wide event collector.  begin/end are mutex-guarded so spans
+/// opened from pool workers cannot corrupt the buffer, but interleaved
+/// cross-thread spans would still nest wrongly in the Chrome view —
+/// phases that fan out keep their per-item spans on the orchestrating
+/// thread (or skip them) and only record the enclosing phase span.
 class Tracer {
 public:
   static Tracer &global();
@@ -66,6 +71,7 @@ private:
 
   bool Enabled = false;
   std::chrono::steady_clock::time_point Epoch;
+  std::mutex M;
   std::vector<TraceEvent> Events;
 };
 

@@ -30,6 +30,17 @@ constexpr size_t MaxPayloadDoubles = 8000;
 
 } // namespace
 
+double CpuTimer::now() {
+  struct rusage RU;
+  if (getrusage(RUSAGE_SELF, &RU) != 0)
+    return 0;
+  auto ToSec = [](const timeval &TV) {
+    return static_cast<double>(TV.tv_sec) +
+           static_cast<double>(TV.tv_usec) / 1e6;
+  };
+  return ToSec(RU.ru_utime) + ToSec(RU.ru_stime);
+}
+
 uint64_t spa::currentPeakRssKiB() {
   FILE *F = std::fopen("/proc/self/status", "r");
   if (!F)

@@ -39,6 +39,24 @@ private:
   Clock::time_point Start;
 };
 
+/// Process CPU-time stopwatch (user + system across all threads, from
+/// getrusage).  Paired with Timer around a parallel phase it yields the
+/// wall vs. cpu split the par.* gauges report: cpu/wall ≈ effective
+/// parallelism, cpu >> wall flags contention or oversubscription.
+class CpuTimer {
+public:
+  CpuTimer() : Start(now()) {}
+
+  /// CPU seconds consumed by the process since construction/reset().
+  double seconds() const { return now() - Start; }
+
+  void reset() { Start = now(); }
+
+private:
+  static double now();
+  double Start;
+};
+
 /// Result of running a job in a forked child process.
 struct ChildRunResult {
   bool Ok = false;         ///< Child exited 0 within the time limit.

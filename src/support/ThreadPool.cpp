@@ -1,0 +1,192 @@
+//===- ThreadPool.cpp - Fixed-size worker pool ------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "obs/Metrics.h"
+
+#include <atomic>
+#include <cstdlib>
+
+using namespace spa;
+
+namespace {
+
+/// Set while the current thread is executing inside a pool worker loop.
+thread_local bool InWorkerThread = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = defaultJobs();
+  if (Threads < 1)
+    Threads = 1;
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+  SPA_OBS_GAUGE_MAX("par.pool_threads", Threads);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  CV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  InWorkerThread = true;
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      if (Queue.empty() && !Stopping) {
+        SPA_OBS_COUNT("par.queue_waits", 1);
+        CV.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      }
+      if (Queue.empty()) {
+        if (Stopping)
+          return;
+        continue;
+      }
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    SPA_OBS_COUNT("par.tasks", 1);
+    Task();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> Fn) {
+  auto P = std::make_shared<std::promise<void>>();
+  std::future<void> F = P->get_future();
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Queue.push_back([P, Fn = std::move(Fn)] {
+      try {
+        Fn();
+        P->set_value();
+      } catch (...) {
+        P->set_exception(std::current_exception());
+      }
+    });
+  }
+  CV.notify_one();
+  return F;
+}
+
+void ThreadPool::parallelFor(size_t N, unsigned Jobs,
+                             const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (Jobs > numThreads())
+    Jobs = numThreads();
+  if (Jobs <= 1 || N <= 1 || InWorkerThread) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+
+  // Shared dynamic index: lanes strip-mine [0, N).  Each index writes
+  // only caller-owned per-index state, so the claim order is free to be
+  // nondeterministic without the results being so.
+  struct SharedState {
+    std::atomic<size_t> Next{0};
+    std::atomic<size_t> Done{0};
+    std::exception_ptr FirstError;
+    std::mutex ErrM;
+    std::mutex DoneM;
+    std::condition_variable DoneCV;
+  };
+  auto State = std::make_shared<SharedState>();
+  size_t Total = N;
+  auto Lane = [State, Total, &Fn] {
+    size_t Claimed = 0;
+    for (;;) {
+      size_t I = State->Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Total)
+        break;
+      ++Claimed;
+      try {
+        Fn(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(State->ErrM);
+        if (!State->FirstError)
+          State->FirstError = std::current_exception();
+      }
+    }
+    if (State->Done.fetch_add(Claimed, std::memory_order_acq_rel) + Claimed ==
+        Total) {
+      std::lock_guard<std::mutex> Lock(State->DoneM);
+      State->DoneCV.notify_all();
+    }
+  };
+
+  unsigned Helpers = Jobs - 1; // The caller is a lane too.
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    for (unsigned I = 0; I < Helpers; ++I)
+      Queue.push_back(Lane);
+  }
+  CV.notify_all();
+  Lane();
+
+  // All indices claimed by someone; wait for the stragglers to finish
+  // theirs.  (A helper still sitting unexecuted in the queue claims
+  // nothing and completes immediately.)
+  {
+    std::unique_lock<std::mutex> Lock(State->DoneM);
+    State->DoneCV.wait(Lock, [&] {
+      return State->Done.load(std::memory_order_acquire) >= Total;
+    });
+  }
+  if (State->FirstError)
+    std::rethrow_exception(State->FirstError);
+}
+
+void ThreadPool::parallelForChunks(
+    size_t N, unsigned Jobs, const std::function<void(size_t, size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (Jobs > numThreads())
+    Jobs = numThreads();
+  size_t Chunks = Jobs;
+  if (Chunks > N)
+    Chunks = N;
+  if (Chunks <= 1 || InWorkerThread) {
+    Fn(0, N);
+    return;
+  }
+  // Chunk boundaries depend only on (N, Chunks): index I covers
+  // [I*N/Chunks, (I+1)*N/Chunks).
+  parallelFor(Chunks, Jobs, [&](size_t I) {
+    size_t Begin = I * N / Chunks;
+    size_t End = (I + 1) * N / Chunks;
+    if (Begin < End)
+      Fn(Begin, End);
+  });
+}
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool Pool(defaultJobs());
+  return Pool;
+}
+
+unsigned ThreadPool::defaultJobs() {
+  if (const char *Env = std::getenv("SPA_JOBS")) {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW > 0 ? HW : 1;
+}
+
+bool ThreadPool::inWorker() { return InWorkerThread; }

@@ -1,0 +1,103 @@
+//===- ThreadPool.h - Fixed-size worker pool -------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzer's parallel execution layer: one process-wide fixed-size
+/// worker pool plus the parallelFor / parallelForChunks primitives the
+/// pipeline phases are built on.  Design constraints, in order:
+///
+///  1. *Determinism.*  Every primitive here is index-based: tasks write
+///     results into caller-preallocated per-index slots, so the final
+///     data structures are independent of scheduling.  Callers that need
+///     an ordered aggregate (the dependency builder's edge list) merge
+///     the slots sequentially in index order afterwards.
+///  2. *Nesting degrades to inline.*  A parallelFor issued from inside a
+///     worker thread runs inline on that worker: the batch driver can
+///     fan out over programs while each program's phases keep their
+///     parallel code paths without deadlocking the pool.
+///  3. *Opt-in.*  Everything runs sequentially (no threads touched) for
+///     Jobs <= 1, so single-job behavior is byte-for-byte the pre-pool
+///     code path.
+///
+/// Observability: par.tasks counts executed tasks, par.queue_waits
+/// counts worker blocks on an empty queue, and par.pool_threads reports
+/// the pool size (taxonomy in docs/OBSERVABILITY.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_THREADPOOL_H
+#define SPA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spa {
+
+/// Fixed-size worker pool.  Most callers use ThreadPool::global() (sized
+/// by SPA_JOBS, lazily started); benchmarks that compare pool sizes can
+/// construct their own.
+class ThreadPool {
+public:
+  /// Starts \p Threads workers (0 = defaultJobs()).
+  explicit ThreadPool(unsigned Threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads (>= 1).
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Fn for execution on a worker; the future resolves when
+  /// it finishes (exceptions propagate through the future).
+  std::future<void> submit(std::function<void()> Fn);
+
+  /// Runs Fn(I) for every I in [0, N), using up to \p Jobs lanes (the
+  /// calling thread participates, so Jobs lanes need Jobs - 1 workers).
+  /// Jobs <= 1, N <= 1, or a call from inside a worker runs inline.
+  /// Blocks until every index completes; the first task exception, if
+  /// any, is rethrown in the caller.
+  void parallelFor(size_t N, unsigned Jobs,
+                   const std::function<void(size_t)> &Fn);
+
+  /// Chunked variant: partitions [0, N) into at most \p Jobs contiguous
+  /// chunks and runs Fn(Begin, End) per chunk.  Lets callers hoist
+  /// per-lane scratch state out of the element loop.  The chunk
+  /// boundaries depend only on (N, Jobs), never on scheduling.
+  void parallelForChunks(size_t N, unsigned Jobs,
+                         const std::function<void(size_t, size_t)> &Fn);
+
+  /// The process-wide pool, started on first use with defaultJobs()
+  /// workers.
+  static ThreadPool &global();
+
+  /// Default parallelism: SPA_JOBS when set to a positive integer, else
+  /// std::thread::hardware_concurrency().
+  static unsigned defaultJobs();
+
+  /// True when called from one of this process's pool worker threads
+  /// (any pool); nested parallel primitives use this to degrade inline.
+  static bool inWorker();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex M;
+  std::condition_variable CV;
+  bool Stopping = false;
+};
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_THREADPOOL_H

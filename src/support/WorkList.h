@@ -10,6 +10,13 @@
 /// the engine visits points in a stable, near-topological order, and a
 /// membership bitmap deduplicates re-insertions.
 ///
+/// Priorities are dense small integers (2 * RPO index + 1 at most), so the
+/// queue is a bucket queue indexed by priority: push and pop are O(1) on
+/// the fixpoint hot path instead of the O(log n) of a binary heap.  The
+/// pop order is exactly the old heap's order — ascending (priority, item)
+/// — which the engines' results depend on and
+/// tests/worklist_test.cpp pins.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPA_SUPPORT_WORKLIST_H
@@ -17,23 +24,30 @@
 
 #include "obs/Metrics.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
-#include <queue>
+#include <functional>
 #include <vector>
 
 namespace spa {
 
 /// Priority worklist over dense item indices [0, Size).  Lower priority
-/// values pop first.  Duplicate pushes of an in-queue item are ignored.
+/// values pop first; ties pop the smallest item index.  Duplicate pushes
+/// of an in-queue item are ignored.
 class WorkList {
 public:
   /// \p Priorities maps item index to its scheduling priority.
   explicit WorkList(std::vector<uint32_t> Priorities)
-      : Priority(std::move(Priorities)), InQueue(Priority.size(), false) {}
+      : Priority(std::move(Priorities)), InQueue(Priority.size(), false) {
+    uint32_t MaxPrio = 0;
+    for (uint32_t P : Priority)
+      MaxPrio = std::max(MaxPrio, P);
+    Buckets.resize(static_cast<size_t>(MaxPrio) + 1);
+  }
 
-  bool empty() const { return Heap.empty(); }
-  size_t size() const { return Heap.size(); }
+  bool empty() const { return Count == 0; }
+  size_t size() const { return Count; }
 
   /// Enqueues \p Item unless it is already pending.
   void push(uint32_t Item) {
@@ -44,33 +58,41 @@ public:
     }
     InQueue[Item] = true;
     SPA_OBS_COUNT("fixpoint.worklist.pushes", 1);
-    Heap.push(Entry{Priority[Item], Item});
+    uint32_t P = Priority[Item];
+    std::vector<uint32_t> &B = Buckets[P];
+    // Kept descending so pop_back yields the smallest item index; a
+    // bucket holds the same-priority pending items (phis sharing a join
+    // point), which stay small, so the sorted insert is effectively
+    // constant-time.
+    B.insert(std::upper_bound(B.begin(), B.end(), Item,
+                              std::greater<uint32_t>()),
+             Item);
+    if (P < Cursor)
+      Cursor = P;
+    ++Count;
   }
 
-  /// Pops the pending item with the smallest priority.
+  /// Pops the pending item with the smallest (priority, index).
   uint32_t pop() {
-    assert(!Heap.empty() && "pop from empty worklist");
-    uint32_t Item = Heap.top().Item;
-    Heap.pop();
+    assert(Count > 0 && "pop from empty worklist");
+    // The cursor only moves backward on push (retreating edges), so the
+    // forward scan over buckets amortizes across the run.
+    while (Buckets[Cursor].empty())
+      ++Cursor;
+    uint32_t Item = Buckets[Cursor].back();
+    Buckets[Cursor].pop_back();
+    --Count;
     InQueue[Item] = false;
     SPA_OBS_COUNT("fixpoint.worklist.pops", 1);
     return Item;
   }
 
 private:
-  struct Entry {
-    uint32_t Prio;
-    uint32_t Item;
-    friend bool operator>(const Entry &A, const Entry &B) {
-      if (A.Prio != B.Prio)
-        return A.Prio > B.Prio;
-      return A.Item > B.Item;
-    }
-  };
-
   std::vector<uint32_t> Priority;
   std::vector<bool> InQueue;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> Heap;
+  std::vector<std::vector<uint32_t>> Buckets; ///< Indexed by priority.
+  uint32_t Cursor = 0; ///< No pending item has priority below this.
+  size_t Count = 0;
 };
 
 } // namespace spa

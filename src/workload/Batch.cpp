@@ -1,0 +1,125 @@
+//===- Batch.cpp - Multi-program batch analysis driver --------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Batch.h"
+
+#include "core/Checker.h"
+#include "ir/Builder.h"
+#include "obs/Metrics.h"
+#include "obs/MetricsSink.h"
+#include "support/Resource.h"
+#include "support/ThreadPool.h"
+#include "workload/Suite.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace spa;
+
+size_t BatchResult::numFailed() const {
+  size_t N = 0;
+  for (const BatchItemResult &R : Items)
+    N += !R.Ok;
+  return N;
+}
+
+static const char *batchEngineName(EngineKind E) {
+  switch (E) {
+  case EngineKind::Vanilla:
+    return "vanilla";
+  case EngineKind::Base:
+    return "base";
+  case EngineKind::Sparse:
+    return "sparse";
+  }
+  return "unknown";
+}
+
+BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
+                          const BatchOptions &Opts) {
+  BatchResult Result;
+  Result.Items.resize(Items.size());
+
+  AnalyzerOptions AOpts = Opts.Analyzer;
+  if (Opts.Check)
+    AOpts.Dep.Bypass = false; // The checker reads input buffers.
+  unsigned Jobs = AOpts.Jobs ? AOpts.Jobs : ThreadPool::defaultJobs();
+
+  Timer Clock;
+  // One program per index: each lane builds and analyzes its own Program
+  // (no shared mutable state beyond the obs registry, whose counters are
+  // atomic).  Inside a worker lane the analyzer's parallel phases run
+  // inline, so the batch does not oversubscribe the pool.
+  ThreadPool::global().parallelFor(Items.size(), Jobs, [&](size_t I) {
+    BatchItemResult &R = Result.Items[I];
+    R.Name = Items[I].Name;
+    Timer ItemClock;
+    BuildResult Built = buildProgramFromSource(Items[I].Source);
+    if (!Built.ok()) {
+      R.Error = Built.Error;
+      R.Seconds = ItemClock.seconds();
+      return;
+    }
+    AnalysisRun Run = analyzeProgram(*Built.Prog, AOpts);
+    R.TimedOut = Run.timedOut();
+    if (Opts.Check && !R.TimedOut) {
+      CheckerSummary Summary = checkBufferOverruns(*Built.Prog, Run);
+      R.Checks = static_cast<unsigned>(Summary.Checks.size());
+      R.Alarms = Summary.numAlarms();
+    }
+    R.Ok = !R.TimedOut;
+    R.Seconds = ItemClock.seconds();
+  });
+  Result.Seconds = Clock.seconds();
+
+  SPA_OBS_GAUGE_SET("batch.programs", Items.size());
+  SPA_OBS_GAUGE_SET("batch.failed", Result.numFailed());
+  SPA_OBS_GAUGE_SET("batch.jobs", Jobs);
+  SPA_OBS_GAUGE_SET("batch.seconds", Result.Seconds);
+  SPA_OBS_GAUGE_SET("batch.programs_per_sec", Result.programsPerSec());
+  obs::MetricsSink::appendBenchRecord("batch",
+                                      batchEngineName(AOpts.Engine),
+                                      Result.numFailed() == 0);
+  return Result;
+}
+
+std::vector<BatchItem> spa::suiteBatch(double Scale) {
+  std::vector<BatchItem> Items;
+  for (const SuiteEntry &E : paperSuite(Scale))
+    Items.push_back({E.Name, generateSource(E.Config)});
+  return Items;
+}
+
+bool spa::loadBatchFile(const std::string &Path,
+                        std::vector<BatchItem> &Items, std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  std::string Dir;
+  if (size_t Slash = Path.find_last_of('/'); Slash != std::string::npos)
+    Dir = Path.substr(0, Slash + 1);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t B = Line.find_first_not_of(" \t\r");
+    if (B == std::string::npos || Line[B] == '#')
+      continue;
+    size_t E = Line.find_last_not_of(" \t\r");
+    std::string Entry = Line.substr(B, E - B + 1);
+    std::string Full =
+        (Entry[0] == '/' || Dir.empty()) ? Entry : Dir + Entry;
+    std::ifstream Src(Full);
+    if (!Src) {
+      Error = "cannot open " + Full;
+      return false;
+    }
+    std::ostringstream OS;
+    OS << Src.rdbuf();
+    Items.push_back({Entry, OS.str()});
+  }
+  return true;
+}

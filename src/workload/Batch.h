@@ -1,0 +1,79 @@
+//===- Batch.h - Multi-program batch analysis driver ----------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-batch front-end: analyze K programs across the thread pool, one
+/// program per lane (the embarrassingly-parallel outer loop; the
+/// analyzer's own parallel phases degrade to inline execution on worker
+/// lanes, so nesting is safe).  Per-program results land in input-order
+/// slots, so batch output is deterministic regardless of lane scheduling,
+/// and throughput is reported as programs/sec via the SPA_BENCH_JSON
+/// records of docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_WORKLOAD_BATCH_H
+#define SPA_WORKLOAD_BATCH_H
+
+#include "core/Analyzer.h"
+
+#include <string>
+#include <vector>
+
+namespace spa {
+
+/// One program of a batch: a display name plus its surface source text.
+struct BatchItem {
+  std::string Name;
+  std::string Source;
+};
+
+/// Outcome of one batch item (deterministic: independent of Jobs).
+struct BatchItemResult {
+  std::string Name;
+  bool Ok = false;
+  std::string Error; ///< Build failure reason when !Ok.
+  bool TimedOut = false;
+  unsigned Checks = 0; ///< Dereferences checked (with Check).
+  unsigned Alarms = 0; ///< Checker alarms (with Check).
+  double Seconds = 0;  ///< This item's analysis wall time.
+};
+
+struct BatchOptions {
+  AnalyzerOptions Analyzer;
+  /// Also run the buffer-overrun checker per program (forces the
+  /// no-bypass graph the checker needs).
+  bool Check = false;
+};
+
+struct BatchResult {
+  std::vector<BatchItemResult> Items; ///< In input order.
+  double Seconds = 0;                 ///< Whole-batch wall time.
+
+  size_t numFailed() const;
+  double programsPerSec() const {
+    return Seconds > 0 ? static_cast<double>(Items.size()) / Seconds : 0;
+  }
+};
+
+/// Analyzes every item, fanning programs out over Analyzer.Jobs pool
+/// lanes, and appends one "batch" bench record (SPA_BENCH_JSON) with the
+/// batch.* gauges.
+BatchResult runBatch(const std::vector<BatchItem> &Items,
+                     const BatchOptions &Opts);
+
+/// The paper's 16-program suite as a batch (generated sources).
+std::vector<BatchItem> suiteBatch(double Scale);
+
+/// Loads a batch list file: one .spa program path per line; blank lines
+/// and '#' comments are skipped; relative paths resolve against the list
+/// file's directory.  Returns false with \p Error set on I/O failure.
+bool loadBatchFile(const std::string &Path, std::vector<BatchItem> &Items,
+                   std::string &Error);
+
+} // namespace spa
+
+#endif // SPA_WORKLOAD_BATCH_H

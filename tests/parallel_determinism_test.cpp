@@ -1,0 +1,179 @@
+//===- parallel_determinism_test.cpp - Parallel == sequential, bit for bit --------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel pipeline's acceptance criterion (docs/PARALLELISM.md):
+/// for every job count, the analyzer must produce *bit-identical*
+/// results — per-node input/output states, checker verdicts, exported
+/// listings, and the deterministic fixpoint counters (visits, worklist
+/// pushes/pops/dedups, widenings) — because every parallel phase either
+/// writes disjoint per-index slots or runs closed subsystems whose
+/// schedules are restrictions of the sequential one.  Randomized
+/// generator programs cover branches, loops, recursion, callgraph SCCs,
+/// function pointers, and pointer traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/Checker.h"
+#include "core/Export.h"
+#include "ir/Builder.h"
+#include "obs/Metrics.h"
+#include "workload/Batch.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace spa;
+
+namespace {
+
+/// Generator shapes that together exercise every parallel phase:
+/// many-function programs (dep-build fan-out), recursion and SCC groups
+/// (widening on cycles), function pointers (callgraph resolution), and
+/// disconnected call trees (multi-component fixpoint partitions).
+GenConfig configForRound(unsigned Round) {
+  GenConfig C;
+  C.Seed = 0x5eed0000 + Round;
+  C.NumFunctions = 3 + Round % 9;
+  C.StmtsPerFunction = 8 + (Round * 7) % 20;
+  C.NumGlobals = 1 + Round % 5;
+  C.PointerLocals = Round % 4;
+  C.LoopPercent = Round % 3 ? 12 : 0;
+  C.AllowRecursion = Round % 4 == 1;
+  C.UseFunctionPointers = Round % 5 == 2;
+  C.SccGroupSize = Round % 6 == 3 ? 3 : 0;
+  // Low call percent leaves some functions uncalled from main's tree,
+  // giving the fixpoint more than one dependency component to shard.
+  if (Round % 3 == 0)
+    C.CallPercent = 6;
+  return C;
+}
+
+/// Everything one analyzer run produces that must not depend on Jobs.
+struct RunDigest {
+  std::string Listing;
+  std::string Alarms;
+  uint64_t Visits = 0;
+  uint64_t StateEntries = 0;
+  uint64_t GraphEdges = 0;
+  std::vector<AbsState> In, Out;
+  std::map<std::string, double> Counters;
+};
+
+RunDigest digestRun(const Program &Prog, unsigned Jobs) {
+  obs::Registry::global().reset();
+  AnalyzerOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.Dep.Bypass = false; // Checker and listing read input buffers.
+  AnalysisRun Run = analyzeProgram(Prog, Opts);
+
+  RunDigest D;
+  D.Listing = exportAnnotatedListing(Prog, Run);
+  CheckerSummary Summary = checkBufferOverruns(Prog, Run);
+  for (const AccessCheck &C : Summary.Checks)
+    D.Alarms += C.str(Prog) + "\n";
+  D.Visits = Run.Sparse->Visits;
+  D.StateEntries = Run.Sparse->StateEntries;
+  D.GraphEdges = Run.Graph->Edges->edgeCount();
+  D.In = Run.Sparse->In;
+  D.Out = Run.Sparse->Out;
+  // The deterministic fixpoint counters: per-shard schedules are
+  // restrictions of the sequential schedule, so even push/dedup totals
+  // must match exactly.  Timing gauges are not deterministic; take only
+  // the counters that count work.
+  for (const auto &[Name, V] : obs::Registry::global().snapshot())
+    if (Name.rfind("fixpoint.", 0) == 0 && Name.find("seconds") ==
+        std::string::npos)
+      D.Counters[Name] = V;
+  return D;
+}
+
+TEST(ParallelDeterminismTest, AllJobCountsProduceIdenticalResults) {
+  constexpr unsigned Rounds = 50;
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    BuildResult Built =
+        buildProgramFromSource(generateSource(configForRound(Round)));
+    ASSERT_TRUE(Built.ok()) << Built.Error;
+    const Program &Prog = *Built.Prog;
+
+    RunDigest Seq = digestRun(Prog, 1);
+    for (unsigned Jobs : {2u, 4u, 8u}) {
+      RunDigest Par = digestRun(Prog, Jobs);
+      ASSERT_EQ(Seq.Listing, Par.Listing)
+          << "round " << Round << " jobs " << Jobs;
+      ASSERT_EQ(Seq.Alarms, Par.Alarms)
+          << "round " << Round << " jobs " << Jobs;
+      ASSERT_EQ(Seq.Visits, Par.Visits)
+          << "round " << Round << " jobs " << Jobs;
+      ASSERT_EQ(Seq.StateEntries, Par.StateEntries)
+          << "round " << Round << " jobs " << Jobs;
+      ASSERT_EQ(Seq.GraphEdges, Par.GraphEdges)
+          << "round " << Round << " jobs " << Jobs;
+      ASSERT_EQ(Seq.Counters, Par.Counters)
+          << "round " << Round << " jobs " << Jobs;
+      ASSERT_EQ(Seq.In.size(), Par.In.size());
+      for (size_t N = 0; N < Seq.In.size(); ++N) {
+        ASSERT_EQ(Seq.In[N], Par.In[N])
+            << "round " << Round << " jobs " << Jobs << " node " << N;
+        ASSERT_EQ(Seq.Out[N], Par.Out[N])
+            << "round " << Round << " jobs " << Jobs << " node " << N;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, PhaseGaugesSatisfyTotalInvariant) {
+  // The per-phase gauge split must stay exact under parallel execution:
+  // total == pre + defuse + depbuild + fix (pinned sequentially by
+  // tests/obs_test.cpp).
+  BuildResult Built =
+      buildProgramFromSource(generateSource(configForRound(7)));
+  ASSERT_TRUE(Built.ok());
+  obs::Registry::global().reset();
+  AnalyzerOptions Opts;
+  Opts.Jobs = 4;
+  AnalysisRun Run = analyzeProgram(*Built.Prog, Opts);
+  EXPECT_DOUBLE_EQ(Run.totalSeconds(),
+                   Run.PreSeconds + Run.DefUseSeconds +
+                       Run.depBuildSeconds() + Run.fixSeconds());
+  auto Snapshot = obs::Registry::global().snapshot();
+  std::map<std::string, double> M(Snapshot.begin(), Snapshot.end());
+  EXPECT_DOUBLE_EQ(M["phase.total.seconds"],
+                   M["phase.pre.seconds"] + M["phase.defuse.seconds"] +
+                       M["phase.depbuild.seconds"] +
+                       M["phase.fix.seconds"]);
+  EXPECT_EQ(M["par.jobs"], 4);
+}
+
+TEST(ParallelDeterminismTest, BatchResultsIndependentOfJobs) {
+  std::vector<BatchItem> Items;
+  for (unsigned Round = 0; Round < 6; ++Round)
+    Items.push_back({"p" + std::to_string(Round),
+                     generateSource(configForRound(Round))});
+
+  auto RunWith = [&](unsigned Jobs) {
+    BatchOptions Opts;
+    Opts.Analyzer.Jobs = Jobs;
+    Opts.Check = true;
+    return runBatch(Items, Opts);
+  };
+  BatchResult Seq = RunWith(1);
+  BatchResult Par = RunWith(4);
+  ASSERT_EQ(Seq.Items.size(), Par.Items.size());
+  for (size_t I = 0; I < Seq.Items.size(); ++I) {
+    EXPECT_EQ(Seq.Items[I].Name, Par.Items[I].Name);
+    EXPECT_EQ(Seq.Items[I].Ok, Par.Items[I].Ok);
+    EXPECT_EQ(Seq.Items[I].Checks, Par.Items[I].Checks);
+    EXPECT_EQ(Seq.Items[I].Alarms, Par.Items[I].Alarms);
+  }
+}
+
+} // namespace

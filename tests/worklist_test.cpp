@@ -1,0 +1,130 @@
+//===- worklist_test.cpp - Bucket-queue worklist order pinning -------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engines' fixpoint results depend on the worklist pop order, so the
+/// bucket-queue implementation must reproduce the old binary heap's order
+/// exactly: ascending (priority, item index), duplicates deduplicated.
+/// These tests pin that order, both on scripted sequences and against a
+/// reference priority_queue under random interleaved push/pop.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "support/WorkList.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+using namespace spa;
+
+namespace {
+
+/// The pre-bucket-queue implementation, kept as the order oracle.
+class HeapWorkList {
+public:
+  explicit HeapWorkList(std::vector<uint32_t> Priorities)
+      : Priority(std::move(Priorities)), InQueue(Priority.size(), false) {}
+
+  bool empty() const { return Heap.empty(); }
+
+  void push(uint32_t Item) {
+    if (InQueue[Item])
+      return;
+    InQueue[Item] = true;
+    Heap.push(Entry{Priority[Item], Item});
+  }
+
+  uint32_t pop() {
+    uint32_t Item = Heap.top().Item;
+    Heap.pop();
+    InQueue[Item] = false;
+    return Item;
+  }
+
+private:
+  struct Entry {
+    uint32_t Prio;
+    uint32_t Item;
+    friend bool operator>(const Entry &A, const Entry &B) {
+      if (A.Prio != B.Prio)
+        return A.Prio > B.Prio;
+      return A.Item > B.Item;
+    }
+  };
+  std::vector<uint32_t> Priority;
+  std::vector<bool> InQueue;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> Heap;
+};
+
+TEST(WorkListTest, PopsInPriorityThenIndexOrder) {
+  // Items 0..5 with colliding priorities (like phis sharing a join point).
+  WorkList WL({3, 1, 3, 0, 1, 3});
+  for (uint32_t I = 0; I < 6; ++I)
+    WL.push(I);
+  std::vector<uint32_t> Got;
+  while (!WL.empty())
+    Got.push_back(WL.pop());
+  EXPECT_EQ(Got, (std::vector<uint32_t>{3, 1, 4, 0, 2, 5}));
+}
+
+TEST(WorkListTest, DuplicatePushesAreDeduplicated) {
+  WorkList WL({2, 1, 0});
+  WL.push(1);
+  WL.push(1);
+  WL.push(1);
+  EXPECT_EQ(WL.size(), 1u);
+  EXPECT_EQ(WL.pop(), 1u);
+  EXPECT_TRUE(WL.empty());
+  // Re-push after pop works (membership bitmap cleared).
+  WL.push(1);
+  EXPECT_EQ(WL.size(), 1u);
+  EXPECT_EQ(WL.pop(), 1u);
+}
+
+TEST(WorkListTest, RetreatingPushReordersBeforeHigherPriorities) {
+  // Pop a low-priority item, then push a lower-priority one: the cursor
+  // must move back (the retreating-edge shape of the fixpoint).
+  WorkList WL({0, 5, 2});
+  WL.push(1);
+  WL.push(2);
+  EXPECT_EQ(WL.pop(), 2u); // prio 2
+  WL.push(0);              // prio 0 < everything pending
+  EXPECT_EQ(WL.pop(), 0u);
+  EXPECT_EQ(WL.pop(), 1u);
+}
+
+TEST(WorkListTest, MatchesReferenceHeapUnderRandomInterleaving) {
+  Rng R(0xbadc0ffee);
+  for (int Round = 0; Round < 20; ++Round) {
+    size_t N = 1 + R.next() % 200;
+    std::vector<uint32_t> Prio(N);
+    for (auto &P : Prio)
+      P = R.next() % (N / 2 + 1); // Dense, with collisions.
+    WorkList WL(Prio);
+    HeapWorkList Ref(Prio);
+    for (int Step = 0; Step < 2000; ++Step) {
+      bool DoPush = Ref.empty() || (R.next() % 3 != 0);
+      if (DoPush) {
+        uint32_t Item = R.next() % N;
+        WL.push(Item);
+        Ref.push(Item);
+      } else {
+        ASSERT_FALSE(WL.empty());
+        ASSERT_EQ(WL.pop(), Ref.pop());
+      }
+    }
+    while (!Ref.empty()) {
+      ASSERT_FALSE(WL.empty());
+      ASSERT_EQ(WL.pop(), Ref.pop());
+    }
+    ASSERT_TRUE(WL.empty());
+  }
+}
+
+} // namespace

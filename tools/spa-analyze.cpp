@@ -21,12 +21,17 @@
 ///   --dump-deps                    dependency graph in Graphviz dot
 ///   --run[=seed]                   execute concretely (input() seed)
 ///   --time-limit=SECONDS           analysis wall-clock budget
+///   --jobs=N                       thread-pool lanes (0 = SPA_JOBS/cores)
+///   --batch=FILE                   analyze every program listed in FILE
+///   --batch-suite[=scale]          analyze the generated paper suite
 ///   --stats                        metrics registry dump (key=value lines)
 ///   --metrics-out=FILE             write the metrics registry as JSON
 ///   --trace-out=FILE               write Chrome trace-event JSON spans
 ///
-/// The metric taxonomy and both output formats are documented in
-/// docs/OBSERVABILITY.md.
+/// Batch mode fans programs out across the pool (docs/PARALLELISM.md);
+/// per-program results print in input order and are identical for every
+/// --jobs value.  The metric taxonomy and both output formats are
+/// documented in docs/OBSERVABILITY.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +43,8 @@
 #include "obs/MetricsSink.h"
 #include "obs/Trace.h"
 #include "oct/OctAnalysis.h"
+#include "workload/Batch.h"
+#include "workload/Suite.h"
 
 #include <cstdio>
 #include <cstring>
@@ -66,6 +73,10 @@ struct CliOptions {
   std::string MetricsOut;
   std::string TraceOut;
   double TimeLimitSec = 0;
+  unsigned Jobs = 1; ///< 0 = ThreadPool::defaultJobs().
+  std::string BatchFile;
+  bool BatchSuite = false;
+  double BatchSuiteScale = 0; ///< 0 = suiteScaleFromEnv().
 };
 
 void usage() {
@@ -77,6 +88,7 @@ void usage() {
                "  --no-bypass --bdd --check --list --dump-cfg "
                "--dump-deps\n"
                "  --run[=seed] --time-limit=N --stats\n"
+               "  --jobs=N --batch=FILE --batch-suite[=scale]\n"
                "  --metrics-out=FILE --trace-out=FILE   (\"-\" = stdout)\n");
 }
 
@@ -142,6 +154,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.RunSeed = std::strtoull(V, nullptr, 10);
     } else if (const char *V = Value("--time-limit=")) {
       Opts.TimeLimitSec = std::atof(V);
+    } else if (const char *V = Value("--jobs=")) {
+      Opts.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (const char *V = Value("--batch=")) {
+      Opts.BatchFile = V;
+    } else if (A == "--batch-suite") {
+      Opts.BatchSuite = true;
+    } else if (const char *V = Value("--batch-suite=")) {
+      Opts.BatchSuite = true;
+      Opts.BatchSuiteScale = std::atof(V);
     } else if (A == "--stats") {
       Opts.Stats = true;
     } else if (const char *V = Value("--metrics-out=")) {
@@ -159,7 +180,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       return false;
     }
   }
-  return !Opts.Path.empty();
+  // Batch modes supply their own program list; otherwise a path is
+  // required.
+  return !Opts.Path.empty() || !Opts.BatchFile.empty() || Opts.BatchSuite;
 }
 
 std::string readInput(const std::string &Path) {
@@ -244,6 +267,56 @@ int runOctagonMode(const Program &Prog, const CliOptions &Cli) {
   return 0;
 }
 
+/// --batch / --batch-suite: analyze many programs across the pool.
+/// Per-item lines print in input order (independent of --jobs).
+int runBatchMode(const CliOptions &Cli) {
+  std::vector<BatchItem> Items;
+  if (Cli.BatchSuite) {
+    double Scale =
+        Cli.BatchSuiteScale > 0 ? Cli.BatchSuiteScale : suiteScaleFromEnv();
+    Items = suiteBatch(Scale);
+  }
+  if (!Cli.BatchFile.empty()) {
+    std::string Error;
+    if (!loadBatchFile(Cli.BatchFile, Items, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+  if (Items.empty()) {
+    std::fprintf(stderr, "error: batch contains no programs\n");
+    return 1;
+  }
+
+  BatchOptions Opts;
+  Opts.Analyzer.Engine = Cli.Engine;
+  Opts.Analyzer.Pre = Cli.Pre;
+  Opts.Analyzer.Dep = Cli.Dep;
+  Opts.Analyzer.TimeLimitSec = Cli.TimeLimitSec;
+  Opts.Analyzer.Jobs = Cli.Jobs;
+  Opts.Check = Cli.Check;
+
+  BatchResult R = runBatch(Items, Opts);
+  for (const BatchItemResult &I : R.Items) {
+    if (!I.Ok && !I.Error.empty())
+      std::printf("%-24s error: %s\n", I.Name.c_str(), I.Error.c_str());
+    else if (I.TimedOut)
+      std::printf("%-24s timed out after %.2fs\n", I.Name.c_str(),
+                  I.Seconds);
+    else if (Cli.Check)
+      std::printf("%-24s %.2fs  %u checks, %u alarms\n", I.Name.c_str(),
+                  I.Seconds, I.Checks, I.Alarms);
+    else
+      std::printf("%-24s %.2fs\n", I.Name.c_str(), I.Seconds);
+  }
+  std::printf("%zu programs in %.2fs (%.2f programs/sec, %zu failed)\n",
+              R.Items.size(), R.Seconds, R.programsPerSec(),
+              R.numFailed());
+  if (int Rc = emitObservability(Cli))
+    return Rc;
+  return R.numFailed() == 0 ? 0 : 2;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -255,6 +328,9 @@ int main(int Argc, char **Argv) {
 
   if (!Cli.TraceOut.empty())
     obs::Tracer::global().enable();
+
+  if (!Cli.BatchFile.empty() || Cli.BatchSuite)
+    return runBatchMode(Cli);
 
   BuildResult Built = buildProgramFromSource(readInput(Cli.Path));
   if (!Built.ok()) {
@@ -273,6 +349,7 @@ int main(int Argc, char **Argv) {
   if (Cli.Check || Cli.List)
     Opts.Dep.Bypass = false; // Checker and listing read input buffers.
   Opts.TimeLimitSec = Cli.TimeLimitSec;
+  Opts.Jobs = Cli.Jobs;
   AnalysisRun Run = analyzeProgram(Prog, Opts);
   if (Run.timedOut()) {
     std::printf("analysis exceeded the time limit\n");
