@@ -71,6 +71,33 @@ out = {
 s, p = (out["sequential"]["suite_totals"]["phase.total.seconds"],
         out["parallel"]["suite_totals"]["phase.total.seconds"])
 out["suite_speedup"] = round(s / p, 3) if p > 0 else None
+
+# Budget-guard overhead ablation (docs/ROBUSTNESS.md: guards <= 2% on
+# the batch suite): whole-batch seconds with budgets disabled (null
+# token) vs armed with generous never-tripping limits.
+# Each configuration appears once per interleaved repetition; take the
+# minimum (the noise-robust wall-clock estimator pipeline_scaling also
+# prints).
+guard = {}
+for r in records:
+    if r["bench"].startswith("guard:"):
+        guard.setdefault(r["bench"][len("guard:"):], []).append(r["metrics"])
+if "off" in guard and "on" in guard:
+    off = min(m.get("batch.seconds", 0) for m in guard["off"])
+    on = min(m.get("batch.seconds", 0) for m in guard["on"])
+    off_cpu = min(m.get("batch.cpu_seconds", 0) for m in guard["off"])
+    on_cpu = min(m.get("batch.cpu_seconds", 0) for m in guard["on"])
+    out["budget_guard"] = {
+        "seconds_disabled": round(off, 4),
+        "seconds_enabled": round(on, 4),
+        "overhead_pct": round(100.0 * (on - off) / off, 2) if off > 0
+                        else None,
+        "cpu_seconds_disabled": round(off_cpu, 4),
+        "cpu_seconds_enabled": round(on_cpu, 4),
+        "cpu_overhead_pct": round(100.0 * (on_cpu - off_cpu) / off_cpu, 2)
+                            if off_cpu > 0 else None,
+        "degraded": sum(m.get("batch.degraded", 0) for m in guard["on"]),
+    }
 json.dump(out, open(sys.argv[2], "w"), indent=2)
 print("wrote", sys.argv[2])
 EOF

@@ -8,6 +8,7 @@
 
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/Fault.h"
 #include "support/Resource.h"
 #include "support/ThreadPool.h"
 
@@ -37,6 +38,16 @@ bool AnalysisRun::timedOut() const {
   return false;
 }
 
+bool AnalysisRun::degraded() const {
+  if (Pre.Degraded)
+    return true;
+  if (Dense && Dense->Degraded)
+    return true;
+  if (Sparse && Sparse->Degraded)
+    return true;
+  return false;
+}
+
 AnalysisRun spa::analyzeProgram(const Program &Prog,
                                 const AnalyzerOptions &Opts) {
   SPA_OBS_TRACE("analyze");
@@ -46,12 +57,22 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
   unsigned Jobs = Opts.Jobs ? Opts.Jobs : ThreadPool::defaultJobs();
   SPA_OBS_GAUGE_SET("par.jobs", Jobs);
 
+  // One cooperative budget for the whole run: every phase (and every
+  // worker lane) charges the same token, so the first limit to trip
+  // stops all of them within a bounded number of steps.
+  std::optional<Budget> BudgetStorage;
+  if (Opts.Budget.enabled())
+    BudgetStorage.emplace(Opts.Budget);
+  Budget *Bud = BudgetStorage ? &*BudgetStorage : nullptr;
+
   Timer PreClock;
   CpuTimer TotalCpu;
   AnalysisRun Run{[&] {
                     SPA_OBS_TRACE("pre-analysis");
+                    maybeInjectFault("pre");
                     return runPreAnalysis(Prog, Opts.Sem,
-                                          /*WidenAfterSweeps=*/3, Opts.Pre);
+                                          /*WidenAfterSweeps=*/3, Opts.Pre,
+                                          Bud);
                   }(),
                   DefUseInfo{}, {}, {}, {}, 0, 0};
   Run.PreSeconds = PreClock.seconds();
@@ -61,7 +82,8 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
   CpuTimer DuCpu;
   {
     SPA_OBS_TRACE("def-use");
-    Run.DU = computeDefUse(Prog, Run.Pre, Jobs);
+    maybeInjectFault("defuse");
+    Run.DU = computeDefUse(Prog, Run.Pre, Jobs, Bud);
   }
   Run.DefUseSeconds = DuClock.seconds();
   SPA_OBS_GAUGE_SET("phase.defuse.seconds", Run.DefUseSeconds);
@@ -76,16 +98,21 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
     DOpts.TimeLimitSec = Opts.TimeLimitSec;
     DOpts.NarrowingPasses = Opts.NarrowingPasses;
     DOpts.WideningDelay = Opts.WideningDelay;
+    DOpts.Bud = Bud;
+    DOpts.DegradeTo = &Run.Pre.Global;
     SPA_OBS_TRACE("fixpoint");
+    maybeInjectFault("fix");
     Run.Dense = runDenseAnalysis(Prog, Run.Pre.CG, &Run.DU, DOpts);
     break;
   }
   case EngineKind::Sparse: {
     {
       SPA_OBS_TRACE("dep-build");
+      maybeInjectFault("depbuild");
       CpuTimer DepCpu;
       DepOptions DepOpts = Opts.Dep;
       DepOpts.Jobs = Jobs;
+      DepOpts.Bud = Bud;
       Run.Graph = buildDepGraph(Prog, Run.Pre.CG, Run.DU, DepOpts);
       SPA_OBS_GAUGE_SET("phase.depbuild.cpu_seconds", DepCpu.seconds());
     }
@@ -94,7 +121,10 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
     SOpts.TimeLimitSec = Opts.TimeLimitSec;
     SOpts.WideningDelay = Opts.WideningDelay;
     SOpts.Jobs = Jobs;
+    SOpts.Bud = Bud;
+    SOpts.DegradeTo = &Run.Pre.Global;
     SPA_OBS_TRACE("fixpoint");
+    maybeInjectFault("fix");
     CpuTimer FixCpu;
     Run.Sparse = runSparseAnalysis(Prog, Run.Pre.CG, *Run.Graph, SOpts);
     SPA_OBS_GAUGE_SET("phase.fix.cpu_seconds", FixCpu.seconds());
@@ -109,5 +139,30 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
   // multiple lanes; cpu_seconds ≈ seconds means it was sequential.
   SPA_OBS_GAUGE_SET("phase.total.cpu_seconds", TotalCpu.seconds());
   SPA_OBS_GAUGE_MAX("mem.peak_rss_kib", currentPeakRssKiB());
+
+  if (Bud) {
+    Run.BudgetStop = Bud->reason();
+    Run.BudgetSteps = Bud->steps();
+    SPA_OBS_GAUGE_SET("budget.steps", double(Bud->steps()));
+    SPA_OBS_GAUGE_SET("budget.exhausted", Bud->exhausted() ? 1 : 0);
+    // SPA_OBS_COUNT needs a literal name per call site, hence the chain.
+    switch (Bud->reason()) {
+    case BudgetReason::None:
+      break;
+    case BudgetReason::Deadline:
+      SPA_OBS_COUNT("budget.stops.deadline", 1);
+      break;
+    case BudgetReason::Steps:
+      SPA_OBS_COUNT("budget.stops.steps", 1);
+      break;
+    case BudgetReason::Memory:
+      SPA_OBS_COUNT("budget.stops.memory", 1);
+      break;
+    case BudgetReason::Cancelled:
+      SPA_OBS_COUNT("budget.stops.cancelled", 1);
+      break;
+    }
+  }
+  SPA_OBS_GAUGE_SET("analysis.degraded", Run.degraded() ? 1 : 0);
   return Run;
 }

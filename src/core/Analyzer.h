@@ -42,6 +42,14 @@ struct AnalyzerOptions {
   double TimeLimitSec = 0;
   unsigned WideningDelay = 4;
   unsigned NarrowingPasses = 0; ///< Dense engines only.
+  /// Resource-governance limits (docs/ROBUSTNESS.md).  When any limit is
+  /// set the facade creates one cooperative Budget shared by every phase
+  /// (pre-analysis, def/use, dependency build, fixpoint — including
+  /// worker lanes); on exhaustion the run *degrades soundly* to the
+  /// flow-insensitive pre-analysis invariant instead of timing out.
+  /// Unlike TimeLimitSec (which reports an unusable timed-out run), a
+  /// degraded run is a complete, sound over-approximation.
+  BudgetLimits Budget;
   /// Pool lanes for the parallel phases (def/use collection, per-function
   /// dependency construction, partitioned sparse fixpoint).  Results are
   /// bit-identical for every value; 1 = fully sequential.  0 resolves to
@@ -80,6 +88,15 @@ struct AnalysisRun {
   double fixSeconds() const;
   double totalSeconds() const { return depSeconds() + fixSeconds(); }
   bool timedOut() const;
+
+  /// Why the budget stopped the run (None when it never tripped or no
+  /// budget was configured) and the steps it had consumed by the end.
+  BudgetReason BudgetStop = BudgetReason::None;
+  uint64_t BudgetSteps = 0;
+  /// Any phase fell back to the degradation ladder: the results are
+  /// still sound over-approximations, but coarser than a full fixpoint
+  /// (the provenance bit Checker/Export/spa-analyze surface).
+  bool degraded() const;
 };
 
 AnalysisRun analyzeProgram(const Program &Prog, const AnalyzerOptions &Opts);

@@ -27,6 +27,8 @@ std::string AccessCheck::str(const Program &Prog) const {
   OS << " " << (IsStore ? "store" : "load") << " through "
      << Prog.loc(Ptr).Name << " at {" << Prog.pointToString(P)
      << "}: offset " << Offset.str() << ", size " << Size.str();
+  if (Degraded)
+    OS << " [degraded]";
   return OS.str();
 }
 
@@ -74,6 +76,7 @@ CheckerSummary spa::checkBufferOverruns(const Program &Prog,
                                         const AnalysisRun &Run) {
   assert(Run.Sparse && "checker consumes a sparse analysis result");
   CheckerSummary Summary;
+  Summary.Degraded = Run.degraded();
 
   for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
     const Command &Cmd = Prog.point(PointId(P)).Cmd;
@@ -115,6 +118,7 @@ CheckerSummary spa::checkBufferOverruns(const Program &Prog,
       C.Size = V.Size;
       C.IsStore = IsStore;
       C.Result = classify(V);
+      C.Degraded = Summary.Degraded;
       Summary.Checks.push_back(std::move(C));
     };
     for (LocId L : Loads)

@@ -32,12 +32,17 @@ struct AccessCheck {
   /// Verdicts: Safe (proved in bounds), Alarm (may be out of bounds),
   /// DefiniteOverrun (every concretization is out of bounds).
   enum class Verdict { Safe, Alarm, DefiniteOverrun } Result;
+  /// Provenance: the producing run hit its resource budget and degraded
+  /// (the verdict is still sound, but coarser — expect extra alarms).
+  bool Degraded = false;
 
   std::string str(const Program &Prog) const;
 };
 
 struct CheckerSummary {
   std::vector<AccessCheck> Checks;
+  /// Mirrors AnalysisRun::degraded() of the producing run.
+  bool Degraded = false;
   unsigned numSafe() const;
   unsigned numAlarms() const; ///< Alarm + DefiniteOverrun.
 };

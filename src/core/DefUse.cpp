@@ -87,7 +87,7 @@ bool DefUseInfo::isSemanticUse(PointId P, LocId L) const {
 }
 
 DefUseInfo spa::computeDefUse(const Program &Prog, const PreAnalysisResult &Pre,
-                              unsigned Jobs) {
+                              unsigned Jobs, Budget *Bud) {
   DefUseInfo Info;
   size_t N = Prog.numPoints();
   Info.Defs.resize(N);
@@ -96,7 +96,13 @@ DefUseInfo spa::computeDefUse(const Program &Prog, const PreAnalysisResult &Pre,
   // Step 1: semantic per-point sets against T̂pre (Section 3.2).  Each
   // point writes only its own slot against the read-only pre-analysis
   // state, so the chunks are independent and the result Jobs-invariant.
+  // The budget is charged per point from the worker lanes themselves; the
+  // structural work still completes (the node sets must be whole for the
+  // dependency graph to be sound), so exhaustion here only makes the
+  // downstream fixpoint degrade sooner.
   ThreadPool::global().parallelForChunks(N, Jobs, [&](size_t Lo, size_t Hi) {
+    if (Bud)
+      Bud->charge(Hi - Lo);
     for (size_t P = Lo; P < Hi; ++P) {
       collectDefs(Prog, &Pre.CG, PointId(P), Pre.state(), Info.Defs[P]);
       collectUses(Prog, &Pre.CG, PointId(P), Pre.state(), Info.Uses[P]);
@@ -105,7 +111,7 @@ DefUseInfo spa::computeDefUse(const Program &Prog, const PreAnalysisResult &Pre,
     }
   });
 
-  foldInterproceduralSummaries(Prog, Pre.CG, Info, Jobs);
+  foldInterproceduralSummaries(Prog, Pre.CG, Info, Jobs, Bud);
   SPA_OBS_GAUGE_SET("defuse.avg_def_size", Info.avgSemanticDefSize());
   SPA_OBS_GAUGE_SET("defuse.avg_use_size", Info.avgSemanticUseSize());
   return Info;
@@ -113,7 +119,8 @@ DefUseInfo spa::computeDefUse(const Program &Prog, const PreAnalysisResult &Pre,
 
 void spa::foldInterproceduralSummaries(const Program &Prog,
                                        const CallGraphInfo &CG,
-                                       DefUseInfo &Info, unsigned Jobs) {
+                                       DefUseInfo &Info, unsigned Jobs,
+                                       Budget *Bud) {
   size_t N = Prog.numPoints();
   // Step 2: per-function transitive access sets.  Callgraph SCCs are
   // processed in reverse topological order (Tarjan emission order), so
@@ -124,6 +131,8 @@ void spa::foldInterproceduralSummaries(const Program &Prog,
   Info.AccessDefs.resize(NF);
   Info.AccessUses.resize(NF);
   for (const std::vector<FuncId> &Members : CG.sccMembersInOrder()) {
+    if (Bud)
+      Bud->charge(Members.size());
     std::vector<LocId> Defs, Uses;
     uint32_t Scc = Members.empty() ? 0 : CG.sccOf(Members.front());
     for (FuncId F : Members) {
@@ -155,6 +164,8 @@ void spa::foldInterproceduralSummaries(const Program &Prog,
   Info.NodeDefs = Info.Defs;
   Info.NodeUses = Info.Uses;
   ThreadPool::global().parallelForChunks(N, Jobs, [&](size_t Lo, size_t Hi) {
+  if (Bud)
+    Bud->charge(Hi - Lo);
   for (size_t P = Lo; P < Hi; ++P) {
     const Command &Cmd = Prog.point(PointId(P)).Cmd;
     switch (Cmd.Kind) {

@@ -65,9 +65,12 @@ struct DefUseInfo {
 
 /// Computes all def/use structures from the pre-analysis result.  The
 /// per-point collection (Steps 1 and 3) writes disjoint slots and runs on
-/// \p Jobs pool lanes; the result is independent of Jobs.
+/// \p Jobs pool lanes; the result is independent of Jobs.  \p Bud, when
+/// non-null, is charged per point (including inside worker lanes); this
+/// phase is structural, so it always runs to completion — exhaustion
+/// here only accelerates degradation of the downstream fixpoint.
 DefUseInfo computeDefUse(const Program &Prog, const PreAnalysisResult &Pre,
-                         unsigned Jobs = 1);
+                         unsigned Jobs = 1, Budget *Bud = nullptr);
 
 /// Completes \p Info from its per-point Defs/Uses: computes the
 /// per-function transitive access sets and the node-level sets with the
@@ -76,7 +79,7 @@ DefUseInfo computeDefUse(const Program &Prog, const PreAnalysisResult &Pre,
 /// the "location" ids are then pack ids).
 void foldInterproceduralSummaries(const Program &Prog,
                                   const CallGraphInfo &CG, DefUseInfo &Info,
-                                  unsigned Jobs = 1);
+                                  unsigned Jobs = 1, Budget *Bud = nullptr);
 
 } // namespace spa
 

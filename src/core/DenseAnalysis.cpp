@@ -6,6 +6,7 @@
 
 #include "core/DenseAnalysis.h"
 
+#include "core/PreAnalysis.h"
 #include "obs/Metrics.h"
 #include "support/Resource.h"
 #include "support/WorkList.h"
@@ -51,6 +52,13 @@ public:
         R.TimedOut = true;
         break;
       }
+      // One budget step per visit, checked before the pop so an expired
+      // budget stops the engine at zero visits (cancellation
+      // responsiveness: at most one visit per remaining budget step).
+      if (Opts.Bud && !Opts.Bud->charge()) {
+        R.Degraded = true;
+        break;
+      }
       PointId C(WL.pop());
       ++R.Visits;
 
@@ -75,7 +83,13 @@ public:
         WL.push(Prog.point(C).Cmd.Pair.value());
     }
 
-    for (unsigned Pass = 0; Pass < Opts.NarrowingPasses && !R.TimedOut;
+    if (R.Degraded)
+      degrade(R, WL);
+
+    // Narrowing restarts from a post-fixpoint; a timed-out or degraded
+    // state is not one, so skip it.
+    for (unsigned Pass = 0;
+         Pass < Opts.NarrowingPasses && !R.TimedOut && !R.Degraded;
          ++Pass) {
       bool Changed = false;
       for (uint32_t P = 0; P < N; ++P) {
@@ -97,6 +111,53 @@ public:
   }
 
 private:
+  /// Sound budget degradation (docs/ROBUSTNESS.md): the *affected* set —
+  /// pending worklist entries plus everything forward-reachable from
+  /// them along the edges the engine propagates on — is exactly where
+  /// the fixpoint might still have risen; joining those points with the
+  /// flow-insensitive invariant T̂pre (an over-approximation of every
+  /// reachable memory, Section 3.2) restores soundness.  Non-affected
+  /// points already consumed their predecessors' final values, so they
+  /// are sound by the usual fixpoint induction.
+  void degrade(DenseResult &R, const WorkList &WL) const {
+    size_t N = Prog.numPoints();
+    std::vector<bool> Affected(N, false);
+    std::vector<uint32_t> Stack;
+    WL.forEachPending([&](uint32_t P) {
+      Affected[P] = true;
+      Stack.push_back(P);
+    });
+    while (!Stack.empty()) {
+      PointId C(Stack.back());
+      Stack.pop_back();
+      auto Visit = [&](PointId S) {
+        if (!Affected[S.value()]) {
+          Affected[S.value()] = true;
+          Stack.push_back(S.value());
+        }
+      };
+      CG.forEachSuperSucc(Prog, C, Visit);
+      // The localized return site also consumes the call point's state.
+      if (Opts.Localize && Prog.point(C).Cmd.Kind == CmdKind::Call)
+        Visit(Prog.point(C).Cmd.Pair);
+    }
+
+    AbsState TopState;
+    const AbsState *G = Opts.DegradeTo;
+    if (!G) {
+      TopState = topAbsState(Prog);
+      G = &TopState;
+    }
+    uint64_t NumAffected = 0;
+    for (uint32_t P = 0; P < N; ++P) {
+      if (!Affected[P])
+        continue;
+      ++NumAffected;
+      R.Post[P].joinWith(*G);
+    }
+    SPA_OBS_GAUGE_SET("fixpoint.degraded_points", NumAffected);
+  }
+
   /// Union of AccessDefs and AccessUses per function, sorted.
   void buildAccessSets() {
     Access.resize(Prog.numFuncs());

@@ -48,12 +48,26 @@ struct DenseOptions {
   /// operator kicks in (plain joins until then).  Delayed widening is the
   /// standard precision lever; termination only needs *some* finite delay.
   unsigned WideningDelay = 4;
+  /// Cooperative resource budget, charged once per worklist visit; on
+  /// exhaustion the engine stops and *degrades soundly* (see DegradeTo)
+  /// instead of reporting a timeout.  Null = no budget, zero overhead.
+  Budget *Bud = nullptr;
+  /// Sound fallback state for degradation: every point forward-reachable
+  /// from a pending worklist entry joins this state (normally the
+  /// flow-insensitive pre-analysis invariant T̂pre, which Section 3.2
+  /// proves over-approximates every reachable memory).  Null = degrade to
+  /// the all-⊤ state.
+  const AbsState *DegradeTo = nullptr;
 };
 
 struct DenseResult {
   /// Post-state per point: X̂(c) = f̂_c(join of predecessors).
   std::vector<AbsState> Post;
   bool TimedOut = false;
+  /// The budget tripped; every point whose value might still have risen
+  /// (pending entries and everything reachable from them) was joined
+  /// with the degradation state, so Post stays an over-approximation.
+  bool Degraded = false;
   uint64_t Visits = 0;       ///< Worklist pops.
   uint64_t StateEntries = 0; ///< Total bound locations over all points.
   double Seconds = 0;

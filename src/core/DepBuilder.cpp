@@ -107,6 +107,8 @@ public:
             NF, Opts.Jobs, [&](size_t Lo, size_t Hi) {
               SsaScratch S;
               for (size_t F = Lo; F < Hi; ++F) {
+                if (Opts.Bud)
+                  Opts.Bud->charge();
                 if (Ssa)
                   buildSsaForFunction(FuncId(F), S, Outs[F]);
                 else
@@ -118,6 +120,8 @@ public:
         for (size_t F = 0; F < NF; ++F) {
           SPA_OBS_TRACE((Ssa ? "ssa:" : "rd:") +
                         Prog.function(FuncId(F)).Name);
+          if (Opts.Bud)
+            Opts.Bud->charge();
           if (Ssa)
             buildSsaForFunction(FuncId(F), S, Outs[F]);
           else
@@ -610,7 +614,15 @@ private:
       Work.push_back({static_cast<uint32_t>(K >> 32),
                       LocId(static_cast<uint32_t>(K & 0xffffffffu))});
 
+    uint64_t Pops = 0;
     while (!Work.empty()) {
+      // An exhausted budget stops contracting: every prefix of the
+      // contraction sequence leaves a valid (just less contracted)
+      // dependency graph.  Charged in blocks of 64 pops — this loop is
+      // hot enough that a per-pop atomic shows up in the guard-overhead
+      // bench — so the check interval stays bounded at 64.
+      if (Opts.Bud && (Pops++ & 63) == 0 && !Opts.Bud->charge(64))
+        break;
       auto [N, L] = Work.back();
       Work.pop_back();
       if (!isPseudoOccurrence(N, L))

@@ -57,6 +57,13 @@ struct DepOptions {
   /// function order afterwards, so the graph — including phi node
   /// numbering — is identical for every Jobs value.
   unsigned Jobs = 1;
+  /// Resource budget (docs/ROBUSTNESS.md), charged per function during
+  /// construction (inside worker lanes) and per contraction during
+  /// bypass.  Construction itself always completes — a partial graph
+  /// would be unsound — but an exhausted budget stops the bypass
+  /// optimization early (any prefix of contractions is a valid graph)
+  /// and makes the downstream fixpoint degrade immediately.
+  Budget *Bud = nullptr;
 };
 
 /// Builds the dependency graph for \p Prog under the resolved callgraph

@@ -95,6 +95,10 @@ std::string spa::exportDepGraphDot(const Program &Prog,
 std::string spa::exportAnnotatedListing(const Program &Prog,
                                         const AnalysisRun &Run) {
   std::ostringstream OS;
+  if (Run.degraded())
+    OS << "!! degraded: resource budget exhausted ("
+       << budgetReasonName(Run.BudgetStop)
+       << "); values are sound but coarse\n";
   for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
     const FunctionInfo &Info = Prog.function(FuncId(F));
     OS << "function " << Info.Name << ":\n";

@@ -105,10 +105,29 @@ void coarsenNonTopLevel(const Program &Prog, AbsState &Global) {
 
 } // namespace
 
+AbsState spa::topAbsState(const Program &Prog) {
+  Value Top;
+  Top.Itv = Interval::top();
+  Top.Offset = Interval::top();
+  Top.Size = Interval::top();
+  for (uint32_t L = 0; L < Prog.numLocs(); ++L)
+    Top.Pts.insert(LocId(L));
+  for (uint32_t F = 0; F < Prog.numFuncs(); ++F)
+    Top.Funcs.insert(FuncId(F));
+  // Each location holds its own copy of the universe sets (quadratic in
+  // numLocs), acceptable because this state only materializes on the
+  // exceptional degradation path.
+  AbsState S;
+  S.reserve(Prog.numLocs());
+  for (uint32_t L = 0; L < Prog.numLocs(); ++L)
+    S.set(LocId(L), Top);
+  return S;
+}
+
 PreAnalysisResult spa::runPreAnalysis(const Program &Prog,
                                       const SemanticsOptions &Opts,
                                       unsigned WidenAfterSweeps,
-                                      PreAnalysisKind Kind) {
+                                      PreAnalysisKind Kind, Budget *Bud) {
   AbsState Global;
   // The pre-analysis only joins, so strong updates never apply; force the
   // weak-update semantics regardless of the main analysis options.
@@ -116,15 +135,31 @@ PreAnalysisResult spa::runPreAnalysis(const Program &Prog,
   PreOpts.StrongUpdates = false;
 
   uint64_t Sweeps = 0;
+  bool Degraded = false;
   for (;;) {
     ++Sweeps;
     GlobalState View(Global, Sweeps > WidenAfterSweeps,
                      Kind == PreAnalysisKind::Staged);
-    for (uint32_t P = 0; P < Prog.numPoints(); ++P)
+    for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
+      // Charged in blocks of 64 points (checked before the block, so an
+      // expired budget degrades before any work): per-point atomics are
+      // measurable against the cheap flow-insensitive transfers.
+      if (Bud && (P & 63) == 0 && !Bud->charge(64)) {
+        Degraded = true;
+        break;
+      }
       applyCommand(Prog, /*CG=*/nullptr, PointId(P), View, PreOpts);
-    if (!View.Changed)
+    }
+    if (Degraded || !View.Changed)
       break;
   }
+
+  // Budget exhausted before the sweeps converged: a partially swept
+  // Global may still be *under* the invariant (components not yet joined
+  // in), so go to the only state that is sound without iterating — all-⊤.
+  // That also resolves every indirect call below to all functions.
+  if (Degraded)
+    Global = topAbsState(Prog);
 
   if (Kind == PreAnalysisKind::SemiSparse)
     coarsenNonTopLevel(Prog, Global);
@@ -144,8 +179,10 @@ PreAnalysisResult spa::runPreAnalysis(const Program &Prog,
   }
 
   SPA_OBS_GAUGE_SET("pre.sweeps", Sweeps);
+  SPA_OBS_GAUGE_SET("pre.degraded", Degraded ? 1 : 0);
   PreAnalysisResult R{std::move(Global),
-                      CallGraphInfo(Prog, std::move(Callees)), Sweeps};
+                      CallGraphInfo(Prog, std::move(Callees)), Sweeps,
+                      Degraded};
   SPA_OBS_GAUGE_SET("pre.state_entries", R.Global.size());
   SPA_OBS_GAUGE_SET("callgraph.max_scc", R.CG.maxSccSize());
   return R;

@@ -23,6 +23,7 @@
 #include "domains/AbsState.h"
 #include "ir/CallGraphInfo.h"
 #include "ir/Program.h"
+#include "support/Budget.h"
 
 namespace spa {
 
@@ -51,20 +52,34 @@ struct PreAnalysisResult {
   AbsState Global;
   CallGraphInfo CG;
   uint64_t Sweeps = 0;
+  /// The resource budget tripped before the sweeps converged; Global was
+  /// replaced by the all-⊤ state (every location bound to the top value),
+  /// which trivially over-approximates any invariant, so downstream
+  /// phases stay sound (docs/ROBUSTNESS.md).
+  bool Degraded = false;
 
   /// View of T̂pre usable as the state argument of the semantics
   /// templates (T̂pre(c) is the same state at every point).
   const AbsState &state() const { return Global; }
 };
 
+/// The all-⊤ abstract state over \p Prog: every location maps to the top
+/// value (full interval, points-to/function universe, top offset/size).
+/// The sound last rung of the degradation ladder.
+AbsState topAbsState(const Program &Prog);
+
 /// Runs the flow-insensitive pre-analysis to its fixpoint.  Termination:
 /// the pointer components live in finite powersets and the interval
 /// components are widened after \p WidenAfterSweeps whole-program sweeps.
+/// \p Bud, when non-null, is charged per point; on exhaustion the result
+/// degrades to the all-⊤ state (which also resolves indirect calls to
+/// every function, keeping the callgraph sound).
 PreAnalysisResult runPreAnalysis(const Program &Prog,
                                  const SemanticsOptions &Opts,
                                  unsigned WidenAfterSweeps = 3,
                                  PreAnalysisKind Kind =
-                                     PreAnalysisKind::Precise);
+                                     PreAnalysisKind::Precise,
+                                 Budget *Bud = nullptr);
 
 } // namespace spa
 

@@ -22,6 +22,7 @@
 
 #include "core/SparseAnalysis.h"
 
+#include "core/PreAnalysis.h"
 #include "obs/Metrics.h"
 #include "support/Resource.h"
 #include "support/ThreadPool.h"
@@ -242,8 +243,10 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
   // it).  Shards touch disjoint slices of R.In/R.Out/ArrivalCount, so
   // concurrent shard loops share those arrays without synchronization.
   std::atomic<bool> TimedOut{false};
+  std::atomic<bool> Degraded{false};
   auto RunShard = [&](const std::vector<uint32_t> &Nodes,
-                      uint64_t &VisitsOut) {
+                      uint64_t &VisitsOut,
+                      std::vector<uint32_t> &PendingOut) {
     WorkList WL(Prio);
     // Every node runs at least once: constants and ⊥-input effects must
     // materialize even with no incoming dependencies (the fixpoint
@@ -257,6 +260,15 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
       if (Opts.TimeLimitSec > 0 && (Visits & 1023) == 0 &&
           Clock.seconds() > Opts.TimeLimitSec) {
         TimedOut.store(true, std::memory_order_relaxed);
+        break;
+      }
+      // One budget step per visit, checked before the pop: the shared
+      // token is sticky, so once any shard trips every shard stops at
+      // its next visit and records its pending frontier for the sound
+      // degradation below.
+      if (Opts.Bud && !Opts.Bud->charge()) {
+        Degraded.store(true, std::memory_order_relaxed);
+        WL.forEachPending([&](uint32_t P) { PendingOut.push_back(P); });
         break;
       }
       uint32_t Node = WL.pop();
@@ -323,16 +335,76 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
 
   Timer Clock;
   std::vector<uint64_t> ShardVisits(Shards.size(), 0);
+  std::vector<std::vector<uint32_t>> ShardPending(Shards.size());
   if (Shards.size() == 1) {
-    RunShard(Shards[0], ShardVisits[0]);
+    RunShard(Shards[0], ShardVisits[0], ShardPending[0]);
   } else {
     ThreadPool::global().parallelFor(Shards.size(), Opts.Jobs, [&](size_t S) {
-      RunShard(Shards[S], ShardVisits[S]);
+      RunShard(Shards[S], ShardVisits[S], ShardPending[S]);
     });
   }
   for (uint64_t V : ShardVisits)
     R.Visits += V;
   R.TimedOut = TimedOut.load(std::memory_order_relaxed);
+  R.Degraded = Degraded.load(std::memory_order_relaxed);
+
+  if (R.Degraded) {
+    // Sound degradation (docs/ROBUSTNESS.md): the affected nodes —
+    // pending entries plus everything forward-reachable over dependency
+    // edges — are where values might still have risen; join their
+    // buffers with T̂pre restricted to their use/def sets.  T̂pre
+    // over-approximates every reachable memory (Section 3.2), so any
+    // state ⊒ T̂pre on those components is sound; non-affected nodes
+    // already consumed their producers' final values.
+    std::vector<bool> Affected(N, false);
+    std::vector<uint32_t> Stack;
+    for (const std::vector<uint32_t> &Pending : ShardPending)
+      for (uint32_t Node : Pending) {
+        if (!Affected[Node]) {
+          Affected[Node] = true;
+          Stack.push_back(Node);
+        }
+      }
+    while (!Stack.empty()) {
+      uint32_t Node = Stack.back();
+      Stack.pop_back();
+      Graph.Edges->forEachOut(Node, [&](LocId, uint32_t Dst) {
+        if (!Affected[Dst]) {
+          Affected[Dst] = true;
+          Stack.push_back(Dst);
+        }
+      });
+    }
+
+    AbsState TopState;
+    const AbsState *G = Opts.DegradeTo;
+    if (!G) {
+      TopState = topAbsState(Prog);
+      G = &TopState;
+    }
+    auto JoinRestricted = [&](AbsState &Dst, const std::vector<LocId> &Ls) {
+      for (LocId L : Ls) {
+        const Value &V = G->get(L);
+        if (!V.isBot())
+          Dst.weakSet(L, V);
+      }
+    };
+    uint64_t NumAffected = 0;
+    for (uint32_t Node = 0; Node < N; ++Node) {
+      if (!Affected[Node])
+        continue;
+      ++NumAffected;
+      if (Graph.isPhi(Node)) {
+        std::vector<LocId> PhiLoc{Graph.phi(Node).L};
+        JoinRestricted(R.In[Node], PhiLoc);
+        JoinRestricted(R.Out[Node], PhiLoc);
+      } else {
+        JoinRestricted(R.In[Node], Graph.NodeUses[Node]);
+        JoinRestricted(R.Out[Node], Graph.NodeDefs[Node]);
+      }
+    }
+    SPA_OBS_GAUGE_SET("fixpoint.degraded_points", NumAffected);
+  }
 
   for (const AbsState &S : R.In)
     R.StateEntries += S.size();

@@ -27,6 +27,7 @@
 #include "core/DepGraph.h"
 #include "core/Semantics.h"
 #include "domains/AbsState.h"
+#include "support/Budget.h"
 
 #include <cstdint>
 #include <vector>
@@ -47,6 +48,14 @@ struct SparseOptions {
   /// single-worklist engine; a single-component graph falls back to it
   /// regardless of Jobs.
   unsigned Jobs = 1;
+  /// Cooperative resource budget shared by all shards, charged once per
+  /// node visit.  On exhaustion every shard stops within one visit and
+  /// the result degrades soundly (see DegradeTo).  Null = no budget.
+  Budget *Bud = nullptr;
+  /// Sound degradation fallback: nodes forward-reachable from pending
+  /// worklist entries join this state restricted to their def/use sets
+  /// (normally T̂pre; null = all-⊤).
+  const AbsState *DegradeTo = nullptr;
 };
 
 struct SparseResult {
@@ -55,6 +64,9 @@ struct SparseResult {
   /// Output partial state per graph node (over D̂).
   std::vector<AbsState> Out;
   bool TimedOut = false;
+  /// The budget tripped; the affected nodes were widened to the
+  /// degradation state, so In/Out remain over-approximations.
+  bool Degraded = false;
   uint64_t Visits = 0;
   uint64_t StateEntries = 0; ///< Total entries across In and Out.
   double Seconds = 0;

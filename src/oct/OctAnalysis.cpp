@@ -8,6 +8,7 @@
 
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/Fault.h"
 #include "support/Resource.h"
 #include "support/WorkList.h"
 
@@ -555,7 +556,8 @@ namespace {
 
 OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
                            const Packing &Packs, const DefUseInfo &DU,
-                           bool Localize, const OctOptions &Opts) {
+                           bool Localize, const OctOptions &Opts,
+                           Budget *Bud) {
   OctDenseResult R;
   size_t N = Prog.numPoints();
   R.Post.resize(N);
@@ -627,6 +629,12 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
       R.TimedOut = true;
       break;
     }
+    // One budget step per visit, before the pop (mirrors the interval
+    // engines: an expired budget stops at zero visits).
+    if (Bud && !Bud->charge()) {
+      R.Degraded = true;
+      break;
+    }
     PointId C(WL.pop());
     ++R.Visits;
 
@@ -660,6 +668,47 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
       WL.push(Prog.point(C).Cmd.Pair.value());
   }
 
+  if (R.Degraded) {
+    // Sound degradation (docs/ROBUSTNESS.md): the affected set — pending
+    // entries plus forward reachability along the propagation edges — is
+    // where the fixpoint might still have risen.  Every pack of an
+    // affected point goes to ⊤; all-⊤ over-approximates every concrete
+    // memory, and downstream projections read missing packs as ⊥, so the
+    // entries must be materialized.
+    std::vector<bool> Affected(N, false);
+    std::vector<uint32_t> Stack;
+    WL.forEachPending([&](uint32_t P) {
+      Affected[P] = true;
+      Stack.push_back(P);
+    });
+    while (!Stack.empty()) {
+      PointId C(Stack.back());
+      Stack.pop_back();
+      auto Visit = [&](PointId S) {
+        if (!Affected[S.value()]) {
+          Affected[S.value()] = true;
+          Stack.push_back(S.value());
+        }
+      };
+      CG.forEachSuperSucc(Prog, C, Visit);
+      if (Localize && Prog.point(C).Cmd.Kind == CmdKind::Call)
+        Visit(Prog.point(C).Cmd.Pair);
+    }
+    uint64_t NumAffected = 0;
+    for (uint32_t P = 0; P < N; ++P) {
+      if (!Affected[P])
+        continue;
+      ++NumAffected;
+      for (uint32_t PK = 0; PK < Packs.numPacks(); ++PK) {
+        PackId Pack(PK);
+        R.Post[P].set(
+            Pack,
+            Tops.top(static_cast<uint32_t>(Packs.vars(Pack).size())));
+      }
+    }
+    SPA_OBS_GAUGE_SET("fixpoint.degraded_points", NumAffected);
+  }
+
   for (const OctState &S : R.Post)
     R.StateEntries += S.size();
   R.Seconds = Clock.seconds();
@@ -671,7 +720,7 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
 OctSparseResult runOctSparse(const Program &Prog,
                              const PreAnalysisResult &Pre,
                              const Packing &Packs, const SparseGraph &Graph,
-                             const OctOptions &Opts) {
+                             const OctOptions &Opts, Budget *Bud) {
   OctSparseResult R;
   size_t N = Graph.numNodes();
   R.In.resize(N);
@@ -701,6 +750,10 @@ OctSparseResult runOctSparse(const Program &Prog,
     if (Opts.TimeLimitSec > 0 && (R.Visits & 255) == 0 &&
         Clock.seconds() > Opts.TimeLimitSec) {
       R.TimedOut = true;
+      break;
+    }
+    if (Bud && !Bud->charge()) {
+      R.Degraded = true;
       break;
     }
     uint32_t Node = WL.pop();
@@ -773,6 +826,48 @@ OctSparseResult runOctSparse(const Program &Prog,
     });
   }
 
+  if (R.Degraded) {
+    // Affected = pending nodes plus forward reachability along dependency
+    // edges; their def/use packs go to ⊤ in Out/In so both buffers stay
+    // over-approximations (a phi's single pack likewise).
+    std::vector<bool> Affected(N, false);
+    std::vector<uint32_t> Stack;
+    WL.forEachPending([&](uint32_t I) {
+      Affected[I] = true;
+      Stack.push_back(I);
+    });
+    while (!Stack.empty()) {
+      uint32_t Node = Stack.back();
+      Stack.pop_back();
+      Graph.Edges->forEachOut(Node, [&](LocId, uint32_t Dst) {
+        if (!Affected[Dst]) {
+          Affected[Dst] = true;
+          Stack.push_back(Dst);
+        }
+      });
+    }
+    auto TopFill = [&](OctState &S, PackId P) {
+      S.set(P, Tops.top(static_cast<uint32_t>(Packs.vars(P).size())));
+    };
+    uint64_t NumAffected = 0;
+    for (uint32_t I = 0; I < N; ++I) {
+      if (!Affected[I])
+        continue;
+      ++NumAffected;
+      if (Graph.isPhi(I)) {
+        PackId P = locAsPack(Graph.phi(I).L);
+        TopFill(R.In[I], P);
+        TopFill(R.Out[I], P);
+      } else {
+        for (LocId L : Graph.NodeUses[I])
+          TopFill(R.In[I], locAsPack(L));
+        for (LocId L : Graph.NodeDefs[I])
+          TopFill(R.Out[I], locAsPack(L));
+      }
+    }
+    SPA_OBS_GAUGE_SET("fixpoint.degraded_points", NumAffected);
+  }
+
   for (const OctState &S : R.In)
     R.StateEntries += S.size();
   for (const OctState &S : R.Out)
@@ -812,6 +907,16 @@ bool OctRun::timedOut() const {
   return false;
 }
 
+bool OctRun::degraded() const {
+  if (Pre.Degraded)
+    return true;
+  if (Dense && Dense->Degraded)
+    return true;
+  if (Sparse && Sparse->Degraded)
+    return true;
+  return false;
+}
+
 Interval OctRun::denseIntervalAt(PointId P, LocId L) const {
   assert(Dense && "dense result required");
   PackId S = Packs.singleton(L);
@@ -825,13 +930,20 @@ OctRun spa::runOctAnalysis(const Program &Prog, const OctOptions &Opts) {
   SPA_OBS_GAUGE_SET("program.locs", Prog.numLocs());
   SPA_OBS_GAUGE_SET("program.funcs", Prog.numFuncs());
 
+  std::optional<Budget> BudgetStorage;
+  if (Opts.Budget.enabled())
+    BudgetStorage.emplace(Opts.Budget);
+  Budget *Bud = BudgetStorage ? &*BudgetStorage : nullptr;
+
   Timer PreClock;
   SemanticsOptions Sem;
   OctRun Run{[&] {
                SPA_OBS_TRACE("pre-analysis");
-               return runPreAnalysis(Prog, Sem);
+               maybeInjectFault("pre");
+               return runPreAnalysis(Prog, Sem, /*WidenAfterSweeps=*/3,
+                                     PreAnalysisKind::Precise, Bud);
              }(),
-             Packing{}, DefUseInfo{}, {}, {}, {}, 0, 0};
+             Packing{}, DefUseInfo{}, {}, {}, {}, {}, 0, 0};
   Run.PreSeconds = PreClock.seconds();
   SPA_OBS_GAUGE_SET("phase.pre.seconds", Run.PreSeconds);
 
@@ -853,22 +965,43 @@ OctRun spa::runOctAnalysis(const Program &Prog, const OctOptions &Opts) {
   case EngineKind::Vanilla:
   case EngineKind::Base: {
     SPA_OBS_TRACE("fixpoint");
+    maybeInjectFault("fix");
     Run.Dense = runOctDense(Prog, Run.Pre, Run.Packs, Run.DU,
-                            Opts.Engine == EngineKind::Base, Opts);
+                            Opts.Engine == EngineKind::Base, Opts, Bud);
     break;
   }
   case EngineKind::Sparse: {
     DepOptions Dep = Opts.Dep;
     Dep.NumLocsOverride = Run.Packs.numPacks();
+    Dep.Bud = Bud;
     {
       SPA_OBS_TRACE("dep-build");
+      maybeInjectFault("depbuild");
       Run.Graph = buildDepGraph(Prog, Run.Pre.CG, Run.DU, Dep);
     }
     SPA_OBS_TRACE("fixpoint");
+    maybeInjectFault("fix");
     Run.Sparse =
-        runOctSparse(Prog, Run.Pre, Run.Packs, *Run.Graph, Opts);
+        runOctSparse(Prog, Run.Pre, Run.Packs, *Run.Graph, Opts, Bud);
     break;
   }
+  }
+
+  // Degradation ladder tier 2: a degraded octagon run also produces an
+  // interval result.  The fallback analyzer gets a *fresh* budget with
+  // the same limits (the shared one is already exhausted, and an
+  // instantly-degrading fallback would add nothing); it degrades soundly
+  // itself if the limits are genuinely too tight.  Run before the final
+  // gauge writes so the octagon run's phase gauges win.
+  if (Opts.IntervalFallback && Run.degraded()) {
+    SPA_OBS_COUNT("oct.interval_fallbacks", 1);
+    AnalyzerOptions FOpts;
+    FOpts.Engine = EngineKind::Sparse;
+    FOpts.Dep = Opts.Dep;
+    FOpts.TimeLimitSec = Opts.TimeLimitSec;
+    FOpts.WideningDelay = Opts.WideningDelay;
+    FOpts.Budget = Opts.Budget;
+    Run.Fallback.emplace(analyzeProgram(Prog, FOpts));
   }
 
   SPA_OBS_GAUGE_SET("phase.depbuild.seconds",
@@ -876,5 +1009,11 @@ OctRun spa::runOctAnalysis(const Program &Prog, const OctOptions &Opts) {
   SPA_OBS_GAUGE_SET("phase.fix.seconds", Run.fixSeconds());
   SPA_OBS_GAUGE_SET("phase.total.seconds", Run.depSeconds() + Run.fixSeconds());
   SPA_OBS_GAUGE_MAX("mem.peak_rss_kib", currentPeakRssKiB());
+
+  if (Bud) {
+    SPA_OBS_GAUGE_SET("budget.steps", double(Bud->steps()));
+    SPA_OBS_GAUGE_SET("budget.exhausted", Bud->exhausted() ? 1 : 0);
+  }
+  SPA_OBS_GAUGE_SET("analysis.degraded", Run.degraded() ? 1 : 0);
   return Run;
 }

@@ -46,11 +46,22 @@ struct OctOptions {
   /// straight to ⊤ (octagon widening through closure needs a backstop).
   unsigned HardLimitFactor = 8;
   unsigned MaxPackSize = 10;
+  /// Resource-governance limits; same cooperative semantics as
+  /// AnalyzerOptions::Budget (docs/ROBUSTNESS.md).
+  BudgetLimits Budget;
+  /// Degradation ladder tier 2: when the octagon fixpoint degrades, also
+  /// run the (cheaper) interval analyzer with a fresh budget of the same
+  /// limits, so consumers keep a flow-sensitive non-relational result
+  /// (OctRun::Fallback).  Meeting two over-approximations is sound.
+  bool IntervalFallback = true;
 };
 
 struct OctDenseResult {
   std::vector<OctState> Post;
   bool TimedOut = false;
+  /// The budget tripped; affected points had every pack bound to ⊤
+  /// (missing entries read as ⊥ downstream, so they must be filled).
+  bool Degraded = false;
   uint64_t Visits = 0;
   uint64_t StateEntries = 0;
   double Seconds = 0;
@@ -59,6 +70,9 @@ struct OctDenseResult {
 struct OctSparseResult {
   std::vector<OctState> In, Out;
   bool TimedOut = false;
+  /// The budget tripped; affected nodes had their def/use packs bound to
+  /// ⊤ in Out/In, keeping both buffers over-approximate.
+  bool Degraded = false;
   uint64_t Visits = 0;
   uint64_t StateEntries = 0;
   double Seconds = 0;
@@ -72,6 +86,9 @@ struct OctRun {
   std::optional<OctDenseResult> Dense;
   std::optional<SparseGraph> Graph;
   std::optional<OctSparseResult> Sparse;
+  /// Interval-analyzer fallback run, present when the octagon run
+  /// degraded and OctOptions::IntervalFallback was set.
+  std::optional<AnalysisRun> Fallback;
 
   double PreSeconds = 0;
   double DefUseSeconds = 0;
@@ -79,6 +96,8 @@ struct OctRun {
   double fixSeconds() const;
   double totalSeconds() const { return depSeconds() + fixSeconds(); }
   bool timedOut() const;
+  /// Any phase fell back to the degradation ladder (still sound, coarser).
+  bool degraded() const;
 
   /// Interval of location \p L at point \p P as the analysis sees it
   /// (projection from L's singleton pack; dense engines only).

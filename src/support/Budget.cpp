@@ -1,0 +1,25 @@
+//===- Budget.cpp - Cooperative resource budget ----------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+using namespace spa;
+
+const char *spa::budgetReasonName(BudgetReason R) {
+  switch (R) {
+  case BudgetReason::None:
+    return "none";
+  case BudgetReason::Deadline:
+    return "deadline";
+  case BudgetReason::Steps:
+    return "steps";
+  case BudgetReason::Memory:
+    return "memory";
+  case BudgetReason::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}

@@ -1,0 +1,88 @@
+//===- Fault.cpp - Deterministic fault-injection hook ----------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Fault.h"
+
+#include <cstdlib>
+
+#include <unistd.h>
+
+using namespace spa;
+
+namespace {
+
+struct ArmedFault {
+  FaultPlan Plan;
+  std::string Name;
+  ArmedFault *Prev = nullptr;
+};
+
+thread_local ArmedFault *Armed = nullptr;
+
+} // namespace
+
+FaultPlan FaultPlan::parse(const char *Spec) {
+  FaultPlan P;
+  if (!Spec || !*Spec)
+    return P;
+  std::string S(Spec);
+  size_t At = S.find('@');
+  if (At == std::string::npos)
+    return P;
+  std::string KindStr = S.substr(0, At);
+  std::string Rest = S.substr(At + 1);
+  size_t Colon = Rest.find(':');
+  if (Colon != std::string::npos) {
+    P.NameSub = Rest.substr(Colon + 1);
+    Rest = Rest.substr(0, Colon);
+  }
+  P.Phase = Rest;
+  if (KindStr == "crash")
+    P.K = Kind::Crash;
+  else if (KindStr == "oom")
+    P.K = Kind::Oom;
+  else if (KindStr == "timeout")
+    P.K = Kind::Timeout;
+  else
+    P.Phase.clear(); // Unknown kind: inactive plan.
+  return P;
+}
+
+FaultPlan FaultPlan::fromEnv() { return parse(std::getenv("SPA_FAULT")); }
+
+FaultScope::FaultScope(const FaultPlan &Plan, std::string ProgramName) {
+  ArmedFault *A = new ArmedFault{Plan, std::move(ProgramName), Armed};
+  Armed = A;
+}
+
+FaultScope::~FaultScope() {
+  ArmedFault *A = Armed;
+  Armed = A->Prev;
+  delete A;
+}
+
+void spa::maybeInjectFault(const char *Phase) {
+  ArmedFault *A = Armed;
+  if (!A || !A->Plan.active())
+    return;
+  if (A->Plan.Phase != "*" && A->Plan.Phase != Phase)
+    return;
+  if (!A->Plan.NameSub.empty() &&
+      A->Name.find(A->Plan.NameSub) == std::string::npos)
+    return;
+  switch (A->Plan.K) {
+  case FaultPlan::Kind::None:
+    return;
+  case FaultPlan::Kind::Crash:
+    std::abort();
+  case FaultPlan::Kind::Oom:
+    _exit(OomExitCode);
+  case FaultPlan::Kind::Timeout:
+    // Hang until the batch parent's hard kill limit reaps this child.
+    for (;;)
+      usleep(100000);
+  }
+}

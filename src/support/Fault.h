@@ -1,0 +1,72 @@
+//===- Fault.h - Deterministic fault-injection hook ------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for testing the batch driver's failure
+/// isolation (docs/ROBUSTNESS.md).  A fault plan is parsed from
+///
+///   SPA_FAULT=<kind>@<phase>[:<name-substr>]
+///
+/// where <kind> is crash | oom | timeout, <phase> is one of the analyzer
+/// phase names (build, pre, defuse, depbuild, fix, check) or "*", and
+/// the optional <name-substr> restricts the fault to programs whose
+/// batch-item name contains the substring.  The plan only fires inside a
+/// FaultScope, which the batch driver installs exclusively in *isolated*
+/// child processes — injected faults therefore kill at most one
+/// program's subprocess, exactly the failure domain the isolation layer
+/// must contain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SUPPORT_FAULT_H
+#define SPA_SUPPORT_FAULT_H
+
+#include <string>
+
+namespace spa {
+
+/// Exit code an isolated child uses to report memory exhaustion (both
+/// injected "oom" faults and a real operator-new failure under
+/// setrlimit), distinguishable from crashes (signals) and build errors.
+constexpr int OomExitCode = 86;
+
+/// A parsed SPA_FAULT specification.
+struct FaultPlan {
+  enum class Kind { None, Crash, Oom, Timeout };
+  Kind K = Kind::None;
+  std::string Phase;   ///< Phase name or "*".
+  std::string NameSub; ///< Empty = any program.
+
+  bool active() const { return K != Kind::None; }
+
+  /// Parses \p Spec; returns an inactive plan for null/empty/bad specs.
+  static FaultPlan parse(const char *Spec);
+
+  /// Plan from the SPA_FAULT environment variable (re-read every call so
+  /// tests can vary it between batch runs).
+  static FaultPlan fromEnv();
+};
+
+/// Arms \p Plan for the current thread while in scope, tagging it with
+/// the program name the \p NameSub filter matches against.  Installed
+/// only in isolated batch children; nesting restores the outer scope.
+class FaultScope {
+public:
+  FaultScope(const FaultPlan &Plan, std::string ProgramName);
+  ~FaultScope();
+  FaultScope(const FaultScope &) = delete;
+  FaultScope &operator=(const FaultScope &) = delete;
+};
+
+/// Fires the armed fault if its phase filter matches \p Phase: crash
+/// calls abort(), oom exits with OomExitCode, timeout sleeps until the
+/// batch parent's kill limit reaps the child.  No-op outside a
+/// FaultScope or when the filters do not match.
+void maybeInjectFault(const char *Phase);
+
+} // namespace spa
+
+#endif // SPA_SUPPORT_FAULT_H

@@ -6,8 +6,11 @@
 
 #include "support/Resource.h"
 
+#include "support/Fault.h"
+
 #include <cstdio>
 #include <cstring>
+#include <new>
 #include <string>
 
 #include <signal.h>
@@ -58,7 +61,7 @@ uint64_t spa::currentPeakRssKiB() {
 }
 
 ChildRunResult spa::runInChild(const std::function<std::vector<double>()> &Job,
-                               double TimeLimitSec) {
+                               double TimeLimitSec, uint64_t MemLimitKiB) {
   ChildRunResult Result;
 
   int Pipe[2];
@@ -77,6 +80,15 @@ ChildRunResult spa::runInChild(const std::function<std::vector<double>()> &Job,
     // Child: run the job, ship the length-prefixed payload through the
     // pipe.  Writes loop because payloads may exceed PIPE_BUF.
     close(Pipe[0]);
+    if (MemLimitKiB > 0) {
+      // A hard address-space cap with a classifiable failure mode:
+      // bad_alloc (or operator new returning null) becomes OomExitCode
+      // instead of an unhandled-exception abort.
+      std::set_new_handler([] { _exit(OomExitCode); });
+      struct rlimit RL;
+      RL.rlim_cur = RL.rlim_max = MemLimitKiB * 1024;
+      setrlimit(RLIMIT_AS, &RL);
+    }
     std::vector<double> Payload = Job();
     uint32_t Count = static_cast<uint32_t>(
         Payload.size() < MaxPayloadDoubles ? Payload.size()
@@ -123,6 +135,10 @@ ChildRunResult spa::runInChild(const std::function<std::vector<double>()> &Job,
 
   Result.Seconds = Clock.seconds();
   Result.PeakRssKiB = static_cast<uint64_t>(Usage.ru_maxrss);
+  if (Exited && WIFEXITED(Status))
+    Result.ExitCode = WEXITSTATUS(Status);
+  if (Exited && WIFSIGNALED(Status))
+    Result.TermSignal = WTERMSIG(Status);
 
   if (Exited && WIFEXITED(Status) && WEXITSTATUS(Status) == 0) {
     uint32_t Count = 0;

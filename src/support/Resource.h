@@ -63,6 +63,14 @@ struct ChildRunResult {
   bool TimedOut = false;   ///< Child was killed at the limit.
   double Seconds = 0.0;    ///< Wall-clock time of the child.
   uint64_t PeakRssKiB = 0; ///< Child's ru_maxrss (KiB on Linux).
+  /// Exit status of the child: WEXITSTATUS when it exited normally, -1
+  /// otherwise.  Lets callers classify failures (e.g. the batch driver's
+  /// crash/oom taxonomy) instead of collapsing everything into !Ok.
+  int ExitCode = -1;
+  /// Terminating signal when the child died on one (0 otherwise; a child
+  /// the parent killed at the time limit reports TimedOut, not a signal
+  /// failure).
+  int TermSignal = 0;
   /// Doubles reported back by the child, length-prefixed over the pipe
   /// (no fixed cap, so rich per-run metric payloads survive the fork
   /// boundary).
@@ -74,9 +82,14 @@ struct ChildRunResult {
 /// (vector of doubles written to a pipe) and ru_maxrss are reported back.
 /// Used by the table benchmarks so each analyzer run gets an isolated
 /// peak-RSS measurement, like the per-process numbers in the paper.
+///
+/// \p MemLimitKiB > 0 caps the child's address space (RLIMIT_AS); an
+/// allocation beyond it makes the child exit with OomExitCode (a
+/// new-handler turns bad_alloc into that exit, so the failure is
+/// classifiable instead of an unhandled-exception abort).
 ChildRunResult
 runInChild(const std::function<std::vector<double>()> &Job,
-           double TimeLimitSec);
+           double TimeLimitSec, uint64_t MemLimitKiB = 0);
 
 /// Peak RSS of the current process in KiB (VmHWM from /proc/self/status).
 uint64_t currentPeakRssKiB();

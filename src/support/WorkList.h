@@ -72,6 +72,15 @@ public:
     ++Count;
   }
 
+  /// Invokes \p F on every pending item, in ascending item order.  The
+  /// engines enumerate the unprocessed entries this way when a resource
+  /// budget trips mid-fixpoint, to seed the degradation frontier.
+  template <typename Fn> void forEachPending(Fn F) const {
+    for (uint32_t I = 0; I < InQueue.size(); ++I)
+      if (InQueue[I])
+        F(I);
+  }
+
   /// Pops the pending item with the smallest (priority, index).
   uint32_t pop() {
     assert(Count > 0 && "pop from empty worklist");

@@ -10,20 +10,59 @@
 #include "ir/Builder.h"
 #include "obs/Metrics.h"
 #include "obs/MetricsSink.h"
+#include "support/Fault.h"
 #include "support/Resource.h"
 #include "support/ThreadPool.h"
 #include "workload/Suite.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
 using namespace spa;
+
+const char *spa::batchOutcomeName(BatchOutcome O) {
+  switch (O) {
+  case BatchOutcome::Ok:
+    return "ok";
+  case BatchOutcome::Degraded:
+    return "degraded";
+  case BatchOutcome::BuildError:
+    return "build_error";
+  case BatchOutcome::Timeout:
+    return "timeout";
+  case BatchOutcome::Oom:
+    return "oom";
+  case BatchOutcome::Crash:
+    return "crash";
+  }
+  return "unknown";
+}
 
 size_t BatchResult::numFailed() const {
   size_t N = 0;
   for (const BatchItemResult &R : Items)
     N += !R.Ok;
   return N;
+}
+
+size_t BatchResult::numDegraded() const {
+  return countOutcome(BatchOutcome::Degraded);
+}
+
+size_t BatchResult::countOutcome(BatchOutcome O) const {
+  size_t N = 0;
+  for (const BatchItemResult &R : Items)
+    N += R.Outcome == O;
+  return N;
+}
+
+int spa::exitCodeFor(const BatchResult &R) {
+  if (R.numFailed() > 0)
+    return 2;
+  if (R.numDegraded() > 0)
+    return 3;
+  return 0;
 }
 
 static const char *batchEngineName(EngineKind E) {
@@ -38,6 +77,121 @@ static const char *batchEngineName(EngineKind E) {
   return "unknown";
 }
 
+namespace {
+
+/// One in-process attempt: build, analyze, check, classify.
+void runItemInProcess(const BatchItem &Item, const BatchOptions &Opts,
+                      const AnalyzerOptions &AOpts, BatchItemResult &R) {
+  BuildResult Built = buildProgramFromSource(Item.Source);
+  if (!Built.ok()) {
+    R.Error = Built.Error;
+    R.Outcome = BatchOutcome::BuildError;
+    return;
+  }
+  AnalysisRun Run = analyzeProgram(*Built.Prog, AOpts);
+  R.TimedOut = Run.timedOut();
+  R.Degraded = Run.degraded();
+  if (Opts.Check && !R.TimedOut) {
+    CheckerSummary Summary = checkBufferOverruns(*Built.Prog, Run);
+    R.Checks = static_cast<unsigned>(Summary.Checks.size());
+    R.Alarms = Summary.numAlarms();
+  }
+  if (R.TimedOut) {
+    R.Outcome = BatchOutcome::Timeout;
+    return;
+  }
+  R.Outcome = R.Degraded ? BatchOutcome::Degraded : BatchOutcome::Ok;
+  R.Ok = true;
+}
+
+/// One isolated attempt: the same work in a forked child, classified
+/// from the child's exit.  The fault plan (SPA_FAULT) arms only inside
+/// the child, so injected faults take down the child, not the batch.
+void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
+                     const AnalyzerOptions &AOpts, const FaultPlan &Plan,
+                     BatchItemResult &R) {
+  double Kill = Opts.KillLimitSec;
+  if (Kill <= 0) {
+    double D =
+        std::max(AOpts.Budget.DeadlineSec > 0 ? AOpts.Budget.DeadlineSec : 0.0,
+                 AOpts.TimeLimitSec > 0 ? AOpts.TimeLimitSec : 0.0);
+    Kill = D > 0 ? 4 * D + 1 : 0;
+  }
+
+  ChildRunResult CR = runInChild(
+      [&]() -> std::vector<double> {
+        // The fork may happen on a pool worker lane; nested parallel
+        // phases already degrade inline there, but pin Jobs anyway so
+        // the child never touches the (not forked) pool threads.
+        AnalyzerOptions CA = AOpts;
+        CA.Jobs = 1;
+        FaultScope Scope(Plan, Item.Name);
+        maybeInjectFault("build");
+        BuildResult Built = buildProgramFromSource(Item.Source);
+        if (!Built.ok())
+          return {1, 0, 0, 0, 0};
+        AnalysisRun Run = analyzeProgram(*Built.Prog, CA);
+        double Checks = 0, Alarms = 0;
+        if (Opts.Check && !Run.timedOut()) {
+          maybeInjectFault("check");
+          CheckerSummary S = checkBufferOverruns(*Built.Prog, Run);
+          Checks = static_cast<double>(S.Checks.size());
+          Alarms = S.numAlarms();
+        }
+        return {0, Run.timedOut() ? 1.0 : 0.0, Run.degraded() ? 1.0 : 0.0,
+                Checks, Alarms};
+      },
+      Kill, Opts.HardMemLimitKiB);
+
+  R.PeakRssKiB = CR.PeakRssKiB;
+  if (CR.TimedOut) {
+    R.TimedOut = true;
+    R.Outcome = BatchOutcome::Timeout;
+    R.Error = "killed at the isolation kill limit";
+    return;
+  }
+  if (CR.Ok && CR.Payload.size() >= 5) {
+    if (CR.Payload[0] != 0) {
+      R.Outcome = BatchOutcome::BuildError;
+      R.Error = "build error (isolated child)";
+      return;
+    }
+    R.TimedOut = CR.Payload[1] != 0;
+    R.Degraded = CR.Payload[2] != 0;
+    R.Checks = static_cast<unsigned>(CR.Payload[3]);
+    R.Alarms = static_cast<unsigned>(CR.Payload[4]);
+    if (R.TimedOut) {
+      R.Outcome = BatchOutcome::Timeout;
+      return;
+    }
+    R.Outcome = R.Degraded ? BatchOutcome::Degraded : BatchOutcome::Ok;
+    R.Ok = true;
+    return;
+  }
+  if (CR.ExitCode == OomExitCode) {
+    R.Outcome = BatchOutcome::Oom;
+    R.Error = "out of memory (isolated child)";
+    return;
+  }
+  R.Outcome = BatchOutcome::Crash;
+  R.Error = CR.TermSignal
+                ? "child killed by signal " + std::to_string(CR.TermSignal)
+                : "child exited with status " + std::to_string(CR.ExitCode);
+}
+
+/// The retry tier: a tightened budget that forces early (sound)
+/// degradation instead of repeating whatever exhausted the first
+/// attempt.
+AnalyzerOptions lowerTier(const AnalyzerOptions &A) {
+  AnalyzerOptions T = A;
+  if (T.Budget.DeadlineSec > 0)
+    T.Budget.DeadlineSec /= 2;
+  T.Budget.StepLimit = T.Budget.StepLimit ? T.Budget.StepLimit / 2 : 50000;
+  return T;
+}
+
+} // namespace
+
 BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
                           const BatchOptions &Opts) {
   BatchResult Result;
@@ -47,6 +201,20 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
   if (Opts.Check)
     AOpts.Dep.Bypass = false; // The checker reads input buffers.
   unsigned Jobs = AOpts.Jobs ? AOpts.Jobs : ThreadPool::defaultJobs();
+  // Parsed once per batch so tests can flip SPA_FAULT between runs.
+  FaultPlan Plan = FaultPlan::fromEnv();
+
+  auto RunOnce = [&](const BatchItem &Item, const AnalyzerOptions &A,
+                     BatchItemResult &R) {
+    if (Opts.Isolate)
+      runItemIsolated(Item, Opts, A, Plan, R);
+    else
+      runItemInProcess(Item, Opts, A, R);
+  };
+  auto Retryable = [](BatchOutcome O) {
+    return O == BatchOutcome::Timeout || O == BatchOutcome::Oom ||
+           O == BatchOutcome::Crash;
+  };
 
   Timer Clock;
   // One program per index: each lane builds and analyzes its own Program
@@ -57,20 +225,21 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
     BatchItemResult &R = Result.Items[I];
     R.Name = Items[I].Name;
     Timer ItemClock;
-    BuildResult Built = buildProgramFromSource(Items[I].Source);
-    if (!Built.ok()) {
-      R.Error = Built.Error;
-      R.Seconds = ItemClock.seconds();
-      return;
+    RunOnce(Items[I], AOpts, R);
+    if (Opts.RetryAtLowerTier && Retryable(R.Outcome)) {
+      SPA_OBS_COUNT("batch.retries", 1);
+      BatchItemResult Retry;
+      Retry.Name = R.Name;
+      RunOnce(Items[I], lowerTier(AOpts), Retry);
+      Retry.Retried = true;
+      // Keep the first classification when the retry fails too (a
+      // deterministic fault re-fires, so taxonomy counts stay equal to
+      // the injected faults).
+      if (Retry.Ok)
+        R = std::move(Retry);
+      else
+        R.Retried = true;
     }
-    AnalysisRun Run = analyzeProgram(*Built.Prog, AOpts);
-    R.TimedOut = Run.timedOut();
-    if (Opts.Check && !R.TimedOut) {
-      CheckerSummary Summary = checkBufferOverruns(*Built.Prog, Run);
-      R.Checks = static_cast<unsigned>(Summary.Checks.size());
-      R.Alarms = Summary.numAlarms();
-    }
-    R.Ok = !R.TimedOut;
     R.Seconds = ItemClock.seconds();
   });
   Result.Seconds = Clock.seconds();
@@ -78,8 +247,18 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
   SPA_OBS_GAUGE_SET("batch.programs", Items.size());
   SPA_OBS_GAUGE_SET("batch.failed", Result.numFailed());
   SPA_OBS_GAUGE_SET("batch.jobs", Jobs);
+  SPA_OBS_GAUGE_SET("batch.isolated", Opts.Isolate ? 1 : 0);
   SPA_OBS_GAUGE_SET("batch.seconds", Result.Seconds);
   SPA_OBS_GAUGE_SET("batch.programs_per_sec", Result.programsPerSec());
+  SPA_OBS_GAUGE_SET("batch.degraded", Result.numDegraded());
+  SPA_OBS_GAUGE_SET("batch.failures.timeout",
+                    Result.countOutcome(BatchOutcome::Timeout));
+  SPA_OBS_GAUGE_SET("batch.failures.oom",
+                    Result.countOutcome(BatchOutcome::Oom));
+  SPA_OBS_GAUGE_SET("batch.failures.crash",
+                    Result.countOutcome(BatchOutcome::Crash));
+  SPA_OBS_GAUGE_SET("batch.failures.build_error",
+                    Result.countOutcome(BatchOutcome::BuildError));
   obs::MetricsSink::appendBenchRecord("batch",
                                       batchEngineName(AOpts.Engine),
                                       Result.numFailed() == 0);

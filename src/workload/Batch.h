@@ -31,15 +31,35 @@ struct BatchItem {
   std::string Source;
 };
 
+/// Failure taxonomy of one batch item (docs/ROBUSTNESS.md).
+enum class BatchOutcome {
+  Ok,         ///< Full-precision analysis completed.
+  Degraded,   ///< Budget tripped; result is sound but coarse (usable).
+  BuildError, ///< The source did not build.
+  Timeout,    ///< Analyzer time limit, or the isolation kill limit.
+  Oom,        ///< Isolated child exceeded its hard memory cap.
+  Crash,      ///< Isolated child died on a signal or unexpected exit.
+};
+
+const char *batchOutcomeName(BatchOutcome O);
+
 /// Outcome of one batch item (deterministic: independent of Jobs).
 struct BatchItemResult {
   std::string Name;
+  /// The item produced a usable result: Outcome is Ok or Degraded.
   bool Ok = false;
-  std::string Error; ///< Build failure reason when !Ok.
+  BatchOutcome Outcome = BatchOutcome::Crash;
+  std::string Error; ///< Failure reason when !Ok.
   bool TimedOut = false;
-  unsigned Checks = 0; ///< Dereferences checked (with Check).
-  unsigned Alarms = 0; ///< Checker alarms (with Check).
-  double Seconds = 0;  ///< This item's analysis wall time.
+  /// The producing run degraded under its resource budget (provenance
+  /// bit; also set on an adopted lower-tier retry result).
+  bool Degraded = false;
+  /// A failed first attempt was retried at a tightened budget tier.
+  bool Retried = false;
+  unsigned Checks = 0;      ///< Dereferences checked (with Check).
+  unsigned Alarms = 0;      ///< Checker alarms (with Check).
+  double Seconds = 0;       ///< This item's analysis wall time.
+  uint64_t PeakRssKiB = 0;  ///< Child's peak RSS (isolated runs only).
 };
 
 struct BatchOptions {
@@ -47,17 +67,40 @@ struct BatchOptions {
   /// Also run the buffer-overrun checker per program (forces the
   /// no-bypass graph the checker needs).
   bool Check = false;
+  /// Fault isolation: fork one child per program so a crash, OOM kill,
+  /// or hang loses only that item, never the rest of the batch.
+  bool Isolate = false;
+  /// Hard wall-clock kill limit per isolated child, in seconds.  0
+  /// derives 4 * max(Budget.DeadlineSec, TimeLimitSec) + 1 when either
+  /// is set (a cooperative deadline that far overdue means the child is
+  /// stuck); unlimited when neither is.
+  double KillLimitSec = 0;
+  /// Hard address-space cap per isolated child (KiB; 0 = none).  Unlike
+  /// Budget.MemLimitKiB this is enforced by the kernel: blowing it is an
+  /// Oom outcome, not a graceful degradation.
+  uint64_t HardMemLimitKiB = 0;
+  /// Retry a Timeout/Oom/Crash item once with a tightened budget
+  /// (halved deadline and step limit; a step limit is imposed if there
+  /// was none) and adopt the retry result when it is usable.
+  bool RetryAtLowerTier = true;
 };
 
 struct BatchResult {
   std::vector<BatchItemResult> Items; ///< In input order.
   double Seconds = 0;                 ///< Whole-batch wall time.
 
-  size_t numFailed() const;
+  size_t numFailed() const; ///< Items without a usable result (!Ok).
+  size_t numDegraded() const;
+  size_t countOutcome(BatchOutcome O) const;
   double programsPerSec() const {
     return Seconds > 0 ? static_cast<double>(Items.size()) / Seconds : 0;
   }
 };
+
+/// Process exit code for a batch run: 0 = every item completed at full
+/// precision, 3 = all usable but some degraded, 2 = at least one item
+/// failed (build error, timeout, OOM, or crash).
+int exitCodeFor(const BatchResult &R);
 
 /// Analyzes every item, fanning programs out over Analyzer.Jobs pool
 /// lanes, and appends one "batch" bench record (SPA_BENCH_JSON) with the

@@ -51,6 +51,25 @@ for ex in loop pointers; do
     mem.peak_rss_kib
 done
 
+# Budget smoke: an expired deadline must degrade (exit 3, sound-but-
+# coarse banner) and the metrics file must carry the budget.* keys and
+# the degradation provenance gauge (docs/ROBUSTNESS.md).
+"$ANALYZE" --deadline=-1 --metrics-out="$WORK/loop-budget.json" \
+  "$EXAMPLES/loop.spa" > "$WORK/loop-budget.txt"
+if [ $? -ne 3 ]; then
+  echo "FAIL: expired deadline should exit 3 (degraded)"
+  exit 1
+fi
+grep -q "degraded" "$WORK/loop-budget.txt" || {
+  echo "FAIL: degraded run lacks the degraded banner"
+  exit 1
+}
+require_keys "$WORK/loop-budget.json" \
+  budget.steps budget.exhausted analysis.degraded
+# And a clean run must exit 0 with budgets armed but not tripped.
+"$ANALYZE" --deadline=3600 --step-limit=1000000000 "$EXAMPLES/loop.spa" \
+  > /dev/null || exit 1
+
 # Table 2 must append one JSON record per (benchmark, engine) cell.
 SPA_SCALE=0.02 SPA_TIME_LIMIT=10 SPA_BENCH_JSON="$WORK/records.jsonl" \
   "$TABLE2" > /dev/null || exit 1

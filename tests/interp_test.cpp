@@ -201,6 +201,137 @@ TEST(Interp, ObserverSeesEveryExecutedPoint) {
   EXPECT_EQ(Count, R.Steps);
 }
 
+TEST(Interp, OutOfBoundsLoadIsDetected) {
+  auto Prog = build(R"(
+    fun main() {
+      a = alloc(3);
+      q = a + 3;
+      x = *q;
+      return x;
+    }
+  )");
+  CallGraphInfo CG = buildDirectCallGraph(*Prog);
+  Interp I(*Prog, CG, InterpOptions());
+  InterpResult R = I.run(nullptr);
+  EXPECT_EQ(R.Reason, StopReason::Overrun);
+  ASSERT_EQ(R.OverrunPoints.size(), 1u);
+  // Loads are dereferences inside an assignment's RHS.
+  EXPECT_EQ(Prog->point(R.OverrunPoints[0]).Cmd.Kind, CmdKind::Assign);
+}
+
+TEST(Interp, NegativeOffsetIsDetected) {
+  auto Prog = build(R"(
+    fun main() {
+      a = alloc(3);
+      q = a - 1;
+      x = *q;
+      return x;
+    }
+  )");
+  CallGraphInfo CG = buildDirectCallGraph(*Prog);
+  Interp I(*Prog, CG, InterpOptions());
+  EXPECT_EQ(I.run(nullptr).Reason, StopReason::Overrun);
+}
+
+TEST(Interp, PointerArithmeticTypeErrorsTrap) {
+  // ptr * int is not pointer arithmetic (only ptr ± int adjusts the
+  // offset); the mixed-type binary operation traps.
+  auto Mul = build(R"(
+    fun main() {
+      a = alloc(3);
+      q = a * 2;
+      return 0;
+    }
+  )");
+  CallGraphInfo CG1 = buildDirectCallGraph(*Mul);
+  Interp I1(*Mul, CG1, InterpOptions());
+  EXPECT_EQ(I1.run(nullptr).Reason, StopReason::Trap);
+
+  // ptr + ptr likewise has no concrete meaning.
+  auto Add = build(R"(
+    fun main() {
+      a = alloc(3);
+      b = alloc(2);
+      q = a + b;
+      return 0;
+    }
+  )");
+  CallGraphInfo CG2 = buildDirectCallGraph(*Add);
+  Interp I2(*Add, CG2, InterpOptions());
+  EXPECT_EQ(I2.run(nullptr).Reason, StopReason::Trap);
+}
+
+TEST(Interp, PointerArithmeticStaysInBounds) {
+  // The legal forms: ptr + int, int + ptr, ptr - int, all landing inside
+  // the block.
+  auto Prog = build(R"(
+    fun main() {
+      a = alloc(4);
+      p = a + 3;
+      q = 1 + a;
+      r = p - 2;
+      *p = 7;
+      *q = 8;
+      *r = 9;
+      x = *p;
+      return x;
+    }
+  )");
+  EXPECT_EQ(runAndGet(*Prog, "main::x").I, 7);
+}
+
+TEST(Interp, Int64OverflowTraps) {
+  // The abstract interval domain saturates at the int64 rails instead of
+  // wrapping, so a wrapped concrete result would not be covered; the
+  // interpreter traps instead (Interp.cpp's wide-arithmetic guard).
+  auto Mul = build(R"(
+    fun main() {
+      x = 3037000500;
+      y = x * x;
+      return y;
+    }
+  )");
+  CallGraphInfo CG1 = buildDirectCallGraph(*Mul);
+  Interp I1(*Mul, CG1, InterpOptions());
+  EXPECT_EQ(I1.run(nullptr).Reason, StopReason::Trap);
+
+  auto Add = build(R"(
+    fun main() {
+      x = 9223372036854775000;
+      y = x + 1000;
+      return y;
+    }
+  )");
+  CallGraphInfo CG2 = buildDirectCallGraph(*Add);
+  Interp I2(*Add, CG2, InterpOptions());
+  EXPECT_EQ(I2.run(nullptr).Reason, StopReason::Trap);
+
+  // Near the rail but inside the guard band still computes exactly.
+  auto Ok = build(R"(
+    fun main() {
+      x = 4611686018427387000;
+      y = x + 1000;
+      return y;
+    }
+  )");
+  EXPECT_EQ(runAndGet(*Ok, "main::y").I, 4611686018427388000LL);
+}
+
+TEST(Interp, UninitializedReadThroughPointerTraps) {
+  // A pointer load from a never-written local cell traps exactly like a
+  // direct uninitialized read.
+  auto Prog = build(R"(
+    fun main() {
+      p = &x;
+      y = *p;
+      return y;
+    }
+  )");
+  CallGraphInfo CG = buildDirectCallGraph(*Prog);
+  Interp I(*Prog, CG, InterpOptions());
+  EXPECT_EQ(I.run(nullptr).Reason, StopReason::Trap);
+}
+
 TEST(Interp, DivisionModuloAndZeroTrap) {
   auto Prog = build(R"(
     fun main() {

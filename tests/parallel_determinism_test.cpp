@@ -130,6 +130,47 @@ TEST(ParallelDeterminismTest, AllJobCountsProduceIdenticalResults) {
   }
 }
 
+TEST(ParallelDeterminismTest, BudgetDegradationIsIdenticalAcrossJobCounts) {
+  // Budget-triggered degradation must be as deterministic as the full
+  // fixpoint: an expired deadline trips before the first pop in *every*
+  // shard, so all nodes are pending, the affected set is the whole graph,
+  // and the degraded states are bit-identical regardless of job count.
+  for (unsigned Round : {1u, 3u, 7u}) {
+    BuildResult Built =
+        buildProgramFromSource(generateSource(configForRound(Round)));
+    ASSERT_TRUE(Built.ok()) << Built.Error;
+    const Program &Prog = *Built.Prog;
+
+    auto Degraded = [&](unsigned Jobs) {
+      AnalyzerOptions Opts;
+      Opts.Jobs = Jobs;
+      Opts.Dep.Bypass = false;
+      Opts.Budget.DeadlineSec = -1;
+      return analyzeProgram(Prog, Opts);
+    };
+
+    AnalysisRun Seq = Degraded(1);
+    ASSERT_TRUE(Seq.degraded());
+    ASSERT_EQ(Seq.Sparse->Visits, 0u);
+    std::string SeqListing = exportAnnotatedListing(Prog, Seq);
+    for (unsigned Jobs : {2u, 4u, 8u}) {
+      AnalysisRun Par = Degraded(Jobs);
+      ASSERT_TRUE(Par.degraded()) << "round " << Round << " jobs " << Jobs;
+      ASSERT_EQ(Par.Sparse->Visits, 0u);
+      ASSERT_EQ(Par.BudgetStop, BudgetReason::Deadline);
+      ASSERT_EQ(SeqListing, exportAnnotatedListing(Prog, Par))
+          << "round " << Round << " jobs " << Jobs;
+      ASSERT_EQ(Seq.Sparse->In.size(), Par.Sparse->In.size());
+      for (size_t N = 0; N < Seq.Sparse->In.size(); ++N) {
+        ASSERT_EQ(Seq.Sparse->In[N], Par.Sparse->In[N])
+            << "round " << Round << " jobs " << Jobs << " node " << N;
+        ASSERT_EQ(Seq.Sparse->Out[N], Par.Sparse->Out[N])
+            << "round " << Round << " jobs " << Jobs << " node " << N;
+      }
+    }
+  }
+}
+
 TEST(ParallelDeterminismTest, PhaseGaugesSatisfyTotalInvariant) {
   // The per-phase gauge split must stay exact under parallel execution:
   // total == pre + defuse + depbuild + fix (pinned sequentially by

@@ -21,6 +21,13 @@
 ///   --dump-deps                    dependency graph in Graphviz dot
 ///   --run[=seed]                   execute concretely (input() seed)
 ///   --time-limit=SECONDS           analysis wall-clock budget
+///   --deadline=SECONDS             resource budget: degrade soundly past
+///                                  this wall-clock deadline (<0 = already
+///                                  expired; the run degrades immediately)
+///   --step-limit=N                 resource budget: degrade after N steps
+///   --mem-limit=MIB                resource budget: degrade past this RSS
+///   --isolate                      batch: one forked child per program
+///                                  (crashes/OOM lose one item, not all)
 ///   --jobs=N                       thread-pool lanes (0 = SPA_JOBS/cores)
 ///   --batch=FILE                   analyze every program listed in FILE
 ///   --batch-suite[=scale]          analyze the generated paper suite
@@ -73,6 +80,8 @@ struct CliOptions {
   std::string MetricsOut;
   std::string TraceOut;
   double TimeLimitSec = 0;
+  BudgetLimits Budget;
+  bool Isolate = false;
   unsigned Jobs = 1; ///< 0 = ThreadPool::defaultJobs().
   std::string BatchFile;
   bool BatchSuite = false;
@@ -88,6 +97,7 @@ void usage() {
                "  --no-bypass --bdd --check --list --dump-cfg "
                "--dump-deps\n"
                "  --run[=seed] --time-limit=N --stats\n"
+               "  --deadline=N --step-limit=N --mem-limit=MIB --isolate\n"
                "  --jobs=N --batch=FILE --batch-suite[=scale]\n"
                "  --metrics-out=FILE --trace-out=FILE   (\"-\" = stdout)\n");
 }
@@ -154,6 +164,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.RunSeed = std::strtoull(V, nullptr, 10);
     } else if (const char *V = Value("--time-limit=")) {
       Opts.TimeLimitSec = std::atof(V);
+    } else if (const char *V = Value("--deadline=")) {
+      Opts.Budget.DeadlineSec = std::atof(V);
+    } else if (const char *V = Value("--step-limit=")) {
+      Opts.Budget.StepLimit = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--mem-limit=")) {
+      Opts.Budget.MemLimitKiB = std::strtoull(V, nullptr, 10) * 1024;
+    } else if (A == "--isolate") {
+      Opts.Isolate = true;
     } else if (const char *V = Value("--jobs=")) {
       Opts.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
     } else if (const char *V = Value("--batch=")) {
@@ -233,11 +251,15 @@ int runOctagonMode(const Program &Prog, const CliOptions &Cli) {
   // bypass contraction would (correctly) thin out.
   Opts.Dep.Bypass = false;
   Opts.TimeLimitSec = Cli.TimeLimitSec;
+  Opts.Budget = Cli.Budget;
   OctRun Run = runOctAnalysis(Prog, Opts);
   if (Run.timedOut()) {
     std::printf("analysis exceeded the time limit\n");
     return 2;
   }
+  if (Run.degraded())
+    std::printf("!! degraded: resource budget exhausted; invariants are "
+                "sound but coarse\n");
   if (int Rc = emitObservability(Cli))
     return Rc;
 
@@ -264,7 +286,7 @@ int runOctagonMode(const Program &Prog, const CliOptions &Cli) {
                     Itv.str().c_str());
     }
   }
-  return 0;
+  return Run.degraded() ? 3 : 0;
 }
 
 /// --batch / --batch-suite: analyze many programs across the pool.
@@ -293,28 +315,40 @@ int runBatchMode(const CliOptions &Cli) {
   Opts.Analyzer.Pre = Cli.Pre;
   Opts.Analyzer.Dep = Cli.Dep;
   Opts.Analyzer.TimeLimitSec = Cli.TimeLimitSec;
+  Opts.Analyzer.Budget = Cli.Budget;
   Opts.Analyzer.Jobs = Cli.Jobs;
   Opts.Check = Cli.Check;
+  Opts.Isolate = Cli.Isolate;
 
   BatchResult R = runBatch(Items, Opts);
   for (const BatchItemResult &I : R.Items) {
+    std::string Tag;
+    if (I.Degraded)
+      Tag += " [degraded]";
+    if (I.Retried)
+      Tag += " [retried]";
     if (!I.Ok && !I.Error.empty())
-      std::printf("%-24s error: %s\n", I.Name.c_str(), I.Error.c_str());
+      std::printf("%-24s %s: %s%s\n", I.Name.c_str(),
+                  batchOutcomeName(I.Outcome), I.Error.c_str(),
+                  Tag.c_str());
     else if (I.TimedOut)
-      std::printf("%-24s timed out after %.2fs\n", I.Name.c_str(),
-                  I.Seconds);
+      std::printf("%-24s timed out after %.2fs%s\n", I.Name.c_str(),
+                  I.Seconds, Tag.c_str());
     else if (Cli.Check)
-      std::printf("%-24s %.2fs  %u checks, %u alarms\n", I.Name.c_str(),
-                  I.Seconds, I.Checks, I.Alarms);
+      std::printf("%-24s %.2fs  %u checks, %u alarms%s\n", I.Name.c_str(),
+                  I.Seconds, I.Checks, I.Alarms, Tag.c_str());
     else
-      std::printf("%-24s %.2fs\n", I.Name.c_str(), I.Seconds);
+      std::printf("%-24s %.2fs%s\n", I.Name.c_str(), I.Seconds,
+                  Tag.c_str());
   }
   std::printf("%zu programs in %.2fs (%.2f programs/sec, %zu failed)\n",
               R.Items.size(), R.Seconds, R.programsPerSec(),
               R.numFailed());
+  if (R.numDegraded() > 0)
+    std::printf("%zu degraded (sound, coarse results)\n", R.numDegraded());
   if (int Rc = emitObservability(Cli))
     return Rc;
-  return R.numFailed() == 0 ? 0 : 2;
+  return exitCodeFor(R);
 }
 
 } // namespace
@@ -349,12 +383,17 @@ int main(int Argc, char **Argv) {
   if (Cli.Check || Cli.List)
     Opts.Dep.Bypass = false; // Checker and listing read input buffers.
   Opts.TimeLimitSec = Cli.TimeLimitSec;
+  Opts.Budget = Cli.Budget;
   Opts.Jobs = Cli.Jobs;
   AnalysisRun Run = analyzeProgram(Prog, Opts);
   if (Run.timedOut()) {
     std::printf("analysis exceeded the time limit\n");
     return 2;
   }
+  if (Run.degraded())
+    std::printf("!! degraded: resource budget exhausted (%s); results are "
+                "sound but coarse\n",
+                budgetReasonName(Run.BudgetStop));
 
   if (int Rc = emitObservability(Cli))
     return Rc;
@@ -407,5 +446,5 @@ int main(int Argc, char **Argv) {
       std::printf("  %-16s = %s\n", Prog.loc(L).Name.c_str(),
                   V.str().c_str());
   }
-  return 0;
+  return Run.degraded() ? 3 : 0;
 }
