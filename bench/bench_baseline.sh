@@ -4,16 +4,27 @@
 # sequential (--jobs=1) vs parallel (--jobs=N) configurations into one
 # summary JSON.
 #
-#   bench_baseline.sh <pipeline_scaling> [out.json]
+#   bench_baseline.sh <pipeline_scaling> [out.json] [table2_interval] [table3_octagon]
+#
+# When the table2_interval binary is passed, the Table 2 suite also runs
+# (SPA_TABLE2_RUNS passes, best-of-N per program/engine) and the summary
+# gains per-engine wall-time and peak-RSS columns plus a value-sharing
+# comparison against the checked-in pre-interning baseline
+# (bench/baseline_table2.jsonl).  When table3_octagon is also passed,
+# the same per-engine seconds/peak-RSS columns are recorded for the
+# Table 3 octagon suite (SPA_TABLE3_RUNS passes, default 1).
 #
 # Environment: SPA_SCALE (suite scale, default 0.05 here — a baseline,
 # not the paper-scale run), SPA_JOBS (parallel lane count; default all
 # cores, floored at 2 so the parallel paths execute even on one core),
-# SPA_TIME_LIMIT.  Exit 77 = skip (metrics compiled out).
+# SPA_TIME_LIMIT, SPA_TABLE2_RUNS (default 1; acceptance runs use 4).
+# Exit 77 = skip (metrics compiled out).
 set -u
 
 BENCH=$1
 OUT=${2:-BENCH_pipeline.json}
+TABLE2=${3:-}
+TABLE3=${4:-}
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
@@ -100,4 +111,107 @@ if "off" in guard and "on" in guard:
     }
 json.dump(out, open(sys.argv[2], "w"), indent=2)
 print("wrote", sys.argv[2])
+EOF
+STATUS=$?
+[ $STATUS -ne 0 ] && exit $STATUS
+[ -z "$TABLE2" ] && exit 0
+
+# Table 2 suite: per-engine wall time and peak RSS (best-of-N; each
+# engine runs in a forked child, so mem.peak_rss_kib and the
+# value.pool.* exports are per-run).
+RUNS=${SPA_TABLE2_RUNS:-1}
+export SPA_BENCH_JSON="$WORK/table2.jsonl"
+for _ in $(seq "$RUNS"); do
+  "$TABLE2" > "$WORK/table2.txt" || { cat "$WORK/table2.txt"; exit 1; }
+done
+cat "$WORK/table2.txt"
+
+# Table 3 (octagon) suite: same columns, no baseline comparison.
+RUNS3=${SPA_TABLE3_RUNS:-1}
+if [ -n "$TABLE3" ] && [ "$RUNS3" -gt 0 ]; then
+  export SPA_BENCH_JSON="$WORK/table3.jsonl"
+  for _ in $(seq "$RUNS3"); do
+    "$TABLE3" > "$WORK/table3.txt" || { cat "$WORK/table3.txt"; exit 1; }
+  done
+  cat "$WORK/table3.txt"
+fi
+
+BASELINE=$(dirname "$0")/baseline_table2.jsonl
+python3 - "$WORK/table2.jsonl" "$OUT" "$BASELINE" "$RUNS" \
+    "$WORK/table3.jsonl" "$RUNS3" <<'EOF'
+import json, sys
+
+def load(path):
+    """(program, engine) -> best-of-N record: min seconds / min RSS."""
+    best = {}
+    for line in open(path):
+        if not line.strip():
+            continue
+        r = json.loads(line)
+        m = r["metrics"]
+        key = (r["bench"], r["engine"])
+        cur = best.setdefault(key, dict(m))
+        cur["phase.total.seconds"] = min(cur["phase.total.seconds"],
+                                         m["phase.total.seconds"])
+        cur["mem.peak_rss_kib"] = min(cur["mem.peak_rss_kib"],
+                                      m["mem.peak_rss_kib"])
+    return best
+
+def totals(best):
+    t = {}
+    for (_, engine), m in best.items():
+        e = t.setdefault(engine, {"seconds": 0.0, "peak_rss_kib": 0})
+        e["seconds"] = round(e["seconds"] + m["phase.total.seconds"], 4)
+        e["peak_rss_kib"] += int(m["mem.peak_rss_kib"])
+    return t
+
+def columns(best):
+    programs = {}
+    for (prog, engine), m in sorted(best.items()):
+        programs.setdefault(prog, {})[engine] = {
+            "seconds": round(m["phase.total.seconds"], 4),
+            "peak_rss_kib": int(m["mem.peak_rss_kib"]),
+            "pool_nodes": int(m.get("value.pool.nodes", 0)),
+            "pool_hit_rate": round(m.get("value.pool.hit_rate", 0), 4),
+            "cow_detaches": int(m.get("state.cow.detaches", 0)),
+            "cow_adoptions": int(m.get("state.cow.adoptions", 0)),
+        }
+    return programs
+
+now = load(sys.argv[1])
+out = json.load(open(sys.argv[2]))
+now_tot = totals(now)
+out["table2"] = {"runs": int(sys.argv[4]), "programs": columns(now),
+                 "engine_totals": now_tot}
+try:
+    t3 = load(sys.argv[5])
+    out["table3"] = {"runs": int(sys.argv[6]), "programs": columns(t3),
+                     "engine_totals": totals(t3)}
+except OSError:
+    pass
+
+try:
+    base_tot = totals(load(sys.argv[3]))
+except OSError:
+    base_tot = None
+if base_tot:
+    suite = lambda t, k: sum(e[k] for e in t.values())
+    b_rss, n_rss = suite(base_tot, "peak_rss_kib"), suite(now_tot, "peak_rss_kib")
+    b_sec, n_sec = suite(base_tot, "seconds"), suite(now_tot, "seconds")
+    out["value_sharing"] = {
+        "baseline": base_tot,
+        "current": now_tot,
+        "suite_rss_reduction_pct":
+            round(100.0 * (b_rss - n_rss) / b_rss, 2) if b_rss else None,
+        "suite_speedup": round(b_sec / n_sec, 3) if n_sec else None,
+        "per_engine_rss_reduction_pct": {
+            e: round(100.0 * (base_tot[e]["peak_rss_kib"]
+                              - now_tot[e]["peak_rss_kib"])
+                     / base_tot[e]["peak_rss_kib"], 2)
+            for e in now_tot if e in base_tot
+            and base_tot[e]["peak_rss_kib"]},
+    }
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+print("amended", sys.argv[2], "with table2 +",
+      "value_sharing" if base_tot else "no baseline")
 EOF

@@ -14,6 +14,7 @@
 
 #include "core/BddDepStorage.h"
 #include "domains/AbsState.h"
+#include "domains/IdSet.h"
 #include "oct/Octagon.h"
 #include "support/Rng.h"
 
@@ -57,6 +58,61 @@ void BM_AbsStateJoin(benchmark::State &State) {
   State.SetComplexityN(static_cast<int64_t>(Size));
 }
 BENCHMARK(BM_AbsStateJoin)->Range(64, 16384)->Complexity();
+
+void BM_PtsSetJoin(benchmark::State &State) {
+  // Sparse-edge shape: joining points-to sets of `Size` ids.  Beyond
+  // two ids the operands are pooled, so steady-state joins resolve in
+  // the interner's memo cache instead of allocating a union.
+  size_t Size = static_cast<size_t>(State.range(0));
+  std::vector<LocId> A, B;
+  for (size_t I = 0; I < Size; ++I) {
+    A.push_back(LocId(static_cast<uint32_t>(2 * I)));
+    B.push_back(LocId(static_cast<uint32_t>(2 * I + 1)));
+  }
+  PtsSet SA = PtsSet::fromSorted(std::move(A));
+  PtsSet SB = PtsSet::fromSorted(std::move(B));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(SA.join(SB));
+}
+BENCHMARK(BM_PtsSetJoin)->Arg(2)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_PtsSetEquality(benchmark::State &State) {
+  // Canonical-form payoff: equality of equal `Size`-element sets is a
+  // tag/id compare, independent of cardinality.
+  size_t Size = static_cast<size_t>(State.range(0));
+  std::vector<LocId> A, B;
+  for (size_t I = 0; I < Size; ++I) {
+    A.push_back(LocId(static_cast<uint32_t>(I)));
+    B.push_back(LocId(static_cast<uint32_t>(I)));
+  }
+  PtsSet SA = PtsSet::fromSorted(std::move(A));
+  PtsSet SB = PtsSet::fromSorted(std::move(B));
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(SA == SB);
+    benchmark::DoNotOptimize(SA.leq(SB));
+  }
+}
+BENCHMARK(BM_PtsSetEquality)->Arg(2)->Arg(64)->Arg(4096);
+
+void BM_AbsStateCopy(benchmark::State &State) {
+  // In/Out buffer shape: copying a `Size`-entry state.  With the COW
+  // buffer the copy itself is O(1); the `/write` variant pays the
+  // detach (one clone) on first mutation, bounding the worst case.
+  size_t Size = static_cast<size_t>(State.range(0));
+  bool Write = State.range(1) != 0;
+  AbsState A;
+  Rng R(21);
+  for (size_t I = 0; I < Size; ++I)
+    A.set(LocId(static_cast<uint32_t>(I)), Value::constant(R.range(-50, 50)));
+  for (auto _ : State) {
+    AbsState C = A;
+    if (Write)
+      C.set(LocId(0), Value::constant(1));
+    benchmark::DoNotOptimize(C.size());
+  }
+}
+BENCHMARK(BM_AbsStateCopy)
+    ->ArgsProduct({{64, 1024, 16384}, {0, 1}});
 
 void BM_OctagonClosure(benchmark::State &State) {
   // Pack-sized octagons: constraint insertion triggers re-closure.

@@ -6,6 +6,7 @@
 
 #include "core/Analyzer.h"
 
+#include "domains/Interner.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Fault.h"
@@ -13,6 +14,24 @@
 #include "support/ThreadPool.h"
 
 using namespace spa;
+
+void spa::exportValueSharingStats() {
+  InternStats P = combinedInternerStats();
+  SPA_OBS_GAUGE_SET("value.pool.nodes", P.Nodes);
+  SPA_OBS_GAUGE_SET("value.pool.hits", P.Hits);
+  SPA_OBS_GAUGE_SET("value.pool.misses", P.Misses);
+  SPA_OBS_GAUGE_SET("value.pool.hit_rate",
+                    P.Hits + P.Misses
+                        ? static_cast<double>(P.Hits) / (P.Hits + P.Misses)
+                        : 0);
+  SPA_OBS_GAUGE_SET("value.pool.join_cache_hits", P.JoinCacheHits);
+  SPA_OBS_GAUGE_SET("value.pool.join_cache_misses", P.JoinCacheMisses);
+  SPA_OBS_GAUGE_SET("value.pool.bytes", P.Bytes);
+  SPA_OBS_GAUGE_SET("state.cow.detaches",
+                    CowStats::Detaches.load(std::memory_order_relaxed));
+  SPA_OBS_GAUGE_SET("state.cow.adoptions",
+                    CowStats::Adoptions.load(std::memory_order_relaxed));
+}
 
 double AnalysisRun::depBuildSeconds() const {
   return Graph ? Graph->BuildSeconds : 0;
@@ -139,6 +158,7 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
   // multiple lanes; cpu_seconds ≈ seconds means it was sequential.
   SPA_OBS_GAUGE_SET("phase.total.cpu_seconds", TotalCpu.seconds());
   SPA_OBS_GAUGE_MAX("mem.peak_rss_kib", currentPeakRssKiB());
+  exportValueSharingStats();
 
   if (Bud) {
     Run.BudgetStop = Bud->reason();

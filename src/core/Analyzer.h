@@ -101,6 +101,12 @@ struct AnalysisRun {
 
 AnalysisRun analyzeProgram(const Program &Prog, const AnalyzerOptions &Opts);
 
+/// Exports the value.pool.* / state.cow.* gauges (interner occupancy and
+/// hit rates, COW detach counts; docs/OBSERVABILITY.md).  Called at the
+/// end of every analyzer facade; the underlying pools are process-wide,
+/// so the values are cumulative across runs in one process.
+void exportValueSharingStats();
+
 } // namespace spa
 
 #endif // SPA_CORE_ANALYZER_H

@@ -114,9 +114,9 @@ AbsState spa::topAbsState(const Program &Prog) {
     Top.Pts.insert(LocId(L));
   for (uint32_t F = 0; F < Prog.numFuncs(); ++F)
     Top.Funcs.insert(FuncId(F));
-  // Each location holds its own copy of the universe sets (quadratic in
-  // numLocs), acceptable because this state only materializes on the
-  // exceptional degradation path.
+  // Each location binds the same interned universe sets, so the state is
+  // linear in numLocs: the Top value's PtsSet/FuncSet are single pool
+  // nodes and every binding is a 4-byte handle onto them.
   AbsState S;
   S.reserve(Prog.numLocs());
   for (uint32_t L = 0; L < Prog.numLocs(); ++L)

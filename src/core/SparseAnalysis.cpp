@@ -312,6 +312,14 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
           uint32_t &Count = ArrivalCount[Dst].getOrCreate(L);
           DoWiden = Count >= Opts.WideningDelay;
         }
+        if (!DoWiden && V.leq(Old)) {
+          // No-change fast path: with interned sets this is usually a
+          // handful of id compares, and it skips the join allocation and
+          // the full New == Old product comparison below.  Join-only
+          // arrivals cannot widen, so skipping them is exact.
+          SPA_OBS_COUNT("fixpoint.joins", 1);
+          return;
+        }
         if (DoWiden)
           SPA_OBS_COUNT("fixpoint.widenings", 1);
         else

@@ -11,12 +11,16 @@
 using namespace spa;
 
 const Value AbsState::Bottom = Value();
+const AbsState::Map AbsState::EmptyMap;
+
+std::atomic<uint64_t> CowStats::Detaches{0};
+std::atomic<uint64_t> CowStats::Adoptions{0};
 
 std::string AbsState::str() const {
   std::ostringstream OS;
   OS << "{";
   bool First = true;
-  for (const auto &[L, V] : Entries) {
+  for (const auto &[L, V] : *this) {
     if (!First)
       OS << ", ";
     First = false;

@@ -10,6 +10,15 @@
 /// makes the *sparse* representation possible: a point's state holds only
 /// the locations the analysis actually wrote.
 ///
+/// The binding table is a copy-on-write shared buffer: copying a state
+/// (the In/Out tables of the fixpoint engines, the pre-analysis snapshot,
+/// localization filters) shares one buffer, and mutation detaches a
+/// private clone only when the buffer is actually shared.  Joining into
+/// an empty state adopts the other side's buffer in O(1).  Read paths
+/// never detach; weakSet/joinWith test for no-change on the shared
+/// buffer first, so the fixpoint's frequent no-op joins stay
+/// allocation-free (state.cow.* metrics in docs/OBSERVABILITY.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPA_DOMAINS_ABSSTATE_H
@@ -18,71 +27,111 @@
 #include "domains/Value.h"
 #include "support/FlatMap.h"
 
+#include <atomic>
+#include <memory>
 #include <string>
 
 namespace spa {
+
+/// Process-wide copy-on-write statistics (exported as state.cow.*).
+struct CowStats {
+  static std::atomic<uint64_t> Detaches; ///< Shared buffers cloned on write.
+  static std::atomic<uint64_t> Adoptions; ///< O(1) buffer adoptions by joins.
+};
 
 /// Finite map from abstract locations to abstract values.
 class AbsState {
 public:
   using Map = FlatMap<LocId, Value>;
 
-  bool empty() const { return Entries.empty(); }
-  size_t size() const { return Entries.size(); }
-  void clear() { Entries.clear(); }
+  bool empty() const { return !Entries || Entries->empty(); }
+  size_t size() const { return Entries ? Entries->size() : 0; }
+  void clear() { Entries.reset(); }
   /// Reserves storage for \p N bindings (hot-path builders that know the
   /// output size, e.g. the sparse transfer's def-set extraction).
-  void reserve(size_t N) { Entries.reserve(N); }
+  void reserve(size_t N) { mut().reserve(N); }
 
-  auto begin() const { return Entries.begin(); }
-  auto end() const { return Entries.end(); }
+  Map::const_iterator begin() const { return ro().begin(); }
+  Map::const_iterator end() const { return ro().end(); }
 
   /// Value bound to \p L (bottom if unbound).
   const Value &get(LocId L) const {
-    const Value *V = Entries.lookup(L);
+    const Value *V = Entries ? Entries->lookup(L) : nullptr;
     return V ? *V : Bottom;
   }
 
-  bool contains(LocId L) const { return Entries.contains(L); }
+  bool contains(LocId L) const { return Entries && Entries->contains(L); }
 
   /// Strong update: bind \p L to \p V, discarding the old value.  Binding
   /// bottom removes the entry so states stay canonical.
   void set(LocId L, Value V) {
-    if (V.isBot())
-      Entries.erase(L);
-    else
-      Entries.set(L, std::move(V));
+    if (V.isBot()) {
+      if (contains(L))
+        mut().erase(L);
+      return;
+    }
+    mut().set(L, std::move(V));
   }
 
   /// Weak update (the paper's ⊔-update): join \p V into \p L's binding.
-  /// Returns true if the binding grew.
+  /// Returns true if the binding grew.  The no-change test runs on the
+  /// shared buffer, so a no-op weak update never detaches.
   bool weakSet(LocId L, const Value &V) {
     if (V.isBot())
       return false;
-    Value &Slot = Entries.getOrCreate(L);
-    return Slot.joinWith(V);
+    const Value *Old = Entries ? Entries->lookup(L) : nullptr;
+    if (Old && V.leq(*Old))
+      return false;
+    Value New = Old ? Old->join(V) : V;
+    mut().set(L, std::move(New));
+    return true;
   }
 
-  bool operator==(const AbsState &O) const { return Entries == O.Entries; }
+  bool operator==(const AbsState &O) const {
+    return Entries == O.Entries || ro() == O.ro();
+  }
   bool operator!=(const AbsState &O) const { return !(*this == O); }
 
   bool leq(const AbsState &O) const {
-    for (const auto &[L, V] : Entries)
+    if (Entries == O.Entries)
+      return true;
+    for (const auto &[L, V] : ro())
       if (!V.leq(O.get(L)))
         return false;
     return true;
   }
 
-  /// In-place join with \p O; returns true if this state grew.
+  /// In-place join with \p O; returns true if this state grew.  Joining
+  /// into an empty state adopts \p O's buffer without copying; when the
+  /// buffer is shared, a no-change join is detected read-only before
+  /// paying for the detach.
   bool joinWith(const AbsState &O) {
-    return Entries.mergeWith(
-        O.Entries, [](Value &A, const Value &B) { return A.joinWith(B); });
+    if (O.empty())
+      return false;
+    if (empty()) {
+      Entries = O.Entries;
+      CowStats::Adoptions.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (Entries == O.Entries)
+      return false;
+    if (Entries.use_count() > 1 && O.leq(*this))
+      return false;
+    return mut().mergeWith(
+        *O.Entries, [](Value &A, const Value &B) { return A.joinWith(B); });
   }
 
   /// In-place widening with \p O (this ∇ (this ⊔ O) per entry); returns
   /// true if this state changed.
   bool widenWith(const AbsState &O) {
-    return Entries.mergeWith(O.Entries, [](Value &A, const Value &B) {
+    if (O.empty())
+      return false;
+    if (empty()) {
+      Entries = O.Entries;
+      CowStats::Adoptions.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return mut().mergeWith(*O.Entries, [](Value &A, const Value &B) {
       Value W = A.widen(A.join(B));
       if (W == A)
         return false;
@@ -96,7 +145,7 @@ public:
   bool narrowWith(const AbsState &O) {
     bool Changed = false;
     Map New;
-    for (const auto &[L, V] : Entries) {
+    for (const auto &[L, V] : ro()) {
       Value N = V.narrow(O.get(L));
       if (N != V)
         Changed = true;
@@ -104,23 +153,46 @@ public:
         New.set(L, std::move(N));
     }
     if (Changed)
-      Entries = std::move(New);
+      Entries = std::make_shared<Map>(std::move(New));
     return Changed;
   }
 
-  /// Keeps only the entries whose location satisfies \p Keep.
+  /// Keeps only the entries whose location satisfies \p Keep.  Shares
+  /// this state's buffer when the filter keeps everything.
   template <typename Pred> AbsState filtered(Pred Keep) const {
     AbsState R;
-    for (const auto &[L, V] : Entries)
-      if (Keep(L))
-        R.Entries.set(L, V);
+    if (!Entries)
+      return R;
+    Map New = Entries->filtered(Keep);
+    if (New.size() == Entries->size()) {
+      R.Entries = Entries;
+      return R;
+    }
+    if (!New.empty())
+      R.Entries = std::make_shared<Map>(std::move(New));
     return R;
   }
 
   std::string str() const;
 
 private:
-  Map Entries;
+  /// Read-only view (the shared empty map when unallocated).
+  const Map &ro() const { return Entries ? *Entries : EmptyMap; }
+
+  /// Mutable view: allocates a private buffer, cloning the shared one
+  /// when other states still reference it.
+  Map &mut() {
+    if (!Entries) {
+      Entries = std::make_shared<Map>();
+    } else if (Entries.use_count() > 1) {
+      CowStats::Detaches.fetch_add(1, std::memory_order_relaxed);
+      Entries = std::make_shared<Map>(*Entries);
+    }
+    return *Entries;
+  }
+
+  std::shared_ptr<Map> Entries;
+  static const Map EmptyMap;
   static const Value Bottom;
 };
 

@@ -1,4 +1,4 @@
-//===- IdSet.h - Sorted id sets (points-to / function sets) -------------------===//
+//===- IdSet.h - Interned id sets (points-to / function sets) -----------------===//
 //
 // Part of the SPA project (PLDI 2012 sparse analysis reproduction).
 //
@@ -6,91 +6,231 @@
 ///
 /// \file
 /// Finite powerset domains over typed ids: points-to sets (2^L̂, the
-/// paper's P̂) and callee sets for function pointers.  Backed by sorted
-/// vectors: sets are small in practice and linear merges keep joins cheap
-/// and iteration deterministic.
+/// paper's P̂) and callee sets for function pointers.  Two-tier
+/// representation with a canonical-form invariant:
+///
+///  * up to two ids live inline in the object (no allocation — the vast
+///    majority of sets the analyses build are singletons or pairs);
+///  * three or more ids promote to a hash-consed node in the process-wide
+///    Interner pool, and the set holds only the node's 32-bit id.
+///
+/// Because the representation is canonical (a given content has exactly
+/// one form), equality is a tag/id compare, copies are trivial 16-byte
+/// moves regardless of set size, and joins of pooled sets are memoized.
+/// Iteration stays sorted and deterministic, which the fixpoint engines
+/// rely on.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPA_DOMAINS_IDSET_H
 #define SPA_DOMAINS_IDSET_H
 
+#include "domains/Interner.h"
 #include "support/Ids.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <initializer_list>
 #include <vector>
 
 namespace spa {
 
 /// Sorted set of typed ids with lattice operations (⊆ order, ∪ join).
+/// Cheap to copy: the representation is at most two inline ids or one
+/// pool id (see file comment).
 template <typename IdT> class IdSet {
 public:
+  using const_iterator = const IdT *;
+
   IdSet() = default;
-  IdSet(std::initializer_list<IdT> Init) : Items(Init) {
-    std::sort(Items.begin(), Items.end());
-    Items.erase(std::unique(Items.begin(), Items.end()), Items.end());
+  IdSet(std::initializer_list<IdT> Init) {
+    std::vector<IdT> V(Init);
+    std::sort(V.begin(), V.end());
+    V.erase(std::unique(V.begin(), V.end()), V.end());
+    *this = fromSorted(std::move(V));
   }
 
   static IdSet singleton(IdT Id) {
     IdSet S;
-    S.Items.push_back(Id);
+    S.Small[0] = Id;
+    S.Count = 1;
     return S;
   }
 
-  bool empty() const { return Items.empty(); }
-  size_t size() const { return Items.size(); }
-  auto begin() const { return Items.begin(); }
-  auto end() const { return Items.end(); }
+  bool empty() const { return Count == 0; }
+  size_t size() const {
+    return isInterned() ? pool().contents(PoolId).size() : Count;
+  }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size(); }
 
   bool contains(IdT Id) const {
-    return std::binary_search(Items.begin(), Items.end(), Id);
+    if (isInterned()) {
+      const std::vector<IdT> &C = pool().contents(PoolId);
+      return std::binary_search(C.begin(), C.end(), Id);
+    }
+    for (uint8_t I = 0; I < Count; ++I)
+      if (Small[I] == Id)
+        return true;
+    return false;
   }
 
   /// Inserts \p Id; returns true if it was new.
   bool insert(IdT Id) {
-    auto It = std::lower_bound(Items.begin(), Items.end(), Id);
-    if (It != Items.end() && *It == Id)
+    if (isInterned()) {
+      const std::vector<IdT> &C = pool().contents(PoolId);
+      auto It = std::lower_bound(C.begin(), C.end(), Id);
+      if (It != C.end() && *It == Id)
+        return false;
+      std::vector<IdT> V;
+      V.reserve(C.size() + 1);
+      V.insert(V.end(), C.begin(), It);
+      V.push_back(Id);
+      V.insert(V.end(), It, C.end());
+      PoolId = pool().intern(std::move(V));
+      return true;
+    }
+    uint8_t Pos = 0;
+    while (Pos < Count && Small[Pos] < Id)
+      ++Pos;
+    if (Pos < Count && Small[Pos] == Id)
       return false;
-    Items.insert(It, Id);
+    if (Count < MaxInline) {
+      for (uint8_t I = Count; I > Pos; --I)
+        Small[I] = Small[I - 1];
+      Small[Pos] = Id;
+      ++Count;
+      return true;
+    }
+    // Inline capacity exceeded: promote to a pool node.
+    std::vector<IdT> V;
+    V.reserve(Count + 1);
+    V.insert(V.end(), Small, Small + Pos);
+    V.push_back(Id);
+    V.insert(V.end(), Small + Pos, Small + Count);
+    *this = internedSet(pool().intern(std::move(V)));
     return true;
   }
 
-  bool operator==(const IdSet &O) const { return Items == O.Items; }
+  /// Canonical-form equality: inline contents compare or pool-id compare.
+  bool operator==(const IdSet &O) const {
+    if (Count != O.Count)
+      return false;
+    if (isInterned())
+      return PoolId == O.PoolId;
+    for (uint8_t I = 0; I < Count; ++I)
+      if (Small[I] != O.Small[I])
+        return false;
+    return true;
+  }
   bool operator!=(const IdSet &O) const { return !(*this == O); }
 
   /// Subset test (the lattice order).
   bool leq(const IdSet &O) const {
-    return std::includes(O.Items.begin(), O.Items.end(), Items.begin(),
-                         Items.end());
+    if (Count == 0)
+      return true;
+    if (*this == O)
+      return true;
+    if (!isInterned()) {
+      for (uint8_t I = 0; I < Count; ++I)
+        if (!O.contains(Small[I]))
+          return false;
+      return true;
+    }
+    if (!O.isInterned())
+      return false; // |this| >= 3 > |O|.
+    const std::vector<IdT> &A = pool().contents(PoolId);
+    const std::vector<IdT> &B = pool().contents(O.PoolId);
+    return A.size() <= B.size() &&
+           std::includes(B.begin(), B.end(), A.begin(), A.end());
   }
 
-  /// Set union (the lattice join).
+  /// Set union (the lattice join).  Subset fast paths return one of the
+  /// operands without allocating; pooled-pooled unions are memoized in
+  /// the interner's join cache.
   IdSet join(const IdSet &O) const {
-    IdSet R;
-    R.Items.reserve(Items.size() + O.Items.size());
-    std::set_union(Items.begin(), Items.end(), O.Items.begin(), O.Items.end(),
-                   std::back_inserter(R.Items));
-    return R;
+    if (Count == 0)
+      return O;
+    if (O.Count == 0)
+      return *this;
+    if (isInterned() && O.isInterned()) {
+      if (PoolId == O.PoolId)
+        return *this;
+      return internedSet(pool().joinInterned(PoolId, O.PoolId));
+    }
+    // At least one side is inline (<= 2 ids): membership-test it against
+    // the bigger side, so a no-growth join is allocation-free.
+    const IdSet &Big = size() >= O.size() ? *this : O;
+    const IdSet &Sml = (&Big == this) ? O : *this;
+    bool Sub = true;
+    for (uint8_t I = 0; I < Sml.Count; ++I)
+      if (!Big.contains(Sml.Small[I])) {
+        Sub = false;
+        break;
+      }
+    if (Sub)
+      return Big;
+    std::vector<IdT> U;
+    U.reserve(size() + O.size());
+    std::set_union(begin(), end(), O.begin(), O.end(),
+                   std::back_inserter(U));
+    return fromSorted(std::move(U));
   }
 
   IdSet meet(const IdSet &O) const {
-    IdSet R;
-    std::set_intersection(Items.begin(), Items.end(), O.Items.begin(),
-                          O.Items.end(), std::back_inserter(R.Items));
-    return R;
+    if (*this == O)
+      return *this;
+    std::vector<IdT> V;
+    std::set_intersection(begin(), end(), O.begin(), O.end(),
+                          std::back_inserter(V));
+    return fromSorted(std::move(V));
   }
 
   /// In-place union; returns true if this set grew.
   bool unionWith(const IdSet &O) {
-    if (O.leq(*this))
+    IdSet J = join(O);
+    if (J == *this)
       return false;
-    *this = join(O);
+    *this = J;
     return true;
   }
 
+  /// True when the contents live in the interner pool (>= 3 ids).
+  bool interned() const { return isInterned(); }
+
+  /// Builds a canonical set from sorted, duplicate-free \p V.
+  static IdSet fromSorted(std::vector<IdT> &&V) {
+    IdSet S;
+    if (V.size() <= MaxInline) {
+      S.Count = static_cast<uint8_t>(V.size());
+      for (uint8_t I = 0; I < S.Count; ++I)
+        S.Small[I] = V[I];
+      return S;
+    }
+    return internedSet(pool().intern(std::move(V)));
+  }
+
 private:
-  std::vector<IdT> Items;
+  static constexpr uint8_t MaxInline = 2;
+  static constexpr uint8_t InternedTag = 0xff;
+
+  bool isInterned() const { return Count == InternedTag; }
+  static Interner<IdT> &pool() { return Interner<IdT>::global(); }
+
+  static IdSet internedSet(uint32_t Id) {
+    IdSet S;
+    S.PoolId = Id;
+    S.Count = InternedTag;
+    return S;
+  }
+
+  const IdT *data() const {
+    return isInterned() ? pool().contents(PoolId).data() : Small;
+  }
+
+  IdT Small[MaxInline] = {};
+  uint32_t PoolId = 0;
+  uint8_t Count = 0; ///< 0..MaxInline inline size, or InternedTag.
 };
 
 /// Points-to set over abstract locations (the paper's P̂ = 2^L̂).

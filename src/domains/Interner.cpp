@@ -1,0 +1,21 @@
+//===- Interner.cpp - Hash-consing pool for id sets -----------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "domains/Interner.h"
+
+namespace spa {
+
+// The two pool instantiations the value domain uses (IdSet.h).
+template class Interner<LocId>;
+template class Interner<FuncId>;
+
+InternStats combinedInternerStats() {
+  InternStats T = Interner<LocId>::global().stats();
+  T += Interner<FuncId>::global().stats();
+  return T;
+}
+
+} // namespace spa

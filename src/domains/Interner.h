@@ -1,0 +1,267 @@
+//===- Interner.h - Hash-consing pool for id sets -------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consing (interning) pool for the set-valued domain components:
+/// sorted id sequences of three or more elements are canonicalized into
+/// immutable pool nodes with stable 32-bit ids, so equal sets always
+/// carry equal ids, set equality is an integer compare, and the union of
+/// two pooled sets can be memoized.  This extends the sharing idea the
+/// dependency relation already uses (BDD storage, paper Section 5.4) to
+/// the value layer: the sparse fixpoint copies points-to sets into every
+/// In/Out buffer along dependency edges, and with interning those copies
+/// are 4-byte handles onto one node.
+///
+/// Concurrency: the pool is process-wide and shared by every analysis
+/// (the partitioned parallel fixpoint interns from worker lanes).  It is
+/// sharded by content hash; each shard takes a mutex for intern lookups
+/// and join-cache probes, while dereferencing an already-published id is
+/// lock-free (node slabs are append-only and published with a
+/// release-store / acquire-load pair).  Nodes are immortal for the
+/// process lifetime — the deliberate SPARROW/SVF-style trade: no
+/// refcount traffic on the copy hot path, at the cost of monotone pool
+/// growth (bounded by the number of *distinct* sets ever built, which
+/// Tables 2-3 show is small compared to the number of set copies).
+///
+/// Observability: stats() feeds the value.pool.* gauges
+/// (docs/OBSERVABILITY.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_DOMAINS_INTERNER_H
+#define SPA_DOMAINS_INTERNER_H
+
+#include "support/Ids.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace spa {
+
+/// Aggregated statistics of one (or several) interner pools; exported as
+/// the value.pool.* gauges.
+struct InternStats {
+  uint64_t Nodes = 0;         ///< Live interned nodes (pool occupancy).
+  uint64_t Hits = 0;          ///< intern() calls resolved to an existing node.
+  uint64_t Misses = 0;        ///< intern() calls that created a node.
+  uint64_t JoinCacheHits = 0; ///< Memoized pooled-join results served.
+  uint64_t JoinCacheMisses = 0;
+  uint64_t Bytes = 0; ///< Approx. heap bytes held by node storage.
+
+  InternStats &operator+=(const InternStats &O) {
+    Nodes += O.Nodes;
+    Hits += O.Hits;
+    Misses += O.Misses;
+    JoinCacheHits += O.JoinCacheHits;
+    JoinCacheMisses += O.JoinCacheMisses;
+    Bytes += O.Bytes;
+    return *this;
+  }
+};
+
+/// Sharded, thread-safe hash-consing pool over sorted \p IdT sequences.
+/// One process-wide instance per id type (global()).
+template <typename IdT> class Interner {
+public:
+  static Interner &global() {
+    static Interner P;
+    return P;
+  }
+
+  /// Canonicalizes \p Elems — which must be sorted, duplicate-free, and
+  /// hold at least two elements — into a pool node and returns its
+  /// stable id.  Equal contents always yield equal ids.
+  uint32_t intern(std::vector<IdT> &&Elems) {
+    uint64_t H = hashContents(Elems);
+    Shard &S = Shards[H & ShardMask];
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto [B, E] = S.Table.equal_range(H);
+    for (auto It = B; It != E; ++It)
+      if (nodeInShard(S, It->second) == Elems) {
+        ++S.Hits;
+        return It->second;
+      }
+    uint32_t Idx = S.NumNodes.load(std::memory_order_relaxed);
+    uint32_t SlabIdx = Idx >> SlabBits;
+    if (SlabIdx >= MaxSlabs) {
+      std::fprintf(stderr, "spa::Interner: pool shard overflow\n");
+      std::abort();
+    }
+    std::vector<IdT> *Slab = S.Slabs[SlabIdx].load(std::memory_order_acquire);
+    if (!Slab) {
+      Slab = new std::vector<IdT>[SlabSize];
+      S.Bytes += SlabSize * sizeof(std::vector<IdT>);
+      S.Slabs[SlabIdx].store(Slab, std::memory_order_release);
+    }
+    Elems.shrink_to_fit();
+    S.Bytes += Elems.capacity() * sizeof(IdT);
+    Slab[Idx & (SlabSize - 1)] = std::move(Elems);
+    uint32_t Id = (Idx << ShardBits) | static_cast<uint32_t>(H & ShardMask);
+    S.Table.emplace(H, Id);
+    // Publish after the node is fully constructed: a racing intern of
+    // the same contents synchronizes on S.M; a reader holding the id
+    // got it through that intern (or a fork/join edge) and pairs its
+    // acquire slab load with the release store above.
+    S.NumNodes.store(Idx + 1, std::memory_order_release);
+    ++S.Misses;
+    return Id;
+  }
+
+  /// The node behind \p Id (lock-free; nodes are immutable and their
+  /// storage never moves, so the reference and iterators into it are
+  /// stable for the process lifetime).
+  const std::vector<IdT> &contents(uint32_t Id) const {
+    const Shard &S = Shards[Id & ShardMask];
+    uint32_t Idx = Id >> ShardBits;
+    const std::vector<IdT> *Slab =
+        S.Slabs[Idx >> SlabBits].load(std::memory_order_acquire);
+    return Slab[Idx & (SlabSize - 1)];
+  }
+
+  /// Union of two pooled sets, memoized in a per-shard direct-mapped
+  /// cache (the fixpoint joins the same pair of invariants over and
+  /// over along dependency edges).
+  uint32_t joinInterned(uint32_t A, uint32_t B) {
+    if (A == B)
+      return A;
+    if (A > B)
+      std::swap(A, B); // Union commutes; one cache line per pair.
+    uint64_t Key = (static_cast<uint64_t>(A) << 32) | B;
+    uint64_t KH = mix64(Key);
+    Shard &S = Shards[KH & ShardMask];
+    size_t Slot = (KH >> ShardBits) & (JoinCacheSize - 1);
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      if (S.JoinCache.empty())
+        S.JoinCache.assign(JoinCacheSize, JoinEntry{EmptyKey, 0});
+      if (S.JoinCache[Slot].Key == Key) {
+        ++S.JoinCacheHits;
+        return S.JoinCache[Slot].Result;
+      }
+      ++S.JoinCacheMisses;
+    }
+    const std::vector<IdT> &CA = contents(A);
+    const std::vector<IdT> &CB = contents(B);
+    uint32_t R;
+    // Subset fast paths: supersets are canonical already, no allocation.
+    if (CA.size() <= CB.size() &&
+        std::includes(CB.begin(), CB.end(), CA.begin(), CA.end()))
+      R = B;
+    else if (CB.size() < CA.size() &&
+             std::includes(CA.begin(), CA.end(), CB.begin(), CB.end()))
+      R = A;
+    else {
+      std::vector<IdT> U;
+      U.reserve(CA.size() + CB.size());
+      std::set_union(CA.begin(), CA.end(), CB.begin(), CB.end(),
+                     std::back_inserter(U));
+      R = intern(std::move(U));
+    }
+    std::lock_guard<std::mutex> Lock(S.M);
+    if (S.JoinCache.empty())
+      S.JoinCache.assign(JoinCacheSize, JoinEntry{EmptyKey, 0});
+    S.JoinCache[Slot] = JoinEntry{Key, R};
+    return R;
+  }
+
+  InternStats stats() const {
+    InternStats T;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      T.Nodes += S.NumNodes.load(std::memory_order_relaxed);
+      T.Hits += S.Hits;
+      T.Misses += S.Misses;
+      T.JoinCacheHits += S.JoinCacheHits;
+      T.JoinCacheMisses += S.JoinCacheMisses;
+      T.Bytes += S.Bytes;
+    }
+    return T;
+  }
+
+private:
+  static constexpr unsigned ShardBits = 3;
+  static constexpr uint32_t NumShards = 1u << ShardBits;
+  static constexpr uint32_t ShardMask = NumShards - 1;
+  // Slabs are sized so a barely-used pool costs a few KiB, not hundreds
+  // (the table harnesses fork one process per run, so fixed pool costs
+  // land on every measured child): 256 nodes per slab, up to 1M nodes
+  // per shard (8M per pool).
+  static constexpr unsigned SlabBits = 8;
+  static constexpr uint32_t SlabSize = 1u << SlabBits;
+  static constexpr uint32_t MaxSlabs = 1u << 12;
+  static constexpr size_t JoinCacheSize = 1u << 9;
+  static constexpr uint64_t EmptyKey = ~0ull;
+
+  struct JoinEntry {
+    uint64_t Key;
+    uint32_t Result;
+  };
+
+  struct Shard {
+    mutable std::mutex M;
+    /// Content hash -> node id; duplicates hold genuine hash collisions.
+    std::unordered_multimap<uint64_t, uint32_t> Table;
+    /// Append-only node storage: fixed-capacity array of lazily
+    /// allocated slabs, so published node references never move and
+    /// readers need no lock.
+    std::array<std::atomic<std::vector<IdT> *>, MaxSlabs> Slabs{};
+    std::atomic<uint32_t> NumNodes{0};
+    /// Direct-mapped (idA, idB) -> union-id memo, guarded by M; lazily
+    /// sized so idle pools cost nothing.
+    std::vector<JoinEntry> JoinCache;
+    uint64_t Hits = 0, Misses = 0;
+    uint64_t JoinCacheHits = 0, JoinCacheMisses = 0;
+    uint64_t Bytes = 0;
+  };
+
+  Interner() = default;
+  ~Interner() {
+    for (Shard &S : Shards)
+      for (auto &SlabPtr : S.Slabs)
+        delete[] SlabPtr.load(std::memory_order_relaxed);
+  }
+
+  static uint64_t mix64(uint64_t X) {
+    X ^= X >> 33;
+    X *= 0xff51afd7ed558ccdull;
+    X ^= X >> 33;
+    X *= 0xc4ceb9fe1a85ec53ull;
+    X ^= X >> 33;
+    return X;
+  }
+
+  static uint64_t hashContents(const std::vector<IdT> &Elems) {
+    uint64_t H = 0xcbf29ce484222325ull ^ Elems.size();
+    for (IdT E : Elems) {
+      H ^= E.value();
+      H *= 0x100000001b3ull;
+    }
+    return mix64(H);
+  }
+
+  const std::vector<IdT> &nodeInShard(const Shard &S, uint32_t Id) const {
+    uint32_t Idx = Id >> ShardBits;
+    return S.Slabs[Idx >> SlabBits].load(std::memory_order_acquire)
+        [Idx & (SlabSize - 1)];
+  }
+
+  Shard Shards[NumShards];
+};
+
+/// Combined statistics of the points-to and callee-set pools (the two
+/// instantiations the value domain uses).
+InternStats combinedInternerStats();
+
+} // namespace spa
+
+#endif // SPA_DOMAINS_INTERNER_H

@@ -1009,6 +1009,10 @@ OctRun spa::runOctAnalysis(const Program &Prog, const OctOptions &Opts) {
   SPA_OBS_GAUGE_SET("phase.fix.seconds", Run.fixSeconds());
   SPA_OBS_GAUGE_SET("phase.total.seconds", Run.depSeconds() + Run.fixSeconds());
   SPA_OBS_GAUGE_MAX("mem.peak_rss_kib", currentPeakRssKiB());
+  // The octagon engines consume the interval pre-analysis invariant
+  // (interned points-to sets) and COW pre-state snapshots, so the value
+  // sharing gauges are meaningful here too.
+  exportValueSharingStats();
 
   if (Bud) {
     SPA_OBS_GAUGE_SET("budget.steps", double(Bud->steps()));

@@ -91,6 +91,7 @@ void runItemInProcess(const BatchItem &Item, const BatchOptions &Opts,
   AnalysisRun Run = analyzeProgram(*Built.Prog, AOpts);
   R.TimedOut = Run.timedOut();
   R.Degraded = Run.degraded();
+  R.BudgetSteps = Run.BudgetSteps;
   if (Opts.Check && !R.TimedOut) {
     CheckerSummary Summary = checkBufferOverruns(*Built.Prog, Run);
     R.Checks = static_cast<unsigned>(Summary.Checks.size());
@@ -129,7 +130,7 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
         maybeInjectFault("build");
         BuildResult Built = buildProgramFromSource(Item.Source);
         if (!Built.ok())
-          return {1, 0, 0, 0, 0};
+          return {1, 0, 0, 0, 0, 0};
         AnalysisRun Run = analyzeProgram(*Built.Prog, CA);
         double Checks = 0, Alarms = 0;
         if (Opts.Check && !Run.timedOut()) {
@@ -139,7 +140,7 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
           Alarms = S.numAlarms();
         }
         return {0, Run.timedOut() ? 1.0 : 0.0, Run.degraded() ? 1.0 : 0.0,
-                Checks, Alarms};
+                Checks, Alarms, static_cast<double>(Run.BudgetSteps)};
       },
       Kill, Opts.HardMemLimitKiB);
 
@@ -160,6 +161,8 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
     R.Degraded = CR.Payload[2] != 0;
     R.Checks = static_cast<unsigned>(CR.Payload[3]);
     R.Alarms = static_cast<unsigned>(CR.Payload[4]);
+    if (CR.Payload.size() >= 6)
+      R.BudgetSteps = static_cast<uint64_t>(CR.Payload[5]);
     if (R.TimedOut) {
       R.Outcome = BatchOutcome::Timeout;
       return;
@@ -226,11 +229,40 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
     R.Name = Items[I].Name;
     Timer ItemClock;
     RunOnce(Items[I], AOpts, R);
-    if (Opts.RetryAtLowerTier && Retryable(R.Outcome)) {
+    R.Seconds = ItemClock.seconds();
+  });
+
+  // Second pass: retry the retryable failures at the tightened tier.
+  // The queue is ordered by first-pass cost, heaviest first — budget
+  // steps when the run reported them, peak RSS as the tie-break (the
+  // only signal a crashed/OOM child leaves) — so the longest retries
+  // enter the pool first instead of straggling at the batch tail.
+  // parallelFor lanes claim indices in submission order, which makes
+  // this a priority order even under dynamic scheduling.
+  std::vector<size_t> RetryQueue;
+  if (Opts.RetryAtLowerTier)
+    for (size_t I = 0; I < Result.Items.size(); ++I)
+      if (Retryable(Result.Items[I].Outcome))
+        RetryQueue.push_back(I);
+  if (!RetryQueue.empty()) {
+    std::stable_sort(RetryQueue.begin(), RetryQueue.end(),
+                     [&](size_t A, size_t B) {
+                       const BatchItemResult &RA = Result.Items[A];
+                       const BatchItemResult &RB = Result.Items[B];
+                       if (RA.BudgetSteps != RB.BudgetSteps)
+                         return RA.BudgetSteps > RB.BudgetSteps;
+                       return RA.PeakRssKiB > RB.PeakRssKiB;
+                     });
+    AnalyzerOptions Tier = lowerTier(AOpts);
+    ThreadPool::global().parallelFor(RetryQueue.size(), Jobs, [&](size_t K) {
+      size_t I = RetryQueue[K];
+      BatchItemResult &R = Result.Items[I];
       SPA_OBS_COUNT("batch.retries", 1);
+      double FirstSeconds = R.Seconds;
+      Timer ItemClock;
       BatchItemResult Retry;
       Retry.Name = R.Name;
-      RunOnce(Items[I], lowerTier(AOpts), Retry);
+      RunOnce(Items[I], Tier, Retry);
       Retry.Retried = true;
       // Keep the first classification when the retry fails too (a
       // deterministic fault re-fires, so taxonomy counts stay equal to
@@ -239,9 +271,9 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
         R = std::move(Retry);
       else
         R.Retried = true;
-    }
-    R.Seconds = ItemClock.seconds();
-  });
+      R.Seconds = FirstSeconds + ItemClock.seconds();
+    });
+  }
   Result.Seconds = Clock.seconds();
 
   SPA_OBS_GAUGE_SET("batch.programs", Items.size());

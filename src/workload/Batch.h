@@ -58,8 +58,13 @@ struct BatchItemResult {
   bool Retried = false;
   unsigned Checks = 0;      ///< Dereferences checked (with Check).
   unsigned Alarms = 0;      ///< Checker alarms (with Check).
-  double Seconds = 0;       ///< This item's analysis wall time.
+  /// Wall time summed over this item's attempts (first pass + retry).
+  double Seconds = 0;
   uint64_t PeakRssKiB = 0;  ///< Child's peak RSS (isolated runs only).
+  /// Cooperative budget steps the (first-pass) run consumed — the
+  /// per-item cost signal the retry pass sorts on.  0 when the run had
+  /// no budget or died before reporting (e.g. a crashed child).
+  uint64_t BudgetSteps = 0;
 };
 
 struct BatchOptions {
@@ -81,7 +86,10 @@ struct BatchOptions {
   uint64_t HardMemLimitKiB = 0;
   /// Retry a Timeout/Oom/Crash item once with a tightened budget
   /// (halved deadline and step limit; a step limit is imposed if there
-  /// was none) and adopt the retry result when it is usable.
+  /// was none) and adopt the retry result when it is usable.  Retries
+  /// run as a dedicated second pass over the pool, ordered by the
+  /// first pass's per-item BudgetSteps descending, so the heaviest
+  /// retries start first instead of straggling at the batch tail.
   bool RetryAtLowerTier = true;
 };
 

@@ -38,7 +38,8 @@ for ex in loop pointers; do
     phase.pre.seconds phase.defuse.seconds phase.depbuild.seconds \
     phase.fix.seconds phase.total.seconds fixpoint.worklist.pops \
     fixpoint.visits depgraph.edges depgraph.nodes program.points \
-    program.locs mem.peak_rss_kib
+    program.locs mem.peak_rss_kib value.pool.nodes value.pool.hit_rate \
+    state.cow.detaches
   if ! grep -q '"traceEvents"' "$WORK/$ex-i-trace.json"; then
     echo "FAIL: $ex trace output lacks traceEvents"
     exit 1
@@ -69,6 +70,15 @@ require_keys "$WORK/loop-budget.json" \
 # And a clean run must exit 0 with budgets armed but not tripped.
 "$ANALYZE" --deadline=3600 --step-limit=1000000000 "$EXAMPLES/loop.spa" \
   > /dev/null || exit 1
+
+# pointers.spa is the smallest example whose points-to/callee sets reach
+# the pooling threshold (>= 3 ids): the interner must report real work.
+python3 - "$WORK/pointers-i.json" <<'EOF' || exit 1
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["value.pool.nodes"] > 0, "interner never pooled on pointers.spa"
+assert m["value.pool.misses"] > 0, "pool has nodes but no misses?"
+EOF
 
 # Table 2 must append one JSON record per (benchmark, engine) cell.
 SPA_SCALE=0.02 SPA_TIME_LIMIT=10 SPA_BENCH_JSON="$WORK/records.jsonl" \
