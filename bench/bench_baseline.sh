@@ -137,8 +137,9 @@ if [ -n "$TABLE3" ] && [ "$RUNS3" -gt 0 ]; then
 fi
 
 BASELINE=$(dirname "$0")/baseline_table2.jsonl
+LEDGER_OUT=${OUT%.json}_ledger.json
 python3 - "$WORK/table2.jsonl" "$OUT" "$BASELINE" "$RUNS" \
-    "$WORK/table3.jsonl" "$RUNS3" <<'EOF'
+    "$WORK/table3.jsonl" "$RUNS3" "$LEDGER_OUT" <<'EOF'
 import json, sys
 
 def load(path):
@@ -214,4 +215,26 @@ if base_tot:
 json.dump(out, open(sys.argv[2], "w"), indent=2)
 print("amended", sys.argv[2], "with table2 +",
       "value_sharing" if base_tot else "no baseline")
+
+# Cost-ledger summary for the Table 2 suite: per (program, engine) the
+# ledger.* gauges each run exported plus the deterministic fixpoint
+# counters.  A spa-metrics-diff input (docs/OBSERVABILITY.md "Regression
+# diffing"): growth/visits/widenings are count fields, comparable across
+# machines; time_micros is sampled and for local comparisons only.
+ledger = {"schema": "spa-bench-ledger-v1", "suite": "table2",
+          "programs": {}}
+for (prog, engine), m in sorted(now.items()):
+    ledger["programs"].setdefault(prog, {})[engine] = {
+        "nodes": int(m.get("ledger.nodes", 0)),
+        "partitions": int(m.get("ledger.partitions", 0)),
+        "growth": int(m.get("ledger.growth", 0)),
+        "time_micros": int(m.get("ledger.time_micros", 0)),
+        "visits": int(m.get("fixpoint.visits", 0)),
+        "widenings": int(m.get("fixpoint.widenings", 0)),
+    }
+ledger["totals"] = {
+    k: sum(e[k] for p in ledger["programs"].values() for e in p.values())
+    for k in ("growth", "visits", "widenings")}
+json.dump(ledger, open(sys.argv[7], "w"), indent=2)
+print("wrote", sys.argv[7])
 EOF

@@ -57,6 +57,50 @@ bool AnalysisRun::timedOut() const {
   return false;
 }
 
+std::string spa::ledgerNodeLabel(const Program &Prog, const SparseGraph *Graph,
+                                 uint32_t Node) {
+  if (Graph && Graph->isPhi(Node)) {
+    const PhiNode &Phi = Graph->phi(Node);
+    return "phi(" + Prog.loc(Phi.L).Name + ") @ " +
+           Prog.pointToString(Phi.At);
+  }
+  PointId P = Graph ? Graph->anchor(Node) : PointId(Node);
+  return Prog.pointToString(P);
+}
+
+void spa::attributeLedger(obs::Ledger &Led, const Program &Prog,
+                          const SparseGraph *Graph) {
+  uint32_t N = Led.numRows();
+  std::vector<uint32_t> FuncOfNode(N, 0);
+  for (uint32_t Node = 0; Node < N; ++Node) {
+    PointId P = Graph ? Graph->anchor(Node) : PointId(Node);
+    FuncOfNode[Node] = Prog.point(P).Func.value();
+  }
+  // Partition attribution uses the same union-find components the
+  // parallel fixpoint shards by; the numbering (smallest member
+  // function) is independent of --jobs, so partition rows match across
+  // job counts.  A dense run has no graph: one implicit partition.
+  std::vector<uint32_t> CompOfNode;
+  uint32_t NumComps = 1;
+  if (Graph) {
+    DepComponents DC = computeDepComponents(Prog, *Graph);
+    CompOfNode = std::move(DC.CompOfNode);
+    NumComps = DC.NumComps;
+  }
+  std::vector<std::string> FuncNames;
+  FuncNames.reserve(Prog.numFuncs());
+  for (uint32_t F = 0; F < Prog.numFuncs(); ++F)
+    FuncNames.push_back(Prog.function(FuncId(F)).Name);
+  Led.attribute(std::move(FuncOfNode), std::move(CompOfNode),
+                std::move(FuncNames));
+
+  obs::PointCost T = Led.totals();
+  SPA_OBS_GAUGE_SET("ledger.nodes", N);
+  SPA_OBS_GAUGE_SET("ledger.partitions", NumComps);
+  SPA_OBS_GAUGE_SET("ledger.growth", T.Growth);
+  SPA_OBS_GAUGE_SET("ledger.time_micros", T.TimeMicros);
+}
+
 bool AnalysisRun::degraded() const {
   if (Pre.Degraded)
     return true;
@@ -83,6 +127,12 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
   if (Opts.Budget.enabled())
     BudgetStorage.emplace(Opts.Budget);
   Budget *Bud = BudgetStorage ? &*BudgetStorage : nullptr;
+
+  // Per-point cost ledger for the main fixpoint (never allocated when
+  // observability is compiled out).
+  std::shared_ptr<obs::Ledger> Led;
+  if constexpr (obs::LedgerEnabled)
+    Led = std::make_shared<obs::Ledger>();
 
   Timer PreClock;
   CpuTimer TotalCpu;
@@ -119,6 +169,7 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
     DOpts.WideningDelay = Opts.WideningDelay;
     DOpts.Bud = Bud;
     DOpts.DegradeTo = &Run.Pre.Global;
+    DOpts.Led = Led.get();
     SPA_OBS_TRACE("fixpoint");
     maybeInjectFault("fix");
     Run.Dense = runDenseAnalysis(Prog, Run.Pre.CG, &Run.DU, DOpts);
@@ -142,6 +193,7 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
     SOpts.Jobs = Jobs;
     SOpts.Bud = Bud;
     SOpts.DegradeTo = &Run.Pre.Global;
+    SOpts.Led = Led.get();
     SPA_OBS_TRACE("fixpoint");
     maybeInjectFault("fix");
     CpuTimer FixCpu;
@@ -149,6 +201,11 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
     SPA_OBS_GAUGE_SET("phase.fix.cpu_seconds", FixCpu.seconds());
     break;
   }
+  }
+
+  if (Led) {
+    attributeLedger(*Led, Prog, Run.Graph ? &*Run.Graph : nullptr);
+    Run.Ledger = std::move(Led);
   }
 
   SPA_OBS_GAUGE_SET("phase.depbuild.seconds", Run.depBuildSeconds());

@@ -24,7 +24,9 @@
 #include "core/DepBuilder.h"
 #include "core/PreAnalysis.h"
 #include "core/SparseAnalysis.h"
+#include "obs/Ledger.h"
 
+#include <memory>
 #include <optional>
 
 namespace spa {
@@ -97,9 +99,27 @@ struct AnalysisRun {
   /// still sound over-approximations, but coarser than a full fixpoint
   /// (the provenance bit Checker/Export/spa-analyze surface).
   bool degraded() const;
+
+  /// Per-point cost ledger of the main fixpoint, attributed to functions
+  /// and dependency partitions (docs/OBSERVABILITY.md "Ledger").  Null
+  /// when the build compiles observability out (-DSPA_OBS=OFF).
+  std::shared_ptr<obs::Ledger> Ledger = nullptr;
 };
 
 AnalysisRun analyzeProgram(const Program &Prog, const AnalyzerOptions &Opts);
+
+/// Human label of a ledger/provenance node: the rendered program point,
+/// or "phi(loc) @ point" for SSA phi pseudo-nodes.  \p Graph may be null
+/// (dense runs: node ids are point ids).
+std::string ledgerNodeLabel(const Program &Prog, const SparseGraph *Graph,
+                            uint32_t Node);
+
+/// Fills a recorded ledger's attribution (node -> function, node ->
+/// dependency partition, function names) and exports the ledger.*
+/// summary gauges.  Called by both analyzer facades after the fixpoint;
+/// \p Graph null means a dense point-indexed ledger (one partition).
+void attributeLedger(obs::Ledger &Led, const Program &Prog,
+                     const SparseGraph *Graph);
 
 /// Exports the value.pool.* / state.cow.* gauges (interner occupancy and
 /// hit rates, COW detach counts; docs/OBSERVABILITY.md).  Called at the

@@ -16,7 +16,9 @@
 #define SPA_CORE_CHECKER_H
 
 #include "core/Analyzer.h"
+#include "obs/Provenance.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,6 +59,68 @@ CheckerSummary checkBufferOverruns(const Program &Prog,
 /// Convenience: run the sparse analysis configured for checking and
 /// report.
 CheckerSummary analyzeAndCheck(const Program &Prog);
+
+//===----------------------------------------------------------------------===//
+// Alarm provenance (docs/OBSERVABILITY.md "Why did this alarm fire?")
+//===----------------------------------------------------------------------===//
+
+/// One node of an alarm's backward dependency slice.
+struct ProvenanceEntry {
+  uint32_t Node = 0;  ///< Sparse-graph node id.
+  PointId P;          ///< The node's anchor point.
+  uint32_t Depth = 0; ///< BFS distance from the alarm point.
+  LocId Via;          ///< Location whose value flowed over the reached edge.
+  bool IsPhi = false;
+  bool IsWidenPoint = false; ///< Widening applies at this node.
+  bool Degraded = false;     ///< Widened to the degradation tier (PR 3).
+};
+
+/// The explanation of one alarm: the bounded backward slice of the
+/// sparse dependency relation that fed the alarming dereference.
+struct AlarmProvenance {
+  unsigned AlarmId = 0; ///< 0-based index over the non-Safe checks.
+  AccessCheck Check;
+  std::vector<ProvenanceEntry> Slice; ///< BFS order; the alarm node first.
+  bool Truncated = false;             ///< A bound or the budget cut it short.
+  uint64_t EdgesWalked = 0;
+  bool TouchesDegraded = false; ///< Any slice node holds a degraded value.
+  /// The producing octagon run degraded and the checker consumed its
+  /// interval fallback (set by the oct driver, not the walk).
+  bool IntervalFallback = false;
+
+  /// Multi-line text for spa-analyze --explain-alarm.
+  std::string str(const Program &Prog, const AnalysisRun &Run) const;
+};
+
+/// Bounds and budget of a provenance walk.  The producing run's budget
+/// token is gone by the time anyone asks for an explanation, so the
+/// caller passes a fresh one (or null for an unbudgeted walk).
+struct ProvenanceQuery {
+  obs::ProvenanceOptions Bounds;
+  Budget *Bud = nullptr;
+};
+
+/// Explains alarm \p AlarmId — the 0-based index over the non-Safe
+/// entries of \p Summary.Checks in order (the numbering spa-analyze
+/// prints).  Requires the sparse run that produced \p Summary; returns
+/// nullopt when the id is out of range.
+std::optional<AlarmProvenance> explainAlarm(const Program &Prog,
+                                            const AnalysisRun &Run,
+                                            const CheckerSummary &Summary,
+                                            unsigned AlarmId,
+                                            const ProvenanceQuery &Q = {});
+
+/// Slices for every alarm of \p Summary (the `provenance` array of the
+/// ledger JSON export).
+std::vector<AlarmProvenance>
+collectAlarmProvenance(const Program &Prog, const AnalysisRun &Run,
+                       const CheckerSummary &Summary,
+                       const ProvenanceQuery &Q = {});
+
+/// Renders slices as the ledger JSON `provenance` array (pretty-printed
+/// two-space style matching obs::Ledger::toJson; "[]" when empty).
+std::string provenanceJsonArray(const Program &Prog, const AnalysisRun &Run,
+                                const std::vector<AlarmProvenance> &Slices);
 
 } // namespace spa
 

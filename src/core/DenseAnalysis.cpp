@@ -35,6 +35,12 @@ public:
     size_t N = Prog.numPoints();
     R.Post.resize(N);
 
+    // Cost ledger rows, indexed by point id (single-threaded engine, so
+    // no ownership discipline needed).  Folds to nullptr with SPA_OBS=OFF.
+    obs::Ledger *Led = obs::LedgerEnabled ? Opts.Led : nullptr;
+    if (Led)
+      Led->resize(static_cast<uint32_t>(N));
+
     std::vector<uint32_t> Rpo = computeSuperRpo(Prog, CG);
     std::vector<bool> Widen =
         computeWideningPoints(Prog, CG, /*IncludeCallToReturn=*/Opts.Localize);
@@ -46,6 +52,7 @@ public:
       WL.push(P);
 
     Timer Clock;
+    uint64_t LastSampleUs = 0;
     while (!WL.empty()) {
       if (Opts.TimeLimitSec > 0 && (R.Visits & 1023) == 0 &&
           Clock.seconds() > Opts.TimeLimitSec) {
@@ -61,6 +68,14 @@ public:
       }
       PointId C(WL.pop());
       ++R.Visits;
+      if (Led) {
+        ++Led->row(C.value()).Visits;
+        if ((R.Visits & 31) == 0) {
+          uint64_t NowUs = static_cast<uint64_t>(Clock.seconds() * 1e6);
+          Led->row(C.value()).TimeMicros += NowUs - LastSampleUs;
+          LastSampleUs = NowUs;
+        }
+      }
 
       AbsState Out = computeInput(R.Post, C);
       applyCommand(Prog, &CG, C, Out, Opts.Sem);
@@ -71,8 +86,22 @@ public:
         SPA_OBS_COUNT("fixpoint.widenings", 1);
       else
         SPA_OBS_COUNT("fixpoint.joins", 1);
+      uint64_t EntriesBefore = Led ? R.Post[C.value()].size() : 0;
       bool Changed = DoWiden ? R.Post[C.value()].widenWith(Out)
                              : R.Post[C.value()].joinWith(Out);
+      if (Led) {
+        obs::PointCost &PC = Led->row(C.value());
+        if (DoWiden)
+          ++PC.Widenings;
+        else
+          ++PC.Joins;
+        if (!Changed)
+          ++PC.NoChangeSkips;
+        else
+          // Dense growth unit: net new bound locations at the point
+          // (joins are monotone in the entry count).
+          PC.Growth += R.Post[C.value()].size() - EntriesBefore;
+      }
       if (!Changed)
         continue;
       ++ChangeCount[C.value()];
@@ -96,6 +125,8 @@ public:
         AbsState Out = computeInput(R.Post, PointId(P));
         applyCommand(Prog, &CG, PointId(P), Out, Opts.Sem);
         SPA_OBS_COUNT("fixpoint.narrowings", 1);
+        if (Led)
+          ++Led->row(P).Narrowings;
         Changed |= R.Post[P].narrowWith(Out);
       }
       if (!Changed)

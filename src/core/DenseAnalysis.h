@@ -28,6 +28,7 @@
 #include "domains/AbsState.h"
 #include "ir/CallGraphInfo.h"
 #include "ir/Program.h"
+#include "obs/Ledger.h"
 
 #include <cstdint>
 #include <vector>
@@ -58,6 +59,9 @@ struct DenseOptions {
   /// proves over-approximates every reachable memory).  Null = degrade to
   /// the all-⊤ state.
   const AbsState *DegradeTo = nullptr;
+  /// Per-point cost ledger (rows indexed by point id); null = no
+  /// recording.  See obs/Ledger.h for the determinism contract.
+  obs::Ledger *Led = nullptr;
 };
 
 struct DenseResult {

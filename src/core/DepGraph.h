@@ -116,6 +116,44 @@ struct SparseGraph {
   }
 };
 
+/// Connected components of the function graph induced by dependency
+/// edges (functions tied by any interprocedural dependency share a
+/// component; every node of a function lands in its function's
+/// component).  This is the partition the parallel sparse fixpoint
+/// shards by (docs/PARALLELISM.md) and the ledger aggregates by:
+/// component ids are dense, numbered by smallest member function, so
+/// the numbering is independent of --jobs.
+struct DepComponents {
+  std::vector<uint32_t> CompOfNode; ///< Graph node -> component id.
+  uint32_t NumComps = 0;
+};
+
+DepComponents computeDepComponents(const Program &Prog,
+                                   const SparseGraph &Graph);
+
+/// Reverse adjacency over a SparseGraph's dependency edges, built by one
+/// forward sweep.  DepStorage only enumerates out-edges (the fixpoint
+/// never walks backward), but alarm provenance does: forEachIn(Dst)
+/// yields every edge Src -L-> Dst in deterministic (ascending Src, then
+/// storage) order.
+class ReverseDepIndex {
+public:
+  explicit ReverseDepIndex(const SparseGraph &Graph);
+
+  void forEachIn(uint32_t Dst,
+                 const std::function<void(LocId, uint32_t)> &F) const;
+
+  uint64_t edgeCount() const { return Edges; }
+
+private:
+  struct InEdge {
+    LocId L;
+    uint32_t Src;
+  };
+  std::vector<std::vector<InEdge>> In;
+  uint64_t Edges = 0;
+};
+
 } // namespace spa
 
 #endif // SPA_CORE_DEPGRAPH_H

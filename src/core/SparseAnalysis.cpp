@@ -98,37 +98,6 @@ private:
   FlatMap<LocId, Value> Overlay;
 };
 
-/// Union-find over function ids (path halving + union by root id, so the
-/// component representatives are deterministic).
-class UnionFind {
-public:
-  explicit UnionFind(size_t N) : Parent(N) {
-    std::iota(Parent.begin(), Parent.end(), 0);
-  }
-
-  uint32_t find(uint32_t X) {
-    while (Parent[X] != X) {
-      Parent[X] = Parent[Parent[X]];
-      X = Parent[X];
-    }
-    return X;
-  }
-
-  void unite(uint32_t A, uint32_t B) {
-    A = find(A);
-    B = find(B);
-    if (A == B)
-      return;
-    // Smaller root wins: representative = smallest member id.
-    if (B < A)
-      std::swap(A, B);
-    Parent[B] = A;
-  }
-
-private:
-  std::vector<uint32_t> Parent;
-};
-
 /// Shards of graph nodes with no dependency edges between shards.  Each
 /// shard's node list is ascending.  Returns a single shard holding every
 /// node when \p Jobs <= 1 or the graph is one component.
@@ -145,39 +114,17 @@ std::vector<std::vector<uint32_t>> partitionNodes(const Program &Prog,
   if (Jobs <= 1 || Prog.numFuncs() <= 1)
     return AllNodes();
 
-  // Components of the function graph induced by dependency edges.
-  auto FuncOf = [&](uint32_t Node) {
-    return Prog.point(Graph.anchor(Node)).Func.value();
-  };
-  UnionFind UF(Prog.numFuncs());
-  for (uint32_t Src = 0; Src < N; ++Src) {
-    uint32_t SF = FuncOf(Src);
-    Graph.Edges->forEachOut(Src, [&](LocId, uint32_t Dst) {
-      UF.unite(SF, FuncOf(Dst));
-    });
-  }
-
-  // Dense component ids, numbered by smallest member function.
-  std::vector<uint32_t> CompOfFunc(Prog.numFuncs());
-  std::vector<uint32_t> CompSize; // In nodes, filled below.
-  for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
-    uint32_t Root = UF.find(F);
-    if (Root == F) {
-      CompOfFunc[F] = static_cast<uint32_t>(CompSize.size());
-      CompSize.push_back(0);
-    }
-  }
-  size_t NumComps = CompSize.size();
+  // Components of the function graph induced by dependency edges (the
+  // same computation the ledger attributes partition rows by).
+  DepComponents DC = computeDepComponents(Prog, Graph);
+  size_t NumComps = DC.NumComps;
   SPA_OBS_GAUGE_SET("par.fix.partitions", NumComps);
   if (NumComps <= 1)
     return AllNodes();
-  for (uint32_t F = 0; F < Prog.numFuncs(); ++F)
-    CompOfFunc[F] = CompOfFunc[UF.find(F)];
-  std::vector<uint32_t> CompOfNode(N);
-  for (uint32_t Node = 0; Node < N; ++Node) {
-    CompOfNode[Node] = CompOfFunc[FuncOf(Node)];
+  const std::vector<uint32_t> &CompOfNode = DC.CompOfNode;
+  std::vector<uint32_t> CompSize(NumComps, 0);
+  for (uint32_t Node = 0; Node < N; ++Node)
     ++CompSize[CompOfNode[Node]];
-  }
 
   // Greedy balance: biggest components first onto the least-loaded
   // shard.  Deterministic (ties by id / shard index), though any
@@ -207,6 +154,25 @@ std::vector<std::vector<uint32_t>> partitionNodes(const Program &Prog,
   return Shards;
 }
 
+/// Ledger growth units of a value step Old -> New: clamped-positive set
+/// cardinality deltas (points-to and callee sets) plus one unit per
+/// interval component that moved.  A pure function of the two values, so
+/// the per-node totals are deterministic across job counts.
+uint64_t growthUnits(const Value &Old, const Value &New) {
+  uint64_t G = 0;
+  if (New.Pts.size() > Old.Pts.size())
+    G += New.Pts.size() - Old.Pts.size();
+  if (New.Funcs.size() > Old.Funcs.size())
+    G += New.Funcs.size() - Old.Funcs.size();
+  if (!(New.Itv == Old.Itv))
+    ++G;
+  if (!(New.Offset == Old.Offset))
+    ++G;
+  if (!(New.Size == Old.Size))
+    ++G;
+  return G;
+}
+
 } // namespace
 
 SparseResult spa::runSparseAnalysis(const Program &Prog,
@@ -217,6 +183,14 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
   size_t N = Graph.numNodes();
   R.In.resize(N);
   R.Out.resize(N);
+
+  // Cost ledger: one row per graph node, written only by the shard that
+  // owns the node, so counts are race-free and jobs-independent.  The
+  // conditional folds to `nullptr` under -DSPA_OBS=OFF, compiling every
+  // recording site below out.
+  obs::Ledger *Led = obs::LedgerEnabled ? Opts.Led : nullptr;
+  if (Led)
+    Led->resize(static_cast<uint32_t>(N));
 
   // Node priorities: the anchor point's supergraph RPO index (phi nodes
   // schedule with their join point).
@@ -255,6 +229,7 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
       WL.push(I);
 
     uint64_t Visits = 0;
+    uint64_t LastSampleUs = 0;
     Timer Clock;
     while (!WL.empty()) {
       if (Opts.TimeLimitSec > 0 && (Visits & 1023) == 0 &&
@@ -273,6 +248,17 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
       }
       uint32_t Node = WL.pop();
       ++Visits;
+      if (Led) {
+        ++Led->row(Node).Visits;
+        // Sampled wall time: read the clock every 32 visits and charge
+        // the inter-sample delta to the node at the sample boundary.
+        // Cheap, and explicitly the one non-deterministic ledger field.
+        if ((Visits & 31) == 0) {
+          uint64_t NowUs = static_cast<uint64_t>(Clock.seconds() * 1e6);
+          Led->row(Node).TimeMicros += NowUs - LastSampleUs;
+          LastSampleUs = NowUs;
+        }
+      }
 
       // Transfer.
       AbsState NewOut;
@@ -318,18 +304,32 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
           // the full New == Old product comparison below.  Join-only
           // arrivals cannot widen, so skipping them is exact.
           SPA_OBS_COUNT("fixpoint.joins", 1);
+          if (Led)
+            ++Led->row(Dst).NoChangeSkips;
           return;
         }
         if (DoWiden)
           SPA_OBS_COUNT("fixpoint.widenings", 1);
         else
           SPA_OBS_COUNT("fixpoint.joins", 1);
+        if (Led) {
+          obs::PointCost &PC = Led->row(Dst);
+          if (DoWiden)
+            ++PC.Widenings;
+          else
+            ++PC.Joins;
+        }
         Value New = DoWiden ? Old.widen(Old.join(V)) : Old.join(V);
         if (New == Old)
           return;
         if (CutsCycle)
           ++ArrivalCount[Dst].getOrCreate(L);
         SPA_OBS_COUNT("fixpoint.deliveries", 1);
+        if (Led) {
+          obs::PointCost &PC = Led->row(Dst);
+          ++PC.Deliveries;
+          PC.Growth += growthUnits(Old, New);
+        }
         InDst.set(L, std::move(New));
         WL.push(Dst);
       });
@@ -402,6 +402,7 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
       if (!Affected[Node])
         continue;
       ++NumAffected;
+      R.DegradedNodeIds.push_back(Node); // Ascending: N is scanned in order.
       if (Graph.isPhi(Node)) {
         std::vector<LocId> PhiLoc{Graph.phi(Node).L};
         JoinRestricted(R.In[Node], PhiLoc);

@@ -27,6 +27,7 @@
 #include "core/DepGraph.h"
 #include "core/Semantics.h"
 #include "domains/AbsState.h"
+#include "obs/Ledger.h"
 #include "support/Budget.h"
 
 #include <cstdint>
@@ -56,6 +57,10 @@ struct SparseOptions {
   /// worklist entries join this state restricted to their def/use sets
   /// (normally T̂pre; null = all-⊤).
   const AbsState *DegradeTo = nullptr;
+  /// Per-node cost ledger (docs/OBSERVABILITY.md "Ledger").  The engine
+  /// resizes it to the node count and fills count rows deterministically
+  /// (shards own disjoint node ids).  Null = no ledger recording.
+  obs::Ledger *Led = nullptr;
 };
 
 struct SparseResult {
@@ -70,6 +75,10 @@ struct SparseResult {
   uint64_t Visits = 0;
   uint64_t StateEntries = 0; ///< Total entries across In and Out.
   double Seconds = 0;
+  /// Nodes the sound degradation widened to the fallback state (sorted
+  /// ascending; empty unless Degraded).  Alarm provenance flags slice
+  /// nodes that appear here.
+  std::vector<uint32_t> DegradedNodeIds;
 
   /// Output value of location \p L at point \p P (bottom if P does not
   /// define L).  Lemma 2 equates this with the dense result on D̂(c).

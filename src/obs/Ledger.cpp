@@ -1,0 +1,209 @@
+//===- Ledger.cpp - Per-control-point cost ledger --------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Ledger.h"
+
+#include "obs/MetricsSink.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace spa::obs;
+
+void Ledger::attribute(std::vector<uint32_t> FuncOfNode,
+                       std::vector<uint32_t> CompOfNode,
+                       std::vector<std::string> FuncNames) {
+  FuncOf = std::move(FuncOfNode);
+  CompOf = std::move(CompOfNode);
+  Funcs = std::move(FuncNames);
+}
+
+PointCost Ledger::totals() const {
+  PointCost T;
+  for (const PointCost &R : Rows)
+    T.addFrom(R);
+  return T;
+}
+
+std::vector<LedgerGroup>
+Ledger::aggregate(const std::vector<uint32_t> &GroupOf, bool WithNames) const {
+  // Group ids are small dense integers (FuncId / component number), so a
+  // flat vector indexed by id keeps the aggregation deterministic and
+  // allocation-cheap.
+  uint32_t MaxGroup = 0;
+  for (uint32_t N = 0; N < Rows.size(); ++N) {
+    uint32_t G = N < GroupOf.size() ? GroupOf[N] : 0;
+    MaxGroup = std::max(MaxGroup, G);
+  }
+  std::vector<LedgerGroup> Groups(static_cast<size_t>(MaxGroup) + 1);
+  for (uint32_t G = 0; G < Groups.size(); ++G)
+    Groups[G].Id = G;
+  for (uint32_t N = 0; N < Rows.size(); ++N) {
+    if (Rows[N].allZero())
+      continue;
+    uint32_t G = N < GroupOf.size() ? GroupOf[N] : 0;
+    Groups[G].Cost.addFrom(Rows[N]);
+    ++Groups[G].Nodes;
+  }
+  std::vector<LedgerGroup> Out;
+  for (LedgerGroup &G : Groups) {
+    if (G.Nodes == 0)
+      continue;
+    if (WithNames)
+      G.Label = G.Id < Funcs.size() ? Funcs[G.Id] : "<unknown>";
+    Out.push_back(std::move(G));
+  }
+  return Out;
+}
+
+std::vector<LedgerGroup> Ledger::byFunction() const {
+  return aggregate(FuncOf, /*WithNames=*/true);
+}
+
+std::vector<LedgerGroup> Ledger::byComponent() const {
+  return aggregate(CompOf, /*WithNames=*/false);
+}
+
+std::vector<LedgerHotspot> Ledger::hotspots(uint32_t K,
+                                            const LabelFn &Label) const {
+  std::vector<uint32_t> Ids;
+  Ids.reserve(Rows.size());
+  for (uint32_t N = 0; N < Rows.size(); ++N)
+    if (!Rows[N].allZero() && Rows[N].score() > 0)
+      Ids.push_back(N);
+  // score desc, node id asc — a total order, so the top-K set and its
+  // order are identical across runs and job counts.
+  std::sort(Ids.begin(), Ids.end(), [&](uint32_t A, uint32_t B) {
+    uint64_t SA = Rows[A].score(), SB = Rows[B].score();
+    return SA != SB ? SA > SB : A < B;
+  });
+  if (Ids.size() > K)
+    Ids.resize(K);
+  std::vector<LedgerHotspot> Out;
+  Out.reserve(Ids.size());
+  for (uint32_t N : Ids)
+    Out.push_back({N, Label ? Label(N) : std::string(), Rows[N]});
+  return Out;
+}
+
+namespace {
+
+std::string jsonQuote(const std::string &S) {
+  std::string R = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      R += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      R += Buf;
+      continue;
+    }
+    R += C;
+  }
+  return R += '"';
+}
+
+void appendCostFields(std::string &Out, const PointCost &C,
+                      const char *Indent) {
+  auto Field = [&](const char *Name, double V, bool Last = false) {
+    Out += Indent;
+    Out += '"';
+    Out += Name;
+    Out += "\": ";
+    Out += MetricsSink::formatValue(V);
+    if (!Last)
+      Out += ',';
+    Out += '\n';
+  };
+  Field("visits", C.Visits);
+  Field("widenings", C.Widenings);
+  Field("narrowings", C.Narrowings);
+  Field("joins", C.Joins);
+  Field("no_change_skips", C.NoChangeSkips);
+  Field("deliveries", C.Deliveries);
+  Field("growth", static_cast<double>(C.Growth));
+  Field("score", static_cast<double>(C.score()));
+  Field("time_micros", static_cast<double>(C.TimeMicros), /*Last=*/true);
+}
+
+void appendGroupArray(std::string &Out, const char *Key, const char *IdKey,
+                      const std::vector<LedgerGroup> &Groups, bool WithLabel) {
+  Out += "  \"";
+  Out += Key;
+  Out += "\": [";
+  for (size_t I = 0; I < Groups.size(); ++I) {
+    const LedgerGroup &G = Groups[I];
+    Out += I ? ",\n    {\n" : "\n    {\n";
+    Out += "      \"";
+    Out += IdKey;
+    Out += "\": " + MetricsSink::formatValue(G.Id) + ",\n";
+    if (WithLabel)
+      Out += "      \"name\": " + jsonQuote(G.Label) + ",\n";
+    Out += "      \"nodes\": " + MetricsSink::formatValue(G.Nodes) + ",\n";
+    appendCostFields(Out, G.Cost, "      ");
+    Out += "    }";
+  }
+  Out += Groups.empty() ? "]" : "\n  ]";
+}
+
+} // namespace
+
+std::string Ledger::toJson(uint32_t HotspotK, const LabelFn &Label,
+                           const std::string &ProvenanceJsonArray) const {
+  std::string Out = "{\n";
+  Out += "  \"schema\": \"spa-ledger-v1\",\n";
+  Out += "  \"nodes\": " + MetricsSink::formatValue(Rows.size()) + ",\n";
+  Out += "  \"totals\": {\n";
+  appendCostFields(Out, totals(), "    ");
+  Out += "  },\n";
+  appendGroupArray(Out, "functions", "func", byFunction(), /*WithLabel=*/true);
+  Out += ",\n";
+  appendGroupArray(Out, "partitions", "comp", byComponent(),
+                   /*WithLabel=*/false);
+  Out += ",\n";
+  Out += "  \"hotspots\": [";
+  std::vector<LedgerHotspot> Hot = hotspots(HotspotK, Label);
+  for (size_t I = 0; I < Hot.size(); ++I) {
+    Out += I ? ",\n    {\n" : "\n    {\n";
+    Out += "      \"node\": " + MetricsSink::formatValue(Hot[I].Node) + ",\n";
+    Out += "      \"label\": " + jsonQuote(Hot[I].Label) + ",\n";
+    appendCostFields(Out, Hot[I].Cost, "      ");
+    Out += "    }";
+  }
+  Out += Hot.empty() ? "]" : "\n  ]";
+  if (!ProvenanceJsonArray.empty()) {
+    Out += ",\n  \"provenance\": ";
+    Out += ProvenanceJsonArray;
+  }
+  Out += "\n}\n";
+  return Out;
+}
+
+std::string Ledger::hotspotText(uint32_t K, const LabelFn &Label) const {
+  std::vector<LedgerHotspot> Hot = hotspots(K, Label);
+  if (Hot.empty())
+    return "";
+  std::string Out = "ledger hotspots (top " + std::to_string(Hot.size()) +
+                    " by deterministic score):\n";
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), "  %-6s %8s %6s %6s %6s %6s %8s  %s\n",
+                "score", "visits", "widen", "join", "skip", "deliv", "growth",
+                "label");
+  Out += Buf;
+  for (const LedgerHotspot &H : Hot) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %-6llu %8u %6u %6u %6u %6u %8llu  %s\n",
+                  static_cast<unsigned long long>(H.Cost.score()),
+                  H.Cost.Visits, H.Cost.Widenings, H.Cost.Joins,
+                  H.Cost.NoChangeSkips, H.Cost.Deliveries,
+                  static_cast<unsigned long long>(H.Cost.Growth),
+                  H.Label.empty() ? ("node " + std::to_string(H.Node)).c_str()
+                                  : H.Label.c_str());
+    Out += Buf;
+  }
+  return Out;
+}

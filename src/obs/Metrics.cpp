@@ -67,6 +67,12 @@ void Registry::reset() {
     H.reset();
 }
 
+void Registry::resetGauges() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &[_, G] : Gauges)
+    G.reset();
+}
+
 std::vector<std::pair<std::string, double>> Registry::snapshot() const {
   std::lock_guard<std::mutex> Lock(M);
   std::vector<std::pair<std::string, double>> Out;

@@ -119,6 +119,13 @@ public:
   /// names and references stay valid.
   void reset();
 
+  /// Zeroes only the gauges.  Batch drivers call this between items /
+  /// before the whole-batch export so last-value gauges (program.*,
+  /// phase.*, analysis.degraded, ...) of the final item do not leak into
+  /// the batch-level snapshot, while monotone counters keep accumulating
+  /// across the batch.
+  void resetGauges();
+
   /// Flat numeric view, sorted by name.  Histograms expand into
   /// name.count / name.sum / name.min / name.max / name.avg leaves.
   std::vector<std::pair<std::string, double>> snapshot() const;
@@ -170,18 +177,20 @@ private:
 
 #else
 
-#define SPA_OBS_COUNT(Name, N)                                                 \
+// The value expression is kept in never-taken dead code so variables
+// that feed only the metrics layer still count as used (the compiler
+// removes it; side effects never run, matching the enabled-mode
+// contract that V is evaluated at most once).
+#define SPA_OBS_DISCARD(V)                                                     \
   do {                                                                         \
+    if (false)                                                                 \
+      (void)(V);                                                               \
   } while (0)
-#define SPA_OBS_GAUGE_SET(Name, V)                                             \
-  do {                                                                         \
-  } while (0)
-#define SPA_OBS_GAUGE_MAX(Name, V)                                             \
-  do {                                                                         \
-  } while (0)
-#define SPA_OBS_HIST(Name, V)                                                  \
-  do {                                                                         \
-  } while (0)
+
+#define SPA_OBS_COUNT(Name, N) SPA_OBS_DISCARD(N)
+#define SPA_OBS_GAUGE_SET(Name, V) SPA_OBS_DISCARD(V)
+#define SPA_OBS_GAUGE_MAX(Name, V) SPA_OBS_DISCARD(V)
+#define SPA_OBS_HIST(Name, V) SPA_OBS_DISCARD(V)
 
 #endif // SPA_OBS_ENABLED
 

@@ -1,0 +1,74 @@
+//===- Provenance.cpp - Bounded backward dependency slicing ----------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Provenance.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace spa::obs;
+
+ProvenanceSlice spa::obs::backwardSlice(uint32_t Seed, const PredFn &Preds,
+                                        const ProvenanceOptions &Opts,
+                                        const ChargeFn &Charge) {
+  ProvenanceSlice Slice;
+  if (Opts.MaxNodes == 0)
+    return Slice;
+  std::unordered_set<uint32_t> Seen{Seed};
+  std::deque<SliceNode> Queue{{Seed, 0, 0}};
+  while (!Queue.empty()) {
+    SliceNode Cur = Queue.front();
+    Queue.pop_front();
+    Slice.Nodes.push_back(Cur);
+    // Peeks at a frontier node's predecessors so Truncated reflects an
+    // actual cut (an unseen predecessor beyond the bound), not a
+    // frontier that happened to end at source nodes.  Peeked edges are
+    // not charged and do not count as walked.
+    auto CutsOffUnseen = [&] {
+      bool Cut = false;
+      Preds(Cur.Node, [&](uint32_t Pred, uint32_t) {
+        Cut = Cut || !Seen.count(Pred);
+      });
+      return Cut;
+    };
+    if (Slice.Nodes.size() >= Opts.MaxNodes) {
+      // Anything still queued (or expandable but never expanded) is cut.
+      if (!Queue.empty() ||
+          (Cur.Depth < Opts.MaxDepth && CutsOffUnseen()))
+        Slice.Truncated = true;
+      break;
+    }
+    if (Cur.Depth >= Opts.MaxDepth) {
+      if (CutsOffUnseen())
+        Slice.Truncated = true;
+      continue;
+    }
+    uint32_t Taken = 0;
+    bool Stop = false, BudgetDead = false;
+    Preds(Cur.Node, [&](uint32_t Pred, uint32_t Label) {
+      if (Stop)
+        return;
+      if (Taken >= Opts.MaxFanout) {
+        Slice.Truncated = true;
+        Stop = true;
+        return;
+      }
+      if (Charge && !Charge()) {
+        Slice.Truncated = true;
+        Stop = BudgetDead = true;
+        return;
+      }
+      ++Slice.EdgesWalked;
+      ++Taken;
+      if (!Seen.insert(Pred).second)
+        return;
+      Queue.push_back({Pred, Cur.Depth + 1, Label});
+    });
+    if (BudgetDead)
+      break; // Exhaustion is sticky: stop expanding entirely.
+  }
+  return Slice;
+}

@@ -1,0 +1,82 @@
+//===- Provenance.h - Bounded backward dependency slicing ------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alarm provenance: given a seed node (the control point where the
+/// checker raised an alarm) and a predecessor callback over the sparse
+/// dependency relation c0 -l-> cn, walk the relation *backward* with
+/// bounded depth, per-node fanout, and total node budget, producing the
+/// slice of definition points whose abstract values flowed into the
+/// alarm.  The walk is budget-aware: an optional charge callback (wired
+/// to the run's Budget token by the caller) is consulted per edge and a
+/// refusal truncates the slice instead of aborting it.
+///
+/// Like the ledger, this layer is Program-agnostic: nodes are dense
+/// uint32 ids and all structure (predecessors, labels) comes in through
+/// callbacks, so src/core can attribute phi nodes, widening points, and
+/// degraded-tier values on top of the raw slice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_OBS_PROVENANCE_H
+#define SPA_OBS_PROVENANCE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace spa {
+namespace obs {
+
+/// Bounds for the backward walk.  Defaults keep a slice readable and the
+/// walk O(MaxNodes * MaxFanout) regardless of graph size.
+struct ProvenanceOptions {
+  uint32_t MaxDepth = 8;    ///< BFS radius from the seed.
+  uint32_t MaxFanout = 16;  ///< Predecessor edges taken per node.
+  uint32_t MaxNodes = 256;  ///< Total slice size cap.
+};
+
+/// One node of the slice, in BFS (deterministic) discovery order.  The
+/// seed is always first with Depth 0.
+struct SliceNode {
+  uint32_t Node = 0;
+  uint32_t Depth = 0;
+  uint32_t ViaLabel = 0; ///< Edge label (LocId) this node was reached over.
+};
+
+struct ProvenanceSlice {
+  std::vector<SliceNode> Nodes; ///< BFS order; seed first.
+  bool Truncated = false;       ///< A bound or the budget cut the walk short.
+  uint64_t EdgesWalked = 0;
+
+  bool contains(uint32_t N) const {
+    for (const SliceNode &S : Nodes)
+      if (S.Node == N)
+        return true;
+    return false;
+  }
+};
+
+/// Enumerates predecessors of a node: calls Each(Pred, Label) for every
+/// dependency edge Pred -Label-> Node.
+using PredFn = std::function<void(
+    uint32_t Node, const std::function<void(uint32_t, uint32_t)> &Each)>;
+
+/// Per-edge budget charge; returning false truncates the walk (sets
+/// ProvenanceSlice::Truncated).  Null means unbudgeted.
+using ChargeFn = std::function<bool()>;
+
+/// Bounded backward BFS from \p Seed over \p Preds.  Deterministic: the
+/// visit order depends only on the seed, the bounds, and the order in
+/// which Preds enumerates edges.
+ProvenanceSlice backwardSlice(uint32_t Seed, const PredFn &Preds,
+                              const ProvenanceOptions &Opts = {},
+                              const ChargeFn &Charge = nullptr);
+
+} // namespace obs
+} // namespace spa
+
+#endif // SPA_OBS_PROVENANCE_H

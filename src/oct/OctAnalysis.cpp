@@ -557,10 +557,12 @@ namespace {
 OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
                            const Packing &Packs, const DefUseInfo &DU,
                            bool Localize, const OctOptions &Opts,
-                           Budget *Bud) {
+                           Budget *Bud, obs::Ledger *Led) {
   OctDenseResult R;
   size_t N = Prog.numPoints();
   R.Post.resize(N);
+  if (Led)
+    Led->resize(static_cast<uint32_t>(N));
   TopCache Tops;
 
   const CallGraphInfo &CG = Pre.CG;
@@ -622,6 +624,7 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
   };
 
   Timer Clock;
+  uint64_t LastSampleUs = 0;
   unsigned HardLimit = Opts.WideningDelay * Opts.HardLimitFactor;
   while (!WL.empty()) {
     if (Opts.TimeLimitSec > 0 && (R.Visits & 255) == 0 &&
@@ -637,6 +640,14 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
     }
     PointId C(WL.pop());
     ++R.Visits;
+    if (Led) {
+      ++Led->row(C.value()).Visits;
+      if ((R.Visits & 31) == 0) {
+        uint64_t NowUs = static_cast<uint64_t>(Clock.seconds() * 1e6);
+        Led->row(C.value()).TimeMicros += NowUs - LastSampleUs;
+        LastSampleUs = NowUs;
+      }
+    }
 
     OctState Out = ComputeInput(C);
     DenseOctView View(Out, Packs, Tops);
@@ -651,6 +662,7 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
       SPA_OBS_COUNT("fixpoint.widenings", 1);
     else
       SPA_OBS_COUNT("fixpoint.joins", 1);
+    uint64_t EntriesBefore = Led ? R.Post[C.value()].size() : 0;
     bool Changed = R.Post[C.value()].mergeWith(
         Out, [&](Oct &A, const Oct &B) {
           Oct New = Hard ? Oct::top(A.numVars())
@@ -660,6 +672,20 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
           A = std::move(New);
           return true;
         });
+    if (Led) {
+      obs::PointCost &PC = Led->row(C.value());
+      // A hard ⊤ cut is the most aggressive widening; count it as one.
+      if (Hard || DoWiden)
+        ++PC.Widenings;
+      else
+        ++PC.Joins;
+      if (!Changed)
+        ++PC.NoChangeSkips;
+      else
+        // Dense growth unit: net new pack entries at the point (merges
+        // are monotone in the entry count).
+        PC.Growth += R.Post[C.value()].size() - EntriesBefore;
+    }
     if (!Changed)
       continue;
     ++ChangeCount[C.value()];
@@ -720,11 +746,14 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
 OctSparseResult runOctSparse(const Program &Prog,
                              const PreAnalysisResult &Pre,
                              const Packing &Packs, const SparseGraph &Graph,
-                             const OctOptions &Opts, Budget *Bud) {
+                             const OctOptions &Opts, Budget *Bud,
+                             obs::Ledger *Led) {
   OctSparseResult R;
   size_t N = Graph.numNodes();
   R.In.resize(N);
   R.Out.resize(N);
+  if (Led)
+    Led->resize(static_cast<uint32_t>(N));
   TopCache Tops;
   const CallGraphInfo &CG = Pre.CG;
 
@@ -745,6 +774,7 @@ OctSparseResult runOctSparse(const Program &Prog,
   std::vector<FlatMap<PackId, uint32_t>> ArrivalCount(N);
 
   Timer Clock;
+  uint64_t LastSampleUs = 0;
   unsigned HardLimit = Opts.WideningDelay * Opts.HardLimitFactor;
   while (!WL.empty()) {
     if (Opts.TimeLimitSec > 0 && (R.Visits & 255) == 0 &&
@@ -758,6 +788,14 @@ OctSparseResult runOctSparse(const Program &Prog,
     }
     uint32_t Node = WL.pop();
     ++R.Visits;
+    if (Led) {
+      ++Led->row(Node).Visits;
+      if ((R.Visits & 31) == 0) {
+        uint64_t NowUs = static_cast<uint64_t>(Clock.seconds() * 1e6);
+        Led->row(Node).TimeMicros += NowUs - LastSampleUs;
+        LastSampleUs = NowUs;
+      }
+    }
 
     OctState NewOut;
     if (Graph.isPhi(Node)) {
@@ -804,23 +842,43 @@ OctSparseResult runOctSparse(const Program &Prog,
         Count = Slot;
       }
       Oct New = Old ? Old->join(V) : V;
+      bool Widened = false;
       if (CutsCycle && Old) {
         if (Count >= HardLimit) {
           SPA_OBS_COUNT("oct.hard_tops", 1);
           New = Oct::top(New.numVars());
+          Widened = true; // Hard ⊤ cut: the most aggressive widening.
         } else if (Count >= Opts.WideningDelay) {
           SPA_OBS_COUNT("fixpoint.widenings", 1);
           New = Old->widen(New);
+          Widened = true;
         } else {
           SPA_OBS_COUNT("fixpoint.joins", 1);
         }
       } else {
         SPA_OBS_COUNT("fixpoint.joins", 1);
       }
-      if (Old && New == *Old)
+      if (Led) {
+        obs::PointCost &PC = Led->row(Dst);
+        if (Widened)
+          ++PC.Widenings;
+        else
+          ++PC.Joins;
+      }
+      if (Old && New == *Old) {
+        if (Led)
+          ++Led->row(Dst).NoChangeSkips;
         return;
+      }
       if (CutsCycle)
         ++ArrivalCount[Dst].getOrCreate(P);
+      if (Led) {
+        obs::PointCost &PC = Led->row(Dst);
+        ++PC.Deliveries;
+        // Sparse growth unit: a pack entry materialized in the input
+        // buffer for the first time.
+        PC.Growth += Old ? 0 : 1;
+      }
       InDst.set(P, std::move(New));
       WL.push(Dst);
     });
@@ -935,6 +993,12 @@ OctRun spa::runOctAnalysis(const Program &Prog, const OctOptions &Opts) {
     BudgetStorage.emplace(Opts.Budget);
   Budget *Bud = BudgetStorage ? &*BudgetStorage : nullptr;
 
+  // Per-point cost ledger for the octagon fixpoint (never allocated when
+  // observability is compiled out).
+  std::shared_ptr<obs::Ledger> Led;
+  if constexpr (obs::LedgerEnabled)
+    Led = std::make_shared<obs::Ledger>();
+
   Timer PreClock;
   SemanticsOptions Sem;
   OctRun Run{[&] {
@@ -967,7 +1031,8 @@ OctRun spa::runOctAnalysis(const Program &Prog, const OctOptions &Opts) {
     SPA_OBS_TRACE("fixpoint");
     maybeInjectFault("fix");
     Run.Dense = runOctDense(Prog, Run.Pre, Run.Packs, Run.DU,
-                            Opts.Engine == EngineKind::Base, Opts, Bud);
+                            Opts.Engine == EngineKind::Base, Opts, Bud,
+                            Led.get());
     break;
   }
   case EngineKind::Sparse: {
@@ -981,8 +1046,8 @@ OctRun spa::runOctAnalysis(const Program &Prog, const OctOptions &Opts) {
     }
     SPA_OBS_TRACE("fixpoint");
     maybeInjectFault("fix");
-    Run.Sparse =
-        runOctSparse(Prog, Run.Pre, Run.Packs, *Run.Graph, Opts, Bud);
+    Run.Sparse = runOctSparse(Prog, Run.Pre, Run.Packs, *Run.Graph, Opts,
+                              Bud, Led.get());
     break;
   }
   }
@@ -1002,6 +1067,13 @@ OctRun spa::runOctAnalysis(const Program &Prog, const OctOptions &Opts) {
     FOpts.WideningDelay = Opts.WideningDelay;
     FOpts.Budget = Opts.Budget;
     Run.Fallback.emplace(analyzeProgram(Prog, FOpts));
+  }
+
+  // Attribute after the fallback: the fallback's own analyzeProgram wrote
+  // its ledger gauges, and the octagon run's should win.
+  if (Led) {
+    attributeLedger(*Led, Prog, Run.Graph ? &*Run.Graph : nullptr);
+    Run.Ledger = std::move(Led);
   }
 
   SPA_OBS_GAUGE_SET("phase.depbuild.seconds",

@@ -102,6 +102,11 @@ struct OctRun {
   /// Interval of location \p L at point \p P as the analysis sees it
   /// (projection from L's singleton pack; dense engines only).
   Interval denseIntervalAt(PointId P, LocId L) const;
+
+  /// Per-point cost ledger of the octagon fixpoint (not the interval
+  /// fallback's — that one lives in Fallback->Ledger).  Null with
+  /// -DSPA_OBS=OFF.
+  std::shared_ptr<obs::Ledger> Ledger = nullptr;
 };
 
 OctRun runOctAnalysis(const Program &Prog, const OctOptions &Opts);

@@ -46,6 +46,10 @@ FaultPlan FaultPlan::parse(const char *Spec) {
     P.K = Kind::Oom;
   else if (KindStr == "timeout")
     P.K = Kind::Timeout;
+  else if (KindStr == "truncate")
+    P.K = Kind::Truncate;
+  else if (KindStr == "partial")
+    P.K = Kind::Partial;
   else
     P.Phase.clear(); // Unknown kind: inactive plan.
   return P;
@@ -64,17 +68,30 @@ FaultScope::~FaultScope() {
   delete A;
 }
 
-void spa::maybeInjectFault(const char *Phase) {
-  ArmedFault *A = Armed;
+namespace {
+
+/// Shared phase/name filter of maybeInjectFault and faultMatches.
+bool armedPlanMatches(const ArmedFault *A, const char *Phase) {
   if (!A || !A->Plan.active())
-    return;
+    return false;
   if (A->Plan.Phase != "*" && A->Plan.Phase != Phase)
-    return;
+    return false;
   if (!A->Plan.NameSub.empty() &&
       A->Name.find(A->Plan.NameSub) == std::string::npos)
+    return false;
+  return true;
+}
+
+} // namespace
+
+void spa::maybeInjectFault(const char *Phase) {
+  ArmedFault *A = Armed;
+  if (!armedPlanMatches(A, Phase))
     return;
   switch (A->Plan.K) {
   case FaultPlan::Kind::None:
+  case FaultPlan::Kind::Truncate: // Parent-side: simulated by the reader,
+  case FaultPlan::Kind::Partial:  // never injected here.
     return;
   case FaultPlan::Kind::Crash:
     std::abort();
@@ -85,4 +102,9 @@ void spa::maybeInjectFault(const char *Phase) {
     for (;;)
       usleep(100000);
   }
+}
+
+bool spa::faultMatches(const char *Phase, FaultPlan::Kind K) {
+  ArmedFault *A = Armed;
+  return armedPlanMatches(A, Phase) && A->Plan.K == K;
 }

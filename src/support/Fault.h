@@ -10,14 +10,22 @@
 ///
 ///   SPA_FAULT=<kind>@<phase>[:<name-substr>]
 ///
-/// where <kind> is crash | oom | timeout, <phase> is one of the analyzer
-/// phase names (build, pre, defuse, depbuild, fix, check) or "*", and
-/// the optional <name-substr> restricts the fault to programs whose
+/// where <kind> is crash | oom | timeout | truncate | partial, <phase>
+/// is one of the analyzer phase names (build, pre, defuse, depbuild,
+/// fix, check), the batch parent's pipe-reader phase ("reader"), or "*",
+/// and the optional <name-substr> restricts the fault to programs whose
 /// batch-item name contains the substring.  The plan only fires inside a
 /// FaultScope, which the batch driver installs exclusively in *isolated*
 /// child processes — injected faults therefore kill at most one
 /// program's subprocess, exactly the failure domain the isolation layer
 /// must contain.
+///
+/// The truncate/partial kinds are the one exception: they model a child
+/// whose result pipe tore (no length prefix at all, or a payload cut off
+/// mid-write), which is inherently a *parent-side* failure to observe.
+/// The batch driver arms them around its reader instead of in the child,
+/// and the reader simulates the short read itself (faultMatches below)
+/// rather than killing anything.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,12 +43,18 @@ constexpr int OomExitCode = 86;
 
 /// A parsed SPA_FAULT specification.
 struct FaultPlan {
-  enum class Kind { None, Crash, Oom, Timeout };
+  enum class Kind { None, Crash, Oom, Timeout, Truncate, Partial };
   Kind K = Kind::None;
   std::string Phase;   ///< Phase name or "*".
   std::string NameSub; ///< Empty = any program.
 
   bool active() const { return K != Kind::None; }
+
+  /// The kinds the batch driver arms in the parent (around its pipe
+  /// reader) instead of in the isolated child.
+  bool parentSide() const {
+    return K == Kind::Truncate || K == Kind::Partial;
+  }
 
   /// Parses \p Spec; returns an inactive plan for null/empty/bad specs.
   static FaultPlan parse(const char *Spec);
@@ -63,9 +77,16 @@ public:
 
 /// Fires the armed fault if its phase filter matches \p Phase: crash
 /// calls abort(), oom exits with OomExitCode, timeout sleeps until the
-/// batch parent's kill limit reaps the child.  No-op outside a
-/// FaultScope or when the filters do not match.
+/// batch parent's kill limit reaps the child.  The parent-side kinds
+/// (truncate/partial) are no-ops here.  No-op outside a FaultScope or
+/// when the filters do not match.
 void maybeInjectFault(const char *Phase);
+
+/// True when a plan of kind \p K is armed on this thread and its
+/// phase/name filters match \p Phase.  Query form for faults the caller
+/// simulates itself (the runInChild reader's truncate/partial); never
+/// kills the process.
+bool faultMatches(const char *Phase, FaultPlan::Kind K);
 
 } // namespace spa
 

@@ -141,13 +141,22 @@ ChildRunResult spa::runInChild(const std::function<std::vector<double>()> &Job,
     Result.TermSignal = WTERMSIG(Status);
 
   if (Exited && WIFEXITED(Status) && WEXITSTATUS(Status) == 0) {
+    // Injected reader faults (SPA_FAULT=truncate@reader / partial@reader,
+    // armed parent-side by the batch driver) simulate a torn pipe: no
+    // length prefix at all, or a payload cut off mid-write.  Both take
+    // the same !Ok path a real short read does.
+    bool DropPrefix = faultMatches("reader", FaultPlan::Kind::Truncate);
+    bool TearPayload = faultMatches("reader", FaultPlan::Kind::Partial);
     uint32_t Count = 0;
-    if (read(Pipe[0], &Count, sizeof(Count)) == sizeof(Count) &&
+    if (!DropPrefix &&
+        read(Pipe[0], &Count, sizeof(Count)) == sizeof(Count) &&
         Count <= MaxPayloadDoubles) {
       Result.Ok = true;
       Result.Payload.resize(Count);
       char *P = reinterpret_cast<char *>(Result.Payload.data());
       size_t Left = Count * sizeof(double);
+      if (TearPayload)
+        Left /= 2;
       while (Left > 0) {
         ssize_t N = read(Pipe[0], P, Left);
         if (N <= 0) {
@@ -157,6 +166,10 @@ ChildRunResult spa::runInChild(const std::function<std::vector<double>()> &Job,
         }
         P += N;
         Left -= static_cast<size_t>(N);
+      }
+      if (TearPayload && Result.Ok) {
+        Result.Ok = false;
+        Result.Payload.clear();
       }
     }
   }

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 using namespace spa;
@@ -92,6 +93,13 @@ void runItemInProcess(const BatchItem &Item, const BatchOptions &Opts,
   R.TimedOut = Run.timedOut();
   R.Degraded = Run.degraded();
   R.BudgetSteps = Run.BudgetSteps;
+  if (Run.Ledger) {
+    obs::PointCost T = Run.Ledger->totals();
+    R.LedgerVisits = T.Visits;
+    R.LedgerWidenings = T.Widenings;
+    R.LedgerGrowth = T.Growth;
+    R.LedgerTimeMicros = T.TimeMicros;
+  }
   if (Opts.Check && !R.TimedOut) {
     CheckerSummary Summary = checkBufferOverruns(*Built.Prog, Run);
     R.Checks = static_cast<unsigned>(Summary.Checks.size());
@@ -119,6 +127,13 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
     Kill = D > 0 ? 4 * D + 1 : 0;
   }
 
+  // Reader faults (truncate@reader / partial@reader) simulate torn pipe
+  // reads in the *parent*, so they arm here, around runInChild, and only
+  // for those kinds — process-killing kinds stay confined to the child.
+  std::optional<FaultScope> ReaderScope;
+  if (Plan.parentSide())
+    ReaderScope.emplace(Plan, Item.Name);
+
   ChildRunResult CR = runInChild(
       [&]() -> std::vector<double> {
         // The fork may happen on a pool worker lane; nested parallel
@@ -139,8 +154,14 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
           Checks = static_cast<double>(S.Checks.size());
           Alarms = S.numAlarms();
         }
+        obs::PointCost T =
+            Run.Ledger ? Run.Ledger->totals() : obs::PointCost{};
         return {0, Run.timedOut() ? 1.0 : 0.0, Run.degraded() ? 1.0 : 0.0,
-                Checks, Alarms, static_cast<double>(Run.BudgetSteps)};
+                Checks, Alarms, static_cast<double>(Run.BudgetSteps),
+                static_cast<double>(T.Visits),
+                static_cast<double>(T.Widenings),
+                static_cast<double>(T.Growth),
+                static_cast<double>(T.TimeMicros)};
       },
       Kill, Opts.HardMemLimitKiB);
 
@@ -163,6 +184,12 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
     R.Alarms = static_cast<unsigned>(CR.Payload[4]);
     if (CR.Payload.size() >= 6)
       R.BudgetSteps = static_cast<uint64_t>(CR.Payload[5]);
+    if (CR.Payload.size() >= 10) {
+      R.LedgerVisits = static_cast<uint64_t>(CR.Payload[6]);
+      R.LedgerWidenings = static_cast<uint64_t>(CR.Payload[7]);
+      R.LedgerGrowth = static_cast<uint64_t>(CR.Payload[8]);
+      R.LedgerTimeMicros = static_cast<uint64_t>(CR.Payload[9]);
+    }
     if (R.TimedOut) {
       R.Outcome = BatchOutcome::Timeout;
       return;
@@ -174,6 +201,14 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
   if (CR.ExitCode == OomExitCode) {
     R.Outcome = BatchOutcome::Oom;
     R.Error = "out of memory (isolated child)";
+    return;
+  }
+  if (CR.ExitCode == 0) {
+    // The child exited cleanly but its result never made it through the
+    // pipe intact (torn write, or an injected reader fault): the item is
+    // lost, not the batch.
+    R.Outcome = BatchOutcome::Crash;
+    R.Error = "truncated result payload from child";
     return;
   }
   R.Outcome = BatchOutcome::Crash;
@@ -275,6 +310,15 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
     });
   }
   Result.Seconds = Clock.seconds();
+
+  // Gauge scoping: per-run gauges (program.points, analysis.degraded,
+  // phase.*.seconds, ledger.*) hold whichever item's run wrote them
+  // last — meaningless at batch level and misleading in the batch's
+  // --metrics-out snapshot.  Zero them so the export carries only
+  // batch-scoped gauges; counters and histograms accumulate as before.
+  // Peak RSS is a genuine process-wide maximum, so it is re-measured.
+  obs::Registry::global().resetGauges();
+  SPA_OBS_GAUGE_MAX("mem.peak_rss_kib", currentPeakRssKiB());
 
   SPA_OBS_GAUGE_SET("batch.programs", Items.size());
   SPA_OBS_GAUGE_SET("batch.failed", Result.numFailed());

@@ -65,6 +65,13 @@ struct BatchItemResult {
   /// per-item cost signal the retry pass sorts on.  0 when the run had
   /// no budget or died before reporting (e.g. a crashed child).
   uint64_t BudgetSteps = 0;
+  /// Ledger totals of the adopted run's main fixpoint (the per-item cost
+  /// rollup batch --ledger-out reports).  All zero with -DSPA_OBS=OFF or
+  /// when the item produced no run (build error, crashed child).
+  uint64_t LedgerVisits = 0;
+  uint64_t LedgerWidenings = 0;
+  uint64_t LedgerGrowth = 0;
+  uint64_t LedgerTimeMicros = 0;
 };
 
 struct BatchOptions {

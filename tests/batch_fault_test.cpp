@@ -91,6 +91,25 @@ TEST(FaultPlan, ParsesKindPhaseAndNameFilter) {
   EXPECT_EQ(P.Phase, "pre");
 }
 
+TEST(FaultPlan, ParsesParentSideReaderKinds) {
+  FaultPlan P = FaultPlan::parse("truncate@reader:prog2");
+  EXPECT_TRUE(P.active());
+  EXPECT_EQ(P.K, FaultPlan::Kind::Truncate);
+  EXPECT_TRUE(P.parentSide());
+  EXPECT_EQ(P.Phase, "reader");
+  EXPECT_EQ(P.NameSub, "prog2");
+
+  P = FaultPlan::parse("partial@reader");
+  EXPECT_TRUE(P.active());
+  EXPECT_EQ(P.K, FaultPlan::Kind::Partial);
+  EXPECT_TRUE(P.parentSide());
+
+  // Child-killing kinds are never parent-side.
+  EXPECT_FALSE(FaultPlan::parse("crash@fix").parentSide());
+  EXPECT_FALSE(FaultPlan::parse("oom@*").parentSide());
+  EXPECT_FALSE(FaultPlan::parse("timeout@pre").parentSide());
+}
+
 TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_FALSE(FaultPlan::parse(nullptr).active());
   EXPECT_FALSE(FaultPlan::parse("").active());
@@ -123,8 +142,10 @@ protected:
 
   /// Runs the batch with \p Spec injected, expecting exactly item
   /// \p Victim to fail with \p Expected while the rest match the clean
-  /// run bit for bit.
-  void runInjected(const char *Spec, size_t Victim, BatchOutcome Expected) {
+  /// run bit for bit.  When \p ErrorSub is given, the victim's error
+  /// string must contain it (pins the classification message).
+  void runInjected(const char *Spec, size_t Victim, BatchOutcome Expected,
+                   const char *ErrorSub = nullptr) {
     FaultEnv Env(Spec);
     BatchResult Faulty = runBatch(Items, isolatedOptions());
     ASSERT_EQ(Faulty.Items.size(), Items.size());
@@ -140,6 +161,10 @@ protected:
     // A deterministic fault re-fires on the lower-tier retry, so the
     // first classification is kept and the retry is recorded.
     EXPECT_TRUE(R.Retried) << Spec;
+    if (ErrorSub) {
+      EXPECT_NE(R.Error.find(ErrorSub), std::string::npos)
+          << Spec << ": " << R.Error;
+    }
 
     // Fault isolation: every other program's results are unchanged.
     for (size_t I = 0; I < Items.size(); ++I) {
@@ -167,6 +192,22 @@ TEST_F(BatchFaultInjection, TimeoutIsKilledAtTheLimitAndClassified) {
 
 TEST_F(BatchFaultInjection, BuildPhaseCrashLosesOnlyThatItem) {
   runInjected("crash@build:prog6", 5, BatchOutcome::Crash);
+}
+
+TEST_F(BatchFaultInjection, TruncatedPipePayloadIsClassifiedAsCrash) {
+  // Parent-side reader fault: the child does its work and exits 0, but
+  // the parent's pipe read sees no length prefix (a torn write).  The
+  // batch must classify the lost item as a crash without wedging on the
+  // pipe, and the other items' results stay intact.
+  runInjected("truncate@reader:prog2", 1, BatchOutcome::Crash,
+              "truncated result payload");
+}
+
+TEST_F(BatchFaultInjection, PartialPipePayloadIsClassifiedAsCrash) {
+  // Same, but the payload is cut off mid-write: the prefix arrives, half
+  // the doubles do not.
+  runInjected("partial@reader:prog4", 3, BatchOutcome::Crash,
+              "truncated result payload");
 }
 
 TEST_F(BatchFaultInjection, FaultsNeverEscapeWithoutIsolation) {

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Tier-2 JSON well-formedness: every observability artifact the analyzer
+# writes (--metrics-out, --trace-out, --ledger-out, in single-run,
+# octagon, and batch mode) must survive a strict JSON parse, trace
+# events must carry the chrome://tracing required fields, and the alarm
+# provenance surface must produce a non-empty slice for the known alarm
+# in examples/pointers.spa.
+#
+#   json_roundtrip.sh <spa-analyze> <examples-dir>
+#
+# Exit 77 = skip (instrumentation compiled out with SPA_OBS=OFF).
+set -u
+
+ANALYZE=$1
+EXAMPLES=$2
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+if ! "$ANALYZE" --stats "$EXAMPLES/loop.spa" | grep -q '='; then
+  echo "metrics compiled out (SPA_OBS=OFF); skipping"
+  exit 77
+fi
+
+# Strict parse: json.load rejects trailing garbage, unquoted keys, NaN
+# by default would pass — but the exporters never emit non-finite
+# numbers, which the parse_constant hook pins.
+strict_json() {
+  python3 - "$1" <<'EOF'
+import json, sys
+def no_const(value):
+    raise ValueError("non-finite number in JSON: " + value)
+json.load(open(sys.argv[1]), parse_constant=no_const)
+EOF
+}
+
+# 1. Single interval run: all three artifacts at once.
+"$ANALYZE" --check --stats \
+  --metrics-out="$WORK/m.json" --trace-out="$WORK/t.json" \
+  --ledger-out="$WORK/l.json" "$EXAMPLES/pointers.spa" \
+  > "$WORK/stdout.txt" || exit 1
+for f in m t l; do
+  strict_json "$WORK/$f.json" || { echo "FAIL: $f.json malformed"; exit 1; }
+done
+
+# Every trace event needs the chrome://tracing required fields.
+python3 - "$WORK/t.json" <<'EOF' || exit 1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "trace has no events"
+for e in events:
+    for field in ("ph", "ts", "pid", "tid", "name"):
+        assert field in e, "trace event missing %r: %r" % (field, e)
+    assert e["ph"] in ("B", "E"), "unexpected phase %r" % e["ph"]
+EOF
+
+# The ledger document: schema marker, totals consistent with the
+# per-function rollup, and a provenance slice for the known alarm.
+python3 - "$WORK/l.json" <<'EOF' || exit 1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "spa-ledger-v1", doc.get("schema")
+assert doc["totals"]["visits"] > 0, "empty ledger on pointers.spa"
+per_func = sum(f["visits"] for f in doc["functions"])
+assert per_func == doc["totals"]["visits"], \
+    "function rollup %d != totals %d" % (per_func, doc["totals"]["visits"])
+per_comp = sum(c["visits"] for c in doc["partitions"])
+assert per_comp == doc["totals"]["visits"], \
+    "partition rollup %d != totals %d" % (per_comp, doc["totals"]["visits"])
+assert doc["hotspots"], "no hotspots despite nonzero totals"
+prov = doc.get("provenance", [])
+assert prov, "pointers.spa alarm produced no provenance slice"
+assert prov[0]["slice"], "provenance slice is empty"
+EOF
+
+# 2. --explain-alarm: a non-empty human-readable slice for alarm #0, and
+# a clean error (not a crash) for an alarm id that does not exist.
+"$ANALYZE" --explain-alarm=0 "$EXAMPLES/pointers.spa" \
+  > "$WORK/explain.txt" || exit 1
+grep -q "alarm #0" "$WORK/explain.txt" || {
+  echo "FAIL: --explain-alarm=0 did not describe alarm #0"
+  exit 1
+}
+grep -q "d0" "$WORK/explain.txt" || {
+  echo "FAIL: --explain-alarm slice has no depth-0 seed line"
+  exit 1
+}
+if "$ANALYZE" --explain-alarm=99 "$EXAMPLES/pointers.spa" \
+    > "$WORK/explain-bad.txt" 2>&1; then
+  echo "FAIL: --explain-alarm=99 should fail on a 1-alarm program"
+  exit 1
+fi
+
+# 3. Octagon run: the ledger JSON stays well-formed with the pack-space
+# labels, and provenance comes from the interval fallback.
+"$ANALYZE" --domain=octagon --check --ledger-out="$WORK/lo.json" \
+  "$EXAMPLES/pointers.spa" > /dev/null || exit 1
+strict_json "$WORK/lo.json" || { echo "FAIL: octagon ledger malformed"; exit 1; }
+
+# 4. Batch mode: the per-item ledger rollup document.
+cat > "$WORK/batch.txt" <<EOF2
+$EXAMPLES/loop.spa
+$EXAMPLES/pointers.spa
+EOF2
+"$ANALYZE" --batch="$WORK/batch.txt" --check \
+  --metrics-out="$WORK/bm.json" --ledger-out="$WORK/bl.json" \
+  > /dev/null || exit 1
+strict_json "$WORK/bm.json" || { echo "FAIL: batch metrics malformed"; exit 1; }
+python3 - "$WORK/bl.json" <<'EOF' || exit 1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "spa-batch-ledger-v1", doc.get("schema")
+assert len(doc["items"]) == 2, doc["items"]
+for item in doc["items"]:
+    assert item["outcome"] == "ok", item
+    assert item["visits"] > 0, item
+EOF
+
+# 5. Batch gauge scoping: per-run gauges must not leak into the batch
+# metrics snapshot (they are zeroed before export; batch.* gauges and
+# accumulated counters remain).
+python3 - "$WORK/bm.json" <<'EOF' || exit 1
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m.get("program.points", 0) == 0, "per-run gauge leaked into batch"
+assert m.get("analysis.degraded", 0) == 0, "per-run gauge leaked into batch"
+assert m["batch.programs"] == 2
+assert m["fixpoint.visits"] > 0
+EOF
+
+echo "json roundtrip OK"

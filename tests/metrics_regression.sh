@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Tier-2 metrics regression gate: spa-metrics-diff against the
+# checked-in cost-ledger baseline for examples/pointers.spa.
+#
+#   metrics_regression.sh <spa-analyze> <spa-metrics-diff> <examples-dir> <baseline.json>
+#
+# Three contracts:
+#   1. baseline-vs-current passes on the deterministic count keys (the
+#      ledger counts are a pure function of program + options, so a
+#      tolerance-0.10 gate holds on any machine);
+#   2. current-vs-itself passes over *every* key (including sampled
+#      times);
+#   3. a perturbed copy fails with the regression exit code (2).
+#
+# Exit 77 = skip (instrumentation compiled out with SPA_OBS=OFF).
+set -u
+
+ANALYZE=$1
+DIFF=$2
+EXAMPLES=$3
+BASELINE=$4
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+if ! "$ANALYZE" --stats "$EXAMPLES/loop.spa" | grep -q '='; then
+  echo "metrics compiled out (SPA_OBS=OFF); skipping"
+  exit 77
+fi
+
+"$ANALYZE" --check --ledger-out="$WORK/cur.json" \
+  "$EXAMPLES/pointers.spa" > /dev/null || exit 1
+
+# 1. The deterministic-count gate against the checked-in baseline.
+"$DIFF" --rel-tol=0.10 \
+  --key=nodes \
+  --key=totals.visits \
+  --key=totals.widenings \
+  --key=totals.narrowings \
+  --key=totals.joins \
+  --key=totals.no_change_skips \
+  --key=totals.deliveries \
+  --key=totals.growth \
+  --key=totals.score \
+  "$BASELINE" "$WORK/cur.json" || {
+  echo "FAIL: ledger counts regressed against $BASELINE"
+  exit 1
+}
+
+# 2. Self-comparison over every key must always pass.
+"$DIFF" "$WORK/cur.json" "$WORK/cur.json" || {
+  echo "FAIL: self-diff reported a regression"
+  exit 1
+}
+
+# 3. A perturbed copy must fail with exit code 2, on exactly the
+# perturbed keys.
+python3 - "$WORK/cur.json" "$WORK/bad.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["totals"]["visits"] = int(doc["totals"]["visits"] * 3)
+doc["totals"]["growth"] = int(doc["totals"]["growth"] * 3) + 10
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+"$DIFF" --key=totals.visits --key=totals.growth \
+  "$WORK/cur.json" "$WORK/bad.json" > "$WORK/bad.txt" 2>&1
+RC=$?
+if [ "$RC" -ne 2 ]; then
+  cat "$WORK/bad.txt"
+  echo "FAIL: perturbed diff exited $RC, want 2"
+  exit 1
+fi
+grep -q "2 regressions" "$WORK/bad.txt" || {
+  cat "$WORK/bad.txt"
+  echo "FAIL: perturbed diff should flag exactly the 2 perturbed keys"
+  exit 1
+}
+
+# A missing key is an error unless --allow-missing.
+python3 - "$WORK/cur.json" "$WORK/missing.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+del doc["totals"]
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+if "$DIFF" --key=totals.visits "$WORK/cur.json" "$WORK/missing.json" \
+    > /dev/null 2>&1; then
+  echo "FAIL: missing key should fail without --allow-missing"
+  exit 1
+fi
+"$DIFF" --allow-missing --key=totals.visits \
+  "$WORK/cur.json" "$WORK/missing.json" > /dev/null || {
+  echo "FAIL: --allow-missing should tolerate the absent key"
+  exit 1
+}
+
+echo "metrics regression gate OK"

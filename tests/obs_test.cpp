@@ -14,9 +14,13 @@
 
 #include "TestUtil.h"
 
+#include "obs/Ledger.h"
 #include "obs/Metrics.h"
 #include "obs/MetricsSink.h"
+#include "obs/Provenance.h"
 #include "obs/Trace.h"
+#include "workload/Batch.h"
+#include "workload/Generator.h"
 
 #include <cctype>
 #include <cstring>
@@ -310,6 +314,250 @@ TEST_F(ObsTest, AnalyzeSpansBalanceWhenTracing) {
   }
   EXPECT_EQ(Depth, 0);
   EXPECT_TRUE(SawFixpoint);
+}
+
+#endif // SPA_OBS_ENABLED
+
+//===----------------------------------------------------------------------===//
+// Cost ledger
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, LedgerAggregatesByFunctionAndPartition) {
+  Ledger L;
+  L.resize(4);
+  L.row(0).Visits = 3;
+  L.row(1).Visits = 1;
+  L.row(1).Widenings = 2;
+  L.row(3).Joins = 5;
+  L.row(3).Growth = 7;
+  // Nodes 0,1 -> function 0 "f"; node 3 -> function 1 "g".
+  // Nodes 0,3 -> partition 0; node 1 -> partition 2.
+  L.attribute({0, 0, 0, 1}, {0, 2, 0, 0}, {"f", "g"});
+
+  PointCost T = L.totals();
+  EXPECT_EQ(T.Visits, 4u);
+  EXPECT_EQ(T.Widenings, 2u);
+  EXPECT_EQ(T.Joins, 5u);
+  EXPECT_EQ(T.Growth, 7u);
+
+  std::vector<LedgerGroup> ByFunc = L.byFunction();
+  ASSERT_EQ(ByFunc.size(), 2u); // Node 2 is all-zero: no third group.
+  EXPECT_EQ(ByFunc[0].Label, "f");
+  EXPECT_EQ(ByFunc[0].Nodes, 2u);
+  EXPECT_EQ(ByFunc[0].Cost.Visits, 4u);
+  EXPECT_EQ(ByFunc[1].Label, "g");
+  EXPECT_EQ(ByFunc[1].Cost.Growth, 7u);
+
+  std::vector<LedgerGroup> ByComp = L.byComponent();
+  ASSERT_EQ(ByComp.size(), 2u);
+  EXPECT_EQ(ByComp[0].Id, 0u);
+  EXPECT_EQ(ByComp[0].Nodes, 2u);
+  EXPECT_EQ(ByComp[1].Id, 2u);
+  EXPECT_EQ(ByComp[1].Cost.Widenings, 2u);
+}
+
+TEST_F(ObsTest, LedgerHotspotsRankByScoreDeterministically) {
+  Ledger L;
+  L.resize(5);
+  L.row(1).Visits = 10;    // score 10
+  L.row(2).Widenings = 3;  // score 12 (widenings weigh 4x)
+  L.row(4).Visits = 10;    // score 10: ties with node 1, node id breaks it
+  PointCost &P0 = L.row(0); // all-zero: must never rank
+  (void)P0;
+
+  std::vector<LedgerHotspot> Top =
+      L.hotspots(10, [](uint32_t N) { return "n" + std::to_string(N); });
+  ASSERT_EQ(Top.size(), 3u);
+  EXPECT_EQ(Top[0].Node, 2u);
+  EXPECT_EQ(Top[1].Node, 1u); // Tie with 4: ascending node id wins.
+  EXPECT_EQ(Top[2].Node, 4u);
+  EXPECT_EQ(Top[0].Label, "n2");
+
+  // K truncates.
+  EXPECT_EQ(L.hotspots(1).size(), 1u);
+}
+
+TEST_F(ObsTest, LedgerJsonCarriesSchemaAndProvenance) {
+  Ledger L;
+  L.resize(2);
+  L.row(0).Visits = 1;
+  std::string Json = L.toJson(5, nullptr, "[{\"alarm\":0}]");
+  EXPECT_NE(Json.find("\"schema\": \"spa-ledger-v1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"totals\""), std::string::npos);
+  EXPECT_NE(Json.find("\"functions\""), std::string::npos);
+  EXPECT_NE(Json.find("\"partitions\""), std::string::npos);
+  EXPECT_NE(Json.find("\"hotspots\""), std::string::npos);
+  EXPECT_NE(Json.find("\"provenance\": [{\"alarm\":0}]"), std::string::npos);
+  // Without a provenance array the key is absent entirely.
+  EXPECT_EQ(L.toJson(5).find("\"provenance\""), std::string::npos);
+  // An empty ledger still renders a valid document and an empty table.
+  Ledger Empty;
+  EXPECT_NE(Empty.toJson(5).find("spa-ledger-v1"), std::string::npos);
+  EXPECT_EQ(Empty.hotspotText(5), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Provenance walk
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Adjacency-list predecessor relation for the walk tests.
+PredFn predsOf(std::vector<std::vector<uint32_t>> Preds) {
+  return [Preds = std::move(Preds)](
+             uint32_t Node,
+             const std::function<void(uint32_t, uint32_t)> &Each) {
+    if (Node < Preds.size())
+      for (uint32_t P : Preds[Node])
+        Each(P, /*Label=*/Node);
+  };
+}
+
+} // namespace
+
+TEST_F(ObsTest, BackwardSliceWalksInBfsOrder) {
+  // 0 <- 1 <- 2, 0 <- 3 (diamond-ish): seed 0.
+  ProvenanceSlice S =
+      backwardSlice(0, predsOf({{1, 3}, {2}, {}, {}}));
+  ASSERT_EQ(S.Nodes.size(), 4u);
+  EXPECT_EQ(S.Nodes[0].Node, 0u);
+  EXPECT_EQ(S.Nodes[0].Depth, 0u);
+  EXPECT_EQ(S.Nodes[1].Node, 1u);
+  EXPECT_EQ(S.Nodes[2].Node, 3u);
+  EXPECT_EQ(S.Nodes[3].Node, 2u);
+  EXPECT_EQ(S.Nodes[3].Depth, 2u);
+  EXPECT_FALSE(S.Truncated);
+  EXPECT_EQ(S.EdgesWalked, 3u);
+  EXPECT_TRUE(S.contains(2));
+  EXPECT_FALSE(S.contains(9));
+}
+
+TEST_F(ObsTest, BackwardSliceHonorsDepthFanoutAndNodeBounds) {
+  // A long chain 0 <- 1 <- 2 <- ... <- 9.
+  std::vector<std::vector<uint32_t>> Chain(10);
+  for (uint32_t N = 0; N + 1 < 10; ++N)
+    Chain[N] = {N + 1};
+
+  ProvenanceOptions Depth2;
+  Depth2.MaxDepth = 2;
+  ProvenanceSlice S = backwardSlice(0, predsOf(Chain), Depth2);
+  EXPECT_EQ(S.Nodes.size(), 3u); // Seed + depth 1 + depth 2.
+  EXPECT_TRUE(S.Truncated);
+
+  // A star: seed with 8 predecessors, fanout capped at 3.
+  std::vector<std::vector<uint32_t>> Star(9);
+  for (uint32_t P = 1; P <= 8; ++P)
+    Star[0].push_back(P);
+  ProvenanceOptions Fan3;
+  Fan3.MaxFanout = 3;
+  S = backwardSlice(0, predsOf(Star), Fan3);
+  EXPECT_EQ(S.Nodes.size(), 4u); // Seed + first 3 predecessors.
+  EXPECT_TRUE(S.Truncated);
+
+  ProvenanceOptions Cap2;
+  Cap2.MaxNodes = 2;
+  S = backwardSlice(0, predsOf(Chain), Cap2);
+  EXPECT_EQ(S.Nodes.size(), 2u);
+  EXPECT_TRUE(S.Truncated);
+}
+
+TEST_F(ObsTest, BackwardSliceChargeRefusalTruncates) {
+  std::vector<std::vector<uint32_t>> Chain(6);
+  for (uint32_t N = 0; N + 1 < 6; ++N)
+    Chain[N] = {N + 1};
+  int Budget = 2;
+  ProvenanceSlice S = backwardSlice(0, predsOf(Chain), {},
+                                    [&] { return Budget-- > 0; });
+  EXPECT_TRUE(S.Truncated);
+  // Two charged edges -> seed plus at most two reached nodes.
+  EXPECT_LE(S.Nodes.size(), 3u);
+  EXPECT_GE(S.Nodes.size(), 1u);
+}
+
+#if SPA_OBS_ENABLED
+
+//===----------------------------------------------------------------------===//
+// Ledger end-to-end: engines fill it, counts are jobs-invariant
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, EnginesFillTheRunLedger) {
+  std::unique_ptr<Program> Prog = test::build(LoopProgram);
+  for (EngineKind Engine :
+       {EngineKind::Vanilla, EngineKind::Base, EngineKind::Sparse}) {
+    AnalysisRun Run = test::analyze(*Prog, Engine);
+    ASSERT_TRUE(Run.Ledger != nullptr);
+    EXPECT_GT(Run.Ledger->numRows(), 0u);
+    PointCost T = Run.Ledger->totals();
+    EXPECT_GT(T.Visits, 0u);
+    // The loop forces at least one widening somewhere.
+    EXPECT_GT(T.Widenings, 0u);
+    EXPECT_FALSE(Run.Ledger->hotspots(3).empty());
+  }
+}
+
+TEST_F(ObsTest, LedgerCountsAreIdenticalAcrossJobs) {
+  std::unique_ptr<Program> Prog = test::build(LoopProgram);
+  AnalysisRun One = test::analyze(*Prog, EngineKind::Sparse,
+                                  [](AnalyzerOptions &O) { O.Jobs = 1; });
+  AnalysisRun Four = test::analyze(*Prog, EngineKind::Sparse,
+                                   [](AnalyzerOptions &O) { O.Jobs = 4; });
+  ASSERT_TRUE(One.Ledger && Four.Ledger);
+  ASSERT_EQ(One.Ledger->numRows(), Four.Ledger->numRows());
+  for (uint32_t N = 0; N < One.Ledger->numRows(); ++N) {
+    const PointCost &A = One.Ledger->row(N);
+    const PointCost &B = Four.Ledger->row(N);
+    // Every count field bit-identical; TimeMicros is exempt (sampled).
+    EXPECT_EQ(A.Visits, B.Visits) << N;
+    EXPECT_EQ(A.Widenings, B.Widenings) << N;
+    EXPECT_EQ(A.Narrowings, B.Narrowings) << N;
+    EXPECT_EQ(A.Joins, B.Joins) << N;
+    EXPECT_EQ(A.NoChangeSkips, B.NoChangeSkips) << N;
+    EXPECT_EQ(A.Deliveries, B.Deliveries) << N;
+    EXPECT_EQ(A.Growth, B.Growth) << N;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Batch gauge scoping (the resetGauges contract)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, BatchExportScopesOutPerRunGauges) {
+  std::vector<BatchItem> Items;
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    GenConfig Config;
+    Config.Seed = Seed * 97;
+    Config.NumFunctions = 2;
+    Config.StmtsPerFunction = 6;
+    Items.push_back({"g" + std::to_string(Seed), generateSource(Config)});
+  }
+  BatchOptions Opts;
+  Opts.Check = true;
+  runBatch(Items, Opts);
+
+  Registry &R = Registry::global();
+  // Per-run gauges (whatever the last item's run set) must be zeroed out
+  // of the batch-level snapshot...
+  EXPECT_EQ(R.value("program.points"), 0.0);
+  EXPECT_EQ(R.value("program.locs"), 0.0);
+  EXPECT_EQ(R.value("analysis.degraded"), 0.0);
+  EXPECT_EQ(R.value("phase.total.seconds"), 0.0);
+  EXPECT_EQ(R.value("ledger.nodes"), 0.0);
+  // ...while batch-scoped gauges and process-wide peaks survive.
+  EXPECT_EQ(R.value("batch.programs"), 3.0);
+  EXPECT_GT(R.value("mem.peak_rss_kib"), 0.0);
+  // Counters accumulate across the batch (never gauge-scoped away).
+  EXPECT_GT(R.value("fixpoint.visits"), 0.0);
+}
+
+TEST_F(ObsTest, ResetGaugesKeepsCountersAndHistograms) {
+  Registry &R = Registry::global();
+  R.counter("scope.counter").add(5);
+  R.gauge("scope.gauge").set(9);
+  R.histogram("scope.hist").observe(4);
+  R.resetGauges();
+  EXPECT_EQ(R.value("scope.counter"), 5.0);
+  EXPECT_EQ(R.value("scope.gauge"), 0.0);
+  EXPECT_EQ(R.value("scope.hist.count"), 1.0);
 }
 
 #endif // SPA_OBS_ENABLED

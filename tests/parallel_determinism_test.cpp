@@ -21,6 +21,7 @@
 #include "core/Checker.h"
 #include "core/Export.h"
 #include "ir/Builder.h"
+#include "obs/Ledger.h"
 #include "obs/Metrics.h"
 #include "workload/Batch.h"
 #include "workload/Generator.h"
@@ -66,6 +67,10 @@ struct RunDigest {
   uint64_t GraphEdges = 0;
   std::vector<AbsState> In, Out;
   std::map<std::string, double> Counters;
+  /// Per-node cost-ledger count rows, flattened in node order.  Every
+  /// field except the sampled TimeMicros is part of the determinism
+  /// contract (docs/OBSERVABILITY.md "Determinism").
+  std::vector<uint64_t> LedgerRows;
 };
 
 RunDigest digestRun(const Program &Prog, unsigned Jobs) {
@@ -93,6 +98,13 @@ RunDigest digestRun(const Program &Prog, unsigned Jobs) {
     if (Name.rfind("fixpoint.", 0) == 0 && Name.find("seconds") ==
         std::string::npos)
       D.Counters[Name] = V;
+  if (Run.Ledger)
+    for (uint32_t N = 0; N < Run.Ledger->numRows(); ++N) {
+      const obs::PointCost &C = Run.Ledger->row(N);
+      D.LedgerRows.insert(D.LedgerRows.end(),
+                          {C.Visits, C.Widenings, C.Narrowings, C.Joins,
+                           C.NoChangeSkips, C.Deliveries, C.Growth});
+    }
   return D;
 }
 
@@ -118,6 +130,8 @@ TEST(ParallelDeterminismTest, AllJobCountsProduceIdenticalResults) {
       ASSERT_EQ(Seq.GraphEdges, Par.GraphEdges)
           << "round " << Round << " jobs " << Jobs;
       ASSERT_EQ(Seq.Counters, Par.Counters)
+          << "round " << Round << " jobs " << Jobs;
+      ASSERT_EQ(Seq.LedgerRows, Par.LedgerRows)
           << "round " << Round << " jobs " << Jobs;
       ASSERT_EQ(Seq.In.size(), Par.In.size());
       for (size_t N = 0; N < Seq.In.size(); ++N) {
@@ -214,6 +228,10 @@ TEST(ParallelDeterminismTest, BatchResultsIndependentOfJobs) {
     EXPECT_EQ(Seq.Items[I].Ok, Par.Items[I].Ok);
     EXPECT_EQ(Seq.Items[I].Checks, Par.Items[I].Checks);
     EXPECT_EQ(Seq.Items[I].Alarms, Par.Items[I].Alarms);
+    // Rolled-up ledger counts ride the same contract (time is exempt).
+    EXPECT_EQ(Seq.Items[I].LedgerVisits, Par.Items[I].LedgerVisits);
+    EXPECT_EQ(Seq.Items[I].LedgerWidenings, Par.Items[I].LedgerWidenings);
+    EXPECT_EQ(Seq.Items[I].LedgerGrowth, Par.Items[I].LedgerGrowth);
   }
 }
 

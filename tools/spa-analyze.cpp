@@ -32,8 +32,15 @@
 ///   --batch=FILE                   analyze every program listed in FILE
 ///   --batch-suite[=scale]          analyze the generated paper suite
 ///   --stats                        metrics registry dump (key=value lines)
+///                                  plus the ledger's top-K hotspot table
 ///   --metrics-out=FILE             write the metrics registry as JSON
 ///   --trace-out=FILE               write Chrome trace-event JSON spans
+///   --ledger-out=FILE              write the per-point cost ledger as JSON
+///                                  (batch mode: per-item rollup)
+///   --explain-alarm=N              alarm provenance: print the backward
+///                                  dependency slice of alarm #N (implies
+///                                  --check; ids number the non-safe
+///                                  checks in report order)
 ///
 /// Batch mode fans programs out across the pool (docs/PARALLELISM.md);
 /// per-program results print in input order and are identical for every
@@ -79,6 +86,8 @@ struct CliOptions {
   bool Stats = false;
   std::string MetricsOut;
   std::string TraceOut;
+  std::string LedgerOut;
+  long ExplainAlarm = -1; ///< Alarm id to explain; <0 = off.
   double TimeLimitSec = 0;
   BudgetLimits Budget;
   bool Isolate = false;
@@ -99,7 +108,9 @@ void usage() {
                "  --run[=seed] --time-limit=N --stats\n"
                "  --deadline=N --step-limit=N --mem-limit=MIB --isolate\n"
                "  --jobs=N --batch=FILE --batch-suite[=scale]\n"
-               "  --metrics-out=FILE --trace-out=FILE   (\"-\" = stdout)\n");
+               "  --metrics-out=FILE --trace-out=FILE --ledger-out=FILE"
+               "   (\"-\" = stdout)\n"
+               "  --explain-alarm=N   (implies --check)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -187,6 +198,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.MetricsOut = V;
     } else if (const char *V = Value("--trace-out=")) {
       Opts.TraceOut = V;
+    } else if (const char *V = Value("--ledger-out=")) {
+      Opts.LedgerOut = V;
+    } else if (const char *V = Value("--explain-alarm=")) {
+      Opts.ExplainAlarm = std::strtol(V, nullptr, 10);
+      Opts.Check = true; // The walk needs the checker's no-bypass run.
     } else if (A == "--help" || A == "-h") {
       return false;
     } else if (!A.empty() && A[0] == '-' && A != "-") {
@@ -219,13 +235,20 @@ std::string readInput(const std::string &Path) {
   return OS.str();
 }
 
-/// Emits --stats / --metrics-out / --trace-out from the global registry
-/// and tracer.  Shared by the interval and octagon paths.
-int emitObservability(const CliOptions &Cli) {
-  if (Cli.Stats)
+/// Emits --stats / --metrics-out / --trace-out / --ledger-out.  The
+/// caller renders the mode-specific ledger document and hotspot table
+/// (empty = none); the key=value dump always precedes the table so
+/// line-oriented consumers keep working.
+int emitObservability(const CliOptions &Cli,
+                      const std::string &LedgerJson = "",
+                      const std::string &HotspotText = "") {
+  if (Cli.Stats) {
     std::fputs(
         obs::MetricsSink::toKeyValueText(obs::Registry::global()).c_str(),
         stdout);
+    if (!HotspotText.empty())
+      std::fputs(HotspotText.c_str(), stdout);
+  }
   int Rc = 0;
   if (!Cli.MetricsOut.empty() &&
       !obs::MetricsSink::writeFile(Cli.MetricsOut,
@@ -240,8 +263,27 @@ int emitObservability(const CliOptions &Cli) {
     std::fprintf(stderr, "error: cannot write %s\n", Cli.TraceOut.c_str());
     Rc = 1;
   }
+  if (!Cli.LedgerOut.empty() &&
+      !obs::MetricsSink::writeFile(Cli.LedgerOut, LedgerJson)) {
+    std::fprintf(stderr, "error: cannot write %s\n", Cli.LedgerOut.c_str());
+    Rc = 1;
+  }
   return Rc;
 }
+
+/// Provenance walk budget: the run's own token is spent by now, so the
+/// walk gets a fresh one with the CLI limits (null = unbudgeted walk).
+struct WalkBudget {
+  std::optional<Budget> Storage;
+  ProvenanceQuery Query;
+
+  explicit WalkBudget(const BudgetLimits &Limits) {
+    if (Limits.enabled()) {
+      Storage.emplace(Limits);
+      Query.Bud = &*Storage;
+    }
+  }
+};
 
 int runOctagonMode(const Program &Prog, const CliOptions &Cli) {
   OctOptions Opts;
@@ -260,8 +302,68 @@ int runOctagonMode(const Program &Prog, const CliOptions &Cli) {
   if (Run.degraded())
     std::printf("!! degraded: resource budget exhausted; invariants are "
                 "sound but coarse\n");
-  if (int Rc = emitObservability(Cli))
+
+  // Octagon ledger nodes live in pack space, so phi labels name the pack
+  // rather than a source location.
+  auto Label = [&](uint32_t Node) -> std::string {
+    const SparseGraph *G = Run.Graph ? &*Run.Graph : nullptr;
+    if (G && G->isPhi(Node)) {
+      const PhiNode &Phi = G->phi(Node);
+      return "phi(pack" + std::to_string(Phi.L.value()) + ") @ " +
+             Prog.pointToString(Phi.At);
+    }
+    return Prog.pointToString(G ? G->anchor(Node) : PointId(Node));
+  };
+
+  // Alarm provenance in octagon mode comes from the degradation ladder's
+  // interval fallback (the only checker-consumable result an octagon run
+  // carries); its slices are tagged interval_fallback.
+  std::optional<CheckerSummary> Summary;
+  std::vector<AlarmProvenance> Slices;
+  std::string ProvJson;
+  if ((Cli.Check || Cli.ExplainAlarm >= 0) && Run.Fallback) {
+    Summary.emplace(checkBufferOverruns(Prog, *Run.Fallback));
+    WalkBudget WB(Cli.Budget);
+    Slices = collectAlarmProvenance(Prog, *Run.Fallback, *Summary, WB.Query);
+    for (AlarmProvenance &AP : Slices)
+      AP.IntervalFallback = true;
+    ProvJson = provenanceJsonArray(Prog, *Run.Fallback, Slices);
+  }
+
+  obs::Ledger EmptyLedger;
+  const obs::Ledger &Led = Run.Ledger ? *Run.Ledger : EmptyLedger;
+  std::string LedgerJson;
+  if (!Cli.LedgerOut.empty())
+    LedgerJson = Led.toJson(/*HotspotK=*/10, Label, ProvJson);
+  if (int Rc = emitObservability(Cli, LedgerJson,
+                                 Cli.Stats ? Led.hotspotText(10, Label)
+                                           : std::string()))
     return Rc;
+
+  if (Summary) {
+    std::printf("checked %zu dereferences (interval fallback): %u safe, "
+                "%u alarms\n",
+                Summary->Checks.size(), Summary->numSafe(),
+                Summary->numAlarms());
+    for (const AccessCheck &C : Summary->Checks)
+      if (C.Result != AccessCheck::Verdict::Safe)
+        std::printf("  %s\n", C.str(Prog).c_str());
+  }
+  if (Cli.ExplainAlarm >= 0) {
+    size_t Id = static_cast<size_t>(Cli.ExplainAlarm);
+    if (!Run.Fallback) {
+      std::fprintf(stderr,
+                   "error: --explain-alarm with --domain=octagon needs the "
+                   "degraded run's interval fallback (none present)\n");
+      return 1;
+    }
+    if (Id >= Slices.size()) {
+      std::fprintf(stderr, "error: no alarm #%zu (%zu alarms)\n", Id,
+                   Slices.size());
+      return 1;
+    }
+    std::fputs(Slices[Id].str(Prog, *Run.Fallback).c_str(), stdout);
+  }
 
   // Per-function exit intervals via singleton-pack projection.
   for (uint32_t F = 0; F < Prog.numFuncs(); ++F) {
@@ -346,7 +448,40 @@ int runBatchMode(const CliOptions &Cli) {
               R.numFailed());
   if (R.numDegraded() > 0)
     std::printf("%zu degraded (sound, coarse results)\n", R.numDegraded());
-  if (int Rc = emitObservability(Cli))
+
+  // Batch ledger: the per-item fixpoint-cost rollup (full per-node
+  // ledgers stay inside each item's run; only totals cross the batch —
+  // and, isolated, the fork — boundary).
+  std::string LedgerJson;
+  if (!Cli.LedgerOut.empty()) {
+    auto Quote = [](const std::string &S) {
+      std::string Q = "\"";
+      for (char C : S) {
+        if (C == '"' || C == '\\')
+          Q += '\\';
+        Q += C;
+      }
+      return Q += '"';
+    };
+    LedgerJson = "{\n  \"schema\": \"spa-batch-ledger-v1\",\n  \"items\": [";
+    for (size_t I = 0; I < R.Items.size(); ++I) {
+      const BatchItemResult &It = R.Items[I];
+      LedgerJson += I ? ",\n    {" : "\n    {";
+      LedgerJson += "\"name\": " + Quote(It.Name);
+      LedgerJson +=
+          std::string(", \"outcome\": \"") + batchOutcomeName(It.Outcome) +
+          "\"";
+      LedgerJson += ", \"visits\": " + std::to_string(It.LedgerVisits);
+      LedgerJson +=
+          ", \"widenings\": " + std::to_string(It.LedgerWidenings);
+      LedgerJson += ", \"growth\": " + std::to_string(It.LedgerGrowth);
+      LedgerJson +=
+          ", \"time_micros\": " + std::to_string(It.LedgerTimeMicros);
+      LedgerJson += "}";
+    }
+    LedgerJson += R.Items.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  }
+  if (int Rc = emitObservability(Cli, LedgerJson))
     return Rc;
   return exitCodeFor(R);
 }
@@ -395,7 +530,31 @@ int main(int Argc, char **Argv) {
                 "sound but coarse\n",
                 budgetReasonName(Run.BudgetStop));
 
-  if (int Rc = emitObservability(Cli))
+  // Checker + alarm provenance run before the observability sinks so the
+  // ledger JSON can embed the provenance array.
+  std::optional<CheckerSummary> Summary;
+  std::vector<AlarmProvenance> Slices;
+  std::string ProvJson;
+  if (Cli.Check) {
+    Summary.emplace(checkBufferOverruns(Prog, Run));
+    if (!Cli.LedgerOut.empty() || Cli.ExplainAlarm >= 0) {
+      WalkBudget WB(Cli.Budget);
+      Slices = collectAlarmProvenance(Prog, Run, *Summary, WB.Query);
+      ProvJson = provenanceJsonArray(Prog, Run, Slices);
+    }
+  }
+
+  auto Label = [&](uint32_t Node) {
+    return ledgerNodeLabel(Prog, Run.Graph ? &*Run.Graph : nullptr, Node);
+  };
+  obs::Ledger EmptyLedger;
+  const obs::Ledger &Led = Run.Ledger ? *Run.Ledger : EmptyLedger;
+  std::string LedgerJson;
+  if (!Cli.LedgerOut.empty())
+    LedgerJson = Led.toJson(/*HotspotK=*/10, Label, ProvJson);
+  if (int Rc = emitObservability(Cli, LedgerJson,
+                                 Cli.Stats ? Led.hotspotText(10, Label)
+                                           : std::string()))
     return Rc;
 
   if (Cli.DumpCfg)
@@ -405,14 +564,22 @@ int main(int Argc, char **Argv) {
   if (Cli.List)
     std::fputs(exportAnnotatedListing(Prog, Run).c_str(), stdout);
 
-  if (Cli.Check) {
-    CheckerSummary Summary = checkBufferOverruns(Prog, Run);
+  if (Summary) {
     std::printf("checked %zu dereferences: %u safe, %u alarms\n",
-                Summary.Checks.size(), Summary.numSafe(),
-                Summary.numAlarms());
-    for (const AccessCheck &C : Summary.Checks)
+                Summary->Checks.size(), Summary->numSafe(),
+                Summary->numAlarms());
+    for (const AccessCheck &C : Summary->Checks)
       if (C.Result != AccessCheck::Verdict::Safe)
         std::printf("  %s\n", C.str(Prog).c_str());
+  }
+  if (Cli.ExplainAlarm >= 0) {
+    size_t Id = static_cast<size_t>(Cli.ExplainAlarm);
+    if (Id >= Slices.size()) {
+      std::fprintf(stderr, "error: no alarm #%zu (%zu alarms)\n", Id,
+                   Slices.size());
+      return 1;
+    }
+    std::fputs(Slices[Id].str(Prog, Run).c_str(), stdout);
   }
 
   if (Cli.Run) {

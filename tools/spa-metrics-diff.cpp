@@ -1,0 +1,514 @@
+//===- spa-metrics-diff.cpp - Metrics/ledger regression differ ----------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares two metrics or ledger JSON documents key by key and fails
+/// when the current run regressed past a relative threshold:
+///
+///   spa-metrics-diff [options] <baseline.json> <current.json>
+///
+///   --rel-tol=F        default relative tolerance (default 0.10)
+///   --key=NAME[:TOL]   only compare NAME (repeatable); optional per-key
+///                      tolerance overrides --rel-tol
+///   --ignore=PREFIX    skip keys starting with PREFIX (repeatable)
+///   --allow-missing    a key absent from either side is not an error
+///   --from-jsonl       inputs are SPA_BENCH_JSON files (JSON object per
+///                      line); records aggregate per (bench, engine) by
+///                      min, then sum across configurations
+///
+/// A key "regresses" when current > baseline * (1 + tol) — metrics here
+/// are costs (visits, growth, seconds, bytes), so only increases count.
+/// Nested objects flatten to dotted keys; array elements key by their
+/// "name"/"func"/"comp"/"node" field when present, else by index.
+///
+/// Exit codes: 0 = no regression, 1 = usage or I/O error, 2 = at least
+/// one key regressed.  Wired as the metrics_regression tier-2 ctest
+/// against bench/baseline_table2.jsonl (docs/OBSERVABILITY.md).
+///
+/// Standalone on purpose: parses JSON itself and links no spa library,
+/// so it can diff artifacts from any build (including -DSPA_OBS=OFF).
+///
+//===----------------------------------------------------------------------===//
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON reader (numbers, strings, bools, null, arrays, objects)
+//===----------------------------------------------------------------------===//
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } K =
+      Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Fields;
+
+  const JsonValue *field(const char *Name) const {
+    for (const auto &[N, V] : Fields)
+      if (N == Name)
+        return &V;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+public:
+  JsonParser(const std::string &Text) : S(Text) {}
+
+  bool parse(JsonValue &Out) {
+    skipWs();
+    if (!value(Out))
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+  /// Parses one value and leaves Pos after it (for JSONL streams).
+  bool parseOne(JsonValue &Out) {
+    skipWs();
+    return value(Out);
+  }
+
+  size_t pos() const { return Pos; }
+
+private:
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool lit(const char *L, JsonValue &Out, JsonValue::Kind K, bool B) {
+    size_t N = std::strlen(L);
+    if (S.compare(Pos, N, L) != 0)
+      return false;
+    Pos += N;
+    Out.K = K;
+    Out.B = B;
+    return true;
+  }
+
+  bool value(JsonValue &Out) {
+    if (Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{':
+      return object(Out);
+    case '[':
+      return array(Out);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return string(Out.Str);
+    case 't':
+      return lit("true", Out, JsonValue::Kind::Bool, true);
+    case 'f':
+      return lit("false", Out, JsonValue::Kind::Bool, false);
+    case 'n':
+      return lit("null", Out, JsonValue::Kind::Null, false);
+    default:
+      return number(Out);
+    }
+  }
+
+  bool string(std::string &Out) {
+    if (S[Pos] != '"')
+      return false;
+    ++Pos;
+    Out.clear();
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        return false;
+      char E = S[Pos++];
+      switch (E) {
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u':
+        // Code points beyond this tool's ASCII keys: keep a placeholder.
+        if (Pos + 4 > S.size())
+          return false;
+        Pos += 4;
+        Out += '?';
+        break;
+      default:
+        Out += E; // \" \\ \/ and anything escaped literally.
+      }
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  bool number(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    bool Digits = false;
+    auto Run = [&] {
+      while (Pos < S.size() &&
+             std::isdigit(static_cast<unsigned char>(S[Pos]))) {
+        ++Pos;
+        Digits = true;
+      }
+    };
+    Run();
+    if (Pos < S.size() && S[Pos] == '.') {
+      ++Pos;
+      Run();
+    }
+    if (Pos < S.size() && (S[Pos] == 'e' || S[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+        ++Pos;
+      Run();
+    }
+    if (!Digits)
+      return false;
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = std::strtod(S.c_str() + Start, nullptr);
+    return true;
+  }
+
+  bool array(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      JsonValue V;
+      if (!value(V))
+        return false;
+      Out.Items.push_back(std::move(V));
+      skipWs();
+      if (Pos >= S.size())
+        return false;
+      if (S[Pos] == ',') {
+        ++Pos;
+        skipWs();
+        continue;
+      }
+      if (S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool object(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      std::string Key;
+      if (Pos >= S.size() || S[Pos] != '"' || !string(Key))
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      JsonValue V;
+      if (!value(V))
+        return false;
+      Out.Fields.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos >= S.size())
+        return false;
+      if (S[Pos] == ',') {
+        ++Pos;
+        skipWs();
+        continue;
+      }
+      if (S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Flattening to dotted numeric keys
+//===----------------------------------------------------------------------===//
+
+using KeyMap = std::map<std::string, double>;
+
+/// Identity field that labels an array element (ledger rows, batch
+/// items); falls back to the element index.
+std::string elementKey(const JsonValue &V, size_t Index) {
+  static const char *IdFields[] = {"name", "func", "comp", "node", "label"};
+  if (V.K == JsonValue::Kind::Object)
+    for (const char *F : IdFields)
+      if (const JsonValue *Id = V.field(F)) {
+        if (Id->K == JsonValue::Kind::String)
+          return Id->Str;
+        if (Id->K == JsonValue::Kind::Number) {
+          char Buf[32];
+          std::snprintf(Buf, sizeof(Buf), "%.17g", Id->Num);
+          return Buf;
+        }
+      }
+  return std::to_string(Index);
+}
+
+void flatten(const JsonValue &V, const std::string &Prefix, KeyMap &Out) {
+  switch (V.K) {
+  case JsonValue::Kind::Number:
+    Out[Prefix] = V.Num;
+    return;
+  case JsonValue::Kind::Bool:
+    Out[Prefix] = V.B ? 1 : 0;
+    return;
+  case JsonValue::Kind::Object:
+    for (const auto &[N, F] : V.Fields)
+      flatten(F, Prefix.empty() ? N : Prefix + "." + N, Out);
+    return;
+  case JsonValue::Kind::Array:
+    for (size_t I = 0; I < V.Items.size(); ++I)
+      flatten(V.Items[I], Prefix + "." + elementKey(V.Items[I], I), Out);
+    return;
+  case JsonValue::Kind::Null:
+  case JsonValue::Kind::String:
+    return; // Non-numeric leaves never participate in the diff.
+  }
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  Out = OS.str();
+  return true;
+}
+
+/// One metrics JSON document -> flat key map.
+bool loadJson(const std::string &Path, KeyMap &Out) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+    return false;
+  }
+  JsonValue Root;
+  if (!JsonParser(Text).parse(Root)) {
+    std::fprintf(stderr, "error: %s is not valid JSON\n", Path.c_str());
+    return false;
+  }
+  flatten(Root, "", Out);
+  return true;
+}
+
+/// SPA_BENCH_JSON lines -> flat key map.  Repeated (bench, engine)
+/// records keep the per-key minimum (best-of-N, the bench harness
+/// convention), then every aggregated record's keys sum under
+/// "<bench>.<engine>.<key>" plus a cross-suite "total.<key>".
+bool loadJsonl(const std::string &Path, KeyMap &Out) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+    return false;
+  }
+  std::map<std::string, KeyMap> PerConfig;
+  std::istringstream In(Text);
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    JsonValue Rec;
+    if (!JsonParser(Line).parse(Rec) || Rec.K != JsonValue::Kind::Object) {
+      std::fprintf(stderr, "error: %s:%zu is not a JSON object\n",
+                   Path.c_str(), LineNo);
+      return false;
+    }
+    const JsonValue *Bench = Rec.field("bench");
+    const JsonValue *Engine = Rec.field("engine");
+    std::string Config =
+        (Bench && Bench->K == JsonValue::Kind::String ? Bench->Str
+                                                      : "unknown") +
+        "." +
+        (Engine && Engine->K == JsonValue::Kind::String ? Engine->Str
+                                                        : "unknown");
+    KeyMap Flat;
+    flatten(Rec, "", Flat);
+    KeyMap &Best = PerConfig[Config];
+    for (const auto &[K, V] : Flat) {
+      auto It = Best.find(K);
+      if (It == Best.end() || V < It->second)
+        Best[K] = V;
+    }
+  }
+  for (const auto &[Config, Keys] : PerConfig)
+    for (const auto &[K, V] : Keys) {
+      Out[Config + "." + K] = V;
+      Out["total." + K] += V;
+    }
+  return true;
+}
+
+struct DiffOptions {
+  double RelTol = 0.10;
+  std::map<std::string, double> OnlyKeys; ///< Empty = every key.
+  std::vector<std::string> IgnorePrefixes;
+  bool AllowMissing = false;
+  bool FromJsonl = false;
+};
+
+bool ignored(const DiffOptions &Opts, const std::string &Key) {
+  for (const std::string &P : Opts.IgnorePrefixes)
+    if (Key.compare(0, P.size(), P) == 0)
+      return true;
+  return false;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: spa-metrics-diff [options] <baseline.json> <current.json>\n"
+      "  --rel-tol=F         default relative tolerance (default 0.10)\n"
+      "  --key=NAME[:TOL]    compare only NAME (repeatable)\n"
+      "  --ignore=PREFIX     skip keys starting with PREFIX (repeatable)\n"
+      "  --allow-missing     missing keys are informational, not errors\n"
+      "  --from-jsonl        inputs are SPA_BENCH_JSON record files\n"
+      "exit: 0 ok, 1 usage/io error, 2 regression\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DiffOptions Opts;
+  std::vector<std::string> Paths;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return A.compare(0, N, Prefix) == 0 ? A.c_str() + N : nullptr;
+    };
+    if (const char *V = Value("--rel-tol=")) {
+      Opts.RelTol = std::atof(V);
+    } else if (const char *V = Value("--key=")) {
+      std::string Spec = V;
+      size_t Colon = Spec.rfind(':');
+      double Tol = -1; // Sentinel: use --rel-tol at compare time.
+      if (Colon != std::string::npos &&
+          Spec.find_first_of("0123456789.", Colon + 1) == Colon + 1) {
+        Tol = std::atof(Spec.c_str() + Colon + 1);
+        Spec = Spec.substr(0, Colon);
+      }
+      Opts.OnlyKeys[Spec] = Tol;
+    } else if (const char *V = Value("--ignore=")) {
+      Opts.IgnorePrefixes.push_back(V);
+    } else if (A == "--allow-missing") {
+      Opts.AllowMissing = true;
+    } else if (A == "--from-jsonl") {
+      Opts.FromJsonl = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 1;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", A.c_str());
+      usage();
+      return 1;
+    } else {
+      Paths.push_back(A);
+    }
+  }
+  if (Paths.size() != 2) {
+    usage();
+    return 1;
+  }
+
+  KeyMap Baseline, Current;
+  bool Loaded =
+      Opts.FromJsonl
+          ? loadJsonl(Paths[0], Baseline) && loadJsonl(Paths[1], Current)
+          : loadJson(Paths[0], Baseline) && loadJson(Paths[1], Current);
+  if (!Loaded)
+    return 1;
+
+  size_t Compared = 0, Regressions = 0, Missing = 0;
+  auto Compare = [&](const std::string &Key, double Tol) {
+    auto B = Baseline.find(Key), C = Current.find(Key);
+    if (B == Baseline.end() || C == Current.end()) {
+      ++Missing;
+      std::fprintf(stderr, "%s %s: missing from %s\n",
+                   Opts.AllowMissing ? "note:" : "FAIL", Key.c_str(),
+                   B == Baseline.end() ? "baseline" : "current");
+      return;
+    }
+    ++Compared;
+    double Limit = B->second * (1 + Tol);
+    if (C->second > Limit && C->second - B->second > 1e-12) {
+      ++Regressions;
+      std::fprintf(stderr,
+                   "FAIL %s: %.6g -> %.6g (limit %.6g, +%.1f%%)\n",
+                   Key.c_str(), B->second, C->second, Limit,
+                   B->second != 0
+                       ? 100.0 * (C->second - B->second) / B->second
+                       : 100.0);
+    }
+  };
+
+  if (!Opts.OnlyKeys.empty()) {
+    for (const auto &[Key, Tol] : Opts.OnlyKeys)
+      Compare(Key, Tol >= 0 ? Tol : Opts.RelTol);
+  } else {
+    for (const auto &[Key, V] : Baseline) {
+      (void)V;
+      if (!ignored(Opts, Key))
+        Compare(Key, Opts.RelTol);
+    }
+  }
+
+  std::printf("%zu keys compared, %zu regressions, %zu missing\n", Compared,
+              Regressions, Missing);
+  if (Regressions > 0 || (Missing > 0 && !Opts.AllowMissing))
+    return 2;
+  return 0;
+}
