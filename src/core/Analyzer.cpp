@@ -7,13 +7,33 @@
 #include "core/Analyzer.h"
 
 #include "domains/Interner.h"
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "obs/Postmortem.h"
 #include "obs/Trace.h"
 #include "support/Fault.h"
 #include "support/Resource.h"
 #include "support/ThreadPool.h"
 
 using namespace spa;
+
+namespace {
+
+/// Journals PhaseBegin/PhaseEnd around an analyzer phase (names from the
+/// fixed table in obs/Journal.cpp).  Complements SPA_OBS_TRACE, which
+/// logs; the journal survives into postmortems.
+struct PhaseJournalScope {
+  uint16_t Id;
+  explicit PhaseJournalScope(const char *Phase)
+      : Id(obs::journalPhaseId(Phase)) {
+    SPA_OBS_JOURNAL(PhaseBegin, Id, 0);
+  }
+  ~PhaseJournalScope() { SPA_OBS_JOURNAL(PhaseEnd, Id, 0); }
+  PhaseJournalScope(const PhaseJournalScope &) = delete;
+  PhaseJournalScope &operator=(const PhaseJournalScope &) = delete;
+};
+
+} // namespace
 
 void spa::exportValueSharingStats() {
   InternStats P = combinedInternerStats();
@@ -69,12 +89,53 @@ std::string spa::ledgerNodeLabel(const Program &Prog, const SparseGraph *Graph,
 }
 
 void spa::attributeLedger(obs::Ledger &Led, const Program &Prog,
-                          const SparseGraph *Graph) {
+                          const SparseGraph *Graph,
+                          const CallGraphInfo *CG) {
   uint32_t N = Led.numRows();
   std::vector<uint32_t> FuncOfNode(N, 0);
   for (uint32_t Node = 0; Node < N; ++Node) {
     PointId P = Graph ? Graph->anchor(Node) : PointId(Node);
     FuncOfNode[Node] = Prog.point(P).Func.value();
+  }
+  // Inter-procedural phi co-attribution: a phi at a function entry joins
+  // values arriving from call sites, so its cost is as much the caller's
+  // as the callee's; a phi at a return site likewise merges callee exit
+  // values into the caller.  Charge half to the co-function (the
+  // smallest one for determinism across callgraph orderings); all other
+  // nodes keep whole-cost attribution (CoFuncOf == FuncOf).
+  std::vector<uint32_t> CoFuncOfNode;
+  if (Graph && CG) {
+    CoFuncOfNode = FuncOfNode;
+    bool AnySplit = false;
+    for (uint32_t Node = 0; Node < N; ++Node) {
+      if (!Graph->isPhi(Node))
+        continue;
+      PointId At = Graph->phi(Node).At;
+      const Command &Cmd = Prog.point(At).Cmd;
+      if (Cmd.Kind == CmdKind::Entry) {
+        const std::vector<PointId> &Sites =
+            CG->callSitesOf(Prog.point(At).Func);
+        if (Sites.empty())
+          continue;
+        PointId Min = Sites[0];
+        for (PointId S : Sites)
+          if (S.value() < Min.value())
+            Min = S;
+        CoFuncOfNode[Node] = Prog.point(Min).Func.value();
+      } else if (Cmd.Kind == CmdKind::Return) {
+        const std::vector<FuncId> &Cs = CG->callees(Cmd.Pair);
+        if (Cs.empty())
+          continue;
+        FuncId Min = Cs[0];
+        for (FuncId F : Cs)
+          if (F.value() < Min.value())
+            Min = F;
+        CoFuncOfNode[Node] = Min.value();
+      }
+      AnySplit |= CoFuncOfNode[Node] != FuncOfNode[Node];
+    }
+    if (!AnySplit)
+      CoFuncOfNode.clear(); // Intra-procedural program: no split rows.
   }
   // Partition attribution uses the same union-find components the
   // parallel fixpoint shards by; the numbering (smallest member
@@ -92,13 +153,18 @@ void spa::attributeLedger(obs::Ledger &Led, const Program &Prog,
   for (uint32_t F = 0; F < Prog.numFuncs(); ++F)
     FuncNames.push_back(Prog.function(FuncId(F)).Name);
   Led.attribute(std::move(FuncOfNode), std::move(CompOfNode),
-                std::move(FuncNames));
+                std::move(FuncNames), std::move(CoFuncOfNode));
 
   obs::PointCost T = Led.totals();
   SPA_OBS_GAUGE_SET("ledger.nodes", N);
   SPA_OBS_GAUGE_SET("ledger.partitions", NumComps);
   SPA_OBS_GAUGE_SET("ledger.growth", T.Growth);
   SPA_OBS_GAUGE_SET("ledger.time_micros", T.TimeMicros);
+  // Snapshot for crash forensics: a postmortem written after this point
+  // carries the fixpoint's final cost rollup even if the process dies in
+  // a later phase (check, export, a second batch item).
+  obs::postmortemSetLedgerRollup(T.Visits, T.Widenings, T.Growth,
+                                 T.TimeMicros);
 }
 
 bool AnalysisRun::degraded() const {
@@ -114,6 +180,10 @@ bool AnalysisRun::degraded() const {
 AnalysisRun spa::analyzeProgram(const Program &Prog,
                                 const AnalyzerOptions &Opts) {
   SPA_OBS_TRACE("analyze");
+  // Freeze the metrics registry into the signal-safe postmortem index:
+  // instruments touched by earlier runs (or registered eagerly below)
+  // become readable from the crash handler without locking.
+  obs::postmortemRefreshRegistryIndex();
   SPA_OBS_GAUGE_SET("program.points", Prog.numPoints());
   SPA_OBS_GAUGE_SET("program.locs", Prog.numLocs());
   SPA_OBS_GAUGE_SET("program.funcs", Prog.numFuncs());
@@ -138,6 +208,7 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
   CpuTimer TotalCpu;
   AnalysisRun Run{[&] {
                     SPA_OBS_TRACE("pre-analysis");
+                    PhaseJournalScope PJ("pre");
                     maybeInjectFault("pre");
                     return runPreAnalysis(Prog, Opts.Sem,
                                           /*WidenAfterSweeps=*/3, Opts.Pre,
@@ -151,6 +222,7 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
   CpuTimer DuCpu;
   {
     SPA_OBS_TRACE("def-use");
+    PhaseJournalScope PJ("defuse");
     maybeInjectFault("defuse");
     Run.DU = computeDefUse(Prog, Run.Pre, Jobs, Bud);
   }
@@ -171,6 +243,7 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
     DOpts.DegradeTo = &Run.Pre.Global;
     DOpts.Led = Led.get();
     SPA_OBS_TRACE("fixpoint");
+    PhaseJournalScope PJ("fix");
     maybeInjectFault("fix");
     Run.Dense = runDenseAnalysis(Prog, Run.Pre.CG, &Run.DU, DOpts);
     break;
@@ -178,6 +251,7 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
   case EngineKind::Sparse: {
     {
       SPA_OBS_TRACE("dep-build");
+      PhaseJournalScope PJ("depbuild");
       maybeInjectFault("depbuild");
       CpuTimer DepCpu;
       DepOptions DepOpts = Opts.Dep;
@@ -195,6 +269,7 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
     SOpts.DegradeTo = &Run.Pre.Global;
     SOpts.Led = Led.get();
     SPA_OBS_TRACE("fixpoint");
+    PhaseJournalScope PJ("fix");
     maybeInjectFault("fix");
     CpuTimer FixCpu;
     Run.Sparse = runSparseAnalysis(Prog, Run.Pre.CG, *Run.Graph, SOpts);
@@ -204,7 +279,8 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
   }
 
   if (Led) {
-    attributeLedger(*Led, Prog, Run.Graph ? &*Run.Graph : nullptr);
+    attributeLedger(*Led, Prog, Run.Graph ? &*Run.Graph : nullptr,
+                    &Run.Pre.CG);
     Run.Ledger = std::move(Led);
   }
 
@@ -241,5 +317,8 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
     }
   }
   SPA_OBS_GAUGE_SET("analysis.degraded", Run.degraded() ? 1 : 0);
+  // Re-freeze the postmortem index: instruments created during this run
+  // (counter/gauge call sites register lazily) become crash-readable.
+  obs::postmortemRefreshRegistryIndex();
   return Run;
 }

@@ -118,8 +118,17 @@ std::string ledgerNodeLabel(const Program &Prog, const SparseGraph *Graph,
 /// dependency partition, function names) and exports the ledger.*
 /// summary gauges.  Called by both analyzer facades after the fixpoint;
 /// \p Graph null means a dense point-indexed ledger (one partition).
+///
+/// \p CG, when given with a sparse graph, enables co-attribution of
+/// inter-procedural phi nodes: a phi anchored at a function entry (or a
+/// return site) carries cost that belongs half to the caller and half to
+/// the callee, so its row splits between the owning function and the
+/// smallest co-function on the other side of the edge instead of
+/// charging the callee alone.  Also publishes the rollup totals to the
+/// postmortem writer so crash reports carry the last known ledger state.
 void attributeLedger(obs::Ledger &Led, const Program &Prog,
-                     const SparseGraph *Graph);
+                     const SparseGraph *Graph,
+                     const CallGraphInfo *CG = nullptr);
 
 /// Exports the value.pool.* / state.cow.* gauges (interner occupancy and
 /// hit rates, COW detach counts; docs/OBSERVABILITY.md).  Called at the

@@ -7,7 +7,9 @@
 #include "core/DenseAnalysis.h"
 
 #include "core/PreAnalysis.h"
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "support/Fault.h"
 #include "support/Resource.h"
 #include "support/WorkList.h"
 
@@ -53,7 +55,15 @@ public:
 
     Timer Clock;
     uint64_t LastSampleUs = 0;
+    uint64_t Widenings = 0;
+    SPA_OBS_FIX_SCOPE();
+    SPA_OBS_JOURNAL(PartitionBegin, 0, N);
     while (!WL.empty()) {
+      SPA_OBS_HEARTBEAT();
+      if ((R.Visits & 1023) == 0) {
+        obs::journalSetWorklistDepth(WL.size());
+        maybeInjectFault("fixloop");
+      }
       if (Opts.TimeLimitSec > 0 && (R.Visits & 1023) == 0 &&
           Clock.seconds() > Opts.TimeLimitSec) {
         R.TimedOut = true;
@@ -82,10 +92,13 @@ public:
 
       bool DoWiden = Widen[C.value()] &&
                      ChangeCount[C.value()] >= Opts.WideningDelay;
-      if (DoWiden)
+      if (DoWiden) {
         SPA_OBS_COUNT("fixpoint.widenings", 1);
-      else
+        if (((++Widenings) & 63) == 0)
+          SPA_OBS_JOURNAL(WidenBurst, C.value(), Widenings);
+      } else {
         SPA_OBS_COUNT("fixpoint.joins", 1);
+      }
       uint64_t EntriesBefore = Led ? R.Post[C.value()].size() : 0;
       bool Changed = DoWiden ? R.Post[C.value()].widenWith(Out)
                              : R.Post[C.value()].joinWith(Out);
@@ -111,6 +124,7 @@ public:
       if (Opts.Localize && Prog.point(C).Cmd.Kind == CmdKind::Call)
         WL.push(Prog.point(C).Cmd.Pair.value());
     }
+    SPA_OBS_JOURNAL(PartitionEnd, 0, R.Visits);
 
     if (R.Degraded)
       degrade(R, WL);
@@ -187,6 +201,7 @@ private:
       R.Post[P].joinWith(*G);
     }
     SPA_OBS_GAUGE_SET("fixpoint.degraded_points", NumAffected);
+    SPA_OBS_JOURNAL(DegradeTier, /*Engine=*/1, NumAffected);
   }
 
   /// Union of AccessDefs and AccessUses per function, sorted.

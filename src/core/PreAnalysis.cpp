@@ -6,7 +6,9 @@
 
 #include "core/PreAnalysis.h"
 
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "support/Fault.h"
 
 using namespace spa;
 
@@ -136,6 +138,8 @@ PreAnalysisResult spa::runPreAnalysis(const Program &Prog,
 
   uint64_t Sweeps = 0;
   bool Degraded = false;
+  SPA_OBS_FIX_SCOPE();
+  SPA_OBS_JOURNAL(PartitionBegin, 0, Prog.numPoints());
   for (;;) {
     ++Sweeps;
     GlobalState View(Global, Sweeps > WidenAfterSweeps,
@@ -144,22 +148,30 @@ PreAnalysisResult spa::runPreAnalysis(const Program &Prog,
       // Charged in blocks of 64 points (checked before the block, so an
       // expired budget degrades before any work): per-point atomics are
       // measurable against the cheap flow-insensitive transfers.
-      if (Bud && (P & 63) == 0 && !Bud->charge(64)) {
-        Degraded = true;
-        break;
+      if ((P & 63) == 0) {
+        SPA_OBS_HEARTBEAT();
+        if (Bud && !Bud->charge(64)) {
+          Degraded = true;
+          break;
+        }
       }
+      if ((P & 1023) == 0)
+        maybeInjectFault("fixloop");
       applyCommand(Prog, /*CG=*/nullptr, PointId(P), View, PreOpts);
     }
     if (Degraded || !View.Changed)
       break;
   }
+  SPA_OBS_JOURNAL(PartitionEnd, 0, Sweeps);
 
   // Budget exhausted before the sweeps converged: a partially swept
   // Global may still be *under* the invariant (components not yet joined
   // in), so go to the only state that is sound without iterating — all-⊤.
   // That also resolves every indirect call below to all functions.
-  if (Degraded)
+  if (Degraded) {
     Global = topAbsState(Prog);
+    SPA_OBS_JOURNAL(DegradeTier, /*Engine=*/0, Prog.numPoints());
+  }
 
   if (Kind == PreAnalysisKind::SemiSparse)
     coarsenNonTopLevel(Prog, Global);

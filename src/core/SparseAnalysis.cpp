@@ -23,7 +23,9 @@
 #include "core/SparseAnalysis.h"
 
 #include "core/PreAnalysis.h"
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
+#include "support/Fault.h"
 #include "support/Resource.h"
 #include "support/ThreadPool.h"
 #include "support/WorkList.h"
@@ -218,9 +220,14 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
   // concurrent shard loops share those arrays without synchronization.
   std::atomic<bool> TimedOut{false};
   std::atomic<bool> Degraded{false};
-  auto RunShard = [&](const std::vector<uint32_t> &Nodes,
+  auto RunShard = [&](size_t ShardIdx, const std::vector<uint32_t> &Nodes,
                       uint64_t &VisitsOut,
                       std::vector<uint32_t> &PendingOut) {
+    // Flight-recorder scope: the watchdog monitors this lane's
+    // heartbeat only while it is inside the loop below.
+    SPA_OBS_FIX_SCOPE();
+    obs::journalSetPartition(ShardIdx);
+    SPA_OBS_JOURNAL(PartitionBegin, ShardIdx, Nodes.size());
     WorkList WL(Prio);
     // Every node runs at least once: constants and ⊥-input effects must
     // materialize even with no incoming dependencies (the fixpoint
@@ -230,8 +237,17 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
 
     uint64_t Visits = 0;
     uint64_t LastSampleUs = 0;
+    uint64_t Widenings = 0;
     Timer Clock;
     while (!WL.empty()) {
+      SPA_OBS_HEARTBEAT();
+      if ((Visits & 1023) == 0) {
+        // Amortized stall-context refresh plus the in-fixpoint fault
+        // checkpoint (SPA_FAULT=stall@fixloop hangs exactly here,
+        // between heartbeats, which is what the watchdog catches).
+        obs::journalSetWorklistDepth(WL.size());
+        maybeInjectFault("fixloop");
+      }
       if (Opts.TimeLimitSec > 0 && (Visits & 1023) == 0 &&
           Clock.seconds() > Opts.TimeLimitSec) {
         TimedOut.store(true, std::memory_order_relaxed);
@@ -308,10 +324,16 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
             ++Led->row(Dst).NoChangeSkips;
           return;
         }
-        if (DoWiden)
+        if (DoWiden) {
           SPA_OBS_COUNT("fixpoint.widenings", 1);
-        else
+          // Widening bursts are the classic non-termination precursor;
+          // drop a breadcrumb every 64 so the journal tail shows where
+          // extrapolation concentrated.
+          if (((++Widenings) & 63) == 0)
+            SPA_OBS_JOURNAL(WidenBurst, Dst, Widenings);
+        } else {
           SPA_OBS_COUNT("fixpoint.joins", 1);
+        }
         if (Led) {
           obs::PointCost &PC = Led->row(Dst);
           if (DoWiden)
@@ -335,6 +357,7 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
       });
     }
     VisitsOut = Visits;
+    SPA_OBS_JOURNAL(PartitionEnd, ShardIdx, Visits);
   };
 
   std::vector<std::vector<uint32_t>> Shards =
@@ -345,10 +368,10 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
   std::vector<uint64_t> ShardVisits(Shards.size(), 0);
   std::vector<std::vector<uint32_t>> ShardPending(Shards.size());
   if (Shards.size() == 1) {
-    RunShard(Shards[0], ShardVisits[0], ShardPending[0]);
+    RunShard(0, Shards[0], ShardVisits[0], ShardPending[0]);
   } else {
     ThreadPool::global().parallelFor(Shards.size(), Opts.Jobs, [&](size_t S) {
-      RunShard(Shards[S], ShardVisits[S], ShardPending[S]);
+      RunShard(S, Shards[S], ShardVisits[S], ShardPending[S]);
     });
   }
   for (uint64_t V : ShardVisits)
@@ -413,6 +436,7 @@ SparseResult spa::runSparseAnalysis(const Program &Prog,
       }
     }
     SPA_OBS_GAUGE_SET("fixpoint.degraded_points", NumAffected);
+    SPA_OBS_JOURNAL(DegradeTier, /*Engine=*/2, NumAffected);
   }
 
   for (const AbsState &S : R.In)

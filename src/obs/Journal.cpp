@@ -1,0 +1,259 @@
+//===- Journal.cpp - Per-thread flight-recorder journal --------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Journal.h"
+
+#include <chrono>
+#include <cstring>
+
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/syscall.h>
+#endif
+
+using namespace spa::obs;
+
+const char *spa::obs::journalEventName(JournalEventKind K) {
+  switch (K) {
+  case JournalEventKind::None:
+    return "none";
+  case JournalEventKind::PhaseBegin:
+    return "phase.begin";
+  case JournalEventKind::PhaseEnd:
+    return "phase.end";
+  case JournalEventKind::PartitionBegin:
+    return "partition.begin";
+  case JournalEventKind::PartitionEnd:
+    return "partition.end";
+  case JournalEventKind::BudgetCharge:
+    return "budget.charge";
+  case JournalEventKind::BudgetTrip:
+    return "budget.trip";
+  case JournalEventKind::DegradeTier:
+    return "degrade.tier";
+  case JournalEventKind::WidenBurst:
+    return "widen.burst";
+  case JournalEventKind::FaultArm:
+    return "fault.arm";
+  case JournalEventKind::BatchItemBegin:
+    return "batch.item.begin";
+  case JournalEventKind::BatchItemEnd:
+    return "batch.item.end";
+  case JournalEventKind::HeartbeatStall:
+    return "heartbeat.stall";
+  case JournalEventKind::OomTrip:
+    return "oom.trip";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Fixed phase-name table.  Index is the wire id; 0 is the unknown
+/// bucket, so every name here starts at id 1.
+constexpr const char *PhaseNames[] = {
+    "?",        "build", "pre",   "defuse", "depbuild",
+    "fix",      "check", "batch", "reader", "oct-pack",
+    "oct-close"};
+constexpr uint16_t NumPhaseNames =
+    static_cast<uint16_t>(sizeof(PhaseNames) / sizeof(PhaseNames[0]));
+
+} // namespace
+
+uint16_t spa::obs::journalPhaseId(const char *Phase) {
+  if (!Phase)
+    return 0;
+  for (uint16_t I = 1; I < NumPhaseNames; ++I)
+    if (std::strcmp(PhaseNames[I], Phase) == 0)
+      return I;
+  return 0;
+}
+
+const char *spa::obs::journalPhaseName(uint16_t Id) {
+  return Id < NumPhaseNames ? PhaseNames[Id] : "?";
+}
+
+#if SPA_OBS_ENABLED
+
+namespace {
+
+/// The slot table lives in static storage: the signal-handler reader
+/// must be able to reach it without any allocation or indirection that
+/// could itself be mid-update when the process dies.
+JournalSlot Slots[JournalMaxSlots];
+
+/// Cross-thread publication order for merged timelines.
+std::atomic<uint64_t> GlobalSeq{1};
+
+std::chrono::steady_clock::time_point journalEpoch() {
+  static const std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  return Epoch;
+}
+
+uint32_t osTid() {
+#ifdef __linux__
+  return static_cast<uint32_t>(syscall(SYS_gettid));
+#else
+  return static_cast<uint32_t>(getpid());
+#endif
+}
+
+/// Claims a free slot for the calling thread; releases it on thread
+/// exit so pool churn cannot exhaust the table.  Threads past the cap
+/// get a null slot and journal nothing (heartbeats included) — safe,
+/// just invisible to forensics.
+struct SlotLease {
+  JournalSlot *S = nullptr;
+
+  SlotLease() {
+    for (uint32_t I = 0; I < JournalMaxSlots; ++I) {
+      uint8_t Free = 0;
+      if (Slots[I].Used.compare_exchange_strong(Free, 1,
+                                                std::memory_order_acq_rel)) {
+        S = &Slots[I];
+        // A reused slot keeps its predecessor's ring (records carry
+        // their own sequence numbers, so stale entries sort to the
+        // past), but progress state restarts for the new owner.
+        S->Heartbeat.store(0, std::memory_order_relaxed);
+        S->FixDepth.store(0, std::memory_order_relaxed);
+        S->WorklistDepth.store(0, std::memory_order_relaxed);
+        S->Partition.store(0, std::memory_order_relaxed);
+        S->OsTid.store(osTid(), std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+
+  ~SlotLease() {
+    if (S)
+      S->Used.store(0, std::memory_order_release);
+  }
+};
+
+JournalSlot *mySlot() {
+  static thread_local SlotLease Lease;
+  return Lease.S;
+}
+
+} // namespace
+
+JournalSlot *spa::obs::journalSlots() { return Slots; }
+
+uint64_t spa::obs::journalNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - journalEpoch())
+          .count());
+}
+
+void spa::obs::journalRecord(JournalEventKind Kind, uint64_t A, uint64_t B) {
+  JournalSlot *S = mySlot();
+  if (!S)
+    return;
+  uint64_t H = S->Head.load(std::memory_order_relaxed);
+  JournalRecord &R = S->Ring[H & (JournalRingCap - 1)];
+  R.Seq = GlobalSeq.fetch_add(1, std::memory_order_relaxed);
+  R.TimeMicros = static_cast<uint32_t>(journalNowMicros());
+  R.Kind = static_cast<uint16_t>(Kind);
+  R.A = A;
+  R.B = B;
+  // Publish: readers that acquire-load Head see the record complete.
+  S->Head.store(H + 1, std::memory_order_release);
+}
+
+void spa::obs::journalHeartbeat() {
+  if (JournalSlot *S = mySlot())
+    S->Heartbeat.fetch_add(1, std::memory_order_relaxed);
+}
+
+void spa::obs::journalSetWorklistDepth(uint64_t Depth) {
+  if (JournalSlot *S = mySlot())
+    S->WorklistDepth.store(Depth, std::memory_order_relaxed);
+}
+
+void spa::obs::journalSetPartition(uint64_t Part) {
+  if (JournalSlot *S = mySlot())
+    S->Partition.store(Part, std::memory_order_relaxed);
+}
+
+uint64_t spa::obs::journalHeartbeatTotal() {
+  uint64_t T = 0;
+  for (uint32_t I = 0; I < JournalMaxSlots; ++I)
+    T += Slots[I].Heartbeat.load(std::memory_order_relaxed);
+  return T;
+}
+
+std::string spa::obs::journalToJson() {
+  std::string Out = "{\n  \"schema\": \"spa-journal-v1\",\n  \"threads\": [";
+  bool FirstSlot = true;
+  for (uint32_t I = 0; I < JournalMaxSlots; ++I) {
+    const JournalSlot &S = Slots[I];
+    uint64_t Head = S.Head.load(std::memory_order_acquire);
+    if (Head == 0 && !S.Used.load(std::memory_order_relaxed) &&
+        S.Heartbeat.load(std::memory_order_relaxed) == 0)
+      continue;
+    Out += FirstSlot ? "\n    {" : ",\n    {";
+    FirstSlot = false;
+    Out += "\"slot\": " + std::to_string(I);
+    Out += ", \"tid\": " +
+           std::to_string(S.OsTid.load(std::memory_order_relaxed));
+    Out += ", \"heartbeat\": " +
+           std::to_string(S.Heartbeat.load(std::memory_order_relaxed));
+    Out += ", \"partition\": " +
+           std::to_string(S.Partition.load(std::memory_order_relaxed));
+    Out += ",\n     \"events\": [";
+    uint64_t Count = Head < JournalRingCap ? Head : JournalRingCap;
+    for (uint64_t K = 0; K < Count; ++K) {
+      const JournalRecord &R =
+          S.Ring[(Head - Count + K) & (JournalRingCap - 1)];
+      Out += K ? ",\n       {" : "\n       {";
+      Out += "\"seq\": " + std::to_string(R.Seq);
+      Out += ", \"t_us\": " + std::to_string(R.TimeMicros);
+      Out += std::string(", \"kind\": \"") +
+             journalEventName(static_cast<JournalEventKind>(R.Kind)) + "\"";
+      Out += ", \"a\": " + std::to_string(R.A);
+      Out += ", \"b\": " + std::to_string(R.B);
+      Out += "}";
+    }
+    Out += Count ? "\n     ]}" : "]}";
+  }
+  Out += FirstSlot ? "]\n}\n" : "\n  ]\n}\n";
+  return Out;
+}
+
+void spa::obs::journalResetForChild() {
+  JournalSlot *Mine = mySlot();
+  for (uint32_t I = 0; I < JournalMaxSlots; ++I) {
+    JournalSlot *S = &Slots[I];
+    if (S == Mine)
+      continue;
+    // After fork these are memory images of the parent's threads, which
+    // do not exist in the child; scrub them so the child's postmortem
+    // reports only its own activity.
+    S->Head.store(0, std::memory_order_relaxed);
+    S->Heartbeat.store(0, std::memory_order_relaxed);
+    S->FixDepth.store(0, std::memory_order_relaxed);
+    S->WorklistDepth.store(0, std::memory_order_relaxed);
+    S->Partition.store(0, std::memory_order_relaxed);
+    S->OsTid.store(0, std::memory_order_relaxed);
+    S->Used.store(0, std::memory_order_relaxed);
+  }
+  if (Mine)
+    Mine->OsTid.store(osTid(), std::memory_order_relaxed);
+}
+
+JournalFixScope::JournalFixScope() {
+  if (JournalSlot *S = mySlot())
+    S->FixDepth.fetch_add(1, std::memory_order_relaxed);
+}
+
+JournalFixScope::~JournalFixScope() {
+  if (JournalSlot *S = mySlot())
+    S->FixDepth.fetch_sub(1, std::memory_order_relaxed);
+}
+
+#endif // SPA_OBS_ENABLED

@@ -15,10 +15,12 @@ using namespace spa::obs;
 
 void Ledger::attribute(std::vector<uint32_t> FuncOfNode,
                        std::vector<uint32_t> CompOfNode,
-                       std::vector<std::string> FuncNames) {
+                       std::vector<std::string> FuncNames,
+                       std::vector<uint32_t> CoFuncOfNode) {
   FuncOf = std::move(FuncOfNode);
   CompOf = std::move(CompOfNode);
   Funcs = std::move(FuncNames);
+  CoFuncOf = std::move(CoFuncOfNode);
 }
 
 PointCost Ledger::totals() const {
@@ -59,8 +61,67 @@ Ledger::aggregate(const std::vector<uint32_t> &GroupOf, bool WithNames) const {
   return Out;
 }
 
+namespace {
+
+/// One side of a 50/50 inter-procedural split.  Integer halves with the
+/// remainder going to the primary side, so primary + secondary equals
+/// the original row field-for-field (count conservation the determinism
+/// tests pin).
+PointCost costShare(const PointCost &C, bool Primary) {
+  auto Half = [&](auto V) -> decltype(V) {
+    return Primary ? V - V / 2 : V / 2;
+  };
+  PointCost S;
+  S.Visits = Half(C.Visits);
+  S.Widenings = Half(C.Widenings);
+  S.Narrowings = Half(C.Narrowings);
+  S.Joins = Half(C.Joins);
+  S.NoChangeSkips = Half(C.NoChangeSkips);
+  S.Deliveries = Half(C.Deliveries);
+  S.Growth = Half(C.Growth);
+  S.TimeMicros = Half(C.TimeMicros);
+  return S;
+}
+
+} // namespace
+
 std::vector<LedgerGroup> Ledger::byFunction() const {
-  return aggregate(FuncOf, /*WithNames=*/true);
+  if (CoFuncOf.empty())
+    return aggregate(FuncOf, /*WithNames=*/true);
+  // Split-aware aggregation: a node with a co-function charges half its
+  // cost to each side (remainder to the primary) and counts as a member
+  // node of both.
+  uint32_t MaxGroup = 0;
+  for (uint32_t N = 0; N < Rows.size(); ++N) {
+    MaxGroup = std::max(MaxGroup, N < FuncOf.size() ? FuncOf[N] : 0);
+    MaxGroup = std::max(MaxGroup, N < CoFuncOf.size() ? CoFuncOf[N] : 0);
+  }
+  std::vector<LedgerGroup> Groups(static_cast<size_t>(MaxGroup) + 1);
+  for (uint32_t G = 0; G < Groups.size(); ++G)
+    Groups[G].Id = G;
+  for (uint32_t N = 0; N < Rows.size(); ++N) {
+    if (Rows[N].allZero())
+      continue;
+    uint32_t F = N < FuncOf.size() ? FuncOf[N] : 0;
+    uint32_t Co = N < CoFuncOf.size() ? CoFuncOf[N] : F;
+    if (Co == F) {
+      Groups[F].Cost.addFrom(Rows[N]);
+      ++Groups[F].Nodes;
+      continue;
+    }
+    Groups[F].Cost.addFrom(costShare(Rows[N], /*Primary=*/true));
+    ++Groups[F].Nodes;
+    Groups[Co].Cost.addFrom(costShare(Rows[N], /*Primary=*/false));
+    ++Groups[Co].Nodes;
+  }
+  std::vector<LedgerGroup> Out;
+  for (LedgerGroup &G : Groups) {
+    if (G.Nodes == 0)
+      continue;
+    G.Label = G.Id < Funcs.size() ? Funcs[G.Id] : "<unknown>";
+    Out.push_back(std::move(G));
+  }
+  return Out;
 }
 
 std::vector<LedgerGroup> Ledger::byComponent() const {

@@ -123,9 +123,20 @@ public:
   /// function names.  Filled by the facade post-run; any vector may be
   /// shorter than numRows() (missing entries attribute to group 0 /
   /// "<unknown>").
+  ///
+  /// \p CoFuncOfNode marks inter-procedural split nodes: where
+  /// CoFuncOfNode[N] differs from FuncOfNode[N], node N's cost is
+  /// charged half to each function (integer halves, remainder to the
+  /// primary, so per-function totals conserve every count exactly and
+  /// stay deterministic).  The facade uses this for phi nodes on
+  /// call-edge points — an entry phi joins values the *callers* send, a
+  /// return phi joins what the *callees* return, so charging either
+  /// end alone over-charges callees in the per-function hotspot table.
+  /// Empty or equal entries mean unsplit.
   void attribute(std::vector<uint32_t> FuncOfNode,
                  std::vector<uint32_t> CompOfNode,
-                 std::vector<std::string> FuncNames);
+                 std::vector<std::string> FuncNames,
+                 std::vector<uint32_t> CoFuncOfNode = {});
 
   /// Sum over all rows (deterministic field-wise).
   PointCost totals() const;
@@ -151,7 +162,7 @@ public:
 
 private:
   std::vector<PointCost> Rows;
-  std::vector<uint32_t> FuncOf, CompOf;
+  std::vector<uint32_t> FuncOf, CompOf, CoFuncOf;
   std::vector<std::string> Funcs;
 
   std::vector<LedgerGroup> aggregate(const std::vector<uint32_t> &GroupOf,

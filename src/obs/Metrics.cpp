@@ -92,6 +92,17 @@ std::vector<std::pair<std::string, double>> Registry::snapshot() const {
   return Out;
 }
 
+void Registry::forEachInstrument(
+    const std::function<void(const std::string &, const Counter &)> &OnCtr,
+    const std::function<void(const std::string &, const Gauge &)> &OnGauge)
+    const {
+  std::lock_guard<std::mutex> Lock(M);
+  for (const auto &[Name, C] : Counters)
+    OnCtr(Name, C);
+  for (const auto &[Name, G] : Gauges)
+    OnGauge(Name, G);
+}
+
 double Registry::value(const std::string &Name, double Default) const {
   for (const auto &[K, V] : snapshot())
     if (K == Name)

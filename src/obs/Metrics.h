@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -133,6 +134,17 @@ public:
   /// Value of one snapshot leaf; \p Default when absent (a metric whose
   /// instrumentation site never ran).
   double value(const std::string &Name, double Default = 0) const;
+
+  /// Enumerates counters and gauges with their *stable addresses* (map
+  /// nodes never move or erase), under the registry mutex.  The crash
+  /// postmortem (obs/Postmortem.h) uses this in normal context to build
+  /// a frozen name/address index its signal handler can later read with
+  /// atomics only.  Histograms are excluded: they are not readable
+  /// without synchronization.
+  void forEachInstrument(
+      const std::function<void(const std::string &, const Counter &)> &OnCtr,
+      const std::function<void(const std::string &, const Gauge &)> &OnGauge)
+      const;
 
 private:
   Registry() = default;

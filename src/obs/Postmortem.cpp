@@ -1,0 +1,558 @@
+//===- Postmortem.cpp - Crash postmortems and the stall watchdog -----------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Postmortem.h"
+
+#include "obs/Metrics.h"
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/syscall.h>
+#endif
+
+using namespace spa::obs;
+
+const char *spa::obs::postmortemReasonName(PostmortemReason R) {
+  switch (R) {
+  case PostmortemReason::None:
+    return "none";
+  case PostmortemReason::Signal:
+    return "signal";
+  case PostmortemReason::Stall:
+    return "stall";
+  case PostmortemReason::Oom:
+    return "oom";
+  }
+  return "unknown";
+}
+
+std::string spa::obs::postmortemSummaryText(const PostmortemSummary &S) {
+  PostmortemReason R = static_cast<PostmortemReason>(S.Reason);
+  std::string Out = postmortemReasonName(R);
+  if (R == PostmortemReason::Signal)
+    Out += " " + std::to_string(S.Detail);
+  if (R == PostmortemReason::Stall)
+    Out += " in partition " + std::to_string(S.Partition) +
+           ", worklist depth " + std::to_string(S.WorklistDepth);
+  Out += "; last event " +
+         std::string(journalEventName(
+             static_cast<JournalEventKind>(S.LastEventKind))) +
+         "(" + std::to_string(S.LastEventA) + "," +
+         std::to_string(S.LastEventB) + ")";
+  Out += "; heartbeats " + std::to_string(S.HeartbeatTotal);
+  return Out;
+}
+
+#if SPA_OBS_ENABLED
+
+namespace {
+
+// ---- State shared with the signal handler: plain atomics and fixed
+// ---- buffers only.  The handler never allocates or locks.
+
+std::atomic<int> OutFd{-1};
+std::atomic<int> PipeFd{-1};
+std::atomic<bool> Installed{false};
+std::atomic<bool> Wrote{false};
+std::atomic<int> WriteOnce{0};
+char FilePath[512] = {0};
+char RunId[128] = {0};
+
+std::atomic<uint64_t> RollVisits{0}, RollWidenings{0}, RollGrowth{0},
+    RollTimeMicros{0};
+
+/// Frozen registry index.  Instrument addresses are stable for the
+/// process lifetime (Registry never erases), so the handler can read
+/// the atomics behind them without touching the registry mutex.
+constexpr uint32_t MaxIndexEntries = 768;
+struct IndexEntry {
+  char Name[48];
+  const void *Ptr;
+  bool IsGauge;
+};
+IndexEntry Index[MaxIndexEntries];
+std::atomic<uint32_t> IndexCount{0};
+
+struct sigaction OldSegv, OldBus, OldAbrt;
+
+// ---- Async-signal-safe formatting: raw write(2) plus integer/decimal
+// ---- renderers on stack buffers.  No stdio, no allocation.
+
+void wrRaw(const void *P, size_t N) {
+  int Fd = OutFd.load(std::memory_order_relaxed);
+  if (Fd < 0)
+    return;
+  const char *C = static_cast<const char *>(P);
+  while (N > 0) {
+    ssize_t W = write(Fd, C, N);
+    if (W <= 0)
+      return;
+    C += W;
+    N -= static_cast<size_t>(W);
+  }
+}
+
+void wr(const char *S) { wrRaw(S, std::strlen(S)); }
+
+void wrU64(uint64_t V) {
+  char Buf[24];
+  char *P = Buf + sizeof(Buf);
+  do {
+    *--P = static_cast<char>('0' + V % 10);
+    V /= 10;
+  } while (V);
+  wrRaw(P, static_cast<size_t>(Buf + sizeof(Buf) - P));
+}
+
+/// Fixed-point rendering of a gauge double: sign, integer part, and six
+/// decimals (values beyond u64 range clamp).  Postmortem gauges are
+/// seconds / sizes / rates, all comfortably inside that envelope.
+void wrF(double V) {
+  if (V != V) { // NaN
+    wr("0");
+    return;
+  }
+  if (V < 0) {
+    wr("-");
+    V = -V;
+  }
+  if (V >= 1.8e19) {
+    wrU64(UINT64_MAX);
+    return;
+  }
+  uint64_t I = static_cast<uint64_t>(V);
+  uint64_t Frac = static_cast<uint64_t>((V - static_cast<double>(I)) * 1e6);
+  if (Frac >= 1000000) { // rounding edge
+    Frac = 0;
+    ++I;
+  }
+  wrU64(I);
+  if (Frac) {
+    char Buf[8] = {'.', '0', '0', '0', '0', '0', '0', 0};
+    for (int D = 6; D >= 1; --D) {
+      Buf[D] = static_cast<char>('0' + Frac % 10);
+      Frac /= 10;
+    }
+    int Len = 7;
+    while (Len > 1 && Buf[Len - 1] == '0')
+      --Len;
+    wrRaw(Buf, static_cast<size_t>(Len));
+  }
+}
+
+void wrQuoted(const char *S) {
+  wr("\"");
+  for (; *S; ++S) {
+    char C = *S;
+    if (C == '"' || C == '\\') {
+      char Esc[2] = {'\\', C};
+      wrRaw(Esc, 2);
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      wrRaw("?", 1);
+    } else {
+      wrRaw(&C, 1);
+    }
+  }
+  wr("\"");
+}
+
+uint32_t currentOsTid() {
+#ifdef __linux__
+  return static_cast<uint32_t>(syscall(SYS_gettid));
+#else
+  return static_cast<uint32_t>(getpid());
+#endif
+}
+
+/// Newest record of \p S, if any (acquire-load pairs with the writer's
+/// release publication).
+bool lastRecord(const JournalSlot &S, JournalRecord &R) {
+  uint64_t H = S.Head.load(std::memory_order_acquire);
+  if (H == 0)
+    return false;
+  R = S.Ring[(H - 1) & (JournalRingCap - 1)];
+  return true;
+}
+
+/// Fills the compact pipe summary.  \p Reason / \p Detail as in
+/// postmortemWriteNow; the context slot is the stalled one for stalls,
+/// else the current thread's slot, else the slot with the newest event.
+void buildSummary(PostmortemReason Reason, uint64_t Detail,
+                  PostmortemSummary &Sum) {
+  Sum.Reason = static_cast<uint64_t>(Reason);
+  Sum.Detail = Detail;
+  Sum.ElapsedMicros = journalNowMicros();
+  JournalSlot *Slots = journalSlots();
+  const JournalSlot *Ctx = nullptr;
+  if (Reason == PostmortemReason::Stall && Detail < journalNumSlots())
+    Ctx = &Slots[Detail];
+  uint32_t Tid = currentOsTid();
+  uint64_t BestSeq = 0;
+  JournalRecord Last;
+  for (uint32_t I = 0; I < journalNumSlots(); ++I) {
+    const JournalSlot &S = Slots[I];
+    Sum.HeartbeatTotal += S.Heartbeat.load(std::memory_order_relaxed);
+    if (!Ctx && S.Used.load(std::memory_order_relaxed) &&
+        S.OsTid.load(std::memory_order_relaxed) == Tid)
+      Ctx = &S;
+    JournalRecord R;
+    if (lastRecord(S, R) && R.Seq > BestSeq) {
+      BestSeq = R.Seq;
+      Last = R;
+    }
+  }
+  if (!Ctx) {
+    // Fall back to the slot owning the globally newest event.
+    for (uint32_t I = 0; I < journalNumSlots(); ++I) {
+      JournalRecord R;
+      if (lastRecord(Slots[I], R) && R.Seq == BestSeq && BestSeq) {
+        Ctx = &Slots[I];
+        break;
+      }
+    }
+  }
+  if (Ctx) {
+    Sum.WorklistDepth = Ctx->WorklistDepth.load(std::memory_order_relaxed);
+    Sum.Partition = Ctx->Partition.load(std::memory_order_relaxed);
+    JournalRecord R;
+    if (lastRecord(*Ctx, R)) {
+      Sum.LastEventKind = R.Kind;
+      Sum.LastEventA = R.A;
+      Sum.LastEventB = R.B;
+    }
+  } else if (BestSeq) {
+    Sum.LastEventKind = Last.Kind;
+    Sum.LastEventA = Last.A;
+    Sum.LastEventB = Last.B;
+  }
+}
+
+void shipPipeSummary(const PostmortemSummary &Sum) {
+  int Fd = PipeFd.load(std::memory_order_relaxed);
+  if (Fd < 0)
+    return;
+  uint32_t Magic = PostmortemPipeMagic;
+  // Magic + summary total 76 bytes: one atomic pipe write (< PIPE_BUF).
+  char Buf[sizeof(Magic) + sizeof(Sum)];
+  std::memcpy(Buf, &Magic, sizeof(Magic));
+  std::memcpy(Buf + sizeof(Magic), &Sum, sizeof(Sum));
+  size_t N = sizeof(Buf);
+  const char *P = Buf;
+  while (N > 0) {
+    ssize_t W = write(Fd, P, N);
+    if (W <= 0)
+      break;
+    P += W;
+    N -= static_cast<size_t>(W);
+  }
+}
+
+void writeDocument(PostmortemReason Reason, uint64_t Detail,
+                   const PostmortemSummary &Sum) {
+  wr("{\n  \"schema\": \"spa-postmortem-v1\",\n  \"run_id\": ");
+  wrQuoted(RunId);
+  wr(",\n  \"pid\": ");
+  wrU64(static_cast<uint64_t>(getpid()));
+  wr(",\n  \"reason\": ");
+  wrQuoted(postmortemReasonName(Reason));
+  if (Reason == PostmortemReason::Signal) {
+    wr(",\n  \"signal\": ");
+    wrU64(Detail);
+  }
+  if (Reason == PostmortemReason::Stall) {
+    wr(",\n  \"stalled_slot\": ");
+    wrU64(Detail);
+  }
+  wr(",\n  \"elapsed_micros\": ");
+  wrU64(Sum.ElapsedMicros);
+  wr(",\n  \"heartbeat_total\": ");
+  wrU64(Sum.HeartbeatTotal);
+  wr(",\n  \"last_event\": {\"kind\": ");
+  wrQuoted(journalEventName(
+      static_cast<JournalEventKind>(Sum.LastEventKind)));
+  wr(", \"a\": ");
+  wrU64(Sum.LastEventA);
+  wr(", \"b\": ");
+  wrU64(Sum.LastEventB);
+  wr("},\n  \"ledger_rollup\": {\"visits\": ");
+  wrU64(RollVisits.load(std::memory_order_relaxed));
+  wr(", \"widenings\": ");
+  wrU64(RollWidenings.load(std::memory_order_relaxed));
+  wr(", \"growth\": ");
+  wrU64(RollGrowth.load(std::memory_order_relaxed));
+  wr(", \"time_micros\": ");
+  wrU64(RollTimeMicros.load(std::memory_order_relaxed));
+  wr("},\n  \"counters\": {");
+  uint32_t N = IndexCount.load(std::memory_order_acquire);
+  bool First = true;
+  for (uint32_t I = 0; I < N; ++I) {
+    if (Index[I].IsGauge)
+      continue;
+    wr(First ? "\n    " : ",\n    ");
+    First = false;
+    wrQuoted(Index[I].Name);
+    wr(": ");
+    wrU64(static_cast<const Counter *>(Index[I].Ptr)->value());
+  }
+  wr(First ? "}" : "\n  }");
+  wr(",\n  \"gauges\": {");
+  First = true;
+  for (uint32_t I = 0; I < N; ++I) {
+    if (!Index[I].IsGauge)
+      continue;
+    wr(First ? "\n    " : ",\n    ");
+    First = false;
+    wrQuoted(Index[I].Name);
+    wr(": ");
+    wrF(static_cast<const Gauge *>(Index[I].Ptr)->value());
+  }
+  wr(First ? "}" : "\n  }");
+  wr(",\n  \"threads\": [");
+  JournalSlot *Slots = journalSlots();
+  bool FirstSlot = true;
+  for (uint32_t I = 0; I < journalNumSlots(); ++I) {
+    const JournalSlot &S = Slots[I];
+    uint64_t Head = S.Head.load(std::memory_order_acquire);
+    if (Head == 0 && !S.Used.load(std::memory_order_relaxed) &&
+        S.Heartbeat.load(std::memory_order_relaxed) == 0)
+      continue;
+    wr(FirstSlot ? "\n    {" : ",\n    {");
+    FirstSlot = false;
+    wr("\"slot\": ");
+    wrU64(I);
+    wr(", \"tid\": ");
+    wrU64(S.OsTid.load(std::memory_order_relaxed));
+    wr(", \"heartbeat\": ");
+    wrU64(S.Heartbeat.load(std::memory_order_relaxed));
+    wr(", \"in_fix\": ");
+    wrU64(S.FixDepth.load(std::memory_order_relaxed));
+    wr(", \"worklist_depth\": ");
+    wrU64(S.WorklistDepth.load(std::memory_order_relaxed));
+    wr(", \"partition\": ");
+    wrU64(S.Partition.load(std::memory_order_relaxed));
+    wr(",\n     \"events\": [");
+    uint64_t Count = Head < JournalRingCap ? Head : JournalRingCap;
+    for (uint64_t K = 0; K < Count; ++K) {
+      const JournalRecord &R =
+          S.Ring[(Head - Count + K) & (JournalRingCap - 1)];
+      wr(K ? ",\n       {" : "\n       {");
+      wr("\"seq\": ");
+      wrU64(R.Seq);
+      wr(", \"t_us\": ");
+      wrU64(R.TimeMicros);
+      wr(", \"kind\": ");
+      wrQuoted(journalEventName(static_cast<JournalEventKind>(R.Kind)));
+      wr(", \"a\": ");
+      wrU64(R.A);
+      wr(", \"b\": ");
+      wrU64(R.B);
+      wr("}");
+    }
+    wr(Count ? "\n     ]}" : "]}");
+  }
+  wr(FirstSlot ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+void onFatalSignal(int Sig) {
+  postmortemWriteNow(PostmortemReason::Signal, static_cast<uint64_t>(Sig));
+  // SA_RESETHAND restored the default disposition; re-raise so the
+  // process still dies with the true signal status.
+  raise(Sig);
+}
+
+// ---- Watchdog ----
+
+std::atomic<bool> WdStopFlag{false};
+std::thread *WdThread = nullptr;
+
+void watchdogLoop(uint32_t IntervalMs) {
+  uint64_t LastBeat[JournalMaxSlots] = {0};
+  uint8_t StaleIntervals[JournalMaxSlots] = {0};
+  JournalSlot *Slots = journalSlots();
+  for (;;) {
+    uint32_t SleptMs = 0;
+    while (SleptMs < IntervalMs) {
+      if (WdStopFlag.load(std::memory_order_relaxed))
+        return;
+      uint32_t Chunk = IntervalMs - SleptMs < 10 ? IntervalMs - SleptMs : 10;
+      usleep(Chunk * 1000);
+      SleptMs += Chunk;
+    }
+    for (uint32_t I = 0; I < JournalMaxSlots; ++I) {
+      JournalSlot &S = Slots[I];
+      uint64_t Beat = S.Heartbeat.load(std::memory_order_relaxed);
+      // Only a thread *inside a fixpoint scope* is expected to make
+      // progress; parsing, building, or idling lanes are exempt.
+      if (!S.Used.load(std::memory_order_relaxed) ||
+          S.FixDepth.load(std::memory_order_relaxed) == 0 ||
+          Beat != LastBeat[I]) {
+        LastBeat[I] = Beat;
+        StaleIntervals[I] = 0;
+        continue;
+      }
+      if (++StaleIntervals[I] < 2)
+        continue;
+      // Two consecutive intervals without one heartbeat: stalled.
+      journalRecord(JournalEventKind::HeartbeatStall, I, Beat);
+      postmortemWriteNow(PostmortemReason::Stall, I);
+      const char Msg[] = "spa: watchdog: fixpoint stalled, aborting run\n";
+      ssize_t W = write(2, Msg, sizeof(Msg) - 1);
+      (void)W;
+      _exit(StallExitCode);
+    }
+  }
+}
+
+} // namespace
+
+bool spa::obs::postmortemInstall(const PostmortemOptions &Opts) {
+  postmortemUninstall();
+  const char *Id = Opts.RunId && *Opts.RunId ? Opts.RunId : "run";
+  std::strncpy(RunId, Id, sizeof(RunId) - 1);
+  RunId[sizeof(RunId) - 1] = 0;
+  PipeFd.store(Opts.PipeFd, std::memory_order_relaxed);
+  Wrote.store(false, std::memory_order_relaxed);
+  WriteOnce.store(0, std::memory_order_relaxed);
+  FilePath[0] = 0;
+
+  bool FileOk = true;
+  if (Opts.Dir && *Opts.Dir) {
+    // <dir>/<sanitized-runid>.pm.json, pre-opened so the handler only
+    // ever write(2)s.
+    std::string Path(Opts.Dir);
+    if (Path.back() != '/')
+      Path += '/';
+    for (const char *P = Id; *P; ++P) {
+      char C = *P;
+      bool Word = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                  (C >= '0' && C <= '9') || C == '-' || C == '.';
+      Path += Word ? C : '_';
+    }
+    Path += ".pm.json";
+    int Fd = open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+    if (Fd >= 0) {
+      std::strncpy(FilePath, Path.c_str(), sizeof(FilePath) - 1);
+      FilePath[sizeof(FilePath) - 1] = 0;
+      OutFd.store(Fd, std::memory_order_relaxed);
+    } else {
+      FileOk = false;
+    }
+  }
+
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onFatalSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = SA_RESETHAND;
+  sigaction(SIGSEGV, &SA, &OldSegv);
+  sigaction(SIGBUS, &SA, &OldBus);
+  sigaction(SIGABRT, &SA, &OldAbrt);
+  Installed.store(true, std::memory_order_relaxed);
+  postmortemRefreshRegistryIndex();
+  return FileOk;
+}
+
+void spa::obs::postmortemUninstall() {
+  if (!Installed.exchange(false, std::memory_order_relaxed))
+    return;
+  watchdogStop();
+  sigaction(SIGSEGV, &OldSegv, nullptr);
+  sigaction(SIGBUS, &OldBus, nullptr);
+  sigaction(SIGABRT, &OldAbrt, nullptr);
+  int Fd = OutFd.exchange(-1, std::memory_order_relaxed);
+  if (Fd >= 0) {
+    close(Fd);
+    // A clean run leaves an empty file behind; remove it so the
+    // postmortem directory holds only actual deaths.
+    if (!Wrote.load(std::memory_order_relaxed) && FilePath[0])
+      unlink(FilePath);
+  }
+  PipeFd.store(-1, std::memory_order_relaxed);
+}
+
+bool spa::obs::postmortemActive() {
+  return Installed.load(std::memory_order_relaxed);
+}
+
+std::string spa::obs::postmortemFilePath() { return FilePath; }
+
+void spa::obs::postmortemRefreshRegistryIndex() {
+  // Normal-context only: snapshots under the registry mutex, publishes
+  // the frozen arrays with a release store the handler acquires.
+  uint32_t N = 0;
+  Registry::global().forEachInstrument(
+      [&](const std::string &Name, const Counter &C) {
+        if (N >= MaxIndexEntries)
+          return;
+        std::strncpy(Index[N].Name, Name.c_str(), sizeof(Index[N].Name) - 1);
+        Index[N].Name[sizeof(Index[N].Name) - 1] = 0;
+        Index[N].Ptr = &C;
+        Index[N].IsGauge = false;
+        ++N;
+      },
+      [&](const std::string &Name, const Gauge &G) {
+        if (N >= MaxIndexEntries)
+          return;
+        std::strncpy(Index[N].Name, Name.c_str(), sizeof(Index[N].Name) - 1);
+        Index[N].Name[sizeof(Index[N].Name) - 1] = 0;
+        Index[N].Ptr = &G;
+        Index[N].IsGauge = true;
+        ++N;
+      });
+  IndexCount.store(N, std::memory_order_release);
+}
+
+void spa::obs::postmortemSetLedgerRollup(uint64_t Visits, uint64_t Widenings,
+                                         uint64_t Growth,
+                                         uint64_t TimeMicros) {
+  RollVisits.store(Visits, std::memory_order_relaxed);
+  RollWidenings.store(Widenings, std::memory_order_relaxed);
+  RollGrowth.store(Growth, std::memory_order_relaxed);
+  RollTimeMicros.store(TimeMicros, std::memory_order_relaxed);
+}
+
+bool spa::obs::postmortemWriteNow(PostmortemReason Reason, uint64_t Detail) {
+  // First fatal event wins: a stall report racing the crash handler (or
+  // a handler recursing through a second signal) must not interleave
+  // two documents into one file.
+  if (WriteOnce.exchange(1, std::memory_order_acq_rel))
+    return false;
+  PostmortemSummary Sum;
+  buildSummary(Reason, Detail, Sum);
+  shipPipeSummary(Sum);
+  int Fd = OutFd.load(std::memory_order_relaxed);
+  if (Fd < 0)
+    return false;
+  writeDocument(Reason, Detail, Sum);
+  Wrote.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void spa::obs::watchdogStart(uint32_t IntervalMs) {
+  if (IntervalMs == 0 || WdThread)
+    return;
+  WdStopFlag.store(false, std::memory_order_relaxed);
+  WdThread = new std::thread(watchdogLoop, IntervalMs);
+}
+
+void spa::obs::watchdogStop() {
+  if (!WdThread)
+    return;
+  WdStopFlag.store(true, std::memory_order_relaxed);
+  WdThread->join();
+  delete WdThread;
+  WdThread = nullptr;
+}
+
+#endif // SPA_OBS_ENABLED

@@ -6,6 +6,7 @@
 
 #include "oct/OctAnalysis.h"
 
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Fault.h"
@@ -625,8 +626,16 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
 
   Timer Clock;
   uint64_t LastSampleUs = 0;
+  uint64_t WidenCount = 0;
   unsigned HardLimit = Opts.WideningDelay * Opts.HardLimitFactor;
+  SPA_OBS_FIX_SCOPE();
+  SPA_OBS_JOURNAL(PartitionBegin, 0, N);
   while (!WL.empty()) {
+    SPA_OBS_HEARTBEAT();
+    if ((R.Visits & 255) == 0) {
+      obs::journalSetWorklistDepth(WL.size());
+      maybeInjectFault("fixloop");
+    }
     if (Opts.TimeLimitSec > 0 && (R.Visits & 255) == 0 &&
         Clock.seconds() > Opts.TimeLimitSec) {
       R.TimedOut = true;
@@ -662,6 +671,8 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
       SPA_OBS_COUNT("fixpoint.widenings", 1);
     else
       SPA_OBS_COUNT("fixpoint.joins", 1);
+    if ((Hard || DoWiden) && (((++WidenCount) & 63) == 0))
+      SPA_OBS_JOURNAL(WidenBurst, C.value(), WidenCount);
     uint64_t EntriesBefore = Led ? R.Post[C.value()].size() : 0;
     bool Changed = R.Post[C.value()].mergeWith(
         Out, [&](Oct &A, const Oct &B) {
@@ -693,6 +704,7 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
     if (Localize && Prog.point(C).Cmd.Kind == CmdKind::Call)
       WL.push(Prog.point(C).Cmd.Pair.value());
   }
+  SPA_OBS_JOURNAL(PartitionEnd, 0, R.Visits);
 
   if (R.Degraded) {
     // Sound degradation (docs/ROBUSTNESS.md): the affected set — pending
@@ -733,6 +745,7 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
       }
     }
     SPA_OBS_GAUGE_SET("fixpoint.degraded_points", NumAffected);
+    SPA_OBS_JOURNAL(DegradeTier, /*Engine=*/3, NumAffected);
   }
 
   for (const OctState &S : R.Post)
@@ -775,8 +788,16 @@ OctSparseResult runOctSparse(const Program &Prog,
 
   Timer Clock;
   uint64_t LastSampleUs = 0;
+  uint64_t WidenCount = 0;
   unsigned HardLimit = Opts.WideningDelay * Opts.HardLimitFactor;
+  SPA_OBS_FIX_SCOPE();
+  SPA_OBS_JOURNAL(PartitionBegin, 0, N);
   while (!WL.empty()) {
+    SPA_OBS_HEARTBEAT();
+    if ((R.Visits & 255) == 0) {
+      obs::journalSetWorklistDepth(WL.size());
+      maybeInjectFault("fixloop");
+    }
     if (Opts.TimeLimitSec > 0 && (R.Visits & 255) == 0 &&
         Clock.seconds() > Opts.TimeLimitSec) {
       R.TimedOut = true;
@@ -855,6 +876,8 @@ OctSparseResult runOctSparse(const Program &Prog,
         } else {
           SPA_OBS_COUNT("fixpoint.joins", 1);
         }
+        if (Widened && (((++WidenCount) & 63) == 0))
+          SPA_OBS_JOURNAL(WidenBurst, Dst, WidenCount);
       } else {
         SPA_OBS_COUNT("fixpoint.joins", 1);
       }
@@ -883,6 +906,7 @@ OctSparseResult runOctSparse(const Program &Prog,
       WL.push(Dst);
     });
   }
+  SPA_OBS_JOURNAL(PartitionEnd, 0, R.Visits);
 
   if (R.Degraded) {
     // Affected = pending nodes plus forward reachability along dependency
@@ -924,6 +948,7 @@ OctSparseResult runOctSparse(const Program &Prog,
       }
     }
     SPA_OBS_GAUGE_SET("fixpoint.degraded_points", NumAffected);
+    SPA_OBS_JOURNAL(DegradeTier, /*Engine=*/4, NumAffected);
   }
 
   for (const OctState &S : R.In)
@@ -1072,7 +1097,8 @@ OctRun spa::runOctAnalysis(const Program &Prog, const OctOptions &Opts) {
   // Attribute after the fallback: the fallback's own analyzeProgram wrote
   // its ledger gauges, and the octagon run's should win.
   if (Led) {
-    attributeLedger(*Led, Prog, Run.Graph ? &*Run.Graph : nullptr);
+    attributeLedger(*Led, Prog, Run.Graph ? &*Run.Graph : nullptr,
+                    &Run.Pre.CG);
     Run.Ledger = std::move(Led);
   }
 

@@ -16,15 +16,24 @@
 ///
 /// Cost model: charge() is one relaxed fetch_add plus a relaxed load on
 /// the hot path; the clock is read only when the step count crosses a
-/// 1024-step boundary and the RSS file only on 8192-step boundaries.  A
-/// null Budget pointer in the engine options removes even that (the
-/// guard-overhead acceptance bar of BENCH_pipeline.json).
+/// 1024-step boundary.  Memory is checked on the same boundary through
+/// the counting-allocator hook (support/MemHook.cpp) — two relaxed
+/// loads, no syscall — so an RSS trip fires on the allocation spike
+/// itself; builds without the hook (sanitizers) fall back to polling
+/// VmHWM on 8192-step boundaries.  A null Budget pointer in the engine
+/// options removes even that (the guard-overhead acceptance bar of
+/// BENCH_pipeline.json).
+///
+/// Every 1024-step boundary also drops a budget.charge milestone into
+/// the flight recorder, and a trip records budget.trip — the journal
+/// tail of a dying run shows how far the budget got (obs/Journal.h).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPA_SUPPORT_BUDGET_H
 #define SPA_SUPPORT_BUDGET_H
 
+#include "obs/Journal.h"
 #include "support/Resource.h"
 
 #include <atomic>
@@ -62,6 +71,13 @@ struct BudgetLimits {
 class Budget {
 public:
   explicit Budget(const BudgetLimits &L) : Limits(L) {
+    if (Limits.MemLimitKiB && heapTrackingActive()) {
+      // Byte-accurate mode: estimate the process peak as the RSS at
+      // budget creation plus tracked heap growth since.  Both reads are
+      // then syscall-free on the charge path.
+      BaseRssKiB = currentPeakRssKiB();
+      BaseHeapBytes = peakTrackedHeapBytes();
+    }
     if (Limits.DeadlineSec < 0)
       trip(BudgetReason::Deadline);
   }
@@ -77,17 +93,18 @@ public:
       trip(BudgetReason::Steps);
       return false;
     }
-    // Amortized clock check: only when this charge crossed a 1024-step
-    // boundary (or is the first).  RSS reads /proc, so it runs 8x less
-    // often again.
+    // Amortized limit checks: only when this charge crossed a 1024-step
+    // boundary (or is the first).  With the allocator hook the memory
+    // estimate is two relaxed loads, so it runs on every boundary; the
+    // VmHWM fallback reads /proc and runs 8x less often.
     if ((Now >> 10) != ((Now - N) >> 10) || Now == N) {
+      SPA_OBS_JOURNAL(BudgetCharge, Now, 0);
       if (Limits.DeadlineSec > 0 && Clock.seconds() >= Limits.DeadlineSec) {
         trip(BudgetReason::Deadline);
         return false;
       }
-      if (Limits.MemLimitKiB &&
-          ((Now >> 13) != ((Now - N) >> 13) || Now == N) &&
-          currentPeakRssKiB() > Limits.MemLimitKiB) {
+      if (Limits.MemLimitKiB && estimatedPeakRssKiB(Now, N) >
+                                    Limits.MemLimitKiB) {
         trip(BudgetReason::Memory);
         return false;
       }
@@ -118,12 +135,30 @@ public:
 private:
   void trip(BudgetReason Why) {
     uint8_t Expected = static_cast<uint8_t>(BudgetReason::None);
-    R.compare_exchange_strong(Expected, static_cast<uint8_t>(Why),
-                              std::memory_order_relaxed);
+    if (R.compare_exchange_strong(Expected, static_cast<uint8_t>(Why),
+                                  std::memory_order_relaxed))
+      SPA_OBS_JOURNAL(BudgetTrip, static_cast<uint8_t>(Why),
+                      StepsUsed.load(std::memory_order_relaxed));
+  }
+
+  /// Peak RSS estimate for the memory check.  Hook mode: creation-time
+  /// RSS plus tracked heap growth, no syscall.  Fallback: the VmHWM
+  /// poll, further amortized to 8192-step boundaries.
+  uint64_t estimatedPeakRssKiB(uint64_t Now, uint64_t N) const {
+    if (heapTrackingActive()) {
+      uint64_t Peak = peakTrackedHeapBytes();
+      uint64_t Delta = Peak > BaseHeapBytes ? Peak - BaseHeapBytes : 0;
+      return BaseRssKiB + (Delta >> 10);
+    }
+    if ((Now >> 13) != ((Now - N) >> 13) || Now == N)
+      return currentPeakRssKiB();
+    return 0; // Off-boundary: skip the poll (0 never exceeds a limit).
   }
 
   BudgetLimits Limits;
   Timer Clock;
+  uint64_t BaseRssKiB = 0;
+  uint64_t BaseHeapBytes = 0;
   std::atomic<uint64_t> StepsUsed{0};
   std::atomic<uint8_t> R{static_cast<uint8_t>(BudgetReason::None)};
 };

@@ -6,6 +6,9 @@
 
 #include "support/Fault.h"
 
+#include "obs/Journal.h"
+#include "obs/Postmortem.h"
+
 #include <cstdlib>
 
 #include <unistd.h>
@@ -46,6 +49,8 @@ FaultPlan FaultPlan::parse(const char *Spec) {
     P.K = Kind::Oom;
   else if (KindStr == "timeout")
     P.K = Kind::Timeout;
+  else if (KindStr == "stall")
+    P.K = Kind::Stall;
   else if (KindStr == "truncate")
     P.K = Kind::Truncate;
   else if (KindStr == "partial")
@@ -60,6 +65,8 @@ FaultPlan FaultPlan::fromEnv() { return parse(std::getenv("SPA_FAULT")); }
 FaultScope::FaultScope(const FaultPlan &Plan, std::string ProgramName) {
   ArmedFault *A = new ArmedFault{Plan, std::move(ProgramName), Armed};
   Armed = A;
+  if (Plan.active())
+    SPA_OBS_JOURNAL(FaultArm, static_cast<uint64_t>(Plan.K), 0);
 }
 
 FaultScope::~FaultScope() {
@@ -96,9 +103,15 @@ void spa::maybeInjectFault(const char *Phase) {
   case FaultPlan::Kind::Crash:
     std::abort();
   case FaultPlan::Kind::Oom:
+    obs::journalRecord(obs::JournalEventKind::OomTrip, 0, 0);
+    obs::postmortemWriteNow(obs::PostmortemReason::Oom, 0);
     _exit(OomExitCode);
   case FaultPlan::Kind::Timeout:
-    // Hang until the batch parent's hard kill limit reaps this child.
+  case FaultPlan::Kind::Stall:
+    // Hang until something external reaps this process: the batch
+    // parent's hard kill limit, or — when armed at the in-fixpoint
+    // "fixloop" checkpoint with the watchdog running — the heartbeat
+    // monitor, which writes a stall postmortem and exits StallExitCode.
     for (;;)
       usleep(100000);
   }

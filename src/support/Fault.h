@@ -10,11 +10,14 @@
 ///
 ///   SPA_FAULT=<kind>@<phase>[:<name-substr>]
 ///
-/// where <kind> is crash | oom | timeout | truncate | partial, <phase>
-/// is one of the analyzer phase names (build, pre, defuse, depbuild,
-/// fix, check), the batch parent's pipe-reader phase ("reader"), or "*",
-/// and the optional <name-substr> restricts the fault to programs whose
-/// batch-item name contains the substring.  The plan only fires inside a
+/// where <kind> is crash | oom | timeout | stall | truncate | partial,
+/// <phase> is one of the analyzer phase names (build, pre, defuse,
+/// depbuild, fix, check), the amortized in-fixpoint checkpoint
+/// ("fixloop" — the only site where `stall` makes sense: it hangs the
+/// loop *between* heartbeats, which is what the watchdog of
+/// obs/Postmortem.h exists to catch), the batch parent's pipe-reader
+/// phase ("reader"), or "*", and the optional <name-substr> restricts
+/// the fault to programs whose batch-item name contains the substring.  The plan only fires inside a
 /// FaultScope, which the batch driver installs exclusively in *isolated*
 /// child processes — injected faults therefore kill at most one
 /// program's subprocess, exactly the failure domain the isolation layer
@@ -43,7 +46,7 @@ constexpr int OomExitCode = 86;
 
 /// A parsed SPA_FAULT specification.
 struct FaultPlan {
-  enum class Kind { None, Crash, Oom, Timeout, Truncate, Partial };
+  enum class Kind { None, Crash, Oom, Timeout, Stall, Truncate, Partial };
   Kind K = Kind::None;
   std::string Phase;   ///< Phase name or "*".
   std::string NameSub; ///< Empty = any program.
@@ -76,10 +79,12 @@ public:
 };
 
 /// Fires the armed fault if its phase filter matches \p Phase: crash
-/// calls abort(), oom exits with OomExitCode, timeout sleeps until the
-/// batch parent's kill limit reaps the child.  The parent-side kinds
-/// (truncate/partial) are no-ops here.  No-op outside a FaultScope or
-/// when the filters do not match.
+/// calls abort(), oom exits with OomExitCode, timeout and stall sleep
+/// until something external reaps the process (the batch parent's kill
+/// limit, or — for a stall armed at the "fixloop" checkpoint — the
+/// heartbeat watchdog, which classifies it `stalled` first).  The
+/// parent-side kinds (truncate/partial) are no-ops here.  No-op outside
+/// a FaultScope or when the filters do not match.
 void maybeInjectFault(const char *Phase);
 
 /// True when a plan of kind \p K is armed on this thread and its

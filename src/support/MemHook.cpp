@@ -1,0 +1,180 @@
+//===- MemHook.cpp - Counting-allocator hook for memory budgets ------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-accurate heap accounting: global operator new/delete are
+/// replaced with wrappers that keep a relaxed-atomic current/peak byte
+/// count via malloc_usable_size.  Budget (support/Budget.h) reads the
+/// peak on its amortized check boundaries, so an RSS budget trips on
+/// the allocation spike itself instead of up to 8192 steps later when
+/// the /proc/self/status poll would next run (the carried ROADMAP
+/// item).
+///
+/// Rules of the road in here: the wrappers run under every allocation
+/// in the process, including inside the metrics registry and the
+/// journal, so they must not call back into either — plain malloc/free
+/// plus two atomics, nothing else.
+///
+/// SPA_NO_MEM_HOOK (set by CMake for -DSPA_SANITIZE builds) compiles
+/// the operator replacements out: ASan/TSan interpose the allocator
+/// themselves and two interposers cannot coexist.  The query functions
+/// then report the hook inactive and Budget uses the VmHWM poll.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Resource.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#ifdef __linux__
+#include <malloc.h>
+#endif
+
+namespace {
+
+std::atomic<uint64_t> HeapCurrentBytes{0};
+std::atomic<uint64_t> HeapPeakBytes{0};
+
+#if !defined(SPA_NO_MEM_HOOK) && defined(__linux__)
+constexpr bool HookActive = true;
+
+inline void accountAlloc(void *P) {
+  if (!P)
+    return;
+  uint64_t N = malloc_usable_size(P);
+  uint64_t Cur =
+      HeapCurrentBytes.fetch_add(N, std::memory_order_relaxed) + N;
+  uint64_t Peak = HeapPeakBytes.load(std::memory_order_relaxed);
+  while (Cur > Peak && !HeapPeakBytes.compare_exchange_weak(
+                           Peak, Cur, std::memory_order_relaxed)) {
+  }
+}
+
+inline void accountFree(void *P) {
+  if (!P)
+    return;
+  HeapCurrentBytes.fetch_sub(malloc_usable_size(P),
+                             std::memory_order_relaxed);
+}
+
+/// malloc with the standard new-handler retry loop, so a hard RLIMIT_AS
+/// cap still reaches the installed new-handler (the isolated batch
+/// child's classifiable-OOM path) instead of returning null into code
+/// that expects throwing new.
+void *allocOrHandle(size_t N) {
+  if (N == 0)
+    N = 1;
+  for (;;) {
+    if (void *P = std::malloc(N)) {
+      accountAlloc(P);
+      return P;
+    }
+    std::new_handler H = std::get_new_handler();
+    if (!H)
+      throw std::bad_alloc();
+    H();
+  }
+}
+
+void *allocAlignedOrHandle(size_t N, size_t Align) {
+  if (N == 0)
+    N = 1;
+  for (;;) {
+    void *P = nullptr;
+    if (posix_memalign(&P, Align < sizeof(void *) ? sizeof(void *) : Align,
+                       N) == 0) {
+      accountAlloc(P);
+      return P;
+    }
+    std::new_handler H = std::get_new_handler();
+    if (!H)
+      throw std::bad_alloc();
+    H();
+  }
+}
+
+#else
+constexpr bool HookActive = false;
+#endif
+
+} // namespace
+
+uint64_t spa::currentTrackedHeapBytes() {
+  return HeapCurrentBytes.load(std::memory_order_relaxed);
+}
+
+uint64_t spa::peakTrackedHeapBytes() {
+  return HeapPeakBytes.load(std::memory_order_relaxed);
+}
+
+bool spa::heapTrackingActive() { return HookActive; }
+
+#if !defined(SPA_NO_MEM_HOOK) && defined(__linux__)
+
+void *operator new(size_t N) { return allocOrHandle(N); }
+void *operator new[](size_t N) { return allocOrHandle(N); }
+void *operator new(size_t N, std::align_val_t A) {
+  return allocAlignedOrHandle(N, static_cast<size_t>(A));
+}
+void *operator new[](size_t N, std::align_val_t A) {
+  return allocAlignedOrHandle(N, static_cast<size_t>(A));
+}
+
+void *operator new(size_t N, const std::nothrow_t &) noexcept {
+  void *P = std::malloc(N ? N : 1);
+  accountAlloc(P);
+  return P;
+}
+void *operator new[](size_t N, const std::nothrow_t &) noexcept {
+  void *P = std::malloc(N ? N : 1);
+  accountAlloc(P);
+  return P;
+}
+
+void operator delete(void *P) noexcept {
+  accountFree(P);
+  std::free(P);
+}
+void operator delete[](void *P) noexcept {
+  accountFree(P);
+  std::free(P);
+}
+void operator delete(void *P, size_t) noexcept {
+  accountFree(P);
+  std::free(P);
+}
+void operator delete[](void *P, size_t) noexcept {
+  accountFree(P);
+  std::free(P);
+}
+void operator delete(void *P, std::align_val_t) noexcept {
+  accountFree(P);
+  std::free(P);
+}
+void operator delete[](void *P, std::align_val_t) noexcept {
+  accountFree(P);
+  std::free(P);
+}
+void operator delete(void *P, std::align_val_t, size_t) noexcept {
+  accountFree(P);
+  std::free(P);
+}
+void operator delete[](void *P, std::align_val_t, size_t) noexcept {
+  accountFree(P);
+  std::free(P);
+}
+void operator delete(void *P, const std::nothrow_t &) noexcept {
+  accountFree(P);
+  std::free(P);
+}
+void operator delete[](void *P, const std::nothrow_t &) noexcept {
+  accountFree(P);
+  std::free(P);
+}
+
+#endif // !SPA_NO_MEM_HOOK && __linux__

@@ -60,8 +60,10 @@ uint64_t spa::currentPeakRssKiB() {
   return KiB;
 }
 
-ChildRunResult spa::runInChild(const std::function<std::vector<double>()> &Job,
-                               double TimeLimitSec, uint64_t MemLimitKiB) {
+ChildRunResult spa::runInChild(
+    const std::function<std::vector<double>()> &Job, double TimeLimitSec,
+    uint64_t MemLimitKiB,
+    const std::function<void(int ResultPipeFd)> &ChildSetup) {
   ChildRunResult Result;
 
   int Pipe[2];
@@ -80,11 +82,18 @@ ChildRunResult spa::runInChild(const std::function<std::vector<double>()> &Job,
     // Child: run the job, ship the length-prefixed payload through the
     // pipe.  Writes loop because payloads may exceed PIPE_BUF.
     close(Pipe[0]);
+    if (ChildSetup)
+      ChildSetup(Pipe[1]);
     if (MemLimitKiB > 0) {
-      // A hard address-space cap with a classifiable failure mode:
-      // bad_alloc (or operator new returning null) becomes OomExitCode
-      // instead of an unhandled-exception abort.
-      std::set_new_handler([] { _exit(OomExitCode); });
+      // A hard address-space cap with a classifiable failure mode: the
+      // new-handler dumps an OOM postmortem (pipe summary + file, when
+      // installed — write(2) only, no allocation), then bad_alloc
+      // becomes OomExitCode instead of an unhandled-exception abort.
+      std::set_new_handler([] {
+        obs::journalRecord(obs::JournalEventKind::OomTrip, 0, 0);
+        obs::postmortemWriteNow(obs::PostmortemReason::Oom, 0);
+        _exit(OomExitCode);
+      });
       struct rlimit RL;
       RL.rlim_cur = RL.rlim_max = MemLimitKiB * 1024;
       setrlimit(RLIMIT_AS, &RL);
@@ -140,37 +149,54 @@ ChildRunResult spa::runInChild(const std::function<std::vector<double>()> &Job,
   if (Exited && WIFSIGNALED(Status))
     Result.TermSignal = WTERMSIG(Status);
 
-  if (Exited && WIFEXITED(Status) && WEXITSTATUS(Status) == 0) {
-    // Injected reader faults (SPA_FAULT=truncate@reader / partial@reader,
-    // armed parent-side by the batch driver) simulate a torn pipe: no
-    // length prefix at all, or a payload cut off mid-write.  Both take
-    // the same !Ok path a real short read does.
-    bool DropPrefix = faultMatches("reader", FaultPlan::Kind::Truncate);
-    bool TearPayload = faultMatches("reader", FaultPlan::Kind::Partial);
-    uint32_t Count = 0;
-    if (!DropPrefix &&
-        read(Pipe[0], &Count, sizeof(Count)) == sizeof(Count) &&
-        Count <= MaxPayloadDoubles) {
-      Result.Ok = true;
-      Result.Payload.resize(Count);
-      char *P = reinterpret_cast<char *>(Result.Payload.data());
-      size_t Left = Count * sizeof(double);
-      if (TearPayload)
-        Left /= 2;
-      while (Left > 0) {
-        ssize_t N = read(Pipe[0], P, Left);
-        if (N <= 0) {
-          Result.Ok = false;
-          Result.Payload.clear();
-          break;
-        }
-        P += N;
-        Left -= static_cast<size_t>(N);
-      }
-      if (TearPayload && Result.Ok) {
+  // Injected reader faults (SPA_FAULT=truncate@reader / partial@reader,
+  // armed parent-side by the batch driver) simulate a torn pipe: no
+  // length prefix at all, or a payload cut off mid-write.  Both take
+  // the same !Ok path a real short read does.
+  bool DropPrefix = faultMatches("reader", FaultPlan::Kind::Truncate);
+  bool TearPayload = faultMatches("reader", FaultPlan::Kind::Partial);
+  uint32_t Count = 0;
+  bool HavePrefix =
+      !DropPrefix &&
+      read(Pipe[0], &Count, sizeof(Count)) == sizeof(Count);
+  if (HavePrefix && Count == obs::PostmortemPipeMagic) {
+    // A dying child's postmortem summary, not a payload: the magic
+    // exceeds any legal payload count, so the branch is unambiguous.
+    obs::PostmortemSummary Sum;
+    char *P = reinterpret_cast<char *>(&Sum);
+    size_t Left = sizeof(Sum);
+    while (Left > 0) {
+      ssize_t N = read(Pipe[0], P, Left);
+      if (N <= 0)
+        break;
+      P += N;
+      Left -= static_cast<size_t>(N);
+    }
+    if (Left == 0) {
+      Result.Crash = Sum;
+      Result.HasCrashSummary = true;
+    }
+  } else if (Exited && WIFEXITED(Status) && WEXITSTATUS(Status) == 0 &&
+             HavePrefix && Count <= MaxPayloadDoubles) {
+    Result.Ok = true;
+    Result.Payload.resize(Count);
+    char *P = reinterpret_cast<char *>(Result.Payload.data());
+    size_t Left = Count * sizeof(double);
+    if (TearPayload)
+      Left /= 2;
+    while (Left > 0) {
+      ssize_t N = read(Pipe[0], P, Left);
+      if (N <= 0) {
         Result.Ok = false;
         Result.Payload.clear();
+        break;
       }
+      P += N;
+      Left -= static_cast<size_t>(N);
+    }
+    if (TearPayload && Result.Ok) {
+      Result.Ok = false;
+      Result.Payload.clear();
     }
   }
   close(Pipe[0]);

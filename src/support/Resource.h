@@ -15,6 +15,8 @@
 #ifndef SPA_SUPPORT_RESOURCE_H
 #define SPA_SUPPORT_RESOURCE_H
 
+#include "obs/Postmortem.h"
+
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -75,6 +77,11 @@ struct ChildRunResult {
   /// (no fixed cap, so rich per-run metric payloads survive the fork
   /// boundary).
   std::vector<double> Payload;
+  /// Compact diagnosis a dying child shipped over the pipe (its
+  /// postmortem writer tags it with a magic length prefix no legal
+  /// payload can produce).  Valid only when HasCrashSummary.
+  obs::PostmortemSummary Crash;
+  bool HasCrashSummary = false;
 };
 
 /// Runs \p Job in a forked child with a wall-clock limit of
@@ -85,14 +92,32 @@ struct ChildRunResult {
 ///
 /// \p MemLimitKiB > 0 caps the child's address space (RLIMIT_AS); an
 /// allocation beyond it makes the child exit with OomExitCode (a
-/// new-handler turns bad_alloc into that exit, so the failure is
-/// classifiable instead of an unhandled-exception abort).
+/// new-handler writes an OOM postmortem, then turns bad_alloc into that
+/// exit, so the failure is classifiable instead of an
+/// unhandled-exception abort).
+///
+/// \p ChildSetup, when set, runs first thing in the child with the
+/// write end of the result pipe — the batch driver uses it to install
+/// the postmortem writer (pipe summaries + file) and the stall
+/// watchdog before any analysis work starts.
 ChildRunResult
 runInChild(const std::function<std::vector<double>()> &Job,
-           double TimeLimitSec, uint64_t MemLimitKiB = 0);
+           double TimeLimitSec, uint64_t MemLimitKiB = 0,
+           const std::function<void(int ResultPipeFd)> &ChildSetup = {});
 
 /// Peak RSS of the current process in KiB (VmHWM from /proc/self/status).
 uint64_t currentPeakRssKiB();
+
+/// Byte-accurate heap accounting from the counting-allocator hook
+/// (support/MemHook.cpp): global operator new/delete are replaced with
+/// counting wrappers, so the memory budget can trip on an allocation
+/// spike instead of waiting for the next amortized /proc poll.  Inactive
+/// (always 0 / false) in sanitizer builds, where replacing the global
+/// allocator would fight the sanitizer's own interposer — Budget falls
+/// back to the VmHWM poll there.
+uint64_t currentTrackedHeapBytes();
+uint64_t peakTrackedHeapBytes();
+bool heapTrackingActive();
 
 } // namespace spa
 

@@ -8,8 +8,10 @@
 
 #include "core/Checker.h"
 #include "ir/Builder.h"
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "obs/MetricsSink.h"
+#include "obs/Postmortem.h"
 #include "support/Fault.h"
 #include "support/Resource.h"
 #include "support/ThreadPool.h"
@@ -36,6 +38,8 @@ const char *spa::batchOutcomeName(BatchOutcome O) {
     return "oom";
   case BatchOutcome::Crash:
     return "crash";
+  case BatchOutcome::Stalled:
+    return "stalled";
   }
   return "unknown";
 }
@@ -113,6 +117,14 @@ void runItemInProcess(const BatchItem &Item, const BatchOptions &Opts,
   R.Ok = true;
 }
 
+/// Folds a shipped postmortem summary into the item's failure text, so
+/// `--batch` output answers "why did this run die" without opening the
+/// .pm.json file.
+void appendCrashNote(BatchItemResult &R) {
+  if (R.HasPostmortem && !R.CrashNote.empty())
+    R.Error += "; postmortem: " + R.CrashNote;
+}
+
 /// One isolated attempt: the same work in a forked child, classified
 /// from the child's exit.  The fault plan (SPA_FAULT) arms only inside
 /// the child, so injected faults take down the child, not the batch.
@@ -156,6 +168,9 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
         }
         obs::PointCost T =
             Run.Ledger ? Run.Ledger->totals() : obs::PointCost{};
+        // A clean finish tears the forensics down so the postmortem file
+        // (pre-opened empty) is unlinked, not left as a false positive.
+        obs::postmortemUninstall();
         return {0, Run.timedOut() ? 1.0 : 0.0, Run.degraded() ? 1.0 : 0.0,
                 Checks, Alarms, static_cast<double>(Run.BudgetSteps),
                 static_cast<double>(T.Visits),
@@ -163,13 +178,31 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
                 static_cast<double>(T.Growth),
                 static_cast<double>(T.TimeMicros)};
       },
-      Kill, Opts.HardMemLimitKiB);
+      Kill, Opts.HardMemLimitKiB,
+      /*ChildSetup=*/[&](int ResultPipeFd) {
+        // First thing after fork: scrub inherited journal slots, then
+        // install the postmortem writer (file + pipe summaries) and the
+        // stall watchdog before any analysis work starts.
+        obs::journalResetForChild();
+        obs::PostmortemOptions PO;
+        PO.Dir = Opts.PostmortemDir.empty() ? nullptr
+                                            : Opts.PostmortemDir.c_str();
+        PO.RunId = Item.Name.c_str();
+        PO.PipeFd = ResultPipeFd;
+        obs::postmortemInstall(PO);
+        obs::watchdogStart(Opts.WatchdogMs);
+      });
 
   R.PeakRssKiB = CR.PeakRssKiB;
+  if (CR.HasCrashSummary) {
+    R.CrashNote = obs::postmortemSummaryText(CR.Crash);
+    R.HasPostmortem = true;
+  }
   if (CR.TimedOut) {
     R.TimedOut = true;
     R.Outcome = BatchOutcome::Timeout;
     R.Error = "killed at the isolation kill limit";
+    appendCrashNote(R);
     return;
   }
   if (CR.Ok && CR.Payload.size() >= 5) {
@@ -201,6 +234,15 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
   if (CR.ExitCode == OomExitCode) {
     R.Outcome = BatchOutcome::Oom;
     R.Error = "out of memory (isolated child)";
+    appendCrashNote(R);
+    return;
+  }
+  if (CR.ExitCode == obs::StallExitCode) {
+    // The child's watchdog diagnosed a heartbeat-dead fixpoint and shot
+    // the process — a hang with forensics, not a timeout.
+    R.Outcome = BatchOutcome::Stalled;
+    R.Error = "fixpoint stalled (watchdog)";
+    appendCrashNote(R);
     return;
   }
   if (CR.ExitCode == 0) {
@@ -215,6 +257,7 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
   R.Error = CR.TermSignal
                 ? "child killed by signal " + std::to_string(CR.TermSignal)
                 : "child exited with status " + std::to_string(CR.ExitCode);
+  appendCrashNote(R);
 }
 
 /// The retry tier: a tightened budget that forces early (sound)
@@ -251,7 +294,7 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
   };
   auto Retryable = [](BatchOutcome O) {
     return O == BatchOutcome::Timeout || O == BatchOutcome::Oom ||
-           O == BatchOutcome::Crash;
+           O == BatchOutcome::Crash || O == BatchOutcome::Stalled;
   };
 
   Timer Clock;
@@ -262,9 +305,11 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
   ThreadPool::global().parallelFor(Items.size(), Jobs, [&](size_t I) {
     BatchItemResult &R = Result.Items[I];
     R.Name = Items[I].Name;
+    SPA_OBS_JOURNAL(BatchItemBegin, I, 0);
     Timer ItemClock;
     RunOnce(Items[I], AOpts, R);
     R.Seconds = ItemClock.seconds();
+    SPA_OBS_JOURNAL(BatchItemEnd, I, static_cast<uint64_t>(R.Outcome));
   });
 
   // Second pass: retry the retryable failures at the tightened tier.
@@ -333,6 +378,8 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
                     Result.countOutcome(BatchOutcome::Oom));
   SPA_OBS_GAUGE_SET("batch.failures.crash",
                     Result.countOutcome(BatchOutcome::Crash));
+  SPA_OBS_GAUGE_SET("batch.failures.stalled",
+                    Result.countOutcome(BatchOutcome::Stalled));
   SPA_OBS_GAUGE_SET("batch.failures.build_error",
                     Result.countOutcome(BatchOutcome::BuildError));
   obs::MetricsSink::appendBenchRecord("batch",

@@ -39,6 +39,8 @@ enum class BatchOutcome {
   Timeout,    ///< Analyzer time limit, or the isolation kill limit.
   Oom,        ///< Isolated child exceeded its hard memory cap.
   Crash,      ///< Isolated child died on a signal or unexpected exit.
+  Stalled,    ///< Watchdog: fixpoint heartbeats stopped (a hang with a
+              ///< diagnosis, unlike Timeout's bare kill at the limit).
 };
 
 const char *batchOutcomeName(BatchOutcome O);
@@ -72,6 +74,13 @@ struct BatchItemResult {
   uint64_t LedgerWidenings = 0;
   uint64_t LedgerGrowth = 0;
   uint64_t LedgerTimeMicros = 0;
+  /// Human rendering of the postmortem summary a dying isolated child
+  /// shipped over the result pipe ("stall in partition 3, worklist depth
+  /// 17, ..."); empty when the child died silently or completed.
+  std::string CrashNote;
+  /// A postmortem summary arrived for this item (CrashNote is set, and
+  /// with a postmortem directory configured a .pm.json file exists).
+  bool HasPostmortem = false;
 };
 
 struct BatchOptions {
@@ -91,7 +100,16 @@ struct BatchOptions {
   /// Budget.MemLimitKiB this is enforced by the kernel: blowing it is an
   /// Oom outcome, not a graceful degradation.
   uint64_t HardMemLimitKiB = 0;
-  /// Retry a Timeout/Oom/Crash item once with a tightened budget
+  /// Stall watchdog interval for isolated children, in milliseconds
+  /// (0 = no watchdog).  A child whose fixpoint stops heartbeating for
+  /// two consecutive intervals is killed with a stall postmortem and
+  /// classified Stalled instead of waiting for the kill limit.
+  uint32_t WatchdogMs = 0;
+  /// Directory for per-item crash/stall/OOM postmortem files
+  /// (`<dir>/<item-name>.pm.json`, schema spa-postmortem-v1).  Empty =
+  /// no files; pipe summaries still flow back to the parent.
+  std::string PostmortemDir;
+  /// Retry a Timeout/Oom/Crash/Stalled item once with a tightened budget
   /// (halved deadline and step limit; a step limit is imposed if there
   /// was none) and adopt the retry result when it is usable.  Retries
   /// run as a dedicated second pass over the pool, ordered by the

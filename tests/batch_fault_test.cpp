@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Postmortem.h"
 #include "support/Fault.h"
 #include "workload/Batch.h"
 #include "workload/Generator.h"
@@ -21,6 +22,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 using namespace spa;
 
@@ -209,6 +215,98 @@ TEST_F(BatchFaultInjection, PartialPipePayloadIsClassifiedAsCrash) {
   runInjected("partial@reader:prog4", 3, BatchOutcome::Crash,
               "truncated result payload");
 }
+
+#if SPA_OBS_ENABLED
+
+TEST_F(BatchFaultInjection, CrashedChildShipsAPostmortem) {
+  std::string Dir =
+      ::testing::TempDir() + "spa-pm-crash-" + std::to_string(getpid());
+  mkdir(Dir.c_str(), 0755);
+
+  FaultEnv Env("crash@fix:prog3");
+  BatchOptions Opts = isolatedOptions();
+  Opts.PostmortemDir = Dir;
+  Opts.RetryAtLowerTier = false;
+  BatchResult R = runBatch(Items, Opts);
+  ASSERT_EQ(R.Items.size(), Items.size());
+
+  // The dying child shipped its diagnosis over the result pipe: the
+  // victim carries a crash note (abort = SIGABRT) folded into its error.
+  const BatchItemResult &V = R.Items[2];
+  EXPECT_EQ(V.Outcome, BatchOutcome::Crash) << V.Error;
+  EXPECT_TRUE(V.HasPostmortem);
+  EXPECT_NE(V.CrashNote.find("signal 6"), std::string::npos) << V.CrashNote;
+  EXPECT_NE(V.Error.find("postmortem:"), std::string::npos) << V.Error;
+
+  // And the postmortem file is a structurally complete document.
+  std::ifstream In(Dir + "/prog3.pm.json");
+  ASSERT_TRUE(In.good()) << "missing " << Dir << "/prog3.pm.json";
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Doc = SS.str();
+  EXPECT_NE(Doc.find("\"schema\": \"spa-postmortem-v1\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"reason\": \"signal\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"signal\": 6"), std::string::npos);
+  EXPECT_NE(Doc.find("\"threads\""), std::string::npos);
+  long Depth = 0;
+  bool InString = false;
+  for (size_t I = 0; I < Doc.size(); ++I) {
+    char C = Doc[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{' || C == '[')
+      ++Depth;
+    else if (C == '}' || C == ']')
+      --Depth;
+    ASSERT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0) << "unbalanced postmortem document";
+
+  // Surviving items: postmortem-free and identical to the clean run.
+  for (size_t I = 0; I < Items.size(); ++I) {
+    if (I == 2)
+      continue;
+    EXPECT_FALSE(R.Items[I].HasPostmortem) << I;
+    expectSameResults(R.Items[I], Clean.Items[I]);
+  }
+}
+
+TEST_F(BatchFaultInjection, StallIsCaughtByTheWatchdogNotTheKillLimit) {
+  // A fixpoint that stops heartbeating (the stall fault parks forever at
+  // the in-loop checkpoint) must be diagnosed as `stalled` by the
+  // watchdog within a few hundred ms — long before the kill limit, whose
+  // bare Timeout classification would mean the watchdog failed.
+  FaultEnv Env("stall@fixloop:prog1");
+  BatchOptions Opts = isolatedOptions();
+  Opts.WatchdogMs = 100;
+  Opts.KillLimitSec = 30;
+  Opts.RetryAtLowerTier = false;
+  BatchResult R = runBatch(Items, Opts);
+  ASSERT_EQ(R.Items.size(), Items.size());
+
+  const BatchItemResult &V = R.Items[0];
+  EXPECT_EQ(V.Outcome, BatchOutcome::Stalled) << V.Error;
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Error.find("stalled"), std::string::npos) << V.Error;
+  // The watchdog's pipe summary names the stall context.
+  EXPECT_TRUE(V.HasPostmortem);
+  EXPECT_NE(V.CrashNote.find("stall"), std::string::npos) << V.CrashNote;
+  EXPECT_EQ(R.countOutcome(BatchOutcome::Stalled), 1u);
+  EXPECT_EQ(R.countOutcome(BatchOutcome::Timeout), 0u);
+  EXPECT_EQ(exitCodeFor(R), 2);
+
+  for (size_t I = 1; I < Items.size(); ++I)
+    expectSameResults(R.Items[I], Clean.Items[I]);
+}
+
+#endif // SPA_OBS_ENABLED
 
 TEST_F(BatchFaultInjection, FaultsNeverEscapeWithoutIsolation) {
   // The same plan in a non-isolated batch must not fire at all: there is

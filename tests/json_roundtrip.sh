@@ -6,13 +6,20 @@
 # provenance surface must produce a non-empty slice for the known alarm
 # in examples/pointers.spa.
 #
-#   json_roundtrip.sh <spa-analyze> <examples-dir>
+#   json_roundtrip.sh <spa-analyze> <examples-dir> [spa-postmortem] \
+#                     [spa-metrics-diff]
+#
+# With the optional tool paths, the postmortem produced by fault
+# injection is additionally rendered by spa-postmortem and accepted by
+# spa-metrics-diff (stable sections only).
 #
 # Exit 77 = skip (instrumentation compiled out with SPA_OBS=OFF).
 set -u
 
 ANALYZE=$1
 EXAMPLES=$2
+POSTMORTEM=${3:-}
+METRICSDIFF=${4:-}
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
@@ -127,5 +134,68 @@ assert m.get("analysis.degraded", 0) == 0, "per-run gauge leaked into batch"
 assert m["batch.programs"] == 2
 assert m["fixpoint.visits"] > 0
 EOF
+
+# 6. --journal-out: the flight-recorder dump of a run that survived.
+"$ANALYZE" --journal-out="$WORK/j.json" "$EXAMPLES/loop.spa" \
+  > /dev/null || exit 1
+strict_json "$WORK/j.json" || { echo "FAIL: journal malformed"; exit 1; }
+python3 - "$WORK/j.json" <<'EOF' || exit 1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "spa-journal-v1", doc.get("schema")
+assert doc["threads"], "no journaled threads in an instrumented run"
+kinds = {e["kind"] for t in doc["threads"] for e in t["events"]}
+assert "phase.begin" in kinds, kinds
+assert "partition.end" in kinds, kinds
+EOF
+
+# 7. Crash postmortem via fault injection: an isolated batch child that
+# aborts mid-fixpoint must leave a strict-parseable spa-postmortem-v1
+# file behind, the batch must still classify and exit 2, and the
+# pretty-printer / differ must both consume the artifact.
+mkdir -p "$WORK/pm"
+SPA_FAULT='crash@fix:loop' "$ANALYZE" --batch="$WORK/batch.txt" --isolate \
+  --postmortem-dir="$WORK/pm" > "$WORK/pm-stdout.txt" 2>&1
+rc=$?
+if [ $rc -ne 2 ]; then
+  echo "FAIL: batch with a crashed item exited $rc, want 2"
+  cat "$WORK/pm-stdout.txt"
+  exit 1
+fi
+PM=$(ls "$WORK"/pm/*.pm.json 2>/dev/null | head -n1)
+[ -n "$PM" ] || { echo "FAIL: no postmortem file written"; exit 1; }
+strict_json "$PM" || { echo "FAIL: postmortem malformed"; exit 1; }
+python3 - "$PM" <<'EOF' || exit 1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "spa-postmortem-v1", doc.get("schema")
+assert doc["reason"] == "signal", doc.get("reason")
+assert doc["signal"] == 6, doc.get("signal")  # abort = SIGABRT
+assert doc["threads"], "postmortem carries no journal tails"
+assert any(e["kind"] == "fault.arm"
+           for t in doc["threads"] for e in t["events"]), \
+    "armed fault missing from the journal tail"
+EOF
+
+if [ -n "$POSTMORTEM" ]; then
+  "$POSTMORTEM" --counters "$PM" > "$WORK/pm-render.txt" || {
+    echo "FAIL: spa-postmortem could not render $PM"; exit 1; }
+  grep -q "died: signal 6" "$WORK/pm-render.txt" || {
+    echo "FAIL: spa-postmortem render is missing the verdict line"; exit 1; }
+  grep -q "timeline" "$WORK/pm-render.txt" || {
+    echo "FAIL: spa-postmortem render has no merged timeline"; exit 1; }
+  "$POSTMORTEM" "$WORK/j.json" > /dev/null || {
+    echo "FAIL: spa-postmortem could not render the journal dump"; exit 1; }
+fi
+
+if [ -n "$METRICSDIFF" ]; then
+  # Self-diff of a postmortem: the differ flattens only the stable
+  # sections (counters/gauges/ledger_rollup/heartbeat_total), so this
+  # must pass cleanly rather than tripping over the event rings.
+  "$METRICSDIFF" "$PM" "$PM" > "$WORK/pm-diff.txt" || {
+    echo "FAIL: spa-metrics-diff rejected postmortem input"; exit 1; }
+  grep -q "0 regressions" "$WORK/pm-diff.txt" || {
+    echo "FAIL: postmortem self-diff reported regressions"; exit 1; }
+fi
 
 echo "json roundtrip OK"

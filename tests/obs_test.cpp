@@ -14,17 +14,22 @@
 
 #include "TestUtil.h"
 
+#include "obs/Journal.h"
 #include "obs/Ledger.h"
 #include "obs/Metrics.h"
 #include "obs/MetricsSink.h"
+#include "obs/Postmortem.h"
 #include "obs/Provenance.h"
 #include "obs/Trace.h"
 #include "workload/Batch.h"
 #include "workload/Generator.h"
 
+#include <atomic>
 #include <cctype>
 #include <cstring>
 #include <map>
+#include <set>
+#include <thread>
 
 using namespace spa;
 using namespace spa::obs;
@@ -319,6 +324,152 @@ TEST_F(ObsTest, AnalyzeSpansBalanceWhenTracing) {
 #endif // SPA_OBS_ENABLED
 
 //===----------------------------------------------------------------------===//
+// Flight-recorder journal
+//===----------------------------------------------------------------------===//
+
+TEST_F(ObsTest, JournalPhaseIdsRoundTrip) {
+  EXPECT_STREQ(journalPhaseName(journalPhaseId("pre")), "pre");
+  EXPECT_STREQ(journalPhaseName(journalPhaseId("fix")), "fix");
+  EXPECT_STREQ(journalPhaseName(journalPhaseId("oct-close")), "oct-close");
+  // Unknown names and out-of-range ids both land in the "?" bucket.
+  EXPECT_EQ(journalPhaseId("no-such-phase"), 0u);
+  EXPECT_EQ(journalPhaseId(nullptr), 0u);
+  EXPECT_STREQ(journalPhaseName(0), "?");
+  EXPECT_STREQ(journalPhaseName(60000), "?");
+}
+
+TEST_F(ObsTest, PostmortemSummaryTextDescribesTheDeath) {
+  PostmortemSummary S;
+  S.Reason = static_cast<uint64_t>(PostmortemReason::Stall);
+  S.Partition = 3;
+  S.WorklistDepth = 17;
+  S.LastEventKind = static_cast<uint64_t>(JournalEventKind::WidenBurst);
+  S.LastEventA = 42;
+  S.LastEventB = 64;
+  S.HeartbeatTotal = 999;
+  std::string T = postmortemSummaryText(S);
+  EXPECT_NE(T.find("stall"), std::string::npos);
+  EXPECT_NE(T.find("partition 3"), std::string::npos);
+  EXPECT_NE(T.find("worklist depth 17"), std::string::npos);
+  EXPECT_NE(T.find("widen.burst(42,64)"), std::string::npos);
+  EXPECT_NE(T.find("heartbeats 999"), std::string::npos);
+
+  PostmortemSummary Sig;
+  Sig.Reason = static_cast<uint64_t>(PostmortemReason::Signal);
+  Sig.Detail = 11;
+  EXPECT_NE(postmortemSummaryText(Sig).find("signal 11"), std::string::npos);
+}
+
+#if SPA_OBS_ENABLED
+
+namespace {
+
+/// Finds the slot whose newest published record is (Kind, A, B) — how
+/// the tests locate "their" thread's journal without reaching into the
+/// thread-local lease.
+const JournalSlot *slotWithNewest(JournalEventKind Kind, uint64_t A,
+                                  uint64_t B) {
+  JournalSlot *Slots = journalSlots();
+  for (uint32_t I = 0; I < journalNumSlots(); ++I) {
+    const JournalSlot &S = Slots[I];
+    uint64_t H = S.Head.load(std::memory_order_acquire);
+    if (H == 0)
+      continue;
+    const JournalRecord &R = S.Ring[(H - 1) & (JournalRingCap - 1)];
+    if (R.Kind == static_cast<uint16_t>(Kind) && R.A == A && R.B == B)
+      return &S;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+TEST_F(ObsTest, JournalRingKeepsNewestAfterWraparound) {
+  const uint64_t N = JournalRingCap + 50;
+  for (uint64_t I = 0; I < N; ++I)
+    journalRecord(JournalEventKind::WidenBurst, I, 0xABCD);
+  const JournalSlot *S =
+      slotWithNewest(JournalEventKind::WidenBurst, N - 1, 0xABCD);
+  ASSERT_NE(S, nullptr);
+  uint64_t Head = S->Head.load(std::memory_order_acquire);
+  ASSERT_GE(Head, N);
+  // Overwriting wrapped: the ring holds exactly the newest JournalRingCap
+  // records, in program order, with strictly increasing sequence numbers.
+  uint64_t PrevSeq = 0;
+  for (uint64_t K = 0; K < JournalRingCap; ++K) {
+    const JournalRecord &R =
+        S->Ring[(Head - JournalRingCap + K) & (JournalRingCap - 1)];
+    ASSERT_EQ(R.Kind, static_cast<uint16_t>(JournalEventKind::WidenBurst));
+    EXPECT_EQ(R.A, N - JournalRingCap + K);
+    EXPECT_EQ(R.B, 0xABCDu);
+    EXPECT_GT(R.Seq, PrevSeq);
+    PrevSeq = R.Seq;
+  }
+}
+
+TEST_F(ObsTest, JournalSlotsIsolatePerThread) {
+  constexpr int NumThreads = 4;
+  constexpr uint64_t PerThread = JournalRingCap + 10;
+  // Every worker claims its slot (first journal call) and reports ready
+  // before any worker records: slots stay held for the whole test, so a
+  // fast finisher cannot release its slot for a slow starter to reuse
+  // and overwrite.
+  std::atomic<int> Ready{0};
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < NumThreads; ++T)
+    Pool.emplace_back([&, T] {
+      journalHeartbeat(); // Claims the slot.
+      Ready.fetch_add(1);
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      for (uint64_t I = 0; I < PerThread; ++I) {
+        journalHeartbeat();
+        journalRecord(JournalEventKind::PartitionBegin, 1000 + T, I);
+      }
+    });
+  while (Ready.load(std::memory_order_acquire) < NumThreads)
+    std::this_thread::yield();
+  Go.store(true, std::memory_order_release);
+  for (std::thread &Th : Pool)
+    Th.join();
+
+  // Each thread's tail lives whole in its own slot: no cross-thread
+  // mixing, per-thread program order intact, global seqs unique.
+  std::set<uint64_t> SeenSeqs;
+  for (int T = 0; T < NumThreads; ++T) {
+    const JournalSlot *S = slotWithNewest(JournalEventKind::PartitionBegin,
+                                          1000 + T, PerThread - 1);
+    ASSERT_NE(S, nullptr) << "thread " << T;
+    uint64_t Head = S->Head.load(std::memory_order_acquire);
+    for (uint64_t K = 0; K < JournalRingCap; ++K) {
+      const JournalRecord &R =
+          S->Ring[(Head - JournalRingCap + K) & (JournalRingCap - 1)];
+      ASSERT_EQ(R.A, static_cast<uint64_t>(1000 + T));
+      ASSERT_EQ(R.B, PerThread - JournalRingCap + K);
+      EXPECT_TRUE(SeenSeqs.insert(R.Seq).second) << "duplicate seq " << R.Seq;
+    }
+  }
+}
+
+TEST_F(ObsTest, JournalHeartbeatTotalIsMonotonic) {
+  uint64_t Before = journalHeartbeatTotal();
+  journalHeartbeat();
+  journalHeartbeat();
+  EXPECT_GE(journalHeartbeatTotal(), Before + 2);
+}
+
+TEST_F(ObsTest, JournalToJsonCarriesSchemaAndNewestEvents) {
+  journalRecord(JournalEventKind::BatchItemEnd, 7, 3);
+  std::string Json = journalToJson();
+  EXPECT_NE(Json.find("\"schema\": \"spa-journal-v1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"kind\": \"batch.item.end\""), std::string::npos);
+  EXPECT_NE(Json.find("\"a\": 7, \"b\": 3"), std::string::npos);
+}
+
+#endif // SPA_OBS_ENABLED
+
+//===----------------------------------------------------------------------===//
 // Cost ledger
 //===----------------------------------------------------------------------===//
 
@@ -354,6 +505,47 @@ TEST_F(ObsTest, LedgerAggregatesByFunctionAndPartition) {
   EXPECT_EQ(ByComp[0].Nodes, 2u);
   EXPECT_EQ(ByComp[1].Id, 2u);
   EXPECT_EQ(ByComp[1].Cost.Widenings, 2u);
+}
+
+TEST_F(ObsTest, LedgerCoFunctionSplitConservesCounts) {
+  Ledger L;
+  L.resize(3);
+  L.row(0).Visits = 5; // Split between f (primary) and g: odd count.
+  L.row(0).Growth = 9;
+  L.row(0).Widenings = 1;
+  L.row(1).Visits = 4; // f, co == func: unsplit.
+  L.row(2).Joins = 2;  // g, no co entry for it either.
+  L.attribute({0, 0, 1}, {}, {"f", "g"}, /*CoFuncOfNode=*/{1, 0, 1});
+
+  std::vector<LedgerGroup> ByFunc = L.byFunction();
+  ASSERT_EQ(ByFunc.size(), 2u);
+  // Primary keeps the integer remainder (5 -> 3+2, 9 -> 5+4, 1 -> 1+0);
+  // the split node is a member of both groups.
+  EXPECT_EQ(ByFunc[0].Label, "f");
+  EXPECT_EQ(ByFunc[0].Nodes, 2u);
+  EXPECT_EQ(ByFunc[0].Cost.Visits, 3u + 4u);
+  EXPECT_EQ(ByFunc[0].Cost.Growth, 5u);
+  EXPECT_EQ(ByFunc[0].Cost.Widenings, 1u);
+  EXPECT_EQ(ByFunc[1].Label, "g");
+  EXPECT_EQ(ByFunc[1].Nodes, 2u);
+  EXPECT_EQ(ByFunc[1].Cost.Visits, 2u);
+  EXPECT_EQ(ByFunc[1].Cost.Growth, 4u);
+  EXPECT_EQ(ByFunc[1].Cost.Widenings, 0u);
+  EXPECT_EQ(ByFunc[1].Cost.Joins, 2u);
+
+  // Conservation: per-function sums equal the row totals field by field,
+  // split or not.
+  PointCost Sum;
+  for (const LedgerGroup &G : ByFunc)
+    Sum.addFrom(G.Cost);
+  PointCost T = L.totals();
+  EXPECT_EQ(Sum.Visits, T.Visits);
+  EXPECT_EQ(Sum.Widenings, T.Widenings);
+  EXPECT_EQ(Sum.Narrowings, T.Narrowings);
+  EXPECT_EQ(Sum.Joins, T.Joins);
+  EXPECT_EQ(Sum.NoChangeSkips, T.NoChangeSkips);
+  EXPECT_EQ(Sum.Deliveries, T.Deliveries);
+  EXPECT_EQ(Sum.Growth, T.Growth);
 }
 
 TEST_F(ObsTest, LedgerHotspotsRankByScoreDeterministically) {

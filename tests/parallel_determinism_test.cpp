@@ -205,7 +205,11 @@ TEST(ParallelDeterminismTest, PhaseGaugesSatisfyTotalInvariant) {
                    M["phase.pre.seconds"] + M["phase.defuse.seconds"] +
                        M["phase.depbuild.seconds"] +
                        M["phase.fix.seconds"]);
+#if SPA_OBS_ENABLED
+  // Gauges exist only in instrumented builds; the AnalysisRun timing
+  // invariant above still holds with -DSPA_OBS=OFF.
   EXPECT_EQ(M["par.jobs"], 4);
+#endif
 }
 
 TEST(ParallelDeterminismTest, BatchResultsIndependentOfJobs) {

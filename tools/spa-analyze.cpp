@@ -37,6 +37,14 @@
 ///   --trace-out=FILE               write Chrome trace-event JSON spans
 ///   --ledger-out=FILE              write the per-point cost ledger as JSON
 ///                                  (batch mode: per-item rollup)
+///   --journal-out=FILE             write the flight-recorder journal as
+///                                  JSON (spa-journal-v1)
+///   --postmortem-dir=DIR           crash/stall/OOM forensics: write
+///                                  spa-postmortem-v1 files here (batch
+///                                  mode: one per dying child)
+///   --watchdog=MS                  stall watchdog interval; a fixpoint
+///                                  with no heartbeat for two intervals
+///                                  dies with a stall postmortem
 ///   --explain-alarm=N              alarm provenance: print the backward
 ///                                  dependency slice of alarm #N (implies
 ///                                  --check; ids number the non-safe
@@ -54,7 +62,9 @@
 #include "core/Export.h"
 #include "interp/Interp.h"
 #include "ir/Builder.h"
+#include "obs/Journal.h"
 #include "obs/MetricsSink.h"
+#include "obs/Postmortem.h"
 #include "obs/Trace.h"
 #include "oct/OctAnalysis.h"
 #include "workload/Batch.h"
@@ -87,6 +97,9 @@ struct CliOptions {
   std::string MetricsOut;
   std::string TraceOut;
   std::string LedgerOut;
+  std::string JournalOut;
+  std::string PostmortemDir;
+  uint32_t WatchdogMs = 0;
   long ExplainAlarm = -1; ///< Alarm id to explain; <0 = off.
   double TimeLimitSec = 0;
   BudgetLimits Budget;
@@ -110,6 +123,7 @@ void usage() {
                "  --jobs=N --batch=FILE --batch-suite[=scale]\n"
                "  --metrics-out=FILE --trace-out=FILE --ledger-out=FILE"
                "   (\"-\" = stdout)\n"
+               "  --journal-out=FILE --postmortem-dir=DIR --watchdog=MS\n"
                "  --explain-alarm=N   (implies --check)\n");
 }
 
@@ -200,6 +214,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.TraceOut = V;
     } else if (const char *V = Value("--ledger-out=")) {
       Opts.LedgerOut = V;
+    } else if (const char *V = Value("--journal-out=")) {
+      Opts.JournalOut = V;
+    } else if (const char *V = Value("--postmortem-dir=")) {
+      Opts.PostmortemDir = V;
+    } else if (const char *V = Value("--watchdog=")) {
+      Opts.WatchdogMs = static_cast<uint32_t>(std::strtoul(V, nullptr, 10));
     } else if (const char *V = Value("--explain-alarm=")) {
       Opts.ExplainAlarm = std::strtol(V, nullptr, 10);
       Opts.Check = true; // The walk needs the checker's no-bypass run.
@@ -268,8 +288,37 @@ int emitObservability(const CliOptions &Cli,
     std::fprintf(stderr, "error: cannot write %s\n", Cli.LedgerOut.c_str());
     Rc = 1;
   }
+  if (!Cli.JournalOut.empty() &&
+      !obs::MetricsSink::writeFile(Cli.JournalOut, obs::journalToJson())) {
+    std::fprintf(stderr, "error: cannot write %s\n", Cli.JournalOut.c_str());
+    Rc = 1;
+  }
   return Rc;
 }
+
+/// RAII for the single-run forensics the CLI flags install in *this*
+/// process (batch children install their own around each item).
+struct ForensicsScope {
+  bool Active = false;
+
+  void install(const CliOptions &Cli) {
+    if (Cli.PostmortemDir.empty() && Cli.WatchdogMs == 0)
+      return;
+    obs::PostmortemOptions PO;
+    PO.Dir = Cli.PostmortemDir.empty() ? nullptr : Cli.PostmortemDir.c_str();
+    PO.RunId = Cli.Path.empty() ? "run" : Cli.Path.c_str();
+    if (!obs::postmortemInstall(PO))
+      std::fprintf(stderr, "warning: cannot create postmortem file in %s\n",
+                   Cli.PostmortemDir.c_str());
+    obs::watchdogStart(Cli.WatchdogMs);
+    Active = true;
+  }
+
+  ~ForensicsScope() {
+    if (Active)
+      obs::postmortemUninstall(); // Also stops the watchdog.
+  }
+};
 
 /// Provenance walk budget: the run's own token is spent by now, so the
 /// walk gets a fresh one with the CLI limits (null = unbudgeted walk).
@@ -421,6 +470,8 @@ int runBatchMode(const CliOptions &Cli) {
   Opts.Analyzer.Jobs = Cli.Jobs;
   Opts.Check = Cli.Check;
   Opts.Isolate = Cli.Isolate;
+  Opts.WatchdogMs = Cli.WatchdogMs;
+  Opts.PostmortemDir = Cli.PostmortemDir;
 
   BatchResult R = runBatch(Items, Opts);
   for (const BatchItemResult &I : R.Items) {
@@ -499,7 +550,10 @@ int main(int Argc, char **Argv) {
     obs::Tracer::global().enable();
 
   if (!Cli.BatchFile.empty() || Cli.BatchSuite)
-    return runBatchMode(Cli);
+    return runBatchMode(Cli); // Forensics install per isolated child.
+
+  ForensicsScope Forensics;
+  Forensics.install(Cli);
 
   BuildResult Built = buildProgramFromSource(readInput(Cli.Path));
   if (!Built.ok()) {

@@ -23,6 +23,9 @@
 /// are costs (visits, growth, seconds, bytes), so only increases count.
 /// Nested objects flatten to dotted keys; array elements key by their
 /// "name"/"func"/"comp"/"node" field when present, else by index.
+/// Postmortem documents (schema spa-postmortem-v1) are recognized and
+/// flatten only their stable sections (counters, gauges, ledger_rollup,
+/// heartbeat_total), never the per-thread event rings.
 ///
 /// Exit codes: 0 = no regression, 1 = usage or I/O error, 2 = at least
 /// one key regressed.  Wired as the metrics_regression tier-2 ctest
@@ -327,7 +330,11 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
-/// One metrics JSON document -> flat key map.
+/// One metrics JSON document -> flat key map.  A postmortem document
+/// (schema spa-postmortem-v1) flattens only its stable sections —
+/// counters, gauges, heartbeat_total, and the ledger rollup — because
+/// the per-thread event rings are recency buffers whose contents vary
+/// run to run and would make every diff a regression.
 bool loadJson(const std::string &Path, KeyMap &Out) {
   std::string Text;
   if (!readFile(Path, Text)) {
@@ -338,6 +345,19 @@ bool loadJson(const std::string &Path, KeyMap &Out) {
   if (!JsonParser(Text).parse(Root)) {
     std::fprintf(stderr, "error: %s is not valid JSON\n", Path.c_str());
     return false;
+  }
+  const JsonValue *Schema = Root.field("schema");
+  if (Schema && Schema->K == JsonValue::Kind::String &&
+      Schema->Str == "spa-postmortem-v1") {
+    if (const JsonValue *C = Root.field("counters"))
+      flatten(*C, "counters", Out);
+    if (const JsonValue *G = Root.field("gauges"))
+      flatten(*G, "gauges", Out);
+    if (const JsonValue *R = Root.field("ledger_rollup"))
+      flatten(*R, "ledger_rollup", Out);
+    if (const JsonValue *H = Root.field("heartbeat_total"))
+      flatten(*H, "heartbeat_total", Out);
+    return true;
   }
   flatten(Root, "", Out);
   return true;

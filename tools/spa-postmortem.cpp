@@ -1,0 +1,531 @@
+//===- spa-postmortem.cpp - Postmortem/journal pretty-printer -----------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a crash/stall/OOM postmortem (`spa-postmortem-v1`, written by
+/// the async-signal-safe writer in src/obs/Postmortem.cpp) — or a
+/// surviving run's journal dump (`spa-journal-v1`, --journal-out) — as a
+/// human report:
+///
+///   spa-postmortem [options] <file.pm.json | journal.json>
+///
+///   --tail=N     events shown from the merged timeline (default 25;
+///                0 = all)
+///   --counters   also print the counter/gauge snapshot sections
+///   --no-threads suppress the per-thread summary table
+///
+/// The report leads with the verdict (reason, run identity, elapsed,
+/// heartbeats), then the last-event / ledger-rollup context, a one-line
+/// summary per journaled thread, and finally a single timeline merging
+/// every thread's ring by global sequence number — the "why did this run
+/// die" view of docs/OBSERVABILITY.md.
+///
+/// Exit codes: 0 = rendered, 1 = usage/I-O/parse error or unknown
+/// schema.  Standalone on purpose: parses JSON itself and links no spa
+/// library, so it can read artifacts from any build (including
+/// -DSPA_OBS=OFF stub journals).
+///
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON reader (numbers, strings, bools, null, arrays, objects)
+//===----------------------------------------------------------------------===//
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } K =
+      Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Fields;
+
+  const JsonValue *field(const char *Name) const {
+    for (const auto &[N, V] : Fields)
+      if (N == Name)
+        return &V;
+    return nullptr;
+  }
+  double num(const char *Name, double Default = 0) const {
+    const JsonValue *F = field(Name);
+    return F && F->K == Kind::Number ? F->Num : Default;
+  }
+  std::string str(const char *Name, const char *Default = "") const {
+    const JsonValue *F = field(Name);
+    return F && F->K == Kind::String ? F->Str : Default;
+  }
+};
+
+class JsonParser {
+public:
+  JsonParser(const std::string &Text) : S(Text) {}
+
+  bool parse(JsonValue &Out) {
+    skipWs();
+    if (!value(Out))
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool lit(const char *L, JsonValue &Out, JsonValue::Kind K, bool B) {
+    size_t N = std::strlen(L);
+    if (S.compare(Pos, N, L) != 0)
+      return false;
+    Pos += N;
+    Out.K = K;
+    Out.B = B;
+    return true;
+  }
+
+  bool value(JsonValue &Out) {
+    if (Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{':
+      return object(Out);
+    case '[':
+      return array(Out);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return string(Out.Str);
+    case 't':
+      return lit("true", Out, JsonValue::Kind::Bool, true);
+    case 'f':
+      return lit("false", Out, JsonValue::Kind::Bool, false);
+    case 'n':
+      return lit("null", Out, JsonValue::Kind::Null, false);
+    default:
+      return number(Out);
+    }
+  }
+
+  bool string(std::string &Out) {
+    if (S[Pos] != '"')
+      return false;
+    ++Pos;
+    Out.clear();
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        return false;
+      char E = S[Pos++];
+      switch (E) {
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u':
+        if (Pos + 4 > S.size())
+          return false;
+        Pos += 4;
+        Out += '?';
+        break;
+      default:
+        Out += E; // \" \\ \/ and anything escaped literally.
+      }
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  bool number(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    bool Digits = false;
+    auto Run = [&] {
+      while (Pos < S.size() &&
+             std::isdigit(static_cast<unsigned char>(S[Pos]))) {
+        ++Pos;
+        Digits = true;
+      }
+    };
+    Run();
+    if (Pos < S.size() && S[Pos] == '.') {
+      ++Pos;
+      Run();
+    }
+    if (Pos < S.size() && (S[Pos] == 'e' || S[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+        ++Pos;
+      Run();
+    }
+    if (!Digits)
+      return false;
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = std::strtod(S.c_str() + Start, nullptr);
+    return true;
+  }
+
+  bool array(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      JsonValue V;
+      if (!value(V))
+        return false;
+      Out.Items.push_back(std::move(V));
+      skipWs();
+      if (Pos >= S.size())
+        return false;
+      if (S[Pos] == ',') {
+        ++Pos;
+        skipWs();
+        continue;
+      }
+      if (S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool object(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      std::string Key;
+      if (Pos >= S.size() || S[Pos] != '"' || !string(Key))
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      JsonValue V;
+      if (!value(V))
+        return false;
+      Out.Fields.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos >= S.size())
+        return false;
+      if (S[Pos] == ',') {
+        ++Pos;
+        skipWs();
+        continue;
+      }
+      if (S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Report rendering
+//===----------------------------------------------------------------------===//
+
+/// One event of the merged timeline, tagged with its thread slot.
+struct TimelineEvent {
+  uint64_t Seq = 0;
+  uint64_t TimeMicros = 0;
+  uint64_t Slot = 0;
+  std::string Kind;
+  uint64_t A = 0, B = 0;
+};
+
+std::string fmtSeconds(double Micros) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3fs", Micros / 1e6);
+  return Buf;
+}
+
+/// Mirrors the phase-id wire table of src/obs/Journal.cpp so
+/// phase.begin/phase.end payloads read as names, not integers.  An id
+/// past the table (a newer producer) falls back to the number.
+std::string phaseName(uint64_t Id) {
+  static const char *Names[] = {"?",        "build", "pre",   "defuse",
+                                "depbuild", "fix",   "check", "batch",
+                                "reader",   "oct-pack", "oct-close"};
+  if (Id < sizeof(Names) / sizeof(Names[0]))
+    return Names[Id];
+  return "phase#" + std::to_string(Id);
+}
+
+/// Engine-id taxonomy of degrade.tier payload A (docs/OBSERVABILITY.md).
+std::string engineName(uint64_t Id) {
+  static const char *Names[] = {"pre", "dense", "sparse", "oct-dense",
+                                "oct-sparse"};
+  if (Id < sizeof(Names) / sizeof(Names[0]))
+    return Names[Id];
+  return "engine#" + std::to_string(Id);
+}
+
+/// Event-specific payload rendering; unknown kinds print raw (a, b).
+std::string describeEvent(const std::string &Kind, uint64_t A, uint64_t B) {
+  auto N = [](uint64_t V) { return std::to_string(V); };
+  if (Kind == "phase.begin" || Kind == "phase.end")
+    return phaseName(A);
+  if (Kind == "partition.begin")
+    return "partition " + N(A) + ", " + N(B) + " nodes";
+  if (Kind == "partition.end")
+    return "partition " + N(A) + ", " + N(B) + " visits";
+  if (Kind == "budget.charge")
+    return N(A) + " steps used";
+  if (Kind == "budget.trip")
+    return "reason " + N(A) + " at " + N(B) + " steps";
+  if (Kind == "degrade.tier")
+    return engineName(A) + ", " + N(B) + " nodes degraded";
+  if (Kind == "widen.burst")
+    return "node " + N(A) + ", " + N(B) + " widenings";
+  if (Kind == "fault.arm")
+    return "kind " + N(A);
+  if (Kind == "batch.item.begin")
+    return "item " + N(A);
+  if (Kind == "batch.item.end")
+    return "item " + N(A) + ", outcome " + N(B);
+  if (Kind == "heartbeat.stall")
+    return "slot " + N(A) + " at heartbeat " + N(B);
+  if (Kind == "oom.trip")
+    return "allocation failed";
+  return "(" + N(A) + ", " + N(B) + ")";
+}
+
+struct PrintOptions {
+  size_t Tail = 25; ///< 0 = unlimited.
+  bool Counters = false;
+  bool Threads = true;
+};
+
+void printScalarSection(const JsonValue &Obj, const char *Indent) {
+  for (const auto &[N, V] : Obj.Fields) {
+    if (V.K == JsonValue::Kind::Number)
+      std::printf("%s%-32s %.6g\n", Indent, N.c_str(), V.Num);
+    else if (V.K == JsonValue::Kind::String)
+      std::printf("%s%-32s %s\n", Indent, N.c_str(), V.Str.c_str());
+  }
+}
+
+void printReport(const JsonValue &Root, const std::string &Schema,
+                 const PrintOptions &Opts) {
+  bool IsPostmortem = Schema == "spa-postmortem-v1";
+
+  // ---- Verdict line ----
+  if (IsPostmortem) {
+    std::string Reason = Root.str("reason", "unknown");
+    std::string Verdict = "died: " + Reason;
+    if (const JsonValue *Sig = Root.field("signal"))
+      Verdict += " " + std::to_string(static_cast<long long>(Sig->Num));
+    if (const JsonValue *Slot = Root.field("stalled_slot"))
+      Verdict += " (slot " +
+                 std::to_string(static_cast<long long>(Slot->Num)) + ")";
+    std::printf("== %s ==\n", Verdict.c_str());
+    std::printf("  run:        %s (pid %lld)\n", Root.str("run_id").c_str(),
+                static_cast<long long>(Root.num("pid")));
+    std::printf("  elapsed:    %s\n",
+                fmtSeconds(Root.num("elapsed_micros")).c_str());
+    std::printf("  heartbeats: %lld\n",
+                static_cast<long long>(Root.num("heartbeat_total")));
+    if (const JsonValue *Last = Root.field("last_event")) {
+      uint64_t A = static_cast<uint64_t>(Last->num("a"));
+      uint64_t B = static_cast<uint64_t>(Last->num("b"));
+      std::string Kind = Last->str("kind");
+      std::printf("  last event: %s — %s\n", Kind.c_str(),
+                  describeEvent(Kind, A, B).c_str());
+    }
+    if (const JsonValue *Roll = Root.field("ledger_rollup"))
+      std::printf("  ledger:     visits %lld, widenings %lld, growth %lld, "
+                  "fix time %s\n",
+                  static_cast<long long>(Roll->num("visits")),
+                  static_cast<long long>(Roll->num("widenings")),
+                  static_cast<long long>(Roll->num("growth")),
+                  fmtSeconds(Roll->num("time_micros")).c_str());
+  } else {
+    std::printf("== journal (run survived) ==\n");
+  }
+
+  // ---- Counter/gauge snapshot (postmortems only; opt-in, can be long).
+  if (Opts.Counters) {
+    if (const JsonValue *C = Root.field("counters")) {
+      std::printf("\ncounters:\n");
+      printScalarSection(*C, "  ");
+    }
+    if (const JsonValue *G = Root.field("gauges")) {
+      std::printf("\ngauges:\n");
+      printScalarSection(*G, "  ");
+    }
+  }
+
+  // ---- Threads ----
+  const JsonValue *Threads = Root.field("threads");
+  if (!Threads || Threads->K != JsonValue::Kind::Array) {
+    std::printf("\n(no thread journals in this document)\n");
+    return;
+  }
+  if (Opts.Threads && !Threads->Items.empty()) {
+    std::printf("\nthreads:\n");
+    std::printf("  %-5s %-8s %-10s %-6s %-9s %s\n", "slot", "tid",
+                "heartbeat", "infix", "worklist", "partition");
+    for (const JsonValue &T : Threads->Items) {
+      std::printf("  %-5lld %-8lld %-10lld %-6lld %-9lld %lld\n",
+                  static_cast<long long>(T.num("slot")),
+                  static_cast<long long>(T.num("tid")),
+                  static_cast<long long>(T.num("heartbeat")),
+                  static_cast<long long>(T.num("in_fix")),
+                  static_cast<long long>(T.num("worklist_depth")),
+                  static_cast<long long>(T.num("partition")));
+    }
+  }
+
+  // ---- Merged timeline ----
+  std::vector<TimelineEvent> Timeline;
+  for (const JsonValue &T : Threads->Items) {
+    const JsonValue *Events = T.field("events");
+    if (!Events || Events->K != JsonValue::Kind::Array)
+      continue;
+    for (const JsonValue &E : Events->Items) {
+      TimelineEvent TE;
+      TE.Seq = static_cast<uint64_t>(E.num("seq"));
+      TE.TimeMicros = static_cast<uint64_t>(E.num("t_us"));
+      TE.Slot = static_cast<uint64_t>(T.num("slot"));
+      TE.Kind = E.str("kind", "?");
+      TE.A = static_cast<uint64_t>(E.num("a"));
+      TE.B = static_cast<uint64_t>(E.num("b"));
+      Timeline.push_back(std::move(TE));
+    }
+  }
+  std::sort(Timeline.begin(), Timeline.end(),
+            [](const TimelineEvent &L, const TimelineEvent &R) {
+              return L.Seq < R.Seq;
+            });
+  size_t First = 0;
+  if (Opts.Tail && Timeline.size() > Opts.Tail)
+    First = Timeline.size() - Opts.Tail;
+  std::printf("\ntimeline (%zu event%s%s, oldest first):\n", Timeline.size(),
+              Timeline.size() == 1 ? "" : "s",
+              First ? (", showing last " + std::to_string(Opts.Tail)).c_str()
+                    : "");
+  if (First)
+    std::printf("  ... %zu earlier events elided (--tail=0 for all)\n",
+                First);
+  for (size_t I = First; I < Timeline.size(); ++I) {
+    const TimelineEvent &E = Timeline[I];
+    std::printf("  [%8.3fs] s%-2lld %-18s %s\n",
+                static_cast<double>(E.TimeMicros) / 1e6,
+                static_cast<long long>(E.Slot), E.Kind.c_str(),
+                describeEvent(E.Kind, E.A, E.B).c_str());
+  }
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: spa-postmortem [options] <file.pm.json|journal.json>\n"
+               "  --tail=N      merged-timeline events shown (default 25; "
+               "0 = all)\n"
+               "  --counters    print the counter/gauge snapshot too\n"
+               "  --no-threads  suppress the per-thread summary table\n"
+               "exit: 0 rendered, 1 usage/io/parse error\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  PrintOptions Opts;
+  std::string Path;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.compare(0, 7, "--tail=") == 0) {
+      Opts.Tail = static_cast<size_t>(std::strtoul(A.c_str() + 7, nullptr, 10));
+    } else if (A == "--counters") {
+      Opts.Counters = true;
+    } else if (A == "--no-threads") {
+      Opts.Threads = false;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 1;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", A.c_str());
+      usage();
+      return 1;
+    } else if (Path.empty()) {
+      Path = A;
+    } else {
+      usage();
+      return 1;
+    }
+  }
+  if (Path.empty()) {
+    usage();
+    return 1;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+    return 1;
+  }
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  std::string Text = OS.str();
+
+  JsonValue Root;
+  if (!JsonParser(Text).parse(Root) || Root.K != JsonValue::Kind::Object) {
+    std::fprintf(stderr, "error: %s is not valid JSON\n", Path.c_str());
+    return 1;
+  }
+  std::string Schema = Root.str("schema");
+  if (Schema != "spa-postmortem-v1" && Schema != "spa-journal-v1") {
+    std::fprintf(stderr,
+                 "error: %s: unknown schema \"%s\" (expected "
+                 "spa-postmortem-v1 or spa-journal-v1)\n",
+                 Path.c_str(), Schema.c_str());
+    return 1;
+  }
+  printReport(Root, Schema, Opts);
+  return 0;
+}
