@@ -16,6 +16,7 @@
 #include "domains/AbsState.h"
 #include "domains/IdSet.h"
 #include "oct/Octagon.h"
+#include "oct/SplitOct.h"
 #include "support/Rng.h"
 
 #include <benchmark/benchmark.h>
@@ -114,22 +115,32 @@ void BM_AbsStateCopy(benchmark::State &State) {
 BENCHMARK(BM_AbsStateCopy)
     ->ArgsProduct({{64, 1024, 16384}, {0, 1}});
 
-void BM_OctagonClosure(benchmark::State &State) {
-  // Pack-sized octagons: constraint insertion triggers re-closure.
+/// Pack-sized octagons: constraint insertion triggers re-closure.  The
+/// dense backend re-runs the full O(n³) sweep per insertion; the split
+/// backend drains a worklist seeded with the one new edge, so the same
+/// workload contrasts full vs incremental closure.
+template <typename OctT> void octCloseBody(benchmark::State &State) {
   uint32_t N = static_cast<uint32_t>(State.range(0));
   Rng R(13);
   for (auto _ : State) {
-    Oct O = Oct::top(N);
+    OctT O = OctT::top(N);
     for (uint32_t I = 0; I + 1 < N; ++I)
       O = O.addDiffConstraint(I, I + 1, R.range(-3, 3));
     benchmark::DoNotOptimize(O.project(0));
   }
 }
-BENCHMARK(BM_OctagonClosure)->Arg(2)->Arg(5)->Arg(10);
 
-void BM_OctagonJoin(benchmark::State &State) {
+void BM_OctClose(benchmark::State &State) { octCloseBody<Oct>(State); }
+BENCHMARK(BM_OctClose)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_SplitOctClose(benchmark::State &State) {
+  octCloseBody<SplitOct>(State);
+}
+BENCHMARK(BM_SplitOctClose)->Arg(2)->Arg(5)->Arg(10);
+
+template <typename OctT> void octJoinBody(benchmark::State &State) {
   uint32_t N = 10;
-  Oct A = Oct::top(N), B = Oct::top(N);
+  OctT A = OctT::top(N), B = OctT::top(N);
   for (uint32_t I = 0; I + 1 < N; ++I) {
     A = A.addDiffConstraint(I, I + 1, 1);
     B = B.addDiffConstraint(I + 1, I, 2);
@@ -137,7 +148,12 @@ void BM_OctagonJoin(benchmark::State &State) {
   for (auto _ : State)
     benchmark::DoNotOptimize(A.join(B));
 }
-BENCHMARK(BM_OctagonJoin);
+
+void BM_OctJoin(benchmark::State &State) { octJoinBody<Oct>(State); }
+BENCHMARK(BM_OctJoin);
+
+void BM_SplitOctJoin(benchmark::State &State) { octJoinBody<SplitOct>(State); }
+BENCHMARK(BM_SplitOctJoin);
 
 void BM_SetDepStorageAdd(benchmark::State &State) {
   Rng R(99);

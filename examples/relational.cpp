@@ -91,7 +91,7 @@ int main() {
                   OctDense.denseIntervalAt(PointId(P), Gap).str().c_str());
       // The sparse octagon analyzer derives the same fact.
       PackId S = OctSparse.Packs.singleton(Gap);
-      const Oct *V = OctSparse.Sparse->Out[P].lookup(S);
+      const OctVal *V = OctSparse.Sparse->Out[P].lookup(S);
       std::printf("  sparse octagon agrees: gap in %s\n",
                   V ? V->project(0).str().c_str() : "(not defined here)");
     }

@@ -46,6 +46,8 @@ const char *spa::obs::journalEventName(JournalEventKind K) {
     return "heartbeat.stall";
   case JournalEventKind::OomTrip:
     return "oom.trip";
+  case JournalEventKind::OctCloseBurst:
+    return "oct.close.burst";
   }
   return "unknown";
 }

@@ -64,6 +64,7 @@ enum class JournalEventKind : uint16_t {
   BatchItemEnd,    ///< A = item index, B = BatchOutcome.
   HeartbeatStall,  ///< Written by the watchdog: A = slot, B = heartbeat.
   OomTrip,         ///< Allocation failure under a hard memory cap.
+  OctCloseBurst,   ///< A = node id, B = closure ticks (4096-crossing visit).
 };
 
 /// Human name of \p K ("phase.begin", "budget.trip", ...).

@@ -78,6 +78,7 @@ PointCost costShare(const PointCost &C, bool Primary) {
   S.Joins = Half(C.Joins);
   S.NoChangeSkips = Half(C.NoChangeSkips);
   S.Deliveries = Half(C.Deliveries);
+  S.Closures = Half(C.Closures);
   S.Growth = Half(C.Growth);
   S.TimeMicros = Half(C.TimeMicros);
   return S;
@@ -186,6 +187,7 @@ void appendCostFields(std::string &Out, const PointCost &C,
   Field("joins", C.Joins);
   Field("no_change_skips", C.NoChangeSkips);
   Field("deliveries", C.Deliveries);
+  Field("closures", C.Closures);
   Field("growth", static_cast<double>(C.Growth));
   Field("score", static_cast<double>(C.score()));
   Field("time_micros", static_cast<double>(C.TimeMicros), /*Last=*/true);

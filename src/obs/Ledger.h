@@ -53,13 +53,17 @@ struct PointCost {
   uint32_t Joins = 0;         ///< Plain lattice joins at this merge point.
   uint32_t NoChangeSkips = 0; ///< Arrivals absorbed by the no-change fast path.
   uint32_t Deliveries = 0;    ///< Sparse-edge values delivered into the node.
+  /// Octagon closures executed while visiting this node (full sweeps and
+  /// sparse incremental drains both count one; see oct_detail ticks).
+  /// Zero for the interval engines.
+  uint32_t Closures = 0;
   uint64_t Growth = 0;        ///< Abstract-value growth units (see engine docs).
   uint64_t TimeMicros = 0;    ///< Sampled wall time (NOT deterministic).
 
   bool allZero() const {
     return Visits == 0 && Widenings == 0 && Narrowings == 0 && Joins == 0 &&
-           NoChangeSkips == 0 && Deliveries == 0 && Growth == 0 &&
-           TimeMicros == 0;
+           NoChangeSkips == 0 && Deliveries == 0 && Closures == 0 &&
+           Growth == 0 && TimeMicros == 0;
   }
 
   void addFrom(const PointCost &O) {
@@ -69,6 +73,7 @@ struct PointCost {
     Joins += O.Joins;
     NoChangeSkips += O.NoChangeSkips;
     Deliveries += O.Deliveries;
+    Closures += O.Closures;
     Growth += O.Growth;
     TimeMicros += O.TimeMicros;
   }
@@ -76,7 +81,10 @@ struct PointCost {
   /// Deterministic hotspot score: pure function of the count fields
   /// (time is excluded so rankings agree across machines and --jobs).
   /// Widenings weigh heaviest — each one is a lattice extrapolation that
-  /// usually triggers a downstream re-propagation wave.
+  /// usually triggers a downstream re-propagation wave.  Closures are
+  /// deliberately NOT part of the score: they measure domain-internal
+  /// cost, and folding them in would reshuffle hotspot rankings between
+  /// octagon backends whose fixpoints are otherwise identical.
   uint64_t score() const {
     return static_cast<uint64_t>(Visits) + Joins + NoChangeSkips + Deliveries +
            Narrowings + 4 * static_cast<uint64_t>(Widenings) + Growth;

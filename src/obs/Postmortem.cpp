@@ -39,17 +39,27 @@ const char *spa::obs::postmortemReasonName(PostmortemReason R) {
 std::string spa::obs::postmortemSummaryText(const PostmortemSummary &S) {
   PostmortemReason R = static_cast<PostmortemReason>(S.Reason);
   std::string Out = postmortemReasonName(R);
-  if (R == PostmortemReason::Signal)
-    Out += " " + std::to_string(S.Detail);
-  if (R == PostmortemReason::Stall)
-    Out += " in partition " + std::to_string(S.Partition) +
-           ", worklist depth " + std::to_string(S.WorklistDepth);
-  Out += "; last event " +
-         std::string(journalEventName(
-             static_cast<JournalEventKind>(S.LastEventKind))) +
-         "(" + std::to_string(S.LastEventA) + "," +
-         std::to_string(S.LastEventB) + ")";
-  Out += "; heartbeats " + std::to_string(S.HeartbeatTotal);
+  // Built with append only: GCC 12's -O3 -Wrestrict misfires on the
+  // `"literal" + std::string(...)` chain form (GCC PR105651).
+  if (R == PostmortemReason::Signal) {
+    Out += ' ';
+    Out += std::to_string(S.Detail);
+  }
+  if (R == PostmortemReason::Stall) {
+    Out += " in partition ";
+    Out += std::to_string(S.Partition);
+    Out += ", worklist depth ";
+    Out += std::to_string(S.WorklistDepth);
+  }
+  Out += "; last event ";
+  Out += journalEventName(static_cast<JournalEventKind>(S.LastEventKind));
+  Out += '(';
+  Out += std::to_string(S.LastEventA);
+  Out += ',';
+  Out += std::to_string(S.LastEventB);
+  Out += ')';
+  Out += "; heartbeats ";
+  Out += std::to_string(S.HeartbeatTotal);
   return Out;
 }
 

@@ -171,8 +171,8 @@ private:
 //===----------------------------------------------------------------------===//
 
 /// Shared octagon transfer, templated over a state-like type providing
-/// `const Oct &get(PackId)` (⊤ of the right arity when unbound) and
-/// `void set(PackId, Oct)`.
+/// `const OctVal &get(PackId)` (⊤ of the right arity when unbound) and
+/// `void set(PackId, OctVal)`.
 template <typename StateT> class OctTransfer {
 public:
   OctTransfer(const Program &Prog, const PreAnalysisResult &Pre,
@@ -290,7 +290,7 @@ private:
     return Interval::top();
   }
 
-  void setPack(PackId P, Oct New, bool Weak) {
+  void setPack(PackId P, OctVal New, bool Weak) {
     if (Weak)
       New = S.get(P).join(New);
     S.set(P, std::move(New));
@@ -301,8 +301,8 @@ private:
     for (PackId P : Packs.packsOf(X)) {
       int IX = Packs.indexIn(P, X);
       int IY = Packs.indexIn(P, Y);
-      const Oct &Old = S.get(P);
-      Oct New = IY >= 0 ? Old.assignVarPlusConst(IX, IY, C)
+      const OctVal &Old = S.get(P);
+      OctVal New = IY >= 0 ? Old.assignVarPlusConst(IX, IY, C)
                         : Old.assignInterval(
                               IX, projectLoc(Y).add(Interval::constant(C)));
       setPack(P, std::move(New), Weak);
@@ -326,7 +326,7 @@ private:
       int IB = Packs.indexIn(P, B);
       if (IB < 0)
         continue;
-      const Oct &O = S.get(P);
+      const OctVal &O = S.get(P);
       Interval V = Sum ? O.projectSum(IA, IB) : O.projectDiff(IA, IB);
       Best = Best.meet(V);
     }
@@ -367,7 +367,7 @@ private:
   }
 
   /// Octagonal constraint for `x Op y` on pack \p P (indices IX, IY).
-  static Oct applyRelVarVar(const Oct &O, int IX, int IY, RelOp Op) {
+  static OctVal applyRelVarVar(const OctVal &O, int IX, int IY, RelOp Op) {
     switch (Op) {
     case RelOp::Lt:
       return O.addDiffConstraint(IX, IY, -1);
@@ -386,8 +386,8 @@ private:
   }
 
   /// Interval constraint for `x Op [lo, hi]` on variable IX of \p O.
-  static Oct applyRelVarItv(const Oct &O, int IX, RelOp Op,
-                            const Interval &R) {
+  static OctVal applyRelVarItv(const OctVal &O, int IX, RelOp Op,
+                               const Interval &R) {
     if (R.isBot())
       return O;
     switch (Op) {
@@ -402,7 +402,7 @@ private:
     case RelOp::Ge:
       return R.lo() == bound::NegInf ? O : O.addLowerBound(IX, R.lo());
     case RelOp::Eq: {
-      Oct Res = O;
+      OctVal Res = O;
       if (R.hi() != bound::PosInf)
         Res = Res.addUpperBound(IX, R.hi());
       if (R.lo() != bound::NegInf)
@@ -423,8 +423,8 @@ private:
       Interval OtherItv = evalInterval(Other);
       for (PackId P : Packs.packsOf(X)) {
         int IX = Packs.indexIn(P, X);
-        const Oct &Old = S.get(P);
-        Oct New = Old;
+        const OctVal &Old = S.get(P);
+        OctVal New = Old;
         if (Other.Kind == IExprKind::Var) {
           int IY = Packs.indexIn(P, Other.Loc);
           if (IY >= 0)
@@ -451,19 +451,23 @@ private:
 // State plumbing shared by the engines
 //===----------------------------------------------------------------------===//
 
-/// Cache of ⊤ octagons per pack arity (arities are small).
+/// Cache of ⊤ octagons per pack arity (arities are small), in the run's
+/// backend representation.
 class TopCache {
 public:
-  const Oct &top(uint32_t Arity) {
+  explicit TopCache(OctBackendKind Backend) : Backend(Backend) {}
+
+  const OctVal &top(uint32_t Arity) {
     if (Arity >= Tops.size())
       Tops.resize(Arity + 1);
     if (!Tops[Arity])
-      Tops[Arity] = std::make_unique<Oct>(Oct::top(Arity));
+      Tops[Arity] = std::make_unique<OctVal>(OctVal::top(Backend, Arity));
     return *Tops[Arity];
   }
 
 private:
-  std::vector<std::unique_ptr<Oct>> Tops;
+  OctBackendKind Backend;
+  std::vector<std::unique_ptr<OctVal>> Tops;
 };
 
 /// Dense view: reads fall back to ⊤ (non-strict transfers); writes go to
@@ -473,14 +477,14 @@ public:
   DenseOctView(OctState &S, const Packing &Packs, TopCache &Tops)
       : S(S), Packs(Packs), Tops(Tops) {}
 
-  const Oct &get(PackId P) const {
-    const Oct *V = S.lookup(P);
+  const OctVal &get(PackId P) const {
+    const OctVal *V = S.lookup(P);
     if (V)
       return *V;
     return Tops.top(static_cast<uint32_t>(Packs.vars(P).size()));
   }
 
-  void set(PackId P, Oct V) { S.set(P, std::move(V)); }
+  void set(PackId P, OctVal V) { S.set(P, std::move(V)); }
 
 private:
   OctState &S;
@@ -495,15 +499,15 @@ public:
   SparseOctView(const OctState &In, const Packing &Packs, TopCache &Tops)
       : In(In), Packs(Packs), Tops(Tops) {}
 
-  const Oct &get(PackId P) const {
-    if (const Oct *V = Overlay.lookup(P))
+  const OctVal &get(PackId P) const {
+    if (const OctVal *V = Overlay.lookup(P))
       return *V;
-    if (const Oct *V = In.lookup(P))
+    if (const OctVal *V = In.lookup(P))
       return *V;
     return Tops.top(static_cast<uint32_t>(Packs.vars(P).size()));
   }
 
-  void set(PackId P, Oct V) { Overlay.set(P, std::move(V)); }
+  void set(PackId P, OctVal V) { Overlay.set(P, std::move(V)); }
 
   /// Output over \p Defs: overlay where written, input passthrough
   /// otherwise.
@@ -511,9 +515,9 @@ public:
     OctState Out;
     for (LocId DL : Defs) {
       PackId P = locAsPack(DL);
-      if (const Oct *V = Overlay.lookup(P))
+      if (const OctVal *V = Overlay.lookup(P))
         Out.set(P, *V);
-      else if (const Oct *V = In.lookup(P))
+      else if (const OctVal *V = In.lookup(P))
         Out.set(P, *V);
     }
     return Out;
@@ -528,8 +532,8 @@ private:
 
 /// Pointwise join; returns true if \p A grew.
 bool octJoinInto(OctState &A, const OctState &B) {
-  return A.mergeWith(B, [](Oct &X, const Oct &Y) {
-    Oct J = X.join(Y);
+  return A.mergeWith(B, [](OctVal &X, const OctVal &Y) {
+    OctVal J = X.join(Y);
     if (J == X)
       return false;
     X = std::move(J);
@@ -564,7 +568,7 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
   R.Post.resize(N);
   if (Led)
     Led->resize(static_cast<uint32_t>(N));
-  TopCache Tops;
+  TopCache Tops(Opts.Backend);
 
   const CallGraphInfo &CG = Pre.CG;
   std::vector<uint32_t> Rpo = computeSuperRpo(Prog, CG);
@@ -658,6 +662,7 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
       }
     }
 
+    uint64_t TicksBefore = oct_detail::closureTicks();
     OctState Out = ComputeInput(C);
     DenseOctView View(Out, Packs, Tops);
     OctTransfer<DenseOctView>(Prog, Pre, Packs, View).apply(C);
@@ -675,16 +680,22 @@ OctDenseResult runOctDense(const Program &Prog, const PreAnalysisResult &Pre,
       SPA_OBS_JOURNAL(WidenBurst, C.value(), WidenCount);
     uint64_t EntriesBefore = Led ? R.Post[C.value()].size() : 0;
     bool Changed = R.Post[C.value()].mergeWith(
-        Out, [&](Oct &A, const Oct &B) {
-          Oct New = Hard ? Oct::top(A.numVars())
-                         : (DoWiden ? A.widen(A.join(B)) : A.join(B));
+        Out, [&](OctVal &A, const OctVal &B) {
+          OctVal New = Hard ? OctVal::top(Opts.Backend, A.numVars())
+                            : (DoWiden ? A.widen(A.join(B)) : A.join(B));
           if (New == A)
             return false;
           A = std::move(New);
           return true;
         });
+    uint64_t TicksAfter = oct_detail::closureTicks();
+    // A visit that crosses a 4096-closure boundary is a closure burst
+    // (the relational analogue of WidenBurst): heavy packs re-closing.
+    if ((TicksBefore >> 12) != (TicksAfter >> 12))
+      SPA_OBS_JOURNAL(OctCloseBurst, C.value(), TicksAfter);
     if (Led) {
       obs::PointCost &PC = Led->row(C.value());
+      PC.Closures += static_cast<uint32_t>(TicksAfter - TicksBefore);
       // A hard ⊤ cut is the most aggressive widening; count it as one.
       if (Hard || DoWiden)
         ++PC.Widenings;
@@ -767,7 +778,7 @@ OctSparseResult runOctSparse(const Program &Prog,
   R.Out.resize(N);
   if (Led)
     Led->resize(static_cast<uint32_t>(N));
-  TopCache Tops;
+  TopCache Tops(Opts.Backend);
   const CallGraphInfo &CG = Pre.CG;
 
   std::vector<uint32_t> PointRpo = computeSuperRpo(Prog, CG);
@@ -818,11 +829,12 @@ OctSparseResult runOctSparse(const Program &Prog,
       }
     }
 
+    uint64_t TicksBefore = oct_detail::closureTicks();
     OctState NewOut;
     if (Graph.isPhi(Node)) {
       const PhiNode &Phi = Graph.phi(Node);
       PackId P = locAsPack(Phi.L);
-      if (const Oct *V = R.In[Node].lookup(P))
+      if (const OctVal *V = R.In[Node].lookup(P))
         NewOut.set(P, *V);
     } else {
       SparseOctView View(R.In[Node], Packs, Tops);
@@ -834,17 +846,25 @@ OctSparseResult runOctSparse(const Program &Prog,
     OctState &Out = R.Out[Node];
     std::vector<LocId> ChangedLocs;
     for (const auto &[P, V] : NewOut) {
-      Oct *Slot = Out.lookup(P);
+      OctVal *Slot = Out.lookup(P);
       if (!Slot) {
         Out.set(P, V);
         ChangedLocs.push_back(packAsLoc(P));
         continue;
       }
-      Oct J = Slot->join(V);
+      OctVal J = Slot->join(V);
       if (J != *Slot) {
         *Slot = std::move(J);
         ChangedLocs.push_back(packAsLoc(P));
       }
+    }
+    {
+      uint64_t TicksAfter = oct_detail::closureTicks();
+      if ((TicksBefore >> 12) != (TicksAfter >> 12))
+        SPA_OBS_JOURNAL(OctCloseBurst, Node, TicksAfter);
+      if (Led)
+        Led->row(Node).Closures +=
+            static_cast<uint32_t>(TicksAfter - TicksBefore);
     }
     if (ChangedLocs.empty())
       continue;
@@ -853,21 +873,22 @@ OctSparseResult runOctSparse(const Program &Prog,
       if (!std::binary_search(ChangedLocs.begin(), ChangedLocs.end(), L))
         return;
       PackId P = locAsPack(L);
-      const Oct &V = *R.Out[Node].lookup(P);
+      const OctVal &V = *R.Out[Node].lookup(P);
       bool CutsCycle = WidenNode[Dst] || Prio[Node] >= Prio[Dst];
       OctState &InDst = R.In[Dst];
-      Oct *Old = InDst.lookup(P);
+      OctVal *Old = InDst.lookup(P);
       uint32_t Count = 0;
       if (CutsCycle) {
         uint32_t &Slot = ArrivalCount[Dst].getOrCreate(P);
         Count = Slot;
       }
-      Oct New = Old ? Old->join(V) : V;
+      uint64_t DeliverTicks = oct_detail::closureTicks();
+      OctVal New = Old ? Old->join(V) : V;
       bool Widened = false;
       if (CutsCycle && Old) {
         if (Count >= HardLimit) {
           SPA_OBS_COUNT("oct.hard_tops", 1);
-          New = Oct::top(New.numVars());
+          New = OctVal::top(Opts.Backend, New.numVars());
           Widened = true; // Hard ⊤ cut: the most aggressive widening.
         } else if (Count >= Opts.WideningDelay) {
           SPA_OBS_COUNT("fixpoint.widenings", 1);
@@ -887,6 +908,9 @@ OctSparseResult runOctSparse(const Program &Prog,
           ++PC.Widenings;
         else
           ++PC.Joins;
+        // Widening re-closures during delivery belong to the receiver.
+        PC.Closures += static_cast<uint32_t>(oct_detail::closureTicks() -
+                                             DeliverTicks);
       }
       if (Old && New == *Old) {
         if (Led)
@@ -1003,7 +1027,7 @@ bool OctRun::degraded() const {
 Interval OctRun::denseIntervalAt(PointId P, LocId L) const {
   assert(Dense && "dense result required");
   PackId S = Packs.singleton(L);
-  const Oct *V = Dense->Post[P.value()].lookup(S);
+  const OctVal *V = Dense->Post[P.value()].lookup(S);
   return V ? V->project(0) : Interval::bot();
 }
 
@@ -1045,6 +1069,8 @@ OctRun spa::runOctAnalysis(const Program &Prog, const OctOptions &Opts) {
   Run.DefUseSeconds = DuClock.seconds();
   SPA_OBS_GAUGE_SET("phase.defuse.seconds", Run.DefUseSeconds);
   SPA_OBS_GAUGE_SET("oct.packs", Run.Packs.numPacks());
+  SPA_OBS_GAUGE_SET("oct.backend.split",
+                    Opts.Backend == OctBackendKind::Split ? 1 : 0);
   SPA_OBS_GAUGE_SET("oct.groups", Run.Packs.numGroups());
   SPA_OBS_GAUGE_SET("oct.avg_group_size", Run.Packs.avgGroupSize());
   SPA_OBS_GAUGE_SET("defuse.avg_def_size", Run.DU.avgSemanticDefSize());

@@ -24,7 +24,7 @@
 #define SPA_OCT_OCTANALYSIS_H
 
 #include "core/Analyzer.h"
-#include "oct/Octagon.h"
+#include "oct/OctBackend.h"
 #include "oct/Packing.h"
 #include "support/FlatMap.h"
 
@@ -35,10 +35,17 @@ namespace spa {
 /// Abstract state of the relational analysis: packs to octagons.
 /// Missing entries are bottom for joins; transfers treat them as ⊤ (the
 /// same non-strictness the interval engine has for constant effects).
-using OctState = FlatMap<PackId, Oct>;
+/// Values are OctVal — the representation (dense DBM or sparse split
+/// form) is uniform per run, chosen by OctOptions::Backend.
+using OctState = FlatMap<PackId, OctVal>;
 
 struct OctOptions {
   EngineKind Engine = EngineKind::Sparse;
+  /// Octagon value representation.  Split (the sparse split-normal-form
+  /// graph with incremental closure) is the default; Dbm is the dense
+  /// oracle the equivalence suite compares against.  Results are
+  /// bit-identical either way.
+  OctBackendKind Backend = OctBackendKind::Split;
   DepOptions Dep;
   double TimeLimitSec = 0;
   unsigned WideningDelay = 4;

@@ -1,0 +1,148 @@
+//===- OctBackend.cpp - Octagon backend dispatch --------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "oct/OctBackend.h"
+
+#include <cassert>
+
+namespace spa {
+
+OctVal OctVal::top(OctBackendKind K, uint32_t NumVars) {
+  if (K == OctBackendKind::Dbm)
+    return OctVal(Oct::top(NumVars));
+  return OctVal(SplitOct::top(NumVars));
+}
+
+OctVal OctVal::bottom(OctBackendKind K, uint32_t NumVars) {
+  if (K == OctBackendKind::Dbm)
+    return OctVal(Oct::bottom(NumVars));
+  return OctVal(SplitOct::bottom(NumVars));
+}
+
+// Unary forwarders: dispatch on the held alternative.
+#define SPA_OCTVAL_DISPATCH(Expr)                                              \
+  do {                                                                         \
+    if (const Oct *D = std::get_if<Oct>(&V))                                   \
+      return (Expr);                                                           \
+    const SplitOct *D = std::get_if<SplitOct>(&V);                             \
+    return (Expr);                                                             \
+  } while (0)
+
+// Unary domain ops that return a new value of the same backend.
+#define SPA_OCTVAL_WRAP(Expr)                                                  \
+  do {                                                                         \
+    if (const Oct *D = std::get_if<Oct>(&V))                                   \
+      return OctVal((Expr));                                                   \
+    const SplitOct *D = std::get_if<SplitOct>(&V);                             \
+    return OctVal((Expr));                                                     \
+  } while (0)
+
+// Binary lattice ops: both operands must carry the same backend (the
+// engines guarantee it — every value in a run comes from the same
+// OctOptions::Backend).
+#define SPA_OCTVAL_BINARY(Op)                                                  \
+  do {                                                                         \
+    assert(backend() == O.backend() && "mixed octagon backends");              \
+    if (const Oct *D = std::get_if<Oct>(&V))                                   \
+      return OctVal(D->Op(*std::get_if<Oct>(&O.V)));                           \
+    const SplitOct *D = std::get_if<SplitOct>(&V);                             \
+    return OctVal(D->Op(*std::get_if<SplitOct>(&O.V)));                        \
+  } while (0)
+
+uint32_t OctVal::numVars() const { SPA_OCTVAL_DISPATCH(D->numVars()); }
+
+bool OctVal::isBottom() const { SPA_OCTVAL_DISPATCH(D->isBottom()); }
+
+bool OctVal::operator==(const OctVal &O) const {
+  assert(backend() == O.backend() && "mixed octagon backends");
+  if (const Oct *D = std::get_if<Oct>(&V))
+    return *D == *std::get_if<Oct>(&O.V);
+  return *std::get_if<SplitOct>(&V) == *std::get_if<SplitOct>(&O.V);
+}
+
+bool OctVal::leq(const OctVal &O) const {
+  assert(backend() == O.backend() && "mixed octagon backends");
+  if (const Oct *D = std::get_if<Oct>(&V))
+    return D->leq(*std::get_if<Oct>(&O.V));
+  return std::get_if<SplitOct>(&V)->leq(*std::get_if<SplitOct>(&O.V));
+}
+
+OctVal OctVal::join(const OctVal &O) const { SPA_OCTVAL_BINARY(join); }
+OctVal OctVal::meet(const OctVal &O) const { SPA_OCTVAL_BINARY(meet); }
+OctVal OctVal::widen(const OctVal &O) const { SPA_OCTVAL_BINARY(widen); }
+OctVal OctVal::narrow(const OctVal &O) const { SPA_OCTVAL_BINARY(narrow); }
+
+OctVal OctVal::forget(uint32_t Var) const { SPA_OCTVAL_WRAP(D->forget(Var)); }
+
+OctVal OctVal::assignInterval(uint32_t Var, const Interval &Itv) const {
+  SPA_OCTVAL_WRAP(D->assignInterval(Var, Itv));
+}
+
+OctVal OctVal::assignVarPlusConst(uint32_t Var, uint32_t W, int64_t C) const {
+  SPA_OCTVAL_WRAP(D->assignVarPlusConst(Var, W, C));
+}
+
+OctVal OctVal::addSumConstraint(uint32_t Var, bool PosV, uint32_t W, bool PosW,
+                                int64_t C) const {
+  SPA_OCTVAL_WRAP(D->addSumConstraint(Var, PosV, W, PosW, C));
+}
+
+OctVal OctVal::addUpperBound(uint32_t Var, int64_t C) const {
+  SPA_OCTVAL_WRAP(D->addUpperBound(Var, C));
+}
+
+OctVal OctVal::addLowerBound(uint32_t Var, int64_t C) const {
+  SPA_OCTVAL_WRAP(D->addLowerBound(Var, C));
+}
+
+OctVal OctVal::addDiffConstraint(uint32_t Var, uint32_t W, int64_t C) const {
+  SPA_OCTVAL_WRAP(D->addDiffConstraint(Var, W, C));
+}
+
+Interval OctVal::project(uint32_t Var) const {
+  SPA_OCTVAL_DISPATCH(D->project(Var));
+}
+
+Interval OctVal::projectDiff(uint32_t Var, uint32_t W) const {
+  SPA_OCTVAL_DISPATCH(D->projectDiff(Var, W));
+}
+
+Interval OctVal::projectSum(uint32_t Var, uint32_t W) const {
+  SPA_OCTVAL_DISPATCH(D->projectSum(Var, W));
+}
+
+std::string OctVal::str() const { SPA_OCTVAL_DISPATCH(D->str()); }
+
+uint64_t OctVal::memoryBytes() const {
+  // The variant header replaces the member's own sizeof(*this) share, so
+  // charge heap bytes plus our footprint, not both object headers.
+  if (const Oct *D = std::get_if<Oct>(&V))
+    return D->memoryBytes() - sizeof(Oct) + sizeof(*this);
+  const SplitOct *D = std::get_if<SplitOct>(&V);
+  return D->memoryBytes() - sizeof(SplitOct) + sizeof(*this);
+}
+
+#undef SPA_OCTVAL_DISPATCH
+#undef SPA_OCTVAL_WRAP
+#undef SPA_OCTVAL_BINARY
+
+bool parseOctBackend(const std::string &Name, OctBackendKind &Out) {
+  if (Name == "dbm") {
+    Out = OctBackendKind::Dbm;
+    return true;
+  }
+  if (Name == "split") {
+    Out = OctBackendKind::Split;
+    return true;
+  }
+  return false;
+}
+
+const char *octBackendName(OctBackendKind K) {
+  return K == OctBackendKind::Dbm ? "dbm" : "split";
+}
+
+} // namespace spa

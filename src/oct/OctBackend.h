@@ -1,0 +1,95 @@
+//===- OctBackend.h - Octagon backend dispatch ----------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OctVal: a tagged union over the two octagon representations — the
+/// dense DBM (`Oct`) and the sparse split-normal-form graph
+/// (`SplitOct`) — exposing the shared domain API.  The octagon engines,
+/// transfer functions, and consumers are written once against OctVal;
+/// the backend is chosen per run (OctOptions::Backend, spa-analyze
+/// --oct-backend) and every value in a run carries the same
+/// representation, so binary operations never cross backends.
+///
+/// Both representations maintain the identical tight-closed canonical
+/// form, which makes the dense DBM a drop-in oracle for the split
+/// backend (tests/split_oct_test.cpp pins the equivalence).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_OCT_OCTBACKEND_H
+#define SPA_OCT_OCTBACKEND_H
+
+#include "core/Analyzer.h" // OctBackendKind.
+#include "oct/Octagon.h"
+#include "oct/SplitOct.h"
+
+#include <variant>
+
+namespace spa {
+
+/// One octagon value in either representation.  Default-constructed
+/// values are a dense ⊤ over zero variables (the FlatMap default);
+/// real values come from top()/bottom() with an explicit backend.
+class OctVal {
+public:
+  OctVal() : V(std::in_place_type<Oct>, 0u) {}
+  explicit OctVal(Oct O) : V(std::move(O)) {}
+  explicit OctVal(SplitOct O) : V(std::move(O)) {}
+
+  static OctVal top(OctBackendKind K, uint32_t NumVars);
+  static OctVal bottom(OctBackendKind K, uint32_t NumVars);
+
+  OctBackendKind backend() const {
+    return std::holds_alternative<Oct>(V) ? OctBackendKind::Dbm
+                                          : OctBackendKind::Split;
+  }
+
+  /// Representation accessors (tests and benchmarks; null when the value
+  /// holds the other backend).
+  const Oct *asDbm() const { return std::get_if<Oct>(&V); }
+  const SplitOct *asSplit() const { return std::get_if<SplitOct>(&V); }
+
+  uint32_t numVars() const;
+  bool isBottom() const;
+
+  bool operator==(const OctVal &O) const;
+  bool operator!=(const OctVal &O) const { return !(*this == O); }
+
+  bool leq(const OctVal &O) const;
+  OctVal join(const OctVal &O) const;
+  OctVal meet(const OctVal &O) const;
+  OctVal widen(const OctVal &O) const;
+  OctVal narrow(const OctVal &O) const;
+
+  OctVal forget(uint32_t V) const;
+  OctVal assignInterval(uint32_t V, const Interval &Itv) const;
+  OctVal assignVarPlusConst(uint32_t V, uint32_t W, int64_t C) const;
+
+  OctVal addSumConstraint(uint32_t V, bool PosV, uint32_t W, bool PosW,
+                          int64_t C) const;
+  OctVal addUpperBound(uint32_t V, int64_t C) const;
+  OctVal addLowerBound(uint32_t V, int64_t C) const;
+  OctVal addDiffConstraint(uint32_t V, uint32_t W, int64_t C) const;
+
+  Interval project(uint32_t V) const;
+  Interval projectDiff(uint32_t V, uint32_t W) const;
+  Interval projectSum(uint32_t V, uint32_t W) const;
+
+  std::string str() const;
+  uint64_t memoryBytes() const;
+
+private:
+  std::variant<Oct, SplitOct> V;
+};
+
+/// Parses "dbm" / "split"; returns false on anything else.
+bool parseOctBackend(const std::string &Name, OctBackendKind &Out);
+/// "dbm" or "split".
+const char *octBackendName(OctBackendKind K);
+
+} // namespace spa
+
+#endif // SPA_OCT_OCTBACKEND_H

@@ -25,6 +25,13 @@ int64_t halfFloor(int64_t B) {
 
 } // namespace
 
+namespace {
+thread_local uint64_t ClosureTicks = 0;
+} // namespace
+
+uint64_t spa::oct_detail::closureTicks() { return ClosureTicks; }
+void spa::oct_detail::bumpClosureTick() { ++ClosureTicks; }
+
 Oct::Oct(uint32_t NumVars) : N(NumVars) {
   M.assign(4ull * N * N, bound::PosInf);
   for (uint32_t I = 0; I < 2 * N; ++I)
@@ -32,9 +39,18 @@ Oct::Oct(uint32_t NumVars) : N(NumVars) {
 }
 
 Oct Oct::bottom(uint32_t NumVars) {
-  Oct O(NumVars);
+  // Bottom carries no constraints; skip the 4N² allocation so Empty
+  // octagons account the same near-constant footprint as the split
+  // backend's (every operation guards on Empty before touching M).
+  Oct O(0);
+  O.N = NumVars;
   O.Empty = true;
   return O;
+}
+
+void Oct::dropMatrix() {
+  Empty = true;
+  std::vector<int64_t>().swap(M);
 }
 
 void Oct::close() {
@@ -44,6 +60,7 @@ void Oct::close() {
   if (D == 0)
     return;
   SPA_OBS_COUNT("oct.closures", 1);
+  oct_detail::bumpClosureTick();
 
   // Iterate (shortest paths; strengthening; integer tightening) to a
   // fixpoint.  Matrices are at most 20x20 (pack size cap), so the extra
@@ -73,7 +90,7 @@ void Oct::close() {
     // first negative diagonal entry.
     for (uint32_t I = 0; I < D; ++I) {
       if (at(I, I) < 0) {
-        Empty = true;
+        dropMatrix();
         return;
       }
     }
@@ -108,7 +125,7 @@ void Oct::close() {
 
   for (uint32_t I = 0; I < D; ++I) {
     if (at(I, I) < 0) {
-      Empty = true;
+      dropMatrix();
       return;
     }
   }

@@ -1,0 +1,681 @@
+//===- SplitOct.cpp - Sparse split-normal-form octagon domain -------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "oct/SplitOct.h"
+
+#include "oct/Octagon.h" // oct_detail closure ticks (shared with the DBM).
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace spa;
+
+namespace {
+
+/// Floor division by 2 that is exact for negative odd bounds (identical
+/// to the dense backend's tightening helper — the two must agree bit for
+/// bit for the canonical forms to coincide).
+int64_t halfFloor(int64_t B) {
+  if (B == bound::PosInf || B == bound::NegInf)
+    return B;
+  return B >= 0 ? B / 2 : (B - 1) / 2;
+}
+
+} // namespace
+
+namespace spa::oct_detail {
+
+/// Per-thread closure scratch.  One incremental closure on a pack-sized
+/// octagon otherwise pays several heap allocations (worklist, in-queue
+/// bitmap, drain snapshot buffers) that dwarf the propagation itself at
+/// the singleton/pair arities packing produces most of; reusing one
+/// arena per thread makes the steady-state incremental path
+/// allocation-free.  The in-queue map is epoch-stamped so reuse needs no
+/// clearing.  Closures never nest (no operation re-enters the domain),
+/// so a single thread_local instance suffices.
+struct CloseScratch {
+  std::vector<uint32_t> WL;    ///< Packed (I * 2N + J) entry keys.
+  std::vector<uint32_t> Stamp; ///< In queue <=> Stamp[key] == Epoch.
+  uint32_t Epoch = 0;
+  std::vector<std::pair<uint32_t, int64_t>> Ins, Outs;
+
+  /// Readies the scratch for a closure over a Dim² key space.
+  void begin(uint32_t Dim) {
+    WL.clear();
+    size_t Keys = static_cast<size_t>(Dim) * Dim;
+    if (Stamp.size() < Keys)
+      Stamp.resize(Keys, 0);
+    if (++Epoch == 0) { // Wrapped: stale stamps could alias; restart.
+      std::fill(Stamp.begin(), Stamp.end(), 0u);
+      Epoch = 1;
+    }
+  }
+  bool inQueue(uint32_t Key) const { return Stamp[Key] == Epoch; }
+  void markQueued(uint32_t Key) { Stamp[Key] = Epoch; }
+  void unqueue(uint32_t Key) { Stamp[Key] = Epoch - 1; }
+};
+
+/// The arena: per-thread, lazily grown to the largest pack seen.
+CloseScratch &closeScratch() {
+  thread_local CloseScratch S;
+  return S;
+}
+
+} // namespace spa::oct_detail
+
+using spa::oct_detail::CloseScratch;
+
+//===----------------------------------------------------------------------===//
+// OctEdgeList
+//===----------------------------------------------------------------------===//
+
+OctEdge *OctEdgeList::lowerBound(uint32_t Dst) {
+  OctEdge *B = mutBegin(), *E = B + Sz;
+  // Lists are tiny (at most 2N - 2 entries, N capped at pack size);
+  // a branchy linear scan beats binary search at these sizes.
+  while (B != E && B->Dst < Dst)
+    ++B;
+  return B;
+}
+
+void OctEdgeList::insert(uint32_t Dst, int64_t W) {
+  if (!spilled() && Sz == InlineCap)
+    Spill.assign(Inl, Inl + Sz);
+  if (spilled()) {
+    auto It = std::lower_bound(
+        Spill.begin(), Spill.end(), Dst,
+        [](const OctEdge &E, uint32_t D) { return E.Dst < D; });
+    assert((It == Spill.end() || It->Dst != Dst) && "duplicate edge");
+    Spill.insert(It, OctEdge{Dst, W});
+    ++Sz;
+    return;
+  }
+  OctEdge *P = lowerBound(Dst);
+  assert((P == Inl + Sz || P->Dst != Dst) && "duplicate edge");
+  for (OctEdge *Q = Inl + Sz; Q != P; --Q)
+    *Q = *(Q - 1);
+  *P = OctEdge{Dst, W};
+  ++Sz;
+}
+
+bool OctEdgeList::erase(uint32_t Dst) {
+  if (spilled()) {
+    auto It = std::lower_bound(
+        Spill.begin(), Spill.end(), Dst,
+        [](const OctEdge &E, uint32_t D) { return E.Dst < D; });
+    if (It == Spill.end() || It->Dst != Dst)
+      return false;
+    Spill.erase(It);
+    --Sz;
+    if (Sz == 0)
+      Spill.clear(); // Back to (empty) inline mode.
+    return true;
+  }
+  OctEdge *P = lowerBound(Dst);
+  if (P == Inl + Sz || P->Dst != Dst)
+    return false;
+  for (; P + 1 != Inl + Sz; ++P)
+    *P = *(P + 1);
+  --Sz;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction, equality, order
+//===----------------------------------------------------------------------===//
+
+SplitOct::SplitOct(uint32_t NumVars) : N(NumVars) {
+  Unary.assign(2ull * N, bound::PosInf);
+  Adj.assign(2ull * N, OctEdgeList());
+}
+
+SplitOct SplitOct::bottom(uint32_t NumVars) {
+  SplitOct O(0);
+  O.N = NumVars;
+  O.Empty = true;
+  return O;
+}
+
+void SplitOct::makeEmpty() {
+  Empty = true;
+  // Bottom carries no constraints; release the storage so --mem-limit
+  // accounting charges infeasible states their true (near-zero) size.
+  std::vector<int64_t>().swap(Unary);
+  std::vector<OctEdgeList>().swap(Adj);
+}
+
+int64_t SplitOct::entry(uint32_t I, uint32_t J) const {
+  if (I == J)
+    return 0;
+  if (J == bar(I))
+    return Unary[J];
+  const int64_t *W = Adj[I].find(J);
+  return W ? *W : bound::PosInf;
+}
+
+bool SplitOct::operator==(const SplitOct &O) const {
+  assert(N == O.N && "octagon arity mismatch");
+  if (Empty || O.Empty)
+    return Empty == O.Empty;
+  return Unary == O.Unary && Adj == O.Adj;
+}
+
+bool SplitOct::leq(const SplitOct &O) const {
+  assert(N == O.N && "octagon arity mismatch");
+  if (Empty)
+    return true;
+  if (O.Empty)
+    return false;
+  uint32_t D = dim();
+  for (uint32_t I = 0; I < D; ++I)
+    if (O.Unary[I] != bound::PosInf && Unary[I] > O.Unary[I])
+      return false;
+  for (uint32_t I = 0; I < D; ++I)
+    for (const OctEdge &E : O.Adj[I])
+      if (entry(I, E.Dst) > E.W)
+        return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Closure machinery
+//===----------------------------------------------------------------------===//
+
+void SplitOct::push(CloseScratch &S, uint32_t I, uint32_t J) {
+  uint32_t Key = I * dim() + J;
+  if (S.inQueue(Key))
+    return;
+  S.markQueued(Key);
+  S.WL.push_back(Key);
+}
+
+void SplitOct::rawMin(uint32_t I, uint32_t J, int64_t W) {
+  if (I == J) {
+    if (W < 0)
+      makeEmpty();
+    return;
+  }
+  if (J == bar(I)) {
+    Unary[J] = std::min(Unary[J], W);
+    return;
+  }
+  if (int64_t *Slot = Adj[I].find(J))
+    *Slot = std::min(*Slot, W);
+  else
+    Adj[I].insert(J, W);
+  uint32_t MI = bar(J), MJ = bar(I);
+  if (int64_t *Slot = Adj[MI].find(MJ))
+    *Slot = std::min(*Slot, W);
+  else
+    Adj[MI].insert(MJ, W);
+}
+
+bool SplitOct::updateEntry(uint32_t I, uint32_t J, int64_t W,
+                           CloseScratch &S) {
+  if (I == J) {
+    if (W < 0)
+      makeEmpty();
+    return false;
+  }
+  if (J == bar(I)) {
+    if (W >= Unary[J])
+      return false;
+    Unary[J] = W;
+    push(S, I, J);
+    onUnaryTightened(J, S);
+    return true;
+  }
+  int64_t *Slot = Adj[I].find(J);
+  if (Slot) {
+    if (W >= *Slot)
+      return false;
+    *Slot = W;
+  } else {
+    Adj[I].insert(J, W);
+  }
+  // Coherence mirror M[bar(J)][bar(I)] — kept materialized and equal.
+  uint32_t MI = bar(J), MJ = bar(I);
+  if (int64_t *MSlot = Adj[MI].find(MJ))
+    *MSlot = std::min(*MSlot, W);
+  else
+    Adj[MI].insert(MJ, W);
+  push(S, I, J);
+  return true;
+}
+
+void SplitOct::onUnaryTightened(uint32_t U, CloseScratch &S) {
+  // Integer tightening: ±2v ≤ c implies ±2v ≤ 2⌊c/2⌋.
+  if (Unary[U] != bound::NegInf) {
+    int64_t T = 2 * halfFloor(Unary[U]);
+    if (T < Unary[U]) {
+      Unary[U] = T;
+      push(S, bar(U), U);
+    }
+  }
+  int64_t HU = halfFloor(Unary[U]);
+  // Strengthening onto the diagonal: ⌊U_u/2⌋ + ⌊U_ū/2⌋ < 0 means the
+  // variable's own range is empty (the dense backend reaches the same
+  // conclusion through a negative diagonal after strengthening).
+  if (Unary[bar(U)] != bound::PosInf &&
+      bound::add(HU, halfFloor(Unary[bar(U)])) < 0) {
+    makeEmpty();
+    return;
+  }
+  // Strengthening: entry(bar(U), v) ≤ ⌊U_u/2⌋ + ⌊U_v/2⌋.  The mirror
+  // store inside updateEntry covers the instances reading Unary[U] on
+  // the right-hand side.
+  uint32_t D = dim();
+  for (uint32_t V = 0; V < D; ++V) {
+    if (V == U || V == bar(U) || Unary[V] == bound::PosInf)
+      continue;
+    int64_t Cand = bound::add(HU, halfFloor(Unary[V]));
+    updateEntry(bar(U), V, Cand, S);
+    if (Empty)
+      return;
+  }
+}
+
+void SplitOct::drain(CloseScratch &S) {
+  uint64_t Relaxed = 0, Tightened = 0;
+  uint32_t D = dim();
+  std::vector<std::pair<uint32_t, int64_t>> &Ins = S.Ins, &Outs = S.Outs;
+  size_t Head = 0;
+  while (Head < S.WL.size() && !Empty) {
+    uint32_t Key = S.WL[Head++];
+    S.unqueue(Key);
+    uint32_t I = Key / D, J = Key % D;
+    int64_t W = entry(I, J);
+    if (W == bound::PosInf)
+      continue;
+    // Snapshot predecessors of I and successors of J: the one-hop path
+    // extensions through the changed edge.  In-edges of I are read off
+    // row bar(I) via coherence (M[k][I] = M[bar(I)][bar(k)]), so no
+    // transposed index is ever needed.
+    Ins.clear();
+    Outs.clear();
+    if (Unary[I] != bound::PosInf)
+      Ins.emplace_back(bar(I), Unary[I]);
+    for (const OctEdge &E : Adj[bar(I)])
+      Ins.emplace_back(bar(E.Dst), E.W);
+    Ins.emplace_back(I, 0);
+    if (Unary[bar(J)] != bound::PosInf)
+      Outs.emplace_back(bar(J), Unary[bar(J)]);
+    for (const OctEdge &E : Adj[J])
+      Outs.emplace_back(E.Dst, E.W);
+    Outs.emplace_back(J, 0);
+    for (const auto &[K, WK] : Ins) {
+      for (const auto &[L, WL2] : Outs) {
+        ++Relaxed;
+        int64_t Cand = bound::add(bound::add(WK, W), WL2);
+        if (K == L) {
+          if (Cand < 0) {
+            makeEmpty();
+            goto done;
+          }
+          continue;
+        }
+        if (updateEntry(K, L, Cand, S))
+          ++Tightened;
+        if (Empty)
+          goto done;
+      }
+    }
+  }
+done:
+  SPA_OBS_COUNT("oct.split.edges.relaxed", Relaxed);
+  SPA_OBS_COUNT("oct.split.edges.tightened", Tightened);
+}
+
+void SplitOct::closeFromScratch() {
+  if (Empty)
+    return;
+  uint32_t D = dim();
+  if (D == 0)
+    return;
+  SPA_OBS_COUNT("oct.closures", 1);
+  SPA_OBS_COUNT("oct.split.close.full", 1);
+  oct_detail::bumpClosureTick();
+  CloseScratch &S = oct_detail::closeScratch();
+  S.begin(D);
+  // Seed every present entry (path-rule instances) ...
+  for (uint32_t I = 0; I < D; ++I) {
+    if (Unary[I] != bound::PosInf)
+      push(S, bar(I), I);
+    for (const OctEdge &E : Adj[I])
+      push(S, I, E.Dst);
+  }
+  // ... then every tighten/strengthen instance over the current unaries
+  // (a monotone rule system: firing each instance at least once and
+  // re-firing on input changes reaches the unique least fixpoint, the
+  // same canonical form as the dense sweep).
+  for (uint32_t U = 0; U < D && !Empty; ++U)
+    if (Unary[U] != bound::PosInf)
+      onUnaryTightened(U, S);
+  if (!Empty)
+    drain(S);
+}
+
+//===----------------------------------------------------------------------===//
+// Lattice operations
+//===----------------------------------------------------------------------===//
+
+SplitOct SplitOct::join(const SplitOct &O) const {
+  assert(N == O.N && "octagon arity mismatch");
+  if (Empty)
+    return O;
+  if (O.Empty)
+    return *this;
+  SplitOct R(N);
+  uint32_t D = dim();
+  for (uint32_t I = 0; I < D; ++I)
+    if (Unary[I] != bound::PosInf && O.Unary[I] != bound::PosInf)
+      R.Unary[I] = std::max(Unary[I], O.Unary[I]);
+  // Entrywise max = sorted-list intersection keeping the larger weight;
+  // the max of tightly closed forms is tightly closed, so no re-closure
+  // (same theorem the dense join relies on).
+  for (uint32_t I = 0; I < D; ++I) {
+    const OctEdge *A = Adj[I].begin(), *AE = Adj[I].end();
+    const OctEdge *B = O.Adj[I].begin(), *BE = O.Adj[I].end();
+    while (A != AE && B != BE) {
+      if (A->Dst < B->Dst) {
+        ++A;
+      } else if (B->Dst < A->Dst) {
+        ++B;
+      } else {
+        R.Adj[I].insert(A->Dst, std::max(A->W, B->W));
+        ++A;
+        ++B;
+      }
+    }
+  }
+  return R;
+}
+
+SplitOct SplitOct::meet(const SplitOct &O) const {
+  assert(N == O.N && "octagon arity mismatch");
+  if (Empty || O.Empty)
+    return bottom(N);
+  SplitOct R = *this;
+  uint32_t D = dim();
+  for (uint32_t I = 0; I < D; ++I)
+    if (O.Unary[I] < R.Unary[I])
+      R.Unary[I] = O.Unary[I];
+  for (uint32_t I = 0; I < D && !R.Empty; ++I)
+    for (const OctEdge &E : O.Adj[I])
+      R.rawMin(I, E.Dst, E.W);
+  R.closeFromScratch();
+  return R;
+}
+
+SplitOct SplitOct::widen(const SplitOct &O) const {
+  assert(N == O.N && "octagon arity mismatch");
+  if (Empty)
+    return O;
+  if (O.Empty)
+    return *this;
+  // Keep our constraints the newcomer still satisfies, drop the rest
+  // (identical index set to the dense formula: cells where we are ⊤ stay
+  // ⊤ under it, so only our stored entries need inspection).
+  SplitOct R(N);
+  bool Dropped = false;
+  uint32_t D = dim();
+  for (uint32_t I = 0; I < D; ++I) {
+    if (Unary[I] != bound::PosInf) {
+      if (O.Unary[I] != bound::PosInf && O.Unary[I] <= Unary[I])
+        R.Unary[I] = Unary[I];
+      else
+        Dropped = true;
+    }
+    for (const OctEdge &E : Adj[I]) {
+      int64_t OE = O.entry(I, E.Dst);
+      if (OE != bound::PosInf && OE <= E.W)
+        R.Adj[I].insert(E.Dst, E.W);
+      else
+        Dropped = true;
+    }
+  }
+  if (!Dropped) {
+    // widen_restabilize: nothing dropped means the widened value is
+    // exactly *this, which is already closed — the re-closure the dense
+    // backend runs would be an O(n³) no-op.  This is the steady state of
+    // every converged loop head.
+    SPA_OBS_COUNT("oct.split.widen.restab_skips", 1);
+    return *this;
+  }
+  // Dropped entries may be re-derivable from the kept ones (the kept
+  // entries themselves are stable: every derivation over a subset of the
+  // old closed matrix is bounded below by the old closed values).
+  SPA_OBS_COUNT("oct.split.widen.restabs", 1);
+  R.closeFromScratch();
+  return R;
+}
+
+SplitOct SplitOct::narrow(const SplitOct &O) const {
+  assert(N == O.N && "octagon arity mismatch");
+  if (Empty || O.Empty)
+    return O;
+  SplitOct R = *this;
+  uint32_t D = dim();
+  for (uint32_t I = 0; I < D; ++I)
+    if (R.Unary[I] == bound::PosInf)
+      R.Unary[I] = O.Unary[I];
+  // Refine only where we are ⊤ (both operands are mirror-consistent, so
+  // inserting O's stored edges at our holes preserves the invariant).
+  for (uint32_t I = 0; I < D; ++I)
+    for (const OctEdge &E : O.Adj[I])
+      if (!R.Adj[I].find(E.Dst))
+        R.Adj[I].insert(E.Dst, E.W);
+  R.closeFromScratch();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Transfer-function primitives
+//===----------------------------------------------------------------------===//
+
+SplitOct SplitOct::forget(uint32_t V) const {
+  assert(V < N && "variable out of range");
+  if (Empty)
+    return *this;
+  SplitOct R = *this;
+  uint32_t P = 2 * V, Q = P + 1;
+  for (uint32_t X : {P, Q}) {
+    for (const OctEdge &E : R.Adj[X])
+      R.Adj[bar(E.Dst)].erase(bar(X)); // Drop the coherence mirror.
+    R.Adj[X].clear();
+  }
+  R.Unary[P] = R.Unary[Q] = bound::PosInf;
+  return R; // Closed before, closed after: projection of a closed form.
+}
+
+SplitOct SplitOct::addSumConstraint(uint32_t V, bool PosV, uint32_t W,
+                                    bool PosW, int64_t C) const {
+  assert(V < N && W < N && "variable out of range");
+  if (Empty)
+    return *this;
+  uint32_t A = 2 * V + (PosV ? 0 : 1);
+  uint32_t B = 2 * W + (PosW ? 0 : 1);
+  // (sV·v) + (sW·w) ≤ C is the edge x_A − x_bar(B) ≤ C: entry (bar(B), A).
+  uint32_t I = bar(B), J = A;
+  SplitOct R = *this;
+  if (I == J) { // v − v ≤ C: infeasible iff C < 0, vacuous otherwise.
+    if (C < 0)
+      R.makeEmpty();
+    return R;
+  }
+  CloseScratch &S = oct_detail::closeScratch();
+  S.begin(R.dim());
+  if (!R.updateEntry(I, J, C, S)) {
+    // Already entailed: the closed form answers entailment by lookup and
+    // the dense backend's re-closure would change nothing.
+    SPA_OBS_COUNT("oct.split.close.noop", 1);
+    return R;
+  }
+  if (R.Empty)
+    return R;
+  // Incremental closure: relax only paths through the new edge and its
+  // tighten/strengthen consequences instead of a full-matrix sweep.
+  SPA_OBS_COUNT("oct.closures", 1);
+  SPA_OBS_COUNT("oct.split.close.inc", 1);
+  oct_detail::bumpClosureTick();
+  R.drain(S);
+  return R;
+}
+
+SplitOct SplitOct::addUpperBound(uint32_t V, int64_t C) const {
+  if (C == bound::PosInf)
+    return *this;
+  int64_t Twice = bound::mul(C, 2);
+  return addSumConstraint(V, true, V, true, Twice);
+}
+
+SplitOct SplitOct::addLowerBound(uint32_t V, int64_t C) const {
+  if (C == bound::NegInf)
+    return *this;
+  int64_t Twice = bound::mul(C, -2);
+  return addSumConstraint(V, false, V, false, Twice);
+}
+
+SplitOct SplitOct::addDiffConstraint(uint32_t V, uint32_t W, int64_t C) const {
+  if (C == bound::PosInf)
+    return *this;
+  return addSumConstraint(V, true, W, false, C);
+}
+
+SplitOct SplitOct::assignInterval(uint32_t V, const Interval &Itv) const {
+  if (Empty)
+    return *this;
+  if (Itv.isBot())
+    return forget(V);
+  SplitOct R = forget(V);
+  if (Itv.hi() != bound::PosInf)
+    R = R.addUpperBound(V, Itv.hi());
+  if (Itv.lo() != bound::NegInf)
+    R = R.addLowerBound(V, Itv.lo());
+  return R;
+}
+
+SplitOct SplitOct::assignVarPlusConst(uint32_t V, uint32_t W, int64_t C) const {
+  if (Empty)
+    return *this;
+  if (V == W) {
+    // v := v + c: an exact translation; shift every bound mentioning v.
+    // Row P holds M[P][j] (shrinks by c) and row Q holds M[Q][j], which
+    // by coherence is the in-edge column M[j̄][P] (grows by c) — so the
+    // two row sweeps cover all four dense update groups, with the
+    // explicit mirrors patched alongside.
+    SplitOct R = *this;
+    uint32_t P = 2 * V, Q = P + 1;
+    for (OctEdge &E : R.Adj[P]) {
+      E.W = bound::add(E.W, -C);
+      *R.Adj[bar(E.Dst)].find(Q) = E.W;
+    }
+    for (OctEdge &E : R.Adj[Q]) {
+      E.W = bound::add(E.W, C);
+      *R.Adj[bar(E.Dst)].find(P) = E.W;
+    }
+    if (R.Unary[P] != bound::PosInf)
+      R.Unary[P] = bound::add(R.Unary[P], 2 * C);
+    if (R.Unary[Q] != bound::PosInf)
+      R.Unary[Q] = bound::add(R.Unary[Q], -2 * C);
+    return R;
+  }
+  SplitOct R = forget(V);
+  R = R.addDiffConstraint(V, W, C);
+  R = R.addDiffConstraint(W, V, -C);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Projections and rendering
+//===----------------------------------------------------------------------===//
+
+Interval SplitOct::project(uint32_t V) const {
+  assert(V < N && "variable out of range");
+  if (Empty)
+    return Interval::bot();
+  int64_t Up = Unary[2 * V];       // M[2v+1][2v]: 2v ≤ c.
+  int64_t Down = Unary[2 * V + 1]; // M[2v][2v+1]: −2v ≤ c.
+  int64_t Hi = Up == bound::PosInf ? bound::PosInf : halfFloor(Up);
+  int64_t Lo = Down == bound::PosInf ? bound::NegInf : -halfFloor(Down);
+  return Interval(Lo, Hi);
+}
+
+Interval SplitOct::projectDiff(uint32_t V, uint32_t W) const {
+  assert(V < N && W < N && "variable out of range");
+  if (Empty)
+    return Interval::bot();
+  if (V == W)
+    return Interval::constant(0);
+  int64_t Up = entry(2 * W, 2 * V);
+  int64_t Down = entry(2 * V, 2 * W);
+  int64_t Hi = Up == bound::PosInf ? bound::PosInf : Up;
+  int64_t Lo = Down == bound::PosInf ? bound::NegInf : -Down;
+  return Interval(Lo, Hi);
+}
+
+Interval SplitOct::projectSum(uint32_t V, uint32_t W) const {
+  assert(V < N && W < N && "variable out of range");
+  if (Empty)
+    return Interval::bot();
+  if (V == W) {
+    Interval P = project(V);
+    return P.add(P);
+  }
+  int64_t Up = entry(2 * W + 1, 2 * V);
+  int64_t Down = entry(2 * W, 2 * V + 1);
+  int64_t Hi = Up == bound::PosInf ? bound::PosInf : Up;
+  int64_t Lo = Down == bound::PosInf ? bound::NegInf : -Down;
+  return Interval(Lo, Hi);
+}
+
+std::string SplitOct::str() const {
+  if (Empty)
+    return "_|_";
+  std::ostringstream OS;
+  OS << "{";
+  bool First = true;
+  for (uint32_t V = 0; V < N; ++V) {
+    Interval I = project(V);
+    if (I == Interval::top())
+      continue;
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << "v" << V << " in " << I.str();
+  }
+  for (uint32_t V = 0; V < N; ++V) {
+    for (uint32_t W = V + 1; W < N; ++W) {
+      int64_t D = entry(2 * W, 2 * V); // v − w ≤ D.
+      if (D != bound::PosInf) {
+        if (!First)
+          OS << ", ";
+        First = false;
+        OS << "v" << V << "-v" << W << "<=" << D;
+      }
+    }
+  }
+  OS << "}";
+  return OS.str();
+}
+
+uint64_t SplitOct::memoryBytes() const {
+  uint64_t B = sizeof(*this);
+  B += Unary.capacity() * sizeof(int64_t);
+  B += Adj.capacity() * sizeof(OctEdgeList);
+  for (const OctEdgeList &L : Adj)
+    B += L.heapBytes();
+  return B;
+}
+
+uint32_t SplitOct::numBinaryEdges() const {
+  uint32_t Total = 0;
+  for (const OctEdgeList &L : Adj)
+    Total += L.size();
+  return Total;
+}

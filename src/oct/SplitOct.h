@@ -1,0 +1,228 @@
+//===- SplitOct.h - Sparse split-normal-form octagon domain ---------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A graph-backed octagon representation in the split-normal-form style of
+/// crab's split_oct domain: instead of a dense 2N x 2N difference bound
+/// matrix, the unary channel (±2v ≤ c bounds, one slot per signed vertex)
+/// is split out into a flat array and the binary ±x±y constraints live in
+/// per-vertex adaptive adjacency lists (inline small-buffer, spilling to
+/// the heap only for high-degree vertices).
+///
+/// The representation maintains exactly the same canonical form as the
+/// dense `Oct`: the tight closure, i.e. the least fixpoint of the
+/// shortest-path, integer-tightening, and strengthening rules.  Because
+/// that fixpoint is the unique entrywise minimum regardless of rule
+/// application order, every operation here is bit-identical to its dense
+/// counterpart — the equivalence fuzz suite (tests/split_oct_test.cpp)
+/// pins projections, ordering, and canonical structure against the DBM.
+///
+/// What changes is the cost model: after a single constraint addition the
+/// domain runs an *incremental* closure — a worklist relaxation seeded
+/// only with the new edge, the sparse analogue of adding one edge to a
+/// closed graph — instead of the dense O(n³) Floyd–Warshall sweep, and
+/// `widen` restabilizes (skips re-closure entirely) when the widening
+/// dropped no constraint, which is the steady state of a converging
+/// fixpoint.  Counters under `oct.split.*` expose full vs incremental
+/// closures, restabilize skips, and edge-relaxation volume
+/// (docs/OBSERVABILITY.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_OCT_SPLITOCT_H
+#define SPA_OCT_SPLITOCT_H
+
+#include "domains/Interval.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spa {
+
+namespace oct_detail {
+/// Reusable per-thread closure scratch (worklist, in-queue stamps, drain
+/// snapshot buffers); defined in SplitOct.cpp.
+struct CloseScratch;
+} // namespace oct_detail
+
+/// One directed binary constraint edge: x_Dst − x_Src ≤ W, stored in the
+/// source vertex's adjacency list.
+struct OctEdge {
+  uint32_t Dst = 0;
+  int64_t W = 0;
+
+  bool operator==(const OctEdge &O) const { return Dst == O.Dst && W == O.W; }
+};
+
+/// Adaptive adjacency storage: a small inline sorted array that spills to
+/// a heap vector past InlineCap entries.  Sparse octagons keep most
+/// vertices at degree ≤ InlineCap, so copies (which the analysis performs
+/// on every transfer) stay allocation-free; high-degree vertices — packs
+/// with many mutually bounded variables, where strengthening materializes
+/// a near-clique — pay one spill vector.
+class OctEdgeList {
+public:
+  OctEdgeList() = default;
+
+  const OctEdge *begin() const { return spilled() ? Spill.data() : Inl; }
+  const OctEdge *end() const { return begin() + Sz; }
+  OctEdge *begin() { return mutBegin(); }
+  OctEdge *end() { return mutEnd(); }
+  uint32_t size() const { return Sz; }
+  bool empty() const { return Sz == 0; }
+
+  bool operator==(const OctEdgeList &O) const {
+    if (Sz != O.Sz)
+      return false;
+    const OctEdge *A = begin(), *B = O.begin();
+    for (uint32_t I = 0; I < Sz; ++I)
+      if (!(A[I] == B[I]))
+        return false;
+    return true;
+  }
+
+  /// Weight slot of the edge to \p Dst, or null when absent.
+  int64_t *find(uint32_t Dst) {
+    OctEdge *E = lowerBound(Dst);
+    return (E != mutEnd() && E->Dst == Dst) ? &E->W : nullptr;
+  }
+  const int64_t *find(uint32_t Dst) const {
+    return const_cast<OctEdgeList *>(this)->find(Dst);
+  }
+
+  /// Inserts an edge to \p Dst (must be absent), keeping the list sorted.
+  void insert(uint32_t Dst, int64_t W);
+
+  /// Removes the edge to \p Dst; returns false when absent.
+  bool erase(uint32_t Dst);
+
+  void clear() {
+    Sz = 0;
+    Spill.clear();
+  }
+
+  /// Heap bytes owned beyond the inline buffer (memory accounting).
+  uint64_t heapBytes() const { return Spill.capacity() * sizeof(OctEdge); }
+
+  static constexpr uint32_t InlineCap = 4;
+
+private:
+  bool spilled() const { return !Spill.empty(); }
+  OctEdge *mutBegin() { return spilled() ? Spill.data() : Inl; }
+  OctEdge *mutEnd() { return mutBegin() + Sz; }
+  OctEdge *lowerBound(uint32_t Dst);
+
+  uint32_t Sz = 0;
+  OctEdge Inl[InlineCap];
+  std::vector<OctEdge> Spill; ///< Non-empty iff spilled; then holds all Sz.
+};
+
+/// Split-normal-form octagon over a fixed number of variables.  Signed
+/// vertex 2i stands for +vi and 2i+1 for −vi (same indexing as `Oct`);
+/// the conceptual matrix entry M[i][j] bounds x_j − x_i ≤ c.  Unary[k]
+/// holds M[bar(k)][k] (the ±2v channel) and Adj[i] the binary rows, with
+/// the coherence mirror M[bar(j)][bar(i)] always materialized so row
+/// iteration never needs a transpose.
+class SplitOct {
+public:
+  explicit SplitOct(uint32_t NumVars = 0);
+
+  static SplitOct top(uint32_t NumVars) { return SplitOct(NumVars); }
+  static SplitOct bottom(uint32_t NumVars);
+
+  uint32_t numVars() const { return N; }
+  bool isBottom() const { return Empty; }
+
+  bool operator==(const SplitOct &O) const;
+  bool operator!=(const SplitOct &O) const { return !(*this == O); }
+
+  bool leq(const SplitOct &O) const;
+  SplitOct join(const SplitOct &O) const;
+  SplitOct meet(const SplitOct &O) const;
+  /// Widening with restabilization: when no constraint of *this is
+  /// dropped the widened value IS *this (already closed) and the
+  /// re-closure is skipped — the steady state once a loop stabilizes.
+  SplitOct widen(const SplitOct &O) const;
+  SplitOct narrow(const SplitOct &O) const;
+
+  SplitOct forget(uint32_t V) const;
+  SplitOct assignInterval(uint32_t V, const Interval &Itv) const;
+  SplitOct assignVarPlusConst(uint32_t V, uint32_t W, int64_t C) const;
+
+  /// Adds (PosV ? v : −v) + (PosW ? w : −w) ≤ C and re-closes
+  /// *incrementally* from the one new edge (no-op when the constraint is
+  /// already entailed — the closed form makes entailment a lookup).
+  SplitOct addSumConstraint(uint32_t V, bool PosV, uint32_t W, bool PosW,
+                            int64_t C) const;
+  SplitOct addUpperBound(uint32_t V, int64_t C) const;
+  SplitOct addLowerBound(uint32_t V, int64_t C) const;
+  SplitOct addDiffConstraint(uint32_t V, uint32_t W, int64_t C) const;
+
+  Interval project(uint32_t V) const;
+  Interval projectDiff(uint32_t V, uint32_t W) const;
+  Interval projectSum(uint32_t V, uint32_t W) const;
+
+  std::string str() const;
+
+  /// Heap + object bytes, including the unary array and every spilled
+  /// adjacency list.  Empty (bottom) octagons release their storage, so
+  /// they account a near-constant footprint (the dense backend matches
+  /// this: its matrix is freed on infeasibility).
+  uint64_t memoryBytes() const;
+
+  /// Number of stored directed binary edges (mirrors counted); tests and
+  /// benchmarks use it to assert sparsity.
+  uint32_t numBinaryEdges() const;
+
+private:
+  static uint32_t bar(uint32_t I) { return I ^ 1; }
+  uint32_t dim() const { return 2 * N; }
+
+  /// Conceptual matrix read: 0 on the diagonal, the unary slot for
+  /// J == bar(I), the adjacency list otherwise; bound::PosInf = absent.
+  int64_t entry(uint32_t I, uint32_t J) const;
+
+  /// Unconditional min-store without closure bookkeeping (bulk builds:
+  /// meet/narrow seeds).  Keeps the coherence mirror in sync.
+  void rawMin(uint32_t I, uint32_t J, int64_t W);
+
+  /// Min-store that records newly tightened entries on the closure
+  /// worklist and fires the unary tighten/strengthen consequences.
+  /// Returns true if the stored bound strictly decreased.
+  bool updateEntry(uint32_t I, uint32_t J, int64_t W,
+                   oct_detail::CloseScratch &S);
+
+  /// Integer tightening + strengthening candidates after Unary[U]
+  /// decreased (also detects per-variable infeasibility).
+  void onUnaryTightened(uint32_t U, oct_detail::CloseScratch &S);
+
+  void push(oct_detail::CloseScratch &S, uint32_t I, uint32_t J);
+
+  /// Chaotic-iteration closure: relaxes paths through every queued entry
+  /// (ins(I) × outs(J) one-hop extensions), firing tighten/strengthen on
+  /// unary changes, until the queue drains or infeasibility is found.
+  /// Monotone rule application converges to the unique tight closure, so
+  /// any seed that fires every rule instance at least once yields the
+  /// same canonical form as the dense fixpoint sweep.
+  void drain(oct_detail::CloseScratch &S);
+
+  /// Full closure: seeds the queue with every present entry and every
+  /// unary consequence (meet/narrow/widen-after-drop paths).  The
+  /// incremental path (addSumConstraint) seeds with just the new edge.
+  void closeFromScratch();
+
+  void makeEmpty();
+
+  uint32_t N = 0;
+  bool Empty = false;
+  std::vector<int64_t> Unary;     ///< 2N slots; Unary[k] = M[bar(k)][k].
+  std::vector<OctEdgeList> Adj;   ///< 2N rows of binary edges.
+};
+
+} // namespace spa
+
+#endif // SPA_OCT_SPLITOCT_H

@@ -22,7 +22,7 @@ public:
     // Globals: g0..  plus function-pointer globals when enabled.
     for (unsigned I = 0; I < C.NumGlobals; ++I) {
       GlobalDecl G;
-      G.Name = "g" + std::to_string(I);
+      G.Name = Generator::numbered("g", I);
       G.Init = Rand.range(-4, 8);
       Ast.Globals.push_back(std::move(G));
     }
@@ -50,7 +50,15 @@ private:
   // Naming
   //===------------------------------------------------------------------===//
 
-  static std::string funcName(unsigned I) { return "f" + std::to_string(I); }
+  // Append form: GCC 12's -O3 -Wrestrict misfires on the
+  // `"literal" + std::to_string(...)` chain (GCC PR105651).
+  static std::string numbered(const char *Prefix, uint64_t I) {
+    std::string S = Prefix;
+    S += std::to_string(I);
+    return S;
+  }
+
+  static std::string funcName(unsigned I) { return numbered("f", I); }
 
   /// Variable pools for the function currently being generated.
   struct Pools {
@@ -69,7 +77,7 @@ private:
       return;
     unsigned Want = 1 + static_cast<unsigned>(Rand.below(4));
     for (unsigned I = 0; I < Want; ++I)
-      P.Globals.push_back("g" + std::to_string(Rand.below(C.NumGlobals)));
+      P.Globals.push_back(numbered("g", Rand.below(C.NumGlobals)));
     // The SCC guard counter must stay referencable.
     if (C.SccGroupSize > 1 && P.FuncIndex < C.SccGroupSize)
       P.Globals.push_back("g0");
@@ -305,7 +313,7 @@ private:
                 std::vector<std::unique_ptr<Stmt>> &Out) {
     pickGlobalSubset(P);
     for (unsigned I = 0; I < C.NumericLocals; ++I) {
-      std::string Name = "n" + std::to_string(I);
+      std::string Name = numbered("n", I);
       auto S = std::make_unique<Stmt>();
       S->Kind = StmtKind::Assign;
       S->Target = Name;
@@ -321,7 +329,7 @@ private:
     for (const std::string &Param : F.Params)
       P.Numeric.push_back(Param);
     for (unsigned I = 0; I < C.PointerLocals; ++I) {
-      std::string Name = "p" + std::to_string(I);
+      std::string Name = numbered("p", I);
       auto S = std::make_unique<Stmt>();
       if (Rand.chance(25)) {
         S->Kind = StmtKind::Alloc;
@@ -344,7 +352,7 @@ private:
     FunctionDecl F;
     F.Name = funcName(Index);
     for (unsigned I = 0; I < ParamCounts[Index]; ++I)
-      F.Params.push_back("a" + std::to_string(I));
+      F.Params.push_back(numbered("a", I));
 
     Pools P;
     P.FuncIndex = Index;

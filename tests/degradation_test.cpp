@@ -219,7 +219,7 @@ TEST_P(OctDegradationSoundness, DegradedProjectionsCoverConcreteRuns) {
         const CValue &CV = It.varValue(Member);
         if (CV.K != CValue::Kind::Int)
           continue; // Octagon projections only constrain numeric values.
-        const Oct *O = Run.Dense->Post[P.value()].lookup(Pack);
+        const OctVal *O = Run.Dense->Post[P.value()].lookup(Pack);
         ASSERT_TRUE(O != nullptr);
         Interval Itv = O->project(
             static_cast<uint32_t>(Run.Packs.indexIn(Pack, Member)));

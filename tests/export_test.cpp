@@ -43,8 +43,12 @@ TEST(Export, SupergraphDotIsWellFormed) {
   // Call linkage is rendered dashed.
   EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
   // Every point has a node line.
-  for (uint32_t P = 0; P < Prog->numPoints(); ++P)
-    EXPECT_NE(Dot.find("n" + std::to_string(P) + " "), std::string::npos);
+  for (uint32_t P = 0; P < Prog->numPoints(); ++P) {
+    std::string Node = "n";          // Append form: GCC 12 -Wrestrict
+    Node += std::to_string(P);       // misfires on the operator+ chain.
+    Node += ' ';
+    EXPECT_NE(Dot.find(Node), std::string::npos);
+  }
   EXPECT_EQ(Dot.back(), '\n');
 }
 

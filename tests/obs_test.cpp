@@ -558,7 +558,11 @@ TEST_F(ObsTest, LedgerHotspotsRankByScoreDeterministically) {
   (void)P0;
 
   std::vector<LedgerHotspot> Top =
-      L.hotspots(10, [](uint32_t N) { return "n" + std::to_string(N); });
+      L.hotspots(10, [](uint32_t N) {
+        std::string S = "n";           // Append form: GCC 12 -Wrestrict
+        S += std::to_string(N);        // misfires on "n" + to_string(N).
+        return S;
+      });
   ASSERT_EQ(Top.size(), 3u);
   EXPECT_EQ(Top[0].Node, 2u);
   EXPECT_EQ(Top[1].Node, 1u); // Tie with 4: ascending node id wins.
@@ -720,7 +724,9 @@ TEST_F(ObsTest, BatchExportScopesOutPerRunGauges) {
     Config.Seed = Seed * 97;
     Config.NumFunctions = 2;
     Config.StmtsPerFunction = 6;
-    Items.push_back({"g" + std::to_string(Seed), generateSource(Config)});
+    std::string Name = "g";
+    Name += std::to_string(Seed);
+    Items.push_back({std::move(Name), generateSource(Config)});
   }
   BatchOptions Opts;
   Opts.Check = true;

@@ -257,8 +257,8 @@ void expectOctSparseEqualsDense(const Program &Prog) {
   for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
     for (LocId PL : Sparse.Graph->NodeDefs[P]) {
       PackId Pack(PL.value());
-      const Oct *SV = Sparse.Sparse->Out[P].lookup(Pack);
-      const Oct *DV = Vanilla.Dense->Post[P].lookup(Pack);
+      const OctVal *SV = Sparse.Sparse->Out[P].lookup(Pack);
+      const OctVal *DV = Vanilla.Dense->Post[P].lookup(Pack);
       if (!SV && !DV)
         continue;
       ASSERT_TRUE(SV && DV)
@@ -356,7 +356,7 @@ TEST_P(OctSoundness, ProjectionsCoverConcreteExecutions) {
         const CValue &CV = It.varValue(Member);
         if (CV.K != CValue::Kind::Int)
           continue;
-        const Oct *O = Run.Dense->Post[P.value()].lookup(Pack);
+        const OctVal *O = Run.Dense->Post[P.value()].lookup(Pack);
         ASSERT_TRUE(O != nullptr);
         Interval Itv = O->project(
             static_cast<uint32_t>(Run.Packs.indexIn(Pack, Member)));

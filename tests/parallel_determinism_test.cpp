@@ -103,7 +103,8 @@ RunDigest digestRun(const Program &Prog, unsigned Jobs) {
       const obs::PointCost &C = Run.Ledger->row(N);
       D.LedgerRows.insert(D.LedgerRows.end(),
                           {C.Visits, C.Widenings, C.Narrowings, C.Joins,
-                           C.NoChangeSkips, C.Deliveries, C.Growth});
+                           C.NoChangeSkips, C.Deliveries, C.Growth,
+                           C.Closures});
     }
   return D;
 }
@@ -214,9 +215,12 @@ TEST(ParallelDeterminismTest, PhaseGaugesSatisfyTotalInvariant) {
 
 TEST(ParallelDeterminismTest, BatchResultsIndependentOfJobs) {
   std::vector<BatchItem> Items;
-  for (unsigned Round = 0; Round < 6; ++Round)
-    Items.push_back({"p" + std::to_string(Round),
+  for (unsigned Round = 0; Round < 6; ++Round) {
+    std::string Name = "p";
+    Name += std::to_string(Round);
+    Items.push_back({std::move(Name),
                      generateSource(configForRound(Round))});
+  }
 
   auto RunWith = [&](unsigned Jobs) {
     BatchOptions Opts;

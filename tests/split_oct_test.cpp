@@ -1,0 +1,376 @@
+//===- split_oct_test.cpp - Split backend == dense DBM, bit for bit ---------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backend-equivalence suite for the split-normal-form octagon backend
+/// (src/oct/SplitOct.h).  Both representations maintain the same tight
+/// closure, so every observable — projections, ordering, emptiness,
+/// printing — must agree exactly:
+///
+///  - lockstep fuzz: random constraint/assign/lattice op sequences applied
+///    to an Oct and a SplitOct in parallel, compared after every step via
+///    all ordered-pair projections (which determine the full closed
+///    matrix);
+///  - whole-analysis equivalence: the same program analyzed under
+///    --oct-backend=dbm and =split produces identical per-point pack
+///    states, including loops/widening and both engines;
+///  - soundness: split-backend projections cover every value the concrete
+///    interpreter observes (the dense backend has the same oracle test in
+///    octagon_test.cpp);
+///  - pack determinism: computePacking is a pure function of the program —
+///    repeated runs yield identical pack vectors in identical order, which
+///    the split backend's pack-keyed states rely on for determinism.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "interp/Interp.h"
+#include "oct/OctAnalysis.h"
+#include "oct/Octagon.h"
+#include "oct/SplitOct.h"
+#include "support/Rng.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace spa;
+using namespace spa::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lockstep domain fuzz
+//===----------------------------------------------------------------------===//
+
+/// Full observational equality: the tight-closed matrix is determined by
+/// the unary, difference, and sum projections over all ordered pairs, so
+/// comparing them all compares every DBM entry (via coherence).
+void expectSameOct(const Oct &D, const SplitOct &S, const char *Ctx) {
+  ASSERT_EQ(D.numVars(), S.numVars()) << Ctx;
+  ASSERT_EQ(D.isBottom(), S.isBottom()) << Ctx << ": dense " << D.str()
+                                        << " split " << S.str();
+  if (D.isBottom())
+    return;
+  for (uint32_t V = 0; V < D.numVars(); ++V) {
+    EXPECT_EQ(D.project(V), S.project(V)) << Ctx << " v" << V;
+    for (uint32_t W = 0; W < D.numVars(); ++W) {
+      if (V == W)
+        continue;
+      EXPECT_EQ(D.projectDiff(V, W), S.projectDiff(V, W))
+          << Ctx << " v" << V << "-v" << W;
+      EXPECT_EQ(D.projectSum(V, W), S.projectSum(V, W))
+          << Ctx << " v" << V << "+v" << W;
+    }
+  }
+  EXPECT_EQ(D.str(), S.str()) << Ctx;
+  EXPECT_GT(S.memoryBytes(), 0u) << Ctx;
+}
+
+/// One lockstep pair: every operation is applied to both representations.
+struct OctPair {
+  Oct D;
+  SplitOct S;
+  explicit OctPair(uint32_t N) : D(Oct::top(N)), S(SplitOct::top(N)) {}
+};
+
+class SplitOctFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SplitOctFuzz, LockstepOpsMatchDenseDbm) {
+  Rng R(GetParam() * 1000003 + 17);
+  uint32_t N = 1 + static_cast<uint32_t>(R.below(6));
+  OctPair Cur(N);
+  // History snapshots provide lockstep second operands for the lattice
+  // ops, so joins/meets/widens see genuinely different octagons.
+  std::vector<OctPair> History;
+  History.push_back(Cur);
+
+  auto Var = [&] { return static_cast<uint32_t>(R.below(N)); };
+  auto C = [&] { return R.range(-8, 8); };
+
+  for (int Step = 0; Step < 80; ++Step) {
+    uint32_t V = Var(), W = Var();
+    switch (R.below(10)) {
+    case 0:
+      if (V != W) {
+        int64_t K = C();
+        Cur.D = Cur.D.addDiffConstraint(V, W, K);
+        Cur.S = Cur.S.addDiffConstraint(V, W, K);
+      }
+      break;
+    case 1: {
+      bool PV = R.chance(50), PW = R.chance(50);
+      int64_t K = C();
+      if (V != W) {
+        Cur.D = Cur.D.addSumConstraint(V, PV, W, PW, K);
+        Cur.S = Cur.S.addSumConstraint(V, PV, W, PW, K);
+      }
+      break;
+    }
+    case 2: {
+      int64_t K = C();
+      Cur.D = Cur.D.addUpperBound(V, K);
+      Cur.S = Cur.S.addUpperBound(V, K);
+      break;
+    }
+    case 3: {
+      int64_t K = C();
+      Cur.D = Cur.D.addLowerBound(V, K);
+      Cur.S = Cur.S.addLowerBound(V, K);
+      break;
+    }
+    case 4: {
+      int64_t Lo = C();
+      Interval Itv(Lo, Lo + R.range(0, 6));
+      Cur.D = Cur.D.assignInterval(V, Itv);
+      Cur.S = Cur.S.assignInterval(V, Itv);
+      break;
+    }
+    case 5: {
+      int64_t K = C();
+      Cur.D = Cur.D.assignVarPlusConst(V, W, K);
+      Cur.S = Cur.S.assignVarPlusConst(V, W, K);
+      break;
+    }
+    case 6:
+      Cur.D = Cur.D.forget(V);
+      Cur.S = Cur.S.forget(V);
+      break;
+    case 7: {
+      const OctPair &O = History[R.below(History.size())];
+      Cur.D = Cur.D.join(O.D);
+      Cur.S = Cur.S.join(O.S);
+      break;
+    }
+    case 8: {
+      const OctPair &O = History[R.below(History.size())];
+      Cur.D = Cur.D.meet(O.D);
+      Cur.S = Cur.S.meet(O.S);
+      break;
+    }
+    case 9: {
+      // Engine shape: widen against the join (growing operand), then
+      // occasionally narrow back against the meet (shrinking operand).
+      const OctPair &O = History[R.below(History.size())];
+      if (R.chance(60)) {
+        Cur.D = Cur.D.widen(Cur.D.join(O.D));
+        Cur.S = Cur.S.widen(Cur.S.join(O.S));
+      } else {
+        Cur.D = Cur.D.narrow(Cur.D.meet(O.D));
+        Cur.S = Cur.S.narrow(Cur.S.meet(O.S));
+      }
+      break;
+    }
+    }
+    std::string Ctx = "seed ";
+    Ctx += std::to_string(GetParam());
+    Ctx += " step ";
+    Ctx += std::to_string(Step);
+    expectSameOct(Cur.D, Cur.S, Ctx.c_str());
+    // Cross-representation ordering must agree with the dense order.
+    const OctPair &O = History[R.below(History.size())];
+    EXPECT_EQ(Cur.D.leq(O.D), Cur.S.leq(O.S)) << Ctx;
+    EXPECT_EQ(O.D.leq(Cur.D), O.S.leq(Cur.S)) << Ctx;
+    EXPECT_EQ(Cur.D == O.D, Cur.S == O.S) << Ctx;
+    if (History.size() < 8 && R.chance(30))
+      History.push_back(Cur);
+    if (Cur.D.isBottom() && R.chance(80))
+      Cur = OctPair(N); // Bottom absorbs everything; restart the walk.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitOctFuzz,
+                         ::testing::Range<uint64_t>(1, 25));
+
+//===----------------------------------------------------------------------===//
+// Whole-analysis backend equivalence
+//===----------------------------------------------------------------------===//
+
+/// All projections of one pack state must match across backends.  OctVal
+/// equality requires matching representations, so compare observations.
+void expectSameVal(const OctVal &D, const OctVal &S, const std::string &Ctx) {
+  ASSERT_EQ(D.numVars(), S.numVars()) << Ctx;
+  ASSERT_EQ(D.isBottom(), S.isBottom()) << Ctx;
+  if (D.isBottom())
+    return;
+  for (uint32_t V = 0; V < D.numVars(); ++V) {
+    EXPECT_EQ(D.project(V), S.project(V)) << Ctx << " v" << V;
+    for (uint32_t W = V + 1; W < D.numVars(); ++W) {
+      EXPECT_EQ(D.projectDiff(V, W), S.projectDiff(V, W)) << Ctx;
+      EXPECT_EQ(D.projectSum(V, W), S.projectSum(V, W)) << Ctx;
+    }
+  }
+  EXPECT_EQ(D.str(), S.str()) << Ctx;
+}
+
+void expectBackendsAgree(const Program &Prog, EngineKind Engine) {
+  OctOptions Opts;
+  Opts.Engine = Engine;
+  Opts.Dep.Bypass = false;
+  Opts.Backend = OctBackendKind::Dbm;
+  OctRun Dbm = runOctAnalysis(Prog, Opts);
+  Opts.Backend = OctBackendKind::Split;
+  OctRun Split = runOctAnalysis(Prog, Opts);
+  ASSERT_FALSE(Dbm.timedOut());
+  ASSERT_FALSE(Split.timedOut());
+
+  auto Compare = [&](const OctState &DS, const OctState &SS, uint32_t P) {
+    for (const auto &[Pack, DV] : DS) {
+      const OctVal *SV = SS.lookup(Pack);
+      ASSERT_TRUE(SV != nullptr)
+          << "split missing pack " << Pack.value() << " at "
+          << Prog.pointToString(PointId(P));
+      std::string Ctx = Prog.pointToString(PointId(P));
+      Ctx += " pack ";
+      Ctx += std::to_string(Pack.value());
+      expectSameVal(DV, *SV, Ctx);
+    }
+    ASSERT_EQ(DS.size(), SS.size())
+        << "extra split packs at " << Prog.pointToString(PointId(P));
+  };
+
+  if (Engine == EngineKind::Sparse) {
+    for (uint32_t P = 0; P < Prog.numPoints(); ++P) {
+      Compare(Dbm.Sparse->In[P], Split.Sparse->In[P], P);
+      Compare(Dbm.Sparse->Out[P], Split.Sparse->Out[P], P);
+    }
+    EXPECT_EQ(Dbm.Sparse->Visits, Split.Sparse->Visits);
+    EXPECT_EQ(Dbm.Sparse->StateEntries, Split.Sparse->StateEntries);
+  } else {
+    for (uint32_t P = 0; P < Prog.numPoints(); ++P)
+      Compare(Dbm.Dense->Post[P], Split.Dense->Post[P], P);
+    EXPECT_EQ(Dbm.Dense->Visits, Split.Dense->Visits);
+  }
+}
+
+TEST(SplitOctAnalysis, BackendsAgreeOnLoopsAndWidening) {
+  // Loops drive the widen/narrow path, where restabilization is the
+  // split backend's riskiest divergence point.
+  auto Prog = build(R"(
+    fun main() {
+      n = input();
+      if (n < 0) { n = 0; }
+      i = 0;
+      r = 0;
+      while (i < n) {
+        r = n - i;
+        i = i + 1;
+      }
+      return r;
+    }
+  )");
+  expectBackendsAgree(*Prog, EngineKind::Sparse);
+  expectBackendsAgree(*Prog, EngineKind::Vanilla);
+}
+
+class SplitOctBackendEquality : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SplitOctBackendEquality, RandomProgramsMatchUnderBothEngines) {
+  GenConfig Config;
+  Config.Seed = GetParam() * 31 + 3;
+  Config.NumFunctions = 4;
+  Config.StmtsPerFunction = 10;
+  Config.AllowLoops = true;
+  Config.AllowRecursion = (GetParam() % 3) == 0;
+  BuildResult B = buildProgramFromSource(generateSource(Config));
+  ASSERT_TRUE(B.ok()) << B.Error;
+  expectBackendsAgree(*B.Prog, EngineKind::Sparse);
+  if (GetParam() % 2 == 0)
+    expectBackendsAgree(*B.Prog, EngineKind::Vanilla);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitOctBackendEquality,
+                         ::testing::Range<uint64_t>(1, 13));
+
+//===----------------------------------------------------------------------===//
+// Soundness against the concrete interpreter
+//===----------------------------------------------------------------------===//
+
+class SplitOctSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SplitOctSoundness, SplitProjectionsCoverConcreteExecutions) {
+  GenConfig Config;
+  Config.Seed = GetParam() * 13 + 5;
+  Config.NumFunctions = 4;
+  Config.StmtsPerFunction = 10;
+  Config.AllowLoops = true;
+  Config.AllowRecursion = (GetParam() % 2) == 0;
+  BuildResult B = buildProgramFromSource(generateSource(Config));
+  ASSERT_TRUE(B.ok()) << B.Error;
+  const Program &Prog = *B.Prog;
+
+  OctOptions Opts;
+  Opts.Engine = EngineKind::Vanilla;
+  Opts.Backend = OctBackendKind::Split;
+  OctRun Run = runOctAnalysis(Prog, Opts);
+  ASSERT_FALSE(Run.timedOut());
+
+  InterpOptions IOpts;
+  IOpts.MaxSteps = 15000;
+  Interp I(Prog, Run.Pre.CG, IOpts);
+  I.run([&](PointId P, const Interp &It) {
+    for (LocId PL : Run.DU.Defs[P.value()]) {
+      PackId Pack(PL.value());
+      for (LocId Member : Run.Packs.vars(Pack)) {
+        if (Prog.loc(Member).isSummary())
+          continue;
+        const CValue &CV = It.varValue(Member);
+        if (CV.K != CValue::Kind::Int)
+          continue;
+        const OctVal *O = Run.Dense->Post[P.value()].lookup(Pack);
+        ASSERT_TRUE(O != nullptr);
+        ASSERT_EQ(O->backend(), OctBackendKind::Split);
+        Interval Itv = O->project(
+            static_cast<uint32_t>(Run.Packs.indexIn(Pack, Member)));
+        EXPECT_TRUE(Itv.contains(CV.I))
+            << "split octagon misses " << Prog.loc(Member).Name << " = "
+            << CV.I << " at " << Prog.pointToString(P) << " (got "
+            << Itv.str() << ")";
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitOctSoundness,
+                         ::testing::Range<uint64_t>(1, 9));
+
+//===----------------------------------------------------------------------===//
+// Pack-ordering determinism
+//===----------------------------------------------------------------------===//
+
+TEST(SplitOctPacking, RepeatedPackingIsIdenticalInContentAndOrder) {
+  // The pack table is keyed by index everywhere (OctState, def/use in
+  // pack space, the split backend's per-pack octagons), so packing must
+  // be a pure deterministic function of the program: same packs, same
+  // member order, same pack numbering on every run.
+  for (unsigned Round = 0; Round < 4; ++Round) {
+    GenConfig Config;
+    Config.Seed = 0xaced + Round * 97;
+    Config.NumFunctions = 5;
+    Config.StmtsPerFunction = 12;
+    Config.AllowLoops = true;
+    BuildResult B = buildProgramFromSource(generateSource(Config));
+    ASSERT_TRUE(B.ok()) << B.Error;
+
+    OctOptions Opts;
+    Opts.Engine = EngineKind::Sparse;
+    OctRun Run = runOctAnalysis(*B.Prog, Opts);
+    Packing Again = computePacking(*B.Prog, Run.Pre, Opts.MaxPackSize);
+    ASSERT_EQ(Run.Packs.Packs, Again.Packs) << "round " << Round;
+    ASSERT_EQ(Run.Packs.Singleton, Again.Singleton) << "round " << Round;
+    ASSERT_EQ(Run.Packs.Of, Again.Of) << "round " << Round;
+    ASSERT_EQ(Run.Packs.NumGroups, Again.NumGroups) << "round " << Round;
+    // Member lists are sorted — the order the split backend's vertex
+    // numbering (2i/2i+1) inherits.
+    for (const auto &Members : Again.Packs)
+      ASSERT_TRUE(std::is_sorted(Members.begin(), Members.end(),
+                                 [](LocId A, LocId B) {
+                                   return A.value() < B.value();
+                                 }));
+  }
+}
+
+} // namespace

@@ -11,6 +11,7 @@
 ///
 ///   --engine=vanilla|base|sparse   analyzer generation (default sparse)
 ///   --domain=interval|octagon      abstract domain (default interval)
+///   --oct-backend=dbm|split        octagon representation (default split)
 ///   --pre=precise|semisparse|staged  pre-analysis instance
 ///   --dep=ssa|rd|chains|whole      dependency builder (sparse engine)
 ///   --no-bypass                    disable the bypass contraction
@@ -85,6 +86,7 @@ struct CliOptions {
   std::string Path;
   EngineKind Engine = EngineKind::Sparse;
   bool Octagon = false;
+  OctBackendKind OctBackend = OctBackendKind::Split;
   PreAnalysisKind Pre = PreAnalysisKind::Precise;
   DepOptions Dep;
   bool Check = false;
@@ -114,6 +116,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: spa-analyze [options] <file | ->\n"
                "  --engine=vanilla|base|sparse --domain=interval|octagon\n"
+               "  --oct-backend=dbm|split   (octagon representation; "
+               "default split)\n"
                "  --pre=precise|semisparse|staged "
                "--dep=ssa|rd|chains|whole\n"
                "  --no-bypass --bdd --check --list --dump-cfg "
@@ -149,6 +153,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       else if (!std::strcmp(V, "octagon"))
         Opts.Octagon = true;
       else
+        return false;
+    } else if (const char *V = Value("--oct-backend=")) {
+      if (!parseOctBackend(V, Opts.OctBackend))
         return false;
     } else if (const char *V = Value("--pre=")) {
       if (!std::strcmp(V, "precise"))
@@ -337,6 +344,7 @@ struct WalkBudget {
 int runOctagonMode(const Program &Prog, const CliOptions &Cli) {
   OctOptions Opts;
   Opts.Engine = Cli.Engine;
+  Opts.Backend = Cli.OctBackend;
   Opts.Dep = Cli.Dep;
   // Exit invariants are printed from the exit input buffers, which the
   // bypass contraction would (correctly) thin out.
@@ -429,7 +437,7 @@ int runOctagonMode(const Program &Prog, const CliOptions &Cli) {
         Itv = Run.denseIntervalAt(Info.Exit, LocId(L));
       } else {
         PackId S = Run.Packs.singleton(LocId(L));
-        const Oct *O = Run.Sparse->In[Info.Exit.value()].lookup(S);
+        const OctVal *O = Run.Sparse->In[Info.Exit.value()].lookup(S);
         Itv = O ? O->project(0) : Interval::bot();
       }
       if (!Itv.isBot())
