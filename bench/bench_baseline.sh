@@ -109,6 +109,33 @@ if "off" in guard and "on" in guard:
                             if off_cpu > 0 else None,
         "degraded": sum(m.get("batch.degraded", 0) for m in guard["on"]),
     }
+
+# Snapshot-shipping ablation: isolated children loading the parent's
+# spa-ir-v1 snapshot vs rebuilding from source inside the fork.  The
+# ratio is the headline snapshot_speedup (rebuild / snapshot).
+snap = {}
+for r in records:
+    if r["bench"].startswith("snapshot:"):
+        snap.setdefault(r["bench"][len("snapshot:"):], []).append(r["metrics"])
+if "off" in snap and "on" in snap:
+    off = min(m.get("batch.seconds", 0) for m in snap["off"])
+    on = min(m.get("batch.seconds", 0) for m in snap["on"])
+    best_on = min(snap["on"], key=lambda m: m.get("batch.seconds", 0))
+    out["snapshot"] = {
+        "seconds_rebuild": round(off, 4),
+        "seconds_snapshot": round(on, 4),
+        "items": int(best_on.get("batch.snapshot.items", 0)),
+        "bytes": int(best_on.get("batch.snapshot.bytes", 0)),
+    }
+    out["snapshot_speedup"] = round(off / on, 3) if on > 0 else None
+
+# Work-stealing shard coordinator gauges (one "shard" record per run).
+shard = [r["metrics"] for r in records if r["bench"] == "shard"]
+if shard:
+    m = shard[-1]
+    out["shard"] = {k[len("shard."):]: m[k] for k in sorted(m)
+                    if k.startswith("shard.")}
+    out["shard"]["seconds"] = round(m.get("batch.seconds", 0), 4)
 json.dump(out, open(sys.argv[2], "w"), indent=2)
 print("wrote", sys.argv[2])
 EOF

@@ -23,6 +23,7 @@
 #include "obs/Metrics.h"
 #include "support/ThreadPool.h"
 #include "workload/Batch.h"
+#include "workload/ShardCoordinator.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -168,6 +169,62 @@ int main() {
   if (OnDegraded > 0 || OnFailed > 0) {
     std::printf("\nerror: generous budget limits degraded the batch\n");
     return 1;
+  }
+
+  // Snapshot-shipping ablation: fault-isolated children either load the
+  // parent's spa-ir-v1 snapshot (the default) or rebuild each program
+  // from source inside the fork (UseSnapshots off).  The wall-clock
+  // ratio is the snapshot_speedup BENCH_pipeline.json reports — the
+  // rebuild-vs-deserialize delta per isolated run.  Same interleaved
+  // best-of-N discipline as the guard ablation.
+  auto SnapRun = [&](const char *Name, bool UseSnapshots) {
+    BatchOptions BOpts;
+    BOpts.Analyzer.TimeLimitSec = TimeLimit;
+    BOpts.Analyzer.Jobs = Par;
+    BOpts.Isolate = true;
+    BOpts.UseSnapshots = UseSnapshots;
+    return recordRun(std::string("snapshot:") + Name,
+                     engineName(BOpts.Analyzer.Engine),
+                     [&] { return runBatch(suiteBatch(Scale), BOpts); });
+  };
+  SnapRun("warmup", true);
+  double SnapOffSec = 0, SnapOnSec = 0;
+  size_t SnapFailed = 0;
+  for (int Rep = 0; Rep < 2; ++Rep) {
+    bool OnFirst = Rep % 2;
+    BatchResult A = OnFirst ? SnapRun("on", true) : SnapRun("off", false);
+    BatchResult B = OnFirst ? SnapRun("off", false) : SnapRun("on", true);
+    BatchResult &Off = OnFirst ? B : A;
+    BatchResult &On = OnFirst ? A : B;
+    SnapOffSec = Rep ? std::min(SnapOffSec, Off.Seconds) : Off.Seconds;
+    SnapOnSec = Rep ? std::min(SnapOnSec, On.Seconds) : On.Seconds;
+    SnapFailed += Off.numFailed() + On.numFailed();
+  }
+  std::printf("snapshot shipping: rebuild %.3fs, snapshot %.3fs "
+              "(%.2fx speedup)\n",
+              SnapOffSec, SnapOnSec,
+              SnapOnSec > 0 ? SnapOffSec / SnapOnSec : 0);
+  if (SnapFailed > 0) {
+    std::printf("\nerror: snapshot ablation batch had failures\n");
+    return 1;
+  }
+
+  // Work-stealing shard coordinator over the same suite: one record
+  // ("shard") with the shard.* gauges for the summary JSON.
+  {
+    ShardOptions SOpts;
+    SOpts.Batch.Analyzer.TimeLimitSec = TimeLimit;
+    SOpts.Shards = Par;
+    ShardRunResult SR = runSharded(suiteBatch(Scale), SOpts);
+    std::printf("shards=%-2u: %zu programs in %.2fs (%llu steals, %u "
+                "worker deaths, %zu failed)\n",
+                SOpts.Shards, SR.Batch.Items.size(), SR.Batch.Seconds,
+                static_cast<unsigned long long>(SR.Steals),
+                SR.WorkerDeaths, SR.Batch.numFailed());
+    if (SR.Batch.numFailed() > 0) {
+      std::printf("\nerror: sharded batch had failures\n");
+      return 1;
+    }
   }
 
   if (!AllSame) {

@@ -48,6 +48,14 @@ const char *spa::obs::journalEventName(JournalEventKind K) {
     return "oom.trip";
   case JournalEventKind::OctCloseBurst:
     return "oct.close.burst";
+  case JournalEventKind::SnapshotSave:
+    return "snapshot.save";
+  case JournalEventKind::SnapshotLoad:
+    return "snapshot.load";
+  case JournalEventKind::ShardDispatch:
+    return "shard.dispatch";
+  case JournalEventKind::ShardWorkerExit:
+    return "shard.worker.exit";
   }
   return "unknown";
 }

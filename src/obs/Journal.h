@@ -65,6 +65,10 @@ enum class JournalEventKind : uint16_t {
   HeartbeatStall,  ///< Written by the watchdog: A = slot, B = heartbeat.
   OomTrip,         ///< Allocation failure under a hard memory cap.
   OctCloseBurst,   ///< A = node id, B = closure ticks (4096-crossing visit).
+  SnapshotSave,    ///< A = bytes written, B = section count.
+  SnapshotLoad,    ///< A = bytes consumed, B = SnapErrc (0 = ok).
+  ShardDispatch,   ///< A = item index, B = shard index.
+  ShardWorkerExit, ///< A = shard index, B = 1 if unexpected death.
 };
 
 /// Human name of \p K ("phase.begin", "budget.trip", ...).

@@ -8,6 +8,7 @@
 
 #include "core/Checker.h"
 #include "ir/Builder.h"
+#include "ir/Snapshot.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "obs/MetricsSink.h"
@@ -18,9 +19,15 @@
 #include "workload/Suite.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <sstream>
+
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 using namespace spa;
 
@@ -84,16 +91,83 @@ static const char *batchEngineName(EngineKind E) {
 
 namespace {
 
-/// One in-process attempt: build, analyze, check, classify.
+/// Stages snapshot bytes in an anonymous in-memory file a forked child
+/// can pread back (tmp-file fallback when memfd_create is unavailable).
+/// Returns -1 on failure.
+int fdFromBytes(const std::vector<uint8_t> &Bytes) {
+  int Fd = memfd_create("spa-snapshot", 0);
+  if (Fd < 0) {
+    char Tmpl[] = "/tmp/spa-snap-XXXXXX";
+    Fd = mkstemp(Tmpl);
+    if (Fd < 0)
+      return -1;
+    unlink(Tmpl);
+  }
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = pwrite(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                       static_cast<off_t>(Off));
+    if (N <= 0) {
+      close(Fd);
+      return -1;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return Fd;
+}
+
+/// Child-side read-back of a staged snapshot (pread: the fd's offset is
+/// shared with the parent and possibly a retry, so never seek it).
+std::vector<uint8_t> readAllFd(int Fd) {
+  std::vector<uint8_t> Bytes;
+  struct stat St;
+  if (fstat(Fd, &St) == 0 && St.st_size > 0)
+    Bytes.reserve(static_cast<size_t>(St.st_size));
+  uint8_t Chunk[1 << 16];
+  size_t Off = 0;
+  ssize_t N;
+  while ((N = pread(Fd, Chunk, sizeof(Chunk), static_cast<off_t>(Off))) > 0) {
+    Bytes.insert(Bytes.end(), Chunk, Chunk + N);
+    Off += static_cast<size_t>(N);
+  }
+  return Bytes;
+}
+
+/// Reads a file's raw bytes without interpreting them.
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Bytes) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  std::string S = OS.str();
+  Bytes.assign(S.begin(), S.end());
+  return true;
+}
+
+/// One in-process attempt: build (or load the item's snapshot), analyze,
+/// check, classify.
 void runItemInProcess(const BatchItem &Item, const BatchOptions &Opts,
                       const AnalyzerOptions &AOpts, BatchItemResult &R) {
-  BuildResult Built = buildProgramFromSource(Item.Source);
-  if (!Built.ok()) {
-    R.Error = Built.Error;
-    R.Outcome = BatchOutcome::BuildError;
-    return;
+  std::unique_ptr<Program> Owned;
+  if (!Item.SnapshotPath.empty()) {
+    SnapshotLoadResult L = loadSnapshotFile(Item.SnapshotPath);
+    if (!L.ok()) {
+      R.Error = L.Error.str();
+      R.Outcome = BatchOutcome::BuildError;
+      return;
+    }
+    Owned = std::move(L.Prog);
+  } else {
+    BuildResult Built = buildProgramFromSource(Item.Source);
+    if (!Built.ok()) {
+      R.Error = Built.Error;
+      R.Outcome = BatchOutcome::BuildError;
+      return;
+    }
+    Owned = std::move(Built.Prog);
   }
-  AnalysisRun Run = analyzeProgram(*Built.Prog, AOpts);
+  AnalysisRun Run = analyzeProgram(*Owned, AOpts);
   R.TimedOut = Run.timedOut();
   R.Degraded = Run.degraded();
   R.BudgetSteps = Run.BudgetSteps;
@@ -105,7 +179,7 @@ void runItemInProcess(const BatchItem &Item, const BatchOptions &Opts,
     R.LedgerTimeMicros = T.TimeMicros;
   }
   if (Opts.Check && !R.TimedOut) {
-    CheckerSummary Summary = checkBufferOverruns(*Built.Prog, Run);
+    CheckerSummary Summary = checkBufferOverruns(*Owned, Run);
     R.Checks = static_cast<unsigned>(Summary.Checks.size());
     R.Alarms = Summary.numAlarms();
   }
@@ -128,9 +202,12 @@ void appendCrashNote(BatchItemResult &R) {
 /// One isolated attempt: the same work in a forked child, classified
 /// from the child's exit.  The fault plan (SPA_FAULT) arms only inside
 /// the child, so injected faults take down the child, not the batch.
+/// \p SnapFd >= 0 ships a staged spa-ir-v1 snapshot: the child runs the
+/// strict loader instead of the frontend, and a load failure classifies
+/// as BuildError exactly like unparseable source.
 void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
                      const AnalyzerOptions &AOpts, const FaultPlan &Plan,
-                     BatchItemResult &R) {
+                     BatchItemResult &R, int SnapFd) {
   double Kill = Opts.KillLimitSec;
   if (Kill <= 0) {
     double D =
@@ -154,15 +231,27 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
         AnalyzerOptions CA = AOpts;
         CA.Jobs = 1;
         FaultScope Scope(Plan, Item.Name);
+        // The "build" fault phase covers program *construction* whichever
+        // way it happens — frontend or snapshot loader — so crash@build
+        // keeps meaning "the child died producing its Program".
         maybeInjectFault("build");
-        BuildResult Built = buildProgramFromSource(Item.Source);
-        if (!Built.ok())
-          return {1, 0, 0, 0, 0, 0};
-        AnalysisRun Run = analyzeProgram(*Built.Prog, CA);
+        std::unique_ptr<Program> Owned;
+        if (SnapFd >= 0) {
+          SnapshotLoadResult L = loadSnapshot(readAllFd(SnapFd));
+          if (!L.ok())
+            return {1, static_cast<double>(L.Error.Code), 0, 0, 0, 0};
+          Owned = std::move(L.Prog);
+        } else {
+          BuildResult Built = buildProgramFromSource(Item.Source);
+          if (!Built.ok())
+            return {1, 0, 0, 0, 0, 0};
+          Owned = std::move(Built.Prog);
+        }
+        AnalysisRun Run = analyzeProgram(*Owned, CA);
         double Checks = 0, Alarms = 0;
         if (Opts.Check && !Run.timedOut()) {
           maybeInjectFault("check");
-          CheckerSummary S = checkBufferOverruns(*Built.Prog, Run);
+          CheckerSummary S = checkBufferOverruns(*Owned, Run);
           Checks = static_cast<double>(S.Checks.size());
           Alarms = S.numAlarms();
         }
@@ -208,7 +297,16 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
   if (CR.Ok && CR.Payload.size() >= 5) {
     if (CR.Payload[0] != 0) {
       R.Outcome = BatchOutcome::BuildError;
-      R.Error = "build error (isolated child)";
+      // Payload[1] carries the child loader's SnapErrc for snapshot-fed
+      // items (0 for a frontend build error), so the parent can say
+      // *which* way the bytes were bad without a string channel.
+      auto Errc = CR.Payload.size() >= 2
+                      ? static_cast<SnapErrc>(static_cast<int>(CR.Payload[1]))
+                      : SnapErrc::None;
+      R.Error = Errc != SnapErrc::None
+                    ? std::string("snapshot load error (isolated child): ") +
+                          snapshotErrorName(Errc)
+                    : "build error (isolated child)";
       return;
     }
     R.TimedOut = CR.Payload[1] != 0;
@@ -260,18 +358,15 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
   appendCrashNote(R);
 }
 
-/// The retry tier: a tightened budget that forces early (sound)
-/// degradation instead of repeating whatever exhausted the first
-/// attempt.
-AnalyzerOptions lowerTier(const AnalyzerOptions &A) {
+} // namespace
+
+AnalyzerOptions spa::lowerTierOptions(const AnalyzerOptions &A) {
   AnalyzerOptions T = A;
   if (T.Budget.DeadlineSec > 0)
     T.Budget.DeadlineSec /= 2;
   T.Budget.StepLimit = T.Budget.StepLimit ? T.Budget.StepLimit / 2 : 50000;
   return T;
 }
-
-} // namespace
 
 BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
                           const BatchOptions &Opts) {
@@ -285,12 +380,76 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
   // Parsed once per batch so tests can flip SPA_FAULT between runs.
   FaultPlan Plan = FaultPlan::fromEnv();
 
-  auto RunOnce = [&](const BatchItem &Item, const AnalyzerOptions &A,
-                     BatchItemResult &R) {
-    if (Opts.Isolate)
-      runItemIsolated(Item, Opts, A, Plan, R);
-    else
+  // Staged snapshots, one per item: the parent builds (or reads) each
+  // program's bytes exactly once, and both the first pass and the retry
+  // ship the same memfd.  Each slot is touched only by its own item's
+  // lane (first pass and retry of one index never overlap), so no locks.
+  struct StagedSnapshot {
+    int Fd = -1;
+    bool Failed = false;
+    std::string Error;
+  };
+  std::vector<StagedSnapshot> Staged(Items.size());
+  std::atomic<uint64_t> ShipItems{0}, ShipBytes{0};
+  auto NeedShip = [&](const BatchItem &It) {
+    // Snapshot-file items have no source to rebuild from, so their bytes
+    // ship even with UseSnapshots off (the bench ablation toggle).
+    return Opts.Isolate && (Opts.UseSnapshots || !It.SnapshotPath.empty());
+  };
+  auto Stage = [&](size_t I) -> StagedSnapshot & {
+    StagedSnapshot &S = Staged[I];
+    if (S.Fd >= 0 || S.Failed)
+      return S;
+    const BatchItem &It = Items[I];
+    std::vector<uint8_t> Bytes;
+    if (!It.SnapshotPath.empty()) {
+      // Raw and unvalidated on purpose: the *child's* strict loader is
+      // the validation boundary, and a corrupt file must classify as
+      // that item's BuildError, not abort the parent.
+      if (!readFileBytes(It.SnapshotPath, Bytes)) {
+        S.Failed = true;
+        S.Error = "cannot read snapshot " + It.SnapshotPath;
+        return S;
+      }
+    } else {
+      BuildResult Built = buildProgramFromSource(It.Source);
+      if (!Built.ok()) {
+        S.Failed = true;
+        S.Error = Built.Error;
+        return S;
+      }
+      Bytes = saveSnapshot(*Built.Prog);
+    }
+    S.Fd = fdFromBytes(Bytes);
+    if (S.Fd < 0) {
+      S.Failed = true;
+      S.Error = "cannot stage snapshot in memory";
+      return S;
+    }
+    ShipItems += 1;
+    ShipBytes += Bytes.size();
+    return S;
+  };
+
+  auto RunOnce = [&](size_t I, const AnalyzerOptions &A, BatchItemResult &R) {
+    const BatchItem &Item = Items[I];
+    if (!Opts.Isolate) {
       runItemInProcess(Item, Opts, A, R);
+      return;
+    }
+    int SnapFd = -1;
+    if (NeedShip(Item)) {
+      StagedSnapshot &S = Stage(I);
+      if (S.Failed) {
+        // Parent-side build/read failure: same deterministic BuildError
+        // the child would have reported, without paying for a fork.
+        R.Outcome = BatchOutcome::BuildError;
+        R.Error = S.Error;
+        return;
+      }
+      SnapFd = S.Fd;
+    }
+    runItemIsolated(Item, Opts, A, Plan, R, SnapFd);
   };
   auto Retryable = [](BatchOutcome O) {
     return O == BatchOutcome::Timeout || O == BatchOutcome::Oom ||
@@ -307,7 +466,7 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
     R.Name = Items[I].Name;
     SPA_OBS_JOURNAL(BatchItemBegin, I, 0);
     Timer ItemClock;
-    RunOnce(Items[I], AOpts, R);
+    RunOnce(I, AOpts, R);
     R.Seconds = ItemClock.seconds();
     SPA_OBS_JOURNAL(BatchItemEnd, I, static_cast<uint64_t>(R.Outcome));
   });
@@ -319,6 +478,7 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
   // enter the pool first instead of straggling at the batch tail.
   // parallelFor lanes claim indices in submission order, which makes
   // this a priority order even under dynamic scheduling.
+  uint64_t HeavySerialized = 0;
   std::vector<size_t> RetryQueue;
   if (Opts.RetryAtLowerTier)
     for (size_t I = 0; I < Result.Items.size(); ++I)
@@ -333,16 +493,15 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
                          return RA.BudgetSteps > RB.BudgetSteps;
                        return RA.PeakRssKiB > RB.PeakRssKiB;
                      });
-    AnalyzerOptions Tier = lowerTier(AOpts);
-    ThreadPool::global().parallelFor(RetryQueue.size(), Jobs, [&](size_t K) {
-      size_t I = RetryQueue[K];
+    AnalyzerOptions Tier = lowerTierOptions(AOpts);
+    auto RetryOne = [&](size_t I) {
       BatchItemResult &R = Result.Items[I];
       SPA_OBS_COUNT("batch.retries", 1);
       double FirstSeconds = R.Seconds;
       Timer ItemClock;
       BatchItemResult Retry;
       Retry.Name = R.Name;
-      RunOnce(Items[I], Tier, Retry);
+      RunOnce(I, Tier, Retry);
       Retry.Retried = true;
       // Keep the first classification when the retry fails too (a
       // deterministic fault re-fires, so taxonomy counts stay equal to
@@ -352,9 +511,30 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
       else
         R.Retried = true;
       R.Seconds = FirstSeconds + ItemClock.seconds();
-    });
+    };
+    // Memory-aware serialization: items whose first attempt peaked at or
+    // above the heavy threshold retry one at a time, before the parallel
+    // pass, so two memory-heavy retries can never be in flight together
+    // and OOM each other.  Heavy items are already at the front of the
+    // cost-sorted queue.
+    std::vector<size_t> Parallel;
+    for (size_t I : RetryQueue) {
+      if (Opts.SerializeRetryRssKiB &&
+          Result.Items[I].PeakRssKiB >= Opts.SerializeRetryRssKiB) {
+        ++HeavySerialized;
+        RetryOne(I);
+      } else {
+        Parallel.push_back(I);
+      }
+    }
+    ThreadPool::global().parallelFor(Parallel.size(), Jobs,
+                                     [&](size_t K) { RetryOne(Parallel[K]); });
   }
   Result.Seconds = Clock.seconds();
+
+  for (StagedSnapshot &S : Staged)
+    if (S.Fd >= 0)
+      close(S.Fd);
 
   // Gauge scoping: per-run gauges (program.points, analysis.degraded,
   // phase.*.seconds, ledger.*) hold whichever item's run wrote them
@@ -382,6 +562,9 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
                     Result.countOutcome(BatchOutcome::Stalled));
   SPA_OBS_GAUGE_SET("batch.failures.build_error",
                     Result.countOutcome(BatchOutcome::BuildError));
+  SPA_OBS_GAUGE_SET("batch.snapshot.items", ShipItems.load());
+  SPA_OBS_GAUGE_SET("batch.snapshot.bytes", ShipBytes.load());
+  SPA_OBS_GAUGE_SET("batch.retries.serialized", HeavySerialized);
   obs::MetricsSink::appendBenchRecord("batch",
                                       batchEngineName(AOpts.Engine),
                                       Result.numFailed() == 0);
@@ -390,8 +573,12 @@ BatchResult spa::runBatch(const std::vector<BatchItem> &Items,
 
 std::vector<BatchItem> spa::suiteBatch(double Scale) {
   std::vector<BatchItem> Items;
-  for (const SuiteEntry &E : paperSuite(Scale))
-    Items.push_back({E.Name, generateSource(E.Config)});
+  for (const SuiteEntry &E : paperSuite(Scale)) {
+    BatchItem It;
+    It.Name = E.Name;
+    It.Source = generateSource(E.Config);
+    Items.push_back(std::move(It));
+  }
   return Items;
 }
 
@@ -414,14 +601,23 @@ bool spa::loadBatchFile(const std::string &Path,
     std::string Entry = Line.substr(B, E - B + 1);
     std::string Full =
         (Entry[0] == '/' || Dir.empty()) ? Entry : Dir + Entry;
-    std::ifstream Src(Full);
-    if (!Src) {
-      Error = "cannot open " + Full;
-      return false;
+    BatchItem It;
+    It.Name = Entry;
+    // .snap entries are pre-serialized IR: loaded by the snapshot
+    // loader at analysis time, never opened here.
+    if (Entry.size() > 5 && Entry.rfind(".snap") == Entry.size() - 5) {
+      It.SnapshotPath = Full;
+    } else {
+      std::ifstream Src(Full);
+      if (!Src) {
+        Error = "cannot open " + Full;
+        return false;
+      }
+      std::ostringstream OS;
+      OS << Src.rdbuf();
+      It.Source = OS.str();
     }
-    std::ostringstream OS;
-    OS << Src.rdbuf();
-    Items.push_back({Entry, OS.str()});
+    Items.push_back(std::move(It));
   }
   return true;
 }

@@ -25,10 +25,24 @@
 
 namespace spa {
 
-/// One program of a batch: a display name plus its surface source text.
+/// One program of a batch: a display name plus its surface source text,
+/// or a pre-serialized spa-ir-v1 snapshot to analyze instead of source.
 struct BatchItem {
+  BatchItem() = default;
+  BatchItem(std::string Name, std::string Source)
+      : Name(std::move(Name)), Source(std::move(Source)) {}
+
   std::string Name;
   std::string Source;
+  /// When set, the program comes from this snapshot file and Source is
+  /// ignored.  The bytes are shipped to isolated children *unvalidated*:
+  /// a corrupt file is the child's loader's problem and classifies as
+  /// BuildError, the snapshot equivalent of unparseable source.
+  std::string SnapshotPath;
+  /// Expected peak RSS (KiB; 0 = unknown).  The shard coordinator's
+  /// memory-aware bin-packing serializes items at or above its heavy
+  /// threshold so they cannot OOM each other.
+  uint64_t RssHintKiB = 0;
 };
 
 /// Failure taxonomy of one batch item (docs/ROBUSTNESS.md).
@@ -109,6 +123,18 @@ struct BatchOptions {
   /// (`<dir>/<item-name>.pm.json`, schema spa-postmortem-v1).  Empty =
   /// no files; pipe summaries still flow back to the parent.
   std::string PostmortemDir;
+  /// Isolated children receive a serialized IR snapshot over a memfd
+  /// instead of rebuilding from source: the parent parses and lowers each
+  /// program exactly once (first pass and retry share the bytes), and the
+  /// child only runs the strict snapshot loader.  Off = the pre-snapshot
+  /// behavior, kept for the fork-with-rebuild bench ablation
+  /// (snapshot_speedup in BENCH_pipeline.json).
+  bool UseSnapshots = true;
+  /// Memory-aware retry serialization (KiB; 0 = off): retryable items
+  /// whose first attempt peaked at or above this RSS rerun sequentially
+  /// before the parallel retry pass, so two memory-heavy retries can
+  /// never OOM each other.
+  uint64_t SerializeRetryRssKiB = 0;
   /// Retry a Timeout/Oom/Crash/Stalled item once with a tightened budget
   /// (halved deadline and step limit; a step limit is imposed if there
   /// was none) and adopt the retry result when it is usable.  Retries
@@ -134,6 +160,12 @@ struct BatchResult {
 /// precision, 3 = all usable but some degraded, 2 = at least one item
 /// failed (build error, timeout, OOM, or crash).
 int exitCodeFor(const BatchResult &R);
+
+/// The retry tier: \p A with a tightened budget (halved deadline and
+/// step limit; a step limit imposed if there was none) that forces early
+/// sound degradation instead of repeating whatever exhausted the first
+/// attempt.  Shared by the batch retry pass and the shard coordinator.
+AnalyzerOptions lowerTierOptions(const AnalyzerOptions &A);
 
 /// Analyzes every item, fanning programs out over Analyzer.Jobs pool
 /// lanes, and appends one "batch" bench record (SPA_BENCH_JSON) with the

@@ -1,0 +1,621 @@
+//===- ShardCoordinator.cpp - Work-stealing multi-process shard driver ---------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/ShardCoordinator.h"
+
+#include "core/Checker.h"
+#include "ir/Builder.h"
+#include "ir/Snapshot.h"
+#include "obs/Journal.h"
+#include "obs/Metrics.h"
+#include "obs/MetricsSink.h"
+#include "support/Fault.h"
+#include "support/Resource.h"
+#include "support/ThreadPool.h"
+
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <optional>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace spa;
+
+namespace {
+
+constexpr uint32_t ShutdownIndex = 0xFFFFFFFFu;
+/// A result frame bigger than this is a protocol violation, not a result.
+constexpr uint32_t MaxFrameBytes = 1u << 24;
+
+//===----------------------------------------------------------------------===//
+// Result frame encoding (worker -> parent)
+//===----------------------------------------------------------------------===//
+
+void putU32(std::vector<uint8_t> &B, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    B.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+void putU64(std::vector<uint8_t> &B, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    B.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+void putF64(std::vector<uint8_t> &B, double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, 8);
+  putU64(B, Bits);
+}
+
+struct FrameCursor {
+  const uint8_t *Data;
+  size_t Size, Pos = 0;
+  bool Fail = false;
+
+  bool need(size_t N) {
+    if (Fail || Size - Pos < N) {
+      Fail = true;
+      return false;
+    }
+    return true;
+  }
+  uint8_t u8() { return need(1) ? Data[Pos++] : 0; }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Data[Pos++]) << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
+    return V;
+  }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, 8);
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (!need(N))
+      return {};
+    std::string S(reinterpret_cast<const char *>(Data + Pos), N);
+    Pos += N;
+    return S;
+  }
+};
+
+std::vector<uint8_t> encodeResult(uint32_t Index, const BatchItemResult &R) {
+  std::vector<uint8_t> B;
+  putU32(B, Index);
+  B.push_back(R.Ok);
+  B.push_back(static_cast<uint8_t>(R.Outcome));
+  B.push_back(R.TimedOut);
+  B.push_back(R.Degraded);
+  putU32(B, R.Checks);
+  putU32(B, R.Alarms);
+  putF64(B, R.Seconds);
+  putU64(B, R.PeakRssKiB);
+  putU64(B, R.BudgetSteps);
+  putU64(B, R.LedgerVisits);
+  putU64(B, R.LedgerWidenings);
+  putU64(B, R.LedgerGrowth);
+  putU64(B, R.LedgerTimeMicros);
+  putU32(B, static_cast<uint32_t>(R.Error.size()));
+  B.insert(B.end(), R.Error.begin(), R.Error.end());
+  return B;
+}
+
+bool decodeResult(const uint8_t *Data, size_t Size, uint32_t &Index,
+                  BatchItemResult &R) {
+  FrameCursor C{Data, Size};
+  Index = C.u32();
+  R.Ok = C.u8();
+  uint8_t Outcome = C.u8();
+  if (Outcome > static_cast<uint8_t>(BatchOutcome::Stalled))
+    return false;
+  R.Outcome = static_cast<BatchOutcome>(Outcome);
+  R.TimedOut = C.u8();
+  R.Degraded = C.u8();
+  R.Checks = C.u32();
+  R.Alarms = C.u32();
+  R.Seconds = C.f64();
+  R.PeakRssKiB = C.u64();
+  R.BudgetSteps = C.u64();
+  R.LedgerVisits = C.u64();
+  R.LedgerWidenings = C.u64();
+  R.LedgerGrowth = C.u64();
+  R.LedgerTimeMicros = C.u64();
+  R.Error = C.str();
+  return !C.Fail && C.Pos == C.Size;
+}
+
+bool writeAll(int Fd, const uint8_t *Data, size_t Size) {
+  size_t Off = 0;
+  while (Off < Size) {
+    ssize_t N = write(Fd, Data + Off, Size - Off);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool readAll(int Fd, uint8_t *Data, size_t Size) {
+  size_t Off = 0;
+  while (Off < Size) {
+    ssize_t N = read(Fd, Data + Off, Size - Off);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Worker side
+//===----------------------------------------------------------------------===//
+
+/// One item inside a shard worker: strict-load the inherited snapshot,
+/// analyze, check, classify.  Mirrors the batch's in-process attempt,
+/// with the loader standing where the frontend stood.
+void runSnapshotItem(const std::vector<uint8_t> &Snap,
+                     const BatchOptions &Opts, const AnalyzerOptions &AOpts,
+                     BatchItemResult &R) {
+  SnapshotLoadResult L = loadSnapshot(Snap);
+  if (!L.ok()) {
+    R.Error = L.Error.str();
+    R.Outcome = BatchOutcome::BuildError;
+    return;
+  }
+  AnalysisRun Run = analyzeProgram(*L.Prog, AOpts);
+  R.TimedOut = Run.timedOut();
+  R.Degraded = Run.degraded();
+  R.BudgetSteps = Run.BudgetSteps;
+  if (Run.Ledger) {
+    obs::PointCost T = Run.Ledger->totals();
+    R.LedgerVisits = T.Visits;
+    R.LedgerWidenings = T.Widenings;
+    R.LedgerGrowth = T.Growth;
+    R.LedgerTimeMicros = T.TimeMicros;
+  }
+  if (Opts.Check && !R.TimedOut) {
+    CheckerSummary S = checkBufferOverruns(*L.Prog, Run);
+    R.Checks = static_cast<unsigned>(S.Checks.size());
+    R.Alarms = S.numAlarms();
+  }
+  if (R.TimedOut) {
+    R.Outcome = BatchOutcome::Timeout;
+    return;
+  }
+  R.Outcome = R.Degraded ? BatchOutcome::Degraded : BatchOutcome::Ok;
+  R.Ok = true;
+}
+
+/// The worker main loop: pull a dispatch frame, run the item, push the
+/// result frame, repeat until shutdown.  Never returns.
+[[noreturn]] void workerLoop(unsigned Shard, int DispatchFd, int ResultFd,
+                             const std::vector<std::vector<uint8_t>> &Snaps,
+                             const std::vector<std::string> &Names,
+                             const BatchOptions &Opts,
+                             const AnalyzerOptions &AOpts,
+                             const FaultPlan &Plan) {
+  // The fault plan arms for the worker's whole life under the shard's
+  // name, so SPA_FAULT=crash@shardloop:shard0 kills exactly worker 0 —
+  // the reassignment tests' deterministic murder weapon.
+  FaultScope Scope(Plan, "shard" + std::to_string(Shard));
+  AnalyzerOptions WA = AOpts;
+  WA.Jobs = 1; // One lane per worker; parallelism is the worker count.
+  AnalyzerOptions Lower = lowerTierOptions(WA);
+  for (;;) {
+    uint8_t Frame[8];
+    if (!readAll(DispatchFd, Frame, sizeof(Frame)))
+      _exit(0); // Parent died or closed the pipe: nothing left to do.
+    uint32_t Index = 0, Tier = 0;
+    for (int I = 0; I < 4; ++I) {
+      Index |= static_cast<uint32_t>(Frame[I]) << (8 * I);
+      Tier |= static_cast<uint32_t>(Frame[4 + I]) << (8 * I);
+    }
+    if (Index == ShutdownIndex)
+      _exit(0);
+    maybeInjectFault("shardloop");
+    if (Index >= Snaps.size())
+      _exit(1); // Protocol violation; die loudly, parent reassigns.
+    BatchItemResult R;
+    R.Name = Names[Index];
+    Timer ItemClock;
+    runSnapshotItem(Snaps[Index], Opts, Tier ? Lower : WA, R);
+    R.Seconds = ItemClock.seconds();
+    R.PeakRssKiB = currentPeakRssKiB();
+    std::vector<uint8_t> Payload = encodeResult(Index, R);
+    std::vector<uint8_t> Out;
+    putU32(Out, static_cast<uint32_t>(Payload.size()));
+    Out.insert(Out.end(), Payload.begin(), Payload.end());
+    if (!writeAll(ResultFd, Out.data(), Out.size()))
+      _exit(0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parent side
+//===----------------------------------------------------------------------===//
+
+struct WorkerHandle {
+  pid_t Pid = -1;
+  int DispatchFd = -1; ///< Parent writes dispatch frames here.
+  int ResultFd = -1;   ///< Parent reads result frames here.
+  bool Alive = false;
+  bool ShutdownSent = false;
+  int Item = -1;       ///< In-flight item index (-1 = idle).
+  uint32_t Tier = 0;
+  std::vector<uint8_t> Buf; ///< Partial result frame accumulator.
+};
+
+const char *shardEngineName(EngineKind E) {
+  switch (E) {
+  case EngineKind::Vanilla:
+    return "vanilla";
+  case EngineKind::Base:
+    return "base";
+  case EngineKind::Sparse:
+    return "sparse";
+  }
+  return "unknown";
+}
+
+} // namespace
+
+ShardRunResult spa::runSharded(const std::vector<BatchItem> &Items,
+                               const ShardOptions &Opts) {
+  ShardRunResult Result;
+  Result.Batch.Items.resize(Items.size());
+  Result.Timing.resize(Items.size());
+  for (size_t I = 0; I < Items.size(); ++I)
+    Result.Batch.Items[I].Name = Items[I].Name;
+  if (Items.empty())
+    return Result;
+
+  AnalyzerOptions AOpts = Opts.Batch.Analyzer;
+  if (Opts.Batch.Check)
+    AOpts.Dep.Bypass = false; // The checker reads input buffers.
+  unsigned NumWorkers = std::max(1u, Opts.Shards);
+  NumWorkers = std::min<unsigned>(NumWorkers, Items.size());
+  FaultPlan Plan = FaultPlan::fromEnv();
+  Timer Clock;
+
+  // Phase 1: serialize every program once, in parallel, before any fork —
+  // the workers inherit the bytes copy-on-write, so "shipping" an item is
+  // an 8-byte index frame.  Parent-side build failures classify here and
+  // never enter the queue.
+  std::vector<std::vector<uint8_t>> Snaps(Items.size());
+  std::vector<std::string> Names(Items.size());
+  std::vector<uint8_t> BuildFailed(Items.size(), 0);
+  unsigned PoolJobs = AOpts.Jobs ? AOpts.Jobs : ThreadPool::defaultJobs();
+  ThreadPool::global().parallelFor(Items.size(), PoolJobs, [&](size_t I) {
+    Names[I] = Items[I].Name;
+    const BatchItem &It = Items[I];
+    if (!It.SnapshotPath.empty()) {
+      // Raw, unvalidated: the worker's strict loader is the boundary and
+      // a corrupt file costs one BuildError item, not the run.
+      std::ifstream In(It.SnapshotPath, std::ios::binary);
+      if (!In) {
+        BuildFailed[I] = 1;
+        Result.Batch.Items[I].Outcome = BatchOutcome::BuildError;
+        Result.Batch.Items[I].Error = "cannot read snapshot " + It.SnapshotPath;
+        return;
+      }
+      Snaps[I].assign(std::istreambuf_iterator<char>(In),
+                      std::istreambuf_iterator<char>());
+      return;
+    }
+    BuildResult Built = buildProgramFromSource(It.Source);
+    if (!Built.ok()) {
+      BuildFailed[I] = 1;
+      Result.Batch.Items[I].Outcome = BatchOutcome::BuildError;
+      Result.Batch.Items[I].Error = Built.Error;
+      return;
+    }
+    Snaps[I] = saveSnapshot(*Built.Prog);
+  });
+
+  // Phase 2: fork the workers.
+  std::vector<WorkerHandle> Workers(NumWorkers);
+  for (unsigned W = 0; W < NumWorkers; ++W) {
+    int Dispatch[2], Res[2];
+    if (pipe(Dispatch) != 0 || pipe(Res) != 0) {
+      // Out of fds: run with however many workers we managed.
+      NumWorkers = W;
+      Workers.resize(NumWorkers);
+      break;
+    }
+    pid_t Pid = fork();
+    if (Pid == 0) {
+      // Child: keep only this worker's two pipe ends.
+      close(Dispatch[1]);
+      close(Res[0]);
+      for (unsigned P = 0; P < W; ++P) {
+        close(Workers[P].DispatchFd);
+        close(Workers[P].ResultFd);
+      }
+      obs::journalResetForChild();
+      workerLoop(W, Dispatch[0], Res[1], Snaps, Names, Opts.Batch, AOpts,
+                 Plan);
+    }
+    close(Dispatch[0]);
+    close(Res[1]);
+    Workers[W].Pid = Pid;
+    Workers[W].DispatchFd = Dispatch[1];
+    Workers[W].ResultFd = Res[0];
+    Workers[W].Alive = Pid > 0;
+    if (Pid < 0) {
+      close(Dispatch[1]);
+      close(Res[0]);
+      Workers[W].DispatchFd = Workers[W].ResultFd = -1;
+    }
+  }
+
+  // A dead worker's dispatch pipe raises SIGPIPE on write; we want the
+  // EPIPE errno instead, handled as a death.
+  struct sigaction IgnorePipe {}, OldPipe {};
+  IgnorePipe.sa_handler = SIG_IGN;
+  sigaction(SIGPIPE, &IgnorePipe, &OldPipe);
+
+  // Phase 3: the dealer loop.
+  std::deque<std::pair<uint32_t, uint32_t>> Queue; // (index, tier)
+  for (uint32_t I = 0; I < Items.size(); ++I)
+    if (!BuildFailed[I])
+      Queue.emplace_back(I, 0);
+  size_t Outstanding = 0;
+  bool HeavyInFlight = false;
+  unsigned Reassigned = 0;
+  uint64_t HeavyCount = 0;
+  // First BatchItemResult of an item whose retry is pending: kept so a
+  // failed retry restores the original classification (same contract as
+  // runBatch's retry pass).
+  std::vector<std::optional<BatchItemResult>> FirstTry(Items.size());
+
+  auto IsHeavy = [&](uint32_t I) {
+    return Opts.HeavyRssKiB && Items[I].RssHintKiB >= Opts.HeavyRssKiB;
+  };
+  auto HomeShard = [&](uint32_t I) {
+    return static_cast<unsigned>(static_cast<uint64_t>(I) * NumWorkers /
+                                 Items.size());
+  };
+  auto Retryable = [](BatchOutcome O) {
+    return O == BatchOutcome::Timeout || O == BatchOutcome::Oom ||
+           O == BatchOutcome::Crash || O == BatchOutcome::Stalled;
+  };
+
+  auto MarkDead = [&](WorkerHandle &W) {
+    if (!W.Alive)
+      return;
+    W.Alive = false;
+    bool Unexpected = !W.ShutdownSent;
+    if (Unexpected)
+      ++Result.WorkerDeaths;
+    SPA_OBS_JOURNAL(ShardWorkerExit, static_cast<unsigned>(&W - &Workers[0]),
+                    Unexpected ? 1 : 0);
+    close(W.DispatchFd);
+    close(W.ResultFd);
+    W.DispatchFd = W.ResultFd = -1;
+    if (W.Pid > 0)
+      waitpid(W.Pid, nullptr, 0);
+    if (W.Item >= 0) {
+      uint32_t I = static_cast<uint32_t>(W.Item);
+      --Outstanding;
+      if (IsHeavy(I))
+        HeavyInFlight = false;
+      if (Result.Timing[I].Assignments < NumWorkers) {
+        // Front of the queue: a reassigned item has already waited once.
+        Queue.emplace_front(I, W.Tier);
+        ++Reassigned;
+      } else {
+        BatchItemResult &R = Result.Batch.Items[I];
+        R.Outcome = BatchOutcome::Crash;
+        R.Ok = false;
+        R.Error = "shard worker died (" +
+                  std::to_string(Result.Timing[I].Assignments) +
+                  " assignments)";
+      }
+      W.Item = -1;
+    }
+  };
+
+  auto TryDispatch = [&](unsigned WIdx) {
+    WorkerHandle &W = Workers[WIdx];
+    if (!W.Alive || W.Item >= 0)
+      return;
+    // Pull the first dispatchable item: heavy items wait for the single
+    // heavy token, everything else goes in queue order.
+    for (auto It = Queue.begin(); It != Queue.end(); ++It) {
+      uint32_t I = It->first, Tier = It->second;
+      if (IsHeavy(I) && HeavyInFlight)
+        continue;
+      Queue.erase(It);
+      uint8_t Frame[8];
+      for (int K = 0; K < 4; ++K) {
+        Frame[K] = static_cast<uint8_t>(I >> (8 * K));
+        Frame[4 + K] = static_cast<uint8_t>(Tier >> (8 * K));
+      }
+      if (!writeAll(W.DispatchFd, Frame, sizeof(Frame))) {
+        Queue.emplace_front(I, Tier);
+        MarkDead(W);
+        return;
+      }
+      W.Item = static_cast<int>(I);
+      W.Tier = Tier;
+      ++Outstanding;
+      if (IsHeavy(I)) {
+        HeavyInFlight = true;
+        ++HeavyCount;
+      }
+      Result.Timing[I].DispatchSeconds = Clock.seconds();
+      Result.Timing[I].Assignments += 1;
+      SPA_OBS_JOURNAL(ShardDispatch, I, WIdx);
+      return;
+    }
+  };
+
+  auto OnResult = [&](unsigned WIdx, uint32_t Index, BatchItemResult &&R) {
+    WorkerHandle &W = Workers[WIdx];
+    if (Index >= Items.size() || W.Item != static_cast<int>(Index))
+      return; // Stale or corrupt frame; the poll loop resyncs on EOF.
+    W.Item = -1;
+    --Outstanding;
+    if (IsHeavy(Index))
+      HeavyInFlight = false;
+    Result.Timing[Index].DoneSeconds = Clock.seconds();
+    Result.Timing[Index].Shard = WIdx;
+    if (HomeShard(Index) != WIdx)
+      ++Result.Steals;
+
+    BatchItemResult &Slot = Result.Batch.Items[Index];
+    if (W.Tier == 0 && Opts.Batch.RetryAtLowerTier && Retryable(R.Outcome)) {
+      // First attempt failed retryably: bank it and re-enqueue at the
+      // tightened tier (back of the queue; the batch is still draining).
+      SPA_OBS_COUNT("batch.retries", 1);
+      FirstTry[Index] = std::move(R);
+      Queue.emplace_back(Index, 1);
+      return;
+    }
+    if (FirstTry[Index]) {
+      // This was the retry.  Adopt it when usable, else keep the first
+      // classification; either way the item counts as retried and its
+      // wall time spans both attempts.
+      BatchItemResult First = std::move(*FirstTry[Index]);
+      FirstTry[Index].reset();
+      double Total = First.Seconds + R.Seconds;
+      if (!R.Ok)
+        R = std::move(First);
+      R.Retried = true;
+      R.Seconds = Total;
+    }
+    R.Name = Slot.Name;
+    Slot = std::move(R);
+  };
+
+  for (;;) {
+    unsigned AliveCount = 0;
+    for (unsigned W = 0; W < NumWorkers; ++W)
+      if (Workers[W].Alive) {
+        ++AliveCount;
+        TryDispatch(W);
+      }
+    if (Outstanding == 0 && Queue.empty())
+      break;
+    if (AliveCount == 0) {
+      // Every worker is gone with work still pending: classify the
+      // leftovers so the caller sees failures, not silence.
+      for (auto &[I, Tier] : Queue) {
+        (void)Tier;
+        BatchItemResult &R = Result.Batch.Items[I];
+        if (FirstTry[I]) {
+          R = std::move(*FirstTry[I]);
+          R.Retried = true;
+        } else if (R.Outcome == BatchOutcome::BuildError) {
+          // Keep the parent-side classification.
+        } else {
+          R.Outcome = BatchOutcome::Crash;
+          R.Error = "no shard workers left";
+        }
+      }
+      Queue.clear();
+      break;
+    }
+
+    std::vector<pollfd> Fds;
+    std::vector<unsigned> FdWorker;
+    for (unsigned W = 0; W < NumWorkers; ++W)
+      if (Workers[W].Alive) {
+        Fds.push_back({Workers[W].ResultFd, POLLIN, 0});
+        FdWorker.push_back(W);
+      }
+    int N = poll(Fds.data(), Fds.size(), 1000);
+    if (N <= 0)
+      continue;
+    for (size_t F = 0; F < Fds.size(); ++F) {
+      if (!(Fds[F].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      WorkerHandle &W = Workers[FdWorker[F]];
+      uint8_t Chunk[1 << 16];
+      ssize_t Got = read(W.ResultFd, Chunk, sizeof(Chunk));
+      if (Got <= 0) {
+        if (Got < 0 && errno == EINTR)
+          continue;
+        MarkDead(W);
+        continue;
+      }
+      W.Buf.insert(W.Buf.end(), Chunk, Chunk + Got);
+      while (W.Buf.size() >= 4) {
+        uint32_t Len = 0;
+        for (int K = 0; K < 4; ++K)
+          Len |= static_cast<uint32_t>(W.Buf[K]) << (8 * K);
+        if (Len > MaxFrameBytes) {
+          MarkDead(W); // Protocol violation: resync by reassignment.
+          break;
+        }
+        if (W.Buf.size() < 4 + static_cast<size_t>(Len))
+          break;
+        uint32_t Index = 0;
+        BatchItemResult R;
+        if (decodeResult(W.Buf.data() + 4, Len, Index, R))
+          OnResult(FdWorker[F], Index, std::move(R));
+        W.Buf.erase(W.Buf.begin(), W.Buf.begin() + 4 + Len);
+      }
+    }
+  }
+
+  // Phase 4: shutdown and reap.
+  uint8_t Bye[8];
+  for (int K = 0; K < 4; ++K) {
+    Bye[K] = static_cast<uint8_t>(ShutdownIndex >> (8 * K));
+    Bye[4 + K] = 0;
+  }
+  for (WorkerHandle &W : Workers) {
+    if (!W.Alive)
+      continue;
+    W.ShutdownSent = true;
+    writeAll(W.DispatchFd, Bye, sizeof(Bye));
+    close(W.DispatchFd);
+    close(W.ResultFd);
+    W.DispatchFd = W.ResultFd = -1;
+    if (W.Pid > 0)
+      waitpid(W.Pid, nullptr, 0);
+    W.Alive = false;
+  }
+  sigaction(SIGPIPE, &OldPipe, nullptr);
+  Result.Batch.Seconds = Clock.seconds();
+
+  obs::Registry::global().resetGauges();
+  SPA_OBS_GAUGE_MAX("mem.peak_rss_kib", currentPeakRssKiB());
+  SPA_OBS_GAUGE_SET("shard.workers", NumWorkers);
+  SPA_OBS_GAUGE_SET("shard.items", Items.size());
+  SPA_OBS_GAUGE_SET("shard.steals", Result.Steals);
+  SPA_OBS_GAUGE_SET("shard.deaths", Result.WorkerDeaths);
+  SPA_OBS_GAUGE_SET("shard.reassigned", Reassigned);
+  SPA_OBS_GAUGE_SET("shard.heavy.serialized", HeavyCount);
+  SPA_OBS_GAUGE_SET("batch.programs", Items.size());
+  SPA_OBS_GAUGE_SET("batch.failed", Result.Batch.numFailed());
+  SPA_OBS_GAUGE_SET("batch.seconds", Result.Batch.Seconds);
+  obs::MetricsSink::appendBenchRecord("shard", shardEngineName(AOpts.Engine),
+                                      Result.Batch.numFailed() == 0);
+  return Result;
+}

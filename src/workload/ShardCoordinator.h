@@ -1,0 +1,80 @@
+//===- ShardCoordinator.h - Work-stealing multi-process shard driver -----------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Splits a batch across N forked shard workers with a pull-based
+/// (work-stealing) dispatch protocol over pipes.  The parent serializes
+/// every program to an spa-ir-v1 snapshot once, forks the workers (which
+/// inherit the snapshot bytes copy-on-write), and then plays dealer:
+///
+///   parent -> worker:  8-byte frame { u32 item index, u32 tier }
+///                      (index 0xFFFFFFFF = shutdown)
+///   worker -> parent:  length-prefixed result frame
+///                      { u32 len, payload: u32 index + encoded
+///                        BatchItemResult }
+///
+/// Each worker holds exactly one item at a time and asks for the next by
+/// finishing the last, so fast workers drain the shared queue — stealing
+/// items a static contiguous-block split would have pinned to a slow
+/// sibling (the Steals counter measures exactly that displacement).
+///
+/// A worker that dies (crash, OOM-kill, injected fault) closes its
+/// result pipe; the parent observes EOF, reassigns the in-flight item to
+/// a surviving worker, and classifies it Crash only after every shard
+/// has had a chance (assignment cap = shard count).  Memory-aware
+/// bin-packing rides the same loop: items whose RssHintKiB meets the
+/// heavy threshold take a single "heavy token", so no two of them are
+/// ever in flight together and they cannot OOM each other.
+///
+/// Results land in input-order slots, so the merged BatchResult is
+/// bit-identical (deterministic fields) to a --shards=1 run and to plain
+/// runBatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_WORKLOAD_SHARDCOORDINATOR_H
+#define SPA_WORKLOAD_SHARDCOORDINATOR_H
+
+#include "workload/Batch.h"
+
+namespace spa {
+
+struct ShardOptions {
+  /// Per-item analysis options; Analyzer.Jobs pins to 1 inside workers
+  /// (each worker is one lane of the process-level pool).  Isolate is
+  /// ignored: the worker process *is* the isolation boundary.
+  BatchOptions Batch;
+  /// Worker process count (clamped to [1, item count]).
+  unsigned Shards = 2;
+  /// Heavy-item threshold (KiB; 0 = off): items with RssHintKiB at or
+  /// above it are serialized through the single heavy token.
+  uint64_t HeavyRssKiB = 0;
+};
+
+/// Dispatch/completion record of one item, in parent batch-clock seconds
+/// (the bin-packing tests prove serialization from disjoint windows).
+struct ShardItemTiming {
+  double DispatchSeconds = 0; ///< Last dispatch of this item.
+  double DoneSeconds = 0;     ///< Result arrival (0 if never finished).
+  unsigned Shard = 0;         ///< Worker that produced the result.
+  unsigned Assignments = 0;   ///< Dispatch count (>1 = reassigned).
+};
+
+struct ShardRunResult {
+  BatchResult Batch;                  ///< Merged, in input order.
+  std::vector<ShardItemTiming> Timing; ///< Parallel to Batch.Items.
+  unsigned WorkerDeaths = 0; ///< Workers that died before shutdown.
+  uint64_t Steals = 0; ///< Items executed off their static home shard.
+};
+
+/// Runs \p Items across Opts.Shards forked workers.  Exports the shard.*
+/// gauges and appends a "shard" bench record.
+ShardRunResult runSharded(const std::vector<BatchItem> &Items,
+                          const ShardOptions &Opts);
+
+} // namespace spa
+
+#endif // SPA_WORKLOAD_SHARDCOORDINATOR_H

@@ -102,6 +102,36 @@ assert m["value.pool.nodes"] > 0, "interner never pooled on pointers.spa"
 assert m["value.pool.misses"] > 0, "pool has nodes but no misses?"
 EOF
 
+# spa-ir-v1 snapshot pipeline: saving from source and reloading must
+# export the snapshot.* keys and journal events; an isolated batch ships
+# snapshots to its children (batch.snapshot.*); a sharded batch exports
+# the shard.* gauges (docs/OBSERVABILITY.md).
+"$ANALYZE" --snapshot-out="$WORK/loop.snap" \
+  --metrics-out="$WORK/snap-save.json" \
+  --journal-out="$WORK/snap-save-journal.json" \
+  "$EXAMPLES/loop.spa" > /dev/null || exit 1
+require_keys "$WORK/snap-save.json" snapshot.saves snapshot.save.bytes
+grep -q "snapshot.save" "$WORK/snap-save-journal.json" || {
+  echo "FAIL: snapshot save left no journal event"
+  exit 1
+}
+"$ANALYZE" --snapshot-in="$WORK/loop.snap" \
+  --metrics-out="$WORK/snap-load.json" > /dev/null || exit 1
+require_keys "$WORK/snap-load.json" snapshot.loads snapshot.load.bytes
+# Absolute paths: the batch loader resolves relative entries against
+# the list file's own directory, not the caller's cwd.
+EXAMPLES_ABS=$(cd "$EXAMPLES" && pwd)
+printf '%s\n' "$EXAMPLES_ABS/loop.spa" "$EXAMPLES_ABS/pointers.spa" \
+  > "$WORK/batch.lst"
+"$ANALYZE" --batch="$WORK/batch.lst" --isolate \
+  --metrics-out="$WORK/batch-snap.json" > /dev/null || exit 1
+require_keys "$WORK/batch-snap.json" \
+  batch.snapshot.items batch.snapshot.bytes
+"$ANALYZE" --batch="$WORK/batch.lst" --shards=2 \
+  --metrics-out="$WORK/shard.json" > /dev/null || exit 1
+require_keys "$WORK/shard.json" \
+  shard.workers shard.items shard.steals shard.deaths shard.reassigned
+
 # Table 2 must append one JSON record per (benchmark, engine) cell.
 SPA_SCALE=0.02 SPA_TIME_LIMIT=10 SPA_BENCH_JSON="$WORK/records.jsonl" \
   "$TABLE2" > /dev/null || exit 1

@@ -1,0 +1,167 @@
+//===- golden_snapshot_test.cpp - Checked-in wire-format pin --------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level pin of the spa-ir-v1 wire format: tests/golden/*.snap are
+/// checked-in encodings of fixed generator programs, and this suite
+/// fails loudly the moment saveSnapshot stops producing exactly those
+/// bytes.  That is the on-disk-compatibility tripwire — snapshots
+/// outlive the process that wrote them, so *any* format change must be
+/// deliberate: bump SnapshotVersion, keep a loader for v1, and
+/// regenerate the corpus with
+///
+///   SPA_UPDATE_GOLDEN=<source tests/golden dir> ./golden_snapshot_test
+///
+/// The corpus also pins the reject path: a version-bumped golden must
+/// come back BadVersion, because "newer writer, older reader" is the
+/// failure users actually hit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Snapshot.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace spa;
+
+namespace {
+
+/// The corpus: name -> fixed generator shape.  Append new entries when
+/// the format grows coverage; never mutate existing ones (that silently
+/// retires the old pin).
+struct GoldenSpec {
+  const char *Name;
+  GenConfig Config;
+};
+
+std::vector<GoldenSpec> goldenSpecs() {
+  std::vector<GoldenSpec> Specs;
+  {
+    GenConfig C; // Straight-line-ish baseline.
+    C.Seed = 1;
+    C.NumFunctions = 2;
+    C.StmtsPerFunction = 6;
+    C.LoopPercent = 0;
+    Specs.push_back({"baseline.snap", C});
+  }
+  {
+    GenConfig C; // Loops + branches: the widening-relevant shapes.
+    C.Seed = 7;
+    C.NumFunctions = 4;
+    C.StmtsPerFunction = 12;
+    C.LoopPercent = 20;
+    Specs.push_back({"loops.snap", C});
+  }
+  {
+    GenConfig C; // Pointer traffic: locs of every kind, derefs, allocs.
+    C.Seed = 21;
+    C.NumFunctions = 3;
+    C.PointerLocals = 4;
+    C.PointerPercent = 35;
+    C.AllocPercent = 15;
+    Specs.push_back({"pointers.snap", C});
+  }
+  {
+    GenConfig C; // Recursion + SCC + function pointers: callgraph edges.
+    C.Seed = 33;
+    C.NumFunctions = 6;
+    C.AllowRecursion = true;
+    C.UseFunctionPointers = true;
+    C.SccGroupSize = 3;
+    Specs.push_back({"callgraph.snap", C});
+  }
+  return Specs;
+}
+
+std::vector<uint8_t> encodeSpec(const GoldenSpec &Spec) {
+  BuildResult Built = buildProgramFromSource(generateSource(Spec.Config));
+  EXPECT_TRUE(Built.ok()) << Spec.Name << ": " << Built.Error;
+  return saveSnapshot(*Built.Prog);
+}
+
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Bytes) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Bytes.assign(std::istreambuf_iterator<char>(In),
+               std::istreambuf_iterator<char>());
+  return !In.bad();
+}
+
+} // namespace
+
+TEST(GoldenSnapshot, EncoderStillProducesTheCheckedInBytes) {
+  // Regeneration mode: SPA_UPDATE_GOLDEN=<dir> rewrites the corpus
+  // instead of checking it (used once per *intentional* format change).
+  if (const char *Dir = std::getenv("SPA_UPDATE_GOLDEN")) {
+    for (const GoldenSpec &Spec : goldenSpecs()) {
+      std::vector<uint8_t> Bytes = encodeSpec(Spec);
+      std::ofstream Out(std::string(Dir) + "/" + Spec.Name,
+                        std::ios::binary);
+      ASSERT_TRUE(Out.good()) << Dir << "/" << Spec.Name;
+      Out.write(reinterpret_cast<const char *>(Bytes.data()),
+                static_cast<std::streamsize>(Bytes.size()));
+    }
+    GTEST_SKIP() << "regenerated golden corpus";
+  }
+
+  for (const GoldenSpec &Spec : goldenSpecs()) {
+    std::vector<uint8_t> Golden;
+    ASSERT_TRUE(readFileBytes(
+        std::string(SPA_GOLDEN_DIR) + "/" + Spec.Name, Golden))
+        << "missing golden " << Spec.Name;
+    std::vector<uint8_t> Now = encodeSpec(Spec);
+    ASSERT_EQ(Now, Golden)
+        << "spa-ir-v1 WIRE FORMAT CHANGED (" << Spec.Name << ", "
+        << Golden.size() << " -> " << Now.size()
+        << " bytes).  Snapshots are persistent artifacts: if this is "
+           "intentional, bump SnapshotVersion, keep the v1 load path, "
+           "and regenerate tests/golden with SPA_UPDATE_GOLDEN.";
+  }
+}
+
+TEST(GoldenSnapshot, CorpusLoadsCleanAndRoundTrips) {
+  for (const GoldenSpec &Spec : goldenSpecs()) {
+    std::vector<uint8_t> Golden;
+    ASSERT_TRUE(readFileBytes(
+        std::string(SPA_GOLDEN_DIR) + "/" + Spec.Name, Golden))
+        << Spec.Name;
+
+    SnapshotInfo Info;
+    ASSERT_TRUE(
+        inspectSnapshot(Golden.data(), Golden.size(), Info).ok())
+        << Spec.Name;
+    EXPECT_EQ(Info.Version, SnapshotVersion) << Spec.Name;
+    for (const SnapshotSectionInfo &S : Info.Sections)
+      EXPECT_TRUE(S.ChecksumOk) << Spec.Name << " " << S.Name;
+
+    SnapshotLoadResult L = loadSnapshot(Golden);
+    ASSERT_TRUE(L.ok()) << Spec.Name << ": " << L.Error.str();
+    EXPECT_EQ(saveSnapshot(*L.Prog), Golden) << Spec.Name;
+  }
+}
+
+TEST(GoldenSnapshot, VersionBumpedCorpusIsRejectedNotMisread) {
+  for (const GoldenSpec &Spec : goldenSpecs()) {
+    std::vector<uint8_t> Golden;
+    ASSERT_TRUE(readFileBytes(
+        std::string(SPA_GOLDEN_DIR) + "/" + Spec.Name, Golden))
+        << Spec.Name;
+    uint32_t Future = SnapshotVersion + 1;
+    std::memcpy(Golden.data() + 8, &Future, 4);
+    SnapshotLoadResult L = loadSnapshot(Golden);
+    ASSERT_FALSE(L.ok()) << Spec.Name;
+    EXPECT_EQ(L.Error.Code, SnapErrc::BadVersion) << Spec.Name;
+  }
+}

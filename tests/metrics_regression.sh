@@ -105,6 +105,44 @@ if [ $? -ne 2 ]; then
   exit 1
 fi
 
+# Snapshot metrics ride the same contract: encoding is deterministic
+# (same program -> byte-identical file, identical snapshot.* gauges),
+# and a perturbed save.bytes (simulating format bloat) fails with the
+# regression exit code.
+"$ANALYZE" --snapshot-out="$WORK/a.snap" \
+  --metrics-out="$WORK/snap-a.json" "$EXAMPLES/pointers.spa" \
+  > /dev/null || exit 1
+"$ANALYZE" --snapshot-out="$WORK/b.snap" \
+  --metrics-out="$WORK/snap-b.json" "$EXAMPLES/pointers.spa" \
+  > /dev/null || exit 1
+cmp -s "$WORK/a.snap" "$WORK/b.snap" || {
+  echo "FAIL: snapshot encoding is not deterministic"
+  exit 1
+}
+for key in snapshot.saves snapshot.save.bytes; do
+  grep -q "\"$key\"" "$WORK/snap-a.json" || {
+    echo "FAIL: snapshot metrics lack $key"
+    exit 1
+  }
+done
+"$DIFF" --key=snapshot.saves --key=snapshot.save.bytes \
+  "$WORK/snap-a.json" "$WORK/snap-b.json" || {
+  echo "FAIL: snapshot.* metrics differ across identical saves"
+  exit 1
+}
+python3 - "$WORK/snap-a.json" "$WORK/snap-bad.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["snapshot.save.bytes"] = doc["snapshot.save.bytes"] * 2 + 64
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+"$DIFF" --key=snapshot.save.bytes "$WORK/snap-a.json" \
+  "$WORK/snap-bad.json" > /dev/null 2>&1
+if [ $? -ne 2 ]; then
+  echo "FAIL: perturbed snapshot.save.bytes should exit 2"
+  exit 1
+fi
+
 # A missing key is an error unless --allow-missing.
 python3 - "$WORK/cur.json" "$WORK/missing.json" <<'EOF'
 import json, sys

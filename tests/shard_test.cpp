@@ -1,0 +1,212 @@
+//===- shard_test.cpp - Work-stealing shard coordinator tests -------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shard coordinator's contract (DESIGN.md §8 "The shard protocol"):
+/// merged results are bit-identical (deterministic fields) to a
+/// single-shard run and to plain in-process runBatch regardless of how
+/// the dealer interleaved dispatches; an SPA_FAULT-killed worker loses
+/// nothing (its in-flight item is reassigned to a survivor); and the
+/// memory-aware heavy token provably serializes RSS-heavy items — their
+/// dispatch/done windows never overlap.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Fault.h"
+#include "workload/Generator.h"
+#include "workload/ShardCoordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace spa;
+
+namespace {
+
+std::vector<BatchItem> makeSuite(unsigned Count) {
+  std::vector<BatchItem> Items;
+  for (unsigned I = 0; I < Count; ++I) {
+    GenConfig C;
+    C.Seed = 0x5ad + I * 131;
+    C.NumFunctions = 2 + I % 5;
+    C.StmtsPerFunction = 6 + (I * 3) % 14;
+    C.PointerLocals = I % 3;
+    C.AllowRecursion = I % 4 == 1;
+    Items.push_back({"prog" + std::to_string(I), generateSource(C)});
+  }
+  return Items;
+}
+
+ShardOptions shardOptions(unsigned Shards) {
+  ShardOptions Opts;
+  Opts.Batch.Check = true;
+  Opts.Shards = Shards;
+  return Opts;
+}
+
+/// The deterministic slice of a result — everything that must not depend
+/// on shard count, dispatch order, or which worker ran the item.
+void expectSameDeterministicFields(const BatchItemResult &A,
+                                   const BatchItemResult &B,
+                                   const std::string &Ctx) {
+  EXPECT_EQ(A.Name, B.Name) << Ctx;
+  EXPECT_EQ(A.Ok, B.Ok) << Ctx;
+  EXPECT_EQ(A.Outcome, B.Outcome) << Ctx;
+  EXPECT_EQ(A.Degraded, B.Degraded) << Ctx;
+  EXPECT_EQ(A.Checks, B.Checks) << Ctx;
+  EXPECT_EQ(A.Alarms, B.Alarms) << Ctx;
+  EXPECT_EQ(A.BudgetSteps, B.BudgetSteps) << Ctx;
+  EXPECT_EQ(A.LedgerVisits, B.LedgerVisits) << Ctx;
+  EXPECT_EQ(A.LedgerWidenings, B.LedgerWidenings) << Ctx;
+  EXPECT_EQ(A.LedgerGrowth, B.LedgerGrowth) << Ctx;
+}
+
+/// RAII guard: sets SPA_FAULT for the duration of one run.
+struct FaultEnv {
+  explicit FaultEnv(const char *Spec) { setenv("SPA_FAULT", Spec, 1); }
+  ~FaultEnv() { unsetenv("SPA_FAULT"); }
+};
+
+} // namespace
+
+TEST(ShardCoordinator, MergedResultsBitIdenticalAcrossShardCounts) {
+  std::vector<BatchItem> Items = makeSuite(9);
+  ShardRunResult One = runSharded(Items, shardOptions(1));
+  ASSERT_EQ(One.Batch.Items.size(), Items.size());
+  for (const BatchItemResult &R : One.Batch.Items)
+    ASSERT_TRUE(R.Ok) << R.Name << ": " << R.Error;
+
+  for (unsigned Shards : {2u, 3u, 4u}) {
+    ShardRunResult Many = runSharded(Items, shardOptions(Shards));
+    ASSERT_EQ(Many.Batch.Items.size(), Items.size());
+    EXPECT_EQ(Many.WorkerDeaths, 0u);
+    for (size_t I = 0; I < Items.size(); ++I)
+      expectSameDeterministicFields(
+          One.Batch.Items[I], Many.Batch.Items[I],
+          "shards=" + std::to_string(Shards) + " item " +
+              std::to_string(I));
+  }
+}
+
+TEST(ShardCoordinator, MatchesPlainInProcessBatch) {
+  std::vector<BatchItem> Items = makeSuite(6);
+  BatchOptions BOpts;
+  BOpts.Check = true;
+  BatchResult Plain = runBatch(Items, BOpts);
+
+  ShardRunResult Sharded = runSharded(Items, shardOptions(3));
+  ASSERT_EQ(Plain.Items.size(), Sharded.Batch.Items.size());
+  for (size_t I = 0; I < Plain.Items.size(); ++I)
+    expectSameDeterministicFields(Plain.Items[I], Sharded.Batch.Items[I],
+                                  "item " + std::to_string(I));
+}
+
+TEST(ShardCoordinator, TimingAndShardAssignmentsAreRecorded) {
+  std::vector<BatchItem> Items = makeSuite(5);
+  ShardRunResult R = runSharded(Items, shardOptions(2));
+  ASSERT_EQ(R.Timing.size(), Items.size());
+  for (size_t I = 0; I < R.Timing.size(); ++I) {
+    EXPECT_EQ(R.Timing[I].Assignments, 1u) << I;
+    EXPECT_LT(R.Timing[I].Shard, 2u) << I;
+    EXPECT_GE(R.Timing[I].DoneSeconds, R.Timing[I].DispatchSeconds) << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fault tolerance
+//===----------------------------------------------------------------------===//
+
+TEST(ShardCoordinator, KilledWorkerLosesNothing) {
+  // crash@shardloop:shard0 fires inside worker 0 right after it receives
+  // its first dispatch, so exactly one worker dies holding exactly one
+  // item.  The dealer must reassign that item to a survivor and finish
+  // the batch clean.
+  std::vector<BatchItem> Items = makeSuite(8);
+  FaultEnv Env("crash@shardloop:shard0");
+  ShardRunResult R = runSharded(Items, shardOptions(3));
+  EXPECT_EQ(R.WorkerDeaths, 1u);
+  ASSERT_EQ(R.Batch.Items.size(), Items.size());
+
+  unsigned Reassigned = 0;
+  for (size_t I = 0; I < Items.size(); ++I) {
+    EXPECT_TRUE(R.Batch.Items[I].Ok)
+        << Items[I].Name << ": " << R.Batch.Items[I].Error;
+    // Nothing can have been *completed* by the dead worker.
+    EXPECT_NE(R.Timing[I].Shard, 0u) << I;
+    if (R.Timing[I].Assignments > 1)
+      ++Reassigned;
+  }
+  EXPECT_EQ(Reassigned, 1u);
+
+  // And the survivors produced the same results a clean run does.
+  ShardRunResult Clean = runSharded(Items, shardOptions(3));
+  for (size_t I = 0; I < Items.size(); ++I)
+    expectSameDeterministicFields(Clean.Batch.Items[I], R.Batch.Items[I],
+                                  "item " + std::to_string(I));
+}
+
+TEST(ShardCoordinator, AllWorkersDeadClassifiesLeftoversAsCrash) {
+  // No name filter: the fault arms in every worker, so each one dies on
+  // its first dispatch.  With nobody left, the dealer must classify the
+  // remaining items Crash instead of hanging.
+  std::vector<BatchItem> Items = makeSuite(5);
+  FaultEnv Env("crash@shardloop");
+  ShardRunResult R = runSharded(Items, shardOptions(2));
+  EXPECT_EQ(R.WorkerDeaths, 2u);
+  ASSERT_EQ(R.Batch.Items.size(), Items.size());
+  for (const BatchItemResult &I : R.Batch.Items) {
+    EXPECT_FALSE(I.Ok) << I.Name;
+    EXPECT_EQ(I.Outcome, BatchOutcome::Crash) << I.Name;
+  }
+  EXPECT_EQ(exitCodeFor(R.Batch), 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory-aware bin-packing
+//===----------------------------------------------------------------------===//
+
+TEST(ShardCoordinator, HeavyItemsAreProvablySerialized) {
+  // Two items hint RSS above the heavy threshold.  With 3 workers there
+  // is ample room to run them concurrently — the heavy token must
+  // prevent exactly that: the later one's dispatch can only happen at or
+  // after the earlier one's completion (windows disjoint on the parent's
+  // single batch clock).
+  std::vector<BatchItem> Items = makeSuite(6);
+  Items[1].RssHintKiB = 512 * 1024;
+  Items[4].RssHintKiB = 768 * 1024;
+
+  ShardOptions Opts = shardOptions(3);
+  Opts.HeavyRssKiB = 256 * 1024;
+  ShardRunResult R = runSharded(Items, Opts);
+  for (const BatchItemResult &I : R.Batch.Items)
+    ASSERT_TRUE(I.Ok) << I.Name << ": " << I.Error;
+
+  const ShardItemTiming &A = R.Timing[1];
+  const ShardItemTiming &B = R.Timing[4];
+  const ShardItemTiming &First = A.DispatchSeconds <= B.DispatchSeconds
+                                     ? A : B;
+  const ShardItemTiming &Second = &First == &A ? B : A;
+  EXPECT_GE(Second.DispatchSeconds, First.DoneSeconds)
+      << "heavy windows overlap: [" << First.DispatchSeconds << ", "
+      << First.DoneSeconds << ") vs [" << Second.DispatchSeconds << ", "
+      << Second.DoneSeconds << ")";
+}
+
+TEST(ShardCoordinator, HeavyThresholdOffAllowsAnyOverlap) {
+  // Sanity inverse: with the threshold off the same hints are inert and
+  // every item still completes (overlap itself is scheduling luck, so
+  // only completion is asserted).
+  std::vector<BatchItem> Items = makeSuite(6);
+  Items[1].RssHintKiB = 512 * 1024;
+  Items[4].RssHintKiB = 768 * 1024;
+  ShardRunResult R = runSharded(Items, shardOptions(3));
+  for (const BatchItemResult &I : R.Batch.Items)
+    EXPECT_TRUE(I.Ok) << I.Name << ": " << I.Error;
+}

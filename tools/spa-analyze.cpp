@@ -50,6 +50,13 @@
 ///                                  dependency slice of alarm #N (implies
 ///                                  --check; ids number the non-safe
 ///                                  checks in report order)
+///   --snapshot-out=FILE            save the built IR as an spa-ir-v1
+///                                  binary snapshot (DESIGN.md §8)
+///   --snapshot-in=FILE             analyze a snapshot instead of source
+///                                  (no frontend; strict typed loader)
+///   --shards=N                     batch: fan items out across N forked
+///                                  worker processes with work-stealing
+///                                  dispatch (DESIGN.md §8)
 ///
 /// Batch mode fans programs out across the pool (docs/PARALLELISM.md);
 /// per-program results print in input order and are identical for every
@@ -68,7 +75,9 @@
 #include "obs/Postmortem.h"
 #include "obs/Trace.h"
 #include "oct/OctAnalysis.h"
+#include "ir/Snapshot.h"
 #include "workload/Batch.h"
+#include "workload/ShardCoordinator.h"
 #include "workload/Suite.h"
 
 #include <cstdio>
@@ -110,6 +119,9 @@ struct CliOptions {
   std::string BatchFile;
   bool BatchSuite = false;
   double BatchSuiteScale = 0; ///< 0 = suiteScaleFromEnv().
+  std::string SnapshotOut;   ///< Save the built IR as spa-ir-v1.
+  std::string SnapshotIn;    ///< Analyze a snapshot instead of source.
+  unsigned Shards = 0;       ///< Batch: fork N shard workers (0 = off).
 };
 
 void usage() {
@@ -128,7 +140,11 @@ void usage() {
                "  --metrics-out=FILE --trace-out=FILE --ledger-out=FILE"
                "   (\"-\" = stdout)\n"
                "  --journal-out=FILE --postmortem-dir=DIR --watchdog=MS\n"
-               "  --explain-alarm=N   (implies --check)\n");
+               "  --explain-alarm=N   (implies --check)\n"
+               "  --snapshot-out=FILE --snapshot-in=FILE   (spa-ir-v1 "
+               "binary IR)\n"
+               "  --shards=N          (batch: work-stealing worker "
+               "processes)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -230,6 +246,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (const char *V = Value("--explain-alarm=")) {
       Opts.ExplainAlarm = std::strtol(V, nullptr, 10);
       Opts.Check = true; // The walk needs the checker's no-bypass run.
+    } else if (const char *V = Value("--snapshot-out=")) {
+      Opts.SnapshotOut = V;
+    } else if (const char *V = Value("--snapshot-in=")) {
+      Opts.SnapshotIn = V;
+    } else if (const char *V = Value("--shards=")) {
+      Opts.Shards = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
     } else if (A == "--help" || A == "-h") {
       return false;
     } else if (!A.empty() && A[0] == '-' && A != "-") {
@@ -241,9 +263,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       return false;
     }
   }
-  // Batch modes supply their own program list; otherwise a path is
-  // required.
-  return !Opts.Path.empty() || !Opts.BatchFile.empty() || Opts.BatchSuite;
+  // Batch modes and --snapshot-in supply their own program; otherwise a
+  // path is required.
+  return !Opts.Path.empty() || !Opts.BatchFile.empty() || Opts.BatchSuite ||
+         !Opts.SnapshotIn.empty();
 }
 
 std::string readInput(const std::string &Path) {
@@ -481,7 +504,20 @@ int runBatchMode(const CliOptions &Cli) {
   Opts.WatchdogMs = Cli.WatchdogMs;
   Opts.PostmortemDir = Cli.PostmortemDir;
 
-  BatchResult R = runBatch(Items, Opts);
+  BatchResult R;
+  unsigned WorkerDeaths = 0;
+  uint64_t Steals = 0;
+  if (Cli.Shards > 0) {
+    ShardOptions SOpts;
+    SOpts.Batch = Opts;
+    SOpts.Shards = Cli.Shards;
+    ShardRunResult SR = runSharded(Items, SOpts);
+    R = std::move(SR.Batch);
+    WorkerDeaths = SR.WorkerDeaths;
+    Steals = SR.Steals;
+  } else {
+    R = runBatch(Items, Opts);
+  }
   for (const BatchItemResult &I : R.Items) {
     std::string Tag;
     if (I.Degraded)
@@ -507,6 +543,9 @@ int runBatchMode(const CliOptions &Cli) {
               R.numFailed());
   if (R.numDegraded() > 0)
     std::printf("%zu degraded (sound, coarse results)\n", R.numDegraded());
+  if (Cli.Shards > 0)
+    std::printf("%u shards: %llu steals, %u worker deaths\n", Cli.Shards,
+                static_cast<unsigned long long>(Steals), WorkerDeaths);
 
   // Batch ledger: the per-item fixpoint-cost rollup (full per-node
   // ledgers stay inside each item's run; only totals cross the batch —
@@ -563,12 +602,34 @@ int main(int Argc, char **Argv) {
   ForensicsScope Forensics;
   Forensics.install(Cli);
 
-  BuildResult Built = buildProgramFromSource(readInput(Cli.Path));
-  if (!Built.ok()) {
-    std::fprintf(stderr, "error: %s\n", Built.Error.c_str());
-    return 1;
+  // The program comes from a snapshot (--snapshot-in) or from source;
+  // --snapshot-out then persists it as spa-ir-v1 (both at once re-encodes
+  // a snapshot, a format-stability round trip).
+  std::unique_ptr<Program> OwnedProg;
+  if (!Cli.SnapshotIn.empty()) {
+    SnapshotLoadResult Loaded = loadSnapshotFile(Cli.SnapshotIn);
+    if (!Loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", Loaded.Error.str().c_str());
+      return 1;
+    }
+    OwnedProg = std::move(Loaded.Prog);
+  } else {
+    BuildResult Built = buildProgramFromSource(readInput(Cli.Path));
+    if (!Built.ok()) {
+      std::fprintf(stderr, "error: %s\n", Built.Error.c_str());
+      return 1;
+    }
+    OwnedProg = std::move(Built.Prog);
   }
-  const Program &Prog = *Built.Prog;
+  const Program &Prog = *OwnedProg;
+
+  if (!Cli.SnapshotOut.empty()) {
+    std::string Error;
+    if (!writeSnapshotFile(Cli.SnapshotOut, Prog, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
 
   if (Cli.Octagon)
     return runOctagonMode(Prog, Cli);

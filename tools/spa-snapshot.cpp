@@ -1,0 +1,177 @@
+//===- spa-snapshot.cpp - Inspect/verify/create spa-ir-v1 snapshots -------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CLI for the binary IR snapshot format (DESIGN.md §8):
+///
+///   spa-snapshot FILE.snap            inspect: header, section table,
+///                                     checksum status, program summary
+///   spa-snapshot --verify FILE.snap   strict load only; exit 0 when the
+///                                     file loads cleanly, 2 otherwise
+///   spa-snapshot --out=F.snap FILE.spa  build the source and write its
+///                                     snapshot (golden-corpus producer)
+///
+/// Inspection is deliberately two-layered: the section table and
+/// checksums print even when the deep decode fails, so a corrupt file
+/// tells you *which* section is bad rather than just "load error".
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace spa;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: spa-snapshot [--verify] <file.snap>\n"
+               "       spa-snapshot --out=FILE.snap <file.spa>\n");
+}
+
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Bytes,
+                   std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  Bytes.assign(std::istreambuf_iterator<char>(In),
+               std::istreambuf_iterator<char>());
+  if (In.bad()) {
+    Error = "read failed: " + Path;
+    return false;
+  }
+  return true;
+}
+
+/// --out=: build .spa source and serialize it (exit 0/1).
+int compileToSnapshot(const std::string &SourcePath,
+                      const std::string &OutPath) {
+  std::ifstream In(SourcePath);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", SourcePath.c_str());
+    return 1;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  BuildResult Built = buildProgramFromSource(SS.str());
+  if (!Built.ok()) {
+    std::fprintf(stderr, "error: %s\n", Built.Error.c_str());
+    return 1;
+  }
+  std::string Error;
+  if (!writeSnapshotFile(OutPath, *Built.Prog, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::vector<uint8_t> Bytes = saveSnapshot(*Built.Prog);
+  std::printf("%s: wrote %zu bytes (%zu points, %zu funcs, %zu locs)\n",
+              OutPath.c_str(), Bytes.size(), Built.Prog->Points.size(),
+              Built.Prog->Funcs.size(), Built.Prog->Locs.size());
+  return 0;
+}
+
+/// --verify: strict load, nothing printed on the happy path but a
+/// one-line confirmation; exit 0 clean / 2 rejected.
+int verifySnapshot(const std::string &Path) {
+  SnapshotLoadResult L = loadSnapshotFile(Path);
+  if (!L.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), L.Error.str().c_str());
+    return 2;
+  }
+  std::printf("%s: ok (%zu points, %zu funcs, %zu locs)\n", Path.c_str(),
+              L.Prog->Points.size(), L.Prog->Funcs.size(),
+              L.Prog->Locs.size());
+  return 0;
+}
+
+/// Default mode: structural dump.  Exit 0 only when the file both
+/// inspects and strictly loads.
+int inspect(const std::string &Path) {
+  std::vector<uint8_t> Bytes;
+  std::string Error;
+  if (!readFileBytes(Path, Bytes, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+
+  SnapshotInfo Info;
+  SnapshotError E = inspectSnapshot(Bytes.data(), Bytes.size(), Info);
+  if (!E.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), E.str().c_str());
+    return 2;
+  }
+
+  std::printf("%s: spa-ir-v%u, %llu bytes, %zu sections\n", Path.c_str(),
+              Info.Version, static_cast<unsigned long long>(Info.TotalBytes),
+              Info.Sections.size());
+  bool AllSumsOk = true;
+  for (const SnapshotSectionInfo &S : Info.Sections) {
+    std::printf("  %-8s off=%-8llu len=%-8llu fnv1a=%016llx  %s\n",
+                S.Name, static_cast<unsigned long long>(S.Offset),
+                static_cast<unsigned long long>(S.Length),
+                static_cast<unsigned long long>(S.Checksum),
+                S.ChecksumOk ? "ok" : "MISMATCH");
+    AllSumsOk = AllSumsOk && S.ChecksumOk;
+  }
+
+  SnapshotLoadResult L = loadSnapshot(Bytes);
+  if (!L.ok()) {
+    std::printf("load: %s\n", L.Error.str().c_str());
+    return 2;
+  }
+  std::printf("load: ok  points=%zu funcs=%zu locs=%zu start=%u main=%u\n",
+              L.Prog->Points.size(), L.Prog->Funcs.size(),
+              L.Prog->Locs.size(), L.Prog->Start.value(),
+              L.Prog->Main.value());
+  return AllSumsOk ? 0 : 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Verify = false;
+  std::string Out;
+  std::string Path;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--verify") {
+      Verify = true;
+    } else if (A.rfind("--out=", 0) == 0) {
+      Out = A.substr(std::strlen("--out="));
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "error: unknown option %s\n", A.c_str());
+      usage();
+      return 1;
+    } else if (Path.empty()) {
+      Path = A;
+    } else {
+      usage();
+      return 1;
+    }
+  }
+  if (Path.empty()) {
+    usage();
+    return 1;
+  }
+  if (!Out.empty())
+    return compileToSnapshot(Path, Out);
+  if (Verify)
+    return verifySnapshot(Path);
+  return inspect(Path);
+}
