@@ -129,6 +129,23 @@ if "off" in snap and "on" in snap:
     }
     out["snapshot_speedup"] = round(off / on, 3) if on > 0 else None
 
+# Resident-daemon warm-vs-cold ablation: repeat requests answered from
+# the serve cache (byte-identity fast path) vs full re-analysis per
+# request (the --no-incremental ablation).  The ratio is the headline
+# serve_warm_speedup (cold / warm).
+srv = {}
+for r in records:
+    if r["bench"].startswith("serve:"):
+        srv.setdefault(r["bench"][len("serve:"):], []).append(r["metrics"])
+if "cold" in srv and "warm" in srv:
+    cold = min(m.get("batch.seconds", 0) for m in srv["cold"])
+    warm = min(m.get("batch.seconds", 0) for m in srv["warm"])
+    out["serve"] = {
+        "seconds_cold": round(cold, 4),
+        "seconds_warm": round(warm, 6),
+    }
+    out["serve_warm_speedup"] = round(cold / warm, 3) if warm > 0 else None
+
 # Work-stealing shard coordinator gauges (one "shard" record per run).
 shard = [r["metrics"] for r in records if r["bench"] == "shard"]
 if shard:

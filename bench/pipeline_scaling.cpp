@@ -21,6 +21,7 @@
 #include "BenchUtil.h"
 
 #include "obs/Metrics.h"
+#include "serve/Service.h"
 #include "support/ThreadPool.h"
 #include "workload/Batch.h"
 #include "workload/ShardCoordinator.h"
@@ -207,6 +208,90 @@ int main() {
   if (SnapFailed > 0) {
     std::printf("\nerror: snapshot ablation batch had failures\n");
     return 1;
+  }
+
+  // Resident-daemon ablation: a warm serve::Service answering repeat
+  // requests from its cache (the byte-identity fast path — no parse, no
+  // encode, no fixpoint) against a cold service (Incremental off, the
+  // --no-incremental ablation) that re-analyzes every request.  Result
+  // digests must match exactly; the wall-clock ratio is the
+  // serve_warm_speedup BENCH_pipeline.json reports (docs/SERVER.md).
+  {
+    std::vector<serve::AnalyzeRequest> Requests;
+    for (const SuiteEntry &E : Suite) {
+      std::string Src = generateSource(E.Config);
+      serve::AnalyzeRequest Req;
+      Req.Jobs = Par;
+      Req.Program.assign(Src.begin(), Src.end());
+      Requests.push_back(std::move(Req));
+    }
+    bool ServeOk = true;
+    auto serveSuite = [&](serve::Service &Svc, std::vector<uint64_t> &Digests,
+                          bool &AllHits) {
+      Digests.clear();
+      AllHits = true;
+      for (const serve::AnalyzeRequest &Req : Requests) {
+        serve::AnalyzeResponse Resp;
+        std::string Error;
+        if (Svc.analyze(Req, Resp, Error) != serve::ServeErrc::None) {
+          std::fprintf(stderr, "error: serve ablation: %s\n", Error.c_str());
+          ServeOk = false;
+          return;
+        }
+        Digests.push_back(Resp.ResultDigest);
+        AllHits = AllHits && Resp.CacheHit;
+      }
+    };
+    // One resident warm service for the whole ablation, primed untimed;
+    // every timed warm pass must then be pure cache hits.
+    serve::ServiceOptions WarmOpts;
+    WarmOpts.Analyzer.TimeLimitSec = TimeLimit;
+    serve::Service WarmSvc(WarmOpts);
+    auto ServeRun = [&](const char *Name, bool Warm,
+                        std::vector<uint64_t> &Digests, bool &AllHits) {
+      serve::ServiceOptions ColdOpts;
+      ColdOpts.Analyzer.TimeLimitSec = TimeLimit;
+      ColdOpts.Incremental = false;
+      serve::Service ColdSvc(ColdOpts);
+      serve::Service &Svc = Warm ? WarmSvc : ColdSvc;
+      double Sec = 0;
+      recordRun(std::string("serve:") + Name, "sparse", [&] {
+        Timer T;
+        serveSuite(Svc, Digests, AllHits);
+        Sec = T.seconds();
+        SPA_OBS_GAUGE_SET("batch.seconds", Sec);
+      });
+      return Sec;
+    };
+    std::vector<uint64_t> ColdD, WarmD, RefD;
+    bool ColdHits = false, WarmHits = false;
+    ServeRun("warmup", true, RefD, ColdHits); // primes WarmSvc
+    RefD.clear();
+    double SrvColdSec = 0, SrvWarmSec = 0;
+    for (int Rep = 0; ServeOk && Rep < 2; ++Rep) {
+      bool WarmFirst = Rep % 2;
+      double A = WarmFirst ? ServeRun("warm", true, WarmD, WarmHits)
+                           : ServeRun("cold", false, ColdD, ColdHits);
+      double B = WarmFirst ? ServeRun("cold", false, ColdD, ColdHits)
+                           : ServeRun("warm", true, WarmD, WarmHits);
+      double ColdSec = WarmFirst ? B : A;
+      double WarmSec = WarmFirst ? A : B;
+      SrvColdSec = Rep ? std::min(SrvColdSec, ColdSec) : ColdSec;
+      SrvWarmSec = Rep ? std::min(SrvWarmSec, WarmSec) : WarmSec;
+      if (RefD.empty())
+        RefD = ColdD;
+      ServeOk = ServeOk && ColdD == RefD && WarmD == RefD && WarmHits &&
+                !ColdHits;
+    }
+    std::printf("serve cache: cold %.3fs, warm %.4fs (%.0fx speedup, "
+                "%zu programs)\n",
+                SrvColdSec, SrvWarmSec,
+                SrvWarmSec > 0 ? SrvColdSec / SrvWarmSec : 0,
+                Requests.size());
+    if (!ServeOk) {
+      std::printf("\nerror: serve ablation diverged from cold results\n");
+      return 1;
+    }
   }
 
   // Work-stealing shard coordinator over the same suite: one record

@@ -249,7 +249,12 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
     break;
   }
   case EngineKind::Sparse: {
-    {
+    if (Opts.PrebuiltGraph) {
+      // Warm start from a snapshot-embedded graph: the whole depbuild
+      // phase collapses to a move.  BuildSeconds stays whatever the
+      // decoder left (0), which is the honest Dep cost of this run.
+      Run.Graph = std::move(*Opts.PrebuiltGraph);
+    } else {
       SPA_OBS_TRACE("dep-build");
       PhaseJournalScope PJ("depbuild");
       maybeInjectFault("depbuild");
@@ -268,6 +273,8 @@ AnalysisRun spa::analyzeProgram(const Program &Prog,
     SOpts.Bud = Bud;
     SOpts.DegradeTo = &Run.Pre.Global;
     SOpts.Led = Led.get();
+    if (Opts.BeforeSparseFix)
+      Opts.BeforeSparseFix(Run, SOpts);
     SPA_OBS_TRACE("fixpoint");
     PhaseJournalScope PJ("fix");
     maybeInjectFault("fix");

@@ -23,8 +23,9 @@ enum SectionKind : uint32_t {
   SecFuncs = 3,
   SecPoints = 4,
   SecEdges = 5,
+  SecDepGraph = 6, // v2+, optional: opaque payload (core/DepSnapshot.h).
 };
-constexpr uint32_t NumSections = 5;
+constexpr uint32_t NumRequiredSections = 5;
 constexpr size_t HeaderBytes = 16;   // magic + version + section count
 constexpr size_t TableEntryBytes = 32;
 
@@ -40,6 +41,7 @@ const char *sectionName(uint32_t Kind) {
   case SecFuncs: return "funcs";
   case SecPoints: return "points";
   case SecEdges: return "edges";
+  case SecDepGraph: return "depgraph";
   }
   return "?";
 }
@@ -366,15 +368,23 @@ SnapshotError parseTable(const uint8_t *Data, size_t Size, uint32_t &Version,
     return V;
   };
   Version = U32At(8);
-  if (Version != SnapshotVersion)
+  if (Version < MinSnapshotVersion || Version > SnapshotVersion)
     return {SnapErrc::BadVersion, "format version " + std::to_string(Version) +
                                       ", this reader understands only " +
-                                      std::to_string(SnapshotVersion)};
+                                      std::to_string(MinSnapshotVersion) +
+                                      ".." + std::to_string(SnapshotVersion)};
+  // v1 has exactly the five required sections; v2 may append the
+  // optional depgraph section.
   uint32_t Count = U32At(12);
-  if (Count != NumSections)
+  uint32_t MaxCount = Version >= 2 ? NumRequiredSections + 1
+                                   : NumRequiredSections;
+  if (Count < NumRequiredSections || Count > MaxCount)
     return {SnapErrc::BadSectionTable,
             "section count " + std::to_string(Count) + ", want " +
-                std::to_string(NumSections)};
+                std::to_string(NumRequiredSections) +
+                (MaxCount > NumRequiredSections
+                     ? " or " + std::to_string(MaxCount)
+                     : "")};
   size_t TableEnd = HeaderBytes + static_cast<size_t>(Count) * TableEntryBytes;
   if (TableEnd > Size)
     return {SnapErrc::Truncated, "section table extends past end of file"};
@@ -389,7 +399,8 @@ SnapshotError parseTable(const uint8_t *Data, size_t Size, uint32_t &Version,
     E.Offset = U64At(Off + 8);
     E.Length = U64At(Off + 16);
     E.Checksum = U64At(Off + 24);
-    if (E.Kind < SecMeta || E.Kind > SecEdges)
+    uint32_t MaxKind = Version >= 2 ? SecDepGraph : SecEdges;
+    if (E.Kind < SecMeta || E.Kind > MaxKind)
       return {SnapErrc::BadSectionTable,
               "unknown section kind " + std::to_string(E.Kind)};
     if (SeenMask & (1u << E.Kind))
@@ -450,7 +461,9 @@ std::string SnapshotError::str() const {
   return S;
 }
 
-std::vector<uint8_t> saveSnapshot(const Program &Prog) {
+std::vector<uint8_t>
+saveSnapshot(const Program &Prog,
+             const std::vector<uint8_t> *DepGraphPayload) {
   Writer Meta, Locs, Funcs, Points, Edges;
 
   Meta.u64(Prog.numPoints());
@@ -497,19 +510,25 @@ std::vector<uint8_t> saveSnapshot(const Program &Prog) {
   for (const auto &P : Prog.Preds)
     writeEdgeList(Edges, P);
 
-  const std::pair<uint32_t, const Writer *> Sections[] = {
+  Writer DepGraph;
+  if (DepGraphPayload && !DepGraphPayload->empty())
+    DepGraph.Buf = *DepGraphPayload;
+
+  std::vector<std::pair<uint32_t, const Writer *>> Sections = {
       {SecMeta, &Meta},
       {SecLocs, &Locs},
       {SecFuncs, &Funcs},
       {SecPoints, &Points},
       {SecEdges, &Edges},
   };
+  if (!DepGraph.Buf.empty())
+    Sections.emplace_back(SecDepGraph, &DepGraph);
 
   Writer Out;
   Out.Buf.insert(Out.Buf.end(), Magic, Magic + sizeof(Magic));
   Out.u32(SnapshotVersion);
-  Out.u32(NumSections);
-  uint64_t Offset = HeaderBytes + NumSections * TableEntryBytes;
+  Out.u32(static_cast<uint32_t>(Sections.size()));
+  uint64_t Offset = HeaderBytes + Sections.size() * TableEntryBytes;
   for (const auto &[Kind, W] : Sections) {
     Out.u32(Kind);
     Out.u32(0); // reserved
@@ -523,7 +542,7 @@ std::vector<uint8_t> saveSnapshot(const Program &Prog) {
 
   SPA_OBS_COUNT("snapshot.saves", 1);
   SPA_OBS_GAUGE_SET("snapshot.save.bytes", Out.Buf.size());
-  SPA_OBS_JOURNAL(SnapshotSave, Out.Buf.size(), NumSections);
+  SPA_OBS_JOURNAL(SnapshotSave, Out.Buf.size(), Sections.size());
   return std::move(Out.Buf);
 }
 
@@ -557,7 +576,7 @@ SnapshotLoadResult loadSnapshot(const uint8_t *Data, size_t Size) {
     for (const SectionEntry &E : Table)
       if (E.Kind == Kind)
         return E;
-    __builtin_unreachable(); // parseTable guarantees all five present.
+    __builtin_unreachable(); // parseTable guarantees the required five.
   };
   auto readerFor = [&](uint32_t Kind) {
     const SectionEntry &E = section(Kind);
@@ -675,6 +694,14 @@ SnapshotLoadResult loadSnapshot(const uint8_t *Data, size_t Size) {
   for (uint32_t I = 0; I < Prog->Funcs.size(); ++I)
     Prog->FuncByName.emplace(Prog->Funcs[I].Name, FuncId(I));
 
+  // Optional depgraph payload (v2): opaque here, handed back verbatim —
+  // its checksum was verified with the others above.
+  for (const SectionEntry &E : Table)
+    if (E.Kind == SecDepGraph) {
+      Res.DepGraph.assign(Data + E.Offset, Data + E.Offset + E.Length);
+      Res.HasDepGraph = true;
+    }
+
   SPA_OBS_COUNT("snapshot.loads", 1);
   SPA_OBS_GAUGE_SET("snapshot.load.bytes", Size);
   SPA_OBS_JOURNAL(SnapshotLoad, Size, 0);
@@ -708,8 +735,9 @@ SnapshotLoadResult loadSnapshotFile(const std::string &Path) {
 }
 
 bool writeSnapshotFile(const std::string &Path, const Program &Prog,
-                       std::string &Error) {
-  std::vector<uint8_t> Bytes = saveSnapshot(Prog);
+                       std::string &Error,
+                       const std::vector<uint8_t> *DepGraphPayload) {
+  std::vector<uint8_t> Bytes = saveSnapshot(Prog, DepGraphPayload);
   FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F) {
     Error = "cannot open " + Path + " for writing";

@@ -16,7 +16,7 @@
 ///
 ///   [0..8)    magic  "SPAIR\n\x1a\0"  (PNG-style: catches text-mode and
 ///                                      truncation mangling up front)
-///   [8..12)   u32    version (currently 1)
+///   [8..12)   u32    version (1 or 2; 2 adds the optional depgraph section)
 ///   [12..16)  u32    section count
 ///   [16..)    section table: per section 32 bytes
 ///               { u32 kind; u32 reserved; u64 offset; u64 length;
@@ -31,6 +31,15 @@
 /// join/phi behavior, so it is serialized, not rebuilt).  All five are
 /// required exactly once.  FuncByName is derived state and is rebuilt on
 /// load.
+///
+/// Version 2 adds an *optional* sixth section, 6 = DepGraph: the sparse
+/// dependency graph serialized alongside the IR, so a consumer (the
+/// spa-serve daemon, `spa-analyze --snapshot-in`) can warm-start the
+/// fixpoint without re-running dependency generation.  Its payload is
+/// opaque at this layer — the graph types live above the IR library —
+/// and is encoded/decoded by core/DepSnapshot.h; here it is just a
+/// checksummed byte range handed back verbatim.  Version-1 files (five
+/// sections, no depgraph) still load unchanged.
 ///
 /// The loader is strict: every offset, length, count, enum and id is
 /// validated against bounds before use, unconsumed section bytes are an
@@ -52,10 +61,14 @@
 
 namespace spa {
 
-/// Current (and only) snapshot format version.  Readers reject anything
-/// else with SnapErrc::BadVersion; bumping this is a format change that
-/// must be announced by regenerating tests/golden/*.snap.
-constexpr uint32_t SnapshotVersion = 1;
+/// Current snapshot format version (the version new writers emit).
+/// Readers accept [MinSnapshotVersion, SnapshotVersion] and reject
+/// anything else with SnapErrc::BadVersion; bumping this is a format
+/// change that must be announced by regenerating tests/golden/*.snap
+/// (a v1 artifact stays checked in as tests/golden/v1_baseline.snap to
+/// pin backward compatibility).
+constexpr uint32_t SnapshotVersion = 2;
+constexpr uint32_t MinSnapshotVersion = 1;
 
 /// Loader failure taxonomy.  Every malformed input maps to exactly one of
 /// these; the batch driver classifies any of them as a build_error outcome
@@ -64,7 +77,7 @@ enum class SnapErrc {
   None = 0,
   Io,                ///< File could not be opened/read.
   BadMagic,          ///< First 8 bytes are not the spa-ir magic.
-  BadVersion,        ///< Version field != SnapshotVersion.
+  BadVersion,        ///< Version outside [MinSnapshotVersion, SnapshotVersion].
   Truncated,         ///< Header or section table extends past the buffer.
   BadSectionTable,   ///< Sections overlap, leave gaps, or exceed bounds.
   DuplicateSection,  ///< A section kind appears twice.
@@ -89,15 +102,24 @@ struct SnapshotError {
   std::string str() const;
 };
 
-/// Serializes \p Prog to spa-ir-v1 bytes.  Deterministic: the same
+/// Serializes \p Prog to spa-ir snapshot bytes.  Deterministic: the same
 /// Program always produces the same bytes (pinned byte-for-byte by the
 /// golden corpus test), so snapshots can be content-compared and cached.
-std::vector<uint8_t> saveSnapshot(const Program &Prog);
+/// When \p DepGraphPayload is non-null and non-empty, it is embedded
+/// verbatim as the optional depgraph section (see the file comment); the
+/// IR sections' bytes are unaffected.
+std::vector<uint8_t>
+saveSnapshot(const Program &Prog,
+             const std::vector<uint8_t> *DepGraphPayload = nullptr);
 
 /// Result of loading a snapshot: the Program, or a typed error.
 struct SnapshotLoadResult {
   std::unique_ptr<Program> Prog;
   SnapshotError Error;
+  /// Verbatim payload of the optional depgraph section (empty when the
+  /// snapshot carried none).  Decoded by core/DepSnapshot.h.
+  std::vector<uint8_t> DepGraph;
+  bool HasDepGraph = false;
   bool ok() const { return Prog != nullptr; }
 };
 
@@ -109,10 +131,11 @@ SnapshotLoadResult loadSnapshot(const std::vector<uint8_t> &Bytes);
 /// SnapErrc::Io; everything else is the in-memory loader's verdict.
 SnapshotLoadResult loadSnapshotFile(const std::string &Path);
 
-/// Serializes \p Prog and writes it to \p Path.  Returns false with
-/// \p Error set on I/O failure.
+/// Serializes \p Prog (plus an optional depgraph payload) and writes it
+/// to \p Path.  Returns false with \p Error set on I/O failure.
 bool writeSnapshotFile(const std::string &Path, const Program &Prog,
-                       std::string &Error);
+                       std::string &Error,
+                       const std::vector<uint8_t> *DepGraphPayload = nullptr);
 
 /// Shallow header/section inspection for the spa-snapshot tool: parses
 /// the header and section table and re-hashes every section without deep

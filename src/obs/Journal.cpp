@@ -56,6 +56,12 @@ const char *spa::obs::journalEventName(JournalEventKind K) {
     return "shard.dispatch";
   case JournalEventKind::ShardWorkerExit:
     return "shard.worker.exit";
+  case JournalEventKind::ServeRequest:
+    return "serve.request";
+  case JournalEventKind::ServeCacheHit:
+    return "serve.cache.hit";
+  case JournalEventKind::ServeEvict:
+    return "serve.evict";
   }
   return "unknown";
 }

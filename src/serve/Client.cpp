@@ -1,0 +1,136 @@
+//===- Client.cpp - spa-serve client helpers -------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace spa;
+using namespace spa::serve;
+
+Client::~Client() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Client &Client::operator=(Client &&O) noexcept {
+  if (this != &O) {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+ServeErrc Client::connect(const std::string &SocketPath, std::string &Error) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + SocketPath;
+    return ServeErrc::BadRequest;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (S < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return ServeErrc::Io;
+  }
+  if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "connect " + SocketPath + ": " + std::strerror(errno);
+    ::close(S);
+    return ServeErrc::Io;
+  }
+  // Server greets first; validate it before sending ours so a client
+  // pointed at the wrong socket fails with BadMagic, not a hang.
+  if (ServeErrc HS = readHandshake(S); HS != ServeErrc::None) {
+    Error = std::string("server handshake: ") + serveErrorName(HS);
+    ::close(S);
+    return HS;
+  }
+  if (!writeHandshake(S)) {
+    Error = "handshake write failed";
+    ::close(S);
+    return ServeErrc::Io;
+  }
+  Fd = S;
+  return ServeErrc::None;
+}
+
+ServeErrc Client::roundTrip(FrameType ReqType,
+                            const std::vector<uint8_t> &Payload, Frame &Reply,
+                            std::string &Error) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return ServeErrc::Io;
+  }
+  if (!writeFrame(Fd, ReqType, Payload)) {
+    Error = "request write failed";
+    return ServeErrc::Io;
+  }
+  ServeErrc Rc = readFrame(Fd, Reply);
+  if (Rc != ServeErrc::None) {
+    Error = std::string("reading response: ") + serveErrorName(Rc);
+    return Rc;
+  }
+  if (Reply.Type == FrameType::RespError) {
+    ServeErrc Code = ServeErrc::ServerError;
+    std::string Message;
+    if (!decodeError(Reply.Payload, Code, Message)) {
+      Error = "undecodable error frame";
+      return ServeErrc::Malformed;
+    }
+    Error = Message.empty() ? serveErrorName(Code) : Message;
+    return Code == ServeErrc::None ? ServeErrc::ServerError : Code;
+  }
+  return ServeErrc::None;
+}
+
+ServeErrc Client::analyze(const AnalyzeRequest &Req, AnalyzeResponse &Resp,
+                          std::string &Error) {
+  Frame Reply;
+  ServeErrc Rc = roundTrip(FrameType::ReqAnalyze, encodeAnalyzeRequest(Req),
+                           Reply, Error);
+  if (Rc != ServeErrc::None)
+    return Rc;
+  if (Reply.Type != FrameType::RespResult ||
+      !decodeAnalyzeResponse(Reply.Payload, Resp)) {
+    Error = "malformed analyze response";
+    return ServeErrc::Malformed;
+  }
+  return ServeErrc::None;
+}
+
+ServeErrc Client::stats(std::string &Json, std::string &Error) {
+  Frame Reply;
+  ServeErrc Rc = roundTrip(FrameType::ReqStats, {}, Reply, Error);
+  if (Rc != ServeErrc::None)
+    return Rc;
+  if (Reply.Type != FrameType::RespStats ||
+      !decodeString(Reply.Payload, Json)) {
+    Error = "malformed stats response";
+    return ServeErrc::Malformed;
+  }
+  return ServeErrc::None;
+}
+
+ServeErrc Client::shutdown(std::string &Error) {
+  Frame Reply;
+  ServeErrc Rc = roundTrip(FrameType::ReqShutdown, {}, Reply, Error);
+  if (Rc != ServeErrc::None)
+    return Rc;
+  if (Reply.Type != FrameType::RespBye) {
+    Error = "malformed shutdown response";
+    return ServeErrc::Malformed;
+  }
+  return ServeErrc::None;
+}

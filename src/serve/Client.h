@@ -1,0 +1,65 @@
+//===- Client.h - spa-serve client helpers ---------------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocking one-shot client for the spa-serve socket (used by
+/// `spa-analyze --connect=...`, the bench harness, and tests).  Each
+/// helper opens a connection, exchanges the handshake, performs one
+/// request/response, and closes — the daemon's cache is what persists,
+/// not the connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SERVE_CLIENT_H
+#define SPA_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+#include <string>
+
+namespace spa {
+namespace serve {
+
+/// Connected client socket with handshake already exchanged.  Movable,
+/// closes on destruction.
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(Client &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Client &operator=(Client &&O) noexcept;
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to \p SocketPath and exchanges handshakes.  On failure
+  /// returns the typed error with \p Error describing it.
+  ServeErrc connect(const std::string &SocketPath, std::string &Error);
+
+  bool connected() const { return Fd >= 0; }
+
+  /// One analyze round trip.  Returns None and fills \p Resp, or the
+  /// error the daemon sent (message in \p Error).
+  ServeErrc analyze(const AnalyzeRequest &Req, AnalyzeResponse &Resp,
+                    std::string &Error);
+
+  /// Fetches the daemon's cumulative metrics JSON.
+  ServeErrc stats(std::string &Json, std::string &Error);
+
+  /// Asks the daemon to shut down (waits for the bye frame).
+  ServeErrc shutdown(std::string &Error);
+
+private:
+  ServeErrc roundTrip(FrameType ReqType,
+                      const std::vector<uint8_t> &Payload, Frame &Reply,
+                      std::string &Error);
+
+  int Fd = -1;
+};
+
+} // namespace serve
+} // namespace spa
+
+#endif // SPA_SERVE_CLIENT_H

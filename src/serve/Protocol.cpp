@@ -1,0 +1,320 @@
+//===- Protocol.cpp - spa-serve wire protocol -----------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+using namespace spa;
+using namespace spa::serve;
+
+const unsigned char spa::serve::Magic[8] = {'S', 'P', 'A', 'S',
+                                            'R', 'V', '1', '\n'};
+
+const char *spa::serve::serveErrorName(ServeErrc Code) {
+  switch (Code) {
+  case ServeErrc::None:
+    return "none";
+  case ServeErrc::Io:
+    return "io";
+  case ServeErrc::BadMagic:
+    return "bad_magic";
+  case ServeErrc::BadVersion:
+    return "bad_version";
+  case ServeErrc::Malformed:
+    return "malformed";
+  case ServeErrc::TooLarge:
+    return "too_large";
+  case ServeErrc::BadRequest:
+    return "bad_request";
+  case ServeErrc::BuildError:
+    return "build_error";
+  case ServeErrc::SnapshotError:
+    return "snapshot_error";
+  case ServeErrc::Injected:
+    return "fault_injected";
+  case ServeErrc::ServerError:
+    return "server_error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool writeAll(int Fd, const void *Buf, size_t Len) {
+  const char *P = static_cast<const char *>(Buf);
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, P, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Reads exactly \p Len bytes.  Returns 1 on success, 0 on clean EOF at
+/// offset 0, -1 on error/short read.
+int readAll(int Fd, void *Buf, size_t Len) {
+  char *P = static_cast<char *>(Buf);
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::read(Fd, P + Got, Len - Got);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (N == 0)
+      return Got == 0 ? 0 : -1;
+    Got += static_cast<size_t>(N);
+  }
+  return 1;
+}
+
+void putU16(std::vector<uint8_t> &B, uint16_t V) {
+  B.push_back(V & 0xff);
+  B.push_back((V >> 8) & 0xff);
+}
+
+void putU32(std::vector<uint8_t> &B, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    B.push_back((V >> (8 * I)) & 0xff);
+}
+
+void putU64(std::vector<uint8_t> &B, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    B.push_back((V >> (8 * I)) & 0xff);
+}
+
+void putStr(std::vector<uint8_t> &B, const std::string &S) {
+  putU32(B, static_cast<uint32_t>(S.size()));
+  B.insert(B.end(), S.begin(), S.end());
+}
+
+/// Bounds-checked little-endian payload reader (same failure discipline
+/// as the snapshot Reader: any out-of-bounds access poisons the decode).
+struct PayloadReader {
+  const std::vector<uint8_t> &B;
+  size_t Pos = 0;
+  bool Ok = true;
+
+  explicit PayloadReader(const std::vector<uint8_t> &B) : B(B) {}
+
+  bool need(size_t N) {
+    if (!Ok || B.size() - Pos < N) {
+      Ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint16_t u16() {
+    if (!need(2))
+      return 0;
+    uint16_t V = static_cast<uint16_t>(B[Pos] | (B[Pos + 1] << 8));
+    Pos += 2;
+    return V;
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(B[Pos + I]) << (8 * I);
+    Pos += 4;
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(B[Pos + I]) << (8 * I);
+    Pos += 8;
+    return V;
+  }
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return B[Pos++];
+  }
+  std::string str() {
+    uint32_t Len = u32();
+    if (!need(Len))
+      return {};
+    std::string S(reinterpret_cast<const char *>(B.data()) + Pos, Len);
+    Pos += Len;
+    return S;
+  }
+  bool done() const { return Ok && Pos == B.size(); }
+};
+
+uint64_t doubleBits(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  return Bits;
+}
+
+double bitsDouble(uint64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+} // namespace
+
+bool spa::serve::writeHandshake(int Fd) {
+  unsigned char Buf[12];
+  std::memcpy(Buf, Magic, 8);
+  for (int I = 0; I < 4; ++I)
+    Buf[8 + I] = (ProtocolVersion >> (8 * I)) & 0xff;
+  return writeAll(Fd, Buf, sizeof(Buf));
+}
+
+ServeErrc spa::serve::readHandshake(int Fd) {
+  unsigned char Buf[12];
+  if (readAll(Fd, Buf, sizeof(Buf)) != 1)
+    return ServeErrc::Io;
+  if (std::memcmp(Buf, Magic, 8) != 0)
+    return ServeErrc::BadMagic;
+  uint32_t Ver = 0;
+  for (int I = 0; I < 4; ++I)
+    Ver |= static_cast<uint32_t>(Buf[8 + I]) << (8 * I);
+  if (Ver != ProtocolVersion)
+    return ServeErrc::BadVersion;
+  return ServeErrc::None;
+}
+
+bool spa::serve::writeFrame(int Fd, FrameType Type,
+                            const std::vector<uint8_t> &Payload) {
+  if (Payload.size() > MaxFrameBytes)
+    return false;
+  std::vector<uint8_t> Header;
+  Header.reserve(8);
+  putU32(Header, static_cast<uint32_t>(Payload.size()));
+  putU16(Header, static_cast<uint16_t>(Type));
+  putU16(Header, 0);
+  return writeAll(Fd, Header.data(), Header.size()) &&
+         (Payload.empty() ||
+          writeAll(Fd, Payload.data(), Payload.size()));
+}
+
+ServeErrc spa::serve::readFrame(int Fd, Frame &Out) {
+  unsigned char Header[8];
+  int Rc = readAll(Fd, Header, sizeof(Header));
+  if (Rc != 1)
+    return ServeErrc::Io;
+  uint32_t Len = 0;
+  for (int I = 0; I < 4; ++I)
+    Len |= static_cast<uint32_t>(Header[I]) << (8 * I);
+  if (Len > MaxFrameBytes)
+    return ServeErrc::TooLarge;
+  Out.Type = static_cast<FrameType>(Header[4] | (Header[5] << 8));
+  Out.Flags = static_cast<uint16_t>(Header[6] | (Header[7] << 8));
+  Out.Payload.assign(Len, 0);
+  if (Len > 0 && readAll(Fd, Out.Payload.data(), Len) != 1)
+    return ServeErrc::Io;
+  return ServeErrc::None;
+}
+
+std::vector<uint8_t>
+spa::serve::encodeAnalyzeRequest(const AnalyzeRequest &Req) {
+  std::vector<uint8_t> B;
+  B.reserve(12 + Req.Program.size());
+  putU32(B, Req.Flags);
+  putU32(B, Req.Jobs);
+  putStr(B, Req.Program);
+  return B;
+}
+
+bool spa::serve::decodeAnalyzeRequest(const std::vector<uint8_t> &Payload,
+                                      AnalyzeRequest &Out) {
+  PayloadReader R(Payload);
+  Out.Flags = R.u32();
+  Out.Jobs = R.u32();
+  Out.Program = R.str();
+  return R.done();
+}
+
+std::vector<uint8_t>
+spa::serve::encodeAnalyzeResponse(const AnalyzeResponse &Resp) {
+  std::vector<uint8_t> B;
+  putU64(B, Resp.ResultDigest);
+  putU64(B, Resp.ProgramDigest);
+  putU32(B, Resp.PartitionsTotal);
+  putU32(B, Resp.PartitionsReused);
+  putU32(B, Resp.PartitionsSolved);
+  B.push_back(Resp.CacheHit);
+  B.push_back(Resp.Degraded);
+  B.push_back(Resp.TimedOut);
+  B.push_back(0); // Pad.
+  putU32(B, Resp.Checks);
+  putU32(B, Resp.Alarms);
+  putU64(B, doubleBits(Resp.WallSeconds));
+  putU64(B, Resp.LedgerVisits);
+  putU64(B, Resp.LedgerGrowth);
+  putStr(B, Resp.AlarmsText);
+  putStr(B, Resp.InvariantsText);
+  putStr(B, Resp.MetricsJson);
+  return B;
+}
+
+bool spa::serve::decodeAnalyzeResponse(const std::vector<uint8_t> &Payload,
+                                       AnalyzeResponse &Out) {
+  PayloadReader R(Payload);
+  Out.ResultDigest = R.u64();
+  Out.ProgramDigest = R.u64();
+  Out.PartitionsTotal = R.u32();
+  Out.PartitionsReused = R.u32();
+  Out.PartitionsSolved = R.u32();
+  Out.CacheHit = R.u8();
+  Out.Degraded = R.u8();
+  Out.TimedOut = R.u8();
+  R.u8(); // Pad.
+  Out.Checks = R.u32();
+  Out.Alarms = R.u32();
+  Out.WallSeconds = bitsDouble(R.u64());
+  Out.LedgerVisits = R.u64();
+  Out.LedgerGrowth = R.u64();
+  Out.AlarmsText = R.str();
+  Out.InvariantsText = R.str();
+  Out.MetricsJson = R.str();
+  return R.done();
+}
+
+std::vector<uint8_t> spa::serve::encodeError(ServeErrc Code,
+                                             const std::string &Message) {
+  std::vector<uint8_t> B;
+  putU16(B, static_cast<uint16_t>(Code));
+  putStr(B, Message);
+  return B;
+}
+
+bool spa::serve::decodeError(const std::vector<uint8_t> &Payload,
+                             ServeErrc &Code, std::string &Message) {
+  PayloadReader R(Payload);
+  Code = static_cast<ServeErrc>(R.u16());
+  Message = R.str();
+  return R.done();
+}
+
+std::vector<uint8_t> spa::serve::encodeString(const std::string &S) {
+  std::vector<uint8_t> B;
+  putStr(B, S);
+  return B;
+}
+
+bool spa::serve::decodeString(const std::vector<uint8_t> &Payload,
+                              std::string &Out) {
+  PayloadReader R(Payload);
+  Out = R.str();
+  return R.done();
+}

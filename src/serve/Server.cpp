@@ -1,0 +1,149 @@
+//===- Server.cpp - Unix-domain-socket daemon loop -------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace spa;
+using namespace spa::serve;
+
+Server::Server(ServerOptions O)
+    : Opts(std::move(O)), Svc(Opts.Service) {}
+
+Server::~Server() {
+  int Fd = ListenFd.exchange(-1);
+  if (Fd >= 0) {
+    ::close(Fd);
+    ::unlink(Opts.SocketPath.c_str());
+  }
+}
+
+bool Server::listen(std::string &Error) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + Opts.SocketPath;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // A stale socket file from a dead daemon would make bind fail; remove
+  // it (a *live* daemon would still be reachable only through the new
+  // file, which is the standard single-owner convention for UDS paths).
+  ::unlink(Opts.SocketPath.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "bind " + Opts.SocketPath + ": " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  // Generous backlog: concurrent clients park here while the service
+  // handles one connection at a time.
+  if (::listen(Fd, 64) < 0) {
+    Error = std::string("listen: ") + std::strerror(errno);
+    ::close(Fd);
+    ::unlink(Opts.SocketPath.c_str());
+    return false;
+  }
+  ListenFd.store(Fd);
+  return true;
+}
+
+void Server::stop() {
+  Stopping.store(true);
+  int Fd = ListenFd.exchange(-1);
+  if (Fd >= 0)
+    ::close(Fd); // accept() in run() fails with EBADF and the loop exits.
+}
+
+void Server::run() {
+  while (!Stopping.load()) {
+    int LFd = ListenFd.load();
+    if (LFd < 0)
+      break;
+    int Fd = ::accept(LFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // Listening socket closed (stop()) or fatal.
+    }
+    bool KeepGoing = serveConnection(Fd);
+    ::close(Fd);
+    if (!KeepGoing)
+      break;
+  }
+  int Fd = ListenFd.exchange(-1);
+  if (Fd >= 0)
+    ::close(Fd);
+  ::unlink(Opts.SocketPath.c_str());
+}
+
+bool Server::serveConnection(int Fd) {
+  // Handshake both ways before any frame.  A bad peer greeting gets a
+  // best-effort error frame (it may not even speak frames; that's fine).
+  if (!writeHandshake(Fd))
+    return true;
+  if (ServeErrc HS = readHandshake(Fd); HS != ServeErrc::None) {
+    writeFrame(Fd, FrameType::RespError,
+               encodeError(HS, "bad client handshake"));
+    return true;
+  }
+
+  Frame F;
+  for (;;) {
+    ServeErrc Rc = readFrame(Fd, F);
+    if (Rc == ServeErrc::Io)
+      return true; // Peer closed; next client.
+    if (Rc != ServeErrc::None) {
+      writeFrame(Fd, FrameType::RespError, encodeError(Rc, "bad frame"));
+      return true;
+    }
+    switch (F.Type) {
+    case FrameType::ReqAnalyze: {
+      AnalyzeRequest Req;
+      if (!decodeAnalyzeRequest(F.Payload, Req)) {
+        writeFrame(Fd, FrameType::RespError,
+                   encodeError(ServeErrc::Malformed,
+                               "analyze request failed to decode"));
+        break;
+      }
+      AnalyzeResponse Resp;
+      std::string Error;
+      ServeErrc Sc = Svc.analyze(Req, Resp, Error);
+      if (Sc == ServeErrc::None)
+        writeFrame(Fd, FrameType::RespResult, encodeAnalyzeResponse(Resp));
+      else
+        writeFrame(Fd, FrameType::RespError, encodeError(Sc, Error));
+      break;
+    }
+    case FrameType::ReqStats:
+      writeFrame(Fd, FrameType::RespStats, encodeString(Svc.statsJson()));
+      break;
+    case FrameType::ReqShutdown:
+      writeFrame(Fd, FrameType::RespBye, {});
+      Stopping.store(true);
+      return false;
+    default:
+      writeFrame(Fd, FrameType::RespError,
+                 encodeError(ServeErrc::BadRequest,
+                             "unknown frame type " +
+                                 std::to_string(static_cast<unsigned>(
+                                     F.Type))));
+      break;
+    }
+  }
+}

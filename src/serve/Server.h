@@ -1,0 +1,68 @@
+//===- Server.h - Unix-domain-socket daemon loop ---------------------------===//
+//
+// Part of the SPA project (PLDI 2012 sparse analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spa-serve daemon's socket front end: binds a Unix-domain socket,
+/// accepts connections one at a time (concurrent clients queue in the
+/// listen backlog — the Service is deliberately single-threaded so
+/// per-request metrics scoping stays race-free), and speaks the framed
+/// protocol of serve/Protocol.h.  Every protocol failure produces a
+/// typed error frame and never kills the daemon; only ReqShutdown (or
+/// stop()) ends the loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPA_SERVE_SERVER_H
+#define SPA_SERVE_SERVER_H
+
+#include "serve/Service.h"
+
+#include <atomic>
+#include <string>
+
+namespace spa {
+namespace serve {
+
+struct ServerOptions {
+  std::string SocketPath;
+  ServiceOptions Service;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  /// Binds and listens.  Returns false with \p Error set on socket
+  /// failure (path too long, bind refused, ...).
+  bool listen(std::string &Error);
+
+  /// Accept loop; returns when a client sends ReqShutdown or stop() is
+  /// called from another thread.  Requires listen() to have succeeded.
+  void run();
+
+  /// Unblocks run() from another thread / a signal context (closes the
+  /// listening socket; the loop exits at the next accept).
+  void stop();
+
+  const std::string &socketPath() const { return Opts.SocketPath; }
+  Service &service() { return Svc; }
+
+private:
+  /// Serves one connection until the peer closes or shutdown.  Returns
+  /// true when the daemon should keep accepting.
+  bool serveConnection(int Fd);
+
+  ServerOptions Opts;
+  Service Svc;
+  std::atomic<int> ListenFd{-1};
+  std::atomic<bool> Stopping{false};
+};
+
+} // namespace serve
+} // namespace spa
+
+#endif // SPA_SERVE_SERVER_H

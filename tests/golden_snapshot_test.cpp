@@ -152,6 +152,32 @@ TEST(GoldenSnapshot, CorpusLoadsCleanAndRoundTrips) {
   }
 }
 
+TEST(GoldenSnapshot, V1BaselineStillLoads) {
+  // tests/golden/v1_baseline.snap is the version-1 encoding of the
+  // baseline spec, frozen when SnapshotVersion moved to 2 (the optional
+  // depgraph section).  It is deliberately NOT regenerated by
+  // SPA_UPDATE_GOLDEN: v1 files exist in the wild, so the reader must
+  // keep accepting them forever (MinSnapshotVersion).
+  std::vector<uint8_t> V1;
+  ASSERT_TRUE(readFileBytes(
+      std::string(SPA_GOLDEN_DIR) + "/v1_baseline.snap", V1));
+
+  SnapshotInfo Info;
+  ASSERT_TRUE(inspectSnapshot(V1.data(), V1.size(), Info).ok());
+  EXPECT_EQ(Info.Version, 1u);
+
+  SnapshotLoadResult L = loadSnapshot(V1);
+  ASSERT_TRUE(L.ok()) << L.Error.str();
+  EXPECT_FALSE(L.HasDepGraph);
+
+  // The v1 program is the same program the v2 baseline pins; only the
+  // container version differs.
+  std::vector<uint8_t> V2;
+  ASSERT_TRUE(readFileBytes(
+      std::string(SPA_GOLDEN_DIR) + "/baseline.snap", V2));
+  EXPECT_EQ(saveSnapshot(*L.Prog), V2);
+}
+
 TEST(GoldenSnapshot, VersionBumpedCorpusIsRejectedNotMisread) {
   for (const GoldenSpec &Spec : goldenSpecs()) {
     std::vector<uint8_t> Golden;

@@ -2,7 +2,8 @@
 # Tier-2 metrics regression gate: spa-metrics-diff against the
 # checked-in cost-ledger baseline for examples/pointers.spa.
 #
-#   metrics_regression.sh <spa-analyze> <spa-metrics-diff> <examples-dir> <baseline.json>
+#   metrics_regression.sh <spa-analyze> <spa-metrics-diff> <examples-dir> \
+#       <baseline.json> <spa-serve> <serve-baseline.json>
 #
 # Three contracts:
 #   1. baseline-vs-current passes on the deterministic count keys (the
@@ -12,6 +13,9 @@
 #      times);
 #   3. a perturbed copy fails with the regression exit code (2).
 #
+# The serve.* keys ride the same three contracts through a live daemon
+# (one cold + one warm request on examples/pointers.spa).
+#
 # Exit 77 = skip (instrumentation compiled out with SPA_OBS=OFF).
 set -u
 
@@ -19,6 +23,8 @@ ANALYZE=$1
 DIFF=$2
 EXAMPLES=$3
 BASELINE=$4
+SERVE=$5
+SERVE_BASELINE=$6
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
@@ -140,6 +146,77 @@ EOF
   "$WORK/snap-bad.json" > /dev/null 2>&1
 if [ $? -ne 2 ]; then
   echo "FAIL: perturbed snapshot.save.bytes should exit 2"
+  exit 1
+fi
+
+# The resident daemon's serve.* keys ride the same contract.  A fixed
+# request sequence (cold then warm on pointers.spa) makes every count —
+# requests, hits/misses, partition totals — a pure function of program
+# + options, so the warm request's metrics gate at tolerance zero
+# against the checked-in baseline.  serve.request.seconds and
+# serve.cache.bytes are deliberately outside the gate (wall time and
+# container-overhead estimates are machine-dependent).
+SOCK="$WORK/daemon.sock"
+"$SERVE" --socket="$SOCK" 2> "$WORK/serve.log" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2> /dev/null; rm -rf "$WORK"' EXIT
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || {
+  cat "$WORK/serve.log"
+  echo "FAIL: spa-serve socket never appeared"
+  exit 1
+}
+"$ANALYZE" --connect="$SOCK" "$EXAMPLES/pointers.spa" > /dev/null || {
+  echo "FAIL: cold serve request"
+  exit 1
+}
+"$ANALYZE" --connect="$SOCK" --metrics-out="$WORK/serve-warm.json" \
+  "$EXAMPLES/pointers.spa" > /dev/null || {
+  echo "FAIL: warm serve request"
+  exit 1
+}
+"$ANALYZE" --connect="$SOCK" --serve-shutdown > /dev/null
+wait "$SERVER_PID" || {
+  cat "$WORK/serve.log"
+  echo "FAIL: daemon exited non-zero"
+  exit 1
+}
+SERVER_PID=
+for key in serve.requests serve.cache.hits serve.cache.misses \
+  serve.partitions.total serve.partitions.reused serve.request.seconds; do
+  grep -q "\"$key\"" "$WORK/serve-warm.json" || {
+    echo "FAIL: serve metrics lack $key"
+    exit 1
+  }
+done
+"$DIFF" \
+  --key=serve.requests \
+  --key=serve.cache.hits \
+  --key=serve.cache.misses \
+  --key=serve.cache.entries \
+  --key=serve.partitions.total \
+  --key=serve.partitions.reused \
+  "$SERVE_BASELINE" "$WORK/serve-warm.json" || {
+  echo "FAIL: serve counts regressed against $SERVE_BASELINE"
+  exit 1
+}
+"$DIFF" "$WORK/serve-warm.json" "$WORK/serve-warm.json" || {
+  echo "FAIL: serve self-diff reported a regression"
+  exit 1
+}
+python3 - "$WORK/serve-warm.json" "$WORK/serve-bad.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["serve.cache.hits"] = doc["serve.cache.hits"] + 5
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+"$DIFF" --key=serve.cache.hits "$WORK/serve-warm.json" \
+  "$WORK/serve-bad.json" > /dev/null 2>&1
+if [ $? -ne 2 ]; then
+  echo "FAIL: perturbed serve.cache.hits should exit 2"
   exit 1
 fi
 

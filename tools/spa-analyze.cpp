@@ -53,10 +53,23 @@
 ///   --snapshot-out=FILE            save the built IR as an spa-ir-v1
 ///                                  binary snapshot (DESIGN.md §8)
 ///   --snapshot-in=FILE             analyze a snapshot instead of source
-///                                  (no frontend; strict typed loader)
+///                                  (no frontend; strict typed loader;
+///                                  a v2 embedded depgraph warm-starts
+///                                  the sparse engine when compatible)
+///   --snapshot-graph               with --snapshot-out: embed the built
+///                                  dependency graph as the optional v2
+///                                  depgraph section (sparse engine)
 ///   --shards=N                     batch: fan items out across N forked
 ///                                  worker processes with work-stealing
 ///                                  dispatch (DESIGN.md §8)
+///   --connect=SOCK                 client mode: send the program to a
+///                                  resident spa-serve daemon instead of
+///                                  analyzing in-process (docs/SERVER.md)
+///   --no-incremental               with --connect: ablation — ask the
+///                                  daemon for a cold, cache-free run
+///   --serve-stats                  with --connect: print the daemon's
+///                                  cumulative metrics JSON and exit
+///   --serve-shutdown               with --connect: stop the daemon
 ///
 /// Batch mode fans programs out across the pool (docs/PARALLELISM.md);
 /// per-program results print in input order and are identical for every
@@ -67,7 +80,9 @@
 
 #include "core/Analyzer.h"
 #include "core/Checker.h"
+#include "core/DepSnapshot.h"
 #include "core/Export.h"
+#include "serve/Client.h"
 #include "interp/Interp.h"
 #include "ir/Builder.h"
 #include "obs/Journal.h"
@@ -121,7 +136,12 @@ struct CliOptions {
   double BatchSuiteScale = 0; ///< 0 = suiteScaleFromEnv().
   std::string SnapshotOut;   ///< Save the built IR as spa-ir-v1.
   std::string SnapshotIn;    ///< Analyze a snapshot instead of source.
+  bool SnapshotGraph = false; ///< Embed the depgraph in --snapshot-out.
   unsigned Shards = 0;       ///< Batch: fork N shard workers (0 = off).
+  std::string Connect;       ///< spa-serve socket (client mode).
+  bool NoIncremental = false; ///< --connect: request a cold run.
+  bool ServeStats = false;    ///< --connect: dump daemon metrics.
+  bool ServeShutdown = false; ///< --connect: stop the daemon.
 };
 
 void usage() {
@@ -143,8 +163,14 @@ void usage() {
                "  --explain-alarm=N   (implies --check)\n"
                "  --snapshot-out=FILE --snapshot-in=FILE   (spa-ir-v1 "
                "binary IR)\n"
+               "  --snapshot-graph    (embed the depgraph in "
+               "--snapshot-out)\n"
                "  --shards=N          (batch: work-stealing worker "
-               "processes)\n");
+               "processes)\n"
+               "  --connect=SOCK --no-incremental --serve-stats "
+               "--serve-shutdown\n"
+               "                      (client mode against an spa-serve "
+               "daemon)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -250,8 +276,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.SnapshotOut = V;
     } else if (const char *V = Value("--snapshot-in=")) {
       Opts.SnapshotIn = V;
+    } else if (A == "--snapshot-graph") {
+      Opts.SnapshotGraph = true;
     } else if (const char *V = Value("--shards=")) {
       Opts.Shards = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (const char *V = Value("--connect=")) {
+      Opts.Connect = V;
+    } else if (A == "--no-incremental") {
+      Opts.NoIncremental = true;
+    } else if (A == "--serve-stats") {
+      Opts.ServeStats = true;
+    } else if (A == "--serve-shutdown") {
+      Opts.ServeShutdown = true;
     } else if (A == "--help" || A == "-h") {
       return false;
     } else if (!A.empty() && A[0] == '-' && A != "-") {
@@ -263,10 +299,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       return false;
     }
   }
-  // Batch modes and --snapshot-in supply their own program; otherwise a
-  // path is required.
+  // Batch modes and --snapshot-in supply their own program, and the
+  // daemon control requests need none; otherwise a path is required.
   return !Opts.Path.empty() || !Opts.BatchFile.empty() || Opts.BatchSuite ||
-         !Opts.SnapshotIn.empty();
+         !Opts.SnapshotIn.empty() ||
+         (!Opts.Connect.empty() && (Opts.ServeStats || Opts.ServeShutdown));
 }
 
 std::string readInput(const std::string &Path) {
@@ -283,6 +320,91 @@ std::string readInput(const std::string &Path) {
   std::ostringstream OS;
   OS << In.rdbuf();
   return OS.str();
+}
+
+/// --connect: ship the program to a resident spa-serve daemon and render
+/// its response in the cold CLI's output format (docs/SERVER.md).  The
+/// summary line carries the warm-path evidence (partition reuse, cache
+/// hits) the server tests and the bench ablation grep for.
+int runConnectMode(const CliOptions &Cli) {
+  serve::Client C;
+  std::string Error;
+  if (C.connect(Cli.Connect, Error) != serve::ServeErrc::None) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (Cli.ServeStats) {
+    std::string Json;
+    if (C.stats(Json, Error) != serve::ServeErrc::None) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fputs(Json.c_str(), stdout);
+    return 0;
+  }
+  if (Cli.ServeShutdown) {
+    if (C.shutdown(Error) != serve::ServeErrc::None) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("server shut down\n");
+    return 0;
+  }
+
+  serve::AnalyzeRequest Req;
+  Req.Jobs = Cli.Jobs;
+  if (Cli.NoIncremental)
+    Req.Flags |= serve::ReqFlagNoIncremental;
+  if (Cli.Check)
+    Req.Flags |= serve::ReqFlagCheck;
+  if (!Cli.SnapshotIn.empty()) {
+    std::ifstream In(Cli.SnapshotIn, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Cli.SnapshotIn.c_str());
+      return 1;
+    }
+    std::ostringstream OS;
+    OS << In.rdbuf();
+    Req.Program = OS.str();
+    Req.Flags |= serve::ReqFlagSnapshot;
+  } else {
+    Req.Program = readInput(Cli.Path);
+  }
+
+  serve::AnalyzeResponse Resp;
+  serve::ServeErrc Rc = C.analyze(Req, Resp, Error);
+  if (Rc != serve::ServeErrc::None) {
+    std::fprintf(stderr, "error: %s: %s\n", serve::serveErrorName(Rc),
+                 Error.c_str());
+    return 1;
+  }
+
+  std::printf("digest=%016llx partitions=%u reused=%u solved=%u "
+              "cache_hit=%u\n",
+              static_cast<unsigned long long>(Resp.ResultDigest),
+              Resp.PartitionsTotal, Resp.PartitionsReused,
+              Resp.PartitionsSolved, Resp.CacheHit);
+  if (Resp.TimedOut) {
+    std::printf("analysis exceeded the time limit\n");
+    return 2;
+  }
+  if (Resp.Degraded)
+    std::printf("!! degraded: resource budget exhausted; results are "
+                "sound but coarse\n");
+  if (Cli.Check) {
+    std::printf("checked %u dereferences: %u safe, %u alarms\n",
+                Resp.Checks, Resp.Checks - Resp.Alarms, Resp.Alarms);
+    std::fputs(Resp.AlarmsText.c_str(), stdout);
+  } else {
+    std::fputs(Resp.InvariantsText.c_str(), stdout);
+  }
+  if (!Cli.MetricsOut.empty() &&
+      !obs::MetricsSink::writeFile(Cli.MetricsOut, Resp.MetricsJson)) {
+    std::fprintf(stderr, "error: cannot write %s\n", Cli.MetricsOut.c_str());
+    return 1;
+  }
+  return Resp.Degraded ? 3 : 0;
 }
 
 /// Emits --stats / --metrics-out / --trace-out / --ledger-out.  The
@@ -596,6 +718,15 @@ int main(int Argc, char **Argv) {
   if (!Cli.TraceOut.empty())
     obs::Tracer::global().enable();
 
+  if ((Cli.ServeStats || Cli.ServeShutdown) && Cli.Connect.empty()) {
+    std::fprintf(stderr,
+                 "error: --serve-stats/--serve-shutdown require "
+                 "--connect=SOCK\n");
+    return 1;
+  }
+  if (!Cli.Connect.empty())
+    return runConnectMode(Cli);
+
   if (!Cli.BatchFile.empty() || Cli.BatchSuite)
     return runBatchMode(Cli); // Forensics install per isolated child.
 
@@ -606,6 +737,8 @@ int main(int Argc, char **Argv) {
   // --snapshot-out then persists it as spa-ir-v1 (both at once re-encodes
   // a snapshot, a format-stability round trip).
   std::unique_ptr<Program> OwnedProg;
+  DepSnapshotResult DecodedGraph;
+  bool HaveDecodedGraph = false;
   if (!Cli.SnapshotIn.empty()) {
     SnapshotLoadResult Loaded = loadSnapshotFile(Cli.SnapshotIn);
     if (!Loaded.ok()) {
@@ -613,6 +746,14 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     OwnedProg = std::move(Loaded.Prog);
+    if (Loaded.HasDepGraph) {
+      DecodedGraph = decodeDepGraph(*OwnedProg, Loaded.DepGraph);
+      if (!DecodedGraph.ok())
+        std::fprintf(stderr, "warning: ignoring snapshot depgraph: %s\n",
+                     DecodedGraph.Error.c_str());
+      else
+        HaveDecodedGraph = true;
+    }
   } else {
     BuildResult Built = buildProgramFromSource(readInput(Cli.Path));
     if (!Built.ok()) {
@@ -623,7 +764,17 @@ int main(int Argc, char **Argv) {
   }
   const Program &Prog = *OwnedProg;
 
-  if (!Cli.SnapshotOut.empty()) {
+  // --snapshot-graph defers the write until the dependency graph exists
+  // (after the sparse run below); a plain --snapshot-out needs only the
+  // IR and writes immediately.
+  if (Cli.SnapshotGraph &&
+      (Cli.Octagon || Cli.Engine != EngineKind::Sparse ||
+       Cli.SnapshotOut.empty())) {
+    std::fprintf(stderr, "error: --snapshot-graph requires --snapshot-out, "
+                         "the sparse engine, and --domain=interval\n");
+    return 1;
+  }
+  if (!Cli.SnapshotOut.empty() && !Cli.SnapshotGraph) {
     std::string Error;
     if (!writeSnapshotFile(Cli.SnapshotOut, Prog, Error)) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());
@@ -643,6 +794,12 @@ int main(int Argc, char **Argv) {
   Opts.TimeLimitSec = Cli.TimeLimitSec;
   Opts.Budget = Cli.Budget;
   Opts.Jobs = Cli.Jobs;
+  // Warm start from the snapshot's embedded depgraph when the recorded
+  // builder options match this invocation's (otherwise fall through to a
+  // normal build — a mismatch only costs the warm start, never safety).
+  if (HaveDecodedGraph && Opts.Engine == EngineKind::Sparse &&
+      depSnapshotUsable(DecodedGraph, Opts.Dep))
+    Opts.PrebuiltGraph = &DecodedGraph.Graph;
   AnalysisRun Run = analyzeProgram(Prog, Opts);
   if (Run.timedOut()) {
     std::printf("analysis exceeded the time limit\n");
@@ -652,6 +809,21 @@ int main(int Argc, char **Argv) {
     std::printf("!! degraded: resource budget exhausted (%s); results are "
                 "sound but coarse\n",
                 budgetReasonName(Run.BudgetStop));
+
+  if (Cli.SnapshotGraph) {
+    if (!Run.Graph) {
+      std::fprintf(stderr,
+                   "error: --snapshot-graph: the run built no dependency "
+                   "graph\n");
+      return 1;
+    }
+    std::vector<uint8_t> Payload = encodeDepGraph(*Run.Graph, Opts.Dep);
+    std::string Error;
+    if (!writeSnapshotFile(Cli.SnapshotOut, Prog, Error, &Payload)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
 
   // Checker + alarm provenance run before the observability sinks so the
   // ledger JSON can embed the provenance array.
