@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/Journal.h"
+#include "obs/Trace.h"
 
 #include <chrono>
 #include <cstring>
@@ -62,6 +63,8 @@ const char *spa::obs::journalEventName(JournalEventKind K) {
     return "serve.cache.hit";
   case JournalEventKind::ServeEvict:
     return "serve.evict";
+  case JournalEventKind::ServeAbort:
+    return "serve.abort";
   }
   return "unknown";
 }
@@ -103,12 +106,6 @@ JournalSlot Slots[JournalMaxSlots];
 
 /// Cross-thread publication order for merged timelines.
 std::atomic<uint64_t> GlobalSeq{1};
-
-std::chrono::steady_clock::time_point journalEpoch() {
-  static const std::chrono::steady_clock::time_point Epoch =
-      std::chrono::steady_clock::now();
-  return Epoch;
-}
 
 uint32_t osTid() {
 #ifdef __linux__
@@ -160,10 +157,9 @@ JournalSlot *mySlot() {
 JournalSlot *spa::obs::journalSlots() { return Slots; }
 
 uint64_t spa::obs::journalNowMicros() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - journalEpoch())
-          .count());
+  // Shared observability epoch: journal t_us and tracer span ts line up
+  // on one axis, across every process of the tree.
+  return static_cast<uint64_t>(obsNowMicros());
 }
 
 void spa::obs::journalRecord(JournalEventKind Kind, uint64_t A, uint64_t B) {
@@ -204,7 +200,8 @@ uint64_t spa::obs::journalHeartbeatTotal() {
 }
 
 std::string spa::obs::journalToJson() {
-  std::string Out = "{\n  \"schema\": \"spa-journal-v1\",\n  \"threads\": [";
+  std::string Out = "{\n  \"schema\": \"spa-journal-v1\",\n  \"epoch_ns\": " +
+                    std::to_string(obsEpochNanos()) + ",\n  \"threads\": [";
   bool FirstSlot = true;
   for (uint32_t I = 0; I < JournalMaxSlots; ++I) {
     const JournalSlot &S = Slots[I];

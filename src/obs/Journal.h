@@ -72,6 +72,7 @@ enum class JournalEventKind : uint16_t {
   ServeRequest,    ///< A = program digest (low 64), B = partitions solved.
   ServeCacheHit,   ///< A = program digest, B = partitions served from cache.
   ServeEvict,      ///< A = evicted program digest, B = bytes released.
+  ServeAbort,      ///< A = request id of a request killed mid-flight.
 };
 
 /// Human name of \p K ("phase.begin", "budget.trip", ...).
@@ -146,13 +147,17 @@ void journalSetPartition(uint64_t Part);
 /// Sum of all slots' heartbeats (tests; the stall summary).
 uint64_t journalHeartbeatTotal();
 
-/// Micros since the journal epoch (first use in this process).
+/// Micros since the shared observability epoch (obs/Trace.h
+/// obsEpochNanos) — the same timebase the tracer stamps spans with, so
+/// journal events overlay directly on a merged Chrome trace.
 uint64_t journalNowMicros();
 
 /// Normal-context JSON dump of every live slot's ring (schema
 /// spa-journal-v1; same per-thread layout as the postmortem "threads"
-/// section).  Not signal-safe — this is the --journal-out path of a run
-/// that *survived*; the crash path is the postmortem writer.
+/// section).  The header records "epoch_ns", the shared observability
+/// epoch all t_us values are relative to.  Not signal-safe — this is
+/// the --journal-out path of a run that *survived*; the crash path is
+/// the postmortem writer.
 std::string journalToJson();
 
 /// Drops every slot not owned by the calling thread and re-arms the

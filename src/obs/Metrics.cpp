@@ -37,6 +37,32 @@ void Histogram::reset() {
   Buckets.clear();
 }
 
+double Histogram::quantile(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  double Rank = Q * static_cast<double>(Count);
+  double Cum = 0;
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    if (Buckets[I] == 0)
+      continue;
+    double Next = Cum + static_cast<double>(Buckets[I]);
+    if (Next >= Rank) {
+      // Bucket 0 holds [0, 2); bucket i holds [2^i, 2^(i+1)).
+      double Lo = I == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(I));
+      double Hi = std::ldexp(1.0, static_cast<int>(I) + 1);
+      double Frac = (Rank - Cum) / static_cast<double>(Buckets[I]);
+      double V = Lo + Frac * (Hi - Lo);
+      return std::min(std::max(V, Min), Max);
+    }
+    Cum = Next;
+  }
+  return Max;
+}
+
 Registry &Registry::global() {
   static Registry R;
   return R;
@@ -76,7 +102,7 @@ void Registry::resetGauges() {
 std::vector<std::pair<std::string, double>> Registry::snapshot() const {
   std::lock_guard<std::mutex> Lock(M);
   std::vector<std::pair<std::string, double>> Out;
-  Out.reserve(Counters.size() + Gauges.size() + 5 * Histograms.size());
+  Out.reserve(Counters.size() + Gauges.size() + 8 * Histograms.size());
   for (const auto &[Name, C] : Counters)
     Out.push_back({Name, static_cast<double>(C.value())});
   for (const auto &[Name, G] : Gauges)
@@ -87,6 +113,9 @@ std::vector<std::pair<std::string, double>> Registry::snapshot() const {
     Out.push_back({Name + ".min", H.min()});
     Out.push_back({Name + ".max", H.max()});
     Out.push_back({Name + ".avg", H.avg()});
+    Out.push_back({Name + ".p50", H.quantile(0.50)});
+    Out.push_back({Name + ".p95", H.quantile(0.95)});
+    Out.push_back({Name + ".p99", H.quantile(0.99)});
   }
   std::sort(Out.begin(), Out.end());
   return Out;
@@ -108,4 +137,69 @@ double Registry::value(const std::string &Name, double Default) const {
     if (K == Name)
       return V;
   return Default;
+}
+
+namespace {
+
+/// Mangles a registry name into a Prometheus metric name: spa_ prefix,
+/// every character outside [A-Za-z0-9_] (dots, dashes) to '_'.
+std::string promName(const std::string &Name) {
+  std::string Out = "spa_";
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_';
+    Out += Ok ? C : '_';
+  }
+  return Out;
+}
+
+/// Prometheus sample value: integral values render without an exponent
+/// or fraction, everything else as shortest round-trippable decimal.
+std::string promValue(double V) {
+  char Buf[64];
+  if (V == static_cast<uint64_t>(V) && V >= 0 && V < 1e15)
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(V));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.10g", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string Registry::renderProm() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Out;
+  Out.reserve(256 + 96 * (Counters.size() + Gauges.size()) +
+              256 * Histograms.size());
+  for (const auto &[Name, C] : Counters) {
+    std::string P = promName(Name) + "_total";
+    Out += "# HELP " + P + " SPA counter " + Name + "\n";
+    Out += "# TYPE " + P + " counter\n";
+    Out += P + " " + std::to_string(C.value()) + "\n";
+  }
+  for (const auto &[Name, G] : Gauges) {
+    std::string P = promName(Name);
+    Out += "# HELP " + P + " SPA gauge " + Name + "\n";
+    Out += "# TYPE " + P + " gauge\n";
+    Out += P + " " + promValue(G.value()) + "\n";
+  }
+  for (const auto &[Name, H] : Histograms) {
+    std::string P = promName(Name);
+    Out += "# HELP " + P + " SPA histogram " + Name + "\n";
+    Out += "# TYPE " + P + " histogram\n";
+    uint64_t Cum = 0;
+    const std::vector<uint64_t> &B = H.buckets();
+    for (size_t I = 0; I < B.size(); ++I) {
+      Cum += B[I];
+      // Bucket i's upper bound is 2^(i+1) (bucket 0 holds [0, 2)).
+      Out += P + "_bucket{le=\"" +
+             promValue(std::ldexp(1.0, static_cast<int>(I) + 1)) + "\"} " +
+             std::to_string(Cum) + "\n";
+    }
+    Out += P + "_bucket{le=\"+Inf\"} " + std::to_string(H.count()) + "\n";
+    Out += P + "_sum " + promValue(H.sum()) + "\n";
+    Out += P + "_count " + std::to_string(H.count()) + "\n";
+  }
+  return Out;
 }

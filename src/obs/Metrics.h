@@ -89,6 +89,10 @@ public:
   double min() const { return Count ? Min : 0; }
   double max() const { return Count ? Max : 0; }
   double avg() const { return Count ? Sum / Count : 0; }
+  /// Estimated value at quantile \p Q in [0, 1]: linear interpolation
+  /// inside the power-of-two bucket holding that rank, clamped to the
+  /// observed [min, max].  0 when empty.
+  double quantile(double Q) const;
   const std::vector<uint64_t> &buckets() const { return Buckets; }
   void reset();
 
@@ -128,8 +132,17 @@ public:
   void resetGauges();
 
   /// Flat numeric view, sorted by name.  Histograms expand into
-  /// name.count / name.sum / name.min / name.max / name.avg leaves.
+  /// name.count / name.sum / name.min / name.max / name.avg plus the
+  /// estimated name.p50 / name.p95 / name.p99 quantile leaves.
   std::vector<std::pair<std::string, double>> snapshot() const;
+
+  /// Prometheus text exposition (version 0.0.4) of every instrument:
+  /// counters as `spa_<name>_total`, gauges as `spa_<name>`, histograms
+  /// as `spa_<name>` with cumulative `le` buckets at the power-of-two
+  /// upper bounds plus `_sum`/`_count`.  Dots and dashes in metric
+  /// names mangle to underscores; output is sorted by name, each family
+  /// preceded by `# HELP` and `# TYPE`.
+  std::string renderProm() const;
 
   /// Value of one snapshot leaf; \p Default when absent (a metric whose
   /// instrumentation site never ran).

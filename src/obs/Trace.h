@@ -1,19 +1,38 @@
-//===- Trace.h - Hierarchical scoped tracer --------------------------------===//
+//===- Trace.h - Cross-process distributed tracer --------------------------===//
 //
 // Part of the SPA project (PLDI 2012 sparse analysis reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// RAII phase tracing.  A TraceScope records a begin event at
-/// construction and the matching end event at destruction, so nesting
-/// scopes (pre-analysis -> def/use -> dep-build -> fixpoint, with
-/// per-procedure spans inside the dependency builder) yields a balanced,
-/// hierarchical span tree.  The Tracer serializes it as Chrome
-/// trace-event JSON (the chrome://tracing / Perfetto format).
+/// RAII span tracing across a *process tree*.  A TraceScope allocates a
+/// span id at construction and records one completed span (start, dur,
+/// pid, tid, span id, parent span id) at destruction, so nesting scopes
+/// (pre-analysis -> def/use -> dep-build -> fixpoint, with per-procedure
+/// spans inside the dependency builder) yields a hierarchical span tree
+/// that survives serialization.  The Tracer exports everything as Chrome
+/// trace-event JSON (complete 'X' events with real pid/tid rows, the
+/// chrome://tracing / Perfetto format).
+///
+/// Distribution: every process shares one 64-bit trace id, minted by the
+/// coordinator and propagated to forked children in memory and to exec'd
+/// descendants through the SPA_TRACE_CONTEXT environment variable
+/// ("traceid:parentspan", both hex).  Children record spans locally,
+/// drain them as a compact binary buffer (drainSerialized) shipped back
+/// over the existing result pipes, and the parent merges them
+/// (ingestSerialized) into one timeline.  Span ids embed the recording
+/// pid, so ids stay unique across the tree without coordination.
+///
+/// Timebase: all timestamps are microseconds since the process-wide
+/// observability epoch (obsEpochNanos), which the flight-recorder
+/// journal shares — CLOCK_MONOTONIC is system-wide on Linux, so spans
+/// and journal events from forked children land on the same axis as the
+/// coordinator's.  Both artifact headers record the epoch.
 ///
 /// Recording is off by default: an inactive TraceScope costs one branch.
-/// Drivers that pass --trace-out enable the tracer before analysis runs.
+/// Drivers that pass --trace-out enable the tracer before analysis runs;
+/// the spa-serve daemon enables it with a bounded ring so request span
+/// trees are retained without unbounded growth.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,7 +41,9 @@
 
 #include "obs/Metrics.h" // SPA_OBS_CONCAT
 
-#include <chrono>
+#include <atomic>
+#include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -30,70 +51,152 @@
 namespace spa {
 namespace obs {
 
-/// One begin ('B') or end ('E') event, timestamped in microseconds since
-/// the tracer's epoch.
-struct TraceEvent {
+/// Environment variable carrying "traceid:parentspan" (hex) into exec'd
+/// descendants; forked children inherit the tracer state directly.
+constexpr const char *TraceContextEnvVar = "SPA_TRACE_CONTEXT";
+
+/// Environment variable pinning the shared observability epoch
+/// (nanoseconds on the steady clock) for exec'd descendants.
+constexpr const char *ObsEpochEnvVar = "SPA_OBS_EPOCH_NS";
+
+/// Nanoseconds on the steady clock at which this process's observability
+/// epoch was captured: the SPA_OBS_EPOCH_NS override when set, otherwise
+/// the first call in this process.  Fork children inherit the captured
+/// value, so one process tree shares one timebase (the tracer and the
+/// journal both stamp against it).
+uint64_t obsEpochNanos();
+
+/// Microseconds elapsed since the shared observability epoch.
+double obsNowMicros();
+
+/// One completed span.  TsMicros/DurMicros are relative to the shared
+/// observability epoch; Pid/Tid identify the recording thread; SpanId is
+/// unique across the process tree (the pid is folded into the id) and
+/// ParentSpanId links the tree (0 = root).
+struct TraceSpan {
   std::string Name;
-  char Phase; ///< 'B' or 'E'.
-  double TsMicros;
+  double TsMicros = 0;
+  double DurMicros = 0;
+  uint32_t Pid = 0;
+  uint32_t Tid = 0;
+  uint64_t SpanId = 0;
+  uint64_t ParentSpanId = 0;
 };
 
-/// Process-wide event collector.  begin/end are mutex-guarded so spans
-/// opened from pool workers cannot corrupt the buffer, but interleaved
-/// cross-thread spans would still nest wrongly in the Chrome view —
-/// phases that fan out keep their per-item spans on the orchestrating
-/// thread (or skip them) and only record the enclosing phase span.
+/// Process-wide span collector.  Recording is mutex-guarded (spans close
+/// from pool workers); parent links use a per-thread scope stack, so
+/// cross-thread spans nest correctly by construction.
 class Tracer {
 public:
   static Tracer &global();
 
-  void enable() { Enabled = true; }
-  void disable() { Enabled = false; }
-  bool enabled() const { return Enabled; }
+  void enable() { Enabled.store(true, std::memory_order_relaxed); }
+  void disable() { Enabled.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
 
-  void begin(std::string Name);
-  void end(std::string Name);
+  /// The 64-bit trace id every span in this process tree shares.  Minted
+  /// lazily from pid + clock when neither setTraceId nor the
+  /// SPA_TRACE_CONTEXT environment variable supplied one.
+  uint64_t traceId();
+  void setTraceId(uint64_t Id) { TraceId.store(Id, std::memory_order_relaxed); }
 
-  void clear() { Events.clear(); }
-  const std::vector<TraceEvent> &events() const { return Events; }
+  /// Parent span id adopted by spans opened with no enclosing scope on
+  /// their thread — how a worker process roots its spans under the
+  /// coordinator's dispatch span.
+  void setProcessParent(uint64_t SpanId) {
+    ProcessParent.store(SpanId, std::memory_order_relaxed);
+  }
+  uint64_t processParent() const {
+    return ProcessParent.load(std::memory_order_relaxed);
+  }
 
-  /// Serializes the recorded events as Chrome trace-event JSON
-  /// ({"traceEvents": [...]}), loadable in chrome://tracing.
+  /// Allocates a globally unique span id (pid in the high half, a local
+  /// counter in the low) without recording anything — the shard
+  /// coordinator mints dispatch-span ids before the span completes so
+  /// the id can travel in the dispatch frame.
+  uint64_t allocSpanId();
+
+  /// Records one completed span with a caller-supplied id (allocSpanId)
+  /// on behalf of the current process.
+  void addSpan(std::string Name, double TsMicros, double DurMicros,
+               uint64_t SpanId, uint64_t ParentSpanId);
+
+  /// Bounds the retained span buffer: once Cap spans are held, recording
+  /// another drops the oldest (counted in trace.dropped).  0 = unbounded
+  /// (the --trace-out CLI default); the serve daemon sets a cap so
+  /// request span trees recycle.
+  void setRingCapacity(size_t Cap);
+
+  /// Moves the recorded spans out as a compact binary buffer (at most
+  /// \p MaxBytes when nonzero; excess spans are dropped oldest-first),
+  /// leaving the tracer empty.  The format round-trips through
+  /// ingestSerialized in a parent process.
+  std::vector<uint8_t> drainSerialized(size_t MaxBytes = 0);
+
+  /// Appends spans serialized by a child's drainSerialized.  Returns
+  /// false (ingesting nothing) on a malformed buffer.
+  bool ingestSerialized(const uint8_t *Data, size_t Len);
+
+  /// Serializes every span (local + ingested) as Chrome trace-event JSON
+  /// ({"traceEvents": [...]}), loadable in chrome://tracing.  Spans are
+  /// complete 'X' events ordered by (ts, pid, span id), so the merge is
+  /// deterministic in content; the document header carries the trace id
+  /// and the shared observability epoch.
   std::string toChromeJson() const;
 
-private:
-  Tracer() : Epoch(std::chrono::steady_clock::now()) {}
-  double nowMicros() const {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - Epoch)
-        .count();
-  }
+  /// Copy of the retained spans, in recording/ingestion order (tests).
+  std::vector<TraceSpan> spans() const;
 
-  bool Enabled = false;
-  std::chrono::steady_clock::time_point Epoch;
-  std::mutex M;
-  std::vector<TraceEvent> Events;
+  /// Number of spans dropped by the ring bound or a drain byte budget.
+  uint64_t droppedSpans() const;
+
+  void clear();
+
+  /// Fork-child hygiene, the tracer analogue of journalResetForChild:
+  /// drops spans inherited from the parent's buffer (the parent keeps
+  /// the originals) and roots this process's future spans under
+  /// \p ParentSpanId.  The trace id and enablement are inherited.
+  void resetForChild(uint64_t ParentSpanId);
+
+  /// "traceid:currentparent" in hex — the value a spawner exports as
+  /// SPA_TRACE_CONTEXT for exec'd descendants.
+  std::string contextString(uint64_t ParentSpanId);
+
+private:
+  Tracer();
+  friend class TraceScope;
+  void record(TraceSpan S);
+
+  std::atomic<bool> Enabled{false};
+  std::atomic<uint64_t> TraceId{0};
+  std::atomic<uint64_t> ProcessParent{0};
+  std::atomic<uint64_t> NextLocalId{1};
+  mutable std::mutex M;
+  std::deque<TraceSpan> Spans;
+  size_t RingCap = 0; ///< 0 = unbounded.
+  uint64_t Dropped = 0;
 };
 
-/// RAII span: begin on construction, end on destruction.  An empty name
-/// or a disabled tracer makes the scope inert.
+/// RAII span: allocates an id and captures the start time at
+/// construction, records the completed span at destruction.  An empty
+/// name or a disabled tracer makes the scope inert.
 class TraceScope {
 public:
-  explicit TraceScope(std::string Name) {
-    if (!Name.empty() && Tracer::global().enabled()) {
-      N = std::move(Name);
-      Tracer::global().begin(N);
-    }
-  }
-  ~TraceScope() {
-    if (!N.empty())
-      Tracer::global().end(std::move(N));
-  }
+  explicit TraceScope(std::string Name);
+  ~TraceScope();
   TraceScope(const TraceScope &) = delete;
   TraceScope &operator=(const TraceScope &) = delete;
 
+  /// Id of the open span (0 when inert) — what a coordinator hands to a
+  /// child process as the parent of the child's spans.
+  uint64_t spanId() const { return SpanId; }
+
 private:
   std::string N;
+  double StartMicros = 0;
+  uint64_t SpanId = 0;
+  uint64_t Parent = 0;
+  uint64_t PrevThreadParent = 0;
 };
 
 } // namespace obs

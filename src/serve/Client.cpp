@@ -110,15 +110,72 @@ ServeErrc Client::analyze(const AnalyzeRequest &Req, AnalyzeResponse &Resp,
   return ServeErrc::None;
 }
 
-ServeErrc Client::stats(std::string &Json, std::string &Error) {
+ServeErrc Client::stats(std::string &Doc, std::string &Error, bool Prom) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return ServeErrc::Io;
+  }
+  if (!writeFrame(Fd, FrameType::ReqStats, {},
+                  Prom ? StatsFlagProm : uint16_t(0))) {
+    Error = "request write failed";
+    return ServeErrc::Io;
+  }
   Frame Reply;
-  ServeErrc Rc = roundTrip(FrameType::ReqStats, {}, Reply, Error);
-  if (Rc != ServeErrc::None)
+  ServeErrc Rc = readFrame(Fd, Reply);
+  if (Rc != ServeErrc::None) {
+    Error = std::string("reading response: ") + serveErrorName(Rc);
     return Rc;
+  }
   if (Reply.Type != FrameType::RespStats ||
-      !decodeString(Reply.Payload, Json)) {
+      !decodeString(Reply.Payload, Doc)) {
     Error = "malformed stats response";
     return ServeErrc::Malformed;
+  }
+  return ServeErrc::None;
+}
+
+ServeErrc Client::subscribe(
+    const SubscribeRequest &Req,
+    const std::function<bool(const std::string &)> &OnFrame,
+    std::string &Error) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return ServeErrc::Io;
+  }
+  if (!writeFrame(Fd, FrameType::ReqSubscribe, encodeSubscribeRequest(Req))) {
+    Error = "request write failed";
+    return ServeErrc::Io;
+  }
+  for (uint32_t Got = 0; Req.MaxFrames == 0 || Got < Req.MaxFrames; ++Got) {
+    Frame Reply;
+    ServeErrc Rc = readFrame(Fd, Reply);
+    if (Rc != ServeErrc::None) {
+      Error = std::string("reading telemetry: ") + serveErrorName(Rc);
+      return Rc;
+    }
+    if (Reply.Type == FrameType::RespError) {
+      ServeErrc Code = ServeErrc::ServerError;
+      std::string Message;
+      if (!decodeError(Reply.Payload, Code, Message)) {
+        Error = "undecodable error frame";
+        return ServeErrc::Malformed;
+      }
+      Error = Message.empty() ? serveErrorName(Code) : Message;
+      return Code == ServeErrc::None ? ServeErrc::ServerError : Code;
+    }
+    std::string Doc;
+    if (Reply.Type != FrameType::RespTelemetry ||
+        !decodeString(Reply.Payload, Doc)) {
+      Error = "malformed telemetry frame";
+      return ServeErrc::Malformed;
+    }
+    if (!OnFrame(Doc)) {
+      // Early unsubscribe: the daemon stops at its next write once the
+      // peer is gone, so disconnecting IS the unsubscribe protocol.
+      ::close(Fd);
+      Fd = -1;
+      return ServeErrc::None;
+    }
   }
   return ServeErrc::None;
 }

@@ -18,6 +18,7 @@
 
 #include "serve/Protocol.h"
 
+#include <functional>
 #include <string>
 
 namespace spa {
@@ -45,8 +46,19 @@ public:
   ServeErrc analyze(const AnalyzeRequest &Req, AnalyzeResponse &Resp,
                     std::string &Error);
 
-  /// Fetches the daemon's cumulative metrics JSON.
-  ServeErrc stats(std::string &Json, std::string &Error);
+  /// Fetches the daemon's stats document: the spa-serve-stats-v1 JSON,
+  /// or the Prometheus text exposition when \p Prom is set.
+  ServeErrc stats(std::string &Doc, std::string &Error, bool Prom = false);
+
+  /// Subscribes to the telemetry stream: sends ReqSubscribe and invokes
+  /// \p OnFrame with each spa-serve-telemetry-v1 JSON document until the
+  /// daemon has sent Req.MaxFrames (returning None), OnFrame returns
+  /// false (also None — early unsubscribe by disconnecting), or the
+  /// stream errors.  With MaxFrames = 0 the stream only ends via the
+  /// callback or an error.
+  ServeErrc subscribe(const SubscribeRequest &Req,
+                      const std::function<bool(const std::string &)> &OnFrame,
+                      std::string &Error);
 
   /// Asks the daemon to shut down (waits for the bye frame).
   ServeErrc shutdown(std::string &Error);

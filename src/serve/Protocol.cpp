@@ -194,14 +194,15 @@ ServeErrc spa::serve::readHandshake(int Fd) {
 }
 
 bool spa::serve::writeFrame(int Fd, FrameType Type,
-                            const std::vector<uint8_t> &Payload) {
+                            const std::vector<uint8_t> &Payload,
+                            uint16_t Flags) {
   if (Payload.size() > MaxFrameBytes)
     return false;
   std::vector<uint8_t> Header;
   Header.reserve(8);
   putU32(Header, static_cast<uint32_t>(Payload.size()));
   putU16(Header, static_cast<uint16_t>(Type));
-  putU16(Header, 0);
+  putU16(Header, Flags);
   return writeAll(Fd, Header.data(), Header.size()) &&
          (Payload.empty() ||
           writeAll(Fd, Payload.data(), Payload.size()));
@@ -316,5 +317,22 @@ bool spa::serve::decodeString(const std::vector<uint8_t> &Payload,
                               std::string &Out) {
   PayloadReader R(Payload);
   Out = R.str();
+  return R.done();
+}
+
+std::vector<uint8_t>
+spa::serve::encodeSubscribeRequest(const SubscribeRequest &Req) {
+  std::vector<uint8_t> B;
+  B.reserve(8);
+  putU32(B, Req.IntervalMs);
+  putU32(B, Req.MaxFrames);
+  return B;
+}
+
+bool spa::serve::decodeSubscribeRequest(const std::vector<uint8_t> &Payload,
+                                        SubscribeRequest &Out) {
+  PayloadReader R(Payload);
+  Out.IntervalMs = R.u32();
+  Out.MaxFrames = R.u32();
   return R.done();
 }

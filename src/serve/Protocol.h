@@ -42,14 +42,21 @@ extern const unsigned char Magic[8];
 constexpr uint32_t MaxFrameBytes = 64u << 20;
 
 enum class FrameType : uint16_t {
-  ReqAnalyze = 1,  ///< Analyze a program (payload: AnalyzeRequest).
-  ReqStats = 2,    ///< Fetch the daemon's metrics registry as JSON.
-  ReqShutdown = 3, ///< Graceful daemon shutdown.
-  RespResult = 4,  ///< Analysis result (payload: AnalyzeResponse).
-  RespError = 5,   ///< Typed error (u16 ServeErrc + message string).
-  RespStats = 6,   ///< Metrics JSON string.
-  RespBye = 7,     ///< Shutdown acknowledged.
+  ReqAnalyze = 1,   ///< Analyze a program (payload: AnalyzeRequest).
+  ReqStats = 2,     ///< Fetch the daemon's metrics registry as JSON.
+  ReqShutdown = 3,  ///< Graceful daemon shutdown.
+  RespResult = 4,   ///< Analysis result (payload: AnalyzeResponse).
+  RespError = 5,    ///< Typed error (u16 ServeErrc + message string).
+  RespStats = 6,    ///< Stats document string (JSON, or Prometheus text
+                    ///< when requested with StatsFlagProm).
+  RespBye = 7,      ///< Shutdown acknowledged.
+  ReqSubscribe = 8, ///< Stream telemetry (payload: SubscribeRequest).
+  RespTelemetry = 9, ///< One telemetry delta frame (JSON string).
 };
+
+/// Frame-header flag bits for ReqStats: request the registry rendered as
+/// Prometheus text exposition instead of the stats JSON document.
+constexpr uint16_t StatsFlagProm = 1u << 0;
 
 /// Typed protocol/server errors (stable values; do not renumber).
 enum class ServeErrc : uint16_t {
@@ -80,6 +87,16 @@ struct AnalyzeRequest {
   uint32_t Flags = 0;
   uint32_t Jobs = 0; ///< 0 = server default.
   std::string Program; ///< Source text, or snapshot bytes (ReqFlagSnapshot).
+};
+
+/// ReqSubscribe payload: the daemon streams one RespTelemetry frame
+/// (spa-serve-telemetry-v1 JSON: uptime, counter deltas since the last
+/// frame, request rate, cache hit ratio and occupancy) every IntervalMs
+/// until MaxFrames have been sent (0 = until the client disconnects),
+/// then resumes normal request handling on the same connection.
+struct SubscribeRequest {
+  uint32_t IntervalMs = 1000;
+  uint32_t MaxFrames = 0;
 };
 
 /// Per-request result rollup.  The heavyweight payloads (alarm listing,
@@ -121,7 +138,8 @@ bool writeHandshake(int Fd);
 /// Reads and validates the peer handshake.
 ServeErrc readHandshake(int Fd);
 
-bool writeFrame(int Fd, FrameType Type, const std::vector<uint8_t> &Payload);
+bool writeFrame(int Fd, FrameType Type, const std::vector<uint8_t> &Payload,
+                uint16_t Flags = 0);
 /// Reads one frame; returns ServeErrc::None on success, Io on clean EOF
 /// before any header byte (the caller treats that as connection end).
 ServeErrc readFrame(int Fd, Frame &Out);
@@ -139,6 +157,9 @@ bool decodeError(const std::vector<uint8_t> &Payload, ServeErrc &Code,
                  std::string &Message);
 std::vector<uint8_t> encodeString(const std::string &S);
 bool decodeString(const std::vector<uint8_t> &Payload, std::string &Out);
+std::vector<uint8_t> encodeSubscribeRequest(const SubscribeRequest &Req);
+bool decodeSubscribeRequest(const std::vector<uint8_t> &Payload,
+                            SubscribeRequest &Out);
 
 } // namespace serve
 } // namespace spa

@@ -6,8 +6,13 @@
 
 #include "serve/Server.h"
 
+#include "obs/Metrics.h"
+
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -71,6 +76,9 @@ void Server::stop() {
 }
 
 void Server::run() {
+  // Telemetry streaming writes into sockets whose peer may vanish at any
+  // tick; the daemon must see EPIPE from write(), not die of SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
   while (!Stopping.load()) {
     int LFd = ListenFd.load();
     if (LFd < 0)
@@ -131,8 +139,39 @@ bool Server::serveConnection(int Fd) {
       break;
     }
     case FrameType::ReqStats:
-      writeFrame(Fd, FrameType::RespStats, encodeString(Svc.statsJson()));
+      // StatsFlagProm selects the Prometheus text exposition; the flag
+      // echoes back so the client can tell which rendering it got.
+      if (F.Flags & StatsFlagProm)
+        writeFrame(Fd, FrameType::RespStats, encodeString(Svc.statsProm()),
+                   StatsFlagProm);
+      else
+        writeFrame(Fd, FrameType::RespStats, encodeString(Svc.statsJson()));
       break;
+    case FrameType::ReqSubscribe: {
+      SubscribeRequest Sub;
+      if (!decodeSubscribeRequest(F.Payload, Sub)) {
+        writeFrame(Fd, FrameType::RespError,
+                   encodeError(ServeErrc::Malformed,
+                               "subscribe request failed to decode"));
+        break;
+      }
+      SPA_OBS_COUNT("telemetry.subscribes", 1);
+      // Stream one telemetry frame per interval.  The first frame goes
+      // out immediately so `--serve-watch` paints without waiting a full
+      // tick; MaxFrames = 0 streams until the peer disconnects (the
+      // write fails with EPIPE).  Afterwards the connection resumes
+      // normal request handling.
+      for (uint32_t Sent = 0; Sub.MaxFrames == 0 || Sent < Sub.MaxFrames;
+           ++Sent) {
+        if (Sent > 0)
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(Sub.IntervalMs));
+        if (!writeFrame(Fd, FrameType::RespTelemetry,
+                        encodeString(Svc.telemetryJson())))
+          return true; // Peer gone; next client.
+      }
+      break;
+    }
     case FrameType::ReqShutdown:
       writeFrame(Fd, FrameType::RespBye, {});
       Stopping.store(true);

@@ -12,6 +12,7 @@
 #include "ir/Snapshot.h"
 #include "obs/Journal.h"
 #include "obs/MetricsSink.h"
+#include "obs/Trace.h"
 #include "support/Resource.h"
 
 #include <algorithm>
@@ -370,6 +371,8 @@ Service::Service(ServiceOptions O) : Opts(std::move(O)) {
   // fixed also makes cache entries independent of the per-request check
   // flag.
   Opts.Analyzer.Engine = EngineKind::Sparse;
+  StartMicros = obs::obsNowMicros();
+  LastTelemetryMicros = StartMicros;
 }
 
 Service::~Service() = default;
@@ -414,8 +417,76 @@ void Service::insertEntry(std::unique_ptr<CacheEntry> E, uint64_t SrcDigest) {
   exportCacheGauges();
 }
 
+double Service::uptimeSeconds() const {
+  return (obs::obsNowMicros() - StartMicros) / 1e6;
+}
+
 std::string Service::statsJson() const {
-  return obs::MetricsSink::toJson(obs::Registry::global());
+  std::string Out = "{\n  \"schema\": \"spa-serve-stats-v1\",\n";
+  Out += "  \"uptime_seconds\": " +
+         obs::MetricsSink::formatValue(uptimeSeconds()) + ",\n";
+  Out += "  \"epoch_ns\": " + std::to_string(obs::obsEpochNanos()) + ",\n";
+  Out += "  \"cache\": {\"entries\": " + std::to_string(Entries.size()) +
+         ", \"bytes\": " + std::to_string(TotalBytes) + "},\n";
+  Out += "  \"metrics\": " +
+         obs::MetricsSink::toJson(obs::Registry::global()) + "\n}\n";
+  return Out;
+}
+
+std::string Service::statsProm() const {
+  return obs::Registry::global().renderProm();
+}
+
+std::string Service::telemetryJson() {
+  SPA_OBS_COUNT("telemetry.frames", 1);
+  double Now = obs::obsNowMicros();
+  double IntervalSec = (Now - LastTelemetryMicros) / 1e6;
+  LastTelemetryMicros = Now;
+
+  // serve.* counter deltas against the previous frame's baseline.
+  std::vector<std::pair<std::string, double>> Deltas;
+  obs::Registry::global().forEachInstrument(
+      [&](const std::string &Name, const obs::Counter &C) {
+        if (Name.rfind("serve.", 0) != 0)
+          return;
+        double V = static_cast<double>(C.value());
+        double D = V - LastCounters[Name];
+        LastCounters[Name] = V;
+        Deltas.emplace_back(Name, D);
+      },
+      [](const std::string &, const obs::Gauge &) {});
+
+  double Requests = obs::Registry::global().value("serve.requests");
+  double Hits = obs::Registry::global().value("serve.cache.hits");
+  double ReqDelta = 0;
+  for (const auto &[Name, D] : Deltas)
+    if (Name == "serve.requests")
+      ReqDelta = D;
+
+  auto Num = [](double V) { return obs::MetricsSink::formatValue(V); };
+  std::string Out = "{\n  \"schema\": \"spa-serve-telemetry-v1\",\n";
+  Out += "  \"seq\": " + std::to_string(++TelemetrySeq) + ",\n";
+  Out += "  \"uptime_seconds\": " + Num(uptimeSeconds()) + ",\n";
+  Out += "  \"interval_seconds\": " + Num(IntervalSec) + ",\n";
+  Out += "  \"requests_total\": " + Num(Requests) + ",\n";
+  Out += "  \"requests_delta\": " + Num(ReqDelta) + ",\n";
+  Out += "  \"request_rate\": " +
+         Num(IntervalSec > 0 ? ReqDelta / IntervalSec : 0) + ",\n";
+  Out += "  \"hit_ratio\": " + Num(Requests > 0 ? Hits / Requests : 0) + ",\n";
+  Out += "  \"cache_entries\": " + std::to_string(Entries.size()) + ",\n";
+  Out += "  \"cache_bytes\": " + std::to_string(TotalBytes) + ",\n";
+  Out += "  \"partitions_resolved\": " +
+         Num(obs::Registry::global().value("serve.partitions.resolved")) +
+         ",\n";
+  Out += "  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, D] : Deltas) {
+    Out += First ? "" : ", ";
+    First = false;
+    Out += "\"" + Name + "\": " + Num(D);
+  }
+  Out += "}\n}\n";
+  return Out;
 }
 
 ServeErrc Service::analyze(const AnalyzeRequest &Req, AnalyzeResponse &Resp,
@@ -425,13 +496,23 @@ ServeErrc Service::analyze(const AnalyzeRequest &Req, AnalyzeResponse &Resp,
   // monotone serve.* counters keep accumulating for --serve-stats.
   obs::Registry::global().resetGauges();
   SPA_OBS_COUNT("serve.requests", 1);
+  uint64_t ReqId = ++RequestSeq;
+  // Request-scoped span tree: everything the pipeline records below
+  // (build, fixpoint, checker spans) nests under this root; the daemon
+  // retains the tree in the tracer's bounded ring (tools/spa-serve.cpp
+  // sets the capacity).
+  SPA_OBS_TRACE("serve.request");
 
   if (Opts.FaultArmed) {
     // One-shot injected fault (SPA_FAULT): fail THIS request with a
     // typed error, then disarm — the lifecycle test asserts the daemon
-    // survives and the next request succeeds.
+    // survives and the next request succeeds.  The abort event keeps the
+    // journal honest about the per-request gauges the recovery dropped:
+    // resetGauges() above started the request's gauge scope, but no
+    // ServeRequest record will ever follow for this id.
     Opts.FaultArmed = false;
     SPA_OBS_COUNT("serve.faults.injected", 1);
+    SPA_OBS_JOURNAL(ServeAbort, ReqId, 0);
     Error = "injected fault (SPA_FAULT armed at daemon start)";
     return ServeErrc::Injected;
   }

@@ -80,11 +80,26 @@ public:
   ServeErrc analyze(const AnalyzeRequest &Req, AnalyzeResponse &Resp,
                     std::string &Error);
 
-  /// Cumulative metrics registry as JSON (the stats frame payload).
+  /// Stats frame payload: a spa-serve-stats-v1 JSON document bundling
+  /// daemon uptime, the shared observability epoch, cache occupancy
+  /// (entries + bytes), and the full cumulative metrics registry under
+  /// a nested "metrics" object.
   std::string statsJson() const;
+
+  /// Prometheus text exposition of the metrics registry (the RespStats
+  /// payload when the client set StatsFlagProm).
+  std::string statsProm() const;
+
+  /// One spa-serve-telemetry-v1 frame: monotone sequence number, uptime,
+  /// request rate and serve.* counter deltas since the previous frame,
+  /// cache hit ratio and occupancy.  Stateful — each call advances the
+  /// delta baseline (the daemon serves one subscriber at a time, so one
+  /// baseline suffices).
+  std::string telemetryJson();
 
   size_t cacheEntries() const { return Entries.size(); }
   uint64_t cacheBytes() const { return TotalBytes; }
+  double uptimeSeconds() const;
 
 private:
   void touch(CacheEntry &E);
@@ -104,6 +119,15 @@ private:
   std::unordered_multimap<uint64_t, std::pair<uint64_t, uint32_t>> SigIndex;
   uint64_t TotalBytes = 0;
   uint64_t Tick = 0;
+  /// Daemon start on the shared observability timebase (obs/Trace.h).
+  double StartMicros = 0;
+  /// Request ids for the journal (ServeAbort carries the id of the
+  /// request the injected fault killed mid-flight).
+  uint64_t RequestSeq = 0;
+  /// Telemetry delta baseline: counter values at the previous frame.
+  uint64_t TelemetrySeq = 0;
+  double LastTelemetryMicros = 0;
+  std::unordered_map<std::string, double> LastCounters;
 };
 
 /// FNV-1a 64 over arbitrary bytes (the digest primitive the cache keys

@@ -6,6 +6,7 @@
 
 #include "support/Resource.h"
 
+#include "obs/Trace.h"
 #include "support/Fault.h"
 
 #include <cstdio>
@@ -30,6 +31,15 @@ namespace {
 /// prefix stays under it.  Bulk data (e.g. bench JSON records) goes
 /// through files, not the pipe.
 constexpr size_t MaxPayloadDoubles = 8000;
+
+/// Whole-pipe byte budget the child may fill before exiting (the parent
+/// drains only after exit, so everything must fit the kernel pipe
+/// buffer).  Kept below the Linux default 64 KiB with headroom for the
+/// payload prefix.
+constexpr size_t PipeByteBudget = 60 * 1024;
+
+/// Ceiling on a span-section length prefix the parent will trust.
+constexpr uint32_t MaxSpanSectionBytes = 1u << 20;
 
 } // namespace
 
@@ -115,6 +125,19 @@ ChildRunResult spa::runInChild(
     WriteAll(&Count, sizeof(Count));
     if (Count > 0)
       WriteAll(Payload.data(), Count * sizeof(double));
+    if (obs::Tracer::global().enabled()) {
+      // Ship locally recorded trace spans as a trailing length-prefixed
+      // section, sized to what remains of the pipe budget (newest spans
+      // win when the budget truncates).
+      size_t PayloadBytes = sizeof(Count) + Count * sizeof(double);
+      if (PipeByteBudget > PayloadBytes + 64) {
+        std::vector<uint8_t> Spans = obs::Tracer::global().drainSerialized(
+            PipeByteBudget - PayloadBytes - sizeof(uint32_t));
+        uint32_t Len = static_cast<uint32_t>(Spans.size());
+        WriteAll(&Len, sizeof(Len));
+        WriteAll(Spans.data(), Spans.size());
+      }
+    }
     close(Pipe[1]);
     _exit(0);
   }
@@ -197,6 +220,27 @@ ChildRunResult spa::runInChild(
     if (TearPayload && Result.Ok) {
       Result.Ok = false;
       Result.Payload.clear();
+    }
+    if (Result.Ok) {
+      // Optional trailing span section: u32 length + serialized spans.
+      // EOF here just means the child was not tracing.
+      uint32_t SpanLen = 0;
+      if (read(Pipe[0], &SpanLen, sizeof(SpanLen)) == sizeof(SpanLen) &&
+          SpanLen > 0 && SpanLen <= MaxSpanSectionBytes) {
+        Result.SpanBuf.resize(SpanLen);
+        char *SP = reinterpret_cast<char *>(Result.SpanBuf.data());
+        size_t SLeft = SpanLen;
+        while (SLeft > 0) {
+          ssize_t N = read(Pipe[0], SP, SLeft);
+          if (N <= 0) {
+            // A torn span section degrades tracing, not the result.
+            Result.SpanBuf.clear();
+            break;
+          }
+          SP += N;
+          SLeft -= static_cast<size_t>(N);
+        }
+      }
     }
   }
   close(Pipe[0]);

@@ -82,6 +82,11 @@ struct ChildRunResult {
   /// payload can produce).  Valid only when HasCrashSummary.
   obs::PostmortemSummary Crash;
   bool HasCrashSummary = false;
+  /// Serialized trace spans the child recorded (obs/Trace.h
+  /// drainSerialized format), shipped after the payload when the child's
+  /// tracer was recording.  Empty otherwise; the caller feeds it to
+  /// Tracer::ingestSerialized to merge the child's timeline.
+  std::vector<uint8_t> SpanBuf;
 };
 
 /// Runs \p Job in a forked child with a wall-clock limit of

@@ -13,6 +13,7 @@
 #include "obs/Metrics.h"
 #include "obs/MetricsSink.h"
 #include "obs/Postmortem.h"
+#include "obs/Trace.h"
 #include "support/Fault.h"
 #include "support/Resource.h"
 #include "support/ThreadPool.h"
@@ -223,6 +224,13 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
   if (Plan.parentSide())
     ReaderScope.emplace(Plan, Item.Name);
 
+  // Parent-side span covering the whole isolated attempt; its id crosses
+  // the fork so the child's spans nest under it on the merged timeline.
+  obs::TraceScope ItemSpan(obs::Tracer::global().enabled()
+                               ? "batch.isolate:" + Item.Name
+                               : std::string());
+  uint64_t ItemSpanId = ItemSpan.spanId();
+
   ChildRunResult CR = runInChild(
       [&]() -> std::vector<double> {
         // The fork may happen on a pool worker lane; nested parallel
@@ -269,10 +277,13 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
       },
       Kill, Opts.HardMemLimitKiB,
       /*ChildSetup=*/[&](int ResultPipeFd) {
-        // First thing after fork: scrub inherited journal slots, then
-        // install the postmortem writer (file + pipe summaries) and the
-        // stall watchdog before any analysis work starts.
+        // First thing after fork: scrub inherited journal slots and the
+        // inherited span buffer (the child's spans root under the
+        // parent's item span), then install the postmortem writer (file
+        // + pipe summaries) and the stall watchdog before any analysis
+        // work starts.
         obs::journalResetForChild();
+        obs::Tracer::global().resetForChild(ItemSpanId);
         obs::PostmortemOptions PO;
         PO.Dir = Opts.PostmortemDir.empty() ? nullptr
                                             : Opts.PostmortemDir.c_str();
@@ -281,6 +292,10 @@ void runItemIsolated(const BatchItem &Item, const BatchOptions &Opts,
         obs::postmortemInstall(PO);
         obs::watchdogStart(Opts.WatchdogMs);
       });
+
+  if (!CR.SpanBuf.empty())
+    obs::Tracer::global().ingestSerialized(CR.SpanBuf.data(),
+                                           CR.SpanBuf.size());
 
   R.PeakRssKiB = CR.PeakRssKiB;
   if (CR.HasCrashSummary) {

@@ -12,6 +12,7 @@
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "obs/MetricsSink.h"
+#include "obs/Trace.h"
 #include "support/Fault.h"
 #include "support/Resource.h"
 #include "support/ThreadPool.h"
@@ -33,6 +34,12 @@ namespace {
 constexpr uint32_t ShutdownIndex = 0xFFFFFFFFu;
 /// A result frame bigger than this is a protocol violation, not a result.
 constexpr uint32_t MaxFrameBytes = 1u << 24;
+/// Dispatch frame: u32 index, u32 tier, u64 parent span id (the
+/// coordinator's dispatch span, under which the worker roots its spans).
+constexpr size_t DispatchFrameBytes = 16;
+/// Per-item ceiling on the serialized span section a worker ships in its
+/// result frame (newest spans win past it).
+constexpr size_t MaxResultSpanBytes = 256 * 1024;
 
 //===----------------------------------------------------------------------===//
 // Result frame encoding (worker -> parent)
@@ -97,7 +104,8 @@ struct FrameCursor {
   }
 };
 
-std::vector<uint8_t> encodeResult(uint32_t Index, const BatchItemResult &R) {
+std::vector<uint8_t> encodeResult(uint32_t Index, const BatchItemResult &R,
+                                  const std::vector<uint8_t> &SpanBuf) {
   std::vector<uint8_t> B;
   putU32(B, Index);
   B.push_back(R.Ok);
@@ -115,11 +123,15 @@ std::vector<uint8_t> encodeResult(uint32_t Index, const BatchItemResult &R) {
   putU64(B, R.LedgerTimeMicros);
   putU32(B, static_cast<uint32_t>(R.Error.size()));
   B.insert(B.end(), R.Error.begin(), R.Error.end());
+  // Trailing span section: the worker's locally recorded trace spans
+  // (obs/Trace.h drainSerialized format; zero length = not tracing).
+  putU32(B, static_cast<uint32_t>(SpanBuf.size()));
+  B.insert(B.end(), SpanBuf.begin(), SpanBuf.end());
   return B;
 }
 
 bool decodeResult(const uint8_t *Data, size_t Size, uint32_t &Index,
-                  BatchItemResult &R) {
+                  BatchItemResult &R, std::vector<uint8_t> &SpanBuf) {
   FrameCursor C{Data, Size};
   Index = C.u32();
   R.Ok = C.u8();
@@ -139,6 +151,11 @@ bool decodeResult(const uint8_t *Data, size_t Size, uint32_t &Index,
   R.LedgerGrowth = C.u64();
   R.LedgerTimeMicros = C.u64();
   R.Error = C.str();
+  uint32_t SpanLen = C.u32();
+  if (!C.Fail && SpanLen > 0 && C.need(SpanLen)) {
+    SpanBuf.assign(C.Data + C.Pos, C.Data + C.Pos + SpanLen);
+    C.Pos += SpanLen;
+  }
   return !C.Fail && C.Pos == C.Size;
 }
 
@@ -226,14 +243,17 @@ void runSnapshotItem(const std::vector<uint8_t> &Snap,
   WA.Jobs = 1; // One lane per worker; parallelism is the worker count.
   AnalyzerOptions Lower = lowerTierOptions(WA);
   for (;;) {
-    uint8_t Frame[8];
+    uint8_t Frame[DispatchFrameBytes];
     if (!readAll(DispatchFd, Frame, sizeof(Frame)))
       _exit(0); // Parent died or closed the pipe: nothing left to do.
     uint32_t Index = 0, Tier = 0;
+    uint64_t ParentSpan = 0;
     for (int I = 0; I < 4; ++I) {
       Index |= static_cast<uint32_t>(Frame[I]) << (8 * I);
       Tier |= static_cast<uint32_t>(Frame[4 + I]) << (8 * I);
     }
+    for (int I = 0; I < 8; ++I)
+      ParentSpan |= static_cast<uint64_t>(Frame[8 + I]) << (8 * I);
     if (Index == ShutdownIndex)
       _exit(0);
     maybeInjectFault("shardloop");
@@ -241,11 +261,21 @@ void runSnapshotItem(const std::vector<uint8_t> &Snap,
       _exit(1); // Protocol violation; die loudly, parent reassigns.
     BatchItemResult R;
     R.Name = Names[Index];
+    obs::Tracer::global().setProcessParent(ParentSpan);
+    std::vector<uint8_t> SpanBuf;
     Timer ItemClock;
-    runSnapshotItem(Snaps[Index], Opts, Tier ? Lower : WA, R);
+    {
+      // The worker's analysis spans (phases, per-procedure dep builds,
+      // fixpoint) nest under this item-root span, which itself parents
+      // to the coordinator's dispatch span from the frame.
+      SPA_OBS_TRACE("shard.analyze:" + R.Name);
+      runSnapshotItem(Snaps[Index], Opts, Tier ? Lower : WA, R);
+    }
     R.Seconds = ItemClock.seconds();
     R.PeakRssKiB = currentPeakRssKiB();
-    std::vector<uint8_t> Payload = encodeResult(Index, R);
+    if (obs::Tracer::global().enabled())
+      SpanBuf = obs::Tracer::global().drainSerialized(MaxResultSpanBytes);
+    std::vector<uint8_t> Payload = encodeResult(Index, R, SpanBuf);
     std::vector<uint8_t> Out;
     putU32(Out, static_cast<uint32_t>(Payload.size()));
     Out.insert(Out.end(), Payload.begin(), Payload.end());
@@ -266,6 +296,8 @@ struct WorkerHandle {
   bool ShutdownSent = false;
   int Item = -1;       ///< In-flight item index (-1 = idle).
   uint32_t Tier = 0;
+  uint64_t SpanId = 0;     ///< Dispatch span of the in-flight item.
+  double DispatchTs = 0;   ///< obsNowMicros at dispatch (span start).
   std::vector<uint8_t> Buf; ///< Partial result frame accumulator.
 };
 
@@ -301,6 +333,13 @@ ShardRunResult spa::runSharded(const std::vector<BatchItem> &Items,
   FaultPlan Plan = FaultPlan::fromEnv();
   Timer Clock;
 
+  // Root span of the sharded run: dispatch/steal spans parent here, and
+  // worker-side item spans parent to the dispatch spans, so the merged
+  // Chrome trace is one tree rooted at the coordinator.
+  obs::TraceScope RunSpan(obs::Tracer::global().enabled() ? "shard.run"
+                                                          : std::string());
+  uint64_t RunSpanId = RunSpan.spanId();
+
   // Phase 1: serialize every program once, in parallel, before any fork —
   // the workers inherit the bytes copy-on-write, so "shipping" an item is
   // an 8-byte index frame.  Parent-side build failures classify here and
@@ -310,6 +349,7 @@ ShardRunResult spa::runSharded(const std::vector<BatchItem> &Items,
   std::vector<uint8_t> BuildFailed(Items.size(), 0);
   unsigned PoolJobs = AOpts.Jobs ? AOpts.Jobs : ThreadPool::defaultJobs();
   ThreadPool::global().parallelFor(Items.size(), PoolJobs, [&](size_t I) {
+    SPA_OBS_TRACE("shard.serialize:" + Items[I].Name);
     Names[I] = Items[I].Name;
     const BatchItem &It = Items[I];
     if (!It.SnapshotPath.empty()) {
@@ -356,6 +396,9 @@ ShardRunResult spa::runSharded(const std::vector<BatchItem> &Items,
         close(Workers[P].ResultFd);
       }
       obs::journalResetForChild();
+      // Span hygiene after fork: drop the parent's buffered spans; the
+      // per-item process parent arrives in each dispatch frame.
+      obs::Tracer::global().resetForChild(RunSpanId);
       workerLoop(W, Dispatch[0], Res[1], Snaps, Names, Opts.Batch, AOpts,
                  Plan);
     }
@@ -450,11 +493,16 @@ ShardRunResult spa::runSharded(const std::vector<BatchItem> &Items,
       if (IsHeavy(I) && HeavyInFlight)
         continue;
       Queue.erase(It);
-      uint8_t Frame[8];
+      uint64_t Span = obs::Tracer::global().enabled()
+                          ? obs::Tracer::global().allocSpanId()
+                          : 0;
+      uint8_t Frame[DispatchFrameBytes];
       for (int K = 0; K < 4; ++K) {
         Frame[K] = static_cast<uint8_t>(I >> (8 * K));
         Frame[4 + K] = static_cast<uint8_t>(Tier >> (8 * K));
       }
+      for (int K = 0; K < 8; ++K)
+        Frame[8 + K] = static_cast<uint8_t>(Span >> (8 * K));
       if (!writeAll(W.DispatchFd, Frame, sizeof(Frame))) {
         Queue.emplace_front(I, Tier);
         MarkDead(W);
@@ -462,6 +510,8 @@ ShardRunResult spa::runSharded(const std::vector<BatchItem> &Items,
       }
       W.Item = static_cast<int>(I);
       W.Tier = Tier;
+      W.SpanId = Span;
+      W.DispatchTs = obs::obsNowMicros();
       ++Outstanding;
       if (IsHeavy(I)) {
         HeavyInFlight = true;
@@ -484,8 +534,19 @@ ShardRunResult spa::runSharded(const std::vector<BatchItem> &Items,
       HeavyInFlight = false;
     Result.Timing[Index].DoneSeconds = Clock.seconds();
     Result.Timing[Index].Shard = WIdx;
-    if (HomeShard(Index) != WIdx)
+    bool Stolen = HomeShard(Index) != WIdx;
+    if (Stolen)
       ++Result.Steals;
+    if (W.SpanId != 0) {
+      // Close the coordinator-side dispatch span now that the result is
+      // back; the worker's shard.analyze span nests under it.
+      obs::Tracer::global().addSpan(
+          std::string(Stolen ? "shard.steal:" : "shard.dispatch:") +
+              Result.Batch.Items[Index].Name,
+          W.DispatchTs, obs::obsNowMicros() - W.DispatchTs, W.SpanId,
+          RunSpanId);
+      W.SpanId = 0;
+    }
 
     BatchItemResult &Slot = Result.Batch.Items[Index];
     if (W.Tier == 0 && Opts.Batch.RetryAtLowerTier && Retryable(R.Outcome)) {
@@ -576,19 +637,22 @@ ShardRunResult spa::runSharded(const std::vector<BatchItem> &Items,
           break;
         uint32_t Index = 0;
         BatchItemResult R;
-        if (decodeResult(W.Buf.data() + 4, Len, Index, R))
+        std::vector<uint8_t> SpanBuf;
+        if (decodeResult(W.Buf.data() + 4, Len, Index, R, SpanBuf)) {
+          if (!SpanBuf.empty())
+            obs::Tracer::global().ingestSerialized(SpanBuf.data(),
+                                                   SpanBuf.size());
           OnResult(FdWorker[F], Index, std::move(R));
+        }
         W.Buf.erase(W.Buf.begin(), W.Buf.begin() + 4 + Len);
       }
     }
   }
 
   // Phase 4: shutdown and reap.
-  uint8_t Bye[8];
-  for (int K = 0; K < 4; ++K) {
+  uint8_t Bye[DispatchFrameBytes] = {0};
+  for (int K = 0; K < 4; ++K)
     Bye[K] = static_cast<uint8_t>(ShutdownIndex >> (8 * K));
-    Bye[4 + K] = 0;
-  }
   for (WorkerHandle &W : Workers) {
     if (!W.Alive)
       continue;

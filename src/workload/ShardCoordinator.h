@@ -10,11 +10,12 @@
 /// every program to an spa-ir-v1 snapshot once, forks the workers (which
 /// inherit the snapshot bytes copy-on-write), and then plays dealer:
 ///
-///   parent -> worker:  8-byte frame { u32 item index, u32 tier }
+///   parent -> worker:  16-byte frame { u32 item index, u32 tier,
+///                      u64 parent trace-span id }
 ///                      (index 0xFFFFFFFF = shutdown)
 ///   worker -> parent:  length-prefixed result frame
 ///                      { u32 len, payload: u32 index + encoded
-///                        BatchItemResult }
+///                        BatchItemResult + serialized trace spans }
 ///
 /// Each worker holds exactly one item at a time and asks for the next by
 /// finishing the last, so fast workers drain the shared queue — stealing

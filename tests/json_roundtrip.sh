@@ -49,16 +49,21 @@ for f in m t l; do
   strict_json "$WORK/$f.json" || { echo "FAIL: $f.json malformed"; exit 1; }
 done
 
-# Every trace event needs the chrome://tracing required fields.
+# Every trace event needs the chrome://tracing required fields.  Spans
+# are complete 'X' events carrying a duration and the span/parent ids.
 python3 - "$WORK/t.json" <<'EOF' || exit 1
 import json, sys
 doc = json.load(open(sys.argv[1]))
+assert doc["traceId"], "trace document has no trace id"
+assert doc["epochNanos"] >= 0, "trace document has no epoch"
 events = doc["traceEvents"]
 assert events, "trace has no events"
 for e in events:
-    for field in ("ph", "ts", "pid", "tid", "name"):
+    for field in ("ph", "ts", "dur", "pid", "tid", "name"):
         assert field in e, "trace event missing %r: %r" % (field, e)
-    assert e["ph"] in ("B", "E"), "unexpected phase %r" % e["ph"]
+    assert e["ph"] == "X", "unexpected phase %r" % e["ph"]
+    assert e["ts"] >= 0 and e["dur"] >= 0, "negative timestamp: %r" % e
+    assert e["args"]["id"] != "0x0", "span without an id: %r" % e
 EOF
 
 # The ledger document: schema marker, totals consistent with the
@@ -135,6 +140,49 @@ assert m["batch.programs"] == 2
 assert m["fixpoint.visits"] > 0
 EOF
 
+# 5b. Distributed tracing: a sharded batch merges every worker's spans
+# into one Chrome trace — spans from the coordinator AND each forked
+# worker pid on one timeline, with dispatch spans parenting the workers'
+# analyze spans.
+"$ANALYZE" --batch="$WORK/batch.txt" --shards=2 \
+  --trace-out="$WORK/ts.json" > /dev/null || exit 1
+strict_json "$WORK/ts.json" || { echo "FAIL: shard trace malformed"; exit 1; }
+python3 - "$WORK/ts.json" <<'EOF' || exit 1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "sharded trace has no events"
+pids = {e["pid"] for e in events}
+assert len(pids) >= 3, "want coordinator + 2 worker pids, got %r" % pids
+ids = {}
+for e in events:
+    assert e["ph"] == "X", e
+    assert e["ts"] >= 0 and e["dur"] >= 0, "negative time in %r" % e
+    span = int(e["args"]["id"], 16)
+    assert span not in ids, "duplicate span id %#x" % span
+    ids[span] = e
+names = [e["name"] for e in events]
+assert any(n == "shard.run" for n in names), names
+assert any(n.startswith("shard.analyze:") for n in names), names
+assert any(n.startswith("shard.dispatch:") or n.startswith("shard.steal:")
+           for n in names), names
+# Parent/child nesting across the process boundary: at least one worker
+# analyze span must resolve its parent to a coordinator dispatch span.
+nested = 0
+for e in events:
+    if not e["name"].startswith("shard.analyze:"):
+        continue
+    parent = ids.get(int(e["args"]["parent"], 16))
+    assert parent is not None, "dangling parent in %r" % e
+    assert parent["pid"] != e["pid"], \
+        "analyze span should parent to the coordinator: %r" % e
+    nested += 1
+assert nested >= 1, "no cross-process parent/child nesting"
+# Deterministic content order: (ts, pid, span id) ascending.
+keys = [(e["ts"], e["pid"], int(e["args"]["id"], 16)) for e in events]
+assert keys == sorted(keys), "trace events are not in merge order"
+EOF
+
 # 6. --journal-out: the flight-recorder dump of a run that survived.
 "$ANALYZE" --journal-out="$WORK/j.json" "$EXAMPLES/loop.spa" \
   > /dev/null || exit 1
@@ -143,6 +191,7 @@ python3 - "$WORK/j.json" <<'EOF' || exit 1
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "spa-journal-v1", doc.get("schema")
+assert doc["epoch_ns"] >= 0, "journal header lost the shared epoch"
 assert doc["threads"], "no journaled threads in an instrumented run"
 kinds = {e["kind"] for t in doc["threads"] for e in t["events"]}
 assert "phase.begin" in kinds, kinds

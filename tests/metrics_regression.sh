@@ -178,6 +178,18 @@ done
   echo "FAIL: warm serve request"
   exit 1
 }
+# The telemetry.* keys ride the same determinism contract: one bounded
+# subscription of exactly two frames makes telemetry.subscribes and
+# telemetry.frames pure functions of the request sequence.
+"$ANALYZE" --connect="$SOCK" --serve-watch=2 --watch-ms=10 \
+  > "$WORK/watch.txt" || {
+  echo "FAIL: telemetry subscription"
+  exit 1
+}
+"$ANALYZE" --connect="$SOCK" --serve-stats > "$WORK/serve-stats.json" || {
+  echo "FAIL: serve stats request"
+  exit 1
+}
 "$ANALYZE" --connect="$SOCK" --serve-shutdown > /dev/null
 wait "$SERVER_PID" || {
   cat "$WORK/serve.log"
@@ -199,10 +211,41 @@ done
   --key=serve.cache.entries \
   --key=serve.partitions.total \
   --key=serve.partitions.reused \
+  --key=trace.spans \
   "$SERVE_BASELINE" "$WORK/serve-warm.json" || {
   echo "FAIL: serve counts regressed against $SERVE_BASELINE"
   exit 1
 }
+# The daemon's cumulative stats document after the fixed sequence: one
+# subscription, two telemetry frames, and a nonzero span count (the
+# request-scoped tracer is always on in the daemon).
+python3 - "$WORK/serve-stats.json" <<'EOF' || exit 1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "spa-serve-stats-v1", doc.get("schema")
+m = doc["metrics"]
+assert m["telemetry.subscribes"] == 1, m.get("telemetry.subscribes")
+assert m["telemetry.frames"] == 2, m.get("telemetry.frames")
+assert m["trace.spans"] > 0, m.get("trace.spans")
+EOF
+"$DIFF" --key=metrics.telemetry.frames --key=metrics.telemetry.subscribes \
+  --key=metrics.trace.spans \
+  "$WORK/serve-stats.json" "$WORK/serve-stats.json" || {
+  echo "FAIL: telemetry self-diff reported a regression"
+  exit 1
+}
+python3 - "$WORK/serve-stats.json" "$WORK/serve-stats-bad.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["metrics"]["telemetry.frames"] = doc["metrics"]["telemetry.frames"] + 7
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+"$DIFF" --key=metrics.telemetry.frames "$WORK/serve-stats.json" \
+  "$WORK/serve-stats-bad.json" > /dev/null 2>&1
+if [ $? -ne 2 ]; then
+  echo "FAIL: perturbed telemetry.frames should exit 2"
+  exit 1
+fi
 "$DIFF" "$WORK/serve-warm.json" "$WORK/serve-warm.json" || {
   echo "FAIL: serve self-diff reported a regression"
   exit 1

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <set>
@@ -153,6 +154,65 @@ TEST_F(ObsTest, HistogramStatsAndSnapshotLeaves) {
   EXPECT_EQ(Registry::global().value("test.hist.avg"), 7.0);
 }
 
+TEST_F(ObsTest, HistogramQuantilesInterpolateAndClamp) {
+  Histogram &H = Registry::global().histogram("test.quant");
+  EXPECT_EQ(H.quantile(0.5), 0.0); // Empty: no estimate.
+  for (int I = 0; I < 100; ++I)
+    H.observe(10);
+  // Every sample sits in bucket [8, 16); the estimate must land inside
+  // the observed range, clamped to [min, max] = [10, 10].
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.99), 10.0);
+  // Quantiles are monotone in Q over a spread distribution.
+  Histogram &S = Registry::global().histogram("test.quant.spread");
+  for (int I = 1; I <= 64; ++I)
+    S.observe(I);
+  double P50 = S.quantile(0.50), P95 = S.quantile(0.95),
+         P99 = S.quantile(0.99);
+  EXPECT_LE(P50, P95);
+  EXPECT_LE(P95, P99);
+  EXPECT_GE(P50, S.min());
+  EXPECT_LE(P99, S.max());
+  // The snapshot carries the quantile leaves.
+  EXPECT_GT(Registry::global().value("test.quant.spread.p95"), 0.0);
+}
+
+TEST_F(ObsTest, RenderPromEmitsValidFamilies) {
+  Registry::global().counter("prom.requests").add(7);
+  Registry::global().gauge("prom.cache-bytes").set(123.5);
+  Histogram &H = Registry::global().histogram("prom.lat");
+  H.observe(1);
+  H.observe(3);
+  H.observe(300);
+  std::string P = Registry::global().renderProm();
+  // Counters gain _total; dots and dashes mangle to underscores.
+  EXPECT_NE(P.find("# TYPE spa_prom_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(P.find("spa_prom_requests_total 7"), std::string::npos);
+  EXPECT_NE(P.find("# TYPE spa_prom_cache_bytes gauge"), std::string::npos);
+  EXPECT_NE(P.find("spa_prom_cache_bytes 123.5"), std::string::npos);
+  // Histograms: cumulative buckets ending at +Inf, plus _sum/_count.
+  EXPECT_NE(P.find("# TYPE spa_prom_lat histogram"), std::string::npos);
+  EXPECT_NE(P.find("spa_prom_lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(P.find("spa_prom_lat_sum 304"), std::string::npos);
+  EXPECT_NE(P.find("spa_prom_lat_count 3"), std::string::npos);
+  // Cumulative bucket counts never decrease.
+  uint64_t Prev = 0;
+  size_t Pos = 0;
+  while ((Pos = P.find("spa_prom_lat_bucket{le=\"", Pos)) !=
+         std::string::npos) {
+    size_t Sp = P.find("} ", Pos);
+    ASSERT_NE(Sp, std::string::npos);
+    uint64_t Cum = std::strtoull(P.c_str() + Sp + 2, nullptr, 10);
+    EXPECT_GE(Cum, Prev);
+    Prev = Cum;
+    Pos = Sp;
+  }
+  // Every HELP precedes its TYPE.
+  EXPECT_LT(P.find("# HELP spa_prom_lat "),
+            P.find("# TYPE spa_prom_lat "));
+}
+
 TEST_F(ObsTest, ResetZeroesButKeepsReferences) {
   Counter &C = Registry::global().counter("test.reset");
   C.add(9);
@@ -174,10 +234,13 @@ TEST_F(ObsTest, MacrosFeedTheGlobalRegistry) {
 #endif
 }
 
-TEST_F(ObsTest, TraceScopesBalanceAndNest) {
+TEST_F(ObsTest, TraceScopesRecordNestedSpans) {
   Tracer::global().enable();
+  uint64_t OuterId = 0;
   {
     TraceScope Outer("outer");
+    OuterId = Outer.spanId();
+    ASSERT_NE(OuterId, 0u);
     {
       TraceScope Inner("inner");
     }
@@ -185,26 +248,27 @@ TEST_F(ObsTest, TraceScopesBalanceAndNest) {
       TraceScope Second("second");
     }
   }
-  const auto &Events = Tracer::global().events();
-  ASSERT_EQ(Events.size(), 6u);
-
-  // Every begin must close in LIFO order (what chrome://tracing requires
-  // of 'B'/'E' pairs on one thread).
-  std::vector<std::string> Stack;
-  for (const TraceEvent &E : Events) {
-    ASSERT_TRUE(E.Phase == 'B' || E.Phase == 'E');
-    if (E.Phase == 'B') {
-      Stack.push_back(E.Name);
-    } else {
-      ASSERT_FALSE(Stack.empty());
-      EXPECT_EQ(Stack.back(), E.Name);
-      Stack.pop_back();
-    }
+  std::vector<TraceSpan> Spans = Tracer::global().spans();
+  ASSERT_EQ(Spans.size(), 3u);
+  // Spans record at scope close: inner, second, then outer.
+  EXPECT_EQ(Spans[0].Name, "inner");
+  EXPECT_EQ(Spans[1].Name, "second");
+  EXPECT_EQ(Spans[2].Name, "outer");
+  // Children link to the enclosing scope; the root has no parent.
+  EXPECT_EQ(Spans[0].ParentSpanId, OuterId);
+  EXPECT_EQ(Spans[1].ParentSpanId, OuterId);
+  EXPECT_EQ(Spans[2].SpanId, OuterId);
+  EXPECT_EQ(Spans[2].ParentSpanId, 0u);
+  for (const TraceSpan &S : Spans) {
+    EXPECT_GE(S.TsMicros, 0.0);
+    EXPECT_GE(S.DurMicros, 0.0);
+    EXPECT_NE(S.Pid, 0u);
+    EXPECT_NE(S.SpanId, 0u);
   }
-  EXPECT_TRUE(Stack.empty());
-  // Timestamps are monotone.
-  for (size_t I = 1; I < Events.size(); ++I)
-    EXPECT_GE(Events[I].TsMicros, Events[I - 1].TsMicros);
+  // The siblings started after the outer scope and closed before it.
+  EXPECT_GE(Spans[0].TsMicros, Spans[2].TsMicros);
+  EXPECT_LE(Spans[0].TsMicros + Spans[0].DurMicros,
+            Spans[2].TsMicros + Spans[2].DurMicros + 1e-9);
 }
 
 TEST_F(ObsTest, DisabledTracerRecordsNothing) {
@@ -212,27 +276,78 @@ TEST_F(ObsTest, DisabledTracerRecordsNothing) {
     TraceScope S("ignored");
     SPA_OBS_TRACE("also ignored");
   }
-  EXPECT_TRUE(Tracer::global().events().empty());
+  EXPECT_TRUE(Tracer::global().spans().empty());
 }
 
-TEST_F(ObsTest, ChromeJsonIsBalancedAndEscaped) {
+TEST_F(ObsTest, ChromeJsonEmitsCompleteEventsAndEscapes) {
   Tracer::global().enable();
   {
     TraceScope S("name \"with\\ quotes");
   }
   std::string Json = Tracer::global().toChromeJson();
   EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"traceId\""), std::string::npos);
+  EXPECT_NE(Json.find("\"epochNanos\""), std::string::npos);
   EXPECT_NE(Json.find("name \\\"with\\\\ quotes"), std::string::npos);
 
-  size_t Begins = 0, Ends = 0;
-  for (size_t P = Json.find("\"ph\":\"B\""); P != std::string::npos;
-       P = Json.find("\"ph\":\"B\"", P + 1))
-    ++Begins;
-  for (size_t P = Json.find("\"ph\":\"E\""); P != std::string::npos;
-       P = Json.find("\"ph\":\"E\"", P + 1))
-    ++Ends;
-  EXPECT_EQ(Begins, 1u);
-  EXPECT_EQ(Ends, 1u);
+  size_t Completes = 0;
+  for (size_t P = Json.find("\"ph\":\"X\""); P != std::string::npos;
+       P = Json.find("\"ph\":\"X\"", P + 1))
+    ++Completes;
+  EXPECT_EQ(Completes, 1u);
+  // Complete events carry a duration and the span linkage args.
+  EXPECT_NE(Json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"parent\":"), std::string::npos);
+}
+
+TEST_F(ObsTest, SpanBufferRoundTripsThroughSerialization) {
+  Tracer::global().enable();
+  {
+    TraceScope Outer("parent-span");
+    { TraceScope Inner("child-span"); }
+  }
+  uint64_t Trace = Tracer::global().traceId();
+  std::vector<TraceSpan> Before = Tracer::global().spans();
+  ASSERT_EQ(Before.size(), 2u);
+
+  // Drain empties the tracer; ingest restores the same spans (what the
+  // result pipe does between a shard worker and the coordinator).
+  std::vector<uint8_t> Buf = Tracer::global().drainSerialized();
+  EXPECT_TRUE(Tracer::global().spans().empty());
+  ASSERT_TRUE(Tracer::global().ingestSerialized(Buf.data(), Buf.size()));
+  std::vector<TraceSpan> After = Tracer::global().spans();
+  ASSERT_EQ(After.size(), Before.size());
+  for (size_t I = 0; I < Before.size(); ++I) {
+    EXPECT_EQ(After[I].Name, Before[I].Name);
+    EXPECT_EQ(After[I].SpanId, Before[I].SpanId);
+    EXPECT_EQ(After[I].ParentSpanId, Before[I].ParentSpanId);
+    EXPECT_EQ(After[I].Pid, Before[I].Pid);
+    EXPECT_DOUBLE_EQ(After[I].TsMicros, Before[I].TsMicros);
+    EXPECT_DOUBLE_EQ(After[I].DurMicros, Before[I].DurMicros);
+  }
+  EXPECT_EQ(Tracer::global().traceId(), Trace);
+
+  // Truncated/garbage buffers ingest nothing and say so.
+  EXPECT_FALSE(Tracer::global().ingestSerialized(Buf.data(), 3));
+  std::vector<uint8_t> Junk(32, 0xEE);
+  EXPECT_FALSE(Tracer::global().ingestSerialized(Junk.data(), Junk.size()));
+}
+
+TEST_F(ObsTest, RingCapacityDropsOldestSpans) {
+  Tracer::global().enable();
+  Tracer::global().setRingCapacity(4);
+  for (int I = 0; I < 10; ++I) {
+    std::string Name = "span";
+    Name += std::to_string(I);
+    TraceScope S(Name);
+  }
+  std::vector<TraceSpan> Spans = Tracer::global().spans();
+  ASSERT_EQ(Spans.size(), 4u);
+  // Newest four survive, oldest six dropped (and counted).
+  EXPECT_EQ(Spans.front().Name, "span6");
+  EXPECT_EQ(Spans.back().Name, "span9");
+  EXPECT_EQ(Tracer::global().droppedSpans(), 6u);
+  Tracer::global().setRingCapacity(0); // Restore the unbounded default.
 }
 
 TEST_F(ObsTest, MetricsJsonRoundTrips) {
@@ -303,22 +418,26 @@ TEST_F(ObsTest, VanillaRunLeavesDepGraphMetricsZero) {
   EXPECT_GT(R.value("fixpoint.visits"), 0.0);
 }
 
-TEST_F(ObsTest, AnalyzeSpansBalanceWhenTracing) {
+TEST_F(ObsTest, AnalyzeSpansFormOneTreeWhenTracing) {
   Tracer::global().enable();
   std::unique_ptr<Program> Prog = test::build(LoopProgram);
   test::analyze(*Prog, EngineKind::Sparse);
 
-  const auto &Events = Tracer::global().events();
-  ASSERT_FALSE(Events.empty());
-  int Depth = 0;
+  std::vector<TraceSpan> Spans = Tracer::global().spans();
+  ASSERT_FALSE(Spans.empty());
+  std::set<uint64_t> Ids;
   bool SawFixpoint = false;
-  for (const TraceEvent &E : Events) {
-    Depth += E.Phase == 'B' ? 1 : -1;
-    ASSERT_GE(Depth, 0);
-    SawFixpoint |= E.Name == "fixpoint";
+  for (const TraceSpan &S : Spans) {
+    EXPECT_TRUE(Ids.insert(S.SpanId).second) << "duplicate span id";
+    EXPECT_GE(S.DurMicros, 0.0);
+    SawFixpoint |= S.Name == "fixpoint";
   }
-  EXPECT_EQ(Depth, 0);
   EXPECT_TRUE(SawFixpoint);
+  // Every parent link resolves to another recorded span or to a root
+  // (0): the run produced one connected tree, not dangling references.
+  for (const TraceSpan &S : Spans)
+    EXPECT_TRUE(S.ParentSpanId == 0 || Ids.count(S.ParentSpanId))
+        << S.Name;
 }
 
 #endif // SPA_OBS_ENABLED

@@ -124,12 +124,42 @@ for key in serve.requests serve.cache.hits serve.partitions.total \
   }
 done
 "$ANALYZE" --connect="$SOCK" --serve-stats > "$WORK/stats.json" || exit 1
-for key in serve.requests serve.cache.hits serve.cache.misses; do
+for key in serve.requests serve.cache.hits serve.cache.misses \
+  uptime_seconds epoch_ns cache spa-serve-stats-v1; do
   grep -q "\"$key\"" "$WORK/stats.json" || {
     echo "FAIL: --serve-stats lacks $key"
     exit 1
   }
 done
+
+# Prometheus exposition over the wire: --serve-stats --prom-out does a
+# second round trip with the prom flag and writes the text format.
+"$ANALYZE" --connect="$SOCK" --serve-stats \
+  --prom-out="$WORK/stats.prom" > /dev/null || exit 1
+grep -q '^# TYPE spa_serve_requests_total counter$' "$WORK/stats.prom" || {
+  cat "$WORK/stats.prom"
+  echo "FAIL: daemon prom exposition lacks the serve requests counter"
+  exit 1
+}
+
+# Live telemetry: --serve-watch=2 streams two consecutive frames from
+# the running daemon, with monotone sequence numbers.
+"$ANALYZE" --connect="$SOCK" --serve-watch=2 --watch-ms=50 \
+  > "$WORK/watch.txt" || {
+  echo "FAIL: --serve-watch request"
+  exit 1
+}
+FRAMES=$(grep -c '"spa-serve-telemetry-v1"' "$WORK/watch.txt")
+[ "$FRAMES" -eq 2 ] || {
+  cat "$WORK/watch.txt"
+  echo "FAIL: --serve-watch=2 produced $FRAMES frames, want 2"
+  exit 1
+}
+grep -q '"seq": 1' "$WORK/watch.txt" && grep -q '"seq": 2' "$WORK/watch.txt" || {
+  cat "$WORK/watch.txt"
+  echo "FAIL: telemetry frames lack monotone sequence numbers"
+  exit 1
+}
 
 "$ANALYZE" --connect="$SOCK" --serve-shutdown > /dev/null || {
   echo "FAIL: shutdown request"

@@ -31,6 +31,7 @@
 #include "core/DepSnapshot.h"
 #include "ir/Builder.h"
 #include "ir/Snapshot.h"
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "serve/Client.h"
 #include "serve/Server.h"
@@ -301,6 +302,14 @@ TEST(ServeService, InjectedFaultIsTypedAndOneShot) {
   EXPECT_EQ(Svc.analyze(Req, Resp, Error), ServeErrc::Injected);
   EXPECT_FALSE(Error.empty());
 
+#if SPA_OBS_ENABLED
+  // The aborted request must not vanish from the flight recorder: a
+  // serve.abort event carries its request id, so a postmortem can tell
+  // which in-flight request the injected fault killed (the per-request
+  // gauges it would have published are gone by design).
+  EXPECT_NE(obs::journalToJson().find("serve.abort"), std::string::npos);
+#endif
+
   // The trap disarms after firing once: the daemon (and its cache)
   // keep working.
   AnalyzeResponse Ok = mustAnalyze(Svc, Req.Program);
@@ -355,6 +364,44 @@ TEST(ServeService, PerRequestGaugesAreScopedCountersCumulative) {
             std::string::npos);
   EXPECT_NE(Warm.MetricsJson.find("serve.partitions.total"),
             std::string::npos);
+}
+
+TEST(ServeService, StatsTelemetryAndPromDocuments) {
+  obs::Registry::global().reset();
+  Service Svc(defaultServiceOptions());
+  const std::string Src = multiSource(10, 100, 5);
+  mustAnalyze(Svc, Src);
+
+  // --serve-stats document: schema marker, uptime, cache occupancy, and
+  // the cumulative registry nested under "metrics".
+  std::string Stats = Svc.statsJson();
+  EXPECT_NE(Stats.find("\"spa-serve-stats-v1\""), std::string::npos);
+  EXPECT_NE(Stats.find("\"uptime_seconds\""), std::string::npos);
+  EXPECT_NE(Stats.find("\"epoch_ns\""), std::string::npos);
+  EXPECT_NE(Stats.find("\"cache\""), std::string::npos);
+  EXPECT_NE(Stats.find("\"serve.requests\""), std::string::npos);
+  EXPECT_GE(Svc.uptimeSeconds(), 0.0);
+
+  // Telemetry frames: monotone sequence numbers and per-interval deltas
+  // (one request between the frames => requests_delta 1 in the second).
+  std::string T1 = Svc.telemetryJson();
+  EXPECT_NE(T1.find("\"spa-serve-telemetry-v1\""), std::string::npos);
+  EXPECT_NE(T1.find("\"seq\": 1"), std::string::npos);
+  EXPECT_NE(T1.find("\"requests_total\": 1"), std::string::npos);
+  mustAnalyze(Svc, Src);
+  std::string T2 = Svc.telemetryJson();
+  EXPECT_NE(T2.find("\"seq\": 2"), std::string::npos);
+  EXPECT_NE(T2.find("\"requests_total\": 2"), std::string::npos);
+  EXPECT_NE(T2.find("\"requests_delta\": 1"), std::string::npos);
+  EXPECT_NE(T2.find("\"hit_ratio\""), std::string::npos);
+  EXPECT_NE(T2.find("\"serve.cache.hits\": 1"), std::string::npos);
+
+  // The Prometheus variant of the same registry: counter families with
+  // the spa_ prefix and _total suffix.
+  std::string Prom = Svc.statsProm();
+  EXPECT_NE(Prom.find("# TYPE spa_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("spa_serve_requests_total 2"), std::string::npos);
 }
 #endif // SPA_OBS_ENABLED
 
@@ -606,6 +653,74 @@ TEST(ServeSocket, LifecycleSequentialAndConcurrentClients) {
   EXPECT_NE(Json.find("serve.requests"), std::string::npos);
 #endif
   EXPECT_EQ(C.shutdown(Error), ServeErrc::None) << Error;
+}
+
+TEST(ServeSocket, SubscribeStreamsConsecutiveTelemetryFrames) {
+  ServerFixture Fix("watch", defaultServiceOptions());
+  const std::string Src = multiSource(10, 100, 5);
+
+  Client C;
+  std::string Error;
+  ASSERT_EQ(C.connect(Fix.Path, Error), ServeErrc::None) << Error;
+  AnalyzeRequest Req;
+  Req.Program = Src;
+  AnalyzeResponse Resp;
+  ASSERT_EQ(C.analyze(Req, Resp, Error), ServeErrc::None) << Error;
+
+  // A bounded subscription streams exactly MaxFrames telemetry frames,
+  // each a spa-serve-telemetry-v1 document with a monotone sequence.
+  SubscribeRequest Sub;
+  Sub.IntervalMs = 10;
+  Sub.MaxFrames = 3;
+  std::vector<std::string> Frames;
+  ASSERT_EQ(C.subscribe(
+                Sub,
+                [&](const std::string &Doc) {
+                  Frames.push_back(Doc);
+                  return true;
+                },
+                Error),
+            ServeErrc::None)
+      << Error;
+  ASSERT_EQ(Frames.size(), 3u);
+  for (const std::string &F : Frames)
+    EXPECT_NE(F.find("\"spa-serve-telemetry-v1\""), std::string::npos);
+  size_t SeqAt = Frames[0].find("\"seq\": ");
+  ASSERT_NE(SeqAt, std::string::npos);
+  for (size_t I = 0; I < Frames.size(); ++I)
+    EXPECT_NE(Frames[I].find("\"seq\": " + std::to_string(I + 1)),
+              std::string::npos)
+        << Frames[I];
+
+  // The daemon is still blocked reading this client's next frame;
+  // disconnect so it moves on to the clients below.
+  C = Client();
+
+  // Returning false from the callback disconnects (the unsubscribe
+  // protocol); the daemon notices the dead peer and serves the next
+  // client — including the Prometheus stats variant.
+  Client C2;
+  ASSERT_EQ(C2.connect(Fix.Path, Error), ServeErrc::None) << Error;
+  SubscribeRequest Forever;
+  Forever.IntervalMs = 5;
+  Forever.MaxFrames = 0;
+  int Got = 0;
+  ASSERT_EQ(C2.subscribe(
+                Forever, [&](const std::string &) { return ++Got < 2; },
+                Error),
+            ServeErrc::None)
+      << Error;
+  EXPECT_EQ(Got, 2);
+
+  Client C3;
+  ASSERT_EQ(C3.connect(Fix.Path, Error), ServeErrc::None) << Error;
+#if SPA_OBS_ENABLED
+  std::string Prom;
+  ASSERT_EQ(C3.stats(Prom, Error, /*Prom=*/true), ServeErrc::None) << Error;
+  EXPECT_NE(Prom.find("# TYPE spa_serve_requests_total counter"),
+            std::string::npos);
+#endif
+  ASSERT_EQ(C3.shutdown(Error), ServeErrc::None) << Error;
 }
 
 TEST(ServeSocket, InjectedFaultOverTheWireThenRecovery) {

@@ -35,6 +35,10 @@
 ///   --stats                        metrics registry dump (key=value lines)
 ///                                  plus the ledger's top-K hotspot table
 ///   --metrics-out=FILE             write the metrics registry as JSON
+///   --prom-out=FILE                write the metrics registry as
+///                                  Prometheus text exposition (with
+///                                  --connect --serve-stats: the daemon's
+///                                  registry)
 ///   --trace-out=FILE               write Chrome trace-event JSON spans
 ///   --ledger-out=FILE              write the per-point cost ledger as JSON
 ///                                  (batch mode: per-item rollup)
@@ -68,7 +72,15 @@
 ///   --no-incremental               with --connect: ablation — ask the
 ///                                  daemon for a cold, cache-free run
 ///   --serve-stats                  with --connect: print the daemon's
-///                                  cumulative metrics JSON and exit
+///                                  stats document (uptime, cache
+///                                  occupancy, cumulative metrics) and
+///                                  exit
+///   --serve-watch[=N]              with --connect: subscribe to the
+///                                  daemon's live telemetry stream and
+///                                  print each frame (N frames; omitted
+///                                  or 0 = until the daemon goes away)
+///   --watch-ms=MS                  telemetry frame interval (default
+///                                  1000)
 ///   --serve-shutdown               with --connect: stop the daemon
 ///
 /// Batch mode fans programs out across the pool (docs/PARALLELISM.md);
@@ -121,6 +133,7 @@ struct CliOptions {
   uint64_t RunSeed = 1;
   bool Stats = false;
   std::string MetricsOut;
+  std::string PromOut; ///< Prometheus text exposition sink.
   std::string TraceOut;
   std::string LedgerOut;
   std::string JournalOut;
@@ -142,6 +155,9 @@ struct CliOptions {
   bool NoIncremental = false; ///< --connect: request a cold run.
   bool ServeStats = false;    ///< --connect: dump daemon metrics.
   bool ServeShutdown = false; ///< --connect: stop the daemon.
+  long ServeWatch = -1;  ///< --connect: stream N telemetry frames
+                         ///< (0 = until the daemon goes away; -1 = off).
+  uint32_t WatchMs = 1000; ///< Telemetry frame interval.
 };
 
 void usage() {
@@ -157,8 +173,8 @@ void usage() {
                "  --run[=seed] --time-limit=N --stats\n"
                "  --deadline=N --step-limit=N --mem-limit=MIB --isolate\n"
                "  --jobs=N --batch=FILE --batch-suite[=scale]\n"
-               "  --metrics-out=FILE --trace-out=FILE --ledger-out=FILE"
-               "   (\"-\" = stdout)\n"
+               "  --metrics-out=FILE --prom-out=FILE --trace-out=FILE "
+               "--ledger-out=FILE   (\"-\" = stdout)\n"
                "  --journal-out=FILE --postmortem-dir=DIR --watchdog=MS\n"
                "  --explain-alarm=N   (implies --check)\n"
                "  --snapshot-out=FILE --snapshot-in=FILE   (spa-ir-v1 "
@@ -169,6 +185,8 @@ void usage() {
                "processes)\n"
                "  --connect=SOCK --no-incremental --serve-stats "
                "--serve-shutdown\n"
+               "  --serve-watch[=N] --watch-ms=MS   (live telemetry "
+               "stream)\n"
                "                      (client mode against an spa-serve "
                "daemon)\n");
 }
@@ -259,6 +277,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Stats = true;
     } else if (const char *V = Value("--metrics-out=")) {
       Opts.MetricsOut = V;
+    } else if (const char *V = Value("--prom-out=")) {
+      Opts.PromOut = V;
     } else if (const char *V = Value("--trace-out=")) {
       Opts.TraceOut = V;
     } else if (const char *V = Value("--ledger-out=")) {
@@ -288,6 +308,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.ServeStats = true;
     } else if (A == "--serve-shutdown") {
       Opts.ServeShutdown = true;
+    } else if (A == "--serve-watch") {
+      Opts.ServeWatch = 0;
+    } else if (const char *V = Value("--serve-watch=")) {
+      Opts.ServeWatch = std::strtol(V, nullptr, 10);
+    } else if (const char *V = Value("--watch-ms=")) {
+      Opts.WatchMs = static_cast<uint32_t>(std::strtoul(V, nullptr, 10));
     } else if (A == "--help" || A == "-h") {
       return false;
     } else if (!A.empty() && A[0] == '-' && A != "-") {
@@ -303,7 +329,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   // daemon control requests need none; otherwise a path is required.
   return !Opts.Path.empty() || !Opts.BatchFile.empty() || Opts.BatchSuite ||
          !Opts.SnapshotIn.empty() ||
-         (!Opts.Connect.empty() && (Opts.ServeStats || Opts.ServeShutdown));
+         (!Opts.Connect.empty() &&
+          (Opts.ServeStats || Opts.ServeShutdown || Opts.ServeWatch >= 0));
 }
 
 std::string readInput(const std::string &Path) {
@@ -335,12 +362,43 @@ int runConnectMode(const CliOptions &Cli) {
   }
 
   if (Cli.ServeStats) {
-    std::string Json;
-    if (C.stats(Json, Error) != serve::ServeErrc::None) {
+    std::string Doc;
+    if (C.stats(Doc, Error) != serve::ServeErrc::None) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());
       return 1;
     }
-    std::fputs(Json.c_str(), stdout);
+    std::fputs(Doc.c_str(), stdout);
+    if (!Cli.PromOut.empty()) {
+      // Second round trip on the same connection: the daemon's registry
+      // rendered as Prometheus text.
+      std::string Prom;
+      if (C.stats(Prom, Error, /*Prom=*/true) != serve::ServeErrc::None) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 1;
+      }
+      if (!obs::MetricsSink::writeFile(Cli.PromOut, Prom)) {
+        std::fprintf(stderr, "error: cannot write %s\n", Cli.PromOut.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
+  if (Cli.ServeWatch >= 0) {
+    serve::SubscribeRequest Sub;
+    Sub.IntervalMs = Cli.WatchMs;
+    Sub.MaxFrames = static_cast<uint32_t>(Cli.ServeWatch);
+    serve::ServeErrc Rc = C.subscribe(
+        Sub,
+        [](const std::string &Doc) {
+          std::fputs(Doc.c_str(), stdout);
+          std::fflush(stdout);
+          return true;
+        },
+        Error);
+    if (Rc != serve::ServeErrc::None) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
     return 0;
   }
   if (Cli.ServeShutdown) {
@@ -427,6 +485,12 @@ int emitObservability(const CliOptions &Cli,
                                    obs::MetricsSink::toJson(
                                        obs::Registry::global()))) {
     std::fprintf(stderr, "error: cannot write %s\n", Cli.MetricsOut.c_str());
+    Rc = 1;
+  }
+  if (!Cli.PromOut.empty() &&
+      !obs::MetricsSink::writeFile(Cli.PromOut,
+                                   obs::Registry::global().renderProm())) {
+    std::fprintf(stderr, "error: cannot write %s\n", Cli.PromOut.c_str());
     Rc = 1;
   }
   if (!Cli.TraceOut.empty() &&
@@ -718,10 +782,11 @@ int main(int Argc, char **Argv) {
   if (!Cli.TraceOut.empty())
     obs::Tracer::global().enable();
 
-  if ((Cli.ServeStats || Cli.ServeShutdown) && Cli.Connect.empty()) {
+  if ((Cli.ServeStats || Cli.ServeShutdown || Cli.ServeWatch >= 0) &&
+      Cli.Connect.empty()) {
     std::fprintf(stderr,
-                 "error: --serve-stats/--serve-shutdown require "
-                 "--connect=SOCK\n");
+                 "error: --serve-stats/--serve-watch/--serve-shutdown "
+                 "require --connect=SOCK\n");
     return 1;
   }
   if (!Cli.Connect.empty())

@@ -25,6 +25,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
 #include "serve/Server.h"
 #include "support/Fault.h"
 
@@ -88,6 +89,12 @@ int main(int argc, char **argv) {
   FaultPlan Fault = FaultPlan::fromEnv();
   Opts.Service.FaultArmed = Fault.active() &&
                             (Fault.Phase == "serve" || Fault.Phase == "*");
+
+  // Request-scoped tracing: every request's span tree is recorded, with
+  // a bounded ring so a long-lived daemon retains only the newest spans
+  // (trace.dropped counts what the ring evicted).
+  obs::Tracer::global().setRingCapacity(4096);
+  obs::Tracer::global().enable();
 
   Server Srv(std::move(Opts));
   std::string Error;
